@@ -1,0 +1,140 @@
+//! The quadratic baseline determinism test (Brüggemann-Klein).
+//!
+//! An expression is deterministic (one-unambiguous) iff its Glushkov
+//! automaton is deterministic [Brüggemann-Klein 1993], i.e. no state has two
+//! outgoing transitions with the same label leading to different states.
+//! Checking this takes time proportional to the number of transitions,
+//! `Θ(σ|e|)` in the worst case — this is the baseline the paper's Theorem
+//! 3.5 improves to `O(|e|)`.
+
+use crate::glushkov::GlushkovAutomaton;
+use redet_syntax::Symbol;
+use redet_tree::PosId;
+
+/// Evidence that an expression is **not** deterministic: two distinct
+/// positions with the same label that follow a common position.
+///
+/// In the SGML/DTD reading: after matching a prefix that ends at
+/// `predecessor`, a parser seeing `symbol` cannot decide whether to move to
+/// `first` or to `second`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NonDeterminismWitness {
+    /// The position both conflicting positions follow (`#` for conflicts in
+    /// the `First` set).
+    pub predecessor: PosId,
+    /// The first conflicting position (smaller id).
+    pub first: PosId,
+    /// The second conflicting position (larger id).
+    pub second: PosId,
+    /// The shared label of the two conflicting positions.
+    pub symbol: Symbol,
+}
+
+/// Tests determinism by inspecting every `Follow` list of the Glushkov
+/// automaton. Returns a witness if the expression is non-deterministic.
+///
+/// Time: `O(#transitions)` with a per-symbol scratch table, i.e. `O(σ|e|)`
+/// worst case — the baseline of experiment E1.
+pub fn glushkov_determinism(automaton: &GlushkovAutomaton) -> Result<(), NonDeterminismWitness> {
+    // Scratch table indexed by symbol: the position seen with that symbol in
+    // the Follow list currently being scanned, together with the scan epoch
+    // so the table does not need clearing between positions.
+    let sigma = (0..automaton.num_positions())
+        .filter_map(|p| automaton.symbol(PosId::from_index(p)))
+        .map(|s| s.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut seen: Vec<(u32, PosId)> = vec![(u32::MAX, PosId::from_index(0)); sigma];
+
+    for p in 0..automaton.num_positions() {
+        let p = PosId::from_index(p);
+        let epoch = p.index() as u32;
+        for &q in automaton.follow(p) {
+            let Some(sym) = automaton.symbol(q) else {
+                continue; // the $ marker never conflicts
+            };
+            let slot = &mut seen[sym.index()];
+            if slot.0 == epoch && slot.1 != q {
+                let (first, second) = if slot.1 < q { (slot.1, q) } else { (q, slot.1) };
+                return Err(NonDeterminismWitness {
+                    predecessor: p,
+                    first,
+                    second,
+                    symbol: sym,
+                });
+            }
+            *slot = (epoch, q);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_syntax::parse;
+
+    fn check(input: &str) -> Result<(), NonDeterminismWitness> {
+        let (e, _) = parse(input).unwrap();
+        glushkov_determinism(&GlushkovAutomaton::build(&e))
+    }
+
+    #[test]
+    fn paper_examples() {
+        // Example 2.1: e1 deterministic, e2 not.
+        assert!(check("(a b + b (b?) a)*").is_ok());
+        assert!(check("(a* b a + b b)*").is_err());
+        // Introduction: ab*b is ambiguous.
+        assert!(check("a b* b").is_err());
+        // Figure 1 expression is deterministic.
+        assert!(check("(c?((a b*)(a? c)))*(b a)").is_ok());
+        // Section 3.2 worked examples.
+        assert!(check("(c (b? a?)) a").is_err());
+        assert!(check("(c (a? b?)) a").is_err());
+        assert!(check("(c (b? a)*) a").is_err());
+        assert!(check("(c (b? a)) a").is_ok());
+        assert!(check("(a (b? a))*").is_ok());
+        assert!(check("(a (b? a?))*").is_err());
+    }
+
+    #[test]
+    fn mixed_content_is_deterministic() {
+        let expr = format!(
+            "({})*",
+            (0..50).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" + ")
+        );
+        assert!(check(&expr).is_ok());
+        // With a duplicated symbol it becomes non-deterministic.
+        let expr = format!(
+            "({} + a7)*",
+            (0..50).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" + ")
+        );
+        assert!(check(&expr).is_err());
+    }
+
+    #[test]
+    fn witness_is_meaningful() {
+        let (e, sigma) = parse("a b* b").unwrap();
+        let g = GlushkovAutomaton::build(&e);
+        let witness = glushkov_determinism(&g).unwrap_err();
+        assert_eq!(witness.symbol, sigma.lookup("b").unwrap());
+        assert_ne!(witness.first, witness.second);
+        assert_eq!(g.symbol(witness.first), Some(witness.symbol));
+        assert_eq!(g.symbol(witness.second), Some(witness.symbol));
+        // Both really do follow the predecessor.
+        assert!(g.follow(witness.predecessor).contains(&witness.first));
+        assert!(g.follow(witness.predecessor).contains(&witness.second));
+    }
+
+    #[test]
+    fn single_occurrence_expressions_are_deterministic() {
+        for input in [
+            "(title, author+, (year | date)?)",
+            "a? b? c? d? e?",
+            "(a + b)* (c + d)? e",
+            "a (b (c (d e?)?)?)?",
+        ] {
+            assert!(check(input).is_ok(), "{input}");
+        }
+    }
+}

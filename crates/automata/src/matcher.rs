@@ -1,0 +1,82 @@
+//! The common matching interface shared by baselines and the paper's
+//! matchers.
+
+use redet_syntax::Symbol;
+
+/// A word-membership tester for one fixed regular expression.
+///
+/// All matchers in this workspace are *streaming*: they read the word one
+/// symbol at a time through an explicit state machine interface and never
+/// need to store the word (Section 1: "all our matching algorithms are
+/// streamable"). [`Matcher::matches`] is the convenience wrapper over the
+/// streaming interface.
+pub trait Matcher {
+    /// Opaque matcher state (typically the current position of the Glushkov
+    /// automaton plus whatever bookkeeping the algorithm needs).
+    type State: Clone;
+
+    /// The state before any symbol has been read.
+    fn start(&self) -> Self::State;
+
+    /// Consumes one symbol. Returns `None` if no continuation exists, i.e.
+    /// the word read so far is not a prefix of any word of the language.
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Option<Self::State>;
+
+    /// Whether the word read so far belongs to the language.
+    fn accepts(&self, state: &Self::State) -> bool;
+
+    /// Whether `word` belongs to the language of the expression.
+    fn matches(&self, word: &[Symbol]) -> bool {
+        let mut state = self.start();
+        for &sym in word {
+            match self.step(&state, sym) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.accepts(&state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy matcher for the language (ab)* over symbols 0 = a, 1 = b,
+    /// exercising the default `matches` implementation.
+    struct ToyAbStar;
+
+    impl Matcher for ToyAbStar {
+        type State = bool; // true = expecting a, false = expecting b
+
+        fn start(&self) -> bool {
+            true
+        }
+
+        fn step(&self, state: &bool, symbol: Symbol) -> Option<bool> {
+            match (state, symbol.index()) {
+                (true, 0) => Some(false),
+                (false, 1) => Some(true),
+                _ => None,
+            }
+        }
+
+        fn accepts(&self, state: &bool) -> bool {
+            *state
+        }
+    }
+
+    #[test]
+    fn default_matches_drives_the_stream() {
+        let a = Symbol::from_index(0);
+        let b = Symbol::from_index(1);
+        let m = ToyAbStar;
+        assert!(m.matches(&[]));
+        assert!(m.matches(&[a, b]));
+        assert!(m.matches(&[a, b, a, b]));
+        assert!(!m.matches(&[a]));
+        assert!(!m.matches(&[b, a]));
+        assert!(!m.matches(&[a, b, a]));
+        assert!(!m.matches(&[a, a]));
+    }
+}

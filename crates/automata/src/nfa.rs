@@ -1,0 +1,138 @@
+//! Set-of-positions simulation of the Glushkov automaton.
+//!
+//! For arbitrary (possibly nondeterministic) expressions the classical way
+//! to match is to maintain the set of positions reachable after the prefix
+//! read so far. Each step costs up to `O(|e|·k)` where `k` bounds the number
+//! of simultaneously active positions (Section 4.2 notes the `O(k²|w|)`
+//! bound for nondeterministic k-occurrence expressions). This is the
+//! testing oracle for every matcher in the workspace, because it implements
+//! the language definition directly without any determinism assumption.
+
+use crate::glushkov::GlushkovAutomaton;
+use crate::matcher::Matcher;
+use redet_syntax::{Regex, Symbol};
+use redet_tree::PosId;
+
+/// Matcher simulating the (possibly nondeterministic) Glushkov automaton
+/// with sets of positions.
+#[derive(Clone, Debug)]
+pub struct NfaSimulationMatcher {
+    automaton: GlushkovAutomaton,
+}
+
+impl NfaSimulationMatcher {
+    /// Builds the matcher for `regex`.
+    pub fn build(regex: &Regex) -> Self {
+        NfaSimulationMatcher {
+            automaton: GlushkovAutomaton::build(regex),
+        }
+    }
+
+    /// Builds the matcher from an existing automaton.
+    pub fn from_automaton(automaton: GlushkovAutomaton) -> Self {
+        NfaSimulationMatcher { automaton }
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &GlushkovAutomaton {
+        &self.automaton
+    }
+}
+
+impl Matcher for NfaSimulationMatcher {
+    /// The sorted set of currently active positions.
+    type State = Vec<PosId>;
+
+    fn start(&self) -> Vec<PosId> {
+        vec![self.automaton.begin()]
+    }
+
+    fn step(&self, state: &Vec<PosId>, symbol: Symbol) -> Option<Vec<PosId>> {
+        let mut next = Vec::new();
+        for &p in state {
+            for &q in self.automaton.follow(p) {
+                if self.automaton.symbol(q) == Some(symbol) {
+                    next.push(q);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        if next.is_empty() {
+            None
+        } else {
+            Some(next)
+        }
+    }
+
+    fn accepts(&self, state: &Vec<PosId>) -> bool {
+        state.iter().any(|&p| self.automaton.can_end(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::GlushkovDfaMatcher;
+    use redet_syntax::{parse_with_alphabet, Alphabet};
+
+    fn word(sigma: &mut Alphabet, text: &str) -> Vec<Symbol> {
+        text.split_whitespace().map(|t| sigma.intern(t)).collect()
+    }
+
+    #[test]
+    fn nondeterministic_expression_language() {
+        // e2 = (a*ba + bb)* from Example 2.1 is non-deterministic but its
+        // language is perfectly well defined.
+        let mut sigma = Alphabet::new();
+        let e = parse_with_alphabet("(a* b a + b b)*", &mut sigma).unwrap();
+        let m = NfaSimulationMatcher::build(&e);
+        for accept in ["", "b a", "a b a", "a a b a", "b b", "b b b a", "b a b b a a b a"] {
+            assert!(m.matches(&word(&mut sigma, accept)), "{accept:?}");
+        }
+        for reject in ["a", "b", "a b", "b a b", "a a a"] {
+            assert!(!m.matches(&word(&mut sigma, reject)), "{reject:?}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dfa_on_deterministic_expressions() {
+        let mut sigma = Alphabet::new();
+        let e = parse_with_alphabet("(a b + b b? a)*", &mut sigma).unwrap();
+        let dfa = GlushkovDfaMatcher::build(&e).unwrap();
+        let nfa = NfaSimulationMatcher::build(&e);
+        let a = sigma.lookup("a").unwrap();
+        let b = sigma.lookup("b").unwrap();
+        // Exhaustively compare on all words up to length 7.
+        let alphabet = [a, b];
+        let mut words: Vec<Vec<Symbol>> = vec![Vec::new()];
+        for _ in 0..7 {
+            let mut next = Vec::new();
+            for w in &words {
+                for &s in &alphabet {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            for w in &next {
+                assert_eq!(dfa.matches(w), nfa.matches(w), "{w:?}");
+            }
+            words = next;
+        }
+    }
+
+    #[test]
+    fn ambiguous_one_or_more() {
+        // a?a?a? … is nondeterministic-free but (a+a) is ambiguous; the set
+        // simulation still answers membership correctly.
+        let mut sigma = Alphabet::new();
+        let e = parse_with_alphabet("(a + a a)*", &mut sigma).unwrap();
+        let m = NfaSimulationMatcher::build(&e);
+        let a = sigma.lookup("a").unwrap();
+        for len in 0..10 {
+            let w = vec![a; len];
+            assert!(m.matches(&w), "a^{len} should match (a + aa)*");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benches for experiments E1/E2/E8: determinism testing and
+//! preprocessing cost, linear-time algorithms vs the Glushkov baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redet_automata::{glushkov_determinism, GlushkovAutomaton};
+use redet_core::check_determinism;
+use redet_tree::TreeAnalysis;
+use redet_workloads as workloads;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// E1: mixed content (a1 + … + a_m)* — the Glushkov baseline is quadratic,
+/// the skeleton test is linear.
+fn bench_mixed_content(c: &mut Criterion) {
+    let mut group = configure(c).benchmark_group("E1_determinism_mixed_content");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    for m in [256usize, 1024, 4096] {
+        let w = workloads::mixed_content(m);
+        group.bench_with_input(BenchmarkId::new("skeleton_linear", m), &w.regex, |b, e| {
+            b.iter(|| {
+                let analysis = TreeAnalysis::build(e);
+                check_determinism(&analysis).is_ok()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("glushkov_baseline", m), &w.regex, |b, e| {
+            b.iter(|| glushkov_determinism(&GlushkovAutomaton::build(e)).is_ok())
+        });
+    }
+    group.finish();
+}
+
+/// E2: realistic families (CHARE, k-occurrence, deep alternation).
+fn bench_families(c: &mut Criterion) {
+    let mut group = configure(c).benchmark_group("E2_determinism_families");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    let families = [
+        ("chare", workloads::chare(400, 5, 1).regex),
+        ("k_occurrence_4", workloads::k_occurrence(4, 100, 4, 2).regex),
+        ("deep_alternation_16", workloads::deep_alternation(16, 3).regex),
+    ];
+    for (name, regex) in families {
+        group.bench_with_input(BenchmarkId::new("skeleton_linear", name), &regex, |b, e| {
+            b.iter(|| {
+                let analysis = TreeAnalysis::build(e);
+                check_determinism(&analysis).is_ok()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("glushkov_baseline", name), &regex, |b, e| {
+            b.iter(|| glushkov_determinism(&GlushkovAutomaton::build(e)).is_ok())
+        });
+    }
+    group.finish();
+}
+
+/// E8: preprocessing cost only (tree analysis vs Glushkov automaton).
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = configure(c).benchmark_group("E8_preprocessing");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    for m in [1024usize, 8192] {
+        let w = workloads::mixed_content(m);
+        group.bench_with_input(BenchmarkId::new("tree_analysis", m), &w.regex, |b, e| {
+            b.iter(|| TreeAnalysis::build(e))
+        });
+        group.bench_with_input(BenchmarkId::new("glushkov_automaton", m), &w.regex, |b, e| {
+            b.iter(|| GlushkovAutomaton::build(e))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_content, bench_families, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benches for experiments E3–E7: `checkIfFollow` queries and the
+//! four matching algorithms against the Glushkov DFA baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use redet_automata::{GlushkovDfaMatcher, Matcher};
+use redet_bench::{colored_matcher, kocc_matcher, pathdecomp_matcher, preprocess};
+use redet_core::matcher::starfree::StarFreeMatcher;
+use redet_tree::{PosId, TreeAnalysis};
+use redet_workloads as workloads;
+use std::time::Duration;
+
+/// E3: constant-time checkIfFollow queries.
+fn bench_check_if_follow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_check_if_follow");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    for factors in [256usize, 4096] {
+        let w = workloads::chare(factors, 4, 7);
+        let analysis = TreeAnalysis::build(&w.regex);
+        let m = analysis.tree().num_positions();
+        let queries: Vec<(PosId, PosId)> = (0..10_000u64)
+            .map(|i| {
+                let p = ((i.wrapping_mul(0x9e3779b97f4a7c15) >> 33) as usize) % m;
+                let q = ((i.wrapping_mul(0xda942042e4dd58b5) >> 33) as usize) % m;
+                (PosId::from_index(p), PosId::from_index(q))
+            })
+            .collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("queries_10k", m), &queries, |b, qs| {
+            b.iter(|| qs.iter().filter(|&&(p, q)| analysis.check_if_follow(p, q)).count())
+        });
+    }
+    group.finish();
+}
+
+/// E4: k-occurrence matching as k grows.
+fn bench_k_occurrence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_k_occurrence_matching");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    for k in [1usize, 4, 16] {
+        let w = workloads::k_occurrence(k, 40, 4, 11);
+        let (analysis, _) = preprocess(&w.regex);
+        let word = workloads::sample_member_word(&w.regex, 10_000, 13);
+        group.throughput(Throughput::Elements(word.len() as u64));
+        let matcher = kocc_matcher(analysis);
+        group.bench_with_input(BenchmarkId::new("kocc", k), &word, |b, word| {
+            b.iter(|| matcher.matches(word))
+        });
+        let dfa = GlushkovDfaMatcher::build(&w.regex).unwrap();
+        group.bench_with_input(BenchmarkId::new("glushkov_dfa", k), &word, |b, word| {
+            b.iter(|| dfa.matches(word))
+        });
+    }
+    group.finish();
+}
+
+/// E5: path-decomposition matching as the alternation depth c_e grows.
+fn bench_path_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_path_decomposition_matching");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    for depth in [2usize, 8, 32] {
+        let w = workloads::deep_alternation(depth, 17);
+        let (analysis, _) = preprocess(&w.regex);
+        let word = workloads::sample_member_word(&w.regex, 10_000, 19);
+        group.throughput(Throughput::Elements(word.len() as u64));
+        let matcher = pathdecomp_matcher(analysis);
+        group.bench_with_input(BenchmarkId::new("path_decomposition", depth), &word, |b, word| {
+            b.iter(|| matcher.matches(word))
+        });
+        let dfa = GlushkovDfaMatcher::build(&w.regex).unwrap();
+        group.bench_with_input(BenchmarkId::new("glushkov_dfa", depth), &word, |b, word| {
+            b.iter(|| dfa.matches(word))
+        });
+    }
+    group.finish();
+}
+
+/// E6: colored-ancestor matching as |e| grows (fixed word length).
+fn bench_colored_ancestor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_colored_ancestor_matching");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    for factors in [256usize, 4096] {
+        let w = workloads::chare(factors, 4, 23);
+        let (analysis, certificate) = preprocess(&w.regex);
+        let word = workloads::sample_member_word(&w.regex, 10_000, 29);
+        group.throughput(Throughput::Elements(word.len() as u64));
+        let matcher = colored_matcher(analysis, certificate);
+        group.bench_with_input(
+            BenchmarkId::new("colored_ancestor", w.regex.num_positions()),
+            &word,
+            |b, word| b.iter(|| matcher.matches(word)),
+        );
+    }
+    group.finish();
+}
+
+/// E7: star-free multi-word matching (one traversal) vs word-by-word DFA.
+fn bench_star_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_star_free_multiword");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    let w = workloads::star_free_chare(120, 4, 31);
+    let (analysis, _) = preprocess(&w.regex);
+    let starfree = StarFreeMatcher::new(analysis).unwrap();
+    let dfa = GlushkovDfaMatcher::build(&w.regex).unwrap();
+    for n in [100usize, 2000] {
+        let words: Vec<Vec<redet_syntax::Symbol>> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    workloads::sample_member_word(&w.regex, 60, i as u64)
+                } else {
+                    workloads::sample_random_word(&w.alphabet, 40, i as u64)
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("batch_single_traversal", n), &words, |b, words| {
+            b.iter(|| starfree.match_words(words))
+        });
+        group.bench_with_input(BenchmarkId::new("word_by_word_dfa", n), &words, |b, words| {
+            b.iter(|| words.iter().filter(|w| dfa.matches(w)).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_check_if_follow,
+    bench_k_occurrence,
+    bench_path_decomposition,
+    bench_colored_ancestor,
+    bench_star_free
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Shared helpers for the benchmark harness and the experiment runner.
+//!
+//! The paper contains no measurement tables; its experimental content is a
+//! set of complexity claims (see `EXPERIMENTS.md` at the workspace root).
+//! This crate provides the glue shared by the Criterion benches and by the
+//! `experiments` binary that prints the claim-by-claim comparison tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use redet_core::determinism::DeterminismCertificate;
+use redet_core::matcher::colored::ColoredAncestorMatcher;
+use redet_core::matcher::kocc::KOccurrenceMatcher;
+use redet_core::matcher::pathdecomp::PathDecompositionMatcher;
+use redet_core::matcher::PositionMatcher;
+use redet_core::check_determinism;
+use redet_syntax::Regex;
+use redet_tree::TreeAnalysis;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Measures the wall-clock time of `f`, repeated `repeats` times, returning
+/// the *average* duration per repetition.
+pub fn time<T>(repeats: usize, mut f: impl FnMut() -> T) -> Duration {
+    let start = Instant::now();
+    for _ in 0..repeats {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / repeats.max(1) as u32
+}
+
+/// Formats a duration in microseconds with three significant digits.
+pub fn micros(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e6)
+}
+
+/// Builds the full preprocessing pipeline of the linear-time algorithms for
+/// a deterministic expression: analysis + certificate.
+pub fn preprocess(regex: &Regex) -> (Arc<TreeAnalysis>, Arc<DeterminismCertificate>) {
+    let analysis = Arc::new(TreeAnalysis::build(regex));
+    let certificate = Arc::new(check_determinism(&analysis).expect("workloads are deterministic"));
+    (analysis, certificate)
+}
+
+/// Convenience constructors for the three position-based matchers used
+/// throughout the experiments.
+pub fn kocc_matcher(analysis: Arc<TreeAnalysis>) -> PositionMatcher<KOccurrenceMatcher> {
+    PositionMatcher::new(KOccurrenceMatcher::new(analysis))
+}
+
+/// Path-decomposition matcher wrapped for word matching.
+pub fn pathdecomp_matcher(
+    analysis: Arc<TreeAnalysis>,
+) -> PositionMatcher<PathDecompositionMatcher> {
+    PositionMatcher::new(PathDecompositionMatcher::new(analysis).expect("workloads are counting-free"))
+}
+
+/// Lowest-colored-ancestor matcher wrapped for word matching.
+pub fn colored_matcher(
+    analysis: Arc<TreeAnalysis>,
+    certificate: Arc<DeterminismCertificate>,
+) -> PositionMatcher<ColoredAncestorMatcher> {
+    PositionMatcher::new(ColoredAncestorMatcher::new(analysis, certificate))
+}
+
+/// Prints a Markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_automata::Matcher;
+    use redet_workloads as workloads;
+
+    #[test]
+    fn helpers_build_working_matchers() {
+        let w = workloads::chare(10, 3, 1);
+        let (analysis, certificate) = preprocess(&w.regex);
+        let word = workloads::sample_member_word(&w.regex, 30, 7);
+        let kocc = kocc_matcher(analysis.clone());
+        let path = pathdecomp_matcher(analysis.clone());
+        let colored = colored_matcher(analysis, certificate);
+        assert!(kocc.matches(&word));
+        assert!(path.matches(&word));
+        assert!(colored.matches(&word));
+    }
+
+    #[test]
+    fn timing_helper_runs() {
+        let d = time(3, || 1 + 1);
+        assert!(d.as_nanos() < 1_000_000_000);
+        assert!(!micros(d).is_empty());
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+}

@@ -1,0 +1,448 @@
+//! High-level entry point: compile a content model, check determinism, pick
+//! a matching algorithm, and validate words.
+
+use crate::counting::check_counting_determinism;
+use crate::determinism::{check_determinism, DeterminismCertificate, NonDeterminism};
+use crate::matcher::colored::ColoredAncestorMatcher;
+use crate::matcher::kocc::KOccurrenceMatcher;
+use crate::matcher::pathdecomp::PathDecompositionMatcher;
+use crate::matcher::starfree::StarFreeMatcher;
+use crate::matcher::PositionMatcher;
+use redet_automata::{GlushkovDfaMatcher, Matcher, NfaSimulationMatcher};
+use redet_syntax::{normalize, parse_with_alphabet, Alphabet, ExprStats, Regex};
+use redet_tree::TreeAnalysis;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which transition-simulation algorithm backs a compiled expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MatchStrategy {
+    /// Pick automatically from the expression's structural statistics
+    /// (star-free → Theorem 4.12; small `k` → Theorem 4.3; small
+    /// alternation depth → Theorem 4.10; otherwise Theorem 4.2).
+    #[default]
+    Auto,
+    /// The star-free forward sweep (Theorem 4.12).
+    StarFree,
+    /// The bounded-occurrence scan (Theorem 4.3).
+    KOccurrence,
+    /// The path-decomposition matcher (Theorem 4.10).
+    PathDecomposition,
+    /// The lowest-colored-ancestor matcher (Theorem 4.2).
+    ColoredAncestor,
+    /// The Glushkov DFA baseline (`O(σ|e|)` preprocessing).
+    GlushkovDfa,
+}
+
+/// Errors produced while compiling a content model.
+#[derive(Debug)]
+pub enum RegexError {
+    /// The textual syntax could not be parsed.
+    Parse(redet_syntax::ParseError),
+    /// The expression is structurally invalid (e.g. `a{3,1}`).
+    Syntax(redet_syntax::SyntaxError),
+    /// The expression is not deterministic (not one-unambiguous), with a
+    /// witness explaining why — the same diagnostic an XML schema processor
+    /// would report for a non-deterministic content model.
+    NotDeterministic(NonDeterminism),
+    /// The requested strategy does not apply to this expression (e.g.
+    /// [`MatchStrategy::StarFree`] for an expression containing `∗`).
+    StrategyNotApplicable(&'static str),
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Parse(e) => write!(f, "{e}"),
+            RegexError::Syntax(e) => write!(f, "{e}"),
+            RegexError::NotDeterministic(e) => write!(f, "{e}"),
+            RegexError::StrategyNotApplicable(why) => {
+                write!(f, "requested matching strategy does not apply: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl From<redet_syntax::ParseError> for RegexError {
+    fn from(e: redet_syntax::ParseError) -> Self {
+        RegexError::Parse(e)
+    }
+}
+
+impl From<redet_syntax::SyntaxError> for RegexError {
+    fn from(e: redet_syntax::SyntaxError) -> Self {
+        RegexError::Syntax(e)
+    }
+}
+
+impl From<NonDeterminism> for RegexError {
+    fn from(e: NonDeterminism) -> Self {
+        RegexError::NotDeterministic(e)
+    }
+}
+
+enum MatcherImpl {
+    StarFree(PositionMatcher<StarFreeMatcher>),
+    KOccurrence(PositionMatcher<KOccurrenceMatcher>),
+    PathDecomposition(PositionMatcher<PathDecompositionMatcher>),
+    ColoredAncestor(PositionMatcher<ColoredAncestorMatcher>),
+    GlushkovDfa(GlushkovDfaMatcher),
+    /// Counted expressions are matched by simulating the Glushkov automaton
+    /// of the (language-preserving) unrolled expression, because unrolling
+    /// does not preserve determinism.
+    CountedNfa(NfaSimulationMatcher),
+}
+
+/// A compiled deterministic regular expression (content model): parsing,
+/// normalization, the linear-time determinism check of Theorem 3.5, and a
+/// matching algorithm chosen from Section 4.
+///
+/// ```
+/// use redet_core::DeterministicRegex;
+///
+/// let model = DeterministicRegex::compile("(title, author+, (year | date)?)").unwrap();
+/// assert!(model.matches(&["title", "author", "author", "year"]));
+/// assert!(!model.matches(&["title", "year"]));
+///
+/// // Non-deterministic content models are rejected with a witness.
+/// assert!(DeterministicRegex::compile("(a* b a + b b)*").is_err());
+/// ```
+pub struct DeterministicRegex {
+    alphabet: Alphabet,
+    regex: Regex,
+    stats: ExprStats,
+    analysis: Arc<TreeAnalysis>,
+    certificate: Option<Arc<DeterminismCertificate>>,
+    strategy: MatchStrategy,
+    matcher: MatcherImpl,
+}
+
+impl DeterministicRegex {
+    /// Parses, normalizes, checks determinism and prepares a matcher,
+    /// selecting the algorithm automatically.
+    pub fn compile(input: &str) -> Result<Self, RegexError> {
+        Self::compile_with(input, MatchStrategy::Auto)
+    }
+
+    /// Like [`Self::compile`] with an explicit matching strategy.
+    pub fn compile_with(input: &str, strategy: MatchStrategy) -> Result<Self, RegexError> {
+        let mut alphabet = Alphabet::new();
+        let regex = parse_with_alphabet(input, &mut alphabet)?;
+        Self::from_regex_with(regex, alphabet, strategy)
+    }
+
+    /// Compiles an already-built AST (sharing an alphabet with other content
+    /// models of the same schema).
+    pub fn from_regex(regex: Regex, alphabet: Alphabet) -> Result<Self, RegexError> {
+        Self::from_regex_with(regex, alphabet, MatchStrategy::Auto)
+    }
+
+    /// Like [`Self::from_regex`] with an explicit matching strategy.
+    pub fn from_regex_with(
+        regex: Regex,
+        alphabet: Alphabet,
+        strategy: MatchStrategy,
+    ) -> Result<Self, RegexError> {
+        let regex = normalize(regex)?;
+        let stats = ExprStats::of(&regex);
+        let analysis = Arc::new(TreeAnalysis::build(&regex));
+
+        // Determinism: the counting-aware test subsumes the plain one.
+        let certificate = if stats.counting {
+            check_counting_determinism(&regex)?;
+            None
+        } else {
+            Some(Arc::new(check_determinism(&analysis)?))
+        };
+
+        let chosen = match strategy {
+            MatchStrategy::Auto => Self::auto_strategy(&stats),
+            other => other,
+        };
+        let matcher = Self::build_matcher(&regex, &stats, &analysis, &certificate, chosen)?;
+
+        Ok(DeterministicRegex {
+            alphabet,
+            regex,
+            stats,
+            analysis,
+            certificate,
+            strategy: chosen,
+            matcher,
+        })
+    }
+
+    fn auto_strategy(stats: &ExprStats) -> MatchStrategy {
+        if stats.counting {
+            // Matching goes through the unrolled NFA regardless; report the
+            // baseline strategy for transparency.
+            MatchStrategy::GlushkovDfa
+        } else if stats.star_free {
+            MatchStrategy::StarFree
+        } else if stats.max_occurrences <= 4 {
+            MatchStrategy::KOccurrence
+        } else if stats.plus_depth <= 8 {
+            MatchStrategy::PathDecomposition
+        } else {
+            MatchStrategy::ColoredAncestor
+        }
+    }
+
+    fn build_matcher(
+        regex: &Regex,
+        stats: &ExprStats,
+        analysis: &Arc<TreeAnalysis>,
+        certificate: &Option<Arc<DeterminismCertificate>>,
+        strategy: MatchStrategy,
+    ) -> Result<MatcherImpl, RegexError> {
+        if stats.counting {
+            // Language-correct matching of counted expressions: simulate the
+            // Glushkov automaton of the unrolled expression.
+            let unrolled = redet_automata::unroll_counting(regex);
+            return Ok(MatcherImpl::CountedNfa(NfaSimulationMatcher::build(
+                &unrolled,
+            )));
+        }
+        Ok(match strategy {
+            MatchStrategy::Auto => unreachable!("Auto is resolved before building"),
+            MatchStrategy::StarFree => MatcherImpl::StarFree(PositionMatcher::new(
+                StarFreeMatcher::new(analysis.clone()).map_err(|_| {
+                    RegexError::StrategyNotApplicable("the expression contains an iterating operator")
+                })?,
+            )),
+            MatchStrategy::KOccurrence => MatcherImpl::KOccurrence(PositionMatcher::new(
+                KOccurrenceMatcher::new(analysis.clone()),
+            )),
+            MatchStrategy::PathDecomposition => MatcherImpl::PathDecomposition(
+                PositionMatcher::new(PathDecompositionMatcher::new(analysis.clone()).map_err(
+                    |_| RegexError::StrategyNotApplicable("path decomposition preprocessing failed"),
+                )?),
+            ),
+            MatchStrategy::ColoredAncestor => {
+                let certificate = certificate
+                    .clone()
+                    .expect("counting-free expressions always carry a certificate");
+                MatcherImpl::ColoredAncestor(PositionMatcher::new(ColoredAncestorMatcher::new(
+                    analysis.clone(),
+                    certificate,
+                )))
+            }
+            MatchStrategy::GlushkovDfa => MatcherImpl::GlushkovDfa(
+                GlushkovDfaMatcher::build(regex)
+                    .map_err(|_| RegexError::StrategyNotApplicable("expression is not deterministic"))?,
+            ),
+        })
+    }
+
+    /// The interned alphabet of the expression.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The normalized abstract syntax tree.
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// Structural statistics (`k`, `c_e`, star-freedom, σ, …).
+    pub fn stats(&self) -> &ExprStats {
+        &self.stats
+    }
+
+    /// The preprocessed parse tree (Theorem 2.4 queries and friends).
+    pub fn analysis(&self) -> &TreeAnalysis {
+        &self.analysis
+    }
+
+    /// The determinism certificate (colors and skeleta), when the expression
+    /// is counting-free.
+    pub fn certificate(&self) -> Option<&DeterminismCertificate> {
+        self.certificate.as_deref()
+    }
+
+    /// The matching strategy in use.
+    pub fn strategy(&self) -> MatchStrategy {
+        self.strategy
+    }
+
+    /// Whether the word, given as element names, belongs to the content
+    /// model. Unknown element names immediately reject.
+    pub fn matches(&self, word: &[&str]) -> bool {
+        let mut symbols = Vec::with_capacity(word.len());
+        for name in word {
+            match self.alphabet.lookup(name) {
+                Some(sym) => symbols.push(sym),
+                None => return false,
+            }
+        }
+        self.matches_symbols(&symbols)
+    }
+
+    /// Whether the word, given as interned symbols, belongs to the content
+    /// model.
+    pub fn matches_symbols(&self, word: &[redet_syntax::Symbol]) -> bool {
+        match &self.matcher {
+            MatcherImpl::StarFree(m) => m.matches(word),
+            MatcherImpl::KOccurrence(m) => m.matches(word),
+            MatcherImpl::PathDecomposition(m) => m.matches(word),
+            MatcherImpl::ColoredAncestor(m) => m.matches(word),
+            MatcherImpl::GlushkovDfa(m) => m.matches(word),
+            MatcherImpl::CountedNfa(m) => m.matches(word),
+        }
+    }
+
+    /// Validates a batch of words. Star-free expressions use the
+    /// single-traversal multi-word algorithm of Theorem 4.12; other
+    /// expressions fall back to word-by-word matching.
+    pub fn matches_all<W: AsRef<[redet_syntax::Symbol]>>(&self, words: &[W]) -> Vec<bool> {
+        if let MatcherImpl::StarFree(m) = &self.matcher {
+            return m.sim().match_words(words);
+        }
+        words
+            .iter()
+            .map(|w| self.matches_symbols(w.as_ref()))
+            .collect()
+    }
+}
+
+impl fmt::Debug for DeterministicRegex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeterministicRegex")
+            .field("strategy", &self.strategy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_and_match_dtd_model() {
+        let model = DeterministicRegex::compile("(title, author+, (year | date)?)").unwrap();
+        assert!(model.matches(&["title", "author"]));
+        assert!(model.matches(&["title", "author", "author", "date"]));
+        assert!(!model.matches(&["title"]));
+        assert!(!model.matches(&["title", "author", "year", "date"]));
+        assert!(!model.matches(&["title", "unknown-element"]));
+    }
+
+    #[test]
+    fn rejects_nondeterministic_models() {
+        for input in ["(a* b a + b b)*", "a b* b", "(a b){1,2} a"] {
+            match DeterministicRegex::compile(input) {
+                Err(RegexError::NotDeterministic(_)) => {}
+                other => panic!("{input} should be rejected as non-deterministic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_selection() {
+        let star_free = DeterministicRegex::compile("(a + b) (c + d)?").unwrap();
+        assert_eq!(star_free.strategy(), MatchStrategy::StarFree);
+
+        let small_k = DeterministicRegex::compile("(a b + b b? a)*").unwrap();
+        assert_eq!(small_k.strategy(), MatchStrategy::KOccurrence);
+
+        // Many occurrences of a (k = 5) with small alternation depth and a
+        // star (so the star-free and k-occurrence strategies do not apply).
+        let path = DeterministicRegex::compile(
+            "(a x1 + b y1)(a x2 + b y2)(a x3 + b y3)(a x4 + b y4)(a x5 + b y5) r*",
+        )
+        .unwrap();
+        assert_eq!(path.strategy(), MatchStrategy::PathDecomposition);
+    }
+
+    #[test]
+    fn explicit_strategies_agree() {
+        let input = "(c?((a b*)(a? c)))*(b a)";
+        let words: Vec<Vec<&str>> = vec![
+            vec!["b", "a"],
+            vec!["a", "c", "b", "a"],
+            vec!["c", "a", "c", "b", "a"],
+            vec!["a", "b", "b", "a", "c", "b", "a"],
+            vec!["a", "b"],
+            vec![],
+            vec!["c", "c"],
+        ];
+        let strategies = [
+            MatchStrategy::KOccurrence,
+            MatchStrategy::PathDecomposition,
+            MatchStrategy::ColoredAncestor,
+            MatchStrategy::GlushkovDfa,
+        ];
+        let reference = DeterministicRegex::compile_with(input, MatchStrategy::GlushkovDfa).unwrap();
+        for strategy in strategies {
+            let model = DeterministicRegex::compile_with(input, strategy).unwrap();
+            for w in &words {
+                assert_eq!(
+                    model.matches(w),
+                    reference.matches(w),
+                    "{strategy:?} on {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counted_expressions_match_their_true_language() {
+        let model = DeterministicRegex::compile("(a b){2,2} a (b + d)").unwrap();
+        assert!(model.matches(&["a", "b", "a", "b", "a", "d"]));
+        assert!(model.matches(&["a", "b", "a", "b", "a", "b"]));
+        // Only exactly two iterations are allowed.
+        assert!(!model.matches(&["a", "b", "a", "d"]));
+        assert!(!model.matches(&["a", "b", "a", "b", "a", "b", "a", "d"]));
+    }
+
+    #[test]
+    fn star_free_batch_validation() {
+        let model = DeterministicRegex::compile("(a + b) (c + d)? e?").unwrap();
+        let sigma = model.alphabet();
+        let to_word = |names: &[&str]| -> Vec<redet_syntax::Symbol> {
+            names.iter().map(|n| sigma.lookup(n).unwrap()).collect()
+        };
+        let words = vec![
+            to_word(&["a"]),
+            to_word(&["a", "c", "e"]),
+            to_word(&["b", "d"]),
+            to_word(&["c"]),
+            to_word(&["a", "e", "c"]),
+        ];
+        assert_eq!(
+            model.matches_all(&words),
+            vec![true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn strategy_not_applicable_errors() {
+        match DeterministicRegex::compile_with("(a b)*", MatchStrategy::StarFree) {
+            Err(RegexError::StrategyNotApplicable(_)) => {}
+            other => panic!("expected StrategyNotApplicable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalization_is_applied() {
+        let model = DeterministicRegex::compile("((a?)*)?").unwrap();
+        assert!(model.matches(&[]));
+        assert!(model.matches(&["a", "a", "a"]));
+        assert!(model.stats().nullable);
+    }
+
+    #[test]
+    fn invalid_syntax_is_reported() {
+        assert!(matches!(
+            DeterministicRegex::compile("(a b"),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            DeterministicRegex::compile("a{0,0}"),
+            Err(RegexError::Syntax(_))
+        ));
+    }
+}

@@ -1,0 +1,133 @@
+//! The lowest-colored-ancestor matcher (Section 4.1, Theorem 4.2).
+//!
+//! The linear-time determinism test colors the parent of every `pSupFirst`
+//! node with the labels of the positions "starting" there, and stores at
+//! most three candidate positions per colored node and color: `Witness`,
+//! `FirstPos` and `Next`. By Lemma 3.3, the `a`-labeled position following
+//! `p` (if any) is one of the three candidates stored at the **lowest
+//! ancestor of `p` with color `a`** — so transition simulation is one
+//! lowest-colored-ancestor query plus at most three `checkIfFollow` tests.
+
+use crate::determinism::DeterminismCertificate;
+use crate::matcher::TransitionSim;
+use redet_structures::{ColoredAncestors, PredecessorBackend};
+use redet_syntax::Symbol;
+use redet_tree::{PosId, TreeAnalysis};
+use std::sync::Arc;
+
+/// Transition simulation via lowest colored ancestor queries (Theorem 4.2).
+#[derive(Clone, Debug)]
+pub struct ColoredAncestorMatcher {
+    analysis: Arc<TreeAnalysis>,
+    certificate: Arc<DeterminismCertificate>,
+    colored: ColoredAncestors,
+}
+
+impl ColoredAncestorMatcher {
+    /// Builds the matcher from the determinism certificate (which already
+    /// contains the colors and skeleta — the only additional preprocessing
+    /// is the colored-ancestor structure).
+    pub fn new(analysis: Arc<TreeAnalysis>, certificate: Arc<DeterminismCertificate>) -> Self {
+        Self::with_backend(analysis, certificate, PredecessorBackend::BinarySearch)
+    }
+
+    /// Builds the matcher with an explicit predecessor backend for the
+    /// colored-ancestor structure.
+    pub fn with_backend(
+        analysis: Arc<TreeAnalysis>,
+        certificate: Arc<DeterminismCertificate>,
+        backend: PredecessorBackend,
+    ) -> Self {
+        let colored = ColoredAncestors::build_with_backend(
+            analysis.tree(),
+            &certificate.colors().node_colors(),
+            backend,
+        );
+        ColoredAncestorMatcher {
+            analysis,
+            certificate,
+            colored,
+        }
+    }
+
+    /// The underlying colored-ancestor structure (exposed for experiments).
+    pub fn colored_ancestors(&self) -> &ColoredAncestors {
+        &self.colored
+    }
+}
+
+impl TransitionSim for ColoredAncestorMatcher {
+    fn analysis(&self) -> &TreeAnalysis {
+        &self.analysis
+    }
+
+    fn find_next(&self, p: PosId, symbol: Symbol) -> Option<PosId> {
+        let tree = self.analysis.tree();
+        let leaf = tree.pos_node(p);
+        // Lemma 3.3: the a-labeled follower is stored at the lowest ancestor
+        // of p with color a.
+        let node = self
+            .colored
+            .lowest_colored_ancestor(tree, leaf, symbol)?;
+        let skeleton = self.certificate.skeleta().get(symbol)?;
+        let entry = skeleton.find(node)?;
+        [entry.witness, entry.first_pos, entry.next]
+            .into_iter()
+            .flatten()
+            .find(|&q| self.analysis.check_if_follow(p, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinism::check_determinism;
+    use crate::matcher::testutil::{assert_agrees_with_baseline, DETERMINISTIC_EXPRESSIONS};
+    use crate::matcher::PositionMatcher;
+    use redet_syntax::parse_with_alphabet;
+
+    fn build(e: &redet_syntax::Regex, backend: PredecessorBackend) -> ColoredAncestorMatcher {
+        let analysis = Arc::new(TreeAnalysis::build(e));
+        let certificate = Arc::new(check_determinism(&analysis).expect("deterministic"));
+        ColoredAncestorMatcher::with_backend(analysis, certificate, backend)
+    }
+
+    #[test]
+    fn agrees_with_glushkov_dfa_binary_search() {
+        for input in DETERMINISTIC_EXPRESSIONS {
+            assert_agrees_with_baseline(input, 5, |e| {
+                PositionMatcher::new(build(e, PredecessorBackend::BinarySearch))
+            });
+        }
+    }
+
+    #[test]
+    fn agrees_with_glushkov_dfa_veb() {
+        for input in DETERMINISTIC_EXPRESSIONS {
+            assert_agrees_with_baseline(input, 4, |e| {
+                PositionMatcher::new(build(e, PredecessorBackend::Veb))
+            });
+        }
+    }
+
+    #[test]
+    fn example_4_1_transition_simulation() {
+        // "Consider the expression in Figure 1, position p3, and the symbol
+        // c. [...] it is p5 that follows p3. [...] Now, at position p5 we
+        // read the next symbol a. [...] This time it is FirstPos(n3, a) = p2
+        // that follows p5."
+        let mut sigma = redet_syntax::Alphabet::new();
+        let e = parse_with_alphabet("(c?((a b*)(a? c)))*(b a)", &mut sigma).unwrap();
+        let m = build(&e, PredecessorBackend::BinarySearch);
+        let c = sigma.lookup("c").unwrap();
+        let a = sigma.lookup("a").unwrap();
+        let b = sigma.lookup("b").unwrap();
+        assert_eq!(m.find_next(PosId::from_index(3), c), Some(PosId::from_index(5)));
+        assert_eq!(m.find_next(PosId::from_index(5), a), Some(PosId::from_index(2)));
+        // And the final (b a) factor is reachable from p5 as well.
+        assert_eq!(m.find_next(PosId::from_index(5), b), Some(PosId::from_index(6)));
+        // d is not in the alphabet of e0 at all.
+        let d = sigma.intern("d");
+        assert_eq!(m.find_next(PosId::from_index(5), d), None);
+    }
+}

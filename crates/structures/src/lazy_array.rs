@@ -1,0 +1,217 @@
+//! Lazy arrays: associative arrays with O(1) reset (Section 4.3).
+//!
+//! The paper describes the folklore data structure providing constant-time
+//! initialization, assignment and lookup over a key universe `{0, …, N−1}`:
+//! a value array `A`, a counter `C` of active keys, and two arrays `B` and
+//! `F` which together certify whether a key has been assigned since the last
+//! reset (`k` is active iff `1 ≤ B[k] ≤ C` and `F[B[k]] = k`).
+//!
+//! The trick in the original formulation is that `A`, `B`, `F` may be left
+//! *uninitialized*, making initialization O(1). Safe Rust has no
+//! uninitialized reads, so this implementation pays a one-time `O(N)`
+//! allocation cost at construction (the paper itself notes that in practice
+//! hash maps are a perfectly good substitute); the operationally important
+//! property — **O(1) `clear`**, unmatched by hash maps — is preserved
+//! faithfully, and all other operations are O(1) worst case with no hashing.
+
+/// An associative array over the key universe `0..capacity` with
+/// constant-time assignment, lookup and reset.
+///
+/// ```
+/// use redet_structures::LazyArray;
+///
+/// let mut h: LazyArray<&str> = LazyArray::new(8);
+/// h.set(3, "three");
+/// assert_eq!(h.get(3), Some(&"three"));
+/// assert_eq!(h.get(4), None);
+/// h.clear(); // O(1)
+/// assert_eq!(h.get(3), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LazyArray<T> {
+    /// Values (only meaningful for active keys).
+    values: Vec<Option<T>>,
+    /// `back[k]` — index into `active` claimed by key `k`.
+    back: Vec<u32>,
+    /// `active[i]` — the key that claims slot `i` (for `i < count`).
+    active: Vec<u32>,
+    /// Number of active keys since the last reset.
+    count: u32,
+}
+
+impl<T> LazyArray<T> {
+    /// Creates a lazy array over the key universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        LazyArray {
+            values: (0..capacity).map(|_| None).collect(),
+            back: vec![0; capacity],
+            active: vec![0; capacity],
+            count: 0,
+        }
+    }
+
+    /// The size of the key universe.
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of keys assigned since the last reset.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether no key is currently assigned.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    fn is_active(&self, key: usize) -> bool {
+        let b = self.back[key];
+        b < self.count && self.active[b as usize] == key as u32
+    }
+
+    /// Assigns `value` to `key`.
+    ///
+    /// # Panics
+    /// Panics if `key ≥ capacity`.
+    pub fn set(&mut self, key: usize, value: T) {
+        if !self.is_active(key) {
+            self.back[key] = self.count;
+            self.active[self.count as usize] = key as u32;
+            self.count += 1;
+        }
+        self.values[key] = Some(value);
+    }
+
+    /// The value assigned to `key` since the last reset, if any.
+    #[inline]
+    pub fn get(&self, key: usize) -> Option<&T> {
+        if key < self.values.len() && self.is_active(key) {
+            self.values[key].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the value assigned to `key`, if any.
+    ///
+    /// The key keeps its activity slot (the structure is append-only until
+    /// the next [`Self::clear`]); a subsequent `get` returns `None`.
+    pub fn take(&mut self, key: usize) -> Option<T> {
+        if key < self.values.len() && self.is_active(key) {
+            self.values[key].take()
+        } else {
+            None
+        }
+    }
+
+    /// Forgets all assignments in constant time.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.count = 0;
+    }
+
+    /// Iterates over the currently assigned `(key, value)` pairs in
+    /// assignment order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
+        self.active[..self.count as usize]
+            .iter()
+            .filter_map(move |&k| self.values[k as usize].as_ref().map(|v| (k as usize, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn basic_set_get() {
+        let mut arr = LazyArray::new(10);
+        assert_eq!(arr.get(0), None);
+        arr.set(0, 42);
+        arr.set(9, 7);
+        assert_eq!(arr.get(0), Some(&42));
+        assert_eq!(arr.get(9), Some(&7));
+        assert_eq!(arr.get(5), None);
+        assert_eq!(arr.len(), 2);
+        arr.set(0, 43);
+        assert_eq!(arr.get(0), Some(&43));
+        assert_eq!(arr.len(), 2, "re-assignment does not grow the active set");
+    }
+
+    #[test]
+    fn clear_is_logical_reset() {
+        let mut arr = LazyArray::new(4);
+        arr.set(1, "x");
+        arr.set(2, "y");
+        arr.clear();
+        assert!(arr.is_empty());
+        for k in 0..4 {
+            assert_eq!(arr.get(k), None);
+        }
+        // Stale slots from before the reset must not resurrect values.
+        arr.set(3, "z");
+        assert_eq!(arr.get(1), None);
+        assert_eq!(arr.get(2), None);
+        assert_eq!(arr.get(3), Some(&"z"));
+    }
+
+    #[test]
+    fn take_removes_a_single_key() {
+        let mut arr = LazyArray::new(4);
+        arr.set(2, 5);
+        assert_eq!(arr.take(2), Some(5));
+        assert_eq!(arr.get(2), None);
+        assert_eq!(arr.take(2), None);
+        assert_eq!(arr.take(0), None);
+    }
+
+    #[test]
+    fn iter_yields_active_entries() {
+        let mut arr = LazyArray::new(6);
+        arr.set(4, 'a');
+        arr.set(1, 'b');
+        arr.set(4, 'c');
+        let entries: Vec<_> = arr.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(entries, vec![(4, 'c'), (1, 'b')]);
+    }
+
+    #[test]
+    fn behaves_like_a_hash_map_under_random_ops() {
+        // Deterministic pseudo-random mixed workload compared against a
+        // HashMap reference, across several resets.
+        let mut arr: LazyArray<u64> = LazyArray::new(64);
+        let mut reference: HashMap<usize, u64> = HashMap::new();
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..10_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (state >> 32) as usize % 64;
+            match state % 5 {
+                0 | 1 | 2 => {
+                    arr.set(key, step);
+                    reference.insert(key, step);
+                }
+                3 => {
+                    assert_eq!(arr.take(key), reference.remove(&key));
+                }
+                _ => {
+                    if state % 97 == 0 {
+                        arr.clear();
+                        reference.clear();
+                    }
+                }
+            }
+            assert_eq!(arr.get(key), reference.get(&key), "step {step}");
+            assert_eq!(arr.len() >= reference.len(), true);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_universe_key_panics() {
+        let mut arr = LazyArray::new(3);
+        arr.set(3, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Data-structure substrates used by the linear-time algorithms.
+//!
+//! The paper relies on three auxiliary data structures besides LCA:
+//!
+//! * **lazy arrays** (Section 4.3) — associative arrays with constant-time
+//!   initialization, assignment, lookup and reset, used to store the `h`
+//!   function of the path-decomposition matcher: [`LazyArray`];
+//! * **van Emde Boas predecessor structures** ([23], via
+//!   Muthukrishnan & Müller) — the engine behind `O(log log)` lowest
+//!   colored ancestor queries: [`VebSet`];
+//! * **lowest colored ancestor** queries (Section 4.1) — given a node
+//!   coloring of the parse tree, find the lowest ancestor of a position that
+//!   carries a given color: [`ColoredAncestors`].
+//!
+//! `ColoredAncestors` offers two backends (plain binary search and
+//! vEB-assisted predecessor search); see `DESIGN.md` for the complexity
+//! discussion of this substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colored;
+pub mod lazy_array;
+pub mod veb;
+
+pub use colored::{ColoredAncestors, PredecessorBackend};
+pub use lazy_array::LazyArray;
+pub use veb::VebSet;

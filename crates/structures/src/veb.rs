@@ -1,0 +1,483 @@
+//! A van Emde Boas set over a bounded integer universe.
+//!
+//! The lowest-colored-ancestor structure of Muthukrishnan & Müller (cited as
+//! [23] in the paper) answers predecessor queries in `O(log log u)` time by
+//! recursing on the square root of the universe. [`VebSet`] implements the
+//! classical recursive structure: a set of integers from `0..2^bits`
+//! supporting `insert`, `remove`, `contains`, `successor` and `predecessor`,
+//! all in `O(log bits) = O(log log u)` time.
+//!
+//! Small universes (≤ 64) bottom out in a single machine word, which keeps
+//! the recursion shallow and the constants reasonable.
+
+/// A set of integers from a bounded universe with `O(log log u)` predecessor
+/// and successor queries.
+///
+/// ```
+/// use redet_structures::VebSet;
+///
+/// let mut set = VebSet::with_capacity(1000);
+/// set.insert(17);
+/// set.insert(4);
+/// set.insert(900);
+/// assert_eq!(set.predecessor(16), Some(4));
+/// assert_eq!(set.predecessor(17), Some(17));
+/// assert_eq!(set.strict_successor(17), Some(900));
+/// assert_eq!(set.successor(18), Some(900));
+/// assert_eq!(set.strict_successor(900), None);
+/// ```
+#[derive(Clone, Debug)]
+pub enum VebSet {
+    /// Universe of at most 64 elements: a bitmask.
+    Leaf {
+        /// Bitmask of present elements.
+        bits: u64,
+    },
+    /// Recursive node splitting the universe into `√u` clusters of `√u`.
+    Node {
+        /// Number of bits of the lower half (cluster-internal index).
+        low_bits: u32,
+        /// Minimum element, stored out-of-band (not in any cluster).
+        min: Option<u32>,
+        /// Maximum element (also present in its cluster, unless equal min).
+        max: Option<u32>,
+        /// Summary structure over non-empty cluster indices.
+        summary: Box<VebSet>,
+        /// The clusters; allocated lazily.
+        clusters: Vec<Option<Box<VebSet>>>,
+    },
+}
+
+impl VebSet {
+    /// Creates an empty set whose universe is large enough for values
+    /// `0..=max_value`.
+    pub fn with_capacity(max_value: usize) -> Self {
+        let bits = usize::BITS - max_value.leading_zeros();
+        Self::with_universe_bits(bits.max(1))
+    }
+
+    /// Creates an empty set over the universe `0..2^bits`.
+    pub fn with_universe_bits(bits: u32) -> Self {
+        if bits <= 6 {
+            VebSet::Leaf { bits: 0 }
+        } else {
+            let low_bits = bits / 2;
+            let high_bits = bits - low_bits;
+            VebSet::Node {
+                low_bits,
+                min: None,
+                max: None,
+                summary: Box::new(VebSet::with_universe_bits(high_bits)),
+                clusters: (0..(1usize << high_bits)).map(|_| None).collect(),
+            }
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            VebSet::Leaf { bits } => *bits == 0,
+            VebSet::Node { min, .. } => min.is_none(),
+        }
+    }
+
+    /// The smallest element, if any.
+    pub fn min(&self) -> Option<u32> {
+        match self {
+            VebSet::Leaf { bits } => {
+                if *bits == 0 {
+                    None
+                } else {
+                    Some(bits.trailing_zeros())
+                }
+            }
+            VebSet::Node { min, .. } => *min,
+        }
+    }
+
+    /// The largest element, if any.
+    pub fn max(&self) -> Option<u32> {
+        match self {
+            VebSet::Leaf { bits } => {
+                if *bits == 0 {
+                    None
+                } else {
+                    Some(63 - bits.leading_zeros())
+                }
+            }
+            VebSet::Node { max, .. } => *max,
+        }
+    }
+
+    #[inline]
+    fn split(&self, x: u32) -> (usize, u32) {
+        match self {
+            VebSet::Node { low_bits, .. } => ((x >> low_bits) as usize, x & ((1 << low_bits) - 1)),
+            VebSet::Leaf { .. } => unreachable!("split on leaf"),
+        }
+    }
+
+    /// Inserts `x`. Returns whether it was newly inserted.
+    pub fn insert(&mut self, x: u32) -> bool {
+        match self {
+            VebSet::Leaf { bits } => {
+                debug_assert!(x < 64, "value outside leaf universe");
+                let mask = 1u64 << x;
+                let newly = *bits & mask == 0;
+                *bits |= mask;
+                newly
+            }
+            VebSet::Node {
+                low_bits,
+                min,
+                max,
+                summary,
+                clusters,
+            } => {
+                let mut x = x;
+                match min {
+                    None => {
+                        *min = Some(x);
+                        *max = Some(x);
+                        return true;
+                    }
+                    Some(m) if x == *m => return false,
+                    Some(m) if x < *m => {
+                        // The old minimum moves into the clusters.
+                        std::mem::swap(&mut x, m);
+                    }
+                    _ => {}
+                }
+                if Some(x) > *max {
+                    *max = Some(x);
+                }
+                let high = (x >> *low_bits) as usize;
+                let low = x & ((1u32 << *low_bits) - 1);
+                let cluster = clusters[high]
+                    .get_or_insert_with(|| Box::new(VebSet::with_universe_bits(*low_bits)));
+                if cluster.is_empty() {
+                    summary.insert(high as u32);
+                }
+                cluster.insert(low)
+            }
+        }
+    }
+
+    /// Removes `x`. Returns whether it was present.
+    pub fn remove(&mut self, x: u32) -> bool {
+        match self {
+            VebSet::Leaf { bits } => {
+                if x >= 64 {
+                    return false;
+                }
+                let mask = 1u64 << x;
+                let present = *bits & mask != 0;
+                *bits &= !mask;
+                present
+            }
+            VebSet::Node {
+                low_bits,
+                min,
+                max,
+                summary,
+                clusters,
+            } => {
+                let Some(current_min) = *min else { return false };
+                let mut x = x;
+                let was_min = x == current_min;
+                if was_min {
+                    // Pull the new minimum out of the clusters.
+                    match summary.min() {
+                        None => {
+                            *min = None;
+                            *max = None;
+                            return true;
+                        }
+                        Some(first_cluster) => {
+                            let cluster_min = clusters[first_cluster as usize]
+                                .as_ref()
+                                .and_then(|c| c.min())
+                                .expect("summary points at a non-empty cluster");
+                            let new_min = (first_cluster << *low_bits) | cluster_min;
+                            *min = Some(new_min);
+                            x = new_min; // now remove it from its cluster
+                        }
+                    }
+                }
+                let high = (x >> *low_bits) as usize;
+                let low = x & ((1u32 << *low_bits) - 1);
+                let removed = match clusters[high].as_mut() {
+                    Some(cluster) => {
+                        let r = cluster.remove(low);
+                        if cluster.is_empty() {
+                            summary.remove(high as u32);
+                        }
+                        r
+                    }
+                    None => false,
+                };
+                if !removed && !was_min {
+                    return false;
+                }
+                // If the element we deleted from the clusters was the
+                // maximum, recompute it (when `was_min`, the deleted element
+                // is the old minimum, which cannot be the maximum unless the
+                // set had a single element — handled above).
+                if !was_min && Some(x) == *max {
+                    *max = match summary.max() {
+                        None => *min,
+                        Some(last_cluster) => {
+                            let cluster_max = clusters[last_cluster as usize]
+                                .as_ref()
+                                .and_then(|c| c.max())
+                                .expect("summary points at a non-empty cluster");
+                            Some((last_cluster << *low_bits) | cluster_max)
+                        }
+                    };
+                }
+                true
+            }
+        }
+    }
+
+    /// Whether `x` is in the set.
+    pub fn contains(&self, x: u32) -> bool {
+        match self {
+            VebSet::Leaf { bits } => x < 64 && bits & (1u64 << x) != 0,
+            VebSet::Node {
+                min, max, clusters, ..
+            } => {
+                if Some(x) == *min || Some(x) == *max {
+                    return true;
+                }
+                if min.map_or(true, |m| x < m) || max.map_or(true, |m| x > m) {
+                    return false;
+                }
+                let (high, low) = self.split(x);
+                clusters[high].as_ref().is_some_and(|c| c.contains(low))
+            }
+        }
+    }
+
+    /// The largest element `≤ x`, if any.
+    pub fn predecessor(&self, x: u32) -> Option<u32> {
+        if self.contains(x) {
+            return Some(x);
+        }
+        self.strict_predecessor(x)
+    }
+
+    /// The largest element `< x`, if any.
+    pub fn strict_predecessor(&self, x: u32) -> Option<u32> {
+        match self {
+            VebSet::Leaf { bits } => {
+                if x == 0 {
+                    return None;
+                }
+                let below = if x >= 64 { *bits } else { bits & ((1u64 << x) - 1) };
+                if below == 0 {
+                    None
+                } else {
+                    Some(63 - below.leading_zeros())
+                }
+            }
+            VebSet::Node {
+                low_bits,
+                min,
+                max,
+                summary,
+                clusters,
+            } => {
+                let m = (*min)?;
+                if x <= m {
+                    return None;
+                }
+                if let Some(mx) = *max {
+                    if x > mx {
+                        return Some(mx);
+                    }
+                }
+                let (high, low) = self.split(x);
+                // Inside x's own cluster?
+                if let Some(cluster) = clusters[high].as_ref() {
+                    if let Some(cluster_min) = cluster.min() {
+                        if low > cluster_min {
+                            let p = cluster
+                                .strict_predecessor(low)
+                                .expect("min < low implies a strict predecessor");
+                            return Some(((high as u32) << *low_bits) | p);
+                        }
+                    }
+                }
+                // Otherwise the maximum of the previous non-empty cluster.
+                match summary.strict_predecessor(high as u32) {
+                    Some(prev_cluster) => {
+                        let cluster_max = clusters[prev_cluster as usize]
+                            .as_ref()
+                            .and_then(|c| c.max())
+                            .expect("summary points at a non-empty cluster");
+                        Some((prev_cluster << *low_bits) | cluster_max)
+                    }
+                    None => Some(m),
+                }
+            }
+        }
+    }
+
+    /// The smallest element `≥ x`, if any.
+    pub fn successor(&self, x: u32) -> Option<u32> {
+        if self.contains(x) {
+            return Some(x);
+        }
+        self.strict_successor(x)
+    }
+
+    /// The smallest element `> x`, if any.
+    pub fn strict_successor(&self, x: u32) -> Option<u32> {
+        match self {
+            VebSet::Leaf { bits } => {
+                if x >= 63 {
+                    return None;
+                }
+                let above = bits & !((1u64 << (x + 1)) - 1);
+                if above == 0 {
+                    None
+                } else {
+                    Some(above.trailing_zeros())
+                }
+            }
+            VebSet::Node {
+                low_bits,
+                min,
+                max,
+                summary,
+                clusters,
+            } => {
+                let m = (*min)?;
+                if x < m {
+                    return Some(m);
+                }
+                if let Some(mx) = *max {
+                    if x >= mx {
+                        return None;
+                    }
+                }
+                let (high, low) = self.split(x);
+                if let Some(cluster) = clusters[high].as_ref() {
+                    if let Some(cluster_max) = cluster.max() {
+                        if low < cluster_max {
+                            let s = cluster
+                                .strict_successor(low)
+                                .expect("max > low implies a strict successor");
+                            return Some(((high as u32) << *low_bits) | s);
+                        }
+                    }
+                }
+                match summary.strict_successor(high as u32) {
+                    Some(next_cluster) => {
+                        let cluster_min = clusters[next_cluster as usize]
+                            .as_ref()
+                            .and_then(|c| c.min())
+                            .expect("summary points at a non-empty cluster");
+                        Some((next_cluster << *low_bits) | cluster_min)
+                    }
+                    None => *max,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn reference_ops(universe: u32, seed: u64, steps: usize) {
+        let mut veb = VebSet::with_capacity(universe as usize);
+        let mut reference: BTreeSet<u32> = BTreeSet::new();
+        let mut state = seed;
+        for step in 0..steps {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 32) as u32) % (universe + 1);
+            match state % 3 {
+                0 => {
+                    assert_eq!(veb.insert(x), reference.insert(x), "insert {x} at {step}");
+                }
+                1 => {
+                    assert_eq!(veb.remove(x), reference.remove(&x), "remove {x} at {step}");
+                }
+                _ => {}
+            }
+            assert_eq!(veb.contains(x), reference.contains(&x), "contains {x}");
+            assert_eq!(
+                veb.predecessor(x),
+                reference.range(..=x).next_back().copied(),
+                "pred {x} at step {step}"
+            );
+            assert_eq!(
+                veb.strict_predecessor(x),
+                reference.range(..x).next_back().copied(),
+                "strict pred {x}"
+            );
+            assert_eq!(
+                veb.successor(x),
+                reference.range(x..).next().copied(),
+                "succ {x}"
+            );
+            assert_eq!(
+                veb.strict_successor(x),
+                reference.range(x + 1..).next().copied(),
+                "strict succ {x}"
+            );
+            assert_eq!(veb.min(), reference.iter().next().copied());
+            assert_eq!(veb.max(), reference.iter().next_back().copied());
+            assert_eq!(veb.is_empty(), reference.is_empty());
+        }
+    }
+
+    #[test]
+    fn small_universe_leaf_only() {
+        reference_ops(63, 1, 4000);
+        reference_ops(7, 2, 2000);
+    }
+
+    #[test]
+    fn medium_universe() {
+        reference_ops(1000, 3, 6000);
+        reference_ops(4095, 4, 6000);
+    }
+
+    #[test]
+    fn large_sparse_universe() {
+        reference_ops(1_000_000, 5, 4000);
+    }
+
+    #[test]
+    fn empty_set_queries() {
+        let set = VebSet::with_capacity(100);
+        assert!(set.is_empty());
+        assert_eq!(set.min(), None);
+        assert_eq!(set.max(), None);
+        assert_eq!(set.predecessor(50), None);
+        assert_eq!(set.successor(50), None);
+        assert!(!set.contains(0));
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut set = VebSet::with_capacity(255);
+        set.insert(0);
+        set.insert(255);
+        assert!(set.contains(0));
+        assert!(set.contains(255));
+        assert_eq!(set.predecessor(254), Some(0));
+        assert_eq!(set.successor(1), Some(255));
+        assert_eq!(set.strict_predecessor(0), None);
+        assert_eq!(set.strict_successor(255), None);
+        set.remove(0);
+        assert_eq!(set.min(), Some(255));
+        set.remove(255);
+        assert!(set.is_empty());
+    }
+}

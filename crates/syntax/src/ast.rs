@@ -1,0 +1,277 @@
+//! The regular expression abstract syntax tree.
+
+use crate::alphabet::Symbol;
+
+/// A regular expression over an interned alphabet (Section 2 of the paper,
+/// extended with the numeric occurrence indicators of Section 3.3).
+///
+/// The grammar is
+///
+/// ```text
+/// e ::= a            (a ∈ Σ)
+///     | e · e        (concatenation)
+///     | e + e        (union)
+///     | e?           (option)
+///     | e*           (Kleene star)
+///     | e{i,j}       (numeric occurrence indicator, 0 ≤ i ≤ j, j possibly ∞)
+/// ```
+///
+/// Expressions are plain owned trees; all derived per-node data (positions,
+/// `First`/`Last`, `SupFirst`/`SupLast`, …) is computed on the arena-based
+/// parse tree of `redet-tree`, never stored here.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// A single alphabet symbol, i.e. a *position* once the tree is marked.
+    Symbol(Symbol),
+    /// Concatenation `e1 · e2`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Union `e1 + e2`.
+    Union(Box<Regex>, Box<Regex>),
+    /// Option `e?` (`L(e?) = L(e) ∪ {ε}`).
+    Optional(Box<Regex>),
+    /// Kleene star `e*`.
+    Star(Box<Regex>),
+    /// Numeric occurrence indicator `e{min,max}`; `max = None` means `∞`.
+    ///
+    /// `e{i,j}` denotes the union of `e·e·…·e` (`k` times) for `i ≤ k ≤ j`.
+    Repeat(Box<Regex>, u32, Option<u32>),
+}
+
+impl Regex {
+    /// Builds a symbol expression.
+    pub fn symbol(sym: Symbol) -> Self {
+        Regex::Symbol(sym)
+    }
+
+    /// Concatenates `self` with `rhs`.
+    pub fn then(self, rhs: Regex) -> Self {
+        Regex::Concat(Box::new(self), Box::new(rhs))
+    }
+
+    /// Unions `self` with `rhs`.
+    pub fn or(self, rhs: Regex) -> Self {
+        Regex::Union(Box::new(self), Box::new(rhs))
+    }
+
+    /// Makes `self` optional.
+    pub fn opt(self) -> Self {
+        Regex::Optional(Box::new(self))
+    }
+
+    /// Stars `self`.
+    pub fn star(self) -> Self {
+        Regex::Star(Box::new(self))
+    }
+
+    /// `self+` — one or more repetitions, expressed as `self{1,∞}`.
+    pub fn plus(self) -> Self {
+        Regex::Repeat(Box::new(self), 1, None)
+    }
+
+    /// Numeric occurrence indicator `self{min,max}` (`max = None` for `∞`).
+    pub fn repeat(self, min: u32, max: Option<u32>) -> Self {
+        Regex::Repeat(Box::new(self), min, max)
+    }
+
+    /// Concatenation of a sequence of expressions (left-associated).
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty — the grammar has no ε expression.
+    pub fn sequence<I: IntoIterator<Item = Regex>>(parts: I) -> Self {
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("Regex::sequence needs at least one part");
+        iter.fold(first, Regex::then)
+    }
+
+    /// Union of a sequence of expressions (left-associated).
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty.
+    pub fn any_of<I: IntoIterator<Item = Regex>>(parts: I) -> Self {
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("Regex::any_of needs at least one part");
+        iter.fold(first, Regex::or)
+    }
+
+    /// Whether `ε ∈ L(self)` (the paper's *nullable* predicate).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Symbol(_) => false,
+            Regex::Concat(l, r) => l.nullable() && r.nullable(),
+            Regex::Union(l, r) => l.nullable() || r.nullable(),
+            Regex::Optional(_) | Regex::Star(_) => true,
+            Regex::Repeat(inner, min, _) => *min == 0 || inner.nullable(),
+        }
+    }
+
+    /// Number of AST nodes (the paper's `|e|` up to a constant factor).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Symbol(_) => 1,
+            Regex::Concat(l, r) | Regex::Union(l, r) => 1 + l.size() + r.size(),
+            Regex::Optional(inner) | Regex::Star(inner) | Regex::Repeat(inner, _, _) => {
+                1 + inner.size()
+            }
+        }
+    }
+
+    /// Number of positions, i.e. leaves labeled with alphabet symbols
+    /// (`|Pos(e)|`).
+    pub fn num_positions(&self) -> usize {
+        match self {
+            Regex::Symbol(_) => 1,
+            Regex::Concat(l, r) | Regex::Union(l, r) => l.num_positions() + r.num_positions(),
+            Regex::Optional(inner) | Regex::Star(inner) | Regex::Repeat(inner, _, _) => {
+                inner.num_positions()
+            }
+        }
+    }
+
+    /// Visits every subexpression in preorder.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Regex)) {
+        f(self);
+        match self {
+            Regex::Symbol(_) => {}
+            Regex::Concat(l, r) | Regex::Union(l, r) => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Regex::Optional(inner) | Regex::Star(inner) | Regex::Repeat(inner, _, _) => {
+                inner.visit(f)
+            }
+        }
+    }
+
+    /// Collects the positions (symbol occurrences) in left-to-right order.
+    pub fn positions(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Regex::Symbol(sym) = e {
+                out.push(*sym);
+            }
+        });
+        out
+    }
+
+    /// Whether the expression contains a Kleene star (including `{i,∞}`
+    /// repetitions, which have unbounded iteration like a star).
+    pub fn is_star_free(&self) -> bool {
+        match self {
+            Regex::Symbol(_) => true,
+            Regex::Concat(l, r) | Regex::Union(l, r) => l.is_star_free() && r.is_star_free(),
+            Regex::Optional(inner) => inner.is_star_free(),
+            Regex::Star(_) => false,
+            Regex::Repeat(_, _, None) => false,
+            Regex::Repeat(inner, _, Some(_)) => inner.is_star_free(),
+        }
+    }
+
+    /// Whether the expression uses numeric occurrence indicators (`{i,j}`).
+    pub fn has_counting(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Regex::Repeat(_, _, _)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+impl std::fmt::Debug for Regex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regex::Symbol(s) => write!(f, "{}", s.index()),
+            Regex::Concat(l, r) => write!(f, "({l:?}·{r:?})"),
+            Regex::Union(l, r) => write!(f, "({l:?}+{r:?})"),
+            Regex::Optional(e) => write!(f, "{e:?}?"),
+            Regex::Star(e) => write!(f, "{e:?}*"),
+            Regex::Repeat(e, min, Some(max)) => write!(f, "{e:?}{{{min},{max}}}"),
+            Regex::Repeat(e, min, None) => write!(f, "{e:?}{{{min},}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn abc() -> (Alphabet, Symbol, Symbol, Symbol) {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let b = sigma.intern("b");
+        let c = sigma.intern("c");
+        (sigma, a, b, c)
+    }
+
+    #[test]
+    fn builders_compose() {
+        let (_, a, b, c) = abc();
+        // (ab + b(b?)a)* — the paper's e1 from Example 2.1 with an extra c.
+        let e = Regex::symbol(a)
+            .then(Regex::symbol(b))
+            .or(Regex::symbol(b)
+                .then(Regex::symbol(b).opt())
+                .then(Regex::symbol(a)))
+            .star()
+            .then(Regex::symbol(c));
+        assert_eq!(e.num_positions(), 6);
+        assert!(!e.nullable());
+        assert!(!e.is_star_free());
+    }
+
+    #[test]
+    fn nullability_rules() {
+        let (_, a, b, _) = abc();
+        assert!(!Regex::symbol(a).nullable());
+        assert!(Regex::symbol(a).opt().nullable());
+        assert!(Regex::symbol(a).star().nullable());
+        assert!(Regex::symbol(a).then(Regex::symbol(b)).opt().nullable());
+        assert!(!Regex::symbol(a).then(Regex::symbol(b).opt()).nullable());
+        assert!(Regex::symbol(a).opt().then(Regex::symbol(b).star()).nullable());
+        assert!(Regex::symbol(a).or(Regex::symbol(b).opt()).nullable());
+        assert!(!Regex::symbol(a).or(Regex::symbol(b)).nullable());
+        // Numeric occurrences: e{0,j} is nullable, e{1,j} is not (for non-nullable e).
+        assert!(Regex::symbol(a).repeat(0, Some(3)).nullable());
+        assert!(!Regex::symbol(a).repeat(1, Some(3)).nullable());
+        assert!(Regex::symbol(a).opt().repeat(2, Some(3)).nullable());
+    }
+
+    #[test]
+    fn size_and_positions() {
+        let (_, a, b, _) = abc();
+        let e = Regex::symbol(a).then(Regex::symbol(b)).star();
+        assert_eq!(e.size(), 4);
+        assert_eq!(e.num_positions(), 2);
+        assert_eq!(e.positions(), vec![a, b]);
+    }
+
+    #[test]
+    fn star_freedom() {
+        let (_, a, b, _) = abc();
+        assert!(Regex::symbol(a).then(Regex::symbol(b).opt()).is_star_free());
+        assert!(!Regex::symbol(a).star().is_star_free());
+        assert!(!Regex::symbol(a).plus().is_star_free());
+        assert!(Regex::symbol(a).repeat(2, Some(5)).is_star_free());
+        assert!(!Regex::symbol(a).repeat(2, None).is_star_free());
+    }
+
+    #[test]
+    fn sequence_and_any_of() {
+        let (_, a, b, c) = abc();
+        let seq = Regex::sequence([Regex::symbol(a), Regex::symbol(b), Regex::symbol(c)]);
+        assert_eq!(seq.num_positions(), 3);
+        let alt = Regex::any_of([Regex::symbol(a), Regex::symbol(b), Regex::symbol(c)]);
+        assert_eq!(alt.num_positions(), 3);
+        assert!(matches!(alt, Regex::Union(_, _)));
+    }
+
+    #[test]
+    fn counting_detection() {
+        let (_, a, b, _) = abc();
+        assert!(!Regex::symbol(a).then(Regex::symbol(b)).has_counting());
+        assert!(Regex::symbol(a).repeat(2, Some(3)).has_counting());
+        assert!(Regex::symbol(a).plus().has_counting());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for parsing and structural validation.
+
+use std::fmt;
+
+/// An error produced while parsing the textual regular expression syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Human readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A structural error detected while normalizing or validating an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyntaxError {
+    /// A numeric occurrence indicator `e{i,j}` with `i > j`.
+    InvalidRepeatBounds {
+        /// Lower bound of the offending indicator.
+        min: u32,
+        /// Upper bound of the offending indicator.
+        max: u32,
+    },
+    /// A numeric occurrence indicator `e{0,0}`, which denotes `{ε}` and has
+    /// no counterpart in the paper's grammar (there is no ε expression).
+    EmptyRepeat,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntaxError::InvalidRepeatBounds { min, max } => {
+                write!(f, "invalid numeric occurrence bounds {{{min},{max}}}: lower bound exceeds upper bound")
+            }
+            SyntaxError::EmptyRepeat => {
+                write!(f, "numeric occurrence {{0,0}} denotes the empty word only, which the grammar cannot express")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::new(4, "unexpected ')'");
+        assert!(e.to_string().contains("offset 4"));
+        assert!(e.to_string().contains("unexpected"));
+        let s = SyntaxError::InvalidRepeatBounds { min: 3, max: 1 };
+        assert!(s.to_string().contains("{3,1}"));
+        assert!(SyntaxError::EmptyRepeat.to_string().contains("{0,0}"));
+    }
+}

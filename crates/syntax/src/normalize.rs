@@ -1,0 +1,189 @@
+//! Normalization enforcing the paper's structural restrictions.
+//!
+//! Section 2 of the paper requires of every regular expression `e` that
+//!
+//! * **(R1)** `e = (# e′) $` where `#` and `$` do not occur in `e′`;
+//! * **(R2)** `((e′)*)*` does not appear in `e`;
+//! * **(R3)** if `(e′)?` appears in `e` then `ε ∉ L(e′)`.
+//!
+//! (R1) is applied when the parse tree is built (`redet-tree`), because the
+//! phantom markers are positions of the *tree*, not alphabet symbols. This
+//! module implements the language-preserving rewriting for (R2) and (R3),
+//! together with a few equally-cheap simplifications for numeric occurrence
+//! indicators which keep the parse tree linear in the number of positions:
+//!
+//! * `(e*)* → e*`, `(e?)* → e*`, `(e*)? → e*`, `(e?)? → e?`;
+//! * `e? → e` when `e` is nullable;
+//! * `e{0,0}` is rejected ([`SyntaxError::EmptyRepeat`]);
+//! * `e{1,1} → e`, `e{0,∞} → e*`, `e{0,j} → (e{1,j})?`;
+//! * `e{i,j} → e{1,j}` rewritings are **not** applied — the bounds carry
+//!   semantics for the counting determinism test of Section 3.3.
+//!
+//! All rewritings preserve `L(e)` and never increase the size of the
+//! expression (they are single bottom-up passes, hence linear time, as the
+//! paper notes: "An arbitrary regular expression can be changed easily (in
+//! linear time) into an equivalent one of the required form").
+
+use crate::ast::Regex;
+use crate::error::SyntaxError;
+
+/// Normalizes `regex` into the (R2)/(R3)-respecting form described in the
+/// module documentation.
+pub fn normalize(regex: Regex) -> Result<Regex, SyntaxError> {
+    match regex {
+        Regex::Symbol(s) => Ok(Regex::Symbol(s)),
+        Regex::Concat(l, r) => Ok(Regex::Concat(
+            Box::new(normalize(*l)?),
+            Box::new(normalize(*r)?),
+        )),
+        Regex::Union(l, r) => Ok(Regex::Union(
+            Box::new(normalize(*l)?),
+            Box::new(normalize(*r)?),
+        )),
+        Regex::Star(inner) => {
+            let inner = normalize(*inner)?;
+            Ok(match inner {
+                // (R2): collapse directly nested iteration/optionality.
+                Regex::Star(e) | Regex::Optional(e) => Regex::Star(e),
+                other => Regex::Star(Box::new(other)),
+            })
+        }
+        Regex::Optional(inner) => {
+            let inner = normalize(*inner)?;
+            Ok(match inner {
+                // (e*)? ≡ e*, and more generally (R3): drop `?` over anything
+                // already nullable.
+                other if other.nullable() => other,
+                other => Regex::Optional(Box::new(other)),
+            })
+        }
+        Regex::Repeat(inner, min, max) => {
+            let inner = normalize(*inner)?;
+            if let Some(max) = max {
+                if min > max {
+                    return Err(SyntaxError::InvalidRepeatBounds { min, max });
+                }
+                if max == 0 {
+                    return Err(SyntaxError::EmptyRepeat);
+                }
+            }
+            Ok(match (min, max) {
+                (1, Some(1)) => inner,
+                (0, None) => normalize(Regex::Star(Box::new(inner)))?,
+                (0, Some(1)) => normalize(Regex::Optional(Box::new(inner)))?,
+                (0, max) => {
+                    let repeated = Regex::Repeat(Box::new(inner), 1, max);
+                    normalize(Regex::Optional(Box::new(repeated)))?
+                }
+                (min, max) => Regex::Repeat(Box::new(inner), min, max),
+            })
+        }
+    }
+}
+
+/// Checks whether `regex` already satisfies (R2) and (R3) without rewriting.
+///
+/// Used by downstream constructors to verify their preconditions cheaply and
+/// by property tests to validate [`normalize`].
+pub fn satisfies_r2_r3(regex: &Regex) -> bool {
+    let mut ok = true;
+    regex.visit(&mut |e| match e {
+        Regex::Star(inner) => {
+            if matches!(**inner, Regex::Star(_) | Regex::Optional(_)) {
+                ok = false;
+            }
+        }
+        Regex::Optional(inner) => {
+            if inner.nullable() {
+                ok = false;
+            }
+        }
+        Regex::Repeat(_, 0, _) | Regex::Repeat(_, 1, Some(1)) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::to_string;
+
+    fn norm(input: &str) -> String {
+        let (e, sigma) = parse(input).unwrap();
+        let e = normalize(e).unwrap();
+        assert!(satisfies_r2_r3(&e), "normalization left a violation in {input}");
+        to_string(&e, &sigma)
+    }
+
+    #[test]
+    fn r2_nested_stars_collapse() {
+        assert_eq!(norm("(a*)*"), "a*");
+        assert_eq!(norm("((a*)*)*"), "a*");
+        assert_eq!(norm("(a?)*"), "a*");
+        assert_eq!(norm("(a*)?"), "a*");
+        assert_eq!(norm("((a b)*)*"), "(a b)*");
+    }
+
+    #[test]
+    fn r3_optional_of_nullable_collapses() {
+        assert_eq!(norm("(a?)?"), "a?");
+        assert_eq!(norm("(a? b?)?"), "a? b?");
+        assert_eq!(norm("(a* b?)?"), "a* b?");
+        assert_eq!(norm("(a + b?)?"), "a + b?");
+    }
+
+    #[test]
+    fn repeats_are_canonicalized() {
+        assert_eq!(norm("a{1,1}"), "a");
+        assert_eq!(norm("a{0,}"), "a*");
+        assert_eq!(norm("a{0,1}"), "a?");
+        assert_eq!(norm("a{0,4}"), "a{1,4}?");
+        assert_eq!(norm("a{2,5}"), "a{2,5}");
+        assert_eq!(norm("(a?){2,3}"), "a?{2,3}");
+        assert_eq!(norm("a{1,}"), "a{1,}");
+    }
+
+    #[test]
+    fn invalid_repeats_are_rejected() {
+        let (e, _) = parse("a{0,0}").map(|(e, s)| (Regex::Repeat(Box::new(e), 0, Some(0)), s)).unwrap();
+        assert_eq!(normalize(e), Err(SyntaxError::EmptyRepeat));
+    }
+
+    #[test]
+    fn untouched_expressions_are_preserved() {
+        assert_eq!(norm("(a b + b b? a)*"), "(a b + b b? a)*");
+        assert_eq!(norm("(c?((a b*)(a? c)))*(b a)"), "(c? (a b* (a? c)))* (b a)");
+        assert_eq!(norm("(a b){2,2} a (b + d)"), "(a b){2} a (b + d)");
+    }
+
+    #[test]
+    fn nullability_is_preserved() {
+        for input in [
+            "(a*)*",
+            "(a?)?",
+            "a{0,3}",
+            "(a? b?)?",
+            "a{2,5}",
+            "(a + b?)?",
+            "a{1,}",
+            "((a b)*)?",
+        ] {
+            let (e, _) = parse(input).unwrap();
+            let before = e.nullable();
+            let after = normalize(e).unwrap().nullable();
+            assert_eq!(before, after, "nullability changed for {input}");
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for input in ["(a*)*", "(a?)?", "a{0,3}", "((a?)*)?", "(a b + c)?*"] {
+            let (e, _) = parse(input).unwrap();
+            let once = normalize(e).unwrap();
+            let twice = normalize(once.clone()).unwrap();
+            assert_eq!(once, twice);
+        }
+    }
+}

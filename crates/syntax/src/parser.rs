@@ -1,0 +1,419 @@
+//! Parser for the textual regular expression syntax.
+//!
+//! The concrete syntax follows the paper and common DTD/XML-Schema practice:
+//!
+//! * union is written `+` (paper style) or `|` (DTD style);
+//! * concatenation is juxtaposition (`ab`, `a b`) or a comma (`a, b`, DTD
+//!   style);
+//! * postfix operators are `*`, `?` and the numeric occurrence indicators
+//!   `{i}`, `{i,}`, `{i,j}` (XML-Schema `minOccurs`/`maxOccurs`);
+//! * symbols are identifiers (`title`, `author-name`, `a1`) or single
+//!   alphanumeric characters; multi-character identifiers must be separated
+//!   by whitespace or punctuation;
+//! * parentheses group.
+//!
+//! The characters `#` and `$` are reserved for the phantom begin/end markers
+//! introduced by restriction (R1) and are rejected by the parser.
+//!
+//! ```
+//! use redet_syntax::{parse, Regex};
+//!
+//! let (e, sigma) = parse("(a b + b b? a)*").unwrap();
+//! assert_eq!(e.num_positions(), 5);
+//! assert_eq!(sigma.len(), 2);
+//!
+//! // DTD style content model.
+//! let (e, sigma) = parse("(title, author+, year?)").unwrap();
+//! assert_eq!(e.num_positions(), 3);
+//! assert_eq!(sigma.len(), 3);
+//! ```
+
+use crate::alphabet::Alphabet;
+use crate::ast::Regex;
+use crate::error::ParseError;
+
+/// Parses `input` into an expression, interning symbols into a fresh
+/// [`Alphabet`].
+pub fn parse(input: &str) -> Result<(Regex, Alphabet), ParseError> {
+    let mut alphabet = Alphabet::new();
+    let regex = parse_with_alphabet(input, &mut alphabet)?;
+    Ok((regex, alphabet))
+}
+
+/// Parses `input`, interning symbols into the provided `alphabet`.
+///
+/// Useful when several content models (e.g. all the element declarations of
+/// one DTD) must share a single symbol space.
+pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        alphabet,
+    };
+    let expr = parser.parse_union()?;
+    if parser.pos != parser.tokens.len() {
+        let (offset, tok) = &parser.tokens[parser.pos];
+        return Err(ParseError::new(
+            *offset,
+            format!("unexpected trailing input near {tok:?}"),
+        ));
+    }
+    Ok(expr)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    LParen,
+    RParen,
+    Union,
+    Star,
+    Question,
+    Comma,
+    Repeat(u32, Option<u32>),
+    PostfixPlus,
+    Ident(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((i, Token::RParen));
+                i += 1;
+            }
+            '+' | '|' => {
+                // `+` directly after an atom/closing construct is the DTD
+                // "one or more" postfix operator; otherwise it is union.
+                let postfix = c == '+'
+                    && matches!(
+                        tokens.last(),
+                        Some((
+                            _,
+                            Token::RParen
+                                | Token::Ident(_)
+                                | Token::Star
+                                | Token::Question
+                                | Token::Repeat(_, _)
+                                | Token::PostfixPlus
+                        ))
+                    )
+                    && {
+                        // Lookahead: union must be followed by something that
+                        // starts an atom; postfix-plus is followed by an
+                        // operator, `)`, `,` or end of input.
+                        let mut j = i + 1;
+                        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                            j += 1;
+                        }
+                        j >= bytes.len()
+                            || matches!(bytes[j] as char, ')' | ',' | '|' | '+' | '*' | '?' | '{')
+                    };
+                tokens.push((i, if postfix { Token::PostfixPlus } else { Token::Union }));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((i, Token::Star));
+                i += 1;
+            }
+            '?' => {
+                tokens.push((i, Token::Question));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((i, Token::Comma));
+                i += 1;
+            }
+            '{' => {
+                let start = i;
+                let close = input[i..]
+                    .find('}')
+                    .map(|off| i + off)
+                    .ok_or_else(|| ParseError::new(i, "unterminated '{'"))?;
+                let body = &input[i + 1..close];
+                let token = parse_repeat(body)
+                    .map_err(|msg| ParseError::new(start, msg))?;
+                tokens.push((start, token));
+                i = close + 1;
+            }
+            '#' | '$' => {
+                return Err(ParseError::new(
+                    i,
+                    format!("'{c}' is reserved for the phantom begin/end markers"),
+                ));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                tokens.push((start, Token::Ident(input[start..i].to_owned())));
+            }
+            _ => {
+                return Err(ParseError::new(i, format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_repeat(body: &str) -> Result<Token, String> {
+    let body = body.trim();
+    let parse_u32 = |s: &str| -> Result<u32, String> {
+        s.trim()
+            .parse::<u32>()
+            .map_err(|_| format!("invalid repetition bound '{s}'"))
+    };
+    if let Some((lo, hi)) = body.split_once(',') {
+        let min = parse_u32(lo)?;
+        let max = if hi.trim().is_empty() {
+            None
+        } else {
+            Some(parse_u32(hi)?)
+        };
+        if let Some(max) = max {
+            if min > max {
+                return Err(format!("lower bound {min} exceeds upper bound {max}"));
+            }
+        }
+        Ok(Token::Repeat(min, max))
+    } else {
+        let n = parse_u32(body)?;
+        Ok(Token::Repeat(n, Some(n)))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn parse_union(&mut self) -> Result<Regex, ParseError> {
+        let mut expr = self.parse_concat()?;
+        while matches!(self.peek(), Some(Token::Union)) {
+            self.bump();
+            let rhs = self.parse_concat()?;
+            expr = expr.or(rhs);
+        }
+        Ok(expr)
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ParseError> {
+        let mut expr = self.parse_postfix()?;
+        loop {
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.bump();
+                    let rhs = self.parse_postfix()?;
+                    expr = expr.then(rhs);
+                }
+                Some(Token::LParen) | Some(Token::Ident(_)) => {
+                    let rhs = self.parse_postfix()?;
+                    expr = expr.then(rhs);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    expr = expr.star();
+                }
+                Some(Token::Question) => {
+                    self.bump();
+                    expr = expr.opt();
+                }
+                Some(Token::PostfixPlus) => {
+                    self.bump();
+                    expr = expr.plus();
+                }
+                Some(Token::Repeat(min, max)) => {
+                    let (min, max) = (*min, *max);
+                    self.bump();
+                    expr = expr.repeat(min, max);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::LParen) => {
+                let expr = self.parse_union()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(expr),
+                    _ => Err(ParseError::new(offset, "unbalanced '(': expected ')'")),
+                }
+            }
+            Some(Token::Ident(name)) => Ok(Regex::symbol(self.alphabet.intern(&name))),
+            Some(tok) => Err(ParseError::new(
+                offset,
+                format!("expected a symbol or '(' but found {tok:?}"),
+            )),
+            None => Err(ParseError::new(offset, "unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_2_1() {
+        // e1 = (ab + b(b?)a)* has positions a b b b a.
+        let (e, sigma) = parse("(a b + b (b?) a)*").unwrap();
+        assert_eq!(sigma.len(), 2);
+        assert_eq!(e.num_positions(), 5);
+        let names: Vec<_> = e
+            .positions()
+            .iter()
+            .map(|s| sigma.name(*s).to_owned())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "b", "b", "a"]);
+        // e2 = (a*ba + bb)*
+        let (e2, _) = parse("(a* b a + b b)*").unwrap();
+        assert_eq!(e2.num_positions(), 5);
+    }
+
+    #[test]
+    fn figure1_expression_parses() {
+        // e0 = (c?((ab*)(a?c)))*(ba)
+        let (e, sigma) = parse("(c?((a b*)(a? c)))*(b a)").unwrap();
+        assert_eq!(sigma.len(), 3);
+        assert_eq!(e.num_positions(), 7);
+    }
+
+    #[test]
+    fn dtd_style_content_model() {
+        let (e, sigma) = parse("(title, author+, (year | date)?)").unwrap();
+        assert_eq!(sigma.len(), 4);
+        assert_eq!(e.num_positions(), 4);
+        assert!(e.has_counting()); // author+ becomes author{1,∞}
+    }
+
+    #[test]
+    fn union_pipe_and_plus_are_equivalent() {
+        let (e1, _) = parse("a + b + c").unwrap();
+        let (e2, _) = parse("a | b | c").unwrap();
+        assert_eq!(format!("{e1:?}"), format!("{e2:?}"));
+    }
+
+    #[test]
+    fn postfix_plus_detection() {
+        let (e, _) = parse("a+, b").unwrap();
+        // a{1,∞} concatenated (DTD comma) with b.
+        assert!(matches!(e, Regex::Concat(_, _)));
+        assert!(e.has_counting());
+        // Without the comma and with a following atom, `+` is a union
+        // (paper convention wins over the DTD postfix reading).
+        let (e, _) = parse("a+ b").unwrap();
+        assert!(matches!(e, Regex::Union(_, _)));
+        let (e, _) = parse("a + b").unwrap();
+        // With spaces but a following atom this is a union.
+        assert!(matches!(e, Regex::Union(_, _)));
+        let (e, _) = parse("(a b)+").unwrap();
+        assert!(matches!(e, Regex::Repeat(_, 1, None)));
+    }
+
+    #[test]
+    fn numeric_occurrences() {
+        let (e, _) = parse("(a b){2,2} a (b + d)").unwrap();
+        assert_eq!(e.num_positions(), 5);
+        let (e, _) = parse("a{3}").unwrap();
+        assert!(matches!(e, Regex::Repeat(_, 3, Some(3))));
+        let (e, _) = parse("a{2,}").unwrap();
+        assert!(matches!(e, Regex::Repeat(_, 2, None)));
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("a{x}").is_err());
+        assert!(parse("a{1").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported_with_offsets() {
+        assert!(parse("(a b").is_err());
+        assert!(parse("a )").is_err());
+        assert!(parse("* a").is_err());
+        assert!(parse("a @ b").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("a # b").is_err());
+        assert!(parse("$").is_err());
+        let err = parse("a @ b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn shared_alphabet_across_models() {
+        let mut sigma = Alphabet::new();
+        let e1 = parse_with_alphabet("(a, b)", &mut sigma).unwrap();
+        let e2 = parse_with_alphabet("(b, c)", &mut sigma).unwrap();
+        assert_eq!(sigma.len(), 3);
+        assert_eq!(e1.positions()[1], e2.positions()[0]);
+    }
+
+    #[test]
+    fn multi_character_names() {
+        let (e, sigma) = parse("(chapter-title section.1)* appendix?").unwrap();
+        assert_eq!(sigma.len(), 3);
+        assert!(sigma.lookup("chapter-title").is_some());
+        assert!(sigma.lookup("section.1").is_some());
+        assert_eq!(e.num_positions(), 3);
+    }
+
+    #[test]
+    fn identifiers_are_greedy() {
+        let (e1, _) = parse("(ab)*c").unwrap();
+        let (e2, _) = parse("( a b ) * c").unwrap();
+        // "(ab)*c": `ab` is a single identifier! So these differ.
+        assert_eq!(e1.num_positions(), 2);
+        assert_eq!(e2.num_positions(), 3);
+    }
+}

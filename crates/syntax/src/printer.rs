@@ -1,0 +1,146 @@
+//! Pretty-printing of regular expressions back to the textual syntax.
+
+use crate::alphabet::Alphabet;
+use crate::ast::Regex;
+use std::fmt::Write as _;
+
+/// Renders `regex` using the names from `alphabet`.
+///
+/// The output re-parses to a structurally identical expression (round-trip
+/// property, checked by tests), emitting parentheses only where precedence
+/// requires them.
+///
+/// ```
+/// use redet_syntax::{parse, printer::to_string};
+///
+/// let (e, sigma) = parse("(a b + b b? a)*").unwrap();
+/// assert_eq!(to_string(&e, &sigma), "(a b + b b? a)*");
+/// ```
+pub fn to_string(regex: &Regex, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_expr(regex, alphabet, Prec::Union, &mut out);
+    out
+}
+
+/// Operator precedence levels, weakest binding first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Union,
+    Concat,
+    Postfix,
+}
+
+fn write_expr(regex: &Regex, alphabet: &Alphabet, ambient: Prec, out: &mut String) {
+    let own = precedence(regex);
+    let parens = own < ambient;
+    if parens {
+        out.push('(');
+    }
+    match regex {
+        Regex::Symbol(sym) => out.push_str(alphabet.name(*sym)),
+        Regex::Concat(l, r) => {
+            write_expr(l, alphabet, Prec::Concat, out);
+            out.push(' ');
+            // Parenthesize a right-nested concatenation so that the printed
+            // form re-parses to the same (left-associated) tree shape.
+            write_expr(r, alphabet, Prec::Postfix, out);
+        }
+        Regex::Union(l, r) => {
+            write_expr(l, alphabet, Prec::Union, out);
+            out.push_str(" + ");
+            // Right operand of a union must not swallow the following `+`
+            // at equal precedence; since union is associative this only
+            // affects the printed shape, which the round-trip tests pin down.
+            write_expr(r, alphabet, Prec::Concat, out);
+        }
+        Regex::Optional(inner) => {
+            write_expr(inner, alphabet, Prec::Postfix, out);
+            out.push('?');
+        }
+        Regex::Star(inner) => {
+            write_expr(inner, alphabet, Prec::Postfix, out);
+            out.push('*');
+        }
+        Regex::Repeat(inner, min, max) => {
+            write_expr(inner, alphabet, Prec::Postfix, out);
+            match max {
+                Some(max) if max == min => {
+                    let _ = write!(out, "{{{min}}}");
+                }
+                Some(max) => {
+                    let _ = write!(out, "{{{min},{max}}}");
+                }
+                None => {
+                    let _ = write!(out, "{{{min},}}");
+                }
+            }
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+fn precedence(regex: &Regex) -> Prec {
+    match regex {
+        Regex::Union(_, _) => Prec::Union,
+        Regex::Concat(_, _) => Prec::Concat,
+        Regex::Symbol(_) | Regex::Optional(_) | Regex::Star(_) | Regex::Repeat(_, _, _) => {
+            Prec::Postfix
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trips(input: &str) {
+        let (e, sigma) = parse(input).unwrap();
+        let printed = to_string(&e, &sigma);
+        let (reparsed, _) = parse(&printed).unwrap();
+        assert_eq!(
+            format!("{e:?}"),
+            format!("{reparsed:?}"),
+            "round trip failed for {input:?} printed as {printed:?}"
+        );
+    }
+
+    #[test]
+    fn round_trip_paper_examples() {
+        round_trips("(a b + b (b?) a)*");
+        round_trips("(a* b a + b b)*");
+        round_trips("(c?((a b*)(a? c)))*(b a)");
+        round_trips("(a b){2,2} a (b + d)");
+        round_trips("((a{2,3} + b){2}){2} b");
+        round_trips("a? b? c? d?");
+        round_trips("(title, author+, (year | date)?)");
+    }
+
+    #[test]
+    fn round_trip_nested_unions() {
+        round_trips("a + b c + d*");
+        round_trips("(a + b) (c + d)");
+        round_trips("a + (b + c) + d");
+        round_trips("((a + b)? (c d)*){1,4}");
+    }
+
+    #[test]
+    fn minimal_parentheses() {
+        let (e, sigma) = parse("(a + b) c*").unwrap();
+        assert_eq!(to_string(&e, &sigma), "(a + b) c*");
+        let (e, sigma) = parse("a (b c)").unwrap();
+        assert_eq!(to_string(&e, &sigma), "a (b c)");
+        let (e, sigma) = parse("a b c").unwrap();
+        assert_eq!(to_string(&e, &sigma), "a b c");
+        let (e, sigma) = parse("((a))").unwrap();
+        assert_eq!(to_string(&e, &sigma), "a");
+    }
+
+    #[test]
+    fn repeat_rendering() {
+        let (e, sigma) = parse("a{3} b{2,} c{1,5}").unwrap();
+        assert_eq!(to_string(&e, &sigma), "a{3} b{2,} c{1,5}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Structural statistics of expressions used to pick matching algorithms.
+//!
+//! The paper's matching results are parameterized by structural properties of
+//! the expression:
+//!
+//! * `k` — the maximal number of occurrences of any one symbol
+//!   (*k-occurrence*, Theorem 4.3);
+//! * `c_e` — the maximal depth of alternating union and concatenation
+//!   operators (Theorem 4.10; reported to be ≤ 4 in real-world DTDs);
+//! * star-freedom (Theorem 4.12);
+//! * the number of distinct symbols `σ` (the Glushkov baseline is `O(σ|e|)`).
+//!
+//! [`ExprStats`] computes all of them in one linear pass so that the facade
+//! in `redet-core` can select the cheapest applicable algorithm.
+
+use crate::ast::Regex;
+use std::collections::HashMap;
+
+/// Structural statistics of a regular expression, computed in one pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExprStats {
+    /// Number of AST nodes `|e|`.
+    pub size: usize,
+    /// Number of positions `|Pos(e)|`.
+    pub positions: usize,
+    /// Number of distinct symbols occurring in the expression (`σ`).
+    pub distinct_symbols: usize,
+    /// Maximal number of occurrences of any single symbol (the `k` of
+    /// *k-occurrence*); `0` only for the impossible empty expression.
+    pub max_occurrences: usize,
+    /// Maximal depth of alternating `+` and `·` operators (`c_e`).
+    pub plus_depth: usize,
+    /// Whether the expression is star-free (no `*`, no unbounded `{i,∞}`).
+    pub star_free: bool,
+    /// Whether the expression uses numeric occurrence indicators.
+    pub counting: bool,
+    /// Whether `ε ∈ L(e)`.
+    pub nullable: bool,
+}
+
+impl ExprStats {
+    /// Computes the statistics of `regex`.
+    pub fn of(regex: &Regex) -> Self {
+        let mut occurrences: HashMap<crate::Symbol, usize> = HashMap::new();
+        regex.visit(&mut |e| {
+            if let Regex::Symbol(sym) = e {
+                *occurrences.entry(*sym).or_insert(0) += 1;
+            }
+        });
+        ExprStats {
+            size: regex.size(),
+            positions: regex.num_positions(),
+            distinct_symbols: occurrences.len(),
+            max_occurrences: occurrences.values().copied().max().unwrap_or(0),
+            plus_depth: plus_depth(regex),
+            star_free: regex.is_star_free(),
+            counting: regex.has_counting(),
+            nullable: regex.nullable(),
+        }
+    }
+
+    /// Whether the expression is a *single occurrence* regular expression
+    /// (1-ORE): no symbol appears more than once. 1-OREs are always
+    /// deterministic (Section 1, Related Work).
+    pub fn is_single_occurrence(&self) -> bool {
+        self.max_occurrences <= 1
+    }
+
+    /// Whether the expression is k-occurrence for the given `k`.
+    pub fn is_k_occurrence(&self, k: usize) -> bool {
+        self.max_occurrences <= k
+    }
+}
+
+/// Computes `c_e`, the maximal number of alternations between union and
+/// concatenation operators along any root-to-leaf path.
+///
+/// Following the paper (end of Section 1 and Section 4.3) we count the depth
+/// of alternating `+` / `·` blocks: a maximal run of equal operators counts
+/// once, and unary operators (`?`, `*`, `{i,j}`) are transparent.
+pub fn plus_depth(regex: &Regex) -> usize {
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Ctx {
+        None,
+        Union,
+        Concat,
+    }
+
+    fn go(regex: &Regex, ctx: Ctx, depth: usize) -> usize {
+        match regex {
+            Regex::Symbol(_) => depth,
+            Regex::Optional(inner) | Regex::Star(inner) | Regex::Repeat(inner, _, _) => {
+                go(inner, ctx, depth)
+            }
+            Regex::Union(l, r) => {
+                let (ctx, depth) = if ctx == Ctx::Union {
+                    (ctx, depth)
+                } else {
+                    (Ctx::Union, depth + 1)
+                };
+                go(l, ctx, depth).max(go(r, ctx, depth))
+            }
+            Regex::Concat(l, r) => {
+                let (ctx, depth) = if ctx == Ctx::Concat {
+                    (ctx, depth)
+                } else {
+                    (Ctx::Concat, depth + 1)
+                };
+                go(l, ctx, depth).max(go(r, ctx, depth))
+            }
+        }
+    }
+
+    go(regex, Ctx::None, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn stats(input: &str) -> ExprStats {
+        let (e, _) = parse(input).unwrap();
+        ExprStats::of(&e)
+    }
+
+    #[test]
+    fn basic_counts() {
+        let s = stats("(a b + b b? a)*");
+        assert_eq!(s.size, 11);
+        assert_eq!(s.positions, 5);
+        assert_eq!(s.distinct_symbols, 2);
+        assert_eq!(s.max_occurrences, 3);
+        assert!(!s.star_free);
+        assert!(s.nullable);
+        assert!(!s.counting);
+        assert!(!s.is_single_occurrence());
+        assert!(s.is_k_occurrence(3));
+        assert!(!s.is_k_occurrence(2));
+    }
+
+    #[test]
+    fn single_occurrence_detection() {
+        let s = stats("(title, author, (year | date)?)");
+        assert!(s.is_single_occurrence());
+        assert_eq!(s.distinct_symbols, 4);
+        assert!(s.star_free);
+    }
+
+    #[test]
+    fn plus_depth_counts_alternations() {
+        // A single union or concatenation block counts 1.
+        assert_eq!(stats("a + b + c").plus_depth, 1);
+        assert_eq!(stats("a b c d").plus_depth, 1);
+        // Alternating + over · over + gives 3; unary operators are transparent.
+        assert_eq!(stats("a (b + c)").plus_depth, 2);
+        assert_eq!(stats("a + b c").plus_depth, 2);
+        assert_eq!(stats("(a (b + c d))*").plus_depth, 3);
+        assert_eq!(stats("(a (b + c (d + e f)))*").plus_depth, 5);
+        assert_eq!(stats("a").plus_depth, 0);
+        assert_eq!(stats("a*").plus_depth, 0);
+        // CHARE shape: sequence of starred unions — depth 2.
+        assert_eq!(stats("(a + b)* (c + d)? e").plus_depth, 2);
+    }
+
+    #[test]
+    fn figure2_has_plus_depth_4() {
+        // The Figure 2 expression is reported in Example 4.4 to have c_e = 4.
+        let s = stats("(a? (b? (c + (d + e (a f?)){0,1} (b? (c? (d? (e + (f (g a* (b? h?))*)*)))))))");
+        assert!(s.plus_depth >= 3, "alternation depth was {}", s.plus_depth);
+    }
+
+    #[test]
+    fn mixed_content_shape() {
+        let s = stats("(a0 + a1 + a2 + a3 + a4)*");
+        assert_eq!(s.distinct_symbols, 5);
+        assert!(s.is_single_occurrence());
+        assert_eq!(s.plus_depth, 1);
+    }
+
+    #[test]
+    fn counting_statistics() {
+        let s = stats("(a b){2,2} a (b + d)");
+        assert!(s.counting);
+        assert!(s.star_free);
+        assert_eq!(s.max_occurrences, 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! The preprocessed bundle: parse tree + LCA + node properties, offering the
+//! constant-time `checkIfFollow` primitive of Theorem 2.4.
+
+use crate::lca::Lca;
+use crate::node::{NodeId, NodeKind, PosId};
+use crate::parse_tree::ParseTree;
+use crate::props::NodeProps;
+use redet_syntax::{Regex, Symbol};
+
+/// How a position `q` follows a position `p` (Lemma 2.2): through a
+/// concatenation node, through an iterating node (`∗` / `{i,j}` with
+/// `j ≥ 2`), or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FollowKind {
+    /// `q ∈ Follow·(p)`: via the concatenation at `LCA(p, q)`.
+    Concat,
+    /// `q ∈ Follow∗(p)`: via the lowest iterating ancestor of `LCA(p, q)`.
+    Star,
+    /// Both conditions of Lemma 2.2 hold simultaneously.
+    Both,
+}
+
+/// A parse tree preprocessed in `O(|e|)` time for constant-time structural
+/// queries (Theorem 2.4).
+///
+/// This is the substrate shared by the determinism test and all matchers:
+/// it owns the [`ParseTree`], the [`Lca`] structure, and the [`NodeProps`].
+///
+/// ```
+/// use redet_syntax::parse;
+/// use redet_tree::TreeAnalysis;
+///
+/// let (e, sigma) = parse("(a b + b b? a)*").unwrap();
+/// let analysis = TreeAnalysis::build(&e);
+/// let tree = analysis.tree();
+/// let b3 = tree.positions_of_symbol(sigma.lookup("b").unwrap())[1];
+/// let b4 = tree.positions_of_symbol(sigma.lookup("b").unwrap())[2];
+/// let a5 = tree.positions_of_symbol(sigma.lookup("a").unwrap())[1];
+/// // Follow(p3) = {p4, p5} in Example 2.1.
+/// assert!(analysis.check_if_follow(b3, b4));
+/// assert!(analysis.check_if_follow(b3, a5));
+/// assert!(!analysis.check_if_follow(b4, b3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreeAnalysis {
+    tree: ParseTree,
+    lca: Lca,
+    props: NodeProps,
+}
+
+impl TreeAnalysis {
+    /// Builds the parse tree of `regex` (adding the R1 markers) and
+    /// preprocesses it. `O(|regex|)`.
+    pub fn build(regex: &Regex) -> Self {
+        Self::from_tree(ParseTree::build(regex))
+    }
+
+    /// Preprocesses an already-built parse tree.
+    pub fn from_tree(tree: ParseTree) -> Self {
+        let lca = Lca::new(&tree);
+        let props = NodeProps::compute(&tree);
+        TreeAnalysis { tree, lca, props }
+    }
+
+    /// The underlying parse tree.
+    #[inline]
+    pub fn tree(&self) -> &ParseTree {
+        &self.tree
+    }
+
+    /// The node properties (nullability, SupFirst/SupLast, pointers).
+    #[inline]
+    pub fn props(&self) -> &NodeProps {
+        &self.props
+    }
+
+    /// The LCA structure.
+    #[inline]
+    pub fn lca(&self) -> &Lca {
+        &self.lca
+    }
+
+    /// The lowest common ancestor of two positions' leaves.
+    #[inline]
+    pub fn lca_of_positions(&self, p: PosId, q: PosId) -> NodeId {
+        self.lca.query(self.tree.pos_node(p), self.tree.pos_node(q))
+    }
+
+    /// Theorem 2.4: whether `q ∈ Follow(p)`, in constant time.
+    #[inline]
+    pub fn check_if_follow(&self, p: PosId, q: PosId) -> bool {
+        self.follow_kind(p, q).is_some()
+    }
+
+    /// Like [`Self::check_if_follow`], but reports *how* `q` follows `p`
+    /// (Lemma 2.2), or `None` if it does not.
+    pub fn follow_kind(&self, p: PosId, q: PosId) -> Option<FollowKind> {
+        let pnode = self.tree.pos_node(p);
+        let qnode = self.tree.pos_node(q);
+        let n = self.lca.query(pnode, qnode);
+
+        // Case (1): lab(n) = ·, q ∈ First(Rchild(n)), p ∈ Last(Lchild(n)).
+        let via_concat = if self.tree.kind(n) == NodeKind::Concat {
+            let lchild = self.tree.lchild(n).expect("concat has children");
+            let rchild = self.tree.rchild(n).expect("concat has children");
+            self.props.in_first(&self.tree, q, rchild) && self.props.in_last(&self.tree, p, lchild)
+        } else {
+            false
+        };
+
+        // Case (2): q ∈ First(s) and p ∈ Last(s) for s the lowest iterating
+        // ancestor of n.
+        let via_star = match self.props.p_star(n) {
+            Some(s) => {
+                self.props.in_first(&self.tree, q, s) && self.props.in_last(&self.tree, p, s)
+            }
+            None => false,
+        };
+
+        match (via_concat, via_star) {
+            (true, true) => Some(FollowKind::Both),
+            (true, false) => Some(FollowKind::Concat),
+            (false, true) => Some(FollowKind::Star),
+            (false, false) => None,
+        }
+    }
+
+    /// Whether `q` follows `p` through a concatenation (Lemma 2.2, case 1).
+    #[inline]
+    pub fn follows_via_concat(&self, p: PosId, q: PosId) -> bool {
+        matches!(
+            self.follow_kind(p, q),
+            Some(FollowKind::Concat) | Some(FollowKind::Both)
+        )
+    }
+
+    /// Whether `q` follows `p` through an iterating node (Lemma 2.2, case 2).
+    #[inline]
+    pub fn follows_via_star(&self, p: PosId, q: PosId) -> bool {
+        matches!(
+            self.follow_kind(p, q),
+            Some(FollowKind::Star) | Some(FollowKind::Both)
+        )
+    }
+
+    /// Whether the whole expression is nullable (`ε ∈ L(e′)`).
+    #[inline]
+    pub fn expr_nullable(&self) -> bool {
+        self.props.nullable(self.tree.expr_root())
+    }
+
+    /// Whether the word consisting of the single position `p` can end a
+    /// match, i.e. whether the phantom end marker `$` follows `p`.
+    #[inline]
+    pub fn can_end_at(&self, p: PosId) -> bool {
+        self.check_if_follow(p, self.tree.end_pos())
+    }
+
+    /// Positions labeled with `sym` (delegates to the parse tree).
+    #[inline]
+    pub fn positions_of_symbol(&self, sym: Symbol) -> &[PosId] {
+        self.tree.positions_of_symbol(sym)
+    }
+
+    /// Enumerates `Follow(p)` by testing every position. `O(|Pos(e)|)` per
+    /// call — a diagnostic/testing helper, not used by the fast algorithms.
+    pub fn follow_set_naive(&self, p: PosId) -> Vec<PosId> {
+        (0..self.tree.num_positions())
+            .map(PosId::from_index)
+            .filter(|&q| self.check_if_follow(p, q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_syntax::parse;
+    use std::collections::BTreeSet;
+
+    fn setup(input: &str) -> (TreeAnalysis, redet_syntax::Alphabet) {
+        let (e, sigma) = parse(input).unwrap();
+        (TreeAnalysis::build(&e), sigma)
+    }
+
+    /// Reference Follow relation computed with the classical syntax-directed
+    /// Glushkov recursion (independent of Lemma 2.2 / LCA machinery).
+    fn follow_naive(analysis: &TreeAnalysis) -> BTreeSet<(PosId, PosId)> {
+        let tree = analysis.tree();
+        let props = analysis.props();
+        let mut follow = BTreeSet::new();
+        for n in tree.node_ids() {
+            let (iterates, concat) = match tree.kind(n) {
+                NodeKind::Concat => (false, true),
+                k if k.is_iterating() => (true, false),
+                _ => (false, false),
+            };
+            if concat {
+                let l = tree.lchild(n).unwrap();
+                let r = tree.rchild(n).unwrap();
+                for p in props.last_set(tree, l) {
+                    for q in props.first_set(tree, r) {
+                        follow.insert((p, q));
+                    }
+                }
+            }
+            if iterates {
+                for p in props.last_set(tree, n) {
+                    for q in props.first_set(tree, n) {
+                        follow.insert((p, q));
+                    }
+                }
+            }
+        }
+        follow
+    }
+
+    fn check_follow_agrees(input: &str) {
+        let (analysis, _) = setup(input);
+        let expected = follow_naive(&analysis);
+        let m = analysis.tree().num_positions();
+        for p in 0..m {
+            for q in 0..m {
+                let (p, q) = (PosId::from_index(p), PosId::from_index(q));
+                assert_eq!(
+                    analysis.check_if_follow(p, q),
+                    expected.contains(&(p, q)),
+                    "checkIfFollow({p:?},{q:?}) disagrees on {input}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_4_on_paper_expressions() {
+        for input in [
+            "a",
+            "a b",
+            "a + b",
+            "(a b + b b? a)*",
+            "(a* b a + b b)*",
+            "(c?((a b*)(a? c)))*(b a)",
+            "(c (b? a?)) a",
+            "(c (a? b?)) a",
+            "(c (b? a)*) a",
+            "(c (b? a)) a",
+            "(a (b? a))*",
+            "(a (b? a?))*",
+            "a? b? c? d?",
+            "(a0 + a1 + a2 + a3)*",
+            "((a + b)* c)* d",
+            "(a b){2,3} c",
+            "(a{2,5} + b)* c",
+            "(x (a b)* y)*",
+        ] {
+            check_follow_agrees(input);
+        }
+    }
+
+    #[test]
+    fn example_2_1_follow_sets() {
+        // e1 = (ab + b(b?)a)*: Follow(p3) = {p4, p5}.
+        let (analysis, _) = setup("(a b + b (b?) a)*");
+        let p = |i: usize| PosId::from_index(i); // p0 = #, p1..p5 = positions, p6 = $
+        let follow_p3: Vec<_> = analysis
+            .follow_set_naive(p(3))
+            .into_iter()
+            .filter(|q| *q != analysis.tree().end_pos())
+            .collect();
+        assert_eq!(follow_p3, vec![p(4), p(5)]);
+
+        // e2 = (a*ba + bb)*: Follow(q3) = {q1, q2, q4}.
+        let (analysis2, _) = setup("(a* b a + b b)*");
+        let follow_q3: Vec<_> = analysis2
+            .follow_set_naive(p(3))
+            .into_iter()
+            .filter(|q| *q != analysis2.tree().end_pos())
+            .collect();
+        assert_eq!(follow_q3, vec![p(1), p(2), p(4)]);
+    }
+
+    #[test]
+    fn figure1_follow_examples() {
+        // In e0 (Figure 1): p4 ∈ Follow·(p3) and p1 ∈ Follow∗(p5).
+        let (analysis, _) = setup("(c?((a b*)(a? c)))*(b a)");
+        let p = PosId::from_index;
+        assert!(analysis.follows_via_concat(p(3), p(4)));
+        assert!(analysis.follows_via_star(p(5), p(1)));
+        assert!(!analysis.follows_via_concat(p(5), p(1)));
+    }
+
+    #[test]
+    fn begin_and_end_markers() {
+        let (analysis, sigma) = setup("(a b)*");
+        let begin = analysis.tree().begin_pos();
+        let a1 = analysis.tree().positions_of_symbol(sigma.lookup("a").unwrap())[0];
+        let b2 = analysis.tree().positions_of_symbol(sigma.lookup("b").unwrap())[0];
+        // # is followed by First(e′) and, since e′ is nullable, by $.
+        assert!(analysis.check_if_follow(begin, a1));
+        assert!(!analysis.check_if_follow(begin, b2));
+        assert!(analysis.check_if_follow(begin, analysis.tree().end_pos()));
+        assert!(analysis.expr_nullable());
+        // b can end a word, a cannot.
+        assert!(analysis.can_end_at(b2));
+        assert!(!analysis.can_end_at(a1));
+    }
+
+    #[test]
+    fn self_follow_through_star() {
+        let (analysis, _) = setup("a*");
+        let a = PosId::from_index(1);
+        assert_eq!(analysis.follow_kind(a, a), Some(FollowKind::Star));
+        let (analysis, _) = setup("a b");
+        let a = PosId::from_index(1);
+        assert_eq!(analysis.follow_kind(a, a), None);
+    }
+
+    #[test]
+    fn follow_kind_both() {
+        // In (a b)* with p = b, q = a: q follows p only via the star.
+        // In (a a)* with p = a1, q = a2: via concat; and a2 -> a1 via star.
+        let (analysis, _) = setup("(a b?)*");
+        let a = PosId::from_index(1);
+        let b = PosId::from_index(2);
+        // b? is nullable so a follows a via star; b follows a via concat.
+        assert_eq!(analysis.follow_kind(a, b), Some(FollowKind::Concat));
+        assert_eq!(analysis.follow_kind(a, a), Some(FollowKind::Star));
+        assert_eq!(analysis.follow_kind(b, a), Some(FollowKind::Star));
+    }
+
+    #[test]
+    fn repeat_nodes_follow_like_stars_when_they_iterate() {
+        let (analysis, _) = setup("(a b){2,4} c");
+        let a = PosId::from_index(1);
+        let b = PosId::from_index(2);
+        let c = PosId::from_index(3);
+        assert!(analysis.check_if_follow(b, a), "iteration edge");
+        assert!(analysis.check_if_follow(b, c), "exit edge");
+        assert!(analysis.check_if_follow(a, b));
+        assert!(!analysis.check_if_follow(a, c));
+    }
+}

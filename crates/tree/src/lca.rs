@@ -1,0 +1,168 @@
+//! Constant-time lowest-common-ancestor queries.
+//!
+//! After linear-time preprocessing ([Harel & Tarjan; Bender et al.], cited as
+//! [1, 15] in the paper) LCA queries are answered in constant time. The
+//! construction is the classical reduction to ±1 RMQ over the depth sequence
+//! of an Euler tour of the tree.
+
+use crate::node::NodeId;
+use crate::parse_tree::ParseTree;
+use crate::rmq::{PlusMinusOneRmq, RangeMin};
+
+/// Preprocessed lowest-common-ancestor structure over a [`ParseTree`].
+///
+/// ```
+/// use redet_syntax::parse;
+/// use redet_tree::{Lca, ParseTree};
+///
+/// let (e, _) = parse("(a b)* c").unwrap();
+/// let tree = ParseTree::build(&e);
+/// let lca = Lca::new(&tree);
+/// let positions = tree.positions();
+/// let l = lca.query(positions[1], positions[2]); // LCA of the a and b leaves
+/// assert!(tree.is_ancestor(l, positions[1]));
+/// assert!(tree.is_ancestor(l, positions[2]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lca {
+    /// Euler tour of node ids (2·n − 1 entries).
+    euler: Vec<NodeId>,
+    /// First occurrence of each node in the Euler tour.
+    first_occurrence: Vec<u32>,
+    /// ±1 RMQ over the depth sequence of the Euler tour.
+    rmq: PlusMinusOneRmq,
+}
+
+impl Lca {
+    /// Preprocesses `tree` in `O(|tree|)` time.
+    pub fn new(tree: &ParseTree) -> Self {
+        let n = tree.num_nodes();
+        let mut euler = Vec::with_capacity(2 * n);
+        let mut depths = Vec::with_capacity(2 * n);
+        let mut first_occurrence = vec![u32::MAX; n];
+
+        // Iterative Euler tour: (node, next child index to visit).
+        let mut stack: Vec<(NodeId, u8)> = vec![(tree.root(), 0)];
+        while let Some((node, child_idx)) = stack.pop() {
+            if child_idx == 0 && first_occurrence[node.index()] == u32::MAX {
+                first_occurrence[node.index()] = euler.len() as u32;
+            }
+            euler.push(node);
+            depths.push(tree.depth(node));
+            let child = match child_idx {
+                0 => tree.lchild(node),
+                1 => tree.rchild(node),
+                _ => None,
+            };
+            match child {
+                Some(c) => {
+                    stack.push((node, child_idx + 1));
+                    stack.push((c, 0));
+                }
+                None => {
+                    // If we were about to visit a right child that does not
+                    // exist, do not revisit the node again: only re-push when
+                    // a further child might exist.
+                    if child_idx == 0 && tree.rchild(node).is_some() {
+                        // Unary node stored its single child as lchild = None?
+                        // (cannot happen: rchild implies lchild); kept for
+                        // completeness.
+                        stack.push((node, 1));
+                    }
+                }
+            }
+        }
+
+        Lca {
+            euler,
+            first_occurrence,
+            rmq: PlusMinusOneRmq::new(depths),
+        }
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    #[inline]
+    pub fn query(&self, u: NodeId, v: NodeId) -> NodeId {
+        let fu = self.first_occurrence[u.index()] as usize;
+        let fv = self.first_occurrence[v.index()] as usize;
+        let (lo, hi) = if fu <= fv { (fu, fv) } else { (fv, fu) };
+        self.euler[self.rmq.query(lo, hi)]
+    }
+
+    /// Length of the Euler tour (exposed for tests and diagnostics).
+    pub fn tour_len(&self) -> usize {
+        self.euler.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_syntax::parse;
+
+    fn tree(input: &str) -> ParseTree {
+        let (e, _) = parse(input).unwrap();
+        ParseTree::build(&e)
+    }
+
+    fn check_against_naive(t: &ParseTree) {
+        let lca = Lca::new(t);
+        for u in t.node_ids() {
+            for v in t.node_ids() {
+                assert_eq!(
+                    lca.query(u, v),
+                    t.lca_naive(u, v),
+                    "LCA({u:?},{v:?}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_paper_expressions() {
+        for input in [
+            "a",
+            "a b",
+            "(a b + b b? a)*",
+            "(a* b a + b b)*",
+            "(c?((a b*)(a? c)))*(b a)",
+            "(a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7)*",
+            "a? b? c? d? e? f? g? h?",
+            "((((a b) c) d) e) f",
+            "a (b (c (d (e f))))",
+        ] {
+            check_against_naive(&tree(input));
+        }
+    }
+
+    #[test]
+    fn lca_of_node_with_itself() {
+        let t = tree("(a b)* c");
+        let lca = Lca::new(&t);
+        for n in t.node_ids() {
+            assert_eq!(lca.query(n, n), n);
+        }
+    }
+
+    #[test]
+    fn lca_with_ancestor_is_the_ancestor() {
+        let t = tree("(c?((a b*)(a? c)))*(b a)");
+        let lca = Lca::new(&t);
+        for n in t.node_ids() {
+            let mut cur = Some(n);
+            while let Some(x) = cur {
+                assert_eq!(lca.query(n, x), x);
+                assert_eq!(lca.query(x, n), x);
+                cur = t.parent(x);
+            }
+        }
+    }
+
+    #[test]
+    fn tour_has_expected_length() {
+        let t = tree("(a b)* c");
+        let lca = Lca::new(&t);
+        // Euler tour of a tree with n nodes and n-1 edges has 2n-1 entries.
+        assert_eq!(lca.tour_len(), 2 * t.num_nodes() - 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Node and position identifiers and node labels of the parse tree.
+
+use redet_syntax::Symbol;
+use std::fmt;
+
+/// Identifier of a node of a [`crate::ParseTree`].
+///
+/// Node ids are dense indices in *preorder* (document order): `NodeId(0)` is
+/// the root, and for any node its id is smaller than the ids of all its
+/// descendants. This makes ancestor tests and "document order" comparisons a
+/// simple integer comparison against subtree intervals.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a raw index (used by sibling crates that build
+    /// per-node tables).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("parse tree larger than u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a *position* (a leaf of the parse tree), in left-to-right
+/// order. `PosId(0)` is always the phantom begin marker `#`, and the largest
+/// position id is the phantom end marker `$` (restriction R1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PosId(pub(crate) u32);
+
+impl PosId {
+    /// Raw index of this position.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a position id from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        PosId(u32::try_from(index).expect("too many positions"))
+    }
+}
+
+impl fmt::Debug for PosId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The label of a parse-tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// The phantom begin marker `#` introduced by restriction (R1).
+    Begin,
+    /// The phantom end marker `$` introduced by restriction (R1).
+    End,
+    /// A position labeled with an alphabet symbol.
+    Position(Symbol),
+    /// Concatenation `·`.
+    Concat,
+    /// Union `+`.
+    Union,
+    /// Option `?`.
+    Optional,
+    /// Kleene star `∗`.
+    Star,
+    /// Numeric occurrence indicator `{min, max}` (`max = None` means `∞`).
+    Repeat(u32, Option<u32>),
+}
+
+impl NodeKind {
+    /// Whether this node is a leaf of the parse tree (a position or a
+    /// phantom marker).
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        matches!(self, NodeKind::Begin | NodeKind::End | NodeKind::Position(_))
+    }
+
+    /// Whether this node is a position labeled with an alphabet symbol
+    /// (phantom markers excluded).
+    #[inline]
+    pub fn symbol(self) -> Option<Symbol> {
+        match self {
+            NodeKind::Position(sym) => Some(sym),
+            _ => None,
+        }
+    }
+
+    /// Whether this node allows its subexpression to iterate at least twice,
+    /// i.e. whether `Follow` edges can loop through it (a `∗` node, or a
+    /// numeric occurrence with an upper bound of at least 2).
+    #[inline]
+    pub fn is_iterating(self) -> bool {
+        match self {
+            NodeKind::Star => true,
+            NodeKind::Repeat(_, None) => true,
+            NodeKind::Repeat(_, Some(max)) => max >= 2,
+            _ => false,
+        }
+    }
+
+    /// Whether this node is a binary operator.
+    #[inline]
+    pub fn is_binary(self) -> bool {
+        matches!(self, NodeKind::Concat | NodeKind::Union)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Begin.is_leaf());
+        assert!(NodeKind::End.is_leaf());
+        assert!(NodeKind::Position(Symbol::from_index(0)).is_leaf());
+        assert!(!NodeKind::Concat.is_leaf());
+        assert_eq!(
+            NodeKind::Position(Symbol::from_index(3)).symbol(),
+            Some(Symbol::from_index(3))
+        );
+        assert_eq!(NodeKind::Begin.symbol(), None);
+        assert!(NodeKind::Star.is_iterating());
+        assert!(NodeKind::Repeat(2, Some(2)).is_iterating());
+        assert!(NodeKind::Repeat(1, None).is_iterating());
+        assert!(!NodeKind::Repeat(1, Some(1)).is_iterating());
+        assert!(!NodeKind::Optional.is_iterating());
+        assert!(NodeKind::Concat.is_binary());
+        assert!(NodeKind::Union.is_binary());
+        assert!(!NodeKind::Star.is_binary());
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(PosId::from_index(3).index(), 3);
+        assert_eq!(format!("{:?}", NodeId::from_index(2)), "n2");
+        assert_eq!(format!("{:?}", PosId::from_index(2)), "p2");
+    }
+}

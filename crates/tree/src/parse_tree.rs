@@ -1,0 +1,472 @@
+//! Arena representation of the parse tree of a regular expression.
+
+use crate::node::{NodeId, NodeKind, PosId};
+use redet_syntax::{Regex, Symbol};
+
+/// A single node of the parse tree.
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    lchild: Option<NodeId>,
+    rchild: Option<NodeId>,
+    /// Exclusive end of this node's preorder interval: the subtree rooted at
+    /// node `n` is exactly the ids `n.index() .. subtree_end`.
+    subtree_end: u32,
+    depth: u32,
+    /// Position index if this node is a leaf.
+    pos: Option<PosId>,
+}
+
+/// The parse tree of a regular expression, wrapped into the `(# e′) $` form
+/// of restriction (R1).
+///
+/// Nodes are stored in an arena indexed by [`NodeId`] in preorder, so
+/// ancestor tests reduce to interval containment and "document order" is id
+/// order. Leaves are the *positions* of the expression; the phantom markers
+/// `#` and `$` are positions `p0` and `p_{m-1}`.
+///
+/// ```
+/// use redet_syntax::parse;
+/// use redet_tree::ParseTree;
+///
+/// let (e, _) = parse("(a b + b b? a)*").unwrap();
+/// let tree = ParseTree::build(&e);
+/// // 5 alphabet positions plus # and $.
+/// assert_eq!(tree.num_positions(), 7);
+/// assert!(tree.is_ancestor(tree.root(), tree.expr_root()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParseTree {
+    nodes: Vec<Node>,
+    /// Leaves in left-to-right order (including `#` and `$`).
+    positions: Vec<NodeId>,
+    /// For each alphabet symbol index, the positions labeled with it.
+    by_symbol: Vec<Vec<PosId>>,
+    /// Root of the embedded user expression `e′`.
+    expr_root: NodeId,
+}
+
+impl ParseTree {
+    /// Builds the parse tree of `regex`, adding the phantom `#`/`$` markers.
+    ///
+    /// The input should already satisfy restrictions (R2) and (R3) (see
+    /// `redet_syntax::normalize`); this is asserted in debug builds. The
+    /// algorithms remain correct on non-normalized input but their running
+    /// time is then no longer guaranteed to be linear in the number of
+    /// positions.
+    pub fn build(regex: &Regex) -> Self {
+        debug_assert!(
+            redet_syntax::normalize::satisfies_r2_r3(regex),
+            "ParseTree::build expects an (R2)/(R3)-normalized expression"
+        );
+        let size_hint = regex.size() + 4;
+        let mut builder = Builder {
+            nodes: Vec::with_capacity(size_hint),
+            positions: Vec::with_capacity(regex.num_positions() + 2),
+            max_symbol: 0,
+        };
+
+        // e  =  (# e′) $   — root is the outer concatenation.
+        let root = builder.alloc(NodeKind::Concat, None, 0);
+        let inner = builder.alloc(NodeKind::Concat, Some(root), 1);
+        builder.nodes[root.index()].lchild = Some(inner);
+        let begin = builder.alloc_leaf(NodeKind::Begin, Some(inner), 2);
+        builder.nodes[inner.index()].lchild = Some(begin);
+        let expr_root = builder.build_expr(regex, inner);
+        builder.nodes[inner.index()].rchild = Some(expr_root);
+        builder.close(inner);
+        let end = builder.alloc_leaf(NodeKind::End, Some(root), 1);
+        builder.nodes[root.index()].rchild = Some(end);
+        builder.close(root);
+
+        let mut by_symbol = vec![Vec::new(); builder.max_symbol];
+        for (i, &node) in builder.positions.iter().enumerate() {
+            if let NodeKind::Position(sym) = builder.nodes[node.index()].kind {
+                by_symbol[sym.index()].push(PosId::from_index(i));
+            }
+        }
+
+        ParseTree {
+            nodes: builder.nodes,
+            positions: builder.positions,
+            by_symbol,
+            expr_root,
+        }
+    }
+
+    /// Number of nodes in the tree (including the R1 wrapper nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of positions, including the phantom `#` and `$`.
+    #[inline]
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of distinct symbol indices the per-symbol tables cover.
+    #[inline]
+    pub fn num_symbols(&self) -> usize {
+        self.by_symbol.len()
+    }
+
+    /// The root of the whole tree (the outer concatenation with `$`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The root of the embedded user expression `e′`.
+    #[inline]
+    pub fn expr_root(&self) -> NodeId {
+        self.expr_root
+    }
+
+    /// The label of node `n`.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()].kind
+    }
+
+    /// The parent of `n`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// The left child of `n` (`None` for leaves).
+    #[inline]
+    pub fn lchild(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].lchild
+    }
+
+    /// The right child of `n` (`None` for leaves and unary nodes).
+    #[inline]
+    pub fn rchild(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].rchild
+    }
+
+    /// The depth of `n` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].depth
+    }
+
+    /// Whether `ancestor ≼ descendant` in the (reflexive) ancestor order.
+    #[inline]
+    pub fn is_ancestor(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        let a = &self.nodes[ancestor.index()];
+        ancestor.0 <= descendant.0 && descendant.0 < a.subtree_end
+    }
+
+    /// Whether `ancestor ≺ descendant` strictly.
+    #[inline]
+    pub fn is_strict_ancestor(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        ancestor != descendant && self.is_ancestor(ancestor, descendant)
+    }
+
+    /// Exclusive end of the preorder interval of the subtree rooted at `n`.
+    #[inline]
+    pub fn subtree_end(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].subtree_end as usize
+    }
+
+    /// Iterates over all node ids in preorder.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over the children of `n` (left then right).
+    pub fn children(&self, n: NodeId) -> impl Iterator<Item = NodeId> {
+        let node = &self.nodes[n.index()];
+        node.lchild.into_iter().chain(node.rchild)
+    }
+
+    /// All positions in left-to-right order (including `#` and `$`).
+    #[inline]
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// The node of position `p`.
+    #[inline]
+    pub fn pos_node(&self, p: PosId) -> NodeId {
+        self.positions[p.index()]
+    }
+
+    /// The position index of node `n`, if `n` is a leaf.
+    #[inline]
+    pub fn node_pos(&self, n: NodeId) -> Option<PosId> {
+        self.nodes[n.index()].pos
+    }
+
+    /// The alphabet symbol of position `p` (`None` for `#` and `$`).
+    #[inline]
+    pub fn symbol_at(&self, p: PosId) -> Option<Symbol> {
+        self.kind(self.pos_node(p)).symbol()
+    }
+
+    /// The phantom begin position `#`.
+    #[inline]
+    pub fn begin_pos(&self) -> PosId {
+        PosId(0)
+    }
+
+    /// The phantom end position `$`.
+    #[inline]
+    pub fn end_pos(&self) -> PosId {
+        PosId::from_index(self.positions.len() - 1)
+    }
+
+    /// Positions labeled with `sym`, in left-to-right order. Symbols unknown
+    /// to this expression yield an empty slice.
+    #[inline]
+    pub fn positions_of_symbol(&self, sym: Symbol) -> &[PosId] {
+        self.by_symbol
+            .get(sym.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over the alphabet positions (excluding `#`/`$`) as
+    /// `(PosId, Symbol)` pairs in left-to-right order.
+    pub fn symbol_positions(&self) -> impl Iterator<Item = (PosId, Symbol)> + '_ {
+        self.positions.iter().enumerate().filter_map(|(i, &n)| {
+            self.kind(n).symbol().map(|sym| (PosId::from_index(i), sym))
+        })
+    }
+
+    /// The lowest common ancestor of `u` and `v`, computed naively by
+    /// climbing parent pointers. `O(depth)` — used for testing and as a
+    /// fallback; use [`crate::Lca`] for constant-time queries.
+    pub fn lca_naive(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut u, mut v) = (u, v);
+        while self.depth(u) > self.depth(v) {
+            u = self.parent(u).expect("depth > 0 implies a parent");
+        }
+        while self.depth(v) > self.depth(u) {
+            v = self.parent(v).expect("depth > 0 implies a parent");
+        }
+        while u != v {
+            u = self.parent(u).expect("distinct roots are impossible");
+            v = self.parent(v).expect("distinct roots are impossible");
+        }
+        u
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    positions: Vec<NodeId>,
+    max_symbol: usize,
+}
+
+impl Builder {
+    fn alloc(&mut self, kind: NodeKind, parent: Option<NodeId>, depth: u32) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent,
+            lchild: None,
+            rchild: None,
+            subtree_end: 0,
+            depth,
+            pos: None,
+        });
+        id
+    }
+
+    fn alloc_leaf(&mut self, kind: NodeKind, parent: Option<NodeId>, depth: u32) -> NodeId {
+        let id = self.alloc(kind, parent, depth);
+        let pos = PosId::from_index(self.positions.len());
+        self.nodes[id.index()].pos = Some(pos);
+        self.positions.push(id);
+        self.close(id);
+        if let NodeKind::Position(sym) = kind {
+            self.max_symbol = self.max_symbol.max(sym.index() + 1);
+        }
+        id
+    }
+
+    fn close(&mut self, id: NodeId) {
+        self.nodes[id.index()].subtree_end = u32::try_from(self.nodes.len()).expect("tree too large");
+    }
+
+    fn build_expr(&mut self, regex: &Regex, parent: NodeId) -> NodeId {
+        let depth = self.nodes[parent.index()].depth + 1;
+        match regex {
+            Regex::Symbol(sym) => self.alloc_leaf(NodeKind::Position(*sym), Some(parent), depth),
+            Regex::Concat(l, r) => self.build_binary(NodeKind::Concat, l, r, parent, depth),
+            Regex::Union(l, r) => self.build_binary(NodeKind::Union, l, r, parent, depth),
+            Regex::Optional(inner) => self.build_unary(NodeKind::Optional, inner, parent, depth),
+            Regex::Star(inner) => self.build_unary(NodeKind::Star, inner, parent, depth),
+            Regex::Repeat(inner, min, max) => {
+                self.build_unary(NodeKind::Repeat(*min, *max), inner, parent, depth)
+            }
+        }
+    }
+
+    fn build_binary(
+        &mut self,
+        kind: NodeKind,
+        l: &Regex,
+        r: &Regex,
+        parent: NodeId,
+        depth: u32,
+    ) -> NodeId {
+        let id = self.alloc(kind, Some(parent), depth);
+        let lchild = self.build_expr(l, id);
+        self.nodes[id.index()].lchild = Some(lchild);
+        let rchild = self.build_expr(r, id);
+        self.nodes[id.index()].rchild = Some(rchild);
+        self.close(id);
+        id
+    }
+
+    fn build_unary(&mut self, kind: NodeKind, inner: &Regex, parent: NodeId, depth: u32) -> NodeId {
+        let id = self.alloc(kind, Some(parent), depth);
+        let child = self.build_expr(inner, id);
+        self.nodes[id.index()].lchild = Some(child);
+        self.close(id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_syntax::parse;
+
+    fn tree(input: &str) -> ParseTree {
+        let (e, _) = parse(input).unwrap();
+        ParseTree::build(&e)
+    }
+
+    #[test]
+    fn r1_wrapping_shape() {
+        let t = tree("a");
+        // root = Concat(Concat(#, a), $): 5 nodes, 3 positions.
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_positions(), 3);
+        assert_eq!(t.kind(t.root()), NodeKind::Concat);
+        let inner = t.lchild(t.root()).unwrap();
+        assert_eq!(t.kind(inner), NodeKind::Concat);
+        assert_eq!(t.kind(t.lchild(inner).unwrap()), NodeKind::Begin);
+        assert_eq!(t.kind(t.rchild(t.root()).unwrap()), NodeKind::End);
+        assert!(matches!(t.kind(t.expr_root()), NodeKind::Position(_)));
+        assert_eq!(t.symbol_at(t.begin_pos()), None);
+        assert_eq!(t.symbol_at(t.end_pos()), None);
+    }
+
+    #[test]
+    fn positions_are_left_to_right() {
+        let (e, sigma) = parse("(a b + b b? a)*").unwrap();
+        let t = ParseTree::build(&e);
+        assert_eq!(t.num_positions(), 7);
+        let names: Vec<_> = t
+            .positions()
+            .iter()
+            .map(|&n| match t.kind(n) {
+                NodeKind::Begin => "#".to_owned(),
+                NodeKind::End => "$".to_owned(),
+                NodeKind::Position(sym) => sigma.name(sym).to_owned(),
+                other => panic!("non-leaf position {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["#", "a", "b", "b", "b", "a", "$"]);
+        let a = sigma.lookup("a").unwrap();
+        let b = sigma.lookup("b").unwrap();
+        assert_eq!(
+            t.positions_of_symbol(a),
+            &[PosId::from_index(1), PosId::from_index(5)]
+        );
+        assert_eq!(
+            t.positions_of_symbol(b),
+            &[PosId::from_index(2), PosId::from_index(3), PosId::from_index(4)]
+        );
+    }
+
+    #[test]
+    fn preorder_and_ancestors() {
+        let t = tree("(a b)* c");
+        for n in t.node_ids() {
+            for m in t.node_ids() {
+                let expected = {
+                    // Naive ancestor check by climbing.
+                    let mut cur = Some(m);
+                    let mut found = false;
+                    while let Some(x) = cur {
+                        if x == n {
+                            found = true;
+                            break;
+                        }
+                        cur = t.parent(x);
+                    }
+                    found
+                };
+                assert_eq!(t.is_ancestor(n, m), expected, "ancestor({n:?},{m:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn children_and_parent_are_consistent() {
+        let t = tree("(c?((a b*)(a? c)))*(b a)");
+        for n in t.node_ids() {
+            for c in t.children(n) {
+                assert_eq!(t.parent(c), Some(n));
+                assert_eq!(t.depth(c), t.depth(n) + 1);
+                assert!(t.is_strict_ancestor(n, c));
+            }
+            match t.kind(n) {
+                k if k.is_leaf() => {
+                    assert_eq!(t.children(n).count(), 0);
+                    assert!(t.node_pos(n).is_some());
+                }
+                NodeKind::Concat | NodeKind::Union => assert_eq!(t.children(n).count(), 2),
+                _ => assert_eq!(t.children(n).count(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn naive_lca_agrees_with_structure() {
+        let t = tree("(c?((a b*)(a? c)))*(b a)");
+        for u in t.node_ids() {
+            for v in t.node_ids() {
+                let l = t.lca_naive(u, v);
+                assert!(t.is_ancestor(l, u));
+                assert!(t.is_ancestor(l, v));
+                // No child of l is an ancestor of both.
+                for c in t.children(l) {
+                    assert!(!(t.is_ancestor(c, u) && t.is_ancestor(c, v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_positions_iterator() {
+        let (e, sigma) = parse("(title, author+, year?)").unwrap();
+        let t = ParseTree::build(&e);
+        let syms: Vec<_> = t.symbol_positions().map(|(_, s)| s).collect();
+        assert_eq!(
+            syms,
+            vec![
+                sigma.lookup("title").unwrap(),
+                sigma.lookup("author").unwrap(),
+                sigma.lookup("year").unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_symbol_has_no_positions() {
+        let (e, _) = parse("a b").unwrap();
+        let t = ParseTree::build(&e);
+        assert!(t.positions_of_symbol(Symbol::from_index(57)).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Node properties: nullability, `SupFirst`/`SupLast`, and the
+//! `pSupFirst`/`pSupLast`/`pStar` pointers (Section 2 of the paper).
+//!
+//! A node `n` with parent `n′` is
+//!
+//! * a **SupFirst** node iff `lab(n′) = ·`, `n` is the right child of `n′`
+//!   and the left child of `n′` is non-nullable — at such a node the
+//!   `First`-set "stops" growing upwards;
+//! * a **SupLast** node iff `lab(n′) = ·`, `n` is the left child of `n′` and
+//!   the right child of `n′` is non-nullable.
+//!
+//! `pSupFirst(n)` / `pSupLast(n)` / `pStar(n)` are the lowest
+//! (ancestor-or-self) SupFirst node, SupLast node, and iterating (`∗` or
+//! `{i,j}` with `j ≥ 2`) node above `n`. Lemma 2.3 then gives constant-time
+//! `First`/`Last` membership:
+//!
+//! * `p ∈ First(n)` iff `pSupFirst(p) ≼ n ≼ p`;
+//! * `p ∈ Last(n)`  iff `pSupLast(p) ≼ n ≼ p`.
+
+use crate::node::{NodeId, NodeKind, PosId};
+use crate::parse_tree::ParseTree;
+
+/// Per-node properties computed in one linear pass over a [`ParseTree`].
+#[derive(Clone, Debug)]
+pub struct NodeProps {
+    nullable: Vec<bool>,
+    sup_first: Vec<bool>,
+    sup_last: Vec<bool>,
+    p_sup_first: Vec<Option<NodeId>>,
+    p_sup_last: Vec<Option<NodeId>>,
+    p_star: Vec<Option<NodeId>>,
+}
+
+impl NodeProps {
+    /// Computes all properties for `tree` in `O(|tree|)` time.
+    pub fn compute(tree: &ParseTree) -> Self {
+        let n = tree.num_nodes();
+        let mut nullable = vec![false; n];
+
+        // Children always have larger preorder ids than their parent, so a
+        // reverse sweep is a bottom-up evaluation.
+        for id in (0..n).rev() {
+            let node = NodeId::from_index(id);
+            nullable[id] = match tree.kind(node) {
+                NodeKind::Begin | NodeKind::End | NodeKind::Position(_) => false,
+                NodeKind::Concat => {
+                    nullable[tree.lchild(node).expect("concat has children").index()]
+                        && nullable[tree.rchild(node).expect("concat has children").index()]
+                }
+                NodeKind::Union => {
+                    nullable[tree.lchild(node).expect("union has children").index()]
+                        || nullable[tree.rchild(node).expect("union has children").index()]
+                }
+                NodeKind::Optional | NodeKind::Star => true,
+                NodeKind::Repeat(min, _) => {
+                    min == 0 || nullable[tree.lchild(node).expect("repeat has a child").index()]
+                }
+            };
+        }
+
+        let mut sup_first = vec![false; n];
+        let mut sup_last = vec![false; n];
+        for id in 0..n {
+            let node = NodeId::from_index(id);
+            let Some(parent) = tree.parent(node) else {
+                continue;
+            };
+            if tree.kind(parent) != NodeKind::Concat {
+                continue;
+            }
+            let lchild = tree.lchild(parent).expect("concat has children");
+            let rchild = tree.rchild(parent).expect("concat has children");
+            if node == rchild && !nullable[lchild.index()] {
+                sup_first[id] = true;
+            }
+            if node == lchild && !nullable[rchild.index()] {
+                sup_last[id] = true;
+            }
+        }
+
+        // Lowest ancestor-or-self pointers: a forward sweep is a top-down
+        // traversal because parents precede children in preorder.
+        let mut p_sup_first = vec![None; n];
+        let mut p_sup_last = vec![None; n];
+        let mut p_star = vec![None; n];
+        for id in 0..n {
+            let node = NodeId::from_index(id);
+            let inherited = tree
+                .parent(node)
+                .map(|p| {
+                    (
+                        p_sup_first[p.index()],
+                        p_sup_last[p.index()],
+                        p_star[p.index()],
+                    )
+                })
+                .unwrap_or((None, None, None));
+            p_sup_first[id] = if sup_first[id] { Some(node) } else { inherited.0 };
+            p_sup_last[id] = if sup_last[id] { Some(node) } else { inherited.1 };
+            p_star[id] = if tree.kind(node).is_iterating() {
+                Some(node)
+            } else {
+                inherited.2
+            };
+        }
+
+        NodeProps {
+            nullable,
+            sup_first,
+            sup_last,
+            p_sup_first,
+            p_sup_last,
+            p_star,
+        }
+    }
+
+    /// Whether `ε ∈ L(e/n)`.
+    #[inline]
+    pub fn nullable(&self, n: NodeId) -> bool {
+        self.nullable[n.index()]
+    }
+
+    /// Whether `n` is a SupFirst node.
+    #[inline]
+    pub fn sup_first(&self, n: NodeId) -> bool {
+        self.sup_first[n.index()]
+    }
+
+    /// Whether `n` is a SupLast node.
+    #[inline]
+    pub fn sup_last(&self, n: NodeId) -> bool {
+        self.sup_last[n.index()]
+    }
+
+    /// The lowest SupFirst node on the path from `n` to the root (including
+    /// `n` itself), or `None` if there is none.
+    #[inline]
+    pub fn p_sup_first(&self, n: NodeId) -> Option<NodeId> {
+        self.p_sup_first[n.index()]
+    }
+
+    /// The lowest SupLast node on the path from `n` to the root (including
+    /// `n` itself), or `None` if there is none.
+    #[inline]
+    pub fn p_sup_last(&self, n: NodeId) -> Option<NodeId> {
+        self.p_sup_last[n.index()]
+    }
+
+    /// The lowest iterating (`∗` or `{i,j}` with `j ≥ 2`) node on the path
+    /// from `n` to the root (including `n` itself), or `None`.
+    #[inline]
+    pub fn p_star(&self, n: NodeId) -> Option<NodeId> {
+        self.p_star[n.index()]
+    }
+
+    /// Lemma 2.3 (1): whether position `p` belongs to `First(n)`.
+    #[inline]
+    pub fn in_first(&self, tree: &ParseTree, p: PosId, n: NodeId) -> bool {
+        let pnode = tree.pos_node(p);
+        if !tree.is_ancestor(n, pnode) {
+            return false;
+        }
+        match self.p_sup_first(pnode) {
+            None => true,
+            Some(x) => tree.is_ancestor(x, n),
+        }
+    }
+
+    /// Lemma 2.3 (2): whether position `p` belongs to `Last(n)`.
+    #[inline]
+    pub fn in_last(&self, tree: &ParseTree, p: PosId, n: NodeId) -> bool {
+        let pnode = tree.pos_node(p);
+        if !tree.is_ancestor(n, pnode) {
+            return false;
+        }
+        match self.p_sup_last(pnode) {
+            None => true,
+            Some(x) => tree.is_ancestor(x, n),
+        }
+    }
+
+    /// Enumerates `First(n)` by scanning the positions below `n`.
+    ///
+    /// `O(|subtree|)` — intended for tests, diagnostics and the quadratic
+    /// Glushkov baseline, not for the linear-time algorithms.
+    pub fn first_set(&self, tree: &ParseTree, n: NodeId) -> Vec<PosId> {
+        positions_under(tree, n)
+            .filter(|&p| self.in_first(tree, p, n))
+            .collect()
+    }
+
+    /// Enumerates `Last(n)` by scanning the positions below `n`.
+    pub fn last_set(&self, tree: &ParseTree, n: NodeId) -> Vec<PosId> {
+        positions_under(tree, n)
+            .filter(|&p| self.in_last(tree, p, n))
+            .collect()
+    }
+}
+
+/// Iterates over the positions whose leaf lies in the subtree rooted at `n`.
+pub fn positions_under(tree: &ParseTree, n: NodeId) -> impl Iterator<Item = PosId> + '_ {
+    let positions = tree.positions();
+    let start = positions.partition_point(|&leaf| leaf < n);
+    let end_node = NodeId::from_index(tree.subtree_end(n));
+    let end = positions.partition_point(|&leaf| leaf < end_node);
+    (start..end).map(PosId::from_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_syntax::parse;
+
+    fn setup(input: &str) -> (ParseTree, NodeProps, redet_syntax::Alphabet) {
+        let (e, sigma) = parse(input).unwrap();
+        let tree = ParseTree::build(&e);
+        let props = NodeProps::compute(&tree);
+        (tree, props, sigma)
+    }
+
+    /// Reference First computation straight from the syntax-directed
+    /// definition (used only to validate Lemma 2.3 membership).
+    fn first_naive(tree: &ParseTree, props: &NodeProps, n: NodeId) -> Vec<PosId> {
+        match tree.kind(n) {
+            k if k.is_leaf() => vec![tree.node_pos(n).unwrap()],
+            NodeKind::Concat => {
+                let l = tree.lchild(n).unwrap();
+                let r = tree.rchild(n).unwrap();
+                let mut out = first_naive(tree, props, l);
+                if props.nullable(l) {
+                    out.extend(first_naive(tree, props, r));
+                }
+                out
+            }
+            NodeKind::Union => {
+                let mut out = first_naive(tree, props, tree.lchild(n).unwrap());
+                out.extend(first_naive(tree, props, tree.rchild(n).unwrap()));
+                out
+            }
+            _ => first_naive(tree, props, tree.lchild(n).unwrap()),
+        }
+    }
+
+    fn last_naive(tree: &ParseTree, props: &NodeProps, n: NodeId) -> Vec<PosId> {
+        match tree.kind(n) {
+            k if k.is_leaf() => vec![tree.node_pos(n).unwrap()],
+            NodeKind::Concat => {
+                let l = tree.lchild(n).unwrap();
+                let r = tree.rchild(n).unwrap();
+                let mut out = last_naive(tree, props, r);
+                if props.nullable(r) {
+                    out.extend(last_naive(tree, props, l));
+                }
+                out
+            }
+            NodeKind::Union => {
+                let mut out = last_naive(tree, props, tree.lchild(n).unwrap());
+                out.extend(last_naive(tree, props, tree.rchild(n).unwrap()));
+                out
+            }
+            _ => last_naive(tree, props, tree.lchild(n).unwrap()),
+        }
+    }
+
+    fn check_lemma_2_3(input: &str) {
+        let (tree, props, _) = setup(input);
+        for n in tree.node_ids() {
+            let mut expected_first = first_naive(&tree, &props, n);
+            expected_first.sort();
+            let mut got_first = props.first_set(&tree, n);
+            got_first.sort();
+            assert_eq!(got_first, expected_first, "First({n:?}) in {input}");
+
+            let mut expected_last = last_naive(&tree, &props, n);
+            expected_last.sort();
+            let mut got_last = props.last_set(&tree, n);
+            got_last.sort();
+            assert_eq!(got_last, expected_last, "Last({n:?}) in {input}");
+        }
+    }
+
+    #[test]
+    fn lemma_2_3_on_paper_expressions() {
+        for input in [
+            "a",
+            "a b",
+            "a + b",
+            "a? b",
+            "(a b + b b? a)*",
+            "(a* b a + b b)*",
+            "(c?((a b*)(a? c)))*(b a)",
+            "(c (b? a?)) a",
+            "(c (a? b?)) a",
+            "(c (b? a)*) a",
+            "(c (b? a)) a",
+            "(a (b? a))*",
+            "(a (b? a?))*",
+            "a? b? c? d?",
+            "(a0 + a1 + a2 + a3)*",
+            "(a b){2,3} c",
+            "(a{2,5} + b)* c",
+        ] {
+            check_lemma_2_3(input);
+        }
+    }
+
+    #[test]
+    fn nullability_matches_ast() {
+        for input in ["(a b + b b? a)*", "a? b?", "a b?", "(a + b?) c*", "a{2,3}"] {
+            let (e, _) = parse(input).unwrap();
+            let tree = ParseTree::build(&e);
+            let props = NodeProps::compute(&tree);
+            assert_eq!(props.nullable(tree.expr_root()), e.nullable(), "{input}");
+            // The wrapped expression (# e′) $ is never nullable.
+            assert!(!props.nullable(tree.root()));
+        }
+    }
+
+    #[test]
+    fn figure1_sup_nodes() {
+        // e0 = (c?((ab*)(a?c)))*(ba) — Figure 1. We check the structural
+        // facts the figure annotates, independently of node numbering:
+        // the root of e′ (node n1 in the figure) is a SupFirst node because
+        // of the phantom #, and the star subtree is a SupLast node because
+        // the (b a) factor to its right is non-nullable. The (b a) factor
+        // itself is *not* SupFirst because the starred part is nullable.
+        let (tree, props, sigma) = setup("(c?((a b*)(a? c)))*(b a)");
+        let a = sigma.lookup("a").unwrap();
+        let b = sigma.lookup("b").unwrap();
+        let expr_root = tree.expr_root();
+        let star = tree.lchild(expr_root).unwrap();
+        let ba = tree.rchild(expr_root).unwrap();
+        assert!(matches!(tree.kind(star), NodeKind::Star));
+        assert!(props.sup_first(expr_root));
+        assert!(props.sup_last(star));
+        assert!(!props.sup_first(ba));
+        // First(e0) = {c (p1), a (p2), b (p6)}: the starred part is nullable
+        // so the b of (b a) is a First position, but the final a is not.
+        let last_b = *tree.positions_of_symbol(b).last().unwrap();
+        let last_a = *tree.positions_of_symbol(a).last().unwrap();
+        assert!(props.in_first(&tree, last_b, expr_root));
+        assert!(!props.in_first(&tree, last_a, expr_root));
+        // Last(e0) = {a (p7)} only.
+        assert!(props.in_last(&tree, last_a, expr_root));
+        assert!(!props.in_last(&tree, last_b, expr_root));
+    }
+
+    #[test]
+    fn p_pointers_are_lowest_ancestors() {
+        let (tree, props, _) = setup("(c?((a b*)(a? c)))*(b a)");
+        for n in tree.node_ids() {
+            // Recompute by climbing.
+            let mut cur = Some(n);
+            let mut expect_sf = None;
+            while let Some(x) = cur {
+                if props.sup_first(x) {
+                    expect_sf = Some(x);
+                    break;
+                }
+                cur = tree.parent(x);
+            }
+            assert_eq!(props.p_sup_first(n), expect_sf, "pSupFirst({n:?})");
+
+            let mut cur = Some(n);
+            let mut expect_sl = None;
+            while let Some(x) = cur {
+                if props.sup_last(x) {
+                    expect_sl = Some(x);
+                    break;
+                }
+                cur = tree.parent(x);
+            }
+            assert_eq!(props.p_sup_last(n), expect_sl, "pSupLast({n:?})");
+
+            let mut cur = Some(n);
+            let mut expect_star = None;
+            while let Some(x) = cur {
+                if tree.kind(x).is_iterating() {
+                    expect_star = Some(x);
+                    break;
+                }
+                cur = tree.parent(x);
+            }
+            assert_eq!(props.p_star(n), expect_star, "pStar({n:?})");
+        }
+    }
+
+    #[test]
+    fn r1_guarantees_defined_pointers_inside_expr() {
+        // For every node of e′ both pSupFirst and pSupLast are defined
+        // (the paper notes this follows from R1).
+        let (tree, props, _) = setup("(a b + b b? a)*");
+        let expr_root = tree.expr_root();
+        for n in tree.node_ids() {
+            if tree.is_ancestor(expr_root, n) {
+                assert!(props.p_sup_first(n).is_some(), "pSupFirst undefined at {n:?}");
+                assert!(props.p_sup_last(n).is_some(), "pSupLast undefined at {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn positions_under_subtrees() {
+        let (tree, _, _) = setup("(a b)(c d)");
+        let expr_root = tree.expr_root();
+        let left = tree.lchild(expr_root).unwrap();
+        let right = tree.rchild(expr_root).unwrap();
+        let under_left: Vec<_> = positions_under(&tree, left).collect();
+        let under_right: Vec<_> = positions_under(&tree, right).collect();
+        assert_eq!(under_left.len(), 2);
+        assert_eq!(under_right.len(), 2);
+        let all: Vec<_> = positions_under(&tree, tree.root()).collect();
+        assert_eq!(all.len(), tree.num_positions());
+    }
+}

@@ -1,0 +1,337 @@
+//! Range-minimum-query structures.
+//!
+//! Constant-time lowest-common-ancestor queries (used throughout the paper —
+//! Theorem 2.4, Lemma 3.1, the matching algorithms) reduce to range-minimum
+//! queries over the depth sequence of an Euler tour [1, 15]. This module
+//! provides three interchangeable implementations:
+//!
+//! * [`NaiveRmq`] — `O(1)` preprocessing, `O(n)` query; the testing oracle;
+//! * [`SparseTableRmq`] — `O(n log n)` preprocessing, `O(1)` query; simple
+//!   and fast in practice;
+//! * [`PlusMinusOneRmq`] — the Bender/Farach-Colton block decomposition for
+//!   ±1 sequences: `O(n)` preprocessing and `O(1)` query, matching the
+//!   bound the paper relies on.
+//!
+//! All queries return the *index* of a minimum over the inclusive range
+//! `[lo, hi]`; ties are broken towards the leftmost minimum.
+
+/// Common interface of the RMQ implementations.
+pub trait RangeMin {
+    /// Index of the leftmost minimum value within the inclusive range
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi` is out of bounds.
+    fn query(&self, lo: usize, hi: usize) -> usize;
+}
+
+/// Linear-scan RMQ: no preprocessing, `O(n)` queries. Testing oracle.
+#[derive(Clone, Debug)]
+pub struct NaiveRmq {
+    values: Vec<u32>,
+}
+
+impl NaiveRmq {
+    /// Wraps `values` without preprocessing.
+    pub fn new(values: Vec<u32>) -> Self {
+        NaiveRmq { values }
+    }
+}
+
+impl RangeMin for NaiveRmq {
+    fn query(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
+        let mut best = lo;
+        for i in lo + 1..=hi {
+            if self.values[i] < self.values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Sparse-table RMQ: `O(n log n)` preprocessing, `O(1)` query.
+#[derive(Clone, Debug)]
+pub struct SparseTableRmq {
+    values: Vec<u32>,
+    /// `table[k][i]` = index of the minimum in `[i, i + 2^k - 1]`.
+    table: Vec<Vec<u32>>,
+}
+
+impl SparseTableRmq {
+    /// Preprocesses `values`.
+    pub fn new(values: Vec<u32>) -> Self {
+        let n = values.len();
+        let levels = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..n as u32).collect());
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let width = 1usize << k;
+            let mut row = Vec::with_capacity(n.saturating_sub(width) + 1);
+            for i in 0..=n.saturating_sub(width) {
+                let left = prev[i];
+                let right = prev[i + half];
+                row.push(if values[left as usize] <= values[right as usize] {
+                    left
+                } else {
+                    right
+                });
+            }
+            table.push(row);
+        }
+        SparseTableRmq { values, table }
+    }
+}
+
+impl RangeMin for SparseTableRmq {
+    fn query(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
+        if lo == hi {
+            return lo;
+        }
+        let k = (hi - lo + 1).ilog2() as usize;
+        let left = self.table[k][lo] as usize;
+        let right = self.table[k][hi + 1 - (1usize << k)] as usize;
+        if self.values[left] <= self.values[right] {
+            left
+        } else {
+            right
+        }
+    }
+}
+
+/// Bender/Farach-Colton RMQ for ±1 sequences: `O(n)` preprocessing, `O(1)`
+/// query.
+///
+/// The sequence is split into blocks of size `⌈(log₂ n)/2⌉`; a sparse table
+/// answers queries over whole blocks, and a lookup table indexed by the
+/// *shape* of a block (the bitmask of its ±1 steps) answers in-block
+/// queries. The depth sequence of an Euler tour is ±1, which is exactly the
+/// input produced by [`crate::Lca`].
+#[derive(Clone, Debug)]
+pub struct PlusMinusOneRmq {
+    values: Vec<u32>,
+    block_size: usize,
+    /// Sparse table over the per-block minima (stores block indices).
+    block_table: SparseTableRmq,
+    /// Index (within its block) of the minimum of each block.
+    block_min_offset: Vec<u32>,
+    /// For each block, its shape id.
+    block_shape: Vec<u32>,
+    /// `in_block[shape][lo * block_size + hi]` = offset of the minimum of
+    /// `[lo, hi]` within any block of that shape.
+    in_block: Vec<Vec<u8>>,
+}
+
+impl PlusMinusOneRmq {
+    /// Preprocesses a ±1 sequence.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if consecutive values differ by more than 1.
+    pub fn new(values: Vec<u32>) -> Self {
+        debug_assert!(
+            values.windows(2).all(|w| w[0].abs_diff(w[1]) == 1),
+            "PlusMinusOneRmq requires a ±1 sequence"
+        );
+        let n = values.len().max(1);
+        let block_size = ((n.ilog2() as usize) / 2).max(1);
+        let num_blocks = values.len().div_ceil(block_size).max(1);
+
+        let mut block_minima = Vec::with_capacity(num_blocks);
+        let mut block_min_offset = Vec::with_capacity(num_blocks);
+        let mut block_shape = Vec::with_capacity(num_blocks);
+        let num_shapes = 1usize << (block_size.saturating_sub(1));
+        let mut in_block: Vec<Vec<u8>> = vec![Vec::new(); num_shapes];
+
+        for b in 0..num_blocks {
+            let start = b * block_size;
+            let end = (start + block_size).min(values.len());
+            let block = &values[start..end];
+            // Minimum of the block.
+            let (off, min) = block
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, v)| (*v, i))
+                .map(|(i, v)| (i, *v))
+                .unwrap_or((0, 0));
+            block_minima.push(min);
+            block_min_offset.push(off as u32);
+            // Shape: bit i set iff step i goes up (+1). Short final blocks are
+            // padded with ascending steps, which never create new minima.
+            let mut shape = 0u32;
+            for i in 0..block_size.saturating_sub(1) {
+                let up = if i + 1 < block.len() {
+                    block[i + 1] > block[i]
+                } else {
+                    true
+                };
+                if up {
+                    shape |= 1 << i;
+                }
+            }
+            block_shape.push(shape);
+            // Fill the lookup table for this shape if not yet done.
+            let table = &mut in_block[shape as usize];
+            if table.is_empty() {
+                *table = Self::build_shape_table(shape, block_size);
+            }
+        }
+
+        PlusMinusOneRmq {
+            values,
+            block_size,
+            block_table: SparseTableRmq::new(block_minima),
+            block_min_offset,
+            block_shape,
+            in_block,
+        }
+    }
+
+    fn build_shape_table(shape: u32, block_size: usize) -> Vec<u8> {
+        // Reconstruct the (relative) values of a block with this shape.
+        let mut rel = Vec::with_capacity(block_size);
+        let mut cur: i32 = 0;
+        rel.push(cur);
+        for i in 0..block_size.saturating_sub(1) {
+            cur += if shape & (1 << i) != 0 { 1 } else { -1 };
+            rel.push(cur);
+        }
+        let mut table = vec![0u8; block_size * block_size];
+        for lo in 0..block_size {
+            let mut best = lo;
+            for hi in lo..block_size {
+                if rel[hi] < rel[best] {
+                    best = hi;
+                }
+                table[lo * block_size + hi] = best as u8;
+            }
+        }
+        table
+    }
+
+    fn in_block_query(&self, block: usize, lo: usize, hi: usize) -> usize {
+        let shape = self.block_shape[block] as usize;
+        let off = self.in_block[shape][lo * self.block_size + hi] as usize;
+        block * self.block_size + off
+    }
+}
+
+impl RangeMin for PlusMinusOneRmq {
+    fn query(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
+        let b_lo = lo / self.block_size;
+        let b_hi = hi / self.block_size;
+        if b_lo == b_hi {
+            return self.in_block_query(b_lo, lo % self.block_size, hi % self.block_size);
+        }
+        // Prefix of the first block, suffix of the last block.
+        let left = self.in_block_query(b_lo, lo % self.block_size, self.block_size - 1);
+        let right = self.in_block_query(b_hi, 0, hi % self.block_size);
+        let mut best = if self.values[left] <= self.values[right] {
+            left
+        } else {
+            right
+        };
+        // Whole blocks strictly in between.
+        if b_lo + 1 <= b_hi.wrapping_sub(1) && b_lo + 1 < b_hi {
+            let mid_block = self.block_table.query(b_lo + 1, b_hi - 1);
+            let mid = mid_block * self.block_size + self.block_min_offset[mid_block] as usize;
+            if self.values[mid] < self.values[best]
+                || (self.values[mid] == self.values[best] && mid < best)
+            {
+                best = mid;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm1_sequence(len: usize, seed: u64) -> Vec<u32> {
+        // Deterministic pseudo-random ±1 walk staying non-negative.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut values = Vec::with_capacity(len);
+        let mut cur: u32 = 50;
+        for _ in 0..len {
+            values.push(cur);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (state >> 33) & 1 == 1 || cur == 0 {
+                cur += 1;
+            } else {
+                cur -= 1;
+            }
+        }
+        values
+    }
+
+    fn check_all_ranges(values: Vec<u32>) {
+        let naive = NaiveRmq::new(values.clone());
+        let sparse = SparseTableRmq::new(values.clone());
+        let pm1 = PlusMinusOneRmq::new(values.clone());
+        let n = values.len();
+        for lo in 0..n {
+            for hi in lo..n {
+                let expected = naive.query(lo, hi);
+                let got_sparse = sparse.query(lo, hi);
+                let got_pm1 = pm1.query(lo, hi);
+                assert_eq!(
+                    values[got_sparse], values[expected],
+                    "sparse value mismatch on [{lo},{hi}]"
+                );
+                assert_eq!(
+                    values[got_pm1], values[expected],
+                    "±1 value mismatch on [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_sequences() {
+        check_all_ranges(vec![5]);
+        check_all_ranges(vec![2, 3]);
+        check_all_ranges(vec![3, 2]);
+        check_all_ranges(vec![1, 2, 1, 0, 1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn random_walks_of_many_sizes() {
+        for len in [1, 2, 3, 7, 16, 33, 64, 100, 257] {
+            for seed in 0..3 {
+                check_all_ranges(pm1_sequence(len, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_table_on_arbitrary_values() {
+        let values = vec![9, 3, 7, 1, 8, 12, 10, 1, 0, 4, 4, 2];
+        let naive = NaiveRmq::new(values.clone());
+        let sparse = SparseTableRmq::new(values.clone());
+        for lo in 0..values.len() {
+            for hi in lo..values.len() {
+                assert_eq!(values[sparse.query(lo, hi)], values[naive.query(lo, hi)]);
+            }
+        }
+    }
+
+    #[test]
+    fn leftmost_tie_breaking_naive() {
+        let naive = NaiveRmq::new(vec![2, 1, 1, 1, 2]);
+        assert_eq!(naive.query(0, 4), 1);
+        assert_eq!(naive.query(2, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn out_of_range_panics() {
+        let naive = NaiveRmq::new(vec![1, 2, 3]);
+        naive.query(1, 3);
+    }
+}

@@ -1,0 +1,370 @@
+//! Synthetic content-model and word generators.
+//!
+//! The paper has no measurement section, but its complexity claims are made
+//! against well-identified families of expressions that occur in real
+//! schemas (Bex et al., Grijzenhout's DTD corpus — none of which are
+//! redistributable here):
+//!
+//! * **mixed content** `(a₁ + … + a_m)*` — the family on which the Glushkov
+//!   construction exhibits its `Θ(σ|e|)` blow-up (Section 1);
+//! * **CHARE** — chains of optionally-starred disjunctions of symbols,
+//!   reported to cover ≈90% of real-world content models;
+//! * **1-ORE / k-ORE** — single- and bounded-occurrence expressions
+//!   (Theorem 4.3's parameter `k`);
+//! * **bounded alternation depth** — `c_e ≤ 4` in every DTD of the corpus
+//!   (Theorem 4.10's parameter);
+//! * **star-free** content models (Theorem 4.12).
+//!
+//! This crate synthesizes all of these families with controllable
+//! parameters, plus member/non-member word samples, so the benchmark
+//! harness (`redet-bench`) can reproduce the complexity *shapes* the paper
+//! claims. Generators build **balanced** union/concatenation spines so that
+//! very large instances do not overflow recursion in the analysis passes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use redet_automata::GlushkovAutomaton;
+use redet_syntax::{Alphabet, Regex, Symbol};
+use redet_tree::PosId;
+
+/// A generated workload: an expression together with its alphabet.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The generated expression (deterministic unless stated otherwise by
+    /// the generator).
+    pub regex: Regex,
+    /// The alphabet used by the expression.
+    pub alphabet: Alphabet,
+}
+
+/// Balanced union of the given expressions.
+fn balanced_union(mut parts: Vec<Regex>) -> Regex {
+    assert!(!parts.is_empty());
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut iter = parts.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(a.or(b)),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop().expect("non-empty")
+}
+
+/// Balanced concatenation of the given expressions.
+fn balanced_concat(mut parts: Vec<Regex>) -> Regex {
+    assert!(!parts.is_empty());
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut iter = parts.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(a.then(b)),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop().expect("non-empty")
+}
+
+/// The "mixed content" family `(a₀ + a₁ + … + a_{m-1})*` of Section 1: the
+/// expression is deterministic and linear in `m`, but its Glushkov automaton
+/// has `Θ(m²)` transitions.
+pub fn mixed_content(m: usize) -> Workload {
+    let alphabet = Alphabet::with_generic_symbols(m);
+    let parts: Vec<Regex> = alphabet.symbols().map(Regex::symbol).collect();
+    Workload {
+        regex: balanced_union(parts).star(),
+        alphabet,
+    }
+}
+
+/// A CHARE (chain regular expression): a sequence of factors
+/// `(a₁ + … + a_n)`, each optionally decorated with `?` or `*`. All symbols
+/// are distinct, so the result is a deterministic 1-ORE.
+pub fn chare(num_factors: usize, symbols_per_factor: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alphabet = Alphabet::new();
+    let mut factors = Vec::with_capacity(num_factors);
+    let mut counter = 0usize;
+    for _ in 0..num_factors {
+        let width = 1 + rng.gen_range(0..symbols_per_factor.max(1));
+        let symbols: Vec<Regex> = (0..width)
+            .map(|_| {
+                let sym = alphabet.intern(&format!("e{counter}"));
+                counter += 1;
+                Regex::symbol(sym)
+            })
+            .collect();
+        let factor = balanced_union(symbols);
+        factors.push(match rng.gen_range(0..4) {
+            0 => factor.opt(),
+            1 => factor.star(),
+            _ => factor,
+        });
+    }
+    Workload {
+        regex: balanced_concat(factors),
+        alphabet,
+    }
+}
+
+/// A star-free CHARE: like [`chare`] but factors are only ever optional,
+/// never starred — the workload of experiment E7 (Theorem 4.12).
+pub fn star_free_chare(num_factors: usize, symbols_per_factor: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alphabet = Alphabet::new();
+    let mut factors = Vec::with_capacity(num_factors);
+    let mut counter = 0usize;
+    for _ in 0..num_factors {
+        let width = 1 + rng.gen_range(0..symbols_per_factor.max(1));
+        let symbols: Vec<Regex> = (0..width)
+            .map(|_| {
+                let sym = alphabet.intern(&format!("e{counter}"));
+                counter += 1;
+                Regex::symbol(sym)
+            })
+            .collect();
+        let factor = balanced_union(symbols);
+        factors.push(if rng.gen_bool(0.4) { factor.opt() } else { factor });
+    }
+    Workload {
+        regex: balanced_concat(factors),
+        alphabet,
+    }
+}
+
+/// A deterministic `k`-occurrence expression: `k` blocks of CHARE-like
+/// factors over a *shared* alphabet, separated by unique separator symbols
+/// so that equally-labeled positions in different blocks can never follow a
+/// common position.
+pub fn k_occurrence(k: usize, factors_per_block: usize, symbols_per_factor: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alphabet = Alphabet::new();
+    let shared: Vec<Symbol> = (0..factors_per_block * symbols_per_factor)
+        .map(|i| alphabet.intern(&format!("s{i}")))
+        .collect();
+    let mut blocks = Vec::with_capacity(2 * k);
+    for block in 0..k {
+        let sep = alphabet.intern(&format!("sep{block}"));
+        blocks.push(Regex::symbol(sep));
+        let mut factors = Vec::with_capacity(factors_per_block);
+        for f in 0..factors_per_block {
+            let width = 1 + rng.gen_range(0..symbols_per_factor.max(1));
+            let symbols: Vec<Regex> = (0..width)
+                .map(|i| Regex::symbol(shared[(f * symbols_per_factor + i) % shared.len()]))
+                .collect();
+            let factor = balanced_union(symbols);
+            factors.push(if rng.gen_bool(0.5) { factor.opt() } else { factor });
+        }
+        blocks.push(balanced_concat(factors));
+    }
+    // Star the whole chain so that arbitrarily long words exist; the unique
+    // block separators keep the expression deterministic.
+    Workload {
+        regex: balanced_concat(blocks).star(),
+        alphabet,
+    }
+}
+
+/// A deterministic expression with alternation depth (the paper's `c_e`)
+/// approximately `depth`: nested blocks `prefix (x + y suffix (…))`.
+pub fn deep_alternation(depth: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alphabet = Alphabet::new();
+    let mut counter = 0usize;
+    let mut fresh = |alphabet: &mut Alphabet| {
+        let sym = alphabet.intern(&format!("d{counter}"));
+        counter += 1;
+        Regex::symbol(sym)
+    };
+    let mut expr = fresh(&mut alphabet);
+    for _ in 0..depth {
+        // Alternate · and + blocks: e ← a (b + c e) or e ← (a + b) c e.
+        let a = fresh(&mut alphabet);
+        let b = fresh(&mut alphabet);
+        let c = fresh(&mut alphabet);
+        expr = if rng.gen_bool(0.5) {
+            a.then(b.or(c.then(expr)))
+        } else {
+            a.or(b).then(c.then(expr))
+        };
+    }
+    Workload {
+        regex: expr.star(),
+        alphabet,
+    }
+}
+
+/// A random (not necessarily deterministic) expression over a small
+/// alphabet — the raw material for the cross-validation property tests.
+pub fn random_expression(num_positions: usize, alphabet_size: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alphabet = Alphabet::with_generic_symbols(alphabet_size.max(1));
+    let symbols: Vec<Symbol> = alphabet.symbols().collect();
+    let regex = random_expr_rec(num_positions.max(1), &symbols, &mut rng, 0);
+    Workload { regex, alphabet }
+}
+
+fn random_expr_rec(positions: usize, symbols: &[Symbol], rng: &mut StdRng, depth: usize) -> Regex {
+    if positions <= 1 || depth > 40 {
+        return Regex::symbol(symbols[rng.gen_range(0..symbols.len())]);
+    }
+    match rng.gen_range(0..10) {
+        0..=3 => {
+            let left = rng.gen_range(1..positions);
+            random_expr_rec(left, symbols, rng, depth + 1)
+                .then(random_expr_rec(positions - left, symbols, rng, depth + 1))
+        }
+        4..=6 => {
+            let left = rng.gen_range(1..positions);
+            random_expr_rec(left, symbols, rng, depth + 1)
+                .or(random_expr_rec(positions - left, symbols, rng, depth + 1))
+        }
+        7 => random_expr_rec(positions, symbols, rng, depth + 1).opt(),
+        8 => random_expr_rec(positions, symbols, rng, depth + 1).star(),
+        _ => {
+            let min = rng.gen_range(0..3u32);
+            let max = min + rng.gen_range(0..3u32);
+            random_expr_rec(positions, symbols, rng, depth + 1).repeat(min, Some(max.max(1)))
+        }
+    }
+}
+
+/// Samples a word of approximately `target_len` symbols from `L(e)` by a
+/// random walk over the Glushkov automaton (restarting the walk's greediness
+/// near the target length so the word can actually end).
+pub fn sample_member_word(regex: &Regex, target_len: usize, seed: u64) -> Vec<Symbol> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let automaton = GlushkovAutomaton::build(regex);
+    let mut word = Vec::with_capacity(target_len);
+    let mut current = automaton.begin();
+    // Walk until we are allowed to stop at (or after) the target length.
+    for step in 0..(target_len * 2 + 64) {
+        let followers: Vec<PosId> = automaton
+            .follow(current)
+            .iter()
+            .copied()
+            .filter(|&q| automaton.symbol(q).is_some())
+            .collect();
+        let must_stop = followers.is_empty();
+        let may_stop = automaton.can_end(current);
+        if must_stop || (may_stop && (step >= target_len || rng.gen_bool(0.02))) {
+            if may_stop {
+                break;
+            }
+            if must_stop {
+                break;
+            }
+        }
+        let next = followers[rng.gen_range(0..followers.len())];
+        word.push(automaton.symbol(next).expect("filtered to labeled positions"));
+        current = next;
+    }
+    word
+}
+
+/// Samples a uniformly random word over the workload's alphabet (mostly a
+/// non-member; used to exercise rejection paths).
+pub fn sample_random_word(alphabet: &Alphabet, len: usize, seed: u64) -> Vec<Symbol> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let symbols: Vec<Symbol> = alphabet.symbols().collect();
+    (0..len)
+        .map(|_| symbols[rng.gen_range(0..symbols.len())])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_automata::{glushkov_determinism, Matcher, NfaSimulationMatcher};
+
+    #[test]
+    fn mixed_content_shape() {
+        let w = mixed_content(64);
+        assert_eq!(w.regex.num_positions(), 64);
+        assert!(w.regex.nullable());
+        assert!(glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok());
+    }
+
+    #[test]
+    fn chare_is_deterministic_1_ore() {
+        for seed in 0..5 {
+            let w = chare(20, 4, seed);
+            let stats = redet_syntax::ExprStats::of(&w.regex);
+            assert!(stats.is_single_occurrence());
+            assert!(glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn star_free_chare_is_star_free_and_deterministic() {
+        for seed in 0..5 {
+            let w = star_free_chare(20, 4, seed);
+            assert!(w.regex.is_star_free());
+            assert!(glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok());
+        }
+    }
+
+    #[test]
+    fn k_occurrence_has_expected_k_and_is_deterministic() {
+        for (k, seed) in [(2, 1), (4, 2), (8, 3)] {
+            let w = k_occurrence(k, 5, 3, seed);
+            let stats = redet_syntax::ExprStats::of(&w.regex);
+            assert_eq!(stats.max_occurrences, k, "k (seed {seed})");
+            assert!(
+                glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok(),
+                "k={k} seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_alternation_depth_grows() {
+        for depth in [1, 3, 6] {
+            let w = deep_alternation(depth, 7);
+            let stats = redet_syntax::ExprStats::of(&w.regex);
+            assert!(stats.plus_depth >= depth, "depth {depth} got {}", stats.plus_depth);
+            assert!(glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok());
+        }
+    }
+
+    #[test]
+    fn member_words_are_members() {
+        for (name, w) in [
+            ("mixed", mixed_content(16)),
+            ("chare", chare(10, 3, 11)),
+            ("deep", deep_alternation(4, 5)),
+            ("kocc", k_occurrence(3, 4, 2, 9)),
+        ] {
+            let matcher = NfaSimulationMatcher::build(&w.regex);
+            for seed in 0..5 {
+                let word = sample_member_word(&w.regex, 50, seed);
+                assert!(matcher.matches(&word), "{name}: sampled word is not a member");
+            }
+        }
+    }
+
+    #[test]
+    fn random_expressions_have_requested_size() {
+        for seed in 0..10 {
+            let w = random_expression(12, 3, seed);
+            assert!(w.regex.num_positions() >= 1);
+            assert!(w.regex.num_positions() <= 12);
+        }
+    }
+
+    #[test]
+    fn random_words_cover_the_alphabet() {
+        let w = mixed_content(8);
+        let word = sample_random_word(&w.alphabet, 100, 3);
+        assert_eq!(word.len(), 100);
+    }
+}

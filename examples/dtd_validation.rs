@@ -1,0 +1,125 @@
+//! Validating a small XML document against a DTD-like schema.
+//!
+//! This example mirrors the paper's motivating scenario: every element
+//! declaration of a schema is a deterministic content model, and validating
+//! a document means matching each element's child sequence against the
+//! content model of its tag. Run with `cargo run --example dtd_validation`.
+
+use redet::{Alphabet, DeterministicRegex};
+use redet_syntax::parse_with_alphabet;
+use std::collections::HashMap;
+
+/// A toy document tree: a tag and a list of children.
+struct Element {
+    tag: &'static str,
+    children: Vec<Element>,
+}
+
+fn elem(tag: &'static str, children: Vec<Element>) -> Element {
+    Element { tag, children }
+}
+
+/// A schema: one deterministic content model per non-leaf element tag;
+/// undeclared elements are treated as EMPTY (no children allowed).
+struct Schema {
+    models: HashMap<&'static str, DeterministicRegex>,
+}
+
+impl Schema {
+    fn new(declarations: &[(&'static str, &str)]) -> Self {
+        let models = declarations
+            .iter()
+            .map(|(tag, content_model)| {
+                let model = DeterministicRegex::compile(content_model)
+                    .unwrap_or_else(|e| panic!("content model of <{tag}> rejected: {e}"));
+                (*tag, model)
+            })
+            .collect();
+        Schema { models }
+    }
+
+    /// Validates the subtree rooted at `element`, appending errors.
+    fn validate(&self, element: &Element, errors: &mut Vec<String>) {
+        let children: Vec<&str> = element.children.iter().map(|c| c.tag).collect();
+        match self.models.get(element.tag) {
+            Some(model) => {
+                if !model.matches(&children) {
+                    errors.push(format!(
+                        "<{}>: child sequence [{}] does not match its content model",
+                        element.tag,
+                        children.join(", ")
+                    ));
+                }
+            }
+            None => {
+                if !children.is_empty() {
+                    errors.push(format!("<{}> is declared EMPTY but has children", element.tag));
+                }
+            }
+        }
+        for child in &element.children {
+            self.validate(child, errors);
+        }
+    }
+}
+
+fn main() {
+    let schema = Schema::new(&[
+        ("bibliography", "(book | article)*"),
+        ("book", "(title, author+, publisher?, year)"),
+        ("article", "(title, author+, journal, year?)"),
+    ]);
+
+    let document = elem(
+        "bibliography",
+        vec![
+            elem(
+                "book",
+                vec![
+                    elem("title", vec![]),
+                    elem("author", vec![]),
+                    elem("author", vec![]),
+                    elem("publisher", vec![]),
+                    elem("year", vec![]),
+                ],
+            ),
+            elem(
+                "article",
+                vec![
+                    elem("title", vec![]),
+                    elem("author", vec![]),
+                    elem("journal", vec![]),
+                ],
+            ),
+            // An invalid book: the year is missing.
+            elem("book", vec![elem("title", vec![]), elem("author", vec![])]),
+        ],
+    );
+
+    let mut errors = Vec::new();
+    schema.validate(&document, &mut errors);
+    if errors.is_empty() {
+        println!("document is valid");
+    } else {
+        println!("document is INVALID:");
+        for error in &errors {
+            println!("  - {error}");
+        }
+    }
+
+    // Sharing one alphabet across several content models of a schema keeps
+    // symbol ids consistent, which matters when the same child sequences are
+    // validated against different models.
+    let mut sigma = Alphabet::new();
+    let book = parse_with_alphabet("(title, author+, publisher?, year)", &mut sigma).unwrap();
+    let article = parse_with_alphabet("(title, author+, journal, year?)", &mut sigma).unwrap();
+    let book = DeterministicRegex::from_regex(book, sigma.clone()).unwrap();
+    let article = DeterministicRegex::from_regex(article, sigma).unwrap();
+    let children = ["title", "author", "journal"];
+    println!(
+        "\n[{}] as <book>: {}, as <article>: {}",
+        children.join(", "),
+        book.matches(&children),
+        article.matches(&children)
+    );
+}

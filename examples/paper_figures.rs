@@ -1,0 +1,93 @@
+//! Walks through the paper's worked examples (Example 2.1, Figure 1,
+//! Example 4.1, Example 4.11) using the library's public API.
+//!
+//! Run with `cargo run --example paper_figures`.
+
+use redet::core::skeleton::ColorAssignment;
+use redet::core::{check_determinism, KOccurrenceMatcher, StarFreeMatcher, TransitionSim};
+use redet::tree::PosId;
+use redet::{parse, TreeAnalysis};
+use std::sync::Arc;
+
+fn main() {
+    example_2_1();
+    figure_1();
+    example_4_11();
+}
+
+/// Example 2.1: e1 = (ab + b(b?)a)* is deterministic, e2 = (a*ba + bb)* is
+/// not, and Follow(p3) / Follow(q3) are as stated.
+fn example_2_1() {
+    println!("=== Example 2.1 ===");
+    let (e1, _) = parse("(a b + b (b?) a)*").unwrap();
+    let (e2, _) = parse("(a* b a + b b)*").unwrap();
+    let a1 = TreeAnalysis::build(&e1);
+    let a2 = TreeAnalysis::build(&e2);
+
+    let follow = |analysis: &TreeAnalysis, i: usize| -> Vec<usize> {
+        analysis
+            .follow_set_naive(PosId::from_index(i))
+            .into_iter()
+            .filter(|&q| q != analysis.tree().end_pos())
+            .map(|q| q.index())
+            .collect()
+    };
+    println!("  Follow_e1(p3) = {:?} (paper: [4, 5])", follow(&a1, 3));
+    println!("  Follow_e2(q3) = {:?} (paper: [1, 2, 4])", follow(&a2, 3));
+    println!(
+        "  e1 deterministic: {} — e2 deterministic: {}",
+        check_determinism(&a1).is_ok(),
+        check_determinism(&a2).is_ok()
+    );
+}
+
+/// Figure 1 / Example 4.1: the expression e0 = (c?((ab*)(a?c)))*(ba), its
+/// colors and the transition simulation from p3.
+fn figure_1() {
+    println!("\n=== Figure 1 / Example 4.1 ===");
+    let (e0, sigma) = parse("(c?((a b*)(a? c)))*(b a)").unwrap();
+    let analysis = Arc::new(TreeAnalysis::build(&e0));
+
+    let colors = ColorAssignment::build(&analysis).unwrap();
+    println!("  color assignments (node, color, witness):");
+    for (node, sym, witness) in &colors.assignments {
+        println!(
+            "    node {:>3}  color {:>2}  witness p{}",
+            node.index(),
+            sigma.name(*sym),
+            witness.index()
+        );
+    }
+
+    let matcher = KOccurrenceMatcher::new(analysis.clone());
+    let c = sigma.lookup("c").unwrap();
+    let a = sigma.lookup("a").unwrap();
+    let p3 = PosId::from_index(3);
+    let p5 = matcher.find_next(p3, c).unwrap();
+    let p2 = matcher.find_next(p5, a).unwrap();
+    println!(
+        "  from p3 reading 'c' → p{}; from p{} reading 'a' → p{}  (paper: p5, then p2)",
+        p5.index(),
+        p5.index(),
+        p2.index()
+    );
+}
+
+/// Example 4.11: matching four words simultaneously against the star-free
+/// expression (((a + ba)(c?))(d?b)).
+fn example_4_11() {
+    println!("\n=== Example 4.11 ===");
+    let (e, sigma) = parse("((a + b a)(c?))(d? b)").unwrap();
+    let matcher = StarFreeMatcher::new(Arc::new(TreeAnalysis::build(&e))).unwrap();
+    let word = |text: &str| -> Vec<redet::Symbol> {
+        text.chars()
+            .map(|ch| sigma.lookup(&ch.to_string()).unwrap())
+            .collect()
+    };
+    let names = ["bcdb", "acdba", "acb", "bada"];
+    let words: Vec<Vec<redet::Symbol>> = names.iter().map(|t| word(t)).collect();
+    let verdicts = matcher.match_words(&words);
+    for (name, verdict) in names.iter().zip(verdicts) {
+        println!("  w = {name:6} matches: {verdict}   (paper: only 'acb' matches)");
+    }
+}

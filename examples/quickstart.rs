@@ -1,0 +1,50 @@
+//! Quick start: compile content models, check determinism, validate words.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use redet::{DeterministicRegex, RegexError};
+
+fn main() {
+    // A DTD-style content model: a title, one or more authors, and an
+    // optional year or date.
+    let model = DeterministicRegex::compile("(title, author+, (year | date)?)")
+        .expect("the content model is deterministic");
+
+    println!("strategy chosen automatically: {:?}", model.strategy());
+    println!("structural statistics:         {:?}", model.stats());
+
+    for child_sequence in [
+        vec!["title", "author"],
+        vec!["title", "author", "author", "author", "year"],
+        vec!["title", "author", "date"],
+        vec!["title", "year"],
+        vec!["author", "title"],
+    ] {
+        println!(
+            "  {:40}  {}",
+            child_sequence.join(" "),
+            if model.matches(&child_sequence) { "valid" } else { "INVALID" }
+        );
+    }
+
+    // The paper's running example e0 = (c?((ab*)(a?c)))*(ba) — Figure 1.
+    let e0 = DeterministicRegex::compile("(c?((a b*)(a? c)))*(b a)").unwrap();
+    println!("\nFigure 1 expression, matching a few words:");
+    for word in [vec!["b", "a"], vec!["c", "a", "c", "b", "a"], vec!["a", "b"]] {
+        println!(
+            "  {:20}  {}",
+            word.join(" "),
+            if e0.matches(&word) { "member" } else { "not a member" }
+        );
+    }
+
+    // Non-deterministic content models are rejected with a witness — this is
+    // exactly the check a schema validator must perform on every content
+    // model it loads (and the paper shows it can be done in linear time).
+    match DeterministicRegex::compile("(a* b a + b b)*") {
+        Err(RegexError::NotDeterministic(witness)) => {
+            println!("\n(a*ba + bb)* rejected: {witness}");
+        }
+        other => panic!("expected a determinism error, got {other:?}"),
+    }
+}

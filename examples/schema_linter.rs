@@ -1,0 +1,123 @@
+//! A content-model linter: reads content models (from the command line or a
+//! built-in corpus), reports whether each is deterministic, and explains
+//! non-determinism with a witness — the diagnostic a schema editor would
+//! surface to its user.
+//!
+//! Run with `cargo run --example schema_linter` or
+//! `cargo run --example schema_linter -- "(a b + b b? a)*" "a b* b"`.
+
+use redet::syntax::printer::to_string;
+use redet::{check_counting_determinism, check_determinism, parse, ExprStats, TreeAnalysis};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let corpus: Vec<String> = if args.is_empty() {
+        BUILTIN_CORPUS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut deterministic = 0usize;
+    for input in &corpus {
+        match lint(input) {
+            Ok(report) => {
+                if report.deterministic {
+                    deterministic += 1;
+                }
+                println!("{report}");
+            }
+            Err(error) => println!("{input}\n  parse error: {error}\n"),
+        }
+    }
+    println!(
+        "{deterministic}/{} content models are deterministic",
+        corpus.len()
+    );
+}
+
+struct Report {
+    rendered: String,
+    deterministic: bool,
+    verdict: String,
+    stats: ExprStats,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.rendered)?;
+        writeln!(f, "  {}", self.verdict)?;
+        writeln!(
+            f,
+            "  size {}, σ = {}, k = {}, alternation depth = {}, star-free: {}, counters: {}",
+            self.stats.size,
+            self.stats.distinct_symbols,
+            self.stats.max_occurrences,
+            self.stats.plus_depth,
+            self.stats.star_free,
+            self.stats.counting
+        )
+    }
+}
+
+fn lint(input: &str) -> Result<Report, redet::syntax::ParseError> {
+    let (regex, sigma) = parse(input)?;
+    let stats = ExprStats::of(&regex);
+    let verdict = if stats.counting {
+        match check_counting_determinism(&regex) {
+            Ok(()) => None,
+            Err(witness) => Some(witness),
+        }
+    } else {
+        let analysis = TreeAnalysis::build(&regex);
+        check_determinism(&analysis).err()
+    };
+    let (deterministic, verdict) = match verdict {
+        None => (
+            true,
+            "deterministic — usable as a DTD/XML Schema content model".to_string(),
+        ),
+        Some(witness) => {
+            let name = sigma.name(witness.symbol);
+            (
+                false,
+                format!(
+                    "NOT deterministic: the {name}-labeled positions #{} and #{} can follow a common \
+                     position ({:?}); a one-pass parser reading '{name}' would not know which branch to take",
+                    witness.first.index(),
+                    witness.second.index(),
+                    witness.kind,
+                ),
+            )
+        }
+    };
+    Ok(Report {
+        rendered: to_string(&regex, &sigma),
+        deterministic,
+        verdict,
+        stats,
+    })
+}
+
+/// A small corpus in the spirit of the families discussed in the paper's
+/// introduction and related-work section.
+const BUILTIN_CORPUS: &[&str] = &[
+    // Deterministic paper examples.
+    "(a b + b b? a)*",
+    "(c?((a b*)(a? c)))*(b a)",
+    "(c (b? a)) a",
+    // Non-deterministic paper examples.
+    "(a* b a + b b)*",
+    "a b* b",
+    "(c (b? a?)) a",
+    // DTD-style models.
+    "(title, author+, (year | date)?)",
+    "(chapter (section (para)* )* )? appendix",
+    "(name, (street | pobox), city, zip, country?)",
+    // Mixed content.
+    "(em + strong + code + a0 + a1 + a2)*",
+    // Counted XML-Schema-style models.
+    "(a b){2,2} a (b + d)",
+    "(a b){1,2} a",
+    "((a{2,3} + b){2}){2} b",
+    "(item{1,10}, total)",
+];

@@ -1,0 +1,56 @@
+//! `redet` — deterministic regular expressions in linear time.
+//!
+//! This crate is the facade of a workspace reproducing *"Deterministic
+//! Regular Expressions in Linear Time"* (Groz, Maneth, Staworko — PODS
+//! 2012). Deterministic (one-unambiguous) regular expressions are the
+//! content models of DTDs and XML Schema; the paper shows how to test
+//! determinism in time `O(|e|)` (instead of the classical `O(σ|e|)`
+//! Glushkov construction) and how to match words against deterministic
+//! expressions with only linear preprocessing.
+//!
+//! # Quick start
+//!
+//! ```
+//! use redet::DeterministicRegex;
+//!
+//! // A DTD-style content model.
+//! let model = DeterministicRegex::compile("(title, author+, (year | date)?)").unwrap();
+//! assert!(model.matches(&["title", "author", "author", "year"]));
+//! assert!(!model.matches(&["title", "year", "date"]));
+//!
+//! // Non-deterministic content models are rejected, with a witness.
+//! let err = DeterministicRegex::compile("(a* b a + b b)*").unwrap_err();
+//! println!("rejected: {err}");
+//! ```
+//!
+//! # Workspace layout
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`syntax`](redet_syntax) | alphabet, AST, parser, normalizer (restrictions R1–R3) |
+//! | [`tree`](redet_tree) | parse-tree arena, RMQ/LCA, `SupFirst`/`SupLast`, `checkIfFollow` (Thm 2.4) |
+//! | [`structures`](redet_structures) | van Emde Boas sets, lazy arrays, lowest colored ancestor |
+//! | [`automata`](redet_automata) | Glushkov construction, baseline determinism test, DFA/NFA matching |
+//! | [`core`](redet_core) | linear-time determinism test (Thm 3.5), counting extension (§3.3), the four matchers (Thms 4.2/4.3/4.10/4.12) |
+//!
+//! The most convenient entry point is [`DeterministicRegex`]; the individual
+//! algorithms are available through the re-exported crates for benchmarking
+//! and fine-grained control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use redet_automata as automata;
+pub use redet_core as core;
+pub use redet_structures as structures;
+pub use redet_syntax as syntax;
+pub use redet_tree as tree;
+
+pub use redet_automata::{GlushkovAutomaton, GlushkovDfaMatcher, Matcher, NfaSimulationMatcher};
+pub use redet_core::{
+    check_counting_determinism, check_determinism, ColoredAncestorMatcher, DeterministicRegex,
+    DeterminismCertificate, KOccurrenceMatcher, MatchStrategy, NonDeterminism,
+    PathDecompositionMatcher, PositionMatcher, RegexError, StarFreeMatcher, TransitionSim,
+};
+pub use redet_syntax::{parse, Alphabet, ExprStats, Regex, Symbol};
+pub use redet_tree::TreeAnalysis;
