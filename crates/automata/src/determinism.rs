@@ -101,13 +101,19 @@ mod tests {
     fn mixed_content_is_deterministic() {
         let expr = format!(
             "({})*",
-            (0..50).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" + ")
+            (0..50)
+                .map(|i| format!("a{i}"))
+                .collect::<Vec<_>>()
+                .join(" + ")
         );
         assert!(check(&expr).is_ok());
         // With a duplicated symbol it becomes non-deterministic.
         let expr = format!(
             "({} + a7)*",
-            (0..50).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" + ")
+            (0..50)
+                .map(|i| format!("a{i}"))
+                .collect::<Vec<_>>()
+                .join(" + ")
         );
         assert!(check(&expr).is_err());
     }

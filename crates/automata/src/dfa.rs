@@ -11,7 +11,7 @@ use crate::determinism::{glushkov_determinism, NonDeterminismWitness};
 use crate::glushkov::GlushkovAutomaton;
 use crate::matcher::Matcher;
 use redet_syntax::{Regex, Symbol};
-use redet_tree::PosId;
+use redet_tree::{ParseTree, PosId};
 use std::collections::HashMap;
 
 /// The baseline matcher: explicit per-state transition tables of the
@@ -33,10 +33,15 @@ impl GlushkovDfaMatcher {
         Self::from_automaton(&GlushkovAutomaton::build(regex))
     }
 
+    /// Builds the matcher from an already-built parse tree (e.g. the one
+    /// owned by a shared `TreeAnalysis`), skipping the redundant parse-tree
+    /// construction.
+    pub fn from_tree(tree: &ParseTree) -> Result<Self, NonDeterminismWitness> {
+        Self::from_automaton(&GlushkovAutomaton::from_tree(tree))
+    }
+
     /// Builds the matcher from an existing Glushkov automaton.
-    pub fn from_automaton(
-        automaton: &GlushkovAutomaton,
-    ) -> Result<Self, NonDeterminismWitness> {
+    pub fn from_automaton(automaton: &GlushkovAutomaton) -> Result<Self, NonDeterminismWitness> {
         glushkov_determinism(automaton)?;
         let m = automaton.num_positions();
         let mut transitions = Vec::with_capacity(m);
@@ -99,7 +104,15 @@ mod tests {
     fn example_2_1_language() {
         let mut sigma = Alphabet::new();
         let m = matcher("(a b + b (b?) a)*", &mut sigma);
-        for accept in ["", "a b", "b a", "b b a", "a b b a", "b a a b", "a b a b b b a a b"] {
+        for accept in [
+            "",
+            "a b",
+            "b a",
+            "b b a",
+            "a b b a",
+            "b a a b",
+            "a b a b b b a a b",
+        ] {
             assert!(m.matches(&word(&mut sigma, accept)), "{accept:?}");
         }
         for reject in ["a", "b", "a a", "b b", "a b b", "b b b a", "a b a"] {

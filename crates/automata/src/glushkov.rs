@@ -284,7 +284,10 @@ mod tests {
         let m = 20;
         let expr = format!(
             "({})*",
-            (0..m).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" + ")
+            (0..m)
+                .map(|i| format!("a{i}"))
+                .collect::<Vec<_>>()
+                .join(" + ")
         );
         let (g, _) = automaton(&expr);
         // m symbol positions each followed by m positions plus $, plus the

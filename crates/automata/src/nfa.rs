@@ -87,7 +87,15 @@ mod tests {
         let mut sigma = Alphabet::new();
         let e = parse_with_alphabet("(a* b a + b b)*", &mut sigma).unwrap();
         let m = NfaSimulationMatcher::build(&e);
-        for accept in ["", "b a", "a b a", "a a b a", "b b", "b b b a", "b a b b a a b a"] {
+        for accept in [
+            "",
+            "b a",
+            "a b a",
+            "a a b a",
+            "b b",
+            "b b b a",
+            "b a b b a a b a",
+        ] {
             assert!(m.matches(&word(&mut sigma, accept)), "{accept:?}");
         }
         for reject in ["a", "b", "a b", "b a b", "a a a"] {

@@ -115,7 +115,11 @@ mod tests {
         let m2 = NfaSimulationMatcher::build(&e2);
         let alphabet: Vec<Symbol> = sigma.symbols().collect();
         for w in all_words(&alphabet, 7) {
-            assert_eq!(m1.matches(&w), m2.matches(&w), "{counted} vs {expanded} on {w:?}");
+            assert_eq!(
+                m1.matches(&w),
+                m2.matches(&w),
+                "{counted} vs {expanded} on {w:?}"
+            );
         }
     }
 

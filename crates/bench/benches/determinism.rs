@@ -1,75 +1,87 @@
-//! Criterion benches for experiments E1/E2/E8: determinism testing and
-//! preprocessing cost, linear-time algorithms vs the Glushkov baseline.
+//! Benches for experiments E1/E2/E8: determinism testing and preprocessing
+//! cost — the pipeline's analyze + certify stages vs the Glushkov baseline.
+//!
+//! The timed closures borrow the pre-built AST on both sides (no clones in
+//! the loop), so the comparison isolates exactly the work the paper counts:
+//! `TreeAnalysis::build` + `check_determinism` (the `O(|e|)` stages 3–4 of
+//! the pipeline) against the `Θ(σ|e|)` Glushkov construction.
+//!
+//! Run with `cargo bench -p redet-bench --bench determinism`; set
+//! `REDET_BENCH_FAST=1` for a smoke run and `REDET_BENCH_JSON_DIR=dir` to
+//! record a report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use redet_automata::{glushkov_determinism, GlushkovAutomaton};
+use redet_bench::harness::Harness;
 use redet_core::check_determinism;
 use redet_tree::TreeAnalysis;
 use redet_workloads as workloads;
-use std::time::Duration;
 
-fn configure(c: &mut Criterion) -> &mut Criterion {
-    c
+/// The pipeline's analyze + certify stages (Theorem 3.5 path).
+fn pipeline_determinism(regex: &redet_syntax::Regex) -> bool {
+    let analysis = TreeAnalysis::build(regex);
+    check_determinism(&analysis).is_ok()
 }
 
 /// E1: mixed content (a1 + … + a_m)* — the Glushkov baseline is quadratic,
-/// the skeleton test is linear.
-fn bench_mixed_content(c: &mut Criterion) {
-    let mut group = configure(c).benchmark_group("E1_determinism_mixed_content");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
-    for m in [256usize, 1024, 4096] {
+/// the pipeline stages are linear.
+fn bench_mixed_content(h: &mut Harness) {
+    h.group("E1_determinism_mixed_content");
+    let sizes: &[usize] = if h.is_fast() {
+        &[256]
+    } else {
+        &[256, 1024, 4096]
+    };
+    for &m in sizes {
         let w = workloads::mixed_content(m);
-        group.bench_with_input(BenchmarkId::new("skeleton_linear", m), &w.regex, |b, e| {
-            b.iter(|| {
-                let analysis = TreeAnalysis::build(e);
-                check_determinism(&analysis).is_ok()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("glushkov_baseline", m), &w.regex, |b, e| {
-            b.iter(|| glushkov_determinism(&GlushkovAutomaton::build(e)).is_ok())
+        h.bench("pipeline_linear", m, || pipeline_determinism(&w.regex));
+        h.bench("glushkov_baseline", m, || {
+            glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok()
         });
     }
-    group.finish();
 }
 
 /// E2: realistic families (CHARE, k-occurrence, deep alternation).
-fn bench_families(c: &mut Criterion) {
-    let mut group = configure(c).benchmark_group("E2_determinism_families");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+fn bench_families(h: &mut Harness) {
+    h.group("E2_determinism_families");
+    let scale = if h.is_fast() { 4 } else { 1 };
     let families = [
-        ("chare", workloads::chare(400, 5, 1).regex),
-        ("k_occurrence_4", workloads::k_occurrence(4, 100, 4, 2).regex),
-        ("deep_alternation_16", workloads::deep_alternation(16, 3).regex),
+        ("chare", workloads::chare(400 / scale, 5, 1)),
+        (
+            "k_occurrence_4",
+            workloads::k_occurrence(4, 100 / scale, 4, 2),
+        ),
+        ("deep_alternation_16", workloads::deep_alternation(16, 3)),
     ];
-    for (name, regex) in families {
-        group.bench_with_input(BenchmarkId::new("skeleton_linear", name), &regex, |b, e| {
-            b.iter(|| {
-                let analysis = TreeAnalysis::build(e);
-                check_determinism(&analysis).is_ok()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("glushkov_baseline", name), &regex, |b, e| {
-            b.iter(|| glushkov_determinism(&GlushkovAutomaton::build(e)).is_ok())
+    for (name, w) in &families {
+        h.bench("pipeline_linear", name, || pipeline_determinism(&w.regex));
+        h.bench("glushkov_baseline", name, || {
+            glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok()
         });
     }
-    group.finish();
 }
 
-/// E8: preprocessing cost only (tree analysis vs Glushkov automaton).
-fn bench_preprocessing(c: &mut Criterion) {
-    let mut group = configure(c).benchmark_group("E8_preprocessing");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
-    for m in [1024usize, 8192] {
+/// E8: preprocessing cost by stage — the shared tree analysis and the
+/// determinism certificate vs building the Θ(σ|e|) Glushkov automaton.
+fn bench_preprocessing(h: &mut Harness) {
+    h.group("E8_preprocessing");
+    let sizes: &[usize] = if h.is_fast() { &[1024] } else { &[1024, 8192] };
+    for &m in sizes {
         let w = workloads::mixed_content(m);
-        group.bench_with_input(BenchmarkId::new("tree_analysis", m), &w.regex, |b, e| {
-            b.iter(|| TreeAnalysis::build(e))
+        h.bench("tree_analysis", m, || TreeAnalysis::build(&w.regex));
+        let analysis = TreeAnalysis::build(&w.regex);
+        h.bench("determinism_certificate", m, || {
+            check_determinism(&analysis).is_ok()
         });
-        group.bench_with_input(BenchmarkId::new("glushkov_automaton", m), &w.regex, |b, e| {
-            b.iter(|| GlushkovAutomaton::build(e))
+        h.bench("glushkov_automaton", m, || {
+            GlushkovAutomaton::build(&w.regex)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mixed_content, bench_families, bench_preprocessing);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_mixed_content(&mut h);
+    bench_families(&mut h);
+    bench_preprocessing(&mut h);
+    h.finish("determinism");
+}

@@ -1,21 +1,29 @@
-//! Criterion benches for experiments E3–E7: `checkIfFollow` queries and the
-//! four matching algorithms against the Glushkov DFA baseline.
+//! Benches for experiments E3–E7: `checkIfFollow` queries and the four
+//! matching algorithms against the Glushkov DFA baseline — all constructed
+//! from one shared `CompiledAnalysis` artifact, so compile-once/match-many
+//! is what gets measured.
+//!
+//! Run with `cargo bench -p redet-bench --bench matching`; set
+//! `REDET_BENCH_FAST=1` for a smoke run and `REDET_BENCH_JSON_DIR=dir` to
+//! record a report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use redet_automata::{GlushkovDfaMatcher, Matcher};
-use redet_bench::{colored_matcher, kocc_matcher, pathdecomp_matcher, preprocess};
-use redet_core::matcher::starfree::StarFreeMatcher;
-use redet_tree::{PosId, TreeAnalysis};
+use redet_bench::{
+    colored_matcher, compile_workload, harness::Harness, kocc_matcher, pathdecomp_matcher,
+    starfree_matcher,
+};
+use redet_core::{DeterministicRegex, MatchStrategy};
+use redet_tree::PosId;
 use redet_workloads as workloads;
-use std::time::Duration;
 
 /// E3: constant-time checkIfFollow queries.
-fn bench_check_if_follow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E3_check_if_follow");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
-    for factors in [256usize, 4096] {
+fn bench_check_if_follow(h: &mut Harness) {
+    h.group("E3_check_if_follow");
+    let sizes: &[usize] = if h.is_fast() { &[256] } else { &[256, 4096] };
+    for &factors in sizes {
         let w = workloads::chare(factors, 4, 7);
-        let analysis = TreeAnalysis::build(&w.regex);
+        let compiled = compile_workload(&w);
+        let analysis = compiled.analysis();
         let m = analysis.tree().num_positions();
         let queries: Vec<(PosId, PosId)> = (0..10_000u64)
             .map(|i| {
@@ -24,84 +32,75 @@ fn bench_check_if_follow(c: &mut Criterion) {
                 (PosId::from_index(p), PosId::from_index(q))
             })
             .collect();
-        group.throughput(Throughput::Elements(queries.len() as u64));
-        group.bench_with_input(BenchmarkId::new("queries_10k", m), &queries, |b, qs| {
-            b.iter(|| qs.iter().filter(|&&(p, q)| analysis.check_if_follow(p, q)).count())
+        h.throughput(queries.len() as u64);
+        h.bench("queries_10k", m, || {
+            queries
+                .iter()
+                .filter(|&&(p, q)| analysis.check_if_follow(p, q))
+                .count()
         });
     }
-    group.finish();
 }
 
 /// E4: k-occurrence matching as k grows.
-fn bench_k_occurrence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_k_occurrence_matching");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+fn bench_k_occurrence(h: &mut Harness) {
+    h.group("E4_k_occurrence_matching");
+    let word_len = if h.is_fast() { 1_000 } else { 10_000 };
     for k in [1usize, 4, 16] {
         let w = workloads::k_occurrence(k, 40, 4, 11);
-        let (analysis, _) = preprocess(&w.regex);
-        let word = workloads::sample_member_word(&w.regex, 10_000, 13);
-        group.throughput(Throughput::Elements(word.len() as u64));
-        let matcher = kocc_matcher(analysis);
-        group.bench_with_input(BenchmarkId::new("kocc", k), &word, |b, word| {
-            b.iter(|| matcher.matches(word))
-        });
-        let dfa = GlushkovDfaMatcher::build(&w.regex).unwrap();
-        group.bench_with_input(BenchmarkId::new("glushkov_dfa", k), &word, |b, word| {
-            b.iter(|| dfa.matches(word))
-        });
+        let compiled = compile_workload(&w);
+        let word = workloads::sample_member_word(&w.regex, word_len, 13);
+        h.throughput(word.len() as u64);
+        let matcher = kocc_matcher(&compiled);
+        h.bench("kocc", k, || matcher.matches(&word));
+        let dfa = GlushkovDfaMatcher::from_tree(compiled.analysis().tree()).unwrap();
+        h.bench("glushkov_dfa", k, || dfa.matches(&word));
     }
-    group.finish();
 }
 
 /// E5: path-decomposition matching as the alternation depth c_e grows.
-fn bench_path_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_path_decomposition_matching");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
-    for depth in [2usize, 8, 32] {
+fn bench_path_decomposition(h: &mut Harness) {
+    h.group("E5_path_decomposition_matching");
+    let word_len = if h.is_fast() { 1_000 } else { 10_000 };
+    let depths: &[usize] = if h.is_fast() { &[8] } else { &[2, 8, 32] };
+    for &depth in depths {
         let w = workloads::deep_alternation(depth, 17);
-        let (analysis, _) = preprocess(&w.regex);
-        let word = workloads::sample_member_word(&w.regex, 10_000, 19);
-        group.throughput(Throughput::Elements(word.len() as u64));
-        let matcher = pathdecomp_matcher(analysis);
-        group.bench_with_input(BenchmarkId::new("path_decomposition", depth), &word, |b, word| {
-            b.iter(|| matcher.matches(word))
-        });
-        let dfa = GlushkovDfaMatcher::build(&w.regex).unwrap();
-        group.bench_with_input(BenchmarkId::new("glushkov_dfa", depth), &word, |b, word| {
-            b.iter(|| dfa.matches(word))
-        });
+        let compiled = compile_workload(&w);
+        let word = workloads::sample_member_word(&w.regex, word_len, 19);
+        h.throughput(word.len() as u64);
+        let matcher = pathdecomp_matcher(&compiled);
+        h.bench("path_decomposition", depth, || matcher.matches(&word));
+        let dfa = GlushkovDfaMatcher::from_tree(compiled.analysis().tree()).unwrap();
+        h.bench("glushkov_dfa", depth, || dfa.matches(&word));
     }
-    group.finish();
 }
 
 /// E6: colored-ancestor matching as |e| grows (fixed word length).
-fn bench_colored_ancestor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E6_colored_ancestor_matching");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
-    for factors in [256usize, 4096] {
+fn bench_colored_ancestor(h: &mut Harness) {
+    h.group("E6_colored_ancestor_matching");
+    let word_len = if h.is_fast() { 1_000 } else { 10_000 };
+    let sizes: &[usize] = if h.is_fast() { &[256] } else { &[256, 4096] };
+    for &factors in sizes {
         let w = workloads::chare(factors, 4, 23);
-        let (analysis, certificate) = preprocess(&w.regex);
-        let word = workloads::sample_member_word(&w.regex, 10_000, 29);
-        group.throughput(Throughput::Elements(word.len() as u64));
-        let matcher = colored_matcher(analysis, certificate);
-        group.bench_with_input(
-            BenchmarkId::new("colored_ancestor", w.regex.num_positions()),
-            &word,
-            |b, word| b.iter(|| matcher.matches(word)),
-        );
+        let compiled = compile_workload(&w);
+        let word = workloads::sample_member_word(&w.regex, word_len, 29);
+        h.throughput(word.len() as u64);
+        let matcher = colored_matcher(&compiled);
+        h.bench("colored_ancestor", w.regex.num_positions(), || {
+            matcher.matches(&word)
+        });
     }
-    group.finish();
 }
 
 /// E7: star-free multi-word matching (one traversal) vs word-by-word DFA.
-fn bench_star_free(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7_star_free_multiword");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+fn bench_star_free(h: &mut Harness) {
+    h.group("E7_star_free_multiword");
     let w = workloads::star_free_chare(120, 4, 31);
-    let (analysis, _) = preprocess(&w.regex);
-    let starfree = StarFreeMatcher::new(analysis).unwrap();
-    let dfa = GlushkovDfaMatcher::build(&w.regex).unwrap();
-    for n in [100usize, 2000] {
+    let compiled = compile_workload(&w);
+    let starfree = starfree_matcher(&compiled);
+    let dfa = GlushkovDfaMatcher::from_tree(compiled.analysis().tree()).unwrap();
+    let counts: &[usize] = if h.is_fast() { &[100] } else { &[100, 2000] };
+    for &n in counts {
         let words: Vec<Vec<redet_syntax::Symbol>> = (0..n)
             .map(|i| {
                 if i % 2 == 0 {
@@ -111,22 +110,69 @@ fn bench_star_free(c: &mut Criterion) {
                 }
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("batch_single_traversal", n), &words, |b, words| {
-            b.iter(|| starfree.match_words(words))
-        });
-        group.bench_with_input(BenchmarkId::new("word_by_word_dfa", n), &words, |b, words| {
-            b.iter(|| words.iter().filter(|w| dfa.matches(w)).count())
+        let total: usize = words.iter().map(Vec::len).sum();
+        h.throughput(total as u64);
+        h.bench("batch_single_traversal", n, || starfree.match_words(&words));
+        h.bench("word_by_word_dfa", n, || {
+            words.iter().filter(|w| dfa.matches(w)).count()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_check_if_follow,
-    bench_k_occurrence,
-    bench_path_decomposition,
-    bench_colored_ancestor,
-    bench_star_free
-);
-criterion_main!(benches);
+/// E10: compile-once / match-many — the shared-artifact pipeline against
+/// recompiling per strategy (what the facade did before the pipeline
+/// existed) and recompiling per word (the pathological baseline).
+fn bench_compile_once_match_many(h: &mut Harness) {
+    h.group("E10_compile_once_match_many");
+    let w = workloads::chare(60, 4, 37);
+    let printed = redet_syntax::printer::to_string(&w.regex, &w.alphabet);
+    let n_words = if h.is_fast() { 50 } else { 500 };
+    let words: Vec<Vec<redet_syntax::Symbol>> = (0..n_words)
+        .map(|i| workloads::sample_member_word(&w.regex, 40, i as u64))
+        .collect();
+    let total: usize = words.iter().map(Vec::len).sum();
+
+    // Compile once, match all words, switching across every strategy on the
+    // same artifact (no re-parse, no re-analysis).
+    h.throughput(total as u64);
+    h.bench("shared_artifact_all_strategies", n_words, || {
+        let model = DeterministicRegex::compile(&printed).unwrap();
+        let mut accepted = 0usize;
+        for strategy in [
+            MatchStrategy::KOccurrence,
+            MatchStrategy::PathDecomposition,
+            MatchStrategy::ColoredAncestor,
+            MatchStrategy::GlushkovDfa,
+        ] {
+            let m = model.with_strategy(strategy).unwrap();
+            accepted += words.iter().filter(|w| m.matches_symbols(w)).count();
+        }
+        accepted
+    });
+
+    // The pre-pipeline shape: each strategy re-runs the whole compilation.
+    h.bench("recompile_per_strategy", n_words, || {
+        let mut accepted = 0usize;
+        for strategy in [
+            MatchStrategy::KOccurrence,
+            MatchStrategy::PathDecomposition,
+            MatchStrategy::ColoredAncestor,
+            MatchStrategy::GlushkovDfa,
+        ] {
+            let m = DeterministicRegex::compile_with(&printed, strategy).unwrap();
+            accepted += words.iter().filter(|w| m.matches_symbols(w)).count();
+        }
+        accepted
+    });
+}
+
+fn main() {
+    let mut h = Harness::new();
+    bench_check_if_follow(&mut h);
+    bench_k_occurrence(&mut h);
+    bench_path_decomposition(&mut h);
+    bench_colored_ancestor(&mut h);
+    bench_star_free(&mut h);
+    bench_compile_once_match_many(&mut h);
+    h.finish("matching");
+}

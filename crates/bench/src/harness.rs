@@ -1,0 +1,213 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! Criterion is not available in offline builds, so the benches use this
+//! small stand-in: each benchmark runs a calibration pass to size its
+//! batches, then times a fixed number of batches and reports the **median**
+//! batch time per iteration (the median is robust against scheduler noise,
+//! which is the main hazard without Criterion's outlier analysis). Results
+//! are printed as a table and can be written to a JSON report for
+//! baseline-vs-branch comparisons (`BENCH_baseline.json`).
+//!
+//! Environment knobs:
+//! * `REDET_BENCH_FAST=1` — shrink batches for smoke-testing the benches;
+//! * `REDET_BENCH_JSON_DIR=dir` — write a `BENCH_<bench-name>.json` report
+//!   into `dir`.
+
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark group (e.g. `E4_k_occurrence_matching`).
+    pub group: String,
+    /// Benchmark name within the group (e.g. `kocc`).
+    pub name: String,
+    /// The swept parameter value (e.g. `k` or the expression size).
+    pub param: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Optional throughput denominator (elements processed per iteration);
+    /// when set, the report also contains ns/element.
+    pub elements: Option<u64>,
+}
+
+/// The harness: collects measurements and renders the report.
+#[derive(Debug, Default)]
+pub struct Harness {
+    fast: bool,
+    measurements: Vec<Measurement>,
+    group: String,
+    elements: Option<u64>,
+}
+
+impl Harness {
+    /// Creates a harness, honoring `REDET_BENCH_FAST`.
+    pub fn new() -> Self {
+        Harness {
+            fast: std::env::var_os("REDET_BENCH_FAST").is_some(),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the harness is in fast (smoke-test) mode.
+    pub fn is_fast(&self) -> bool {
+        self.fast
+    }
+
+    /// Starts a named benchmark group; subsequent [`Self::bench`] calls are
+    /// reported under it.
+    pub fn group(&mut self, name: &str) -> &mut Self {
+        self.group = name.to_owned();
+        self.elements = None;
+        self
+    }
+
+    /// Sets the throughput denominator for subsequent benchmarks in the
+    /// current group.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Times `f` and records the result. `name` identifies the algorithm,
+    /// `param` the swept input parameter.
+    pub fn bench<T>(&mut self, name: &str, param: impl ToString, mut f: impl FnMut() -> T) {
+        // Calibration: find a batch size that runs for ≳1 ms (≳0.1 ms in
+        // fast mode) so timer resolution is irrelevant.
+        let target_ns = if self.fast { 100_000 } else { 1_000_000 };
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= target_ns || batch >= 1 << 24 {
+                break;
+            }
+            // Grow towards the target with headroom.
+            batch = (batch * 4).max(batch + 1);
+        }
+
+        // Measurement: several batches, median per-iteration time.
+        let samples = if self.fast { 5 } else { 11 };
+        let mut per_iter: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+
+        let m = Measurement {
+            group: self.group.clone(),
+            name: name.to_owned(),
+            param: param.to_string(),
+            ns_per_iter: median,
+            elements: self.elements,
+        };
+        let per_elem = m
+            .elements
+            .map(|e| format!("  ({:.2} ns/elem)", m.ns_per_iter / e.max(1) as f64))
+            .unwrap_or_default();
+        println!(
+            "{:<40} {:<24} {:>14.1} ns/iter{per_elem}",
+            format!("{}/{}", m.group, m.name),
+            m.param,
+            m.ns_per_iter
+        );
+        self.measurements.push(m);
+    }
+
+    /// The collected measurements.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Renders the JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let sep = if i + 1 == self.measurements.len() {
+                ""
+            } else {
+                ","
+            };
+            let elements = m
+                .elements
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "null".to_owned());
+            out.push_str(&format!(
+                "    {{\"group\": {}, \"name\": {}, \"param\": {}, \"ns_per_iter\": {:.1}, \"elements\": {}}}{}\n",
+                json_string(&m.group),
+                json_string(&m.name),
+                json_string(&m.param),
+                m.ns_per_iter,
+                elements,
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `<REDET_BENCH_JSON_DIR>/BENCH_<name>.json`
+    /// if `REDET_BENCH_JSON_DIR` is set. Call at the end of a bench `main`
+    /// with the bench's name.
+    pub fn finish(&self, name: &str) {
+        if let Some(dir) = std::env::var_os("REDET_BENCH_JSON_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+            std::fs::write(&path, self.to_json())
+                .unwrap_or_else(|e| eprintln!("failed to write {path:?}: {e}"));
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut h = Harness {
+            fast: true,
+            ..Harness::default()
+        };
+        h.group("unit").throughput(4);
+        h.bench("add", 1, || std::hint::black_box(1u64) + 1);
+        assert_eq!(h.measurements().len(), 1);
+        let m = &h.measurements()[0];
+        assert!(m.ns_per_iter > 0.0);
+        assert_eq!(m.elements, Some(4));
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"unit\""));
+        assert!(json.contains("\"elements\": 4"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+}

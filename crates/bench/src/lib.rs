@@ -1,21 +1,31 @@
 //! Shared helpers for the benchmark harness and the experiment runner.
 //!
 //! The paper contains no measurement tables; its experimental content is a
-//! set of complexity claims (see `EXPERIMENTS.md` at the workspace root).
-//! This crate provides the glue shared by the Criterion benches and by the
-//! `experiments` binary that prints the claim-by-claim comparison tables.
+//! set of complexity claims. This crate provides the glue shared by the
+//! benches and by the `experiments` binary that prints the claim-by-claim
+//! comparison tables:
+//!
+//! * [`compile_workload`] — run a generated workload through the shared
+//!   compilation pipeline once, producing the [`CompiledAnalysis`] artifact
+//!   every matcher is constructed from (compile-once / match-many is what
+//!   the benches measure);
+//! * matcher constructors over the artifact;
+//! * [`harness`] — a dependency-free micro-benchmark harness (median of
+//!   timed batches) with a JSON report, standing in for Criterion, which is
+//!   unavailable in offline builds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use redet_core::determinism::DeterminismCertificate;
+pub mod harness;
+
 use redet_core::matcher::colored::ColoredAncestorMatcher;
 use redet_core::matcher::kocc::KOccurrenceMatcher;
 use redet_core::matcher::pathdecomp::PathDecompositionMatcher;
+use redet_core::matcher::starfree::StarFreeMatcher;
 use redet_core::matcher::PositionMatcher;
-use redet_core::check_determinism;
-use redet_syntax::Regex;
-use redet_tree::TreeAnalysis;
+use redet_core::CompiledAnalysis;
+use redet_workloads::Workload;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,33 +44,39 @@ pub fn micros(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e6)
 }
 
-/// Builds the full preprocessing pipeline of the linear-time algorithms for
-/// a deterministic expression: analysis + certificate.
-pub fn preprocess(regex: &Regex) -> (Arc<TreeAnalysis>, Arc<DeterminismCertificate>) {
-    let analysis = Arc::new(TreeAnalysis::build(regex));
-    let certificate = Arc::new(check_determinism(&analysis).expect("workloads are deterministic"));
-    (analysis, certificate)
+/// Runs a generated workload through the full compilation pipeline exactly
+/// once: interning is already done by the generator, so this performs the
+/// normalize → analyze → certify stages and returns the shared artifact.
+pub fn compile_workload(workload: &Workload) -> Arc<CompiledAnalysis> {
+    CompiledAnalysis::from_regex(workload.regex.clone(), workload.alphabet.clone())
+        .expect("benchmark workloads are deterministic")
 }
 
-/// Convenience constructors for the three position-based matchers used
-/// throughout the experiments.
-pub fn kocc_matcher(analysis: Arc<TreeAnalysis>) -> PositionMatcher<KOccurrenceMatcher> {
-    PositionMatcher::new(KOccurrenceMatcher::new(analysis))
+/// Bounded-occurrence matcher (Theorem 4.3) over the shared artifact.
+pub fn kocc_matcher(compiled: &CompiledAnalysis) -> PositionMatcher<KOccurrenceMatcher> {
+    PositionMatcher::new(KOccurrenceMatcher::from_compiled(compiled))
 }
 
-/// Path-decomposition matcher wrapped for word matching.
+/// Path-decomposition matcher (Theorem 4.10) over the shared artifact.
 pub fn pathdecomp_matcher(
-    analysis: Arc<TreeAnalysis>,
+    compiled: &CompiledAnalysis,
 ) -> PositionMatcher<PathDecompositionMatcher> {
-    PositionMatcher::new(PathDecompositionMatcher::new(analysis).expect("workloads are counting-free"))
+    PositionMatcher::new(
+        PathDecompositionMatcher::from_compiled(compiled).expect("workloads are counting-free"),
+    )
 }
 
-/// Lowest-colored-ancestor matcher wrapped for word matching.
-pub fn colored_matcher(
-    analysis: Arc<TreeAnalysis>,
-    certificate: Arc<DeterminismCertificate>,
-) -> PositionMatcher<ColoredAncestorMatcher> {
-    PositionMatcher::new(ColoredAncestorMatcher::new(analysis, certificate))
+/// Lowest-colored-ancestor matcher (Theorem 4.2) over the shared artifact.
+pub fn colored_matcher(compiled: &CompiledAnalysis) -> PositionMatcher<ColoredAncestorMatcher> {
+    PositionMatcher::new(
+        ColoredAncestorMatcher::from_compiled(compiled)
+            .expect("counting-free workloads carry a certificate"),
+    )
+}
+
+/// Star-free matcher (Theorem 4.12) over the shared artifact.
+pub fn starfree_matcher(compiled: &CompiledAnalysis) -> StarFreeMatcher {
+    StarFreeMatcher::from_compiled(compiled).expect("workload is star-free")
 }
 
 /// Prints a Markdown table row.
@@ -75,16 +91,26 @@ mod tests {
     use redet_workloads as workloads;
 
     #[test]
-    fn helpers_build_working_matchers() {
+    fn helpers_build_working_matchers_from_one_artifact() {
         let w = workloads::chare(10, 3, 1);
-        let (analysis, certificate) = preprocess(&w.regex);
+        let compiled = compile_workload(&w);
         let word = workloads::sample_member_word(&w.regex, 30, 7);
-        let kocc = kocc_matcher(analysis.clone());
-        let path = pathdecomp_matcher(analysis.clone());
-        let colored = colored_matcher(analysis, certificate);
+        let kocc = kocc_matcher(&compiled);
+        let path = pathdecomp_matcher(&compiled);
+        let colored = colored_matcher(&compiled);
         assert!(kocc.matches(&word));
         assert!(path.matches(&word));
         assert!(colored.matches(&word));
+        // All three share the same underlying analysis allocation.
+        use redet_core::TransitionSim;
+        assert!(std::ptr::eq(
+            compiled.analysis().as_ref(),
+            kocc.sim().analysis()
+        ));
+        assert!(std::ptr::eq(
+            compiled.analysis().as_ref(),
+            colored.sim().analysis()
+        ));
     }
 
     #[test]

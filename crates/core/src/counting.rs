@@ -236,8 +236,14 @@ mod tests {
 
     #[test]
     fn paper_section_3_3_examples() {
-        assert!(linear("(a b){2,2} a (b + d)"), "(ab)^{{2..2}}a(b+d) is deterministic");
-        assert!(!linear("(a b){1,2} a"), "(ab)^{{1..2}}a is not deterministic");
+        assert!(
+            linear("(a b){2,2} a (b + d)"),
+            "(ab)^{{2..2}}a(b+d) is deterministic"
+        );
+        assert!(
+            !linear("(a b){1,2} a"),
+            "(ab)^{{1..2}}a is not deterministic"
+        );
         assert!(!linear("((a{2,3} + b){2}){2} b"), "Kilpeläinen–Tuhkanen e5");
     }
 

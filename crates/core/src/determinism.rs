@@ -264,7 +264,10 @@ mod tests {
         assert!(linear("(c (b? a)*) a").is_err(), "§3.2 e″");
         assert!(linear("(c (b? a)) a").is_ok(), "§3.2 e‴");
         assert!(linear("(a (b? a))*").is_ok(), "§3.2 star example");
-        assert!(linear("(a (b? a?))*").is_err(), "§3.2 star example (nullable)");
+        assert!(
+            linear("(a (b? a?))*").is_err(),
+            "§3.2 star example (nullable)"
+        );
     }
 
     #[test]
@@ -300,7 +303,10 @@ mod tests {
         let m = 200;
         let expr = format!(
             "({})*",
-            (0..m).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" + ")
+            (0..m)
+                .map(|i| format!("a{i}"))
+                .collect::<Vec<_>>()
+                .join(" + ")
         );
         let certificate = linear(&expr).unwrap();
         // The skeleta stay linear even though the Glushkov automaton of this

@@ -1,15 +1,23 @@
-//! High-level entry point: compile a content model, check determinism, pick
-//! a matching algorithm, and validate words.
+//! High-level entry point: a thin driver over the compilation [`Pipeline`]
+//! that picks a matching algorithm and validates words.
+//!
+//! All the heavy lifting — interning, parsing, normalization, the shared
+//! parse-tree analysis, determinism certification — happens once in the
+//! pipeline and is captured in an [`Arc<CompiledAnalysis>`]; this module
+//! only chooses a strategy and builds the (cheap) strategy-specific
+//! structures on top of the artifact. Consequently, switching strategies on
+//! an already-compiled expression ([`DeterministicRegex::with_strategy`])
+//! never re-parses or re-analyzes.
 
-use crate::counting::check_counting_determinism;
-use crate::determinism::{check_determinism, DeterminismCertificate, NonDeterminism};
 use crate::matcher::colored::ColoredAncestorMatcher;
 use crate::matcher::kocc::KOccurrenceMatcher;
 use crate::matcher::pathdecomp::PathDecompositionMatcher;
 use crate::matcher::starfree::StarFreeMatcher;
 use crate::matcher::PositionMatcher;
+use crate::pipeline::CompiledAnalysis;
+pub use crate::pipeline::RegexError;
 use redet_automata::{GlushkovDfaMatcher, Matcher, NfaSimulationMatcher};
-use redet_syntax::{normalize, parse_with_alphabet, Alphabet, ExprStats, Regex};
+use redet_syntax::{Alphabet, ExprStats, Regex};
 use redet_tree::TreeAnalysis;
 use std::fmt;
 use std::sync::Arc;
@@ -34,55 +42,6 @@ pub enum MatchStrategy {
     GlushkovDfa,
 }
 
-/// Errors produced while compiling a content model.
-#[derive(Debug)]
-pub enum RegexError {
-    /// The textual syntax could not be parsed.
-    Parse(redet_syntax::ParseError),
-    /// The expression is structurally invalid (e.g. `a{3,1}`).
-    Syntax(redet_syntax::SyntaxError),
-    /// The expression is not deterministic (not one-unambiguous), with a
-    /// witness explaining why — the same diagnostic an XML schema processor
-    /// would report for a non-deterministic content model.
-    NotDeterministic(NonDeterminism),
-    /// The requested strategy does not apply to this expression (e.g.
-    /// [`MatchStrategy::StarFree`] for an expression containing `∗`).
-    StrategyNotApplicable(&'static str),
-}
-
-impl fmt::Display for RegexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RegexError::Parse(e) => write!(f, "{e}"),
-            RegexError::Syntax(e) => write!(f, "{e}"),
-            RegexError::NotDeterministic(e) => write!(f, "{e}"),
-            RegexError::StrategyNotApplicable(why) => {
-                write!(f, "requested matching strategy does not apply: {why}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RegexError {}
-
-impl From<redet_syntax::ParseError> for RegexError {
-    fn from(e: redet_syntax::ParseError) -> Self {
-        RegexError::Parse(e)
-    }
-}
-
-impl From<redet_syntax::SyntaxError> for RegexError {
-    fn from(e: redet_syntax::SyntaxError) -> Self {
-        RegexError::Syntax(e)
-    }
-}
-
-impl From<NonDeterminism> for RegexError {
-    fn from(e: NonDeterminism) -> Self {
-        RegexError::NotDeterministic(e)
-    }
-}
-
 enum MatcherImpl {
     StarFree(PositionMatcher<StarFreeMatcher>),
     KOccurrence(PositionMatcher<KOccurrenceMatcher>),
@@ -91,8 +50,9 @@ enum MatcherImpl {
     GlushkovDfa(GlushkovDfaMatcher),
     /// Counted expressions are matched by simulating the Glushkov automaton
     /// of the (language-preserving) unrolled expression, because unrolling
-    /// does not preserve determinism.
-    CountedNfa(NfaSimulationMatcher),
+    /// does not preserve determinism. The simulation is built once by the
+    /// pipeline and shared.
+    CountedNfa(Arc<NfaSimulationMatcher>),
 }
 
 /// A compiled deterministic regular expression (content model): parsing,
@@ -110,11 +70,7 @@ enum MatcherImpl {
 /// assert!(DeterministicRegex::compile("(a* b a + b b)*").is_err());
 /// ```
 pub struct DeterministicRegex {
-    alphabet: Alphabet,
-    regex: Regex,
-    stats: ExprStats,
-    analysis: Arc<TreeAnalysis>,
-    certificate: Option<Arc<DeterminismCertificate>>,
+    compiled: Arc<CompiledAnalysis>,
     strategy: MatchStrategy,
     matcher: MatcherImpl,
 }
@@ -128,9 +84,7 @@ impl DeterministicRegex {
 
     /// Like [`Self::compile`] with an explicit matching strategy.
     pub fn compile_with(input: &str, strategy: MatchStrategy) -> Result<Self, RegexError> {
-        let mut alphabet = Alphabet::new();
-        let regex = parse_with_alphabet(input, &mut alphabet)?;
-        Self::from_regex_with(regex, alphabet, strategy)
+        Self::from_compiled(CompiledAnalysis::compile(input)?, strategy)
     }
 
     /// Compiles an already-built AST (sharing an alphabet with other content
@@ -145,33 +99,34 @@ impl DeterministicRegex {
         alphabet: Alphabet,
         strategy: MatchStrategy,
     ) -> Result<Self, RegexError> {
-        let regex = normalize(regex)?;
-        let stats = ExprStats::of(&regex);
-        let analysis = Arc::new(TreeAnalysis::build(&regex));
+        Self::from_compiled(CompiledAnalysis::from_regex(regex, alphabet)?, strategy)
+    }
 
-        // Determinism: the counting-aware test subsumes the plain one.
-        let certificate = if stats.counting {
-            check_counting_determinism(&regex)?;
-            None
-        } else {
-            Some(Arc::new(check_determinism(&analysis)?))
-        };
-
+    /// Attaches a matcher to a shared pipeline artifact. This is the only
+    /// constructor that does real work, and the work is limited to the
+    /// strategy-specific structures — the artifact already carries the
+    /// parse-tree analysis and the determinism certificate.
+    pub fn from_compiled(
+        compiled: Arc<CompiledAnalysis>,
+        strategy: MatchStrategy,
+    ) -> Result<Self, RegexError> {
         let chosen = match strategy {
-            MatchStrategy::Auto => Self::auto_strategy(&stats),
+            MatchStrategy::Auto => Self::auto_strategy(compiled.stats()),
             other => other,
         };
-        let matcher = Self::build_matcher(&regex, &stats, &analysis, &certificate, chosen)?;
-
+        let matcher = Self::build_matcher(&compiled, chosen)?;
         Ok(DeterministicRegex {
-            alphabet,
-            regex,
-            stats,
-            analysis,
-            certificate,
+            compiled,
             strategy: chosen,
             matcher,
         })
+    }
+
+    /// Re-targets the expression at a different matching strategy, sharing
+    /// every stage of the compilation — no re-parse, no re-normalization, no
+    /// re-analysis, no re-certification.
+    pub fn with_strategy(&self, strategy: MatchStrategy) -> Result<Self, RegexError> {
+        Self::from_compiled(self.compiled.clone(), strategy)
     }
 
     fn auto_strategy(stats: &ExprStats) -> MatchStrategy {
@@ -191,75 +146,77 @@ impl DeterministicRegex {
     }
 
     fn build_matcher(
-        regex: &Regex,
-        stats: &ExprStats,
-        analysis: &Arc<TreeAnalysis>,
-        certificate: &Option<Arc<DeterminismCertificate>>,
+        compiled: &Arc<CompiledAnalysis>,
         strategy: MatchStrategy,
     ) -> Result<MatcherImpl, RegexError> {
-        if stats.counting {
-            // Language-correct matching of counted expressions: simulate the
-            // Glushkov automaton of the unrolled expression.
-            let unrolled = redet_automata::unroll_counting(regex);
-            return Ok(MatcherImpl::CountedNfa(NfaSimulationMatcher::build(
-                &unrolled,
-            )));
+        if let Some(sim) = compiled.counted_simulation() {
+            // Language-correct matching of counted expressions: the pipeline
+            // already built the unrolled-expression simulation.
+            return Ok(MatcherImpl::CountedNfa(sim.clone()));
         }
         Ok(match strategy {
             MatchStrategy::Auto => unreachable!("Auto is resolved before building"),
             MatchStrategy::StarFree => MatcherImpl::StarFree(PositionMatcher::new(
-                StarFreeMatcher::new(analysis.clone()).map_err(|_| {
-                    RegexError::StrategyNotApplicable("the expression contains an iterating operator")
+                StarFreeMatcher::from_compiled(compiled).map_err(|_| {
+                    RegexError::StrategyNotApplicable(
+                        "the expression contains an iterating operator",
+                    )
                 })?,
             )),
             MatchStrategy::KOccurrence => MatcherImpl::KOccurrence(PositionMatcher::new(
-                KOccurrenceMatcher::new(analysis.clone()),
+                KOccurrenceMatcher::from_compiled(compiled),
             )),
-            MatchStrategy::PathDecomposition => MatcherImpl::PathDecomposition(
-                PositionMatcher::new(PathDecompositionMatcher::new(analysis.clone()).map_err(
-                    |_| RegexError::StrategyNotApplicable("path decomposition preprocessing failed"),
-                )?),
-            ),
-            MatchStrategy::ColoredAncestor => {
-                let certificate = certificate
-                    .clone()
-                    .expect("counting-free expressions always carry a certificate");
-                MatcherImpl::ColoredAncestor(PositionMatcher::new(ColoredAncestorMatcher::new(
-                    analysis.clone(),
-                    certificate,
-                )))
+            MatchStrategy::PathDecomposition => {
+                MatcherImpl::PathDecomposition(PositionMatcher::new(
+                    PathDecompositionMatcher::from_compiled(compiled).map_err(|_| {
+                        RegexError::StrategyNotApplicable("path decomposition preprocessing failed")
+                    })?,
+                ))
             }
+            MatchStrategy::ColoredAncestor => MatcherImpl::ColoredAncestor(PositionMatcher::new(
+                ColoredAncestorMatcher::from_compiled(compiled).map_err(|_| {
+                    RegexError::StrategyNotApplicable(
+                        "no determinism certificate is available for this expression",
+                    )
+                })?,
+            )),
             MatchStrategy::GlushkovDfa => MatcherImpl::GlushkovDfa(
-                GlushkovDfaMatcher::build(regex)
-                    .map_err(|_| RegexError::StrategyNotApplicable("expression is not deterministic"))?,
+                GlushkovDfaMatcher::from_tree(compiled.analysis().tree()).map_err(|_| {
+                    RegexError::StrategyNotApplicable("expression is not deterministic")
+                })?,
             ),
         })
     }
 
+    /// The shared compilation artifact backing this expression.
+    pub fn compiled(&self) -> &Arc<CompiledAnalysis> {
+        &self.compiled
+    }
+
     /// The interned alphabet of the expression.
     pub fn alphabet(&self) -> &Alphabet {
-        &self.alphabet
+        self.compiled.alphabet()
     }
 
     /// The normalized abstract syntax tree.
     pub fn regex(&self) -> &Regex {
-        &self.regex
+        self.compiled.regex()
     }
 
     /// Structural statistics (`k`, `c_e`, star-freedom, σ, …).
     pub fn stats(&self) -> &ExprStats {
-        &self.stats
+        self.compiled.stats()
     }
 
     /// The preprocessed parse tree (Theorem 2.4 queries and friends).
     pub fn analysis(&self) -> &TreeAnalysis {
-        &self.analysis
+        self.compiled.analysis()
     }
 
     /// The determinism certificate (colors and skeleta), when the expression
     /// is counting-free.
-    pub fn certificate(&self) -> Option<&DeterminismCertificate> {
-        self.certificate.as_deref()
+    pub fn certificate(&self) -> Option<&crate::determinism::DeterminismCertificate> {
+        self.compiled.certificate().map(|c| c.as_ref())
     }
 
     /// The matching strategy in use.
@@ -270,14 +227,10 @@ impl DeterministicRegex {
     /// Whether the word, given as element names, belongs to the content
     /// model. Unknown element names immediately reject.
     pub fn matches(&self, word: &[&str]) -> bool {
-        let mut symbols = Vec::with_capacity(word.len());
-        for name in word {
-            match self.alphabet.lookup(name) {
-                Some(sym) => symbols.push(sym),
-                None => return false,
-            }
+        match self.compiled.to_symbols(word) {
+            Some(symbols) => self.matches_symbols(&symbols),
+            None => false,
         }
-        self.matches_symbols(&symbols)
     }
 
     /// Whether the word, given as interned symbols, belongs to the content
@@ -311,7 +264,7 @@ impl fmt::Debug for DeterministicRegex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DeterministicRegex")
             .field("strategy", &self.strategy)
-            .field("stats", &self.stats)
+            .field("stats", self.stats())
             .finish()
     }
 }
@@ -375,7 +328,8 @@ mod tests {
             MatchStrategy::ColoredAncestor,
             MatchStrategy::GlushkovDfa,
         ];
-        let reference = DeterministicRegex::compile_with(input, MatchStrategy::GlushkovDfa).unwrap();
+        let reference =
+            DeterministicRegex::compile_with(input, MatchStrategy::GlushkovDfa).unwrap();
         for strategy in strategies {
             let model = DeterministicRegex::compile_with(input, strategy).unwrap();
             for w in &words {
@@ -385,6 +339,28 @@ mod tests {
                     "{strategy:?} on {w:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn strategy_switching_shares_the_artifact() {
+        let model = DeterministicRegex::compile("(c?((a b*)(a? c)))*(b a)").unwrap();
+        let switched = model.with_strategy(MatchStrategy::ColoredAncestor).unwrap();
+        // Same Arc: nothing upstream of matcher construction was redone.
+        assert!(Arc::ptr_eq(model.compiled(), switched.compiled()));
+        assert_eq!(switched.strategy(), MatchStrategy::ColoredAncestor);
+        for w in [vec!["b", "a"], vec!["a", "c", "b", "a"], vec!["a", "b"]] {
+            assert_eq!(model.matches(&w), switched.matches(&w), "{w:?}");
+        }
+        // And back through every strategy, still on the same artifact.
+        for strategy in [
+            MatchStrategy::KOccurrence,
+            MatchStrategy::PathDecomposition,
+            MatchStrategy::GlushkovDfa,
+            MatchStrategy::Auto,
+        ] {
+            let again = switched.with_strategy(strategy).unwrap();
+            assert!(Arc::ptr_eq(model.compiled(), again.compiled()));
         }
     }
 

@@ -14,8 +14,11 @@
 //!   lowest-colored-ancestor matching (Theorem 4.2), `k`-occurrence matching
 //!   (Theorem 4.3), path-decomposition matching (Theorem 4.10), and
 //!   star-free multi-word matching (Theorem 4.12);
-//! * [`DeterministicRegex`] — a facade that normalizes, analyses, checks
-//!   determinism and picks a matching strategy automatically.
+//! * [`pipeline`] — the staged compiler (intern + parse → normalize →
+//!   analyze → certify) producing the shared [`CompiledAnalysis`] artifact
+//!   every matcher is constructed from;
+//! * [`DeterministicRegex`] — a thin facade over the pipeline that picks a
+//!   matching strategy and validates words.
 //!
 //! The Glushkov-automaton baselines these algorithms are measured against
 //! live in `redet-automata`; the shared parse-tree machinery (LCA,
@@ -28,14 +31,18 @@ pub mod counting;
 pub mod determinism;
 pub mod facade;
 pub mod matcher;
+pub mod pipeline;
 pub mod skeleton;
 
 pub use counting::{check_counting_determinism, flexibility_report};
-pub use facade::{DeterministicRegex, MatchStrategy, RegexError};
-pub use determinism::{check_determinism, DeterminismCertificate, NonDeterminism, NonDeterminismKind};
+pub use determinism::{
+    check_determinism, DeterminismCertificate, NonDeterminism, NonDeterminismKind,
+};
+pub use facade::{DeterministicRegex, MatchStrategy};
 pub use matcher::colored::ColoredAncestorMatcher;
 pub use matcher::kocc::KOccurrenceMatcher;
 pub use matcher::pathdecomp::PathDecompositionMatcher;
 pub use matcher::starfree::StarFreeMatcher;
 pub use matcher::{PositionMatcher, TransitionSim};
+pub use pipeline::{CompiledAnalysis, Pipeline, RegexError};
 pub use skeleton::{ColorAssignment, Skeleta, Skeleton};

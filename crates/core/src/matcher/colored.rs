@@ -23,7 +23,36 @@ pub struct ColoredAncestorMatcher {
     colored: ColoredAncestors,
 }
 
+/// Error raised when the pipeline artifact carries no determinism
+/// certificate — counted expressions are certified by the counting test of
+/// Section 3.3, which produces no colors/skeleta, so the colored-ancestor
+/// matcher cannot be built for them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MissingCertificate;
+
+impl std::fmt::Display for MissingCertificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "the compiled expression carries no determinism certificate (counted expressions do not)"
+        )
+    }
+}
+
+impl std::error::Error for MissingCertificate {}
+
 impl ColoredAncestorMatcher {
+    /// Builds the matcher from the shared pipeline artifact, reusing its
+    /// parse-tree analysis and the certificate computed by the determinism
+    /// test — the only additional preprocessing is the colored-ancestor
+    /// structure.
+    pub fn from_compiled(
+        compiled: &crate::pipeline::CompiledAnalysis,
+    ) -> Result<Self, MissingCertificate> {
+        let certificate = compiled.certificate().ok_or(MissingCertificate)?.clone();
+        Ok(Self::new(compiled.analysis().clone(), certificate))
+    }
+
     /// Builds the matcher from the determinism certificate (which already
     /// contains the colors and skeleta — the only additional preprocessing
     /// is the colored-ancestor structure).
@@ -66,9 +95,7 @@ impl TransitionSim for ColoredAncestorMatcher {
         let leaf = tree.pos_node(p);
         // Lemma 3.3: the a-labeled follower is stored at the lowest ancestor
         // of p with color a.
-        let node = self
-            .colored
-            .lowest_colored_ancestor(tree, leaf, symbol)?;
+        let node = self.colored.lowest_colored_ancestor(tree, leaf, symbol)?;
         let skeleton = self.certificate.skeleta().get(symbol)?;
         let entry = skeleton.find(node)?;
         [entry.witness, entry.first_pos, entry.next]
@@ -122,10 +149,19 @@ mod tests {
         let c = sigma.lookup("c").unwrap();
         let a = sigma.lookup("a").unwrap();
         let b = sigma.lookup("b").unwrap();
-        assert_eq!(m.find_next(PosId::from_index(3), c), Some(PosId::from_index(5)));
-        assert_eq!(m.find_next(PosId::from_index(5), a), Some(PosId::from_index(2)));
+        assert_eq!(
+            m.find_next(PosId::from_index(3), c),
+            Some(PosId::from_index(5))
+        );
+        assert_eq!(
+            m.find_next(PosId::from_index(5), a),
+            Some(PosId::from_index(2))
+        );
         // And the final (b a) factor is reachable from p5 as well.
-        assert_eq!(m.find_next(PosId::from_index(5), b), Some(PosId::from_index(6)));
+        assert_eq!(
+            m.find_next(PosId::from_index(5), b),
+            Some(PosId::from_index(6))
+        );
         // d is not in the alphabet of e0 at all.
         let d = sigma.intern("d");
         assert_eq!(m.find_next(PosId::from_index(5), d), None);

@@ -26,6 +26,12 @@ impl KOccurrenceMatcher {
         KOccurrenceMatcher { analysis }
     }
 
+    /// Builds the matcher from the shared pipeline artifact, reusing its
+    /// parse-tree analysis.
+    pub fn from_compiled(compiled: &crate::pipeline::CompiledAnalysis) -> Self {
+        Self::new(compiled.analysis().clone())
+    }
+
     /// The maximal number of candidate positions inspected per input symbol
     /// (the `k` of the `O(|e| + k|w|)` bound).
     pub fn max_occurrences(&self) -> usize {

@@ -149,7 +149,11 @@ pub(crate) mod testutil {
 
     /// Asserts that `matcher` agrees with the Glushkov DFA baseline on all
     /// words up to the given length.
-    pub fn assert_agrees_with_baseline<M: Matcher>(input: &str, max_len: usize, matcher: impl Fn(&Regex) -> M) {
+    pub fn assert_agrees_with_baseline<M: Matcher>(
+        input: &str,
+        max_len: usize,
+        matcher: impl Fn(&Regex) -> M,
+    ) {
         let (e, _, words) = expression_and_words(input, max_len);
         let baseline = GlushkovDfaMatcher::build(&e).expect("test expressions are deterministic");
         let m = matcher(&e);

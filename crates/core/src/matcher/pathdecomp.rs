@@ -75,6 +75,14 @@ pub struct PathDecompositionMatcher {
 }
 
 impl PathDecompositionMatcher {
+    /// Builds the matcher from the shared pipeline artifact, reusing its
+    /// parse-tree analysis.
+    pub fn from_compiled(
+        compiled: &crate::pipeline::CompiledAnalysis,
+    ) -> Result<Self, PathDecompositionError> {
+        Self::new(compiled.analysis().clone())
+    }
+
     /// Builds the matcher in `O(|e|)` time.
     pub fn new(analysis: Arc<TreeAnalysis>) -> Result<Self, PathDecompositionError> {
         let tree = analysis.tree();
@@ -116,8 +124,7 @@ impl PathDecompositionMatcher {
         let mut f = vec![NodeId::from_index(0); n];
         for node in tree.node_ids() {
             let idx = node.index();
-            let non_nullable_concat =
-                tree.kind(node) == NodeKind::Concat && !props.nullable(node);
+            let non_nullable_concat = tree.kind(node) == NodeKind::Concat && !props.nullable(node);
             match tree.parent(node) {
                 None => {
                     path_top[idx] = node;
@@ -151,7 +158,9 @@ impl PathDecompositionMatcher {
             let sup_first = props
                 .p_sup_first(leaf)
                 .expect("alphabet positions have a pSupFirst node");
-            let parent = tree.parent(sup_first).expect("pSupFirst nodes have parents");
+            let parent = tree
+                .parent(sup_first)
+                .expect("pSupFirst nodes have parents");
             let left_sibling = tree
                 .lchild(parent)
                 .expect("parents of SupFirst nodes are concatenations");
@@ -350,6 +359,9 @@ mod tests {
         }
         assert!(baseline.matches(&word));
         assert!(m.matches(&word));
-        assert_eq!(m.matches(&[sigma.lookup("b3").unwrap()]), baseline.matches(&[sigma.lookup("b3").unwrap()]));
+        assert_eq!(
+            m.matches(&[sigma.lookup("b3").unwrap()]),
+            baseline.matches(&[sigma.lookup("b3").unwrap()])
+        );
     }
 }

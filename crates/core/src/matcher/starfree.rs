@@ -33,7 +33,10 @@ pub struct NotStarFree;
 
 impl std::fmt::Display for NotStarFree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "the expression contains an iterating operator; the star-free matcher does not apply")
+        write!(
+            f,
+            "the expression contains an iterating operator; the star-free matcher does not apply"
+        )
     }
 }
 
@@ -48,6 +51,14 @@ pub struct StarFreeMatcher {
 }
 
 impl StarFreeMatcher {
+    /// Builds the matcher from the shared pipeline artifact, reusing its
+    /// parse-tree analysis.
+    pub fn from_compiled(
+        compiled: &crate::pipeline::CompiledAnalysis,
+    ) -> Result<Self, NotStarFree> {
+        Self::new(compiled.analysis().clone())
+    }
+
     /// Builds the matcher; fails if the expression contains `∗` or `{i,∞}`.
     pub fn new(analysis: Arc<TreeAnalysis>) -> Result<Self, NotStarFree> {
         let tree = analysis.tree();
@@ -213,7 +224,10 @@ mod tests {
         let mut sigma = redet_syntax::Alphabet::new();
         for input in ["(a b)*", "a{2,} b", "(a + b)* c"] {
             let e = parse_with_alphabet(input, &mut sigma).unwrap();
-            assert!(StarFreeMatcher::new(Arc::new(TreeAnalysis::build(&e))).is_err(), "{input}");
+            assert!(
+                StarFreeMatcher::new(Arc::new(TreeAnalysis::build(&e))).is_err(),
+                "{input}"
+            );
         }
         // Bounded repetitions still iterate (their follow edges go
         // leftwards), so the forward-sweep matcher rejects them as well;

@@ -1,0 +1,311 @@
+//! The staged compilation pipeline and its shared artifact.
+//!
+//! Every algorithm in this workspace consumes the same `O(|e|)`
+//! preprocessing: the interned alphabet, the normalized AST, the parse tree
+//! with its LCA/`SupFirst`/`SupLast` machinery ([`TreeAnalysis`]), and — for
+//! counting-free expressions — the determinism certificate with its colors
+//! and per-symbol skeleta. Before this module existed each matcher (and each
+//! benchmark) re-derived parts of that preprocessing on its own, multiplying
+//! the paper's linear bound by the number of consumers.
+//!
+//! [`Pipeline`] runs the stages exactly once per expression:
+//!
+//! 1. **intern + parse** — symbols are interned into dense `u32` ids by the
+//!    pipeline-owned [`Alphabet`] (shared across all content models of a
+//!    schema), and the textual syntax is parsed;
+//! 2. **normalize** — the structural restrictions (R2)/(R3) are enforced so
+//!    the parse tree is linear in the number of positions, and the
+//!    structural statistics ([`ExprStats`]) are computed;
+//! 3. **analyze** — the parse tree is built, wrapped into `(# e′) $` (R1),
+//!    and preprocessed for constant-time `checkIfFollow` (Theorem 2.4);
+//! 4. **certify** — the linear-time determinism test (Theorem 3.5, or its
+//!    counting extension of Section 3.3) runs; for counting-free expressions
+//!    the certificate (colors + skeleta) is retained because the
+//!    lowest-colored-ancestor matcher reuses it; for counted expressions the
+//!    language-preserving unrolled simulation is built here, once.
+//!
+//! The result is an immutable [`CompiledAnalysis`] behind an `Arc`. All five
+//! matchers — k-occurrence, path decomposition, lowest colored ancestor,
+//! star-free, and the Glushkov DFA baseline — are constructed *from* this
+//! artifact (see the `from_compiled` constructors) without re-running any
+//! stage, so switching matching strategies on an already-compiled expression
+//! costs only the strategy's own preprocessing.
+
+use crate::counting::check_counting_determinism;
+use crate::determinism::{check_determinism, DeterminismCertificate, NonDeterminism};
+use redet_automata::NfaSimulationMatcher;
+use redet_syntax::{normalize, parse_with_alphabet, Alphabet, ExprStats, Regex, Symbol};
+use redet_tree::TreeAnalysis;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced while compiling a content model.
+#[derive(Debug)]
+pub enum RegexError {
+    /// The textual syntax could not be parsed.
+    Parse(redet_syntax::ParseError),
+    /// The expression is structurally invalid (e.g. `a{3,1}`).
+    Syntax(redet_syntax::SyntaxError),
+    /// The expression is not deterministic (not one-unambiguous), with a
+    /// witness explaining why — the same diagnostic an XML schema processor
+    /// would report for a non-deterministic content model.
+    NotDeterministic(NonDeterminism),
+    /// The requested strategy does not apply to this expression (e.g.
+    /// star-free matching for an expression containing `∗`).
+    StrategyNotApplicable(&'static str),
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Parse(e) => write!(f, "{e}"),
+            RegexError::Syntax(e) => write!(f, "{e}"),
+            RegexError::NotDeterministic(e) => write!(f, "{e}"),
+            RegexError::StrategyNotApplicable(why) => {
+                write!(f, "requested matching strategy does not apply: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl From<redet_syntax::ParseError> for RegexError {
+    fn from(e: redet_syntax::ParseError) -> Self {
+        RegexError::Parse(e)
+    }
+}
+
+impl From<redet_syntax::SyntaxError> for RegexError {
+    fn from(e: redet_syntax::SyntaxError) -> Self {
+        RegexError::Syntax(e)
+    }
+}
+
+impl From<NonDeterminism> for RegexError {
+    fn from(e: NonDeterminism) -> Self {
+        RegexError::NotDeterministic(e)
+    }
+}
+
+/// The immutable, shareable result of running an expression through the
+/// pipeline: everything the matchers, the benchmarks and the facade need,
+/// computed exactly once.
+///
+/// `CompiledAnalysis` is handed around behind an [`Arc`]; cloning the handle
+/// is free and thread-safe, so one compiled schema can serve many validator
+/// threads.
+///
+/// ```
+/// use redet_core::pipeline::CompiledAnalysis;
+///
+/// let compiled = CompiledAnalysis::compile("(a b + b b? a)*").unwrap();
+/// assert!(!compiled.stats().star_free);
+/// assert_eq!(compiled.alphabet().len(), 2);
+/// assert!(compiled.certificate().is_some());
+/// ```
+#[derive(Debug)]
+pub struct CompiledAnalysis {
+    alphabet: Alphabet,
+    regex: Regex,
+    stats: ExprStats,
+    analysis: Arc<TreeAnalysis>,
+    certificate: Option<Arc<DeterminismCertificate>>,
+    /// For counted expressions: the set-of-positions simulation of the
+    /// unrolled (language-preserving) expression, built once here because
+    /// unrolling does not preserve determinism and every strategy falls back
+    /// to it.
+    counted_simulation: Option<Arc<NfaSimulationMatcher>>,
+}
+
+impl CompiledAnalysis {
+    /// Runs the full pipeline on a textual content model with a fresh
+    /// alphabet. Equivalent to `Pipeline::new().compile(input)`.
+    pub fn compile(input: &str) -> Result<Arc<Self>, RegexError> {
+        Pipeline::new().compile(input)
+    }
+
+    /// Runs the normalize → analyze → certify stages on an already-parsed
+    /// AST and its alphabet.
+    pub fn from_regex(regex: Regex, alphabet: Alphabet) -> Result<Arc<Self>, RegexError> {
+        // Stage 2: normalization (R2/R3) and structural statistics.
+        let regex = normalize(regex)?;
+        let stats = ExprStats::of(&regex);
+
+        // Stage 3: the shared parse-tree analysis (Theorem 2.4).
+        let analysis = Arc::new(TreeAnalysis::build(&regex));
+
+        // Stage 4: determinism certification. The counting-aware test
+        // subsumes the plain one; counting-free expressions keep the
+        // certificate because the colored-ancestor matcher reuses it.
+        let (certificate, counted_simulation) = if stats.counting {
+            check_counting_determinism(&regex)?;
+            let unrolled = redet_automata::unroll_counting(&regex);
+            let sim = Arc::new(NfaSimulationMatcher::build(&unrolled));
+            (None, Some(sim))
+        } else {
+            let cert = Arc::new(check_determinism(&analysis)?);
+            (Some(cert), None)
+        };
+
+        Ok(Arc::new(CompiledAnalysis {
+            alphabet,
+            regex,
+            stats,
+            analysis,
+            certificate,
+            counted_simulation,
+        }))
+    }
+
+    /// The interned alphabet of the expression — the single source of truth
+    /// for the string ↔ symbol mapping.
+    #[inline]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The normalized abstract syntax tree.
+    #[inline]
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// Structural statistics (`k`, `c_e`, star-freedom, σ, …).
+    #[inline]
+    pub fn stats(&self) -> &ExprStats {
+        &self.stats
+    }
+
+    /// The preprocessed parse tree (Theorem 2.4 queries and friends).
+    #[inline]
+    pub fn analysis(&self) -> &Arc<TreeAnalysis> {
+        &self.analysis
+    }
+
+    /// The determinism certificate (colors and skeleta), when the expression
+    /// is counting-free.
+    #[inline]
+    pub fn certificate(&self) -> Option<&Arc<DeterminismCertificate>> {
+        self.certificate.as_ref()
+    }
+
+    /// The cached unrolled-expression simulation, when the expression uses
+    /// numeric occurrence indicators.
+    #[inline]
+    pub fn counted_simulation(&self) -> Option<&Arc<NfaSimulationMatcher>> {
+        self.counted_simulation.as_ref()
+    }
+
+    /// Interns-free conversion of a word of element names into symbols.
+    /// Returns `None` as soon as a name is not part of the alphabet — such a
+    /// word cannot be a member of any content model over this alphabet.
+    pub fn to_symbols(&self, word: &[&str]) -> Option<Vec<Symbol>> {
+        word.iter().map(|name| self.alphabet.lookup(name)).collect()
+    }
+}
+
+/// The staged compiler driver.
+///
+/// A `Pipeline` owns the schema-wide [`Alphabet`], so compiling several
+/// content models of the same schema through one pipeline interns every
+/// element name exactly once and gives all models a consistent dense symbol
+/// space:
+///
+/// ```
+/// use redet_core::pipeline::Pipeline;
+///
+/// let mut pipeline = Pipeline::new();
+/// let book = pipeline.compile("(title, author+, year?)").unwrap();
+/// let article = pipeline.compile("(title, author+, journal)").unwrap();
+/// // "title" means the same symbol in both models.
+/// assert_eq!(
+///     book.alphabet().lookup("title"),
+///     article.alphabet().lookup("title"),
+/// );
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    alphabet: Alphabet,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pipeline seeded with an existing alphabet (e.g. the element
+    /// names of a schema, interned up front).
+    pub fn with_alphabet(alphabet: Alphabet) -> Self {
+        Pipeline { alphabet }
+    }
+
+    /// The symbols interned so far across all compiled models.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Runs all four stages on a textual content model, producing the shared
+    /// artifact. Symbols are interned into the pipeline's alphabet; the
+    /// artifact holds a snapshot of the alphabet as of this compilation.
+    pub fn compile(&mut self, input: &str) -> Result<Arc<CompiledAnalysis>, RegexError> {
+        // Stage 1: intern + parse.
+        let regex = parse_with_alphabet(input, &mut self.alphabet)?;
+        CompiledAnalysis::from_regex(regex, self.alphabet.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_carries_all_stages() {
+        let compiled = CompiledAnalysis::compile("(a b + b b? a)*").unwrap();
+        assert_eq!(compiled.alphabet().len(), 2);
+        assert_eq!(compiled.stats().max_occurrences, 3);
+        assert!(compiled.certificate().is_some());
+        assert!(compiled.counted_simulation().is_none());
+        assert!(compiled.analysis().tree().num_positions() >= 5);
+    }
+
+    #[test]
+    fn counted_expressions_cache_the_unrolled_simulation() {
+        let compiled = CompiledAnalysis::compile("(a b){2,4} c").unwrap();
+        assert!(compiled.stats().counting);
+        assert!(compiled.certificate().is_none());
+        assert!(compiled.counted_simulation().is_some());
+    }
+
+    #[test]
+    fn nondeterministic_models_are_rejected_at_certification() {
+        match CompiledAnalysis::compile("(a* b a + b b)*") {
+            Err(RegexError::NotDeterministic(_)) => {}
+            other => panic!("expected a determinism error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_shares_the_alphabet_across_models() {
+        let mut pipeline = Pipeline::new();
+        let first = pipeline.compile("(title, author+)").unwrap();
+        let second = pipeline.compile("(author, title?)").unwrap();
+        assert_eq!(
+            first.alphabet().lookup("author"),
+            second.alphabet().lookup("author")
+        );
+        // The earlier artifact's snapshot does not see later symbols.
+        let mut pipeline = Pipeline::new();
+        let small = pipeline.compile("a").unwrap();
+        pipeline.compile("a b").unwrap();
+        assert_eq!(small.alphabet().len(), 1);
+    }
+
+    #[test]
+    fn to_symbols_rejects_unknown_names() {
+        let compiled = CompiledAnalysis::compile("(title, author+)").unwrap();
+        assert!(compiled.to_symbols(&["title", "author"]).is_some());
+        assert!(compiled.to_symbols(&["title", "intruder"]).is_none());
+    }
+}

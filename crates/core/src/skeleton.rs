@@ -217,20 +217,21 @@ impl Skeleton {
         for i in (0..self.nodes.len()).rev() {
             let node = self.nodes[i].node;
             let mut candidate: Option<PosId> = None;
-            let consider = |p: Option<PosId>, candidate: &mut Option<PosId>| -> Option<(PosId, PosId)> {
-                let p = p?;
-                if !props.in_first(tree, p, node) {
-                    return None;
-                }
-                match *candidate {
-                    None => {
-                        *candidate = Some(p);
-                        None
+            let consider =
+                |p: Option<PosId>, candidate: &mut Option<PosId>| -> Option<(PosId, PosId)> {
+                    let p = p?;
+                    if !props.in_first(tree, p, node) {
+                        return None;
                     }
-                    Some(existing) if existing == p => None,
-                    Some(existing) => Some((existing, p)),
-                }
-            };
+                    match *candidate {
+                        None => {
+                            *candidate = Some(p);
+                            None
+                        }
+                        Some(existing) if existing == p => None,
+                        Some(existing) => Some((existing, p)),
+                    }
+                };
             // The node itself, if it is an a-position.
             let own = tree
                 .node_pos(node)
@@ -288,13 +289,13 @@ impl Skeleton {
                 let parent_node = self.nodes[parent_idx].node;
                 let is_left_child = self.nodes[parent_idx].lchild == Some(i as u32);
                 let right_sibling = self.nodes[parent_idx].rchild;
-                if tree.kind(parent_node) == NodeKind::Concat
-                    && is_left_child
-                    && right_sibling.is_some()
-                    && (!props.sup_last(node) || Some(parent_node) == tree.parent(node))
-                {
-                    let sibling = right_sibling.expect("checked above") as usize;
-                    y.insert(self.nodes[sibling].first_pos);
+                if let Some(sibling) = right_sibling {
+                    if tree.kind(parent_node) == NodeKind::Concat
+                        && is_left_child
+                        && (!props.sup_last(node) || Some(parent_node) == tree.parent(node))
+                    {
+                        y.insert(self.nodes[sibling as usize].first_pos);
+                    }
                 }
             }
 
@@ -406,17 +407,13 @@ impl Skeleta {
         }
 
         let mut per_symbol = Vec::with_capacity(num_symbols);
-        for sym_index in 0..num_symbols {
+        for (sym_index, colored) in colored.iter().enumerate() {
             let symbol = Symbol::from_index(sym_index);
             if tree.positions_of_symbol(symbol).is_empty() {
                 per_symbol.push(None);
                 continue;
             }
-            per_symbol.push(Some(Skeleton::build(
-                analysis,
-                symbol,
-                &colored[sym_index],
-            )?));
+            per_symbol.push(Some(Skeleton::build(analysis, symbol, colored)?));
         }
         Ok(Skeleta { per_symbol })
     }

@@ -260,7 +260,9 @@ mod tests {
         let mut state = seed;
         let mut out = Vec::new();
         for n in tree.node_ids() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Color roughly half the nodes, possibly with several colors.
             for c in 0..colors {
                 if (state >> (c * 7)) & 0b11 == 0 {
@@ -314,8 +316,7 @@ mod tests {
             structure.lowest_colored_ancestor(&tree, tree.root(), Symbol::from_index(0)),
             None
         );
-        let structure =
-            ColoredAncestors::build(&tree, &[(tree.root(), Symbol::from_index(1))]);
+        let structure = ColoredAncestors::build(&tree, &[(tree.root(), Symbol::from_index(1))]);
         assert_eq!(
             structure.lowest_colored_ancestor(&tree, tree.expr_root(), Symbol::from_index(0)),
             None,
@@ -345,7 +346,10 @@ mod tests {
     #[test]
     fn deep_chain_queries() {
         // A long left-leaning chain exercises the binary lifting.
-        let expr = (0..60).map(|i| format!("x{i}")).collect::<Vec<_>>().join(" ");
+        let expr = (0..60)
+            .map(|i| format!("x{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let (e, _) = parse(&expr).unwrap();
         let tree = ParseTree::build(&e);
         // Color every third node on the root path.

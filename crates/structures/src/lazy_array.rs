@@ -186,10 +186,12 @@ mod tests {
         let mut reference: HashMap<usize, u64> = HashMap::new();
         let mut state: u64 = 0x9e3779b97f4a7c15;
         for step in 0..10_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (state >> 32) as usize % 64;
             match state % 5 {
-                0 | 1 | 2 => {
+                0..=2 => {
                     arr.set(key, step);
                     reference.insert(key, step);
                 }
@@ -204,7 +206,7 @@ mod tests {
                 }
             }
             assert_eq!(arr.get(key), reference.get(&key), "step {step}");
-            assert_eq!(arr.len() >= reference.len(), true);
+            assert!(arr.len() >= reference.len());
         }
     }
 

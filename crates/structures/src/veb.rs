@@ -182,7 +182,9 @@ impl VebSet {
                 summary,
                 clusters,
             } => {
-                let Some(current_min) = *min else { return false };
+                let Some(current_min) = *min else {
+                    return false;
+                };
                 let mut x = x;
                 let was_min = x == current_min;
                 if was_min {
@@ -274,7 +276,11 @@ impl VebSet {
                 if x == 0 {
                     return None;
                 }
-                let below = if x >= 64 { *bits } else { bits & ((1u64 << x) - 1) };
+                let below = if x >= 64 {
+                    *bits
+                } else {
+                    bits & ((1u64 << x) - 1)
+                };
                 if below == 0 {
                     None
                 } else {
@@ -398,7 +404,9 @@ mod tests {
         let mut reference: BTreeSet<u32> = BTreeSet::new();
         let mut state = seed;
         for step in 0..steps {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 32) as u32) % (universe + 1);
             match state % 3 {
                 0 => {

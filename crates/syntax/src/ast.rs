@@ -79,7 +79,9 @@ impl Regex {
     /// Panics when `parts` is empty — the grammar has no ε expression.
     pub fn sequence<I: IntoIterator<Item = Regex>>(parts: I) -> Self {
         let mut iter = parts.into_iter();
-        let first = iter.next().expect("Regex::sequence needs at least one part");
+        let first = iter
+            .next()
+            .expect("Regex::sequence needs at least one part");
         iter.fold(first, Regex::then)
     }
 
@@ -229,7 +231,10 @@ mod tests {
         assert!(Regex::symbol(a).star().nullable());
         assert!(Regex::symbol(a).then(Regex::symbol(b)).opt().nullable());
         assert!(!Regex::symbol(a).then(Regex::symbol(b).opt()).nullable());
-        assert!(Regex::symbol(a).opt().then(Regex::symbol(b).star()).nullable());
+        assert!(Regex::symbol(a)
+            .opt()
+            .then(Regex::symbol(b).star())
+            .nullable());
         assert!(Regex::symbol(a).or(Regex::symbol(b).opt()).nullable());
         assert!(!Regex::symbol(a).or(Regex::symbol(b)).nullable());
         // Numeric occurrences: e{0,j} is nullable, e{1,j} is not (for non-nullable e).

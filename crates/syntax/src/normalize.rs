@@ -93,11 +93,7 @@ pub fn satisfies_r2_r3(regex: &Regex) -> bool {
                 ok = false;
             }
         }
-        Regex::Optional(inner) => {
-            if inner.nullable() {
-                ok = false;
-            }
-        }
+        Regex::Optional(inner) if inner.nullable() => ok = false,
         Regex::Repeat(_, 0, _) | Regex::Repeat(_, 1, Some(1)) => ok = false,
         _ => {}
     });
@@ -113,7 +109,10 @@ mod tests {
     fn norm(input: &str) -> String {
         let (e, sigma) = parse(input).unwrap();
         let e = normalize(e).unwrap();
-        assert!(satisfies_r2_r3(&e), "normalization left a violation in {input}");
+        assert!(
+            satisfies_r2_r3(&e),
+            "normalization left a violation in {input}"
+        );
         to_string(&e, &sigma)
     }
 
@@ -147,14 +146,19 @@ mod tests {
 
     #[test]
     fn invalid_repeats_are_rejected() {
-        let (e, _) = parse("a{0,0}").map(|(e, s)| (Regex::Repeat(Box::new(e), 0, Some(0)), s)).unwrap();
+        let (e, _) = parse("a{0,0}")
+            .map(|(e, s)| (Regex::Repeat(Box::new(e), 0, Some(0)), s))
+            .unwrap();
         assert_eq!(normalize(e), Err(SyntaxError::EmptyRepeat));
     }
 
     #[test]
     fn untouched_expressions_are_preserved() {
         assert_eq!(norm("(a b + b b? a)*"), "(a b + b b? a)*");
-        assert_eq!(norm("(c?((a b*)(a? c)))*(b a)"), "(c? (a b* (a? c)))* (b a)");
+        assert_eq!(
+            norm("(c?((a b*)(a? c)))*(b a)"),
+            "(c? (a b* (a? c)))* (b a)"
+        );
         assert_eq!(norm("(a b){2,2} a (b + d)"), "(a b){2} a (b + d)");
     }
 

@@ -53,7 +53,7 @@ pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Regex
     };
     let expr = parser.parse_union()?;
     if parser.pos != parser.tokens.len() {
-        let (offset, tok) = &parser.tokens[parser.pos];
+        let (offset, _, tok) = &parser.tokens[parser.pos];
         return Err(ParseError::new(
             *offset,
             format!("unexpected trailing input near {tok:?}"),
@@ -75,7 +75,7 @@ enum Token {
     Ident(String),
 }
 
-fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+fn tokenize(input: &str) -> Result<Vec<(usize, usize, Token)>, ParseError> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
@@ -84,11 +84,11 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
         match c {
             c if c.is_whitespace() => i += 1,
             '(' => {
-                tokens.push((i, Token::LParen));
+                tokens.push((i, i + 1, Token::LParen));
                 i += 1;
             }
             ')' => {
-                tokens.push((i, Token::RParen));
+                tokens.push((i, i + 1, Token::RParen));
                 i += 1;
             }
             '+' | '|' => {
@@ -98,6 +98,7 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
                     && matches!(
                         tokens.last(),
                         Some((
+                            _,
                             _,
                             Token::RParen
                                 | Token::Ident(_)
@@ -118,19 +119,27 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
                         j >= bytes.len()
                             || matches!(bytes[j] as char, ')' | ',' | '|' | '+' | '*' | '?' | '{')
                     };
-                tokens.push((i, if postfix { Token::PostfixPlus } else { Token::Union }));
+                tokens.push((
+                    i,
+                    i + 1,
+                    if postfix {
+                        Token::PostfixPlus
+                    } else {
+                        Token::Union
+                    },
+                ));
                 i += 1;
             }
             '*' => {
-                tokens.push((i, Token::Star));
+                tokens.push((i, i + 1, Token::Star));
                 i += 1;
             }
             '?' => {
-                tokens.push((i, Token::Question));
+                tokens.push((i, i + 1, Token::Question));
                 i += 1;
             }
             ',' => {
-                tokens.push((i, Token::Comma));
+                tokens.push((i, i + 1, Token::Comma));
                 i += 1;
             }
             '{' => {
@@ -140,9 +149,8 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
                     .map(|off| i + off)
                     .ok_or_else(|| ParseError::new(i, "unterminated '{'"))?;
                 let body = &input[i + 1..close];
-                let token = parse_repeat(body)
-                    .map_err(|msg| ParseError::new(start, msg))?;
-                tokens.push((start, token));
+                let token = parse_repeat(body).map_err(|msg| ParseError::new(start, msg))?;
+                tokens.push((start, close + 1, token));
                 i = close + 1;
             }
             '#' | '$' => {
@@ -157,7 +165,7 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
                 while i < bytes.len() && is_ident_continue(bytes[i] as char) {
                     i += 1;
                 }
-                tokens.push((start, Token::Ident(input[start..i].to_owned())));
+                tokens.push((start, i, Token::Ident(input[start..i].to_owned())));
             }
             _ => {
                 return Err(ParseError::new(i, format!("unexpected character '{c}'")));
@@ -202,25 +210,29 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 struct Parser<'a> {
-    tokens: Vec<(usize, Token)>,
+    tokens: Vec<(usize, usize, Token)>,
     pos: usize,
     alphabet: &'a mut Alphabet,
 }
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|(_, t)| t)
+        self.tokens.get(self.pos).map(|(_, _, t)| t)
     }
 
     fn offset(&self) -> usize {
         self.tokens
             .get(self.pos)
-            .map(|(o, _)| *o)
-            .unwrap_or(usize::MAX)
+            .map(|(o, _, _)| *o)
+            .unwrap_or_else(|| {
+                // Past the end: report just after the last token (0 for empty
+                // input) instead of a nonsense offset.
+                self.tokens.last().map(|(_, end, _)| *end).unwrap_or(0)
+            })
     }
 
     fn bump(&mut self) -> Option<Token> {
-        let tok = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        let tok = self.tokens.get(self.pos).map(|(_, _, t)| t.clone());
         if tok.is_some() {
             self.pos += 1;
         }
@@ -388,6 +400,18 @@ mod tests {
         assert!(parse("$").is_err());
         let err = parse("a @ b").unwrap_err();
         assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn end_of_input_errors_point_past_the_last_token() {
+        // Empty input: the error points at offset 0, not a garbage offset.
+        assert_eq!(parse("").unwrap_err().offset, 0);
+        // EOF mid-expression: just after the last token, not inside it
+        // (the union token spans 2..3, so the missing operand is at 3).
+        assert_eq!(parse("a |").unwrap_err().offset, 3);
+        assert_eq!(parse("title |").unwrap_err().offset, 7);
+        // An unbalanced '(' is reported at the '(' itself.
+        assert_eq!(parse("(title").unwrap_err().offset, 0);
     }
 
     #[test]

@@ -166,7 +166,8 @@ mod tests {
     #[test]
     fn figure2_has_plus_depth_4() {
         // The Figure 2 expression is reported in Example 4.4 to have c_e = 4.
-        let s = stats("(a? (b? (c + (d + e (a f?)){0,1} (b? (c? (d? (e + (f (g a* (b? h?))*)*)))))))");
+        let s =
+            stats("(a? (b? (c + (d + e (a f?)){0,1} (b? (c? (d? (e + (f (g a* (b? h?))*)*)))))))");
         assert!(s.plus_depth >= 3, "alternation depth was {}", s.plus_depth);
     }
 

@@ -293,8 +293,12 @@ mod tests {
     fn begin_and_end_markers() {
         let (analysis, sigma) = setup("(a b)*");
         let begin = analysis.tree().begin_pos();
-        let a1 = analysis.tree().positions_of_symbol(sigma.lookup("a").unwrap())[0];
-        let b2 = analysis.tree().positions_of_symbol(sigma.lookup("b").unwrap())[0];
+        let a1 = analysis
+            .tree()
+            .positions_of_symbol(sigma.lookup("a").unwrap())[0];
+        let b2 = analysis
+            .tree()
+            .positions_of_symbol(sigma.lookup("b").unwrap())[0];
         // # is followed by First(e′) and, since e′ is nullable, by $.
         assert!(analysis.check_if_follow(begin, a1));
         assert!(!analysis.check_if_follow(begin, b2));

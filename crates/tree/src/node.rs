@@ -85,7 +85,10 @@ impl NodeKind {
     /// phantom marker).
     #[inline]
     pub fn is_leaf(self) -> bool {
-        matches!(self, NodeKind::Begin | NodeKind::End | NodeKind::Position(_))
+        matches!(
+            self,
+            NodeKind::Begin | NodeKind::End | NodeKind::Position(_)
+        )
     }
 
     /// Whether this node is a position labeled with an alphabet symbol

@@ -234,9 +234,10 @@ impl ParseTree {
     /// Iterates over the alphabet positions (excluding `#`/`$`) as
     /// `(PosId, Symbol)` pairs in left-to-right order.
     pub fn symbol_positions(&self) -> impl Iterator<Item = (PosId, Symbol)> + '_ {
-        self.positions.iter().enumerate().filter_map(|(i, &n)| {
-            self.kind(n).symbol().map(|sym| (PosId::from_index(i), sym))
-        })
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| self.kind(n).symbol().map(|sym| (PosId::from_index(i), sym)))
     }
 
     /// The lowest common ancestor of `u` and `v`, computed naively by
@@ -292,7 +293,8 @@ impl Builder {
     }
 
     fn close(&mut self, id: NodeId) {
-        self.nodes[id.index()].subtree_end = u32::try_from(self.nodes.len()).expect("tree too large");
+        self.nodes[id.index()].subtree_end =
+            u32::try_from(self.nodes.len()).expect("tree too large");
     }
 
     fn build_expr(&mut self, regex: &Regex, parent: NodeId) -> NodeId {
@@ -385,7 +387,11 @@ mod tests {
         );
         assert_eq!(
             t.positions_of_symbol(b),
-            &[PosId::from_index(2), PosId::from_index(3), PosId::from_index(4)]
+            &[
+                PosId::from_index(2),
+                PosId::from_index(3),
+                PosId::from_index(4)
+            ]
         );
     }
 

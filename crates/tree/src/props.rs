@@ -95,8 +95,16 @@ impl NodeProps {
                     )
                 })
                 .unwrap_or((None, None, None));
-            p_sup_first[id] = if sup_first[id] { Some(node) } else { inherited.0 };
-            p_sup_last[id] = if sup_last[id] { Some(node) } else { inherited.1 };
+            p_sup_first[id] = if sup_first[id] {
+                Some(node)
+            } else {
+                inherited.0
+            };
+            p_sup_last[id] = if sup_last[id] {
+                Some(node)
+            } else {
+                inherited.1
+            };
             p_star[id] = if tree.kind(node).is_iterating() {
                 Some(node)
             } else {
@@ -393,7 +401,10 @@ mod tests {
         let expr_root = tree.expr_root();
         for n in tree.node_ids() {
             if tree.is_ancestor(expr_root, n) {
-                assert!(props.p_sup_first(n).is_some(), "pSupFirst undefined at {n:?}");
+                assert!(
+                    props.p_sup_first(n).is_some(),
+                    "pSupFirst undefined at {n:?}"
+                );
                 assert!(props.p_sup_last(n).is_some(), "pSupLast undefined at {n:?}");
             }
         }

@@ -236,7 +236,7 @@ impl RangeMin for PlusMinusOneRmq {
             right
         };
         // Whole blocks strictly in between.
-        if b_lo + 1 <= b_hi.wrapping_sub(1) && b_lo + 1 < b_hi {
+        if b_lo + 1 < b_hi {
             let mid_block = self.block_table.query(b_lo + 1, b_hi - 1);
             let mid = mid_block * self.block_size + self.block_min_offset[mid_block] as usize;
             if self.values[mid] < self.values[best]
@@ -260,7 +260,9 @@ mod tests {
         let mut cur: u32 = 50;
         for _ in 0..len {
             values.push(cur);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if (state >> 33) & 1 == 1 || cur == 0 {
                 cur += 1;
             } else {

@@ -24,8 +24,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod rng;
+
+use crate::rng::StdRng;
 use redet_automata::GlushkovAutomaton;
 use redet_syntax::{Alphabet, Regex, Symbol};
 use redet_tree::PosId;
@@ -104,7 +105,7 @@ pub fn chare(num_factors: usize, symbols_per_factor: usize, seed: u64) -> Worklo
             })
             .collect();
         let factor = balanced_union(symbols);
-        factors.push(match rng.gen_range(0..4) {
+        factors.push(match rng.gen_range(0..4usize) {
             0 => factor.opt(),
             1 => factor.star(),
             _ => factor,
@@ -133,7 +134,11 @@ pub fn star_free_chare(num_factors: usize, symbols_per_factor: usize, seed: u64)
             })
             .collect();
         let factor = balanced_union(symbols);
-        factors.push(if rng.gen_bool(0.4) { factor.opt() } else { factor });
+        factors.push(if rng.gen_bool(0.4) {
+            factor.opt()
+        } else {
+            factor
+        });
     }
     Workload {
         regex: balanced_concat(factors),
@@ -145,7 +150,12 @@ pub fn star_free_chare(num_factors: usize, symbols_per_factor: usize, seed: u64)
 /// factors over a *shared* alphabet, separated by unique separator symbols
 /// so that equally-labeled positions in different blocks can never follow a
 /// common position.
-pub fn k_occurrence(k: usize, factors_per_block: usize, symbols_per_factor: usize, seed: u64) -> Workload {
+pub fn k_occurrence(
+    k: usize,
+    factors_per_block: usize,
+    symbols_per_factor: usize,
+    seed: u64,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut alphabet = Alphabet::new();
     let shared: Vec<Symbol> = (0..factors_per_block * symbols_per_factor)
@@ -162,7 +172,11 @@ pub fn k_occurrence(k: usize, factors_per_block: usize, symbols_per_factor: usiz
                 .map(|i| Regex::symbol(shared[(f * symbols_per_factor + i) % shared.len()]))
                 .collect();
             let factor = balanced_union(symbols);
-            factors.push(if rng.gen_bool(0.5) { factor.opt() } else { factor });
+            factors.push(if rng.gen_bool(0.5) {
+                factor.opt()
+            } else {
+                factor
+            });
         }
         blocks.push(balanced_concat(factors));
     }
@@ -217,16 +231,24 @@ fn random_expr_rec(positions: usize, symbols: &[Symbol], rng: &mut StdRng, depth
     if positions <= 1 || depth > 40 {
         return Regex::symbol(symbols[rng.gen_range(0..symbols.len())]);
     }
-    match rng.gen_range(0..10) {
+    match rng.gen_range(0..10usize) {
         0..=3 => {
             let left = rng.gen_range(1..positions);
-            random_expr_rec(left, symbols, rng, depth + 1)
-                .then(random_expr_rec(positions - left, symbols, rng, depth + 1))
+            random_expr_rec(left, symbols, rng, depth + 1).then(random_expr_rec(
+                positions - left,
+                symbols,
+                rng,
+                depth + 1,
+            ))
         }
         4..=6 => {
             let left = rng.gen_range(1..positions);
-            random_expr_rec(left, symbols, rng, depth + 1)
-                .or(random_expr_rec(positions - left, symbols, rng, depth + 1))
+            random_expr_rec(left, symbols, rng, depth + 1).or(random_expr_rec(
+                positions - left,
+                symbols,
+                rng,
+                depth + 1,
+            ))
         }
         7 => random_expr_rec(positions, symbols, rng, depth + 1).opt(),
         8 => random_expr_rec(positions, symbols, rng, depth + 1).star(),
@@ -265,7 +287,11 @@ pub fn sample_member_word(regex: &Regex, target_len: usize, seed: u64) -> Vec<Sy
             }
         }
         let next = followers[rng.gen_range(0..followers.len())];
-        word.push(automaton.symbol(next).expect("filtered to labeled positions"));
+        word.push(
+            automaton
+                .symbol(next)
+                .expect("filtered to labeled positions"),
+        );
         current = next;
     }
     word
@@ -300,7 +326,10 @@ mod tests {
             let w = chare(20, 4, seed);
             let stats = redet_syntax::ExprStats::of(&w.regex);
             assert!(stats.is_single_occurrence());
-            assert!(glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok(), "seed {seed}");
+            assert!(
+                glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -331,7 +360,11 @@ mod tests {
         for depth in [1, 3, 6] {
             let w = deep_alternation(depth, 7);
             let stats = redet_syntax::ExprStats::of(&w.regex);
-            assert!(stats.plus_depth >= depth, "depth {depth} got {}", stats.plus_depth);
+            assert!(
+                stats.plus_depth >= depth,
+                "depth {depth} got {}",
+                stats.plus_depth
+            );
             assert!(glushkov_determinism(&GlushkovAutomaton::build(&w.regex)).is_ok());
         }
     }
@@ -347,7 +380,10 @@ mod tests {
             let matcher = NfaSimulationMatcher::build(&w.regex);
             for seed in 0..5 {
                 let word = sample_member_word(&w.regex, 50, seed);
-                assert!(matcher.matches(&word), "{name}: sampled word is not a member");
+                assert!(
+                    matcher.matches(&word),
+                    "{name}: sampled word is not a member"
+                );
             }
         }
     }

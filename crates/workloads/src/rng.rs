@@ -1,0 +1,135 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The workload generators only need reproducible streams of small integers
+//! and booleans, so instead of depending on an external crate this module
+//! implements SplitMix64 (Steele, Lea & Flood — "Fast splittable pseudorandom
+//! number generators", OOPSLA 2014), a 64-bit generator with a full-period
+//! counter state that passes BigCrush when used this way. The API mirrors
+//! the subset of `rand` the generators use (`seed_from_u64`, `gen_range`,
+//! `gen_bool`), so workload code reads conventionally.
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// The default generator for workload synthesis.
+pub type StdRng = SplitMix64;
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `range` (half-open, like `rand::gen_range`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample from an empty range");
+        // Debiased multiply-shift (Lemire); the retry loop terminates with
+        // overwhelming probability after one or two draws.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleRange: Sized {
+    /// Samples uniformly from `range`.
+    fn sample(rng: &mut SplitMix64, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut SplitMix64, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from an empty range");
+                let width = (range.end as u64) - (range.start as u64);
+                range.start + rng.bounded(width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..4);
+            assert!(y < 4);
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_ranges_occur() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -53,7 +53,10 @@ impl Schema {
             }
             None => {
                 if !children.is_empty() {
-                    errors.push(format!("<{}> is declared EMPTY but has children", element.tag));
+                    errors.push(format!(
+                        "<{}> is declared EMPTY but has children",
+                        element.tag
+                    ));
                 }
             }
         }

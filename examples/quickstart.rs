@@ -23,18 +23,30 @@ fn main() {
         println!(
             "  {:40}  {}",
             child_sequence.join(" "),
-            if model.matches(&child_sequence) { "valid" } else { "INVALID" }
+            if model.matches(&child_sequence) {
+                "valid"
+            } else {
+                "INVALID"
+            }
         );
     }
 
     // The paper's running example e0 = (c?((ab*)(a?c)))*(ba) — Figure 1.
     let e0 = DeterministicRegex::compile("(c?((a b*)(a? c)))*(b a)").unwrap();
     println!("\nFigure 1 expression, matching a few words:");
-    for word in [vec!["b", "a"], vec!["c", "a", "c", "b", "a"], vec!["a", "b"]] {
+    for word in [
+        vec!["b", "a"],
+        vec!["c", "a", "c", "b", "a"],
+        vec!["a", "b"],
+    ] {
         println!(
             "  {:20}  {}",
             word.join(" "),
-            if e0.matches(&word) { "member" } else { "not a member" }
+            if e0.matches(&word) {
+                "member"
+            } else {
+                "not a member"
+            }
         );
     }
 

@@ -63,10 +63,7 @@ fn lint(input: &str) -> Result<Report, redet::syntax::ParseError> {
     let (regex, sigma) = parse(input)?;
     let stats = ExprStats::of(&regex);
     let verdict = if stats.counting {
-        match check_counting_determinism(&regex) {
-            Ok(()) => None,
-            Err(witness) => Some(witness),
-        }
+        check_counting_determinism(&regex).err()
     } else {
         let analysis = TreeAnalysis::build(&regex);
         check_determinism(&analysis).err()

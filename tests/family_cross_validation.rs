@@ -1,0 +1,127 @@
+//! Property-style cross-validation over every `redet-workloads` family.
+//!
+//! For each family (mixed content, CHARE, k-ORE, bounded alternation depth,
+//! star-free) and several seeds/sizes, the expression is compiled **once**
+//! into the shared `CompiledAnalysis` artifact; all five matchers are
+//! constructed from that artifact via `DeterministicRegex::with_strategy`
+//! and must agree with the Glushkov DFA baseline on member and non-member
+//! words.
+
+use redet::{CompiledAnalysis, DeterministicRegex, MatchStrategy};
+use redet_syntax::Symbol;
+use redet_workloads as workloads;
+use redet_workloads::Workload;
+use std::sync::Arc;
+
+/// Member words sampled from the language plus uniformly random words
+/// (mostly non-members), all reproducible from `seed`.
+fn sample_words(w: &Workload, seed: u64) -> Vec<Vec<Symbol>> {
+    let mut words = vec![Vec::new()];
+    for s in 0..8u64 {
+        words.push(workloads::sample_member_word(&w.regex, 30, seed ^ (s * 31)));
+        words.push(workloads::sample_random_word(
+            &w.alphabet,
+            (s as usize * 5) % 23,
+            seed.wrapping_add(s),
+        ));
+    }
+    words
+}
+
+/// Compiles the workload once and checks every applicable strategy against
+/// the Glushkov DFA baseline on the same artifact.
+fn check_family(name: &str, w: &Workload, seed: u64) {
+    let compiled = CompiledAnalysis::from_regex(w.regex.clone(), w.alphabet.clone())
+        .unwrap_or_else(|e| panic!("{name}: workload should be deterministic: {e}"));
+    let words = sample_words(w, seed);
+
+    let reference = DeterministicRegex::from_compiled(compiled.clone(), MatchStrategy::GlushkovDfa)
+        .unwrap_or_else(|e| panic!("{name}: baseline should build: {e}"));
+    let expected: Vec<bool> = words
+        .iter()
+        .map(|word| reference.matches_symbols(word))
+        .collect();
+    assert!(
+        expected.iter().any(|&b| b),
+        "{name}: sampling should produce at least one member word"
+    );
+
+    let strategies = [
+        MatchStrategy::Auto,
+        MatchStrategy::KOccurrence,
+        MatchStrategy::PathDecomposition,
+        MatchStrategy::ColoredAncestor,
+        MatchStrategy::StarFree,
+    ];
+    for strategy in strategies {
+        let model = match reference.with_strategy(strategy) {
+            Ok(model) => model,
+            // Star-free matching legitimately refuses starred expressions.
+            Err(_) if strategy == MatchStrategy::StarFree && !compiled.stats().star_free => {
+                continue
+            }
+            Err(e) => panic!("{name}: {strategy:?} should build: {e}"),
+        };
+        // Every strategy runs on the same compilation artifact.
+        assert!(
+            Arc::ptr_eq(model.compiled(), &compiled),
+            "{name}: {strategy:?}"
+        );
+        for (word, &expect) in words.iter().zip(&expected) {
+            assert_eq!(
+                model.matches_symbols(word),
+                expect,
+                "{name} ({strategy:?}) disagrees with the DFA baseline on {word:?}"
+            );
+        }
+        // Batch validation agrees with word-by-word validation.
+        assert_eq!(
+            model.matches_all(&words),
+            expected,
+            "{name} ({strategy:?}): batch disagrees"
+        );
+    }
+}
+
+#[test]
+fn mixed_content_family() {
+    for m in [1usize, 2, 8, 33, 128] {
+        check_family("mixed content", &workloads::mixed_content(m), m as u64);
+    }
+}
+
+#[test]
+fn chare_family() {
+    for seed in 0..8 {
+        let w = workloads::chare(12 + seed as usize * 7, 4, seed);
+        check_family("CHARE", &w, seed);
+    }
+}
+
+#[test]
+fn star_free_family() {
+    for seed in 0..8 {
+        let w = workloads::star_free_chare(10 + seed as usize * 5, 4, seed);
+        assert!(
+            w.regex.is_star_free(),
+            "star_free_chare must generate star-free expressions"
+        );
+        check_family("star-free CHARE", &w, seed);
+    }
+}
+
+#[test]
+fn k_occurrence_family() {
+    for (k, seed) in [(1usize, 1u64), (2, 2), (3, 3), (5, 4), (8, 5)] {
+        let w = workloads::k_occurrence(k, 6, 3, seed);
+        check_family("k-occurrence", &w, seed);
+    }
+}
+
+#[test]
+fn deep_alternation_family() {
+    for depth in [1usize, 2, 4, 9, 16] {
+        let w = workloads::deep_alternation(depth, depth as u64);
+        check_family("deep alternation", &w, depth as u64);
+    }
+}
