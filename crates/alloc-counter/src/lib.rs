@@ -1,0 +1,70 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The workspace's hot match loops promise **zero steady-state allocation**
+//! (compile once, match many, reuse the scratch). That promise is enforced
+//! by tests that install [`CountingAllocator`] as the global allocator and
+//! assert that the measured region performs no allocation:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: redet_alloc_counter::CountingAllocator =
+//!     redet_alloc_counter::CountingAllocator;
+//!
+//! let (allocations, _) = redet_alloc_counter::allocations_during(|| hot_loop());
+//! assert_eq!(allocations, 0);
+//! ```
+//!
+//! This crate is the only place in the workspace allowed to use `unsafe`
+//! (the `GlobalAlloc` trait requires it); every method is a thin delegation
+//! to [`System`] plus an atomic counter bump.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `GlobalAlloc` that counts allocation events (alloc, alloc_zeroed,
+/// realloc) and otherwise behaves exactly like [`System`].
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to the system allocator with the
+// caller's layout/pointer arguments; the only extra behaviour is a relaxed
+// atomic increment, which cannot violate any allocator invariant.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as the caller's.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Number of allocation events since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns how many allocation events it performed, together
+/// with its result. Only meaningful when [`CountingAllocator`] is installed
+/// as the global allocator and no other threads allocate concurrently.
+pub fn allocations_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = allocation_count();
+    let value = f();
+    (allocation_count() - before, value)
+}

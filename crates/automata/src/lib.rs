@@ -30,5 +30,5 @@ pub use determinism::{glushkov_determinism, NonDeterminismWitness};
 pub use dfa::GlushkovDfaMatcher;
 pub use glushkov::GlushkovAutomaton;
 pub use matcher::Matcher;
-pub use nfa::NfaSimulationMatcher;
+pub use nfa::{NfaScratch, NfaSimulationMatcher};
 pub use unroll::unroll_counting;

@@ -20,6 +20,22 @@ pub struct NfaSimulationMatcher {
     automaton: GlushkovAutomaton,
 }
 
+/// Reusable cursor state for [`NfaSimulationMatcher::matches_with`]: the
+/// current and next position sets. Create once, reuse across words — the
+/// steady-state simulation loop then performs no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct NfaScratch {
+    current: Vec<PosId>,
+    next: Vec<PosId>,
+}
+
+impl NfaScratch {
+    /// Creates an empty scratch (no allocations until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl NfaSimulationMatcher {
     /// Builds the matcher for `regex`.
     pub fn build(regex: &Regex) -> Self {
@@ -36,6 +52,31 @@ impl NfaSimulationMatcher {
     /// The underlying automaton.
     pub fn automaton(&self) -> &GlushkovAutomaton {
         &self.automaton
+    }
+
+    /// Like [`Matcher::matches`], but with caller-owned cursor buffers —
+    /// compile-once/match-many loops reuse the scratch and allocate nothing
+    /// in steady state.
+    pub fn matches_with(&self, word: &[Symbol], scratch: &mut NfaScratch) -> bool {
+        scratch.current.clear();
+        scratch.current.push(self.automaton.begin());
+        for &sym in word {
+            scratch.next.clear();
+            for &p in &scratch.current {
+                for &q in self.automaton.follow(p) {
+                    if self.automaton.symbol(q) == Some(sym) {
+                        scratch.next.push(q);
+                    }
+                }
+            }
+            scratch.next.sort_unstable();
+            scratch.next.dedup();
+            if scratch.next.is_empty() {
+                return false;
+            }
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
+        }
+        scratch.current.iter().any(|&p| self.automaton.can_end(p))
     }
 }
 
@@ -67,6 +108,11 @@ impl Matcher for NfaSimulationMatcher {
 
     fn accepts(&self, state: &Vec<PosId>) -> bool {
         state.iter().any(|&p| self.automaton.can_end(p))
+    }
+
+    /// One scratch pair per word instead of one fresh set per symbol.
+    fn matches(&self, word: &[Symbol]) -> bool {
+        self.matches_with(word, &mut NfaScratch::new())
     }
 }
 

@@ -92,7 +92,9 @@ fn bench_colored_ancestor(h: &mut Harness) {
     }
 }
 
-/// E7: star-free multi-word matching (one traversal) vs word-by-word DFA.
+/// E7: star-free multi-word matching (one traversal over the dynamic
+/// LCA-closed skeleta, scratch reused across batches) vs the flat-list
+/// formulation vs word-by-word DFA.
 fn bench_star_free(h: &mut Harness) {
     h.group("E7_star_free_multiword");
     let w = workloads::star_free_chare(120, 4, 31);
@@ -112,7 +114,19 @@ fn bench_star_free(h: &mut Harness) {
             .collect();
         let total: usize = words.iter().map(Vec::len).sum();
         h.throughput(total as u64);
-        h.bench("batch_single_traversal", n, || starfree.match_words(&words));
+        let mut scratch = redet_core::matcher::starfree::BatchScratch::new();
+        let mut results = Vec::new();
+        h.bench("batch_single_traversal", n, || {
+            starfree.match_words_with(&words, &mut scratch, &mut results);
+            results.iter().filter(|&&x| x).count()
+        });
+        h.bench("batch_flat_lists", n, || {
+            starfree
+                .match_words_flat(&words)
+                .iter()
+                .filter(|&&x| x)
+                .count()
+        });
         h.bench("word_by_word_dfa", n, || {
             words.iter().filter(|w| dfa.matches(w)).count()
         });

@@ -1,0 +1,167 @@
+//! Bench-smoke regression gate for CI.
+//!
+//! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
+//!
+//! Compares a fresh `BENCH_matching.json` against the committed baseline for
+//! the gated experiment groups (E4, E5, E7) and exits non-zero when any
+//! algorithm regresses by more than 25%.
+//!
+//! Absolute nanosecond numbers are not comparable across machines, so the
+//! gate works on **within-group ratios**: for every `(group, param)` pair it
+//! relates each algorithm series to the group's DFA baseline series measured
+//! in the same run (`kocc` vs `glushkov_dfa`, `path_decomposition` vs
+//! `glushkov_dfa`, `batch_single_traversal` vs `word_by_word_dfa`). A
+//! regression means the fresh ratio exceeds the committed ratio by more than
+//! the threshold — i.e. the algorithm got slower *relative to the same
+//! hardware's baseline*.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Groups gated by CI and the substring identifying their reference series.
+const GATED_GROUPS: &[&str] = &[
+    "E4_k_occurrence_matching",
+    "E5_path_decomposition_matching",
+    "E7_star_free_multiword",
+];
+
+/// Allowed relative slowdown before the gate fails.
+const THRESHOLD: f64 = 1.25;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    group: String,
+    name: String,
+    param: String,
+    ns_per_iter: f64,
+}
+
+/// Extracts the string value of `"key": "…"` from a JSON object line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+/// Extracts the numeric value of `"key": 123.4` from a JSON object line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the report format written by `redet_bench::harness::Harness`.
+fn parse_report(path: &str) -> Vec<Entry> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    text.lines()
+        .filter_map(|line| {
+            Some(Entry {
+                group: string_field(line, "group")?,
+                name: string_field(line, "name")?,
+                param: string_field(line, "param")?,
+                ns_per_iter: number_field(line, "ns_per_iter")?,
+            })
+        })
+        .collect()
+}
+
+/// Within-group ratios `algorithm / reference` keyed by
+/// `(group, param, name)`; the reference series is the one whose name
+/// contains `dfa`.
+fn ratios(entries: &[Entry]) -> BTreeMap<(String, String, String), f64> {
+    let mut reference: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for e in entries {
+        if GATED_GROUPS.contains(&e.group.as_str()) && e.name.contains("dfa") {
+            reference.insert((e.group.clone(), e.param.clone()), e.ns_per_iter);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for e in entries {
+        if !GATED_GROUPS.contains(&e.group.as_str()) || e.name.contains("dfa") {
+            continue;
+        }
+        if let Some(&base) = reference.get(&(e.group.clone(), e.param.clone())) {
+            if base > 0.0 {
+                out.insert(
+                    (e.group.clone(), e.param.clone(), e.name.clone()),
+                    e.ns_per_iter / base,
+                );
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_regress <committed-baseline.json> <fresh-run.json>");
+        return ExitCode::from(2);
+    };
+
+    let baseline = ratios(&parse_report(baseline_path));
+    let fresh = ratios(&parse_report(fresh_path));
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<34} {:<10} {:<24} {:>10} {:>10} {:>8}",
+        "group", "param", "series", "committed", "fresh", "delta"
+    );
+    for ((group, param, name), &fresh_ratio) in &fresh {
+        let Some(&committed) = baseline.get(&(group.clone(), param.clone(), name.clone())) else {
+            println!("{group:<34} {param:<10} {name:<24}        (new series, not gated)");
+            continue;
+        };
+        compared += 1;
+        let delta = fresh_ratio / committed;
+        let verdict = if delta > THRESHOLD {
+            regressions += 1;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{group:<34} {param:<10} {name:<24} {committed:>9.3}x {fresh_ratio:>9.3}x {:>7.0}%{verdict}",
+            (delta - 1.0) * 100.0
+        );
+    }
+
+    // A gated series present in the committed baseline but absent from the
+    // fresh run means the bench was renamed or dropped — the gate must not
+    // silently pass with that algorithm unmeasured.
+    let mut missing = 0usize;
+    for key in baseline.keys() {
+        if !fresh.contains_key(key) {
+            let (group, param, name) = key;
+            eprintln!("gated series missing from fresh run: {group}/{name} (param {param})");
+            missing += 1;
+        }
+    }
+    if missing > 0 {
+        eprintln!("{missing} committed series are no longer measured — gate cannot pass");
+        return ExitCode::from(2);
+    }
+    if compared == 0 {
+        eprintln!("no comparable series between {baseline_path} and {fresh_path}");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} series regressed more than {:.0}% relative to the in-group DFA baseline",
+            (THRESHOLD - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "no E4/E5/E7 regressions beyond {:.0}%",
+        (THRESHOLD - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}

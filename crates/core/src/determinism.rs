@@ -41,6 +41,12 @@ pub enum NonDeterminismKind {
     /// of a colored node follow a common position (through an iterating
     /// ancestor).
     WitnessFirstConflict,
+    /// A non-nullable iterating node (`e+`) can both iterate back to its
+    /// `FirstPos` and exit to its `Next` from the same `Last` position. In
+    /// the paper's `∗`-only grammar every iterating node is nullable and
+    /// this shape is subsumed by the `First`-ambiguity checks; native `e+`
+    /// needs it tested explicitly.
+    IterateExitConflict,
 }
 
 /// Evidence that the expression is not deterministic: two distinct,
@@ -104,7 +110,40 @@ pub fn check_determinism(
     let skeleta = Skeleta::build(analysis, &colors)?;
     // Stage 3: CheckNode (Algorithm 2) on every colored node.
     check_colored_nodes(analysis, &colors, &skeleta)?;
+    // Stage 4 (native `e+` extension): iterate-vs-exit conflicts at
+    // non-nullable iterating nodes.
+    check_plus_nodes(analysis, &skeleta)?;
     Ok(DeterminismCertificate { colors, skeleta })
+}
+
+/// The `e+` extension of the test: for a **non-nullable** iterating node
+/// `s`, every `p ∈ Last(s)` is followed by `FirstPos(s, a)` through the
+/// iteration of `s`, and `Next(s, a)` witnesses some `p ∈ Last(s)` followed
+/// by an equally-labeled position outside `s` — so the simultaneous
+/// presence of both is a genuine conflict. For nullable iterators (`∗`)
+/// this shape is already caught by the `First`-ambiguity stages (the
+/// nullable iterator merges the iterate and exit targets into one
+/// `First`-set block), which is why Algorithm 2 does not test it.
+fn check_plus_nodes(analysis: &TreeAnalysis, skeleta: &Skeleta) -> Result<(), NonDeterminism> {
+    let tree = analysis.tree();
+    let props = analysis.props();
+    for skeleton in skeleta.iter() {
+        for entry in &skeleton.nodes {
+            if !tree.kind(entry.node).is_iterating() || props.nullable(entry.node) {
+                continue;
+            }
+            if let (Some(first_pos), Some(next)) = (entry.first_pos, entry.next) {
+                let (first, second) = ordered(first_pos, next);
+                return Err(NonDeterminism {
+                    kind: NonDeterminismKind::IterateExitConflict,
+                    symbol: skeleton.symbol,
+                    first,
+                    second,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Algorithm 2 applied to every colored node.
@@ -240,6 +279,26 @@ mod tests {
         "(a (b (c (d (e f)?)?)?)?)*",
         "(a + (b + (c + (d + e))))*",
         "(a? (b? (c? (d? e?))))*",
+        // Native one-or-more (`e+` = `e{1,∞}`, written DTD-style with commas
+        // so the parser reads the postfix plus): iterates like `∗` but is
+        // not nullable; the linear test must handle it without the §3.3
+        // counting machinery.
+        "(a b)+",
+        "(a b)+, c",
+        "(a b)+, a",
+        "(a b?)+, c",
+        "(a b?)+, a",
+        "(a b?)+, b",
+        "(a? b)+, a",
+        "(a + b)+, c",
+        "(a + b)+, a",
+        "(title, author+, (year | date)?)",
+        "((a, b?)+, c)",
+        "(x, (a b)+, y)+",
+        "((a b)+, (c d)+)+",
+        "((a b)+, (a d)+)+",
+        "(a, b+, c)+, d",
+        "(a, b+)+",
     ];
 
     #[test]
@@ -268,6 +327,21 @@ mod tests {
             linear("(a (b? a?))*").is_err(),
             "§3.2 star example (nullable)"
         );
+    }
+
+    #[test]
+    fn native_plus_verdicts() {
+        // e+ follows exactly like e e*: the exit/iteration conflict shapes
+        // carry over from the starred versions.
+        assert!(linear("(a b)+").is_ok());
+        assert!(linear("(a b)+, c").is_ok(), "exit on a fresh symbol");
+        assert!(linear("(a b)+, a").is_err(), "iterate vs exit on a");
+        assert!(linear("(a? b)+, a").is_err());
+        assert!(linear("(title, author+, (year | date)?)").is_ok());
+        // A certificate is produced, so the colored-ancestor matcher can be
+        // built for plus expressions.
+        let cert = linear("(title, author+, (year | date)?)").unwrap();
+        assert!(cert.skeleta().total_nodes() > 0);
     }
 
     #[test]

@@ -138,7 +138,9 @@ impl DeterministicRegex {
             MatchStrategy::StarFree
         } else if stats.max_occurrences <= 4 {
             MatchStrategy::KOccurrence
-        } else if stats.plus_depth <= 8 {
+        } else if stats.plus_depth <= 8 && !stats.has_plus {
+            // The path decomposition is proven for the `∗`-only grammar;
+            // expressions with native `e+` take the colored-ancestor route.
             MatchStrategy::PathDecomposition
         } else {
             MatchStrategy::ColoredAncestor
@@ -362,6 +364,38 @@ mod tests {
             let again = switched.with_strategy(strategy).unwrap();
             assert!(Arc::ptr_eq(model.compiled(), again.compiled()));
         }
+    }
+
+    #[test]
+    fn dtd_plus_models_get_linear_matchers_and_a_certificate() {
+        // `author+` used to classify the model as "counting", routing it to
+        // the unrolled-NFA simulation with a misleading GlushkovDfa report.
+        let model = DeterministicRegex::compile("(title, author+, (year | date)?)").unwrap();
+        assert!(!model.stats().counting);
+        assert_eq!(model.strategy(), MatchStrategy::KOccurrence);
+        assert!(model.certificate().is_some(), "plus models are certified");
+        assert!(model.matches(&["title", "author", "author", "author", "date"]));
+        assert!(!model.matches(&["title", "date"]));
+        // Every applicable strategy agrees on the plus model; the path
+        // decomposition is proven for the `∗`-only grammar and reports
+        // itself not applicable.
+        let words: Vec<Vec<&str>> = vec![
+            vec!["title", "author"],
+            vec!["title", "author", "author", "year"],
+            vec!["title"],
+            vec!["author"],
+            vec![],
+        ];
+        for strategy in [MatchStrategy::ColoredAncestor, MatchStrategy::GlushkovDfa] {
+            let switched = model.with_strategy(strategy).unwrap();
+            for w in &words {
+                assert_eq!(switched.matches(w), model.matches(w), "{strategy:?} {w:?}");
+            }
+        }
+        assert!(matches!(
+            model.with_strategy(MatchStrategy::PathDecomposition),
+            Err(RegexError::StrategyNotApplicable(_))
+        ));
     }
 
     #[test]

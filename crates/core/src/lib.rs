@@ -42,7 +42,7 @@ pub use facade::{DeterministicRegex, MatchStrategy};
 pub use matcher::colored::ColoredAncestorMatcher;
 pub use matcher::kocc::KOccurrenceMatcher;
 pub use matcher::pathdecomp::PathDecompositionMatcher;
-pub use matcher::starfree::StarFreeMatcher;
+pub use matcher::starfree::{BatchScratch, StarFreeMatcher};
 pub use matcher::{PositionMatcher, TransitionSim};
 pub use pipeline::{CompiledAnalysis, Pipeline, RegexError};
 pub use skeleton::{ColorAssignment, Skeleta, Skeleton};

@@ -20,8 +20,10 @@
 //!
 //! ¹ the paper obtains `O(log log |e|)` with the structure of [23]; see
 //!   DESIGN.md for the substitution.
-//! ² single-word; the multi-word entry point matches several words in one
-//!   traversal of the expression.
+//! ² the multi-word entry point matches several words in one traversal of
+//!   the expression, holding the pending words in dynamic LCA-closed
+//!   skeleta (`redet_structures::BatchSkeleta`) so each is touched `O(1)`
+//!   times — the `O(|e| + Σ|wᵢ|)` bound of Theorem 4.12.
 
 pub mod colored;
 pub mod kocc;
@@ -119,6 +121,12 @@ pub(crate) mod testutil {
         "(a? (b? (c? (d? e?))))*",
         "(a + b (a + b))*",
         "(chapter (section (para)* )* )? appendix",
+        // Native one-or-more (DTD-style postfix plus).
+        "(a b)+",
+        "(a b)+, c",
+        "(title, author+, (year | date)?)",
+        "(a, b+, c)+, d",
+        "(x, (a b)+, y)+",
     ];
 
     /// Parses an expression and produces sample words: all short words over

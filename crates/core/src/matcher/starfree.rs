@@ -5,23 +5,28 @@
 //! can be matched by one forward sweep over the positions. The interesting
 //! case is matching **many** words `w₁, …, w_N` simultaneously: the paper
 //! performs *one* traversal of the expression's positions, maintaining for
-//! every symbol `a` a bucket of "pending" words that currently sit at some
-//! position and expect to read `a` next; when the traversal reaches an
-//! `a`-labeled position `p`, exactly the pending entries whose position is
-//! followed by `p` advance.
+//! every symbol `a` the "pending" words that currently sit at some position
+//! and expect to read `a` next; when the traversal reaches an `a`-labeled
+//! position `p`, exactly the pending entries whose position is followed by
+//! `p` advance.
 //!
-//! The paper keeps the pending entries in dynamic LCA-closed skeleta so that
-//! each entry is touched `O(1)` times, giving `O(|e| + Σ|wᵢ|)`. This
-//! implementation keeps the same single-traversal structure but stores each
-//! bucket as a flat list and re-tests a pending entry at every later
-//! position with the same symbol (constant time per test via
-//! `checkIfFollow`), giving `O(|e| + k·Σ|wᵢ|)` where `k` is the maximal
-//! number of occurrences of a symbol. For the 1-ORE/CHARE-style star-free
-//! content models that motivate the theorem, `k` is a small constant and
-//! the bound coincides with the paper's; the substitution is recorded in
-//! DESIGN.md.
+//! The pending entries are kept in the **dynamic LCA-closed skeleta** of
+//! [`redet_structures::BatchSkeleta`]: per symbol, the entries are grouped
+//! by their LCA with the traversal point, and a group is only ever touched
+//! when its node proves or refutes `checkIfFollow` for *all* of its entries
+//! at once — each entry is touched `O(1)` times, giving the paper's
+//! `O(|e| + Σ|wᵢ|)` bound. The previous flat-list formulation (re-testing
+//! every pending entry at each later position with the same label,
+//! `O(|e| + k·Σ|wᵢ|)`) is retained as [`StarFreeMatcher::match_words_flat`]
+//! — it is the cross-validation reference for the skeleton and the baseline
+//! the E7 experiment compares against.
+//!
+//! Batch matching through [`StarFreeMatcher::match_words_with`] reuses a
+//! caller-owned [`BatchScratch`], so compile-once/match-many loops allocate
+//! nothing in steady state.
 
 use crate::matcher::TransitionSim;
+use redet_structures::BatchSkeleta;
 use redet_syntax::Symbol;
 use redet_tree::{PosId, TreeAnalysis};
 use std::sync::Arc;
@@ -41,6 +46,25 @@ impl std::fmt::Display for NotStarFree {
 }
 
 impl std::error::Error for NotStarFree {}
+
+/// Reusable scratch state for [`StarFreeMatcher::match_words_with`]: the
+/// dynamic skeleta plus per-word cursors. Create it once, reuse it across
+/// batches — steady-state batch matching then performs no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    skeleta: BatchSkeleta,
+    /// Per word: index of the next symbol to read.
+    cursor: Vec<u32>,
+    /// Words advanced at the current position (drained every position).
+    advanced: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch (no allocations until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Matcher for star-free deterministic expressions (Theorem 4.12), with a
 /// batch entry point that matches many words in a single traversal of the
@@ -69,9 +93,82 @@ impl StarFreeMatcher {
         Ok(StarFreeMatcher { analysis })
     }
 
-    /// Matches every word of `words` against the expression in a single
-    /// left-to-right traversal of the expression's positions.
+    /// Matches every word of `words` in a single left-to-right traversal of
+    /// the expression's positions, allocating fresh scratch state.
+    ///
+    /// For compile-once/match-many loops prefer
+    /// [`StarFreeMatcher::match_words_with`], which reuses the scratch.
     pub fn match_words<W: AsRef<[Symbol]>>(&self, words: &[W]) -> Vec<bool> {
+        let mut scratch = BatchScratch::new();
+        let mut results = Vec::new();
+        self.match_words_with(words, &mut scratch, &mut results);
+        results
+    }
+
+    /// Matches every word of `words` in one traversal (Theorem 4.12),
+    /// reusing `scratch` and writing one result per word into `results`.
+    /// After warm-up no allocations are performed.
+    pub fn match_words_with<W: AsRef<[Symbol]>>(
+        &self,
+        words: &[W],
+        scratch: &mut BatchScratch,
+        results: &mut Vec<bool>,
+    ) {
+        let tree = self.analysis.tree();
+        let flat = self.analysis.flat();
+        let num_symbols = tree.num_symbols();
+        results.clear();
+        results.resize(words.len(), false);
+        scratch.cursor.clear();
+        scratch.cursor.resize(words.len(), 0);
+        scratch
+            .skeleta
+            .begin(flat, tree.num_nodes(), num_symbols, 0);
+
+        // Initialization: every word starts at the phantom # position p0.
+        let expr_nullable = self.analysis.expr_nullable();
+        for (i, word) in words.iter().enumerate() {
+            match word.as_ref().first() {
+                None => results[i] = expr_nullable,
+                Some(&sym) if sym.index() < num_symbols => {
+                    scratch.skeleta.park(sym.index() as u32, 0, i as u32);
+                }
+                // Unknown symbols can never be read: the word stays
+                // unmatched (results[i] remains false).
+                Some(_) => {}
+            }
+        }
+
+        // One traversal of the expression's alphabet positions in document
+        // order; the skeleta hand back exactly the words whose parked
+        // position is followed by p.
+        for (p, sym) in tree.symbol_positions() {
+            let pid = p.index() as u32;
+            scratch.advanced.clear();
+            scratch
+                .skeleta
+                .process(flat, pid, sym.index() as u32, &mut scratch.advanced);
+            for &w in &scratch.advanced {
+                let word = words[w as usize].as_ref();
+                scratch.cursor[w as usize] += 1;
+                let d = scratch.cursor[w as usize] as usize;
+                if d == word.len() {
+                    results[w as usize] = flat.can_end(pid);
+                } else {
+                    let next_sym = word[d];
+                    if next_sym.index() < num_symbols {
+                        scratch.skeleta.park(next_sym.index() as u32, pid, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flat-list reference implementation (`O(|e| + k·Σ|wᵢ|)`): each
+    /// symbol's pending entries live in a plain vector and are re-tested at
+    /// every later position with that label. Kept as the cross-validation
+    /// oracle for the skeleton and as the E7 comparison baseline.
+    pub fn match_words_flat<W: AsRef<[Symbol]>>(&self, words: &[W]) -> Vec<bool> {
         let tree = self.analysis.tree();
         let num_symbols = tree.num_symbols();
         let mut results = vec![false; words.len()];
@@ -79,6 +176,9 @@ impl StarFreeMatcher {
         let mut cursor = vec![0usize; words.len()];
         // Per symbol: pending entries (position reached, words parked there).
         let mut pending: Vec<Vec<(PosId, Vec<usize>)>> = vec![Vec::new(); num_symbols];
+        // Parks deferred to the end of each bucket scan (the next symbol may
+        // be the bucket being scanned).
+        let mut parks: Vec<(usize, usize)> = Vec::new();
 
         // Initialization: every word starts at the phantom # position.
         let begin = tree.begin_pos();
@@ -90,25 +190,28 @@ impl StarFreeMatcher {
                     if sym.index() < num_symbols {
                         park(&mut pending[sym.index()], begin, i);
                     }
-                    // Unknown symbols can never be read: the word stays
-                    // unmatched (results[i] remains false).
                 }
             }
         }
 
         // One traversal of the expression's alphabet positions in document
         // order. Star-freedom guarantees follow-edges only go rightwards.
+        // Still-pending entries are compacted in place (no reallocation, no
+        // per-step re-push churn).
         for (p, sym) in tree.symbol_positions() {
-            let bucket = std::mem::take(&mut pending[sym.index()]);
-            for (q, mut parked) in bucket {
+            let bucket = &mut pending[sym.index()];
+            let mut kept = 0usize;
+            for idx in 0..bucket.len() {
+                let q = bucket[idx].0;
                 if !self.analysis.check_if_follow(q, p) {
                     // Not followed by p; the entry stays pending for a later
                     // position with the same label.
-                    pending[sym.index()].push((q, parked));
+                    bucket.swap(kept, idx);
+                    kept += 1;
                     continue;
                 }
                 // The parked words consume `sym` and move to position p.
-                for word_index in parked.drain(..) {
+                for word_index in bucket[idx].1.drain(..) {
                     let word = words[word_index].as_ref();
                     cursor[word_index] += 1;
                     let d = cursor[word_index];
@@ -117,10 +220,14 @@ impl StarFreeMatcher {
                     } else {
                         let next_sym = word[d];
                         if next_sym.index() < num_symbols {
-                            park(&mut pending[next_sym.index()], p, word_index);
+                            parks.push((next_sym.index(), word_index));
                         }
                     }
                 }
+            }
+            bucket.truncate(kept);
+            for (s, word_index) in parks.drain(..) {
+                park(&mut pending[s], p, word_index);
             }
         }
         results
@@ -192,15 +299,32 @@ mod tests {
     }
 
     #[test]
-    fn multi_word_agrees_with_baseline() {
+    fn multi_word_agrees_with_baseline_and_flat_reference() {
         for input in STAR_FREE_EXPRESSIONS {
             let (e, _, words) = expression_and_words(input, 5);
             let baseline = GlushkovDfaMatcher::build(&e).unwrap();
             let matcher = StarFreeMatcher::new(Arc::new(TreeAnalysis::build(&e))).unwrap();
             let expected: Vec<bool> = words.iter().map(|w| baseline.matches(w)).collect();
-            let got = matcher.match_words(&words);
-            assert_eq!(got, expected, "{input}");
+            assert_eq!(matcher.match_words(&words), expected, "{input} (skeleton)");
+            assert_eq!(matcher.match_words_flat(&words), expected, "{input} (flat)");
         }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_batches() {
+        let (e, _, words) = expression_and_words("(a + b c) (d + e)", 4);
+        let matcher = StarFreeMatcher::new(Arc::new(TreeAnalysis::build(&e))).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut results = Vec::new();
+        let expected = matcher.match_words(&words);
+        for _ in 0..3 {
+            matcher.match_words_with(&words, &mut scratch, &mut results);
+            assert_eq!(results, expected);
+        }
+        // A different (smaller) batch through the same scratch.
+        let half = &words[..words.len() / 2];
+        matcher.match_words_with(half, &mut scratch, &mut results);
+        assert_eq!(results, expected[..words.len() / 2]);
     }
 
     #[test]
@@ -217,6 +341,10 @@ mod tests {
         };
         let words = vec![word("bcdb"), word("acdba"), word("acb"), word("bada")];
         assert_eq!(matcher.match_words(&words), vec![false, false, true, false]);
+        assert_eq!(
+            matcher.match_words_flat(&words),
+            vec![false, false, true, false]
+        );
     }
 
     #[test]
@@ -284,6 +412,7 @@ mod tests {
         }
         let expected: Vec<bool> = words.iter().map(|w| baseline.matches(w)).collect();
         assert_eq!(matcher.match_words(&words), expected);
+        assert_eq!(matcher.match_words_flat(&words), expected);
         assert!(expected.iter().any(|&x| x), "some random word should match");
     }
 }

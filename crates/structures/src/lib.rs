@@ -15,14 +15,21 @@
 //! `ColoredAncestors` offers two backends (plain binary search and
 //! vEB-assisted predecessor search); see `DESIGN.md` for the complexity
 //! discussion of this substitution.
+//!
+//! On top of these, [`BatchSkeleta`] implements the paper's **dynamic
+//! LCA-closed skeleta** (Section 4.4): the per-symbol pending structures
+//! that let the star-free batch matcher touch every parked word `O(1)`
+//! times, reaching the `O(|e| + Σ|wᵢ|)` bound of Theorem 4.12.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_skeleton;
 pub mod colored;
 pub mod lazy_array;
 pub mod veb;
 
+pub use batch_skeleton::BatchSkeleta;
 pub use colored::{ColoredAncestors, PredecessorBackend};
 pub use lazy_array::LazyArray;
 pub use veb::VebSet;

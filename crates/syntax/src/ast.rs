@@ -168,11 +168,35 @@ impl Regex {
         }
     }
 
+    /// Whether this expression is `e+` — the one-or-more closure, carried as
+    /// `Repeat(e, 1, ∞)`. Unlike genuine counters, `e+` has the exact
+    /// follow-set semantics of `e e*` (iterate any number of times, exit
+    /// after at least one), so the parse-tree algorithms treat it natively.
+    pub fn is_plus(&self) -> bool {
+        matches!(self, Regex::Repeat(_, 1, None))
+    }
+
     /// Whether the expression uses numeric occurrence indicators (`{i,j}`).
+    ///
+    /// `e+` (= `e{1,∞}`) does **not** count: its iteration behaviour is
+    /// fully captured by the parse tree's follow relation (identical to
+    /// `e e*`), so it takes the Theorem 3.5/4.x paths instead of the
+    /// counting machinery of Section 3.3.
     pub fn has_counting(&self) -> bool {
         let mut found = false;
         self.visit(&mut |e| {
-            if matches!(e, Regex::Repeat(_, _, _)) {
+            if matches!(e, Regex::Repeat(_, _, _)) && !e.is_plus() {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Whether the expression contains a native `e+` node anywhere.
+    pub fn has_plus(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if e.is_plus() {
                 found = true;
             }
         });
@@ -277,6 +301,10 @@ mod tests {
         let (_, a, b, _) = abc();
         assert!(!Regex::symbol(a).then(Regex::symbol(b)).has_counting());
         assert!(Regex::symbol(a).repeat(2, Some(3)).has_counting());
-        assert!(Regex::symbol(a).plus().has_counting());
+        // e+ is the one-or-more closure, not a counter.
+        assert!(!Regex::symbol(a).plus().has_counting());
+        assert!(Regex::symbol(a).plus().is_plus());
+        assert!(Regex::symbol(a).repeat(2, None).has_counting());
+        assert!(!Regex::symbol(a).repeat(2, None).is_plus());
     }
 }

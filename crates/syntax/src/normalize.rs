@@ -16,6 +16,11 @@
 //! * `e? → e` when `e` is nullable;
 //! * `e{0,0}` is rejected ([`SyntaxError::EmptyRepeat`]);
 //! * `e{1,1} → e`, `e{0,∞} → e*`, `e{0,j} → (e{1,j})?`;
+//! * `e+` (= `e{1,∞}`) is kept **native** when `e` is non-nullable — its
+//!   follow-set semantics are exactly those of `e e*`, so the parse-tree
+//!   algorithms handle it without counting machinery; when `e` is nullable
+//!   `e+ → e*` (same language), and `(e*)+ → e*`, `(e?)+ → e*`,
+//!   `(e+)+ → e+`, `(e+)* → e*`, `(e+)? → e*`;
 //! * `e{i,j} → e{1,j}` rewritings are **not** applied — the bounds carry
 //!   semantics for the counting determinism test of Section 3.3.
 //!
@@ -43,14 +48,17 @@ pub fn normalize(regex: Regex) -> Result<Regex, SyntaxError> {
         Regex::Star(inner) => {
             let inner = normalize(*inner)?;
             Ok(match inner {
-                // (R2): collapse directly nested iteration/optionality.
-                Regex::Star(e) | Regex::Optional(e) => Regex::Star(e),
+                // (R2): collapse directly nested iteration/optionality;
+                // (e+)* ≡ e*.
+                Regex::Star(e) | Regex::Optional(e) | Regex::Repeat(e, 1, None) => Regex::Star(e),
                 other => Regex::Star(Box::new(other)),
             })
         }
         Regex::Optional(inner) => {
             let inner = normalize(*inner)?;
             Ok(match inner {
+                // (e+)? ≡ e* (one-or-more plus the empty word).
+                Regex::Repeat(e, 1, None) => Regex::Star(e),
                 // (e*)? ≡ e*, and more generally (R3): drop `?` over anything
                 // already nullable.
                 other if other.nullable() => other,
@@ -75,6 +83,15 @@ pub fn normalize(regex: Regex) -> Result<Regex, SyntaxError> {
                     let repeated = Regex::Repeat(Box::new(inner), 1, max);
                     normalize(Regex::Optional(Box::new(repeated)))?
                 }
+                // e+ stays native only over a non-nullable, non-iterating
+                // body: (e*)+ ≡ (e?)+ ≡ e* and (e+)+ ≡ e+; a nullable body
+                // makes e+ ≡ e* outright.
+                (1, None) => match inner {
+                    Regex::Star(e) | Regex::Optional(e) => Regex::Star(e),
+                    Regex::Repeat(e, 1, None) => Regex::Repeat(e, 1, None),
+                    other if other.nullable() => Regex::Star(Box::new(other)),
+                    other => Regex::Repeat(Box::new(other), 1, None),
+                },
                 (min, max) => Regex::Repeat(Box::new(inner), min, max),
             })
         }
@@ -89,12 +106,17 @@ pub fn satisfies_r2_r3(regex: &Regex) -> bool {
     let mut ok = true;
     regex.visit(&mut |e| match e {
         Regex::Star(inner) => {
-            if matches!(**inner, Regex::Star(_) | Regex::Optional(_)) {
+            if matches!(
+                **inner,
+                Regex::Star(_) | Regex::Optional(_) | Regex::Repeat(_, 1, None)
+            ) {
                 ok = false;
             }
         }
-        Regex::Optional(inner) if inner.nullable() => ok = false,
+        Regex::Optional(inner) if inner.nullable() || inner.is_plus() => ok = false,
         Regex::Repeat(_, 0, _) | Regex::Repeat(_, 1, Some(1)) => ok = false,
+        // A native plus must sit over a non-nullable, non-plus body.
+        Regex::Repeat(inner, 1, None) if inner.nullable() || inner.is_plus() => ok = false,
         _ => {}
     });
     ok
@@ -142,6 +164,29 @@ mod tests {
         assert_eq!(norm("a{2,5}"), "a{2,5}");
         assert_eq!(norm("(a?){2,3}"), "a?{2,3}");
         assert_eq!(norm("a{1,}"), "a{1,}");
+    }
+
+    #[test]
+    fn plus_is_canonicalized() {
+        // Native plus survives only over non-nullable, non-plus bodies.
+        assert_eq!(norm("a+, b"), "a{1,} b");
+        assert_eq!(norm("(a b)+"), "(a b){1,}");
+        // Nullable or iterating bodies collapse to a star.
+        assert_eq!(norm("(a?)+"), "a*");
+        assert_eq!(norm("(a*)+"), "a*");
+        assert_eq!(norm("(a+)+"), "a{1,}");
+        assert_eq!(norm("(a+)*"), "a*");
+        assert_eq!(norm("(a+)?"), "a*");
+        assert_eq!(norm("((a b?)+)?"), "(a b?)*");
+    }
+
+    #[test]
+    fn plus_normalization_is_counting_free() {
+        for input in ["a+, b", "(a b)+", "(title, author+, year?)"] {
+            let (e, _) = parse(input).unwrap();
+            let e = normalize(e).unwrap();
+            assert!(!e.has_counting(), "{input} should not be counting");
+        }
     }
 
     #[test]

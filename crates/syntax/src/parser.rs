@@ -349,7 +349,8 @@ mod tests {
         let (e, sigma) = parse("(title, author+, (year | date)?)").unwrap();
         assert_eq!(sigma.len(), 4);
         assert_eq!(e.num_positions(), 4);
-        assert!(e.has_counting()); // author+ becomes author{1,∞}
+        // author+ is the native one-or-more closure, not a counter.
+        assert!(!e.has_counting());
     }
 
     #[test]
@@ -364,9 +365,9 @@ mod tests {
         let (e, _) = parse("a+, b").unwrap();
         // a{1,∞} concatenated (DTD comma) with b.
         assert!(matches!(e, Regex::Concat(_, _)));
-        assert!(e.has_counting());
-        // Without the comma and with a following atom, `+` is a union
-        // (paper convention wins over the DTD postfix reading).
+        assert!(!e.has_counting()); // native plus, not a counter
+                                    // Without the comma and with a following atom, `+` is a union
+                                    // (paper convention wins over the DTD postfix reading).
         let (e, _) = parse("a+ b").unwrap();
         assert!(matches!(e, Regex::Union(_, _)));
         let (e, _) = parse("a + b").unwrap();

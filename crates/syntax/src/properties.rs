@@ -32,8 +32,13 @@ pub struct ExprStats {
     pub plus_depth: usize,
     /// Whether the expression is star-free (no `*`, no unbounded `{i,∞}`).
     pub star_free: bool,
-    /// Whether the expression uses numeric occurrence indicators.
+    /// Whether the expression uses numeric occurrence indicators (`e+` is
+    /// the native one-or-more closure, not a counter).
     pub counting: bool,
+    /// Whether the expression contains a native `e+` node (relevant for
+    /// strategy selection: the path-decomposition matcher is proven for the
+    /// `∗`-only grammar and does not apply to `e+`).
+    pub has_plus: bool,
     /// Whether `ε ∈ L(e)`.
     pub nullable: bool,
 }
@@ -55,6 +60,7 @@ impl ExprStats {
             plus_depth: plus_depth(regex),
             star_free: regex.is_star_free(),
             counting: regex.has_counting(),
+            has_plus: regex.has_plus(),
             nullable: regex.nullable(),
         }
     }

@@ -1,6 +1,7 @@
 //! The preprocessed bundle: parse tree + LCA + node properties, offering the
 //! constant-time `checkIfFollow` primitive of Theorem 2.4.
 
+use crate::flat::FlatTables;
 use crate::lca::Lca;
 use crate::node::{NodeId, NodeKind, PosId};
 use crate::parse_tree::ParseTree;
@@ -46,6 +47,7 @@ pub struct TreeAnalysis {
     tree: ParseTree,
     lca: Lca,
     props: NodeProps,
+    flat: FlatTables,
 }
 
 impl TreeAnalysis {
@@ -59,7 +61,13 @@ impl TreeAnalysis {
     pub fn from_tree(tree: ParseTree) -> Self {
         let lca = Lca::new(&tree);
         let props = NodeProps::compute(&tree);
-        TreeAnalysis { tree, lca, props }
+        let flat = FlatTables::build(&tree, &props, &lca);
+        TreeAnalysis {
+            tree,
+            lca,
+            props,
+            flat,
+        }
     }
 
     /// The underlying parse tree.
@@ -80,6 +88,12 @@ impl TreeAnalysis {
         &self.lca
     }
 
+    /// The dense struct-of-arrays tables behind the hot query path.
+    #[inline]
+    pub fn flat(&self) -> &FlatTables {
+        &self.flat
+    }
+
     /// The lowest common ancestor of two positions' leaves.
     #[inline]
     pub fn lca_of_positions(&self, p: PosId, q: PosId) -> NodeId {
@@ -87,9 +101,12 @@ impl TreeAnalysis {
     }
 
     /// Theorem 2.4: whether `q ∈ Follow(p)`, in constant time.
+    ///
+    /// Runs on the dense [`FlatTables`]: one LCA query plus a handful of
+    /// interval comparisons over preorder `u32` arrays.
     #[inline]
     pub fn check_if_follow(&self, p: PosId, q: PosId) -> bool {
-        self.follow_kind(p, q).is_some()
+        self.flat.follow_ids(p.index() as u32, q.index() as u32)
     }
 
     /// Like [`Self::check_if_follow`], but reports *how* `q` follows `p`
@@ -151,9 +168,10 @@ impl TreeAnalysis {
 
     /// Whether the word consisting of the single position `p` can end a
     /// match, i.e. whether the phantom end marker `$` follows `p`.
+    /// Precomputed: a single bit test.
     #[inline]
     pub fn can_end_at(&self, p: PosId) -> bool {
-        self.check_if_follow(p, self.tree.end_pos())
+        self.flat.can_end(p.index() as u32)
     }
 
     /// Positions labeled with `sym` (delegates to the parse tree).

@@ -1,0 +1,306 @@
+//! Dense struct-of-arrays tables backing the hot `checkIfFollow` path.
+//!
+//! [`crate::TreeAnalysis`] answers Theorem 2.4 queries millions of times per
+//! matched word, so the data it touches per query matters more than the
+//! asymptotics. The arena [`ParseTree`] stores one ~40-byte `Node` struct per
+//! node with `Option<NodeId>` child pointers and an enum label; a single
+//! `checkIfFollow` through it costs half a dozen dependent loads of mostly
+//! cold fields. [`FlatTables`] re-materializes exactly the per-query facts as
+//! dense `u32` arrays in preorder:
+//!
+//! * `subtree_end[n]` — exclusive end of `n`'s preorder interval, so the
+//!   reflexive ancestor test is two comparisons;
+//! * `concat_rchild[n]` — the right child when `lab(n) = ·`, else
+//!   [`NONE`]: one load answers both "is this a concatenation?" and "where
+//!   does its right child start?" (the left child is always `n + 1` in
+//!   preorder);
+//! * `p_star[n]` — the lowest iterating ancestor-or-self, or [`NONE`];
+//! * `parent[n]` — the parent, or [`NONE`] for the root (used by the
+//!   chain-walking batch matcher, not by `checkIfFollow` itself);
+//! * per position `p`: its leaf node `leaf[p]` and the
+//!   `pSupFirst`/`pSupLast` nodes of that leaf, with the root (`0`) standing
+//!   in for "undefined" — the root is an ancestor of everything, which makes
+//!   the Lemma 2.3 membership test unconditionally two comparisons;
+//! * `nullable` — per-node nullability as a bitset;
+//! * `can_end` — per-position "is `$ ∈ Follow(p)`" as a bitset, precomputed
+//!   once so word acceptance is a single bit test.
+//!
+//! All accessors are `#[inline]` and take/return raw `u32` indices; the
+//! typed wrappers live on [`crate::TreeAnalysis`].
+
+use crate::lca::Lca;
+use crate::node::{NodeId, NodeKind, PosId};
+use crate::parse_tree::ParseTree;
+use crate::props::NodeProps;
+use crate::rmq::SparseTableRmq;
+
+/// Sentinel for "no node" in the flat `u32` tables.
+pub const NONE: u32 = u32::MAX;
+
+/// The dense per-node / per-position tables described in the module docs.
+///
+/// Position-to-position LCA queries (the only kind `checkIfFollow` issues)
+/// additionally bypass the Euler-tour machinery: for document-ordered leaves,
+/// `LCA(leaf_i, leaf_j)` with `i < j` is the minimum-depth node among the
+/// LCAs of *consecutive* leaf pairs in `[i, j)`, so one flat sparse-table
+/// RMQ over an `m − 1` array answers it in two same-row loads. The table is
+/// `O(m log m)` words — a pragmatic trade against the pointer-chasing
+/// `O(|e|)` ±1 structure, which remains in place for node-level queries.
+#[derive(Clone, Debug)]
+pub struct FlatTables {
+    subtree_end: Vec<u32>,
+    concat_rchild: Vec<u32>,
+    p_star: Vec<u32>,
+    parent: Vec<u32>,
+    nullable: Vec<u64>,
+    leaf: Vec<u32>,
+    psf: Vec<u32>,
+    psl: Vec<u32>,
+    can_end: Vec<u64>,
+    /// `leaf_lca_node[i]` — the LCA of leaves `i` and `i + 1`.
+    leaf_lca_node: Vec<u32>,
+    /// RMQ over the depths of `leaf_lca_node`.
+    leaf_lca_rmq: SparseTableRmq,
+}
+
+impl FlatTables {
+    /// Builds the tables in one `O(|tree|)` pass (the `can_end` bitset does
+    /// one `checkIfFollow`-shaped probe per position against `lca`).
+    pub fn build(tree: &ParseTree, props: &NodeProps, lca: &Lca) -> Self {
+        let n = tree.num_nodes();
+        let m = tree.num_positions();
+
+        let mut subtree_end = Vec::with_capacity(n);
+        let mut concat_rchild = Vec::with_capacity(n);
+        let mut p_star = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        let mut nullable = vec![0u64; n.div_ceil(64)];
+        for id in 0..n {
+            let node = NodeId::from_index(id);
+            subtree_end.push(tree.subtree_end(node) as u32);
+            concat_rchild.push(match tree.kind(node) {
+                NodeKind::Concat => tree.rchild(node).expect("concat has children").index() as u32,
+                _ => NONE,
+            });
+            p_star.push(props.p_star(node).map_or(NONE, |x| x.index() as u32));
+            parent.push(tree.parent(node).map_or(NONE, |x| x.index() as u32));
+            if props.nullable(node) {
+                nullable[id / 64] |= 1 << (id % 64);
+            }
+        }
+
+        let mut leaf = Vec::with_capacity(m);
+        let mut psf = Vec::with_capacity(m);
+        let mut psl = Vec::with_capacity(m);
+        for p in 0..m {
+            let node = tree.pos_node(PosId::from_index(p));
+            leaf.push(node.index() as u32);
+            psf.push(props.p_sup_first(node).map_or(0, |x| x.index() as u32));
+            psl.push(props.p_sup_last(node).map_or(0, |x| x.index() as u32));
+        }
+
+        // Consecutive-leaf LCAs and the RMQ over their depths.
+        let mut leaf_lca_node = Vec::with_capacity(m.saturating_sub(1));
+        let mut leaf_lca_depth = Vec::with_capacity(m.saturating_sub(1));
+        for w in leaf.windows(2) {
+            let anc = lca.query_ids(w[0], w[1]);
+            leaf_lca_node.push(anc);
+            leaf_lca_depth.push(tree.depth(NodeId::from_index(anc as usize)));
+        }
+
+        let mut tables = FlatTables {
+            subtree_end,
+            concat_rchild,
+            p_star,
+            parent,
+            nullable,
+            leaf,
+            psf,
+            psl,
+            can_end: vec![0u64; m.div_ceil(64)],
+            leaf_lca_node,
+            leaf_lca_rmq: SparseTableRmq::new(leaf_lca_depth),
+        };
+        let end = m - 1;
+        for p in 0..m {
+            if tables.follow_ids(p as u32, end as u32) {
+                tables.can_end[p / 64] |= 1 << (p % 64);
+            }
+        }
+        tables
+    }
+
+    /// The LCA of the leaves of positions `p` and `q`, via the leaf-pair
+    /// RMQ (no Euler tour on the hot path).
+    #[inline]
+    pub fn leaf_lca(&self, p: u32, q: u32) -> u32 {
+        if p == q {
+            return self.leaf(p);
+        }
+        let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+        self.leaf_lca_node[self.leaf_lca_rmq.query_inline(lo as usize, hi as usize - 1)]
+    }
+
+    /// Reflexive ancestor test over raw preorder ids: `a ≼ d`.
+    #[inline]
+    pub fn is_ancestor_ids(&self, a: u32, d: u32) -> bool {
+        a <= d && d < self.subtree_end[a as usize]
+    }
+
+    /// Exclusive end of the preorder interval of the subtree rooted at `n`.
+    #[inline]
+    pub fn subtree_end_id(&self, n: u32) -> u32 {
+        self.subtree_end[n as usize]
+    }
+
+    /// The right child of `n` when `n` is a concatenation, else [`NONE`].
+    #[inline]
+    pub fn concat_rchild(&self, n: u32) -> u32 {
+        self.concat_rchild[n as usize]
+    }
+
+    /// The lowest iterating ancestor-or-self of `n`, or [`NONE`].
+    #[inline]
+    pub fn p_star_id(&self, n: u32) -> u32 {
+        self.p_star[n as usize]
+    }
+
+    /// The parent of `n`, or [`NONE`] for the root.
+    #[inline]
+    pub fn parent_id(&self, n: u32) -> u32 {
+        self.parent[n as usize]
+    }
+
+    /// Whether `ε ∈ L(e/n)` (bitset lookup).
+    #[inline]
+    pub fn nullable_id(&self, n: u32) -> bool {
+        self.nullable[n as usize / 64] & (1 << (n % 64)) != 0
+    }
+
+    /// The leaf node of position `p`.
+    #[inline]
+    pub fn leaf(&self, p: u32) -> u32 {
+        self.leaf[p as usize]
+    }
+
+    /// `pSupFirst` of position `p`'s leaf (the root when undefined).
+    #[inline]
+    pub fn psf(&self, p: u32) -> u32 {
+        self.psf[p as usize]
+    }
+
+    /// `pSupLast` of position `p`'s leaf (the root when undefined).
+    #[inline]
+    pub fn psl(&self, p: u32) -> u32 {
+        self.psl[p as usize]
+    }
+
+    /// Whether position `p` can end a word (`$ ∈ Follow(p)`), precomputed.
+    #[inline]
+    pub fn can_end(&self, p: u32) -> bool {
+        self.can_end[p as usize / 64] & (1 << (p % 64)) != 0
+    }
+
+    /// Lemma 2.3 (1) over raw ids: position `p` ∈ `First(n)`.
+    #[inline]
+    pub fn in_first_ids(&self, p: u32, n: u32) -> bool {
+        let leaf = self.leaf(p);
+        self.is_ancestor_ids(n, leaf) && self.is_ancestor_ids(self.psf(p), n)
+    }
+
+    /// Lemma 2.3 (2) over raw ids: position `p` ∈ `Last(n)`.
+    #[inline]
+    pub fn in_last_ids(&self, p: u32, n: u32) -> bool {
+        let leaf = self.leaf(p);
+        self.is_ancestor_ids(n, leaf) && self.is_ancestor_ids(self.psl(p), n)
+    }
+
+    /// Theorem 2.4 over raw ids: whether `q ∈ Follow(p)`.
+    #[inline]
+    pub fn follow_ids(&self, p: u32, q: u32) -> bool {
+        let pn = self.leaf(p);
+        let qn = self.leaf(q);
+        let n = self.leaf_lca(p, q);
+
+        // Case (1): lab(n) = ·, q ∈ First(Rchild(n)), p ∈ Last(Lchild(n)).
+        // In preorder the left child of n is n + 1.
+        let r = self.concat_rchild(n);
+        if r != NONE
+            && self.is_ancestor_ids(r, qn)
+            && self.is_ancestor_ids(self.psf(q), r)
+            && self.is_ancestor_ids(n + 1, pn)
+            && self.is_ancestor_ids(self.psl(p), n + 1)
+        {
+            return true;
+        }
+
+        // Case (2): q ∈ First(s), p ∈ Last(s) for s the lowest iterating
+        // ancestor of n.
+        let s = self.p_star_id(n);
+        s != NONE
+            && self.is_ancestor_ids(s, qn)
+            && self.is_ancestor_ids(self.psf(q), s)
+            && self.is_ancestor_ids(s, pn)
+            && self.is_ancestor_ids(self.psl(p), s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TreeAnalysis;
+    use redet_syntax::parse;
+
+    #[test]
+    fn flat_tables_mirror_the_pointer_structures() {
+        for input in [
+            "a",
+            "(a b + b b? a)*",
+            "(c?((a b*)(a? c)))*(b a)",
+            "(a b){2,3} c",
+            "a? b? c? d?",
+        ] {
+            let (e, _) = parse(input).unwrap();
+            let analysis = TreeAnalysis::build(&e);
+            let tree = analysis.tree();
+            let props = analysis.props();
+            let flat = analysis.flat();
+            for id in 0..tree.num_nodes() {
+                let node = NodeId::from_index(id);
+                assert_eq!(
+                    flat.subtree_end_id(id as u32),
+                    tree.subtree_end(node) as u32
+                );
+                assert_eq!(
+                    flat.parent_id(id as u32),
+                    tree.parent(node).map_or(NONE, |x| x.index() as u32)
+                );
+                assert_eq!(flat.nullable_id(id as u32), props.nullable(node), "{input}");
+                let expected_rchild = match tree.kind(node) {
+                    NodeKind::Concat => tree.rchild(node).unwrap().index() as u32,
+                    _ => NONE,
+                };
+                assert_eq!(flat.concat_rchild(id as u32), expected_rchild);
+            }
+            for p in 0..tree.num_positions() {
+                let pos = PosId::from_index(p);
+                // Compare against follow_kind, which still runs on the
+                // pointer-based NodeProps/Lca machinery — an independent
+                // oracle for the flat follow_ids/can_end path.
+                assert_eq!(
+                    flat.can_end(p as u32),
+                    analysis.follow_kind(pos, tree.end_pos()).is_some(),
+                    "{input}: can_end({pos:?})"
+                );
+                for q in 0..tree.num_positions() {
+                    let qos = PosId::from_index(q);
+                    assert_eq!(
+                        flat.follow_ids(p as u32, q as u32),
+                        analysis.follow_kind(pos, qos).is_some(),
+                        "{input}: follow({pos:?},{qos:?})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::node::NodeId;
 use crate::parse_tree::ParseTree;
-use crate::rmq::{PlusMinusOneRmq, RangeMin};
+use crate::rmq::PlusMinusOneRmq;
 
 /// Preprocessed lowest-common-ancestor structure over a [`ParseTree`].
 ///
@@ -83,10 +83,17 @@ impl Lca {
     /// The lowest common ancestor of `u` and `v`.
     #[inline]
     pub fn query(&self, u: NodeId, v: NodeId) -> NodeId {
-        let fu = self.first_occurrence[u.index()] as usize;
-        let fv = self.first_occurrence[v.index()] as usize;
+        NodeId::from_index(self.query_ids(u.index() as u32, v.index() as u32) as usize)
+    }
+
+    /// The LCA over raw `u32` node indices — the allocation- and
+    /// branch-minimal form used by the flat `checkIfFollow` tables.
+    #[inline]
+    pub fn query_ids(&self, u: u32, v: u32) -> u32 {
+        let fu = self.first_occurrence[u as usize] as usize;
+        let fv = self.first_occurrence[v as usize] as usize;
         let (lo, hi) = if fu <= fv { (fu, fv) } else { (fv, fu) };
-        self.euler[self.rmq.query(lo, hi)]
+        self.euler[self.rmq.query_inline(lo, hi)].index() as u32
     }
 
     /// Length of the Euler tour (exposed for tests and diagnostics).

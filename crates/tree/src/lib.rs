@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod flat;
 pub mod lca;
 pub mod node;
 pub mod parse_tree;
@@ -31,6 +32,7 @@ pub mod props;
 pub mod rmq;
 
 pub use analysis::{FollowKind, TreeAnalysis};
+pub use flat::FlatTables;
 pub use lca::Lca;
 pub use node::{NodeId, NodeKind, PosId};
 pub use parse_tree::ParseTree;

@@ -41,8 +41,14 @@ pub struct ParseTree {
     nodes: Vec<Node>,
     /// Leaves in left-to-right order (including `#` and `$`).
     positions: Vec<NodeId>,
-    /// For each alphabet symbol index, the positions labeled with it.
-    by_symbol: Vec<Vec<PosId>>,
+    /// CSR index over positions by symbol: the positions labeled with symbol
+    /// `s` are `sym_positions[sym_offsets[s] .. sym_offsets[s + 1]]`. One
+    /// flat allocation instead of a `Vec` per symbol, so the per-symbol
+    /// candidate scan of the k-occurrence matcher is two loads and a slice.
+    sym_offsets: Vec<u32>,
+    sym_positions: Vec<PosId>,
+    /// Symbol of each position as a dense `u32` (`u32::MAX` for `#`/`$`).
+    pos_symbol: Vec<u32>,
     /// Root of the embedded user expression `e′`.
     expr_root: NodeId,
 }
@@ -80,17 +86,38 @@ impl ParseTree {
         builder.nodes[root.index()].rchild = Some(end);
         builder.close(root);
 
-        let mut by_symbol = vec![Vec::new(); builder.max_symbol];
+        // CSR per-symbol index: count, prefix-sum, scatter.
+        let num_symbols = builder.max_symbol;
+        let mut pos_symbol = vec![u32::MAX; builder.positions.len()];
+        let mut counts = vec![0u32; num_symbols];
         for (i, &node) in builder.positions.iter().enumerate() {
             if let NodeKind::Position(sym) = builder.nodes[node.index()].kind {
-                by_symbol[sym.index()].push(PosId::from_index(i));
+                pos_symbol[i] = sym.index() as u32;
+                counts[sym.index()] += 1;
+            }
+        }
+        let mut sym_offsets = Vec::with_capacity(num_symbols + 1);
+        let mut total = 0u32;
+        sym_offsets.push(0);
+        for &c in &counts {
+            total += c;
+            sym_offsets.push(total);
+        }
+        let mut sym_positions = vec![PosId(0); total as usize];
+        let mut cursor: Vec<u32> = sym_offsets[..num_symbols].to_vec();
+        for (i, &s) in pos_symbol.iter().enumerate() {
+            if s != u32::MAX {
+                sym_positions[cursor[s as usize] as usize] = PosId::from_index(i);
+                cursor[s as usize] += 1;
             }
         }
 
         ParseTree {
             nodes: builder.nodes,
             positions: builder.positions,
-            by_symbol,
+            sym_offsets,
+            sym_positions,
+            pos_symbol,
             expr_root,
         }
     }
@@ -110,7 +137,7 @@ impl ParseTree {
     /// Number of distinct symbol indices the per-symbol tables cover.
     #[inline]
     pub fn num_symbols(&self) -> usize {
-        self.by_symbol.len()
+        self.sym_offsets.len() - 1
     }
 
     /// The root of the whole tree (the outer concatenation with `$`).
@@ -206,7 +233,18 @@ impl ParseTree {
     /// The alphabet symbol of position `p` (`None` for `#` and `$`).
     #[inline]
     pub fn symbol_at(&self, p: PosId) -> Option<Symbol> {
-        self.kind(self.pos_node(p)).symbol()
+        match self.pos_symbol[p.index()] {
+            u32::MAX => None,
+            s => Some(Symbol::from_index(s as usize)),
+        }
+    }
+
+    /// The symbol index of position `p` as a raw `u32` (`u32::MAX` for the
+    /// phantom `#`/`$` markers) — the allocation-free form used by the flat
+    /// match loops.
+    #[inline]
+    pub fn symbol_index_at(&self, p: PosId) -> u32 {
+        self.pos_symbol[p.index()]
     }
 
     /// The phantom begin position `#`.
@@ -225,19 +263,23 @@ impl ParseTree {
     /// to this expression yield an empty slice.
     #[inline]
     pub fn positions_of_symbol(&self, sym: Symbol) -> &[PosId] {
-        self.by_symbol
-            .get(sym.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let s = sym.index();
+        if s + 1 >= self.sym_offsets.len() {
+            return &[];
+        }
+        let lo = self.sym_offsets[s] as usize;
+        let hi = self.sym_offsets[s + 1] as usize;
+        &self.sym_positions[lo..hi]
     }
 
     /// Iterates over the alphabet positions (excluding `#`/`$`) as
     /// `(PosId, Symbol)` pairs in left-to-right order.
     pub fn symbol_positions(&self) -> impl Iterator<Item = (PosId, Symbol)> + '_ {
-        self.positions
+        self.pos_symbol
             .iter()
             .enumerate()
-            .filter_map(|(i, &n)| self.kind(n).symbol().map(|sym| (PosId::from_index(i), sym)))
+            .filter(|&(_, &s)| s != u32::MAX)
+            .map(|(i, &s)| (PosId::from_index(i), Symbol::from_index(s as usize)))
     }
 
     /// The lowest common ancestor of `u` and `v`, computed naively by

@@ -52,11 +52,16 @@ impl RangeMin for NaiveRmq {
 }
 
 /// Sparse-table RMQ: `O(n log n)` preprocessing, `O(1)` query.
+///
+/// The table is one flat allocation (`levels × n`, row-major) so a query is
+/// two loads from the same array plus a comparison — no nested-`Vec` pointer
+/// chases on the hot path.
 #[derive(Clone, Debug)]
 pub struct SparseTableRmq {
     values: Vec<u32>,
-    /// `table[k][i]` = index of the minimum in `[i, i + 2^k - 1]`.
-    table: Vec<Vec<u32>>,
+    /// `table[k * n + i]` = index of the minimum in `[i, i + 2^k - 1]`.
+    table: Vec<u32>,
+    n: usize,
 }
 
 impl SparseTableRmq {
@@ -64,42 +69,49 @@ impl SparseTableRmq {
     pub fn new(values: Vec<u32>) -> Self {
         let n = values.len();
         let levels = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
-        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
-        table.push((0..n as u32).collect());
+        let mut table = vec![0u32; levels * n.max(1)];
+        for (i, slot) in table[..n].iter_mut().enumerate() {
+            *slot = i as u32;
+        }
         for k in 1..levels {
             let half = 1usize << (k - 1);
-            let prev = &table[k - 1];
             let width = 1usize << k;
-            let mut row = Vec::with_capacity(n.saturating_sub(width) + 1);
-            for i in 0..=n.saturating_sub(width) {
-                let left = prev[i];
-                let right = prev[i + half];
-                row.push(if values[left as usize] <= values[right as usize] {
+            for i in 0..=n - width {
+                let left = table[(k - 1) * n + i];
+                let right = table[(k - 1) * n + i + half];
+                table[k * n + i] = if values[left as usize] <= values[right as usize] {
                     left
                 } else {
                     right
-                });
+                };
             }
-            table.push(row);
         }
-        SparseTableRmq { values, table }
+        SparseTableRmq { values, table, n }
+    }
+
+    /// The query body, shared by the trait impl and the inlined LCA path.
+    #[inline]
+    pub(crate) fn query_inline(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
+        if lo == hi {
+            return lo;
+        }
+        let k = (hi - lo + 1).ilog2() as usize;
+        let row = k * self.n;
+        let left = self.table[row + lo] as usize;
+        let right = self.table[row + hi + 1 - (1usize << k)] as usize;
+        if self.values[left] <= self.values[right] {
+            left
+        } else {
+            right
+        }
     }
 }
 
 impl RangeMin for SparseTableRmq {
     fn query(&self, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
-        if lo == hi {
-            return lo;
-        }
-        let k = (hi - lo + 1).ilog2() as usize;
-        let left = self.table[k][lo] as usize;
-        let right = self.table[k][hi + 1 - (1usize << k)] as usize;
-        if self.values[left] <= self.values[right] {
-            left
-        } else {
-            right
-        }
+        self.query_inline(lo, hi)
     }
 }
 
@@ -114,16 +126,23 @@ impl RangeMin for SparseTableRmq {
 #[derive(Clone, Debug)]
 pub struct PlusMinusOneRmq {
     values: Vec<u32>,
+    /// `log₂(block_size)` — blocks are a power of two wide so the hot query
+    /// path uses shifts and masks instead of integer division.
+    block_shift: u32,
+    /// `block_size - 1`.
+    block_mask: usize,
     block_size: usize,
     /// Sparse table over the per-block minima (stores block indices).
     block_table: SparseTableRmq,
     /// Index (within its block) of the minimum of each block.
     block_min_offset: Vec<u32>,
-    /// For each block, its shape id.
-    block_shape: Vec<u32>,
-    /// `in_block[shape][lo * block_size + hi]` = offset of the minimum of
-    /// `[lo, hi]` within any block of that shape.
-    in_block: Vec<Vec<u8>>,
+    /// For each block, the base offset of its shape's slice in `in_block`
+    /// (`shape * block_size²`, precomputed so queries skip the multiply).
+    block_shape_base: Vec<u32>,
+    /// Flat shape tables: `in_block[shape * bs² + lo * bs + hi]` = offset of
+    /// the minimum of `[lo, hi]` within any block of that shape. One flat
+    /// allocation for all shapes; only occurring shapes are filled.
+    in_block: Vec<u8>,
 }
 
 impl PlusMinusOneRmq {
@@ -137,14 +156,22 @@ impl PlusMinusOneRmq {
             "PlusMinusOneRmq requires a ±1 sequence"
         );
         let n = values.len().max(1);
-        let block_size = ((n.ilog2() as usize) / 2).max(1);
+        // Largest power of two not exceeding ⌈(log₂ n)/2⌉: keeps the number
+        // of shapes O(√n) (preprocessing stays linear) while making the
+        // block arithmetic shift/mask only.
+        let target = ((n.ilog2() as usize) / 2).max(1);
+        let block_shift = target.ilog2();
+        let block_size = 1usize << block_shift;
+        let block_mask = block_size - 1;
         let num_blocks = values.len().div_ceil(block_size).max(1);
 
         let mut block_minima = Vec::with_capacity(num_blocks);
         let mut block_min_offset = Vec::with_capacity(num_blocks);
-        let mut block_shape = Vec::with_capacity(num_blocks);
-        let num_shapes = 1usize << (block_size.saturating_sub(1));
-        let mut in_block: Vec<Vec<u8>> = vec![Vec::new(); num_shapes];
+        let mut block_shape_base = Vec::with_capacity(num_blocks);
+        let num_shapes = 1usize << (block_size - 1);
+        let shape_stride = block_size * block_size;
+        let mut in_block = vec![0u8; num_shapes * shape_stride];
+        let mut shape_filled = vec![false; num_shapes];
 
         for b in 0..num_blocks {
             let start = b * block_size;
@@ -162,7 +189,7 @@ impl PlusMinusOneRmq {
             // Shape: bit i set iff step i goes up (+1). Short final blocks are
             // padded with ascending steps, which never create new minima.
             let mut shape = 0u32;
-            for i in 0..block_size.saturating_sub(1) {
+            for i in 0..block_size - 1 {
                 let up = if i + 1 < block.len() {
                     block[i + 1] > block[i]
                 } else {
@@ -172,34 +199,39 @@ impl PlusMinusOneRmq {
                     shape |= 1 << i;
                 }
             }
-            block_shape.push(shape);
+            block_shape_base.push(shape * shape_stride as u32);
             // Fill the lookup table for this shape if not yet done.
-            let table = &mut in_block[shape as usize];
-            if table.is_empty() {
-                *table = Self::build_shape_table(shape, block_size);
+            if !shape_filled[shape as usize] {
+                shape_filled[shape as usize] = true;
+                Self::fill_shape_table(
+                    shape,
+                    block_size,
+                    &mut in_block[shape as usize * shape_stride..][..shape_stride],
+                );
             }
         }
 
         PlusMinusOneRmq {
             values,
+            block_shift,
+            block_mask,
             block_size,
             block_table: SparseTableRmq::new(block_minima),
             block_min_offset,
-            block_shape,
+            block_shape_base,
             in_block,
         }
     }
 
-    fn build_shape_table(shape: u32, block_size: usize) -> Vec<u8> {
+    fn fill_shape_table(shape: u32, block_size: usize, table: &mut [u8]) {
         // Reconstruct the (relative) values of a block with this shape.
         let mut rel = Vec::with_capacity(block_size);
         let mut cur: i32 = 0;
         rel.push(cur);
-        for i in 0..block_size.saturating_sub(1) {
+        for i in 0..block_size - 1 {
             cur += if shape & (1 << i) != 0 { 1 } else { -1 };
             rel.push(cur);
         }
-        let mut table = vec![0u8; block_size * block_size];
         for lo in 0..block_size {
             let mut best = lo;
             for hi in lo..block_size {
@@ -209,27 +241,27 @@ impl PlusMinusOneRmq {
                 table[lo * block_size + hi] = best as u8;
             }
         }
-        table
     }
 
+    #[inline]
     fn in_block_query(&self, block: usize, lo: usize, hi: usize) -> usize {
-        let shape = self.block_shape[block] as usize;
-        let off = self.in_block[shape][lo * self.block_size + hi] as usize;
-        block * self.block_size + off
+        let base = self.block_shape_base[block] as usize;
+        let off = self.in_block[base + (lo << self.block_shift) + hi] as usize;
+        (block << self.block_shift) + off
     }
-}
 
-impl RangeMin for PlusMinusOneRmq {
-    fn query(&self, lo: usize, hi: usize) -> usize {
-        assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
-        let b_lo = lo / self.block_size;
-        let b_hi = hi / self.block_size;
+    /// The query body, shared by the trait impl and the inlined LCA path.
+    #[inline]
+    pub(crate) fn query_inline(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
+        let b_lo = lo >> self.block_shift;
+        let b_hi = hi >> self.block_shift;
         if b_lo == b_hi {
-            return self.in_block_query(b_lo, lo % self.block_size, hi % self.block_size);
+            return self.in_block_query(b_lo, lo & self.block_mask, hi & self.block_mask);
         }
         // Prefix of the first block, suffix of the last block.
-        let left = self.in_block_query(b_lo, lo % self.block_size, self.block_size - 1);
-        let right = self.in_block_query(b_hi, 0, hi % self.block_size);
+        let left = self.in_block_query(b_lo, lo & self.block_mask, self.block_size - 1);
+        let right = self.in_block_query(b_hi, 0, hi & self.block_mask);
         let mut best = if self.values[left] <= self.values[right] {
             left
         } else {
@@ -237,8 +269,8 @@ impl RangeMin for PlusMinusOneRmq {
         };
         // Whole blocks strictly in between.
         if b_lo + 1 < b_hi {
-            let mid_block = self.block_table.query(b_lo + 1, b_hi - 1);
-            let mid = mid_block * self.block_size + self.block_min_offset[mid_block] as usize;
+            let mid_block = self.block_table.query_inline(b_lo + 1, b_hi - 1);
+            let mid = (mid_block << self.block_shift) + self.block_min_offset[mid_block] as usize;
             if self.values[mid] < self.values[best]
                 || (self.values[mid] == self.values[best] && mid < best)
             {
@@ -246,6 +278,13 @@ impl RangeMin for PlusMinusOneRmq {
             }
         }
         best
+    }
+}
+
+impl RangeMin for PlusMinusOneRmq {
+    fn query(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi < self.values.len(), "invalid RMQ range");
+        self.query_inline(lo, hi)
     }
 }
 

@@ -251,7 +251,15 @@ fn random_expr_rec(positions: usize, symbols: &[Symbol], rng: &mut StdRng, depth
             ))
         }
         7 => random_expr_rec(positions, symbols, rng, depth + 1).opt(),
-        8 => random_expr_rec(positions, symbols, rng, depth + 1).star(),
+        8 => {
+            let inner = random_expr_rec(positions, symbols, rng, depth + 1);
+            // Half stars, half native one-or-more closures.
+            if rng.gen_bool(0.5) {
+                inner.star()
+            } else {
+                inner.plus()
+            }
+        }
         _ => {
             let min = rng.gen_range(0..3u32);
             let max = min + rng.gen_range(0..3u32);

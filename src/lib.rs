@@ -48,10 +48,10 @@ pub use redet_tree as tree;
 
 pub use redet_automata::{GlushkovAutomaton, GlushkovDfaMatcher, Matcher, NfaSimulationMatcher};
 pub use redet_core::{
-    check_counting_determinism, check_determinism, ColoredAncestorMatcher, CompiledAnalysis,
-    DeterminismCertificate, DeterministicRegex, KOccurrenceMatcher, MatchStrategy, NonDeterminism,
-    PathDecompositionMatcher, Pipeline, PositionMatcher, RegexError, StarFreeMatcher,
-    TransitionSim,
+    check_counting_determinism, check_determinism, BatchScratch, ColoredAncestorMatcher,
+    CompiledAnalysis, DeterminismCertificate, DeterministicRegex, KOccurrenceMatcher,
+    MatchStrategy, NonDeterminism, PathDecompositionMatcher, Pipeline, PositionMatcher, RegexError,
+    StarFreeMatcher, TransitionSim,
 };
 pub use redet_syntax::{parse, Alphabet, ExprStats, Regex, Symbol};
 pub use redet_tree::TreeAnalysis;

@@ -1,0 +1,79 @@
+//! Zero-allocation regression tests for the steady-state match loops.
+//!
+//! Compile-once/match-many (experiment E10) promises that after warm-up the
+//! hot loops perform **no allocation**: the batch matcher runs on the
+//! reusable [`BatchScratch`] arenas, the single-word transition simulations
+//! carry their state in a `PosId`, and the counted-expression simulation
+//! reuses caller-owned cursor buffers. A counting global allocator enforces
+//! this — any `Vec` growth or hash-map insertion sneaking back into the hot
+//! paths fails the test.
+//!
+//! Everything runs inside one `#[test]` so no concurrent test thread can
+//! pollute the counter.
+
+use redet::core::matcher::starfree::BatchScratch;
+use redet::{
+    CompiledAnalysis, KOccurrenceMatcher, Matcher, PositionMatcher, StarFreeMatcher, Symbol,
+};
+use redet_alloc_counter::{allocations_during, CountingAllocator};
+use redet_automata::{unroll_counting, NfaScratch, NfaSimulationMatcher};
+use redet_workloads as workloads;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_match_loops_do_not_allocate() {
+    // --- Batch star-free matching over the dynamic LCA-closed skeleta. ---
+    let w = workloads::star_free_chare(60, 4, 17);
+    let compiled =
+        CompiledAnalysis::from_regex(w.regex.clone(), w.alphabet.clone()).expect("deterministic");
+    let starfree = StarFreeMatcher::from_compiled(&compiled).expect("star-free");
+    let words: Vec<Vec<Symbol>> = (0..200)
+        .map(|i| {
+            if i % 2 == 0 {
+                workloads::sample_member_word(&w.regex, 40, i as u64)
+            } else {
+                workloads::sample_random_word(&w.alphabet, 25, i as u64)
+            }
+        })
+        .collect();
+    let mut scratch = BatchScratch::new();
+    let mut results = Vec::new();
+    // Warm-up sizes the arenas; the steady-state call must not allocate.
+    starfree.match_words_with(&words, &mut scratch, &mut results);
+    starfree.match_words_with(&words, &mut scratch, &mut results);
+    let (allocations, accepted) = allocations_during(|| {
+        starfree.match_words_with(&words, &mut scratch, &mut results);
+        results.iter().filter(|&&x| x).count()
+    });
+    assert!(accepted > 0, "sanity: some words match");
+    assert_eq!(
+        allocations, 0,
+        "batch star-free matching allocated in steady state"
+    );
+
+    // --- Single-word transition simulation (k-occurrence). ---
+    let kocc = PositionMatcher::new(KOccurrenceMatcher::from_compiled(&compiled));
+    let word = workloads::sample_member_word(&w.regex, 200, 99);
+    assert!(kocc.matches(&word));
+    let (allocations, _) = allocations_during(|| kocc.matches(&word));
+    assert_eq!(allocations, 0, "k-occurrence matching allocated per word");
+
+    // --- Counted-expression simulation with reusable cursor buffers. ---
+    let (counted, sigma) = redet::parse("(a b){2,4} c").unwrap();
+    let nfa = NfaSimulationMatcher::build(&unroll_counting(&counted));
+    let mut nfa_scratch = NfaScratch::new();
+    let member: Vec<Symbol> = ["a", "b", "a", "b", "c"]
+        .iter()
+        .map(|s| sigma.lookup(s).unwrap())
+        .collect();
+    assert!(nfa.matches_with(&member, &mut nfa_scratch));
+    let (allocations, accepted) =
+        allocations_during(|| nfa.matches_with(&member, &mut nfa_scratch));
+    assert!(accepted);
+    assert_eq!(
+        allocations, 0,
+        "NFA simulation allocated despite the reusable scratch"
+    );
+}
