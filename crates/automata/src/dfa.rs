@@ -9,7 +9,7 @@
 
 use crate::determinism::{glushkov_determinism, NonDeterminismWitness};
 use crate::glushkov::GlushkovAutomaton;
-use crate::matcher::Matcher;
+use crate::matcher::PosStepper;
 use redet_syntax::{Regex, Symbol};
 use redet_tree::{ParseTree, PosId};
 use std::collections::HashMap;
@@ -69,25 +69,24 @@ impl GlushkovDfaMatcher {
     }
 }
 
-impl Matcher for GlushkovDfaMatcher {
-    type State = PosId;
-
-    fn start(&self) -> PosId {
+impl PosStepper for GlushkovDfaMatcher {
+    fn begin(&self) -> PosId {
         PosId::from_index(0)
     }
 
-    fn step(&self, state: &PosId, symbol: Symbol) -> Option<PosId> {
-        self.transitions[state.index()].get(&symbol).copied()
+    fn advance(&self, p: PosId, symbol: Symbol) -> Option<PosId> {
+        self.transitions[p.index()].get(&symbol).copied()
     }
 
-    fn accepts(&self, state: &PosId) -> bool {
-        self.accepting[state.index()]
+    fn can_end(&self, p: PosId) -> bool {
+        self.accepting[p.index()]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::Matcher;
     use redet_syntax::parse_with_alphabet;
     use redet_syntax::Alphabet;
 
@@ -166,19 +165,23 @@ mod tests {
 
     #[test]
     fn streaming_interface() {
+        use crate::matcher::{Session, Step};
         let mut sigma = Alphabet::new();
         let m = matcher("a (b c)*", &mut sigma);
         let a = sigma.intern("a");
         let b = sigma.intern("b");
         let c = sigma.intern("c");
-        let s0 = m.start();
-        assert!(!m.accepts(&s0));
-        let s1 = m.step(&s0, a).unwrap();
-        assert!(m.accepts(&s1));
-        let s2 = m.step(&s1, b).unwrap();
-        assert!(!m.accepts(&s2));
-        let s3 = m.step(&s2, c).unwrap();
-        assert!(m.accepts(&s3));
-        assert!(m.step(&s3, c).is_none());
+        let mut s = m.session();
+        assert!(!s.accepts());
+        assert_eq!(s.feed(a), Step::Advanced);
+        assert!(s.accepts());
+        assert_eq!(s.feed(b), Step::Advanced);
+        assert!(!s.accepts());
+        assert_eq!(s.feed(c), Step::Advanced);
+        assert!(s.accepts());
+        // A second `c` has no continuation: the witness names event 3.
+        let step = s.feed(c);
+        assert_eq!(step.witness().map(|w| (w.event, w.symbol)), Some((3, c)));
+        assert!(!s.accepts());
     }
 }

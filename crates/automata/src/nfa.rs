@@ -7,9 +7,14 @@
 //! bound for nondeterministic k-occurrence expressions). This is the
 //! testing oracle for every matcher in the workspace, because it implements
 //! the language definition directly without any determinism assumption.
+//!
+//! The simulation exposes the same incremental [`Session`] interface as the
+//! deterministic matchers; its sessions keep the current/next position sets
+//! in an [`NfaScratch`] that callers recycle across words, so steady-state
+//! matching performs no allocation.
 
 use crate::glushkov::GlushkovAutomaton;
-use crate::matcher::Matcher;
+use crate::matcher::{Matcher, RejectWitness, Session, Step};
 use redet_syntax::{Regex, Symbol};
 use redet_tree::PosId;
 
@@ -20,8 +25,8 @@ pub struct NfaSimulationMatcher {
     automaton: GlushkovAutomaton,
 }
 
-/// Reusable cursor state for [`NfaSimulationMatcher::matches_with`]: the
-/// current and next position sets. Create once, reuse across words — the
+/// Reusable buffers for [`NfaSimulationMatcher`] sessions: the current and
+/// next position sets. Create it once, recycle it across sessions — the
 /// steady-state simulation loop then performs no allocation.
 #[derive(Clone, Debug, Default)]
 pub struct NfaScratch {
@@ -53,66 +58,85 @@ impl NfaSimulationMatcher {
     pub fn automaton(&self) -> &GlushkovAutomaton {
         &self.automaton
     }
+}
 
-    /// Like [`Matcher::matches`], but with caller-owned cursor buffers —
-    /// compile-once/match-many loops reuse the scratch and allocate nothing
-    /// in steady state.
-    pub fn matches_with(&self, word: &[Symbol], scratch: &mut NfaScratch) -> bool {
-        scratch.current.clear();
-        scratch.current.push(self.automaton.begin());
-        for &sym in word {
-            scratch.next.clear();
-            for &p in &scratch.current {
-                for &q in self.automaton.follow(p) {
-                    if self.automaton.symbol(q) == Some(sym) {
-                        scratch.next.push(q);
-                    }
+/// An incremental session over the set-of-positions simulation. Owns its
+/// [`NfaScratch`] buffers for the duration of the word; recover them with
+/// [`Session::into_scratch`].
+#[derive(Debug)]
+pub struct NfaSession<'m> {
+    matcher: &'m NfaSimulationMatcher,
+    scratch: NfaScratch,
+    events: usize,
+    rejected: Option<RejectWitness>,
+}
+
+impl Session for NfaSession<'_> {
+    type Scratch = NfaScratch;
+
+    fn feed(&mut self, symbol: Symbol) -> Step {
+        if let Some(w) = self.rejected {
+            return Step::Rejected(w);
+        }
+        let automaton = &self.matcher.automaton;
+        self.scratch.next.clear();
+        for &p in &self.scratch.current {
+            for &q in automaton.follow(p) {
+                if automaton.symbol(q) == Some(symbol) {
+                    self.scratch.next.push(q);
                 }
             }
-            scratch.next.sort_unstable();
-            scratch.next.dedup();
-            if scratch.next.is_empty() {
-                return false;
-            }
-            std::mem::swap(&mut scratch.current, &mut scratch.next);
         }
-        scratch.current.iter().any(|&p| self.automaton.can_end(p))
+        self.scratch.next.sort_unstable();
+        self.scratch.next.dedup();
+        if self.scratch.next.is_empty() {
+            let w = RejectWitness {
+                event: self.events,
+                symbol,
+            };
+            self.rejected = Some(w);
+            return Step::Rejected(w);
+        }
+        std::mem::swap(&mut self.scratch.current, &mut self.scratch.next);
+        self.events += 1;
+        Step::Advanced
+    }
+
+    fn accepts(&self) -> bool {
+        self.rejected.is_none()
+            && self
+                .scratch
+                .current
+                .iter()
+                .any(|&p| self.matcher.automaton.can_end(p))
+    }
+
+    fn events(&self) -> usize {
+        self.events
+    }
+
+    fn rejection(&self) -> Option<RejectWitness> {
+        self.rejected
+    }
+
+    fn into_scratch(self) -> NfaScratch {
+        self.scratch
     }
 }
 
 impl Matcher for NfaSimulationMatcher {
-    /// The sorted set of currently active positions.
-    type State = Vec<PosId>;
+    type Scratch = NfaScratch;
+    type Session<'m> = NfaSession<'m>;
 
-    fn start(&self) -> Vec<PosId> {
-        vec![self.automaton.begin()]
-    }
-
-    fn step(&self, state: &Vec<PosId>, symbol: Symbol) -> Option<Vec<PosId>> {
-        let mut next = Vec::new();
-        for &p in state {
-            for &q in self.automaton.follow(p) {
-                if self.automaton.symbol(q) == Some(symbol) {
-                    next.push(q);
-                }
-            }
+    fn start(&self, mut scratch: NfaScratch) -> NfaSession<'_> {
+        scratch.current.clear();
+        scratch.current.push(self.automaton.begin());
+        NfaSession {
+            matcher: self,
+            scratch,
+            events: 0,
+            rejected: None,
         }
-        next.sort_unstable();
-        next.dedup();
-        if next.is_empty() {
-            None
-        } else {
-            Some(next)
-        }
-    }
-
-    fn accepts(&self, state: &Vec<PosId>) -> bool {
-        state.iter().any(|&p| self.automaton.can_end(p))
-    }
-
-    /// One scratch pair per word instead of one fresh set per symbol.
-    fn matches(&self, word: &[Symbol]) -> bool {
-        self.matches_with(word, &mut NfaScratch::new())
     }
 }
 
@@ -187,6 +211,26 @@ mod tests {
         for len in 0..10 {
             let w = vec![a; len];
             assert!(m.matches(&w), "a^{len} should match (a + aa)*");
+        }
+    }
+
+    #[test]
+    fn sessions_recycle_the_scratch() {
+        let mut sigma = Alphabet::new();
+        let e = parse_with_alphabet("(a b)*", &mut sigma).unwrap();
+        let m = NfaSimulationMatcher::build(&e);
+        let a = sigma.lookup("a").unwrap();
+        let b = sigma.lookup("b").unwrap();
+        let mut scratch = NfaScratch::new();
+        for _ in 0..3 {
+            let mut s = m.start(std::mem::take(&mut scratch));
+            assert!(s.feed(a).is_advanced());
+            assert!(s.feed(b).is_advanced());
+            assert!(s.accepts());
+            // Rejection is sticky and witnessed at the right event.
+            assert_eq!(s.feed(b).witness().map(|w| w.event), Some(2));
+            assert_eq!(s.rejection().map(|w| w.symbol), Some(b));
+            scratch = s.into_scratch();
         }
     }
 }

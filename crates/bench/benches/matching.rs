@@ -180,6 +180,108 @@ fn bench_compile_once_match_many(h: &mut Harness) {
     });
 }
 
+/// E11: schema-level document validation — one `Arc<Schema>` compiled from
+/// the 22-declaration `BOOK_DTD`, N synthetic documents validated
+/// event-by-event by the `DocumentValidator` (auto-selected per-element
+/// strategies, recycled scratch pool), against a DFA-per-element baseline
+/// (`O(σ|e|)` preprocessing per element, hand-rolled frame stack).
+fn bench_document_validation(h: &mut Harness) {
+    use redet_automata::PosStepper;
+    use redet_bench::book_document_events;
+    use redet_schema::SchemaBuilder;
+    use redet_tree::PosId;
+
+    h.group("E11_document_validation");
+    let schema = SchemaBuilder::new()
+        .parse_dtd(redet_workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+
+    // The baseline: a Glushkov DFA per element (where its counting-blind
+    // view is buildable), driven over a hand-rolled stack of positions —
+    // what a validator without the schema layer would do.
+    let dfas: Vec<Option<GlushkovDfaMatcher>> = schema
+        .alphabet()
+        .symbols()
+        .map(|sym| {
+            schema
+                .model(sym)
+                .and_then(|m| GlushkovDfaMatcher::from_tree(m.analysis().tree()).ok())
+        })
+        .collect();
+
+    let counts: &[usize] = if h.is_fast() { &[10] } else { &[10, 100] };
+    for &n in counts {
+        let documents: Vec<Vec<redet_bench::DocEvent>> = (0..n)
+            .map(|i| book_document_events(&schema, 4, 0xE11 ^ i as u64))
+            .collect();
+        let total_events: usize = documents.iter().map(Vec::len).sum();
+        h.throughput(total_events as u64);
+
+        let mut validator = schema.validator();
+        h.bench("schema_validator", n, || {
+            let mut valid = 0usize;
+            for events in &documents {
+                for event in events {
+                    match event {
+                        Some(sym) => validator.start_element_symbol(*sym),
+                        None => validator.end_element(),
+                    }
+                }
+                if validator.finish().is_ok() {
+                    valid += 1;
+                }
+            }
+            valid
+        });
+
+        let mut stack: Vec<(usize, Option<PosId>, bool)> = Vec::new();
+        h.bench("dfa_per_element", n, || {
+            let mut valid = 0usize;
+            for events in &documents {
+                let mut ok = true;
+                stack.clear();
+                for event in events {
+                    match event {
+                        Some(sym) => {
+                            if let Some((parent_sym, state, alive)) = stack.last_mut() {
+                                if *alive {
+                                    if let Some(dfa) = &dfas[*parent_sym] {
+                                        match state.and_then(|p| dfa.advance(p, *sym)) {
+                                            Some(next) => *state = Some(next),
+                                            None => {
+                                                *alive = false;
+                                                ok = false;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            let start = dfas[sym.index()].as_ref().map(|dfa| dfa.begin());
+                            stack.push((sym.index(), start, true));
+                        }
+                        None => {
+                            if let Some((sym, state, alive)) = stack.pop() {
+                                if alive {
+                                    if let (Some(dfa), Some(p)) = (&dfas[sym], state) {
+                                        if !dfa.can_end(p) {
+                                            ok = false;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    valid += 1;
+                }
+            }
+            valid
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -188,5 +290,6 @@ fn main() {
     bench_colored_ancestor(&mut h);
     bench_star_free(&mut h);
     bench_compile_once_match_many(&mut h);
+    bench_document_validation(&mut h);
     h.finish("matching");
 }

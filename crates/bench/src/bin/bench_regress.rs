@@ -3,7 +3,7 @@
 //! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
 //!
 //! Compares a fresh `BENCH_matching.json` against the committed baseline for
-//! the gated experiment groups (E4, E5, E7) and exits non-zero when any
+//! the gated experiment groups (E4, E5, E7, E11) and exits non-zero when any
 //! algorithm regresses by more than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
@@ -23,6 +23,7 @@ const GATED_GROUPS: &[&str] = &[
     "E4_k_occurrence_matching",
     "E5_path_decomposition_matching",
     "E7_star_free_multiword",
+    "E11_document_validation",
 ];
 
 /// Allowed relative slowdown before the gate fails.
@@ -160,7 +161,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7 regressions beyond {:.0}%",
+        "no E4/E5/E7/E11 regressions beyond {:.0}%",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

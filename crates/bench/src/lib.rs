@@ -84,6 +84,206 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// One document event: `Some(sym)` opens an element, `None` closes the
+/// innermost open element — the pre-interned form the validation hot loop
+/// consumes.
+pub type DocEvent = Option<redet_syntax::Symbol>;
+
+/// Generates a random, **schema-valid** document against
+/// [`redet_workloads::BOOK_DTD`] as a pre-interned event stream: a book
+/// with `chapters` chapters, randomly nested sections (depth ≤ 3), lists,
+/// tables, figures, and a back-matter index whose entries exercise the
+/// counted `locator{1,4}` model. Used by the E11 `document_validation`
+/// benchmark and its DFA-per-element baseline.
+pub fn book_document_events(
+    schema: &redet_schema::Schema,
+    chapters: usize,
+    seed: u64,
+) -> Vec<DocEvent> {
+    use redet_workloads::rng::StdRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = |name: &str| schema.lookup(name).expect("BOOK_DTD element");
+    let (book, front, body, back) = (s("book"), s("front"), s("body"), s("back"));
+    let (title, subtitle, author, date) = (s("title"), s("subtitle"), s("author"), s("date"));
+    let (chapter, epigraph, section, interlude) =
+        (s("chapter"), s("epigraph"), s("section"), s("interlude"));
+    let (para, list, item, table, row_, figure, caption, code, attribution) = (
+        s("para"),
+        s("list"),
+        s("item"),
+        s("table"),
+        s("row"),
+        s("figure"),
+        s("caption"),
+        s("code"),
+        s("attribution"),
+    );
+    let (appendix, index, entry, term, locator, cell) = (
+        s("appendix"),
+        s("index"),
+        s("entry"),
+        s("term"),
+        s("locator"),
+        s("cell"),
+    );
+
+    let mut events: Vec<DocEvent> = Vec::new();
+    fn open(events: &mut Vec<DocEvent>, sym: redet_syntax::Symbol) {
+        events.push(Some(sym));
+    }
+    fn close(events: &mut Vec<DocEvent>) {
+        events.push(None);
+    }
+    fn leaf(events: &mut Vec<DocEvent>, sym: redet_syntax::Symbol) {
+        open(events, sym);
+        close(events);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_section(
+        events: &mut Vec<DocEvent>,
+        rng: &mut StdRng,
+        depth: usize,
+        section: redet_syntax::Symbol,
+        title: redet_syntax::Symbol,
+        blocks: &[redet_syntax::Symbol; 4],
+        item: redet_syntax::Symbol,
+        row_: redet_syntax::Symbol,
+        cell: redet_syntax::Symbol,
+        caption: redet_syntax::Symbol,
+    ) {
+        let [para, list, table, figure] = *blocks;
+        open(events, section);
+        leaf(events, title);
+        for _ in 0..rng.gen_range(1..6usize) {
+            match rng.gen_range(0..8usize) {
+                0 => {
+                    open(events, list);
+                    for _ in 0..rng.gen_range(1..4usize) {
+                        leaf(events, item);
+                    }
+                    close(events);
+                }
+                1 => {
+                    open(events, table);
+                    if rng.gen_bool(0.5) {
+                        leaf(events, caption);
+                    }
+                    for _ in 0..rng.gen_range(1..3usize) {
+                        open(events, row_);
+                        for _ in 0..rng.gen_range(1..4usize) {
+                            leaf(events, cell);
+                        }
+                        close(events);
+                    }
+                    close(events);
+                }
+                2 => {
+                    open(events, figure);
+                    if rng.gen_bool(0.5) {
+                        leaf(events, caption);
+                    }
+                    close(events);
+                }
+                3 if depth > 0 => {
+                    emit_section(
+                        events,
+                        rng,
+                        depth - 1,
+                        section,
+                        title,
+                        blocks,
+                        item,
+                        row_,
+                        cell,
+                        caption,
+                    );
+                }
+                _ => leaf(events, para),
+            }
+        }
+        close(events);
+    }
+
+    open(&mut events, book);
+    // Front matter.
+    open(&mut events, front);
+    leaf(&mut events, title);
+    if rng.gen_bool(0.5) {
+        leaf(&mut events, subtitle);
+    }
+    for _ in 0..rng.gen_range(1..4usize) {
+        leaf(&mut events, author);
+    }
+    if rng.gen_bool(0.5) {
+        leaf(&mut events, date);
+    }
+    close(&mut events);
+    // Body.
+    open(&mut events, body);
+    let blocks = [para, list, table, figure];
+    let _ = code; // mixed-content child of <para>; paras stay childless here
+    for _ in 0..chapters.max(1) {
+        open(&mut events, chapter);
+        leaf(&mut events, title);
+        if rng.gen_bool(0.3) {
+            open(&mut events, epigraph);
+            leaf(&mut events, para);
+            if rng.gen_bool(0.5) {
+                leaf(&mut events, attribution);
+            }
+            close(&mut events);
+        }
+        for _ in 0..rng.gen_range(1..4usize) {
+            if rng.gen_bool(0.15) {
+                open(&mut events, interlude);
+                for _ in 0..rng.gen_range(1..3usize) {
+                    leaf(&mut events, para);
+                }
+                close(&mut events);
+            } else {
+                emit_section(
+                    &mut events,
+                    &mut rng,
+                    2,
+                    section,
+                    title,
+                    &blocks,
+                    item,
+                    row_,
+                    cell,
+                    caption,
+                );
+            }
+        }
+        close(&mut events);
+    }
+    close(&mut events);
+    // Back matter: appendices and the index with counted locators.
+    open(&mut events, back);
+    for _ in 0..rng.gen_range(0..3usize) {
+        open(&mut events, appendix);
+        leaf(&mut events, title);
+        for _ in 0..rng.gen_range(0..3usize) {
+            leaf(&mut events, para);
+        }
+        close(&mut events);
+    }
+    open(&mut events, index);
+    for _ in 0..rng.gen_range(2..8usize) {
+        open(&mut events, entry);
+        leaf(&mut events, term);
+        for _ in 0..rng.gen_range(1..5usize) {
+            leaf(&mut events, locator);
+        }
+        close(&mut events);
+    }
+    close(&mut events);
+    close(&mut events);
+    close(&mut events); // </book>
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +311,28 @@ mod tests {
             compiled.analysis().as_ref(),
             colored.sim().analysis()
         ));
+    }
+
+    #[test]
+    fn generated_book_documents_are_valid() {
+        let schema = redet_schema::SchemaBuilder::new()
+            .parse_dtd(redet_workloads::BOOK_DTD)
+            .build()
+            .expect("BOOK_DTD compiles");
+        let mut validator = schema.validator();
+        for seed in 0..5u64 {
+            let events = book_document_events(&schema, 3, seed);
+            assert!(events.len() > 50, "seed {seed}: document too small");
+            for event in &events {
+                match event {
+                    Some(sym) => validator.start_element_symbol(*sym),
+                    None => validator.end_element(),
+                }
+            }
+            if let Err(diags) = validator.finish() {
+                panic!("seed {seed}: generated document invalid: {diags:?}");
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! they never contribute conflicting follow edges — and the ordinary
 //! linear-time determinism test of Theorem 3.5 runs on the rewritten
 //! expression (which has exactly the same positions). The exact
-//! characterization of [19] (Theorem 5.5) was not available to this
+//! characterization of \[19\] (Theorem 5.5) was not available to this
 //! reproduction; DESIGN.md records this approximation, which agrees with
 //! every example discussed in the paper and with a brute-force
 //! configuration-exploration oracle on the test suite.

@@ -1,5 +1,7 @@
-//! High-level entry point: a thin driver over the compilation [`Pipeline`]
-//! that picks a matching algorithm and validates words.
+//! High-level entry point: a thin driver over the compilation
+//! [`Pipeline`](crate::pipeline::Pipeline) that picks a matching algorithm
+//! and validates words — in whole-word form or incrementally through
+//! [`MatchSession`] cursors.
 //!
 //! All the heavy lifting — interning, parsing, normalization, the shared
 //! parse-tree analysis, determinism certification — happens once in the
@@ -8,16 +10,42 @@
 //! structures on top of the artifact. Consequently, switching strategies on
 //! an already-compiled expression ([`DeterministicRegex::with_strategy`])
 //! never re-parses or re-analyzes.
+//!
+//! # Incremental sessions
+//!
+//! [`DeterministicRegex::start`] opens a cursor that consumes a word one
+//! symbol at a time — the shape a streaming document validator needs:
+//!
+//! ```
+//! use redet_core::DeterministicRegex;
+//! use redet_automata::Step;
+//!
+//! let model = DeterministicRegex::compile("(title, author+, year?)").unwrap();
+//! let title = model.alphabet().lookup("title").unwrap();
+//! let author = model.alphabet().lookup("author").unwrap();
+//!
+//! let mut session = model.start();
+//! assert!(session.feed(title).is_advanced());
+//! assert!(session.feed(author).is_advanced());
+//! assert!(session.accepts());
+//! // `title` cannot appear again: rejection carries the event index, and
+//! // by determinism no extension of the prefix can ever be accepted.
+//! let witness = session.feed(title).witness().unwrap();
+//! assert_eq!(witness.event, 2);
+//! ```
 
+use crate::diagnostics::{Code, Diagnostic};
 use crate::matcher::colored::ColoredAncestorMatcher;
 use crate::matcher::kocc::KOccurrenceMatcher;
 use crate::matcher::pathdecomp::PathDecompositionMatcher;
 use crate::matcher::starfree::StarFreeMatcher;
 use crate::matcher::PositionMatcher;
 use crate::pipeline::CompiledAnalysis;
-pub use crate::pipeline::RegexError;
-use redet_automata::{GlushkovDfaMatcher, Matcher, NfaSimulationMatcher};
-use redet_syntax::{Alphabet, ExprStats, Regex};
+use redet_automata::{
+    GlushkovDfaMatcher, Matcher, NfaScratch, NfaSession, NfaSimulationMatcher, PosSession,
+    RejectWitness, Session, Step,
+};
+use redet_syntax::{Alphabet, ExprStats, Regex, Symbol};
 use redet_tree::TreeAnalysis;
 use std::fmt;
 use std::sync::Arc;
@@ -27,7 +55,8 @@ use std::sync::Arc;
 pub enum MatchStrategy {
     /// Pick automatically from the expression's structural statistics
     /// (star-free → Theorem 4.12; small `k` → Theorem 4.3; small
-    /// alternation depth → Theorem 4.10; otherwise Theorem 4.2).
+    /// alternation depth → Theorem 4.10; otherwise Theorem 4.2; counted
+    /// expressions → the unrolled simulation).
     #[default]
     Auto,
     /// The star-free forward sweep (Theorem 4.12).
@@ -40,6 +69,11 @@ pub enum MatchStrategy {
     ColoredAncestor,
     /// The Glushkov DFA baseline (`O(σ|e|)` preprocessing).
     GlushkovDfa,
+    /// The set-of-positions simulation of the unrolled expression — the only
+    /// strategy applicable to counted expressions (`e{i,j}`), because
+    /// unrolling preserves the language but not determinism. Counted
+    /// expressions always report this strategy, whatever was requested.
+    CountedSimulation,
 }
 
 enum MatcherImpl {
@@ -55,6 +89,136 @@ enum MatcherImpl {
     CountedNfa(Arc<NfaSimulationMatcher>),
 }
 
+/// Reusable buffers for [`DeterministicRegex`] sessions. Only the
+/// counted-expression simulation actually uses them; recycling one scratch
+/// across sessions keeps steady-state streaming allocation-free for every
+/// strategy.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    nfa: NfaScratch,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch (no allocations until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+enum SessionImpl<'m> {
+    StarFree(PosSession<'m, PositionMatcher<StarFreeMatcher>>),
+    KOccurrence(PosSession<'m, PositionMatcher<KOccurrenceMatcher>>),
+    PathDecomposition(PosSession<'m, PositionMatcher<PathDecompositionMatcher>>),
+    ColoredAncestor(PosSession<'m, PositionMatcher<ColoredAncestorMatcher>>),
+    GlushkovDfa(PosSession<'m, GlushkovDfaMatcher>),
+    Counted(NfaSession<'m>),
+}
+
+/// An incremental matching cursor over a [`DeterministicRegex`]: feed the
+/// word one symbol at a time ([`MatchSession::feed`]), test membership of
+/// the prefix at any point ([`MatchSession::accepts`]). Because the
+/// expression is deterministic, a [`Step::Rejected`] outcome is final — no
+/// extension of the rejected prefix belongs to the language.
+pub struct MatchSession<'m> {
+    imp: SessionImpl<'m>,
+    /// The caller's scratch, held for return by variants that don't consume
+    /// it (all position-cursor strategies).
+    spare: Option<MatchScratch>,
+}
+
+impl MatchSession<'_> {
+    /// Consumes one symbol; see [`Session::feed`].
+    pub fn feed(&mut self, symbol: Symbol) -> Step {
+        match &mut self.imp {
+            SessionImpl::StarFree(s) => s.feed(symbol),
+            SessionImpl::KOccurrence(s) => s.feed(symbol),
+            SessionImpl::PathDecomposition(s) => s.feed(symbol),
+            SessionImpl::ColoredAncestor(s) => s.feed(symbol),
+            SessionImpl::GlushkovDfa(s) => s.feed(symbol),
+            SessionImpl::Counted(s) => s.feed(symbol),
+        }
+    }
+
+    /// Whether the word fed so far belongs to the content model.
+    pub fn accepts(&self) -> bool {
+        match &self.imp {
+            SessionImpl::StarFree(s) => s.accepts(),
+            SessionImpl::KOccurrence(s) => s.accepts(),
+            SessionImpl::PathDecomposition(s) => s.accepts(),
+            SessionImpl::ColoredAncestor(s) => s.accepts(),
+            SessionImpl::GlushkovDfa(s) => s.accepts(),
+            SessionImpl::Counted(s) => s.accepts(),
+        }
+    }
+
+    /// Number of symbols successfully consumed so far.
+    pub fn events(&self) -> usize {
+        match &self.imp {
+            SessionImpl::StarFree(s) => s.events(),
+            SessionImpl::KOccurrence(s) => s.events(),
+            SessionImpl::PathDecomposition(s) => s.events(),
+            SessionImpl::ColoredAncestor(s) => s.events(),
+            SessionImpl::GlushkovDfa(s) => s.events(),
+            SessionImpl::Counted(s) => s.events(),
+        }
+    }
+
+    /// The witness of the first rejection, if the session is dead.
+    pub fn rejection(&self) -> Option<RejectWitness> {
+        match &self.imp {
+            SessionImpl::StarFree(s) => s.rejection(),
+            SessionImpl::KOccurrence(s) => s.rejection(),
+            SessionImpl::PathDecomposition(s) => s.rejection(),
+            SessionImpl::ColoredAncestor(s) => s.rejection(),
+            SessionImpl::GlushkovDfa(s) => s.rejection(),
+            SessionImpl::Counted(s) => s.rejection(),
+        }
+    }
+
+    /// Closes the session, recovering the scratch for reuse.
+    pub fn into_scratch(self) -> MatchScratch {
+        match self.imp {
+            SessionImpl::Counted(s) => MatchScratch {
+                nfa: s.into_scratch(),
+            },
+            _ => self.spare.unwrap_or_default(),
+        }
+    }
+}
+
+impl Session for MatchSession<'_> {
+    type Scratch = MatchScratch;
+
+    fn feed(&mut self, symbol: Symbol) -> Step {
+        MatchSession::feed(self, symbol)
+    }
+
+    fn accepts(&self) -> bool {
+        MatchSession::accepts(self)
+    }
+
+    fn events(&self) -> usize {
+        MatchSession::events(self)
+    }
+
+    fn rejection(&self) -> Option<RejectWitness> {
+        MatchSession::rejection(self)
+    }
+
+    fn into_scratch(self) -> MatchScratch {
+        MatchSession::into_scratch(self)
+    }
+}
+
+impl fmt::Debug for MatchSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatchSession")
+            .field("events", &self.events())
+            .field("rejection", &self.rejection())
+            .finish()
+    }
+}
+
 /// A compiled deterministic regular expression (content model): parsing,
 /// normalization, the linear-time determinism check of Theorem 3.5, and a
 /// matching algorithm chosen from Section 4.
@@ -66,8 +230,10 @@ enum MatcherImpl {
 /// assert!(model.matches(&["title", "author", "author", "year"]));
 /// assert!(!model.matches(&["title", "year"]));
 ///
-/// // Non-deterministic content models are rejected with a witness.
-/// assert!(DeterministicRegex::compile("(a* b a + b b)*").is_err());
+/// // Non-deterministic content models are rejected with a diagnostic
+/// // carrying the conflict witness and its source spans.
+/// let diag = DeterministicRegex::compile("(a* b a + b b)*").unwrap_err();
+/// assert_eq!(diag.code(), redet_core::Code::NotDeterministic);
 /// ```
 pub struct DeterministicRegex {
     compiled: Arc<CompiledAnalysis>,
@@ -78,18 +244,18 @@ pub struct DeterministicRegex {
 impl DeterministicRegex {
     /// Parses, normalizes, checks determinism and prepares a matcher,
     /// selecting the algorithm automatically.
-    pub fn compile(input: &str) -> Result<Self, RegexError> {
+    pub fn compile(input: &str) -> Result<Self, Diagnostic> {
         Self::compile_with(input, MatchStrategy::Auto)
     }
 
     /// Like [`Self::compile`] with an explicit matching strategy.
-    pub fn compile_with(input: &str, strategy: MatchStrategy) -> Result<Self, RegexError> {
+    pub fn compile_with(input: &str, strategy: MatchStrategy) -> Result<Self, Diagnostic> {
         Self::from_compiled(CompiledAnalysis::compile(input)?, strategy)
     }
 
     /// Compiles an already-built AST (sharing an alphabet with other content
     /// models of the same schema).
-    pub fn from_regex(regex: Regex, alphabet: Alphabet) -> Result<Self, RegexError> {
+    pub fn from_regex(regex: Regex, alphabet: Alphabet) -> Result<Self, Diagnostic> {
         Self::from_regex_with(regex, alphabet, MatchStrategy::Auto)
     }
 
@@ -98,7 +264,7 @@ impl DeterministicRegex {
         regex: Regex,
         alphabet: Alphabet,
         strategy: MatchStrategy,
-    ) -> Result<Self, RegexError> {
+    ) -> Result<Self, Diagnostic> {
         Self::from_compiled(CompiledAnalysis::from_regex(regex, alphabet)?, strategy)
     }
 
@@ -109,10 +275,17 @@ impl DeterministicRegex {
     pub fn from_compiled(
         compiled: Arc<CompiledAnalysis>,
         strategy: MatchStrategy,
-    ) -> Result<Self, RegexError> {
-        let chosen = match strategy {
-            MatchStrategy::Auto => Self::auto_strategy(compiled.stats()),
-            other => other,
+    ) -> Result<Self, Diagnostic> {
+        // Counted expressions are matched by the cached unrolled simulation
+        // whatever was requested; report that honestly instead of echoing
+        // the requested strategy.
+        let chosen = if compiled.counted_simulation().is_some() {
+            MatchStrategy::CountedSimulation
+        } else {
+            match strategy {
+                MatchStrategy::Auto => Self::auto_strategy(compiled.stats()),
+                other => other,
+            }
         };
         let matcher = Self::build_matcher(&compiled, chosen)?;
         Ok(DeterministicRegex {
@@ -125,15 +298,13 @@ impl DeterministicRegex {
     /// Re-targets the expression at a different matching strategy, sharing
     /// every stage of the compilation — no re-parse, no re-normalization, no
     /// re-analysis, no re-certification.
-    pub fn with_strategy(&self, strategy: MatchStrategy) -> Result<Self, RegexError> {
+    pub fn with_strategy(&self, strategy: MatchStrategy) -> Result<Self, Diagnostic> {
         Self::from_compiled(self.compiled.clone(), strategy)
     }
 
     fn auto_strategy(stats: &ExprStats) -> MatchStrategy {
         if stats.counting {
-            // Matching goes through the unrolled NFA regardless; report the
-            // baseline strategy for transparency.
-            MatchStrategy::GlushkovDfa
+            MatchStrategy::CountedSimulation
         } else if stats.star_free {
             MatchStrategy::StarFree
         } else if stats.max_occurrences <= 4 {
@@ -147,45 +318,53 @@ impl DeterministicRegex {
         }
     }
 
+    fn not_applicable(why: &str) -> Diagnostic {
+        Diagnostic::new(
+            Code::StrategyNotApplicable,
+            format!("requested matching strategy does not apply: {why}"),
+        )
+    }
+
     fn build_matcher(
         compiled: &Arc<CompiledAnalysis>,
         strategy: MatchStrategy,
-    ) -> Result<MatcherImpl, RegexError> {
-        if let Some(sim) = compiled.counted_simulation() {
-            // Language-correct matching of counted expressions: the pipeline
-            // already built the unrolled-expression simulation.
-            return Ok(MatcherImpl::CountedNfa(sim.clone()));
-        }
+    ) -> Result<MatcherImpl, Diagnostic> {
         Ok(match strategy {
             MatchStrategy::Auto => unreachable!("Auto is resolved before building"),
             MatchStrategy::StarFree => MatcherImpl::StarFree(PositionMatcher::new(
                 StarFreeMatcher::from_compiled(compiled).map_err(|_| {
-                    RegexError::StrategyNotApplicable(
-                        "the expression contains an iterating operator",
-                    )
+                    Self::not_applicable("the expression contains an iterating operator")
                 })?,
             )),
             MatchStrategy::KOccurrence => MatcherImpl::KOccurrence(PositionMatcher::new(
                 KOccurrenceMatcher::from_compiled(compiled),
             )),
-            MatchStrategy::PathDecomposition => {
-                MatcherImpl::PathDecomposition(PositionMatcher::new(
-                    PathDecompositionMatcher::from_compiled(compiled).map_err(|_| {
-                        RegexError::StrategyNotApplicable("path decomposition preprocessing failed")
-                    })?,
-                ))
-            }
+            MatchStrategy::PathDecomposition => MatcherImpl::PathDecomposition(
+                PositionMatcher::new(PathDecompositionMatcher::from_compiled(compiled).map_err(
+                    |_| Self::not_applicable("path decomposition preprocessing failed"),
+                )?),
+            ),
             MatchStrategy::ColoredAncestor => MatcherImpl::ColoredAncestor(PositionMatcher::new(
                 ColoredAncestorMatcher::from_compiled(compiled).map_err(|_| {
-                    RegexError::StrategyNotApplicable(
+                    Self::not_applicable(
                         "no determinism certificate is available for this expression",
                     )
                 })?,
             )),
             MatchStrategy::GlushkovDfa => MatcherImpl::GlushkovDfa(
-                GlushkovDfaMatcher::from_tree(compiled.analysis().tree()).map_err(|_| {
-                    RegexError::StrategyNotApplicable("expression is not deterministic")
-                })?,
+                GlushkovDfaMatcher::from_tree(compiled.analysis().tree())
+                    .map_err(|_| Self::not_applicable("expression is not deterministic"))?,
+            ),
+            MatchStrategy::CountedSimulation => MatcherImpl::CountedNfa(
+                compiled
+                    .counted_simulation()
+                    .ok_or_else(|| {
+                        Self::not_applicable(
+                            "the expression has no numeric occurrence indicators; \
+                             use one of the linear matchers",
+                        )
+                    })?
+                    .clone(),
             ),
         })
     }
@@ -221,9 +400,50 @@ impl DeterministicRegex {
         self.compiled.certificate().map(|c| c.as_ref())
     }
 
-    /// The matching strategy in use.
+    /// The matching strategy in use. Counted expressions always report
+    /// [`MatchStrategy::CountedSimulation`] — the algorithm that actually
+    /// runs — regardless of the strategy requested at compile time.
     pub fn strategy(&self) -> MatchStrategy {
         self.strategy
+    }
+
+    /// Opens an incremental matching session with a fresh scratch.
+    #[must_use]
+    pub fn start(&self) -> MatchSession<'_> {
+        self.start_with(MatchScratch::default())
+    }
+
+    /// Opens an incremental matching session, taking ownership of `scratch`
+    /// (recover it with [`MatchSession::into_scratch`]). Recycling one
+    /// scratch across sessions keeps steady-state streaming allocation-free.
+    #[must_use]
+    pub fn start_with(&self, scratch: MatchScratch) -> MatchSession<'_> {
+        match &self.matcher {
+            MatcherImpl::StarFree(m) => MatchSession {
+                imp: SessionImpl::StarFree(m.start(())),
+                spare: Some(scratch),
+            },
+            MatcherImpl::KOccurrence(m) => MatchSession {
+                imp: SessionImpl::KOccurrence(m.start(())),
+                spare: Some(scratch),
+            },
+            MatcherImpl::PathDecomposition(m) => MatchSession {
+                imp: SessionImpl::PathDecomposition(m.start(())),
+                spare: Some(scratch),
+            },
+            MatcherImpl::ColoredAncestor(m) => MatchSession {
+                imp: SessionImpl::ColoredAncestor(m.start(())),
+                spare: Some(scratch),
+            },
+            MatcherImpl::GlushkovDfa(m) => MatchSession {
+                imp: SessionImpl::GlushkovDfa(m.start(())),
+                spare: Some(scratch),
+            },
+            MatcherImpl::CountedNfa(m) => MatchSession {
+                imp: SessionImpl::Counted(m.as_ref().start(scratch.nfa)),
+                spare: None,
+            },
+        }
     }
 
     /// Whether the word, given as element names, belongs to the content
@@ -236,22 +456,32 @@ impl DeterministicRegex {
     }
 
     /// Whether the word, given as interned symbols, belongs to the content
-    /// model.
-    pub fn matches_symbols(&self, word: &[redet_syntax::Symbol]) -> bool {
-        match &self.matcher {
-            MatcherImpl::StarFree(m) => m.matches(word),
-            MatcherImpl::KOccurrence(m) => m.matches(word),
-            MatcherImpl::PathDecomposition(m) => m.matches(word),
-            MatcherImpl::ColoredAncestor(m) => m.matches(word),
-            MatcherImpl::GlushkovDfa(m) => m.matches(word),
-            MatcherImpl::CountedNfa(m) => m.matches(word),
+    /// model. A thin loop over [`Self::start`] — the single matching code
+    /// path shared with streaming consumers.
+    pub fn matches_symbols(&self, word: &[Symbol]) -> bool {
+        self.matches_symbols_with(word, &mut MatchScratch::default())
+    }
+
+    /// Like [`Self::matches_symbols`] with caller-owned scratch — the
+    /// zero-allocation form for compile-once/match-many loops.
+    pub fn matches_symbols_with(&self, word: &[Symbol], scratch: &mut MatchScratch) -> bool {
+        let mut session = self.start_with(std::mem::take(scratch));
+        let mut viable = true;
+        for &sym in word {
+            if !session.feed(sym).is_advanced() {
+                viable = false;
+                break;
+            }
         }
+        let accepted = viable && session.accepts();
+        *scratch = session.into_scratch();
+        accepted
     }
 
     /// Validates a batch of words. Star-free expressions use the
     /// single-traversal multi-word algorithm of Theorem 4.12; other
     /// expressions fall back to word-by-word matching.
-    pub fn matches_all<W: AsRef<[redet_syntax::Symbol]>>(&self, words: &[W]) -> Vec<bool> {
+    pub fn matches_all<W: AsRef<[Symbol]>>(&self, words: &[W]) -> Vec<bool> {
         if let MatcherImpl::StarFree(m) = &self.matcher {
             return m.sim().match_words(words);
         }
@@ -288,10 +518,10 @@ mod tests {
     #[test]
     fn rejects_nondeterministic_models() {
         for input in ["(a* b a + b b)*", "a b* b", "(a b){1,2} a"] {
-            match DeterministicRegex::compile(input) {
-                Err(RegexError::NotDeterministic(_)) => {}
-                other => panic!("{input} should be rejected as non-deterministic, got {other:?}"),
-            }
+            let diag = DeterministicRegex::compile(input)
+                .map(|_| ())
+                .expect_err(input);
+            assert_eq!(diag.code(), Code::NotDeterministic, "{input}");
         }
     }
 
@@ -367,6 +597,44 @@ mod tests {
     }
 
     #[test]
+    fn sessions_agree_with_whole_word_matching() {
+        let model = DeterministicRegex::compile("(c?((a b*)(a? c)))*(b a)").unwrap();
+        let sigma = model.alphabet();
+        let word: Vec<Symbol> = ["c", "a", "c", "b", "a"]
+            .iter()
+            .map(|n| sigma.lookup(n).unwrap())
+            .collect();
+        let mut session = model.start();
+        for (i, &sym) in word.iter().enumerate() {
+            assert!(session.feed(sym).is_advanced(), "event {i}");
+            assert_eq!(session.events(), i + 1);
+        }
+        assert!(session.accepts());
+        assert!(model.matches_symbols(&word));
+        // Scratch round-trips through sessions.
+        let scratch = session.into_scratch();
+        let again = model.start_with(scratch);
+        assert!(!again.accepts());
+    }
+
+    #[test]
+    fn early_reject_is_sticky_and_witnessed() {
+        let model = DeterministicRegex::compile("(title, author+, year?)").unwrap();
+        let sigma = model.alphabet();
+        let title = sigma.lookup("title").unwrap();
+        let year = sigma.lookup("year").unwrap();
+        let mut session = model.start();
+        assert!(session.feed(title).is_advanced());
+        // `year` cannot follow `title` directly.
+        let w = session.feed(year).witness().unwrap();
+        assert_eq!((w.event, w.symbol), (1, year));
+        assert!(!session.accepts());
+        // Dead session: same witness forever, even for viable symbols.
+        assert_eq!(session.feed(title).witness(), Some(w));
+        assert_eq!(session.rejection(), Some(w));
+    }
+
+    #[test]
     fn dtd_plus_models_get_linear_matchers_and_a_certificate() {
         // `author+` used to classify the model as "counting", routing it to
         // the unrolled-NFA simulation with a misleading GlushkovDfa report.
@@ -392,10 +660,13 @@ mod tests {
                 assert_eq!(switched.matches(w), model.matches(w), "{strategy:?} {w:?}");
             }
         }
-        assert!(matches!(
-            model.with_strategy(MatchStrategy::PathDecomposition),
-            Err(RegexError::StrategyNotApplicable(_))
-        ));
+        assert_eq!(
+            model
+                .with_strategy(MatchStrategy::PathDecomposition)
+                .unwrap_err()
+                .code(),
+            Code::StrategyNotApplicable
+        );
     }
 
     #[test]
@@ -409,10 +680,40 @@ mod tests {
     }
 
     #[test]
+    fn counted_expressions_report_the_simulation_fallback() {
+        // The strategy report is what actually runs — the unrolled
+        // simulation — not the requested strategy.
+        let model = DeterministicRegex::compile("(a b){2,4} c").unwrap();
+        assert_eq!(model.strategy(), MatchStrategy::CountedSimulation);
+        for requested in [
+            MatchStrategy::KOccurrence,
+            MatchStrategy::ColoredAncestor,
+            MatchStrategy::GlushkovDfa,
+        ] {
+            let switched = model.with_strategy(requested).unwrap();
+            assert_eq!(
+                switched.strategy(),
+                MatchStrategy::CountedSimulation,
+                "{requested:?}"
+            );
+        }
+        // And the reverse direction: the simulation cannot be requested for
+        // counting-free expressions.
+        let plain = DeterministicRegex::compile("(a b)*").unwrap();
+        assert_eq!(
+            plain
+                .with_strategy(MatchStrategy::CountedSimulation)
+                .unwrap_err()
+                .code(),
+            Code::StrategyNotApplicable
+        );
+    }
+
+    #[test]
     fn star_free_batch_validation() {
         let model = DeterministicRegex::compile("(a + b) (c + d)? e?").unwrap();
         let sigma = model.alphabet();
-        let to_word = |names: &[&str]| -> Vec<redet_syntax::Symbol> {
+        let to_word = |names: &[&str]| -> Vec<Symbol> {
             names.iter().map(|n| sigma.lookup(n).unwrap()).collect()
         };
         let words = vec![
@@ -430,10 +731,8 @@ mod tests {
 
     #[test]
     fn strategy_not_applicable_errors() {
-        match DeterministicRegex::compile_with("(a b)*", MatchStrategy::StarFree) {
-            Err(RegexError::StrategyNotApplicable(_)) => {}
-            other => panic!("expected StrategyNotApplicable, got {other:?}"),
-        }
+        let diag = DeterministicRegex::compile_with("(a b)*", MatchStrategy::StarFree).unwrap_err();
+        assert_eq!(diag.code(), Code::StrategyNotApplicable);
     }
 
     #[test]
@@ -446,13 +745,13 @@ mod tests {
 
     #[test]
     fn invalid_syntax_is_reported() {
-        assert!(matches!(
-            DeterministicRegex::compile("(a b"),
-            Err(RegexError::Parse(_))
-        ));
-        assert!(matches!(
-            DeterministicRegex::compile("a{0,0}"),
-            Err(RegexError::Syntax(_))
-        ));
+        assert_eq!(
+            DeterministicRegex::compile("(a b").unwrap_err().code(),
+            Code::Parse
+        );
+        assert_eq!(
+            DeterministicRegex::compile("a{0,0}").unwrap_err().code(),
+            Code::Syntax
+        );
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod counting;
 pub mod determinism;
+pub mod diagnostics;
 pub mod facade;
 pub mod matcher;
 pub mod pipeline;
@@ -38,11 +39,12 @@ pub use counting::{check_counting_determinism, flexibility_report};
 pub use determinism::{
     check_determinism, DeterminismCertificate, NonDeterminism, NonDeterminismKind,
 };
-pub use facade::{DeterministicRegex, MatchStrategy};
+pub use diagnostics::{Code, ConflictWitness, Diagnostic, DocLocation};
+pub use facade::{DeterministicRegex, MatchScratch, MatchSession, MatchStrategy};
 pub use matcher::colored::ColoredAncestorMatcher;
 pub use matcher::kocc::KOccurrenceMatcher;
 pub use matcher::pathdecomp::PathDecompositionMatcher;
 pub use matcher::starfree::{BatchScratch, StarFreeMatcher};
 pub use matcher::{PositionMatcher, TransitionSim};
-pub use pipeline::{CompiledAnalysis, Pipeline, RegexError};
+pub use pipeline::{CompiledAnalysis, Pipeline};
 pub use skeleton::{ColorAssignment, Skeleta, Skeleton};

@@ -18,7 +18,7 @@
 //! | [`starfree::StarFreeMatcher`] | `O(\|e\|)` | amortized `O(1)`² | 4.12 |
 //! | Glushkov DFA (`redet-automata`) | `O(σ\|e\|)` | `O(1)` | baseline |
 //!
-//! ¹ the paper obtains `O(log log |e|)` with the structure of [23]; see
+//! ¹ the paper obtains `O(log log |e|)` with the structure of \[23\]; see
 //!   DESIGN.md for the substitution.
 //! ² the multi-word entry point matches several words in one traversal of
 //!   the expression, holding the pending words in dynamic LCA-closed
@@ -30,7 +30,7 @@ pub mod kocc;
 pub mod pathdecomp;
 pub mod starfree;
 
-use redet_automata::Matcher;
+use redet_automata::PosStepper;
 use redet_syntax::Symbol;
 use redet_tree::{PosId, TreeAnalysis};
 
@@ -45,11 +45,13 @@ pub trait TransitionSim {
     fn find_next(&self, p: PosId, symbol: Symbol) -> Option<PosId>;
 }
 
-/// Adapter turning any [`TransitionSim`] into a streaming [`Matcher`]
-/// (Section 4: "matching a word w against e′ is straightforward: begin with
-/// position #, use the transition simulation procedure iteratively, and
-/// finally test if the position obtained after processing the last symbol
-/// of w is followed by $").
+/// Adapter turning any [`TransitionSim`] into a streaming
+/// [`redet_automata::Matcher`] with incremental sessions (Section 4:
+/// "matching a word w against e′ is straightforward: begin with position #,
+/// use the transition simulation procedure iteratively, and finally test if
+/// the position obtained after processing the last symbol of w is followed
+/// by $"). The session state is a single position, so sessions need no
+/// scratch and cost nothing to open.
 #[derive(Clone, Debug)]
 pub struct PositionMatcher<T> {
     sim: T,
@@ -72,21 +74,17 @@ impl<T: TransitionSim> PositionMatcher<T> {
     }
 }
 
-impl<T: TransitionSim> Matcher for PositionMatcher<T> {
-    type State = PosId;
-
-    fn start(&self) -> PosId {
+impl<T: TransitionSim> PosStepper for PositionMatcher<T> {
+    fn begin(&self) -> PosId {
         self.sim.analysis().tree().begin_pos()
     }
 
-    fn step(&self, state: &PosId, symbol: Symbol) -> Option<PosId> {
-        self.sim.find_next(*state, symbol)
+    fn advance(&self, p: PosId, symbol: Symbol) -> Option<PosId> {
+        self.sim.find_next(p, symbol)
     }
 
-    fn accepts(&self, state: &PosId) -> bool {
-        self.sim
-            .analysis()
-            .check_if_follow(*state, self.sim.analysis().tree().end_pos())
+    fn can_end(&self, p: PosId) -> bool {
+        self.sim.analysis().can_end_at(p)
     }
 }
 

@@ -12,7 +12,8 @@
 //!
 //! 1. **intern + parse** — symbols are interned into dense `u32` ids by the
 //!    pipeline-owned [`Alphabet`] (shared across all content models of a
-//!    schema), and the textual syntax is parsed;
+//!    schema), the textual syntax is parsed, and the byte span of every
+//!    position is recorded so diagnostics can point back into the source;
 //! 2. **normalize** — the structural restrictions (R2)/(R3) are enforced so
 //!    the parse tree is linear in the number of positions, and the
 //!    structural statistics ([`ExprStats`]) are computed;
@@ -24,6 +25,10 @@
 //!    lowest-colored-ancestor matcher reuses it; for counted expressions the
 //!    language-preserving unrolled simulation is built here, once.
 //!
+//! Failures at any stage surface as structured [`Diagnostic`]s with stable
+//! codes, byte spans, and — for determinism conflicts — the witness
+//! positions the certifier computes.
+//!
 //! The result is an immutable [`CompiledAnalysis`] behind an `Arc`. All five
 //! matchers — k-occurrence, path decomposition, lowest colored ancestor,
 //! star-free, and the Glushkov DFA baseline — are constructed *from* this
@@ -33,60 +38,13 @@
 
 use crate::counting::check_counting_determinism;
 use crate::determinism::{check_determinism, DeterminismCertificate, NonDeterminism};
+use crate::diagnostics::{Code, ConflictWitness, Diagnostic};
 use redet_automata::NfaSimulationMatcher;
-use redet_syntax::{normalize, parse_with_alphabet, Alphabet, ExprStats, Regex, Symbol};
+use redet_syntax::{
+    normalize, parse_spanned_with_alphabet, Alphabet, ExprStats, Regex, Span, Symbol,
+};
 use redet_tree::TreeAnalysis;
-use std::fmt;
 use std::sync::Arc;
-
-/// Errors produced while compiling a content model.
-#[derive(Debug)]
-pub enum RegexError {
-    /// The textual syntax could not be parsed.
-    Parse(redet_syntax::ParseError),
-    /// The expression is structurally invalid (e.g. `a{3,1}`).
-    Syntax(redet_syntax::SyntaxError),
-    /// The expression is not deterministic (not one-unambiguous), with a
-    /// witness explaining why — the same diagnostic an XML schema processor
-    /// would report for a non-deterministic content model.
-    NotDeterministic(NonDeterminism),
-    /// The requested strategy does not apply to this expression (e.g.
-    /// star-free matching for an expression containing `∗`).
-    StrategyNotApplicable(&'static str),
-}
-
-impl fmt::Display for RegexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RegexError::Parse(e) => write!(f, "{e}"),
-            RegexError::Syntax(e) => write!(f, "{e}"),
-            RegexError::NotDeterministic(e) => write!(f, "{e}"),
-            RegexError::StrategyNotApplicable(why) => {
-                write!(f, "requested matching strategy does not apply: {why}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RegexError {}
-
-impl From<redet_syntax::ParseError> for RegexError {
-    fn from(e: redet_syntax::ParseError) -> Self {
-        RegexError::Parse(e)
-    }
-}
-
-impl From<redet_syntax::SyntaxError> for RegexError {
-    fn from(e: redet_syntax::SyntaxError) -> Self {
-        RegexError::Syntax(e)
-    }
-}
-
-impl From<NonDeterminism> for RegexError {
-    fn from(e: NonDeterminism) -> Self {
-        RegexError::NotDeterministic(e)
-    }
-}
 
 /// The immutable, shareable result of running an expression through the
 /// pipeline: everything the matchers, the benchmarks and the facade need,
@@ -116,18 +74,33 @@ pub struct CompiledAnalysis {
     /// unrolling does not preserve determinism and every strategy falls back
     /// to it.
     counted_simulation: Option<Arc<NfaSimulationMatcher>>,
+    /// The source text the expression was compiled from, when it came in as
+    /// text (diagnostics quote it).
+    source: Option<String>,
+    /// Byte span of every alphabet position, in position order, when the
+    /// expression was compiled from text.
+    spans: Option<Vec<Span>>,
 }
 
 impl CompiledAnalysis {
     /// Runs the full pipeline on a textual content model with a fresh
     /// alphabet. Equivalent to `Pipeline::new().compile(input)`.
-    pub fn compile(input: &str) -> Result<Arc<Self>, RegexError> {
+    pub fn compile(input: &str) -> Result<Arc<Self>, Diagnostic> {
         Pipeline::new().compile(input)
     }
 
     /// Runs the normalize → analyze → certify stages on an already-parsed
     /// AST and its alphabet.
-    pub fn from_regex(regex: Regex, alphabet: Alphabet) -> Result<Arc<Self>, RegexError> {
+    pub fn from_regex(regex: Regex, alphabet: Alphabet) -> Result<Arc<Self>, Diagnostic> {
+        Self::from_parts(regex, alphabet, None, None)
+    }
+
+    fn from_parts(
+        regex: Regex,
+        alphabet: Alphabet,
+        source: Option<String>,
+        spans: Option<Vec<Span>>,
+    ) -> Result<Arc<Self>, Diagnostic> {
         // Stage 2: normalization (R2/R3) and structural statistics.
         let regex = normalize(regex)?;
         let stats = ExprStats::of(&regex);
@@ -139,13 +112,23 @@ impl CompiledAnalysis {
         // subsumes the plain one; counting-free expressions keep the
         // certificate because the colored-ancestor matcher reuses it.
         let (certificate, counted_simulation) = if stats.counting {
-            check_counting_determinism(&regex)?;
-            let unrolled = redet_automata::unroll_counting(&regex);
+            if let Err(conflict) = check_counting_determinism(&regex) {
+                return Err(diagnose_conflict(&conflict, &alphabet, spans.as_deref()));
+            }
+            // Unrolling rewrites counters into unions/concatenations of
+            // optionals and can reintroduce (R2)/(R3) violations (e.g. for
+            // a nullable counted body); re-normalize before building the
+            // simulation's parse tree.
+            let unrolled = normalize(redet_automata::unroll_counting(&regex))?;
             let sim = Arc::new(NfaSimulationMatcher::build(&unrolled));
             (None, Some(sim))
         } else {
-            let cert = Arc::new(check_determinism(&analysis)?);
-            (Some(cert), None)
+            match check_determinism(&analysis) {
+                Ok(cert) => (Some(Arc::new(cert)), None),
+                Err(conflict) => {
+                    return Err(diagnose_conflict(&conflict, &alphabet, spans.as_deref()));
+                }
+            }
         };
 
         Ok(Arc::new(CompiledAnalysis {
@@ -155,6 +138,8 @@ impl CompiledAnalysis {
             analysis,
             certificate,
             counted_simulation,
+            source,
+            spans,
         }))
     }
 
@@ -197,12 +182,65 @@ impl CompiledAnalysis {
         self.counted_simulation.as_ref()
     }
 
+    /// The source text this expression was compiled from, when it came in
+    /// as text.
+    #[inline]
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// The source byte span of tree position `p` (phantom markers and
+    /// AST-built expressions have none).
+    pub fn pos_span(&self, p: redet_tree::PosId) -> Option<Span> {
+        span_of_position(self.spans.as_deref(), p)
+    }
+
     /// Interns-free conversion of a word of element names into symbols.
     /// Returns `None` as soon as a name is not part of the alphabet — such a
     /// word cannot be a member of any content model over this alphabet.
     pub fn to_symbols(&self, word: &[&str]) -> Option<Vec<Symbol>> {
         word.iter().map(|name| self.alphabet.lookup(name)).collect()
     }
+}
+
+/// Maps a tree position to its source span: tree position `i` (1-based,
+/// after the phantom `#`) was written at `spans[i - 1]`. The single home of
+/// that offset convention.
+fn span_of_position(spans: Option<&[Span]>, p: redet_tree::PosId) -> Option<Span> {
+    p.index()
+        .checked_sub(1)
+        .and_then(|i| spans?.get(i))
+        .copied()
+}
+
+/// Enriches the certifier's conflict witness into a [`Diagnostic`]: symbol
+/// names from the alphabet, source spans from the parser's position map.
+pub(crate) fn diagnose_conflict(
+    conflict: &NonDeterminism,
+    alphabet: &Alphabet,
+    spans: Option<&[Span]>,
+) -> Diagnostic {
+    let name = alphabet.name(conflict.symbol).to_owned();
+    let first_span = span_of_position(spans, conflict.first);
+    let second_span = span_of_position(spans, conflict.second);
+    let message = format!(
+        "content model is not deterministic: two '{name}'-labeled positions can \
+         follow a common position, so a one-pass parser reading '{name}' would \
+         not know which occurrence to take"
+    );
+    let mut diag = Diagnostic::new(Code::NotDeterministic, message).with_witness(ConflictWitness {
+        kind: conflict.kind,
+        symbol: conflict.symbol,
+        symbol_name: name,
+        first: conflict.first,
+        second: conflict.second,
+        first_span,
+        second_span,
+    });
+    if let Some(span) = second_span.or(first_span) {
+        diag = diag.with_span(span);
+    }
+    diag
 }
 
 /// The staged compiler driver.
@@ -246,13 +284,25 @@ impl Pipeline {
         &self.alphabet
     }
 
+    /// Interns `name` into the pipeline's alphabet ahead of any model that
+    /// mentions it. Pre-interning every element name of a schema gives all
+    /// models a complete symbol space regardless of declaration order.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.alphabet.intern(name)
+    }
+
     /// Runs all four stages on a textual content model, producing the shared
     /// artifact. Symbols are interned into the pipeline's alphabet; the
     /// artifact holds a snapshot of the alphabet as of this compilation.
-    pub fn compile(&mut self, input: &str) -> Result<Arc<CompiledAnalysis>, RegexError> {
-        // Stage 1: intern + parse.
-        let regex = parse_with_alphabet(input, &mut self.alphabet)?;
-        CompiledAnalysis::from_regex(regex, self.alphabet.clone())
+    pub fn compile(&mut self, input: &str) -> Result<Arc<CompiledAnalysis>, Diagnostic> {
+        // Stage 1: intern + parse, keeping per-position source spans.
+        let (regex, spans) = parse_spanned_with_alphabet(input, &mut self.alphabet)?;
+        CompiledAnalysis::from_parts(
+            regex,
+            self.alphabet.clone(),
+            Some(input.to_owned()),
+            Some(spans),
+        )
     }
 }
 
@@ -268,6 +318,7 @@ mod tests {
         assert!(compiled.certificate().is_some());
         assert!(compiled.counted_simulation().is_none());
         assert!(compiled.analysis().tree().num_positions() >= 5);
+        assert_eq!(compiled.source(), Some("(a b + b b? a)*"));
     }
 
     #[test]
@@ -279,11 +330,38 @@ mod tests {
     }
 
     #[test]
-    fn nondeterministic_models_are_rejected_at_certification() {
-        match CompiledAnalysis::compile("(a* b a + b b)*") {
-            Err(RegexError::NotDeterministic(_)) => {}
-            other => panic!("expected a determinism error, got {other:?}"),
+    fn nondeterministic_models_are_rejected_with_witness_spans() {
+        let diag = CompiledAnalysis::compile("(a* b a + b b)*").unwrap_err();
+        assert_eq!(diag.code(), Code::NotDeterministic);
+        let witness = diag
+            .witness()
+            .expect("determinism conflicts carry a witness");
+        assert_eq!(witness.symbol_name, "b");
+        // Both spans point at 'b' occurrences in the source.
+        for span in [witness.first_span.unwrap(), witness.second_span.unwrap()] {
+            assert_eq!(&"(a* b a + b b)*"[span.start..span.end], "b");
         }
+    }
+
+    #[test]
+    fn parse_and_syntax_errors_become_diagnostics() {
+        assert_eq!(
+            CompiledAnalysis::compile("(a b").unwrap_err().code(),
+            Code::Parse
+        );
+        assert_eq!(
+            CompiledAnalysis::compile("a{0,0}").unwrap_err().code(),
+            Code::Syntax
+        );
+    }
+
+    #[test]
+    fn nullable_counted_bodies_unroll_to_normal_form() {
+        // `(a?){2,3}` unrolls into optionals over nullable bodies; the
+        // pipeline must re-normalize before building the simulation's parse
+        // tree (this used to panic the (R2)/(R3) assertion).
+        let compiled = CompiledAnalysis::compile("(a?){2,3}").unwrap();
+        assert!(compiled.counted_simulation().is_some());
     }
 
     #[test]
@@ -300,6 +378,25 @@ mod tests {
         let small = pipeline.compile("a").unwrap();
         pipeline.compile("a b").unwrap();
         assert_eq!(small.alphabet().len(), 1);
+        // Unless the names were pre-interned, which a schema builder does.
+        let mut pipeline = Pipeline::new();
+        pipeline.intern("a");
+        pipeline.intern("b");
+        let seeded = pipeline.compile("a").unwrap();
+        assert_eq!(seeded.alphabet().len(), 2);
+    }
+
+    #[test]
+    fn position_spans_map_back_into_the_source() {
+        let source = "(title, author+, (year | date)?)";
+        let compiled = CompiledAnalysis::compile(source).unwrap();
+        let tree = compiled.analysis().tree();
+        // Positions 1..=m are the alphabet positions in source order.
+        let author = redet_tree::PosId::from_index(2);
+        let span = compiled.pos_span(author).unwrap();
+        assert_eq!(&source[span.start..span.end], "author");
+        // Phantom markers have no span.
+        assert_eq!(compiled.pos_span(tree.begin_pos()), None);
     }
 
     #[test]

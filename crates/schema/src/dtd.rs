@@ -1,0 +1,306 @@
+//! A parser for DTD fragments: `<!ELEMENT name (model)>` declarations.
+//!
+//! This is deliberately a *fragment* parser, not an XML processor: it
+//! recognizes element declarations (the part of a DTD the paper's
+//! algorithms are about), skips comments and unrelated declarations
+//! (`<!ATTLIST`, `<!ENTITY`, processing instructions), and reports
+//! malformed declarations as structured diagnostics with byte spans into
+//! the fragment.
+//!
+//! Content specifications:
+//!
+//! * `EMPTY` and `(#PCDATA)` — no element children allowed;
+//! * `ANY` — any sequence of children;
+//! * mixed content `(#PCDATA | a | b)*` — rewritten to the element-only
+//!   model `(a | b)*`;
+//! * everything else — a content model in the expression syntax of
+//!   `redet-syntax` (which covers the DTD operators `,`, `|`, `?`, `*`,
+//!   `+` and, beyond DTDs, XML-Schema-style `{i,j}` counters).
+
+use redet_core::{Code, Diagnostic};
+use redet_syntax::Span;
+
+/// One parsed `<!ELEMENT …>` declaration.
+#[derive(Clone, Debug)]
+pub(crate) struct ParsedDecl {
+    pub name: String,
+    /// Byte span of the element name in the fragment.
+    pub name_span: Span,
+    pub content: ParsedContent,
+}
+
+/// The content specification of a declaration.
+#[derive(Clone, Debug)]
+pub(crate) enum ParsedContent {
+    /// A content model, with the byte offset of its source in the fragment
+    /// (so model diagnostics can be rebased into the fragment).
+    Model {
+        source: String,
+        offset: usize,
+    },
+    Empty,
+    Any,
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+/// Replaces `<!-- … -->` comments by spaces, preserving byte offsets.
+fn mask_comments(source: &str) -> String {
+    let mut masked = source.as_bytes().to_vec();
+    let mut i = 0;
+    while let Some(start) = source[i..].find("<!--").map(|o| i + o) {
+        let end = source[start + 4..]
+            .find("-->")
+            .map(|o| start + 4 + o + 3)
+            .unwrap_or(source.len());
+        for b in &mut masked[start..end] {
+            if !b.is_ascii_whitespace() {
+                *b = b' ';
+            }
+        }
+        i = end;
+    }
+    String::from_utf8(masked).expect("masking replaces whole ASCII bytes")
+}
+
+/// Parses every `<!ELEMENT …>` declaration of `source`, collecting
+/// malformed ones as diagnostics instead of aborting.
+pub(crate) fn parse_dtd_fragment(source: &str) -> (Vec<ParsedDecl>, Vec<Diagnostic>) {
+    let masked = mask_comments(source);
+    let mut decls = Vec::new();
+    let mut diagnostics = Vec::new();
+    let mut i = 0;
+    while let Some(lt) = masked[i..].find('<').map(|o| i + o) {
+        let rest = &masked[lt..];
+        if !rest.starts_with("<!ELEMENT") {
+            // Skip other markup (<?…?>, <!ATTLIST …>, stray text) up to the
+            // next '>', or to the end when none remains.
+            i = match masked[lt + 1..].find('>') {
+                Some(o) => lt + 1 + o + 1,
+                None => masked.len(),
+            };
+            continue;
+        }
+        let Some(gt) = masked[lt..].find('>').map(|o| lt + o) else {
+            diagnostics.push(
+                Diagnostic::new(
+                    Code::MalformedDtd,
+                    "unterminated <!ELEMENT declaration: missing '>'",
+                )
+                .with_span(Span::new(lt, masked.len())),
+            );
+            break;
+        };
+        match parse_element_decl(source, lt + "<!ELEMENT".len(), gt) {
+            Ok(decl) => decls.push(decl),
+            Err(diag) => diagnostics.push(diag),
+        }
+        i = gt + 1;
+    }
+    (decls, diagnostics)
+}
+
+/// Parses the body of one declaration, `source[start..end]` being the text
+/// between `<!ELEMENT` and `>`.
+fn parse_element_decl(source: &str, start: usize, end: usize) -> Result<ParsedDecl, Diagnostic> {
+    let body = &source[start..end];
+    let name_rel = body
+        .find(|c: char| !c.is_whitespace())
+        .ok_or_else(|| missing_name(start, end))?;
+    let name_len = body[name_rel..]
+        .find(|c: char| !is_name_char(c))
+        .unwrap_or(body.len() - name_rel);
+    if name_len == 0 {
+        return Err(missing_name(start, end));
+    }
+    let name_start = start + name_rel;
+    let name = &source[name_start..name_start + name_len];
+    let spec_rel = name_rel + name_len;
+    let spec_off = body[spec_rel..]
+        .find(|c: char| !c.is_whitespace())
+        .map(|o| spec_rel + o)
+        .ok_or_else(|| {
+            Diagnostic::new(
+                Code::MalformedDtd,
+                format!("<!ELEMENT {name}> has no content specification"),
+            )
+            .with_span(Span::new(name_start, name_start + name_len))
+        })?;
+    let spec_start = start + spec_off;
+    let spec = source[spec_start..end].trim_end();
+    let spec_span = Span::new(spec_start, spec_start + spec.len());
+
+    let content = if spec == "EMPTY" {
+        ParsedContent::Empty
+    } else if spec == "ANY" {
+        ParsedContent::Any
+    } else if spec.contains("#PCDATA") {
+        mixed_content_model(name, spec, spec_span)?
+    } else if spec.starts_with('(') {
+        ParsedContent::Model {
+            source: spec.to_owned(),
+            offset: spec_start,
+        }
+    } else {
+        return Err(Diagnostic::new(
+            Code::MalformedDtd,
+            format!(
+                "content specification of <!ELEMENT {name}> must be EMPTY, ANY, \
+                 or a parenthesized model, found '{spec}'"
+            ),
+        )
+        .with_span(spec_span));
+    };
+
+    Ok(ParsedDecl {
+        name: name.to_owned(),
+        name_span: Span::new(name_start, name_start + name_len),
+        content,
+    })
+}
+
+fn missing_name(start: usize, end: usize) -> Diagnostic {
+    Diagnostic::new(Code::MalformedDtd, "<!ELEMENT declaration has no name")
+        .with_span(Span::new(start, end))
+}
+
+/// Handles the `#PCDATA` content forms. Text-only content — `(#PCDATA)`
+/// and `(#PCDATA)*`, whitespace-insensitive — means no element children
+/// (`Empty`); true mixed content `(#PCDATA | a | b)*` is rewritten to the
+/// element-only model `(a | b)*`. The rebuilt source loses exact spans;
+/// diagnostics for it are anchored at the start of the specification.
+fn mixed_content_model(
+    name: &str,
+    spec: &str,
+    spec_span: Span,
+) -> Result<ParsedContent, Diagnostic> {
+    let malformed = || {
+        Diagnostic::new(
+            Code::MalformedDtd,
+            format!(
+                "mixed content of <!ELEMENT {name}> must have the form \
+                 (#PCDATA) or (#PCDATA | name | …)*, found '{spec}'"
+            ),
+        )
+        .with_span(spec_span)
+    };
+    let body = spec.strip_prefix('(').ok_or_else(malformed)?;
+    let (inner, starred) = match body.trim_end().strip_suffix(")*") {
+        Some(inner) => (inner, true),
+        None => (
+            body.trim_end().strip_suffix(')').ok_or_else(malformed)?,
+            false,
+        ),
+    };
+    let mut names = Vec::new();
+    for (i, part) in inner.split('|').enumerate() {
+        let part = part.trim();
+        if i == 0 {
+            if part != "#PCDATA" {
+                return Err(malformed());
+            }
+            continue;
+        }
+        if part.is_empty() || !part.chars().all(is_name_char) {
+            return Err(malformed());
+        }
+        names.push(part);
+    }
+    if names.is_empty() {
+        // (#PCDATA) or (#PCDATA)*: text only, no element children.
+        return Ok(ParsedContent::Empty);
+    }
+    if !starred {
+        // XML requires the `*` as soon as element names participate.
+        return Err(malformed());
+    }
+    Ok(ParsedContent::Model {
+        source: format!("({})*", names.join(" | ")),
+        offset: spec_span.start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_skips_other_markup() {
+        let dtd = r#"
+            <?xml version="1.0"?>
+            <!-- the bibliography schema <!ELEMENT fake (a)> -->
+            <!ELEMENT bibliography (book | article)*>
+            <!ATTLIST book isbn CDATA #IMPLIED>
+            <!ELEMENT book (title, author+, year?)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT note ANY>
+            <!ELEMENT para (#PCDATA | em | code)*>
+        "#;
+        let (decls, diags) = parse_dtd_fragment(dtd);
+        assert!(diags.is_empty(), "{diags:?}");
+        let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["bibliography", "book", "title", "note", "para"]);
+        assert!(matches!(decls[2].content, ParsedContent::Empty));
+        assert!(matches!(decls[3].content, ParsedContent::Any));
+        match &decls[4].content {
+            ParsedContent::Model { source, .. } => assert_eq!(source, "(em | code)*"),
+            other => panic!("mixed content not rewritten: {other:?}"),
+        }
+        // Name spans point into the fragment.
+        let span = decls[1].name_span;
+        assert_eq!(&dtd[span.start..span.end], "book");
+    }
+
+    #[test]
+    fn pcdata_only_forms_are_empty_content() {
+        for spec in ["(#PCDATA)", "(#PCDATA)*", "( #PCDATA )", "( #PCDATA )*"] {
+            let dtd = format!("<!ELEMENT title {spec}>");
+            let (decls, diags) = parse_dtd_fragment(&dtd);
+            assert!(diags.is_empty(), "{spec}: {diags:?}");
+            assert!(
+                matches!(decls[0].content, ParsedContent::Empty),
+                "{spec}: {:?}",
+                decls[0].content
+            );
+        }
+        // Element names without the closing `*` are malformed per XML.
+        let (_, diags) = parse_dtd_fragment("<!ELEMENT para (#PCDATA | em)>");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::MalformedDtd);
+    }
+
+    #[test]
+    fn malformed_declarations_are_diagnosed_with_spans() {
+        let (decls, diags) = parse_dtd_fragment("<!ELEMENT broken GARBAGE>\n<!ELEMENT ok (a)>");
+        assert_eq!(decls.len(), 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::MalformedDtd);
+        let span = diags[0].span().unwrap();
+        assert_eq!(
+            &"<!ELEMENT broken GARBAGE>\n<!ELEMENT ok (a)>"[span.start..span.end],
+            "GARBAGE"
+        );
+    }
+
+    #[test]
+    fn unterminated_declaration_is_diagnosed() {
+        let (_, diags) = parse_dtd_fragment("<!ELEMENT a (b, c)");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::MalformedDtd);
+    }
+
+    #[test]
+    fn model_offsets_point_into_the_fragment() {
+        let dtd = "<!ELEMENT book (title, author+)>";
+        let (decls, _) = parse_dtd_fragment(dtd);
+        match &decls[0].content {
+            ParsedContent::Model { source, offset } => {
+                assert_eq!(source, "(title, author+)");
+                assert_eq!(&dtd[*offset..*offset + source.len()], source.as_str());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

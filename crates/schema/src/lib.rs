@@ -1,0 +1,477 @@
+//! Schema-level validation: many content models, one alphabet, streaming
+//! documents.
+//!
+//! The paper's algorithms exist to validate *streams of XML documents
+//! against whole DTDs/XSDs* — many deterministic content models sharing one
+//! element-name alphabet, matched event-by-event as documents arrive. This
+//! crate is that production surface:
+//!
+//! * [`SchemaBuilder`] collects element declarations — programmatically or
+//!   from a DTD fragment (`<!ELEMENT name (model)>` lines) — and compiles
+//!   every content model through **one** shared
+//!   [`redet_core::Pipeline`]/[`Alphabet`], so every element name is
+//!   interned exactly once and all models agree on dense symbol ids;
+//! * [`Schema`] is the immutable compile-once artifact (`Send + Sync`,
+//!   hand it around in an [`Arc`]): per-element matchers with automatically
+//!   selected strategies and determinism certificates;
+//! * [`DocumentValidator`] validates a nested document in one pass from
+//!   `start_element`/`end_element` events, holding a stack of live matcher
+//!   sessions — allocation-free in steady state thanks to a recycled
+//!   scratch pool, and hash-free when elements are pre-interned to
+//!   [`Symbol`]s via [`Schema::lookup`].
+//!
+//! Failures — at build time and at validation time — surface as structured
+//! [`Diagnostic`]s with stable codes, byte spans into the DTD source, and
+//! (for validation) the element path and event index.
+//!
+//! ```
+//! use redet_schema::SchemaBuilder;
+//!
+//! let schema = SchemaBuilder::new()
+//!     .parse_dtd(
+//!         "<!ELEMENT bibliography (book)*>
+//!          <!ELEMENT book (title, author+, year?)>
+//!          <!ELEMENT title (#PCDATA)>",
+//!     )
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut validator = schema.validator();
+//! validator.start_element("bibliography");
+//! validator.start_element("book");
+//! validator.start_element("title");
+//! validator.end_element();
+//! validator.start_element("author");
+//! validator.end_element();
+//! validator.end_element();
+//! validator.end_element();
+//! assert!(validator.finish().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtd;
+mod validator;
+
+pub use validator::DocumentValidator;
+
+use crate::dtd::{parse_dtd_fragment, ParsedContent};
+use redet_core::{Code, DeterministicRegex, Diagnostic, MatchStrategy, Pipeline};
+use redet_syntax::{Alphabet, Span, Symbol};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How an element's content is declared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentKind {
+    /// A deterministic content model constrains the children.
+    Model,
+    /// `EMPTY` (or `(#PCDATA)`): no element children allowed.
+    Empty,
+    /// `ANY`: any sequence of children.
+    Any,
+    /// The name occurs in some content model but carries no declaration of
+    /// its own; validated like `EMPTY`.
+    Undeclared,
+}
+
+enum Content {
+    Model(DeterministicRegex),
+    Empty,
+    Any,
+    Undeclared,
+}
+
+impl Content {
+    fn kind(&self) -> ContentKind {
+        match self {
+            Content::Model(_) => ContentKind::Model,
+            Content::Empty => ContentKind::Empty,
+            Content::Any => ContentKind::Any,
+            Content::Undeclared => ContentKind::Undeclared,
+        }
+    }
+}
+
+/// An immutable compiled schema: every content model compiled through one
+/// shared pipeline, per-element strategies selected automatically,
+/// determinism certificates retained. `Send + Sync` — one `Arc<Schema>` can
+/// serve many validator threads.
+///
+/// ```
+/// use redet_schema::SchemaBuilder;
+/// use std::sync::Arc;
+///
+/// let schema: Arc<redet_schema::Schema> = SchemaBuilder::new()
+///     .element("pair", "(left, right)")
+///     .build()
+///     .unwrap();
+/// let pair = schema.lookup("pair").unwrap();
+/// assert!(schema.model(pair).is_some());
+/// // "left" and "right" are interned but undeclared: EMPTY semantics.
+/// let left = schema.lookup("left").unwrap();
+/// assert!(schema.model(left).is_none());
+/// ```
+pub struct Schema {
+    alphabet: Alphabet,
+    /// Dense per-symbol content table (index = `Symbol::index()`).
+    content: Vec<Content>,
+    /// Declared elements in declaration order.
+    declared: Vec<Symbol>,
+}
+
+impl Schema {
+    /// Looks up an element name, returning its pre-interned symbol. Do this
+    /// once per distinct tag name and feed the symbols to
+    /// [`DocumentValidator::start_element_symbol`] — the validation hot
+    /// loop then never hashes strings.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.alphabet.lookup(name)
+    }
+
+    /// The name of a symbol of this schema's alphabet.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.alphabet.name(sym)
+    }
+
+    /// The schema-wide alphabet (declared and referenced element names).
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of element declarations.
+    pub fn len(&self) -> usize {
+        self.declared.len()
+    }
+
+    /// Whether the schema declares no elements.
+    pub fn is_empty(&self) -> bool {
+        self.declared.is_empty()
+    }
+
+    /// Declared elements, in declaration order.
+    pub fn elements(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.declared.iter().copied()
+    }
+
+    /// How the element's content is declared.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not handed out by this schema's alphabet.
+    pub fn content_kind(&self, sym: Symbol) -> ContentKind {
+        self.content[sym.index()].kind()
+    }
+
+    /// The compiled content model of `sym`, when it is declared with one.
+    /// Exposes the per-element strategy ([`DeterministicRegex::strategy`]),
+    /// certificate, statistics and incremental sessions.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not handed out by this schema's alphabet.
+    pub fn model(&self, sym: Symbol) -> Option<&DeterministicRegex> {
+        match &self.content[sym.index()] {
+            Content::Model(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn content_of(&self, sym: Symbol) -> &Content {
+        &self.content[sym.index()]
+    }
+
+    /// Opens an event-driven validator over this schema. Keep the validator
+    /// around and validate many documents with it — its scratch pool makes
+    /// steady-state validation allocation-free.
+    #[must_use]
+    pub fn validator(&self) -> DocumentValidator<'_> {
+        DocumentValidator::new(self)
+    }
+}
+
+impl std::fmt::Debug for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Schema")
+            .field("elements", &self.declared.len())
+            .field("alphabet", &self.alphabet.len())
+            .finish()
+    }
+}
+
+struct Decl {
+    name: String,
+    name_span: Option<Span>,
+    content: ParsedContent,
+}
+
+/// Collects element declarations and compiles them into an immutable
+/// [`Schema`].
+///
+/// Declarations come from [`SchemaBuilder::element`] /
+/// [`SchemaBuilder::element_empty`] / [`SchemaBuilder::element_any`], or in
+/// bulk from a DTD fragment via [`SchemaBuilder::parse_dtd`]. All
+/// diagnostics — malformed DTD declarations, duplicate elements,
+/// non-deterministic or unparsable content models — are collected and
+/// reported together by [`SchemaBuilder::build`].
+#[derive(Default)]
+pub struct SchemaBuilder {
+    decls: Vec<Decl>,
+    pending: Vec<Diagnostic>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an element with a content model in the expression syntax of
+    /// `redet-syntax` (DTD operators `,`, `|`, `?`, `*`, `+` plus
+    /// XML-Schema-style `{i,j}` counters).
+    #[must_use]
+    pub fn element(mut self, name: &str, model: &str) -> Self {
+        self.decls.push(Decl {
+            name: name.to_owned(),
+            name_span: None,
+            content: ParsedContent::Model {
+                source: model.to_owned(),
+                offset: 0,
+            },
+        });
+        self
+    }
+
+    /// Declares an element with `EMPTY` content (no element children).
+    #[must_use]
+    pub fn element_empty(mut self, name: &str) -> Self {
+        self.decls.push(Decl {
+            name: name.to_owned(),
+            name_span: None,
+            content: ParsedContent::Empty,
+        });
+        self
+    }
+
+    /// Declares an element with `ANY` content (children unconstrained).
+    #[must_use]
+    pub fn element_any(mut self, name: &str) -> Self {
+        self.decls.push(Decl {
+            name: name.to_owned(),
+            name_span: None,
+            content: ParsedContent::Any,
+        });
+        self
+    }
+
+    /// Adds every `<!ELEMENT …>` declaration of a DTD fragment. Malformed
+    /// declarations are recorded and reported by [`SchemaBuilder::build`].
+    #[must_use]
+    pub fn parse_dtd(mut self, source: &str) -> Self {
+        let (decls, diagnostics) = parse_dtd_fragment(source);
+        self.pending.extend(diagnostics);
+        self.decls.extend(decls.into_iter().map(|d| Decl {
+            name: d.name,
+            name_span: Some(d.name_span),
+            content: d.content,
+        }));
+        self
+    }
+
+    /// Compiles every declaration through one shared pipeline into an
+    /// immutable [`Schema`]. On failure returns **all** diagnostics, each
+    /// carrying its code, source span, and (for determinism conflicts) the
+    /// witness positions.
+    pub fn build(self) -> Result<Arc<Schema>, Vec<Diagnostic>> {
+        let mut diagnostics = self.pending;
+        let mut pipeline = Pipeline::new();
+        // Pre-intern every declared name: models may reference elements
+        // declared later and still share the complete dense symbol space.
+        for decl in &self.decls {
+            pipeline.intern(&decl.name);
+        }
+
+        let mut compiled: Vec<(Symbol, Content)> = Vec::with_capacity(self.decls.len());
+        let mut seen: HashSet<Symbol> = HashSet::with_capacity(self.decls.len());
+        for decl in &self.decls {
+            let sym = pipeline.intern(&decl.name);
+            if !seen.insert(sym) {
+                let mut diag = Diagnostic::new(
+                    Code::DuplicateElement,
+                    format!("element '{}' is declared more than once", decl.name),
+                );
+                if let Some(span) = decl.name_span {
+                    diag = diag.with_span(span);
+                }
+                diagnostics.push(diag);
+                continue;
+            }
+            let content = match &decl.content {
+                ParsedContent::Empty => Content::Empty,
+                ParsedContent::Any => Content::Any,
+                ParsedContent::Model { source, offset } => {
+                    match pipeline
+                        .compile(source)
+                        .and_then(|artifact| {
+                            DeterministicRegex::from_compiled(artifact, MatchStrategy::Auto)
+                        })
+                        .map_err(|diag| {
+                            diag.offset_spans(*offset)
+                                .with_context(&format!("in the content model of <{}>", decl.name))
+                        }) {
+                        Ok(model) => Content::Model(model),
+                        Err(diag) => {
+                            diagnostics.push(diag);
+                            continue;
+                        }
+                    }
+                }
+            };
+            compiled.push((sym, content));
+        }
+
+        if !diagnostics.is_empty() {
+            return Err(diagnostics);
+        }
+
+        let alphabet = pipeline.alphabet().clone();
+        let mut content: Vec<Content> = (0..alphabet.len()).map(|_| Content::Undeclared).collect();
+        let mut declared = Vec::with_capacity(compiled.len());
+        for (sym, c) in compiled {
+            content[sym.index()] = c;
+            declared.push(sym);
+        }
+        Ok(Arc::new(Schema {
+            alphabet,
+            content,
+            declared,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn schemas_are_send_sync() {
+        assert_send_sync::<Schema>();
+        assert_send_sync::<Arc<Schema>>();
+    }
+
+    #[test]
+    fn one_alphabet_across_all_models() {
+        let schema = SchemaBuilder::new()
+            .element("book", "(title, author+, year?)")
+            .element("article", "(title, author+, journal)")
+            .build()
+            .unwrap();
+        assert_eq!(schema.len(), 2);
+        // "title" means the same symbol in both models — and both models'
+        // snapshots contain the declared names, whatever the order.
+        let title = schema.lookup("title").unwrap();
+        let book = schema.lookup("book").unwrap();
+        let article = schema.lookup("article").unwrap();
+        assert_eq!(
+            schema.model(book).unwrap().alphabet().lookup("title"),
+            Some(title)
+        );
+        assert_eq!(
+            schema.model(article).unwrap().alphabet().lookup("title"),
+            Some(title)
+        );
+        assert_eq!(schema.content_kind(title), ContentKind::Undeclared);
+    }
+
+    #[test]
+    fn models_may_reference_later_declarations() {
+        let schema = SchemaBuilder::new()
+            .element("doc", "(section)*")
+            .element("section", "(para)*")
+            .element_empty("para")
+            .build()
+            .unwrap();
+        let doc = schema.lookup("doc").unwrap();
+        let section = schema.lookup("section").unwrap();
+        // The `doc` model was compiled before `section` was processed, yet
+        // its alphabet snapshot knows the symbol (pre-interning).
+        assert!(schema
+            .model(doc)
+            .unwrap()
+            .alphabet()
+            .lookup("para")
+            .is_some());
+        assert_eq!(schema.content_kind(section), ContentKind::Model);
+    }
+
+    #[test]
+    fn per_element_strategies_are_selected() {
+        let schema = SchemaBuilder::new()
+            .element("starfree", "(a + b) (c + d)?")
+            .element("plus", "(title, author+)")
+            .element("counted", "(item{1,10}, total)")
+            .build()
+            .unwrap();
+        let strategy = |name: &str| {
+            schema
+                .model(schema.lookup(name).unwrap())
+                .unwrap()
+                .strategy()
+        };
+        assert_eq!(strategy("starfree"), MatchStrategy::StarFree);
+        assert_eq!(strategy("plus"), MatchStrategy::KOccurrence);
+        assert_eq!(strategy("counted"), MatchStrategy::CountedSimulation);
+        // Counting-free models keep their determinism certificates.
+        assert!(schema
+            .model(schema.lookup("plus").unwrap())
+            .unwrap()
+            .certificate()
+            .is_some());
+    }
+
+    #[test]
+    fn build_collects_all_diagnostics() {
+        let err = SchemaBuilder::new()
+            .element("ok", "(a, b)")
+            .element("broken", "a b* b")
+            .element("ok", "(c)")
+            .element("unparsable", "(a,")
+            .build()
+            .unwrap_err();
+        let codes: Vec<Code> = err.iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&Code::NotDeterministic), "{codes:?}");
+        assert!(codes.contains(&Code::DuplicateElement), "{codes:?}");
+        assert!(codes.contains(&Code::Parse), "{codes:?}");
+        // The determinism diagnostic names the element and keeps the
+        // witness.
+        let nondet = err
+            .iter()
+            .find(|d| d.code() == Code::NotDeterministic)
+            .unwrap();
+        assert!(
+            nondet.message().contains("<broken>"),
+            "{}",
+            nondet.message()
+        );
+        assert!(nondet.witness().is_some());
+    }
+
+    #[test]
+    fn dtd_fragment_compiles_with_rebased_spans() {
+        let dtd = "<!ELEMENT doc (part)*>\n<!ELEMENT part (a b* b)>";
+        let err = SchemaBuilder::new().parse_dtd(dtd).build().unwrap_err();
+        assert_eq!(err.len(), 1);
+        let diag = &err[0];
+        assert_eq!(diag.code(), Code::NotDeterministic);
+        // The witness spans point into the *DTD*, at the two trailing 'b's.
+        let witness = diag.witness().unwrap();
+        for span in [witness.first_span.unwrap(), witness.second_span.unwrap()] {
+            assert_eq!(&dtd[span.start..span.end], "b");
+            assert!(
+                span.start > dtd.find('\n').unwrap(),
+                "span {span} is in line 2"
+            );
+        }
+    }
+}

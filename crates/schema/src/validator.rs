@@ -1,0 +1,545 @@
+//! Event-driven document validation: a stack of live matcher sessions.
+//!
+//! [`DocumentValidator`] consumes a nested document as a stream of
+//! `start_element` / `end_element` events and validates every element's
+//! child sequence against its content model *as the children arrive* — one
+//! pass, no child lists materialized. Each open element holds a live
+//! [`redet_core::MatchSession`]; a `start_element` event feeds the child's
+//! symbol into the parent's session and pushes a fresh session for the
+//! child.
+//!
+//! Because content models are deterministic, a rejected feed is final: the
+//! validator reports one structured [`Diagnostic`] — with the element path
+//! and event index — at the *earliest* offending event, then stays quiet
+//! for the rest of that element.
+//!
+//! # Steady-state allocation
+//!
+//! The validator recycles everything: the frame stack keeps its capacity,
+//! closed sessions return their scratch buffers to a pool, and diagnostics
+//! are only materialized for invalid documents. After one document has
+//! warmed the pools, validating further documents of the same shape
+//! performs **no allocation** (enforced by the repository's
+//! counting-allocator regression test). Pre-intern element names once via
+//! [`Schema::lookup`] and use [`DocumentValidator::start_element_symbol`]
+//! and the hot loop never hashes strings either.
+
+use crate::{Content, ContentKind, Schema};
+use redet_core::{Code, Diagnostic, DocLocation, MatchScratch, MatchSession};
+use redet_syntax::Symbol;
+
+/// What a `start_element` event did to the parent's content check (computed
+/// under the mutable borrow of the parent frame, reported afterwards).
+enum ParentIssue {
+    None,
+    /// The parent is declared EMPTY (or undeclared) but got a child.
+    EmptyViolation {
+        undeclared: bool,
+    },
+    /// The parent's content model rejected the child at the given child
+    /// index.
+    Rejected {
+        child_index: usize,
+    },
+}
+
+struct Frame<'s> {
+    /// Symbol of the element; `None` when the name is unknown to the
+    /// schema's alphabet.
+    sym: Option<Symbol>,
+    /// The name, kept only for unknown elements (path rendering).
+    name: Option<String>,
+    /// The live session, for elements declared with a content model.
+    session: Option<MatchSession<'s>>,
+    kind: ContentKind,
+    /// A diagnostic was already recorded for this element's content —
+    /// report once, then stay quiet.
+    reported: bool,
+    children: usize,
+}
+
+/// An event-driven validator over one [`Schema`]; see the module docs.
+///
+/// The validator borrows the schema (clone the [`std::sync::Arc`] around
+/// [`Schema`] and open one validator per thread); it is reusable — after
+/// [`DocumentValidator::finish`] it is ready for the next document with its
+/// warmed-up buffers intact.
+pub struct DocumentValidator<'s> {
+    schema: &'s Schema,
+    frames: Vec<Frame<'s>>,
+    /// Scratch buffers recycled between sessions (one per open element).
+    pool: Vec<MatchScratch>,
+    diagnostics: Vec<Diagnostic>,
+    events: usize,
+}
+
+impl<'s> DocumentValidator<'s> {
+    /// Creates a validator over `schema` (see also [`Schema::validator`]).
+    #[must_use]
+    pub fn new(schema: &'s Schema) -> Self {
+        DocumentValidator {
+            schema,
+            frames: Vec::new(),
+            pool: Vec::new(),
+            diagnostics: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// The schema this validator checks against.
+    pub fn schema(&self) -> &'s Schema {
+        self.schema
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of events consumed for the current document.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Diagnostics collected so far for the current document.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Opens an element by name. One hash lookup per call; for the hash-free
+    /// hot path pre-intern names with [`Schema::lookup`] and call
+    /// [`DocumentValidator::start_element_symbol`].
+    pub fn start_element(&mut self, name: &str) {
+        match self.schema.lookup(name) {
+            Some(sym) => self.start_element_symbol(sym),
+            None => {
+                let event = self.take_event();
+                let path = self.path_with(Some(name));
+                self.diagnostics.push(
+                    Diagnostic::new(
+                        Code::UnknownElement,
+                        format!("element '{name}' is not part of the schema"),
+                    )
+                    .with_location(DocLocation { path, event }),
+                );
+                self.feed_parent(Err(name), event);
+                self.frames.push(Frame {
+                    sym: None,
+                    name: Some(name.to_owned()),
+                    session: None,
+                    kind: ContentKind::Any,
+                    reported: false,
+                    children: 0,
+                });
+            }
+        }
+    }
+
+    /// Opens an element by pre-interned symbol — the hash-free hot path.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not handed out by this schema's alphabet.
+    pub fn start_element_symbol(&mut self, sym: Symbol) {
+        let event = self.take_event();
+        self.feed_parent(Ok(sym), event);
+        let (kind, session) = match self.schema.content_of(sym) {
+            Content::Model(model) => (
+                ContentKind::Model,
+                Some(model.start_with(self.pool.pop().unwrap_or_default())),
+            ),
+            Content::Empty => (ContentKind::Empty, None),
+            Content::Any => (ContentKind::Any, None),
+            Content::Undeclared => (ContentKind::Undeclared, None),
+        };
+        self.frames.push(Frame {
+            sym: Some(sym),
+            name: None,
+            session,
+            kind,
+            reported: false,
+            children: 0,
+        });
+    }
+
+    /// Closes the innermost open element, checking that its content may end
+    /// here.
+    pub fn end_element(&mut self) {
+        let event = self.take_event();
+        let Some(frame) = self.frames.pop() else {
+            self.diagnostics.push(
+                Diagnostic::new(
+                    Code::UnbalancedDocument,
+                    "end_element without a matching start_element",
+                )
+                .with_location(DocLocation {
+                    path: String::new(),
+                    event,
+                }),
+            );
+            return;
+        };
+        if let Some(session) = &frame.session {
+            if !frame.reported && !session.accepts() {
+                let name = self.frame_name(&frame).to_owned();
+                let path = self.path_with(Some(&name));
+                self.diagnostics.push(
+                    Diagnostic::new(
+                        Code::IncompleteElement,
+                        format!(
+                            "<{name}> was closed after {} child(ren) but its content \
+                             model requires more",
+                            frame.children
+                        ),
+                    )
+                    .with_location(DocLocation { path, event }),
+                );
+            }
+        }
+        // Recycle the session's scratch for the next open element.
+        if let Some(session) = frame.session {
+            self.pool.push(session.into_scratch());
+        }
+    }
+
+    /// Ends the document: reports unclosed elements, resets the validator
+    /// for the next document (keeping its warmed-up buffers), and returns
+    /// the collected diagnostics, if any.
+    pub fn finish(&mut self) -> Result<(), Vec<Diagnostic>> {
+        if !self.frames.is_empty() {
+            let event = self.events;
+            let path = self.path_with(None);
+            self.diagnostics.push(
+                Diagnostic::new(
+                    Code::UnbalancedDocument,
+                    format!(
+                        "document ended with {} unclosed element(s)",
+                        self.frames.len()
+                    ),
+                )
+                .with_location(DocLocation { path, event }),
+            );
+            while let Some(frame) = self.frames.pop() {
+                if let Some(session) = frame.session {
+                    self.pool.push(session.into_scratch());
+                }
+            }
+        }
+        self.events = 0;
+        let diagnostics = std::mem::take(&mut self.diagnostics);
+        if diagnostics.is_empty() {
+            Ok(())
+        } else {
+            Err(diagnostics)
+        }
+    }
+
+    fn take_event(&mut self) -> usize {
+        let event = self.events;
+        self.events += 1;
+        event
+    }
+
+    /// Feeds the child's symbol into the innermost open session; `Err`
+    /// carries the name of a child unknown to the schema's alphabet (which
+    /// no content model over that alphabet can accept).
+    fn feed_parent(&mut self, child: Result<Symbol, &str>, event: usize) {
+        let issue = {
+            let Some(parent) = self.frames.last_mut() else {
+                return;
+            };
+            let child_index = parent.children;
+            parent.children += 1;
+            if parent.reported {
+                return;
+            }
+            match parent.kind {
+                ContentKind::Any => ParentIssue::None,
+                ContentKind::Empty | ContentKind::Undeclared => {
+                    parent.reported = true;
+                    ParentIssue::EmptyViolation {
+                        undeclared: parent.kind == ContentKind::Undeclared,
+                    }
+                }
+                ContentKind::Model => {
+                    let session = parent
+                        .session
+                        .as_mut()
+                        .expect("model frames hold a session");
+                    let rejected = match child {
+                        Ok(sym) => !session.feed(sym).is_advanced(),
+                        // A name outside the alphabet can never be matched.
+                        Err(_) => true,
+                    };
+                    if rejected {
+                        parent.reported = true;
+                        ParentIssue::Rejected { child_index }
+                    } else {
+                        ParentIssue::None
+                    }
+                }
+            }
+        };
+        match issue {
+            ParentIssue::None => {}
+            ParentIssue::EmptyViolation { undeclared } => {
+                let parent_name = self.last_frame_name().to_owned();
+                let child_name = self.child_name(child).to_owned();
+                let path = self.path_with(None);
+                let how = if undeclared {
+                    "has no declaration (EMPTY semantics)"
+                } else {
+                    "is declared EMPTY"
+                };
+                self.diagnostics.push(
+                    Diagnostic::new(
+                        Code::ChildInEmptyElement,
+                        format!("<{parent_name}> {how} but contains <{child_name}>"),
+                    )
+                    .with_location(DocLocation { path, event }),
+                );
+            }
+            ParentIssue::Rejected { child_index } => {
+                let parent_name = self.last_frame_name().to_owned();
+                let child_name = self.child_name(child).to_owned();
+                let path = self.path_with(None);
+                self.diagnostics.push(
+                    Diagnostic::new(
+                        Code::UnexpectedChild,
+                        format!(
+                            "<{child_name}> cannot appear as child #{child_index} of \
+                             <{parent_name}>: the content model has no continuation \
+                             for it here"
+                        ),
+                    )
+                    .with_location(DocLocation { path, event }),
+                );
+            }
+        }
+    }
+
+    fn frame_name<'a>(&'a self, frame: &'a Frame<'s>) -> &'a str {
+        match (frame.sym, &frame.name) {
+            (Some(sym), _) => self.schema.name(sym),
+            (None, Some(name)) => name.as_str(),
+            (None, None) => "?",
+        }
+    }
+
+    fn last_frame_name(&self) -> &str {
+        self.frames
+            .last()
+            .map(|f| self.frame_name(f))
+            .unwrap_or("?")
+    }
+
+    fn child_name<'a>(&'a self, child: Result<Symbol, &'a str>) -> &'a str {
+        match child {
+            Ok(sym) => self.schema.name(sym),
+            Err(name) => name,
+        }
+    }
+
+    /// Slash-separated path of the open elements, optionally extended by one
+    /// more segment. Only called on diagnostic paths — allocation here never
+    /// touches the valid-document hot loop.
+    fn path_with(&self, extra: Option<&str>) -> String {
+        let mut path = String::new();
+        for frame in &self.frames {
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(self.frame_name(frame));
+        }
+        if let Some(extra) = extra {
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(extra);
+        }
+        path
+    }
+}
+
+impl std::fmt::Debug for DocumentValidator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocumentValidator")
+            .field("depth", &self.depth())
+            .field("events", &self.events)
+            .field("diagnostics", &self.diagnostics.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn bibliography() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .element("bibliography", "(book | article)*")
+            .element("book", "(title, author+, publisher?, year)")
+            .element("article", "(title, author+, journal, year?)")
+            .element_empty("title")
+            .element_empty("author")
+            .element_empty("year")
+            .build()
+            .unwrap()
+    }
+
+    fn leaf(v: &mut DocumentValidator<'_>, name: &str) {
+        v.start_element(name);
+        v.end_element();
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let schema = bibliography();
+        let mut v = schema.validator();
+        v.start_element("bibliography");
+        v.start_element("book");
+        leaf(&mut v, "title");
+        leaf(&mut v, "author");
+        leaf(&mut v, "author");
+        leaf(&mut v, "publisher");
+        leaf(&mut v, "year");
+        v.end_element();
+        v.end_element();
+        assert!(v.finish().is_ok());
+        // The validator is reusable for the next document.
+        v.start_element("bibliography");
+        v.end_element();
+        assert!(v.finish().is_ok());
+    }
+
+    #[test]
+    fn incomplete_content_is_located() {
+        let schema = bibliography();
+        let mut v = schema.validator();
+        v.start_element("bibliography");
+        v.start_element("book");
+        leaf(&mut v, "title");
+        leaf(&mut v, "author");
+        v.end_element(); // book closed without year
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].code(), Code::IncompleteElement);
+        let loc = err[0].location().unwrap();
+        assert_eq!(loc.path, "bibliography/book");
+        assert_eq!(loc.event, 6);
+    }
+
+    #[test]
+    fn unexpected_child_reports_once_at_the_earliest_event() {
+        let schema = bibliography();
+        let mut v = schema.validator();
+        v.start_element("bibliography");
+        v.start_element("book");
+        leaf(&mut v, "author"); // title must come first
+        leaf(&mut v, "author");
+        leaf(&mut v, "year");
+        v.end_element();
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        // One diagnostic for <book>, not one per subsequent child.
+        assert_eq!(err.len(), 1, "{err:?}");
+        assert_eq!(err[0].code(), Code::UnexpectedChild);
+        let loc = err[0].location().unwrap();
+        assert_eq!(loc.path, "bibliography/book");
+        assert_eq!(loc.event, 2);
+        assert!(
+            err[0].message().contains("child #0"),
+            "{}",
+            err[0].message()
+        );
+    }
+
+    #[test]
+    fn empty_and_unknown_elements_are_diagnosed() {
+        let schema = bibliography();
+        let mut v = schema.validator();
+        v.start_element("bibliography");
+        v.start_element("book");
+        v.start_element("title");
+        leaf(&mut v, "author"); // title is EMPTY
+        v.end_element();
+        leaf(&mut v, "author");
+        v.start_element("mystery"); // unknown to the schema
+        v.end_element();
+        leaf(&mut v, "year");
+        v.end_element();
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        let codes: Vec<Code> = err.iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&Code::ChildInEmptyElement), "{codes:?}");
+        assert!(codes.contains(&Code::UnknownElement), "{codes:?}");
+        // The unknown child also breaks its parent's content model.
+        assert!(codes.contains(&Code::UnexpectedChild), "{codes:?}");
+    }
+
+    #[test]
+    fn unbalanced_documents_are_diagnosed() {
+        let schema = bibliography();
+        let mut v = schema.validator();
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::UnbalancedDocument);
+
+        let mut v = schema.validator();
+        v.start_element("bibliography");
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::UnbalancedDocument);
+        // finish() reset the validator despite the open element.
+        assert_eq!(v.depth(), 0);
+        v.start_element("bibliography");
+        v.end_element();
+        assert!(v.finish().is_ok());
+    }
+
+    #[test]
+    fn symbol_hot_path_matches_name_path() {
+        let schema = bibliography();
+        let bib = schema.lookup("bibliography").unwrap();
+        let book = schema.lookup("book").unwrap();
+        let title = schema.lookup("title").unwrap();
+        let author = schema.lookup("author").unwrap();
+        let year = schema.lookup("year").unwrap();
+        let mut v = schema.validator();
+        v.start_element_symbol(bib);
+        v.start_element_symbol(book);
+        for s in [title, author, year] {
+            v.start_element_symbol(s);
+            v.end_element();
+        }
+        v.end_element();
+        v.end_element();
+        assert!(v.finish().is_ok());
+    }
+
+    #[test]
+    fn counted_models_validate_through_the_simulation() {
+        let schema = SchemaBuilder::new()
+            .element("order", "(item{2,3}, total)")
+            .element_empty("item")
+            .element_empty("total")
+            .build()
+            .unwrap();
+        let mut v = schema.validator();
+        v.start_element("order");
+        for _ in 0..2 {
+            leaf(&mut v, "item");
+        }
+        leaf(&mut v, "total");
+        v.end_element();
+        assert!(v.finish().is_ok());
+        // One item is too few: the rejection fires on `total`.
+        v.start_element("order");
+        leaf(&mut v, "item");
+        leaf(&mut v, "total");
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::UnexpectedChild);
+    }
+}

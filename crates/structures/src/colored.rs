@@ -7,7 +7,7 @@
 //! the **lowest ancestor of `p` with color `a`**.
 //!
 //! The paper uses the method-lookup structure of Muthukrishnan & Müller
-//! [23], which answers such queries in `O(log log |e|)` expected time after
+//! \[23\], which answers such queries in `O(log log |e|)` expected time after
 //! linear preprocessing. This implementation exploits the laminar structure
 //! of subtree intervals:
 //!

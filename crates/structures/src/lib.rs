@@ -5,7 +5,7 @@
 //! * **lazy arrays** (Section 4.3) — associative arrays with constant-time
 //!   initialization, assignment, lookup and reset, used to store the `h`
 //!   function of the path-decomposition matcher: [`LazyArray`];
-//! * **van Emde Boas predecessor structures** ([23], via
+//! * **van Emde Boas predecessor structures** (\[23\], via
 //!   Muthukrishnan & Müller) — the engine behind `O(log log)` lowest
 //!   colored ancestor queries: [`VebSet`];
 //! * **lowest colored ancestor** queries (Section 4.1) — given a node

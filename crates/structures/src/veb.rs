@@ -1,7 +1,7 @@
 //! A van Emde Boas set over a bounded integer universe.
 //!
 //! The lowest-colored-ancestor structure of Muthukrishnan & Müller (cited as
-//! [23] in the paper) answers predecessor queries in `O(log log u)` time by
+//! \[23\] in the paper) answers predecessor queries in `O(log log u)` time by
 //! recursing on the square root of the universe. [`VebSet`] implements the
 //! classical recursive structure: a set of integers from `0..2^bits`
 //! supporting `insert`, `remove`, `contains`, `successor` and `predecessor`,

@@ -1,6 +1,42 @@
-//! Error types for parsing and structural validation.
+//! Error types for parsing and structural validation, and the byte-span
+//! type used to point diagnostics back into the source text.
 
 use std::fmt;
+
+/// A half-open byte range `start..end` into the source text of a content
+/// model. Spans are attached to parse errors and, via
+/// [`crate::parser::parse_spanned`], to every alphabet position of an
+/// expression, so downstream diagnostics (e.g. determinism-conflict
+/// witnesses) can point at the exact occurrences in the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The span shifted right by `delta` bytes (used to rebase spans of an
+    /// embedded content model into its enclosing document, e.g. a DTD).
+    pub fn offset(self, delta: usize) -> Self {
+        Span {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
 
 /// An error produced while parsing the textual regular expression syntax.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -10,7 +10,7 @@
 //!   concatenation, union (`+`), optionality (`?`), Kleene star (`*`) and
 //!   numeric occurrence indicators (`{i,j}`, XML-Schema style);
 //! * [`parse`] — a parser for a conventional textual syntax;
-//! * [`normalize`] — the normalizer enforcing the paper's structural
+//! * [`normalize`](mod@normalize) — the normalizer enforcing the paper's structural
 //!   restrictions (R2) and (R3), which guarantee that the size of the parse
 //!   tree is linear in the number of positions.
 //!
@@ -31,7 +31,7 @@ pub mod properties;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use ast::Regex;
-pub use error::{ParseError, SyntaxError};
+pub use error::{ParseError, Span, SyntaxError};
 pub use normalize::normalize;
-pub use parser::{parse, parse_with_alphabet};
+pub use parser::{parse, parse_spanned, parse_spanned_with_alphabet, parse_with_alphabet};
 pub use properties::ExprStats;

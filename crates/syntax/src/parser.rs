@@ -30,7 +30,7 @@
 
 use crate::alphabet::Alphabet;
 use crate::ast::Regex;
-use crate::error::ParseError;
+use crate::error::{ParseError, Span};
 
 /// Parses `input` into an expression, interning symbols into a fresh
 /// [`Alphabet`].
@@ -45,11 +45,42 @@ pub fn parse(input: &str) -> Result<(Regex, Alphabet), ParseError> {
 /// Useful when several content models (e.g. all the element declarations of
 /// one DTD) must share a single symbol space.
 pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    parse_spanned_with_alphabet(input, alphabet).map(|(regex, _)| regex)
+}
+
+/// Like [`parse`], additionally returning the byte span of every alphabet
+/// position (leaf) of the expression, in position (left-to-right) order.
+///
+/// The spans let diagnostics point back into the source: position `i` of the
+/// expression (0-based, phantom markers excluded) was written at
+/// `spans[i]`.
+///
+/// ```
+/// use redet_syntax::parse_spanned;
+///
+/// let (e, _, spans) = parse_spanned("(a bb)* a").unwrap();
+/// assert_eq!(e.num_positions(), 3);
+/// assert_eq!((spans[1].start, spans[1].end), (3, 5)); // "bb"
+/// assert_eq!((spans[2].start, spans[2].end), (8, 9)); // the final "a"
+/// ```
+pub fn parse_spanned(input: &str) -> Result<(Regex, Alphabet, Vec<Span>), ParseError> {
+    let mut alphabet = Alphabet::new();
+    let (regex, spans) = parse_spanned_with_alphabet(input, &mut alphabet)?;
+    Ok((regex, alphabet, spans))
+}
+
+/// Like [`parse_with_alphabet`], additionally returning per-position byte
+/// spans (see [`parse_spanned`]).
+pub fn parse_spanned_with_alphabet(
+    input: &str,
+    alphabet: &mut Alphabet,
+) -> Result<(Regex, Vec<Span>), ParseError> {
     let tokens = tokenize(input)?;
     let mut parser = Parser {
         tokens,
         pos: 0,
         alphabet,
+        spans: Vec::new(),
     };
     let expr = parser.parse_union()?;
     if parser.pos != parser.tokens.len() {
@@ -59,7 +90,7 @@ pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Regex
             format!("unexpected trailing input near {tok:?}"),
         ));
     }
-    Ok(expr)
+    Ok((expr, parser.spans))
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -213,6 +244,10 @@ struct Parser<'a> {
     tokens: Vec<(usize, usize, Token)>,
     pos: usize,
     alphabet: &'a mut Alphabet,
+    /// Byte span of every symbol leaf, pushed in parse order — which is
+    /// position (left-to-right) order, because the descent builds leaves
+    /// strictly left to right.
+    spans: Vec<Span>,
 }
 
 impl<'a> Parser<'a> {
@@ -297,6 +332,11 @@ impl<'a> Parser<'a> {
 
     fn parse_atom(&mut self) -> Result<Regex, ParseError> {
         let offset = self.offset();
+        let end = self
+            .tokens
+            .get(self.pos)
+            .map(|(_, end, _)| *end)
+            .unwrap_or(offset);
         match self.bump() {
             Some(Token::LParen) => {
                 let expr = self.parse_union()?;
@@ -305,7 +345,10 @@ impl<'a> Parser<'a> {
                     _ => Err(ParseError::new(offset, "unbalanced '(': expected ')'")),
                 }
             }
-            Some(Token::Ident(name)) => Ok(Regex::symbol(self.alphabet.intern(&name))),
+            Some(Token::Ident(name)) => {
+                self.spans.push(Span::new(offset, end));
+                Ok(Regex::symbol(self.alphabet.intern(&name)))
+            }
             Some(tok) => Err(ParseError::new(
                 offset,
                 format!("expected a symbol or '(' but found {tok:?}"),

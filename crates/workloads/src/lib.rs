@@ -31,6 +31,37 @@ use redet_automata::GlushkovAutomaton;
 use redet_syntax::{Alphabet, Regex, Symbol};
 use redet_tree::PosId;
 
+/// A DTD fragment with 22 element declarations — the schema-level workload
+/// used by the document-validation benchmark (E11) and the allocation
+/// regression test. It mixes every content shape the engine supports:
+/// star-free sequences, DTD `+`/`*` models, a recursive element
+/// (`section` within `section`), an XML-Schema-style counter, `ANY`, and
+/// `(#PCDATA)`/`EMPTY` leaves.
+pub const BOOK_DTD: &str = r#"
+    <!ELEMENT book (front, body, back?)>
+    <!ELEMENT front (title, subtitle?, author+, date?)>
+    <!ELEMENT body (chapter+)>
+    <!ELEMENT back ((appendix | index)*, colophon?)>
+    <!ELEMENT chapter (title, epigraph?, (section | interlude)+)>
+    <!ELEMENT section (title, (para | list | table | figure | code | section)*)>
+    <!ELEMENT interlude (para+)>
+    <!ELEMENT appendix (title, para*)>
+    <!ELEMENT index (entry+)>
+    <!ELEMENT entry (term, locator{1,4})>
+    <!ELEMENT list (item+)>
+    <!ELEMENT table (caption?, row+)>
+    <!ELEMENT figure (caption?)>
+    <!ELEMENT epigraph (para, attribution?)>
+    <!ELEMENT colophon ANY>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT subtitle (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT date (#PCDATA)>
+    <!ELEMENT para (#PCDATA | em | code)*>
+    <!ELEMENT caption (#PCDATA)>
+    <!ELEMENT row (cell+)>
+"#;
+
 /// A generated workload: an expression together with its alphabet.
 #[derive(Clone, Debug)]
 pub struct Workload {

@@ -1,13 +1,25 @@
-//! Validating a small XML document against a DTD-like schema.
+//! Validating XML documents against a DTD, schema-first.
 //!
-//! This example mirrors the paper's motivating scenario: every element
-//! declaration of a schema is a deterministic content model, and validating
-//! a document means matching each element's child sequence against the
-//! content model of its tag. Run with `cargo run --example dtd_validation`.
+//! This example mirrors the paper's motivating scenario end to end: a DTD's
+//! element declarations are compiled into one shared-alphabet [`Schema`]
+//! (every content model checked for determinism, a matching strategy chosen
+//! per element), and documents are validated **event-by-event** by a
+//! [`DocumentValidator`] — no hand-rolled element stacks, no per-element
+//! child lists. Run with `cargo run --example dtd_validation`.
 
-use redet::{Alphabet, DeterministicRegex};
-use redet_syntax::parse_with_alphabet;
-use std::collections::HashMap;
+use redet::{DocumentValidator, Schema, SchemaBuilder};
+
+const DTD: &str = r#"
+    <!-- A small bibliography schema. -->
+    <!ELEMENT bibliography (book | article)*>
+    <!ELEMENT book (title, author+, publisher?, year)>
+    <!ELEMENT article (title, author+, journal, year?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT publisher (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+"#;
 
 /// A toy document tree: a tag and a list of children.
 struct Element {
@@ -19,110 +31,122 @@ fn elem(tag: &'static str, children: Vec<Element>) -> Element {
     Element { tag, children }
 }
 
-/// A schema: one deterministic content model per non-leaf element tag;
-/// undeclared elements are treated as EMPTY (no children allowed).
-struct Schema {
-    models: HashMap<&'static str, DeterministicRegex>,
+fn leaf(tag: &'static str) -> Element {
+    elem(tag, Vec::new())
 }
 
-impl Schema {
-    fn new(declarations: &[(&'static str, &str)]) -> Self {
-        let models = declarations
-            .iter()
-            .map(|(tag, content_model)| {
-                let model = DeterministicRegex::compile(content_model)
-                    .unwrap_or_else(|e| panic!("content model of <{tag}> rejected: {e}"));
-                (*tag, model)
-            })
-            .collect();
-        Schema { models }
+/// Streams the document tree into the validator as start/end events — the
+/// shape a SAX/StAX parser produces. The validator holds the stack.
+fn stream(validator: &mut DocumentValidator<'_>, element: &Element) {
+    validator.start_element(element.tag);
+    for child in &element.children {
+        stream(validator, child);
     }
+    validator.end_element();
+}
 
-    /// Validates the subtree rooted at `element`, appending errors.
-    fn validate(&self, element: &Element, errors: &mut Vec<String>) {
-        let children: Vec<&str> = element.children.iter().map(|c| c.tag).collect();
-        match self.models.get(element.tag) {
-            Some(model) => {
-                if !model.matches(&children) {
-                    errors.push(format!(
-                        "<{}>: child sequence [{}] does not match its content model",
-                        element.tag,
-                        children.join(", ")
-                    ));
-                }
+fn validate(schema: &Schema, name: &str, document: &Element) {
+    let mut validator = schema.validator();
+    stream(&mut validator, document);
+    match validator.finish() {
+        Ok(()) => println!("{name}: valid"),
+        Err(diagnostics) => {
+            println!("{name}: INVALID");
+            for diagnostic in &diagnostics {
+                println!("  - {diagnostic}");
             }
-            None => {
-                if !children.is_empty() {
-                    errors.push(format!(
-                        "<{}> is declared EMPTY but has children",
-                        element.tag
-                    ));
-                }
-            }
-        }
-        for child in &element.children {
-            self.validate(child, errors);
         }
     }
 }
 
 fn main() {
-    let schema = Schema::new(&[
-        ("bibliography", "(book | article)*"),
-        ("book", "(title, author+, publisher?, year)"),
-        ("article", "(title, author+, journal, year?)"),
-    ]);
+    let schema = SchemaBuilder::new()
+        .parse_dtd(DTD)
+        .build()
+        .unwrap_or_else(|diagnostics| {
+            for d in &diagnostics {
+                eprintln!("{d}");
+            }
+            panic!("the example DTD should compile");
+        });
 
-    let document = elem(
+    println!(
+        "schema: {} element declarations, {} interned names",
+        schema.len(),
+        schema.alphabet().len()
+    );
+    for sym in schema.elements() {
+        if let Some(model) = schema.model(sym) {
+            println!(
+                "  <{}> → strategy {:?}, k = {}, certified: {}",
+                schema.name(sym),
+                model.strategy(),
+                model.stats().max_occurrences,
+                model.certificate().is_some(),
+            );
+        }
+    }
+    println!();
+
+    let good = elem(
         "bibliography",
         vec![
             elem(
                 "book",
                 vec![
-                    elem("title", vec![]),
-                    elem("author", vec![]),
-                    elem("author", vec![]),
-                    elem("publisher", vec![]),
-                    elem("year", vec![]),
+                    leaf("title"),
+                    leaf("author"),
+                    leaf("author"),
+                    leaf("publisher"),
+                    leaf("year"),
                 ],
             ),
             elem(
                 "article",
-                vec![
-                    elem("title", vec![]),
-                    elem("author", vec![]),
-                    elem("journal", vec![]),
-                ],
+                vec![leaf("title"), leaf("author"), leaf("journal")],
             ),
-            // An invalid book: the year is missing.
-            elem("book", vec![elem("title", vec![]), elem("author", vec![])]),
         ],
     );
+    validate(&schema, "well-formed bibliography", &good);
 
-    let mut errors = Vec::new();
-    schema.validate(&document, &mut errors);
-    if errors.is_empty() {
-        println!("document is valid");
-    } else {
-        println!("document is INVALID:");
-        for error in &errors {
-            println!("  - {error}");
-        }
+    let bad = elem(
+        "bibliography",
+        vec![
+            // The year is missing.
+            elem("book", vec![leaf("title"), leaf("author")]),
+            // Children out of order.
+            elem(
+                "article",
+                vec![leaf("author"), leaf("title"), leaf("journal")],
+            ),
+            // An element the schema has never heard of.
+            elem("pamphlet", vec![leaf("title")]),
+        ],
+    );
+    validate(&schema, "broken bibliography", &bad);
+
+    // The hash-free hot path: pre-intern tag names once, then stream
+    // symbols. This is what a high-throughput validation service does.
+    let bib = schema.lookup("bibliography").unwrap();
+    let book = schema.lookup("book").unwrap();
+    let title = schema.lookup("title").unwrap();
+    let author = schema.lookup("author").unwrap();
+    let year = schema.lookup("year").unwrap();
+    let mut validator = schema.validator();
+    validator.start_element_symbol(bib);
+    validator.start_element_symbol(book);
+    for sym in [title, author, year] {
+        validator.start_element_symbol(sym);
+        validator.end_element();
     }
-
-    // Sharing one alphabet across several content models of a schema keeps
-    // symbol ids consistent, which matters when the same child sequences are
-    // validated against different models.
-    let mut sigma = Alphabet::new();
-    let book = parse_with_alphabet("(title, author+, publisher?, year)", &mut sigma).unwrap();
-    let article = parse_with_alphabet("(title, author+, journal, year?)", &mut sigma).unwrap();
-    let book = DeterministicRegex::from_regex(book, sigma.clone()).unwrap();
-    let article = DeterministicRegex::from_regex(article, sigma).unwrap();
-    let children = ["title", "author", "journal"];
+    validator.end_element();
+    validator.end_element();
     println!(
-        "\n[{}] as <book>: {}, as <article>: {}",
-        children.join(", "),
-        book.matches(&children),
-        article.matches(&children)
+        "\npre-interned streaming: {}",
+        if validator.finish().is_ok() {
+            "valid"
+        } else {
+            "invalid"
+        }
     );
 }

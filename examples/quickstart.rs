@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use redet::{DeterministicRegex, RegexError};
+use redet::{Code, DeterministicRegex};
 
 fn main() {
     // A DTD-style content model: a title, one or more authors, and an
@@ -50,13 +50,11 @@ fn main() {
         );
     }
 
-    // Non-deterministic content models are rejected with a witness — this is
+    // Non-deterministic content models are rejected with a structured
+    // diagnostic — code, source spans, and the conflict witness. This is
     // exactly the check a schema validator must perform on every content
     // model it loads (and the paper shows it can be done in linear time).
-    match DeterministicRegex::compile("(a* b a + b b)*") {
-        Err(RegexError::NotDeterministic(witness)) => {
-            println!("\n(a*ba + bb)* rejected: {witness}");
-        }
-        other => panic!("expected a determinism error, got {other:?}"),
-    }
+    let diagnostic = DeterministicRegex::compile("(a* b a + b b)*").unwrap_err();
+    assert_eq!(diagnostic.code(), Code::NotDeterministic);
+    println!("\n(a*ba + bb)* rejected: {diagnostic}");
 }

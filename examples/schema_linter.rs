@@ -1,120 +1,119 @@
-//! A content-model linter: reads content models (from the command line or a
-//! built-in corpus), reports whether each is deterministic, and explains
-//! non-determinism with a witness — the diagnostic a schema editor would
-//! surface to its user.
+//! A schema linter: compiles a DTD fragment and reports every problem as a
+//! structured diagnostic — stable error codes, byte spans into the DTD
+//! source, and determinism-conflict witnesses — exactly what a schema
+//! editor would surface to its user.
 //!
-//! Run with `cargo run --example schema_linter` or
-//! `cargo run --example schema_linter -- "(a b + b b? a)*" "a b* b"`.
+//! Run with `cargo run --example schema_linter` for the built-in corpus, or
+//! pass a DTD on the command line:
+//! `cargo run --example schema_linter -- "<!ELEMENT a (b b* b)>"`.
 
-use redet::syntax::printer::to_string;
-use redet::{check_counting_determinism, check_determinism, parse, ExprStats, TreeAnalysis};
+use redet::{Schema, SchemaBuilder};
+
+/// A deterministic schema: every model compiles and gets a strategy.
+const GOOD_DTD: &str = r#"
+    <!ELEMENT catalog (product | bundle)*>
+    <!ELEMENT product (name, sku, price, tag*)>
+    <!ELEMENT bundle (name, product product+, price)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT sku (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT tag (#PCDATA)>
+    <!ELEMENT audit ANY>
+"#;
+
+/// A schema with one of everything a linter should catch: a
+/// non-deterministic model, a duplicate declaration, a parse error, and a
+/// malformed declaration.
+const BAD_DTD: &str = r#"
+    <!ELEMENT doc (section*, appendix?)>
+    <!ELEMENT section (para* para)>
+    <!ELEMENT doc (chapter*)>
+    <!ELEMENT appendix (para,)>
+    <!ELEMENT para NONSENSE>
+"#;
+
+fn underline(source: &str, start: usize, end: usize) -> String {
+    // Render the line containing the span with a caret underline.
+    let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[start..]
+        .find('\n')
+        .map(|i| start + i)
+        .unwrap_or(source.len());
+    let line = &source[line_start..line_end];
+    let pad = " ".repeat(start - line_start);
+    let carets = "^".repeat((end.min(line_end) - start).max(1));
+    format!("    {line}\n    {pad}{carets}")
+}
+
+fn lint(name: &str, dtd: &str) {
+    println!("── linting {name} ──");
+    match SchemaBuilder::new().parse_dtd(dtd).build() {
+        Ok(schema) => report_ok(&schema),
+        Err(diagnostics) => {
+            println!("{} problem(s):", diagnostics.len());
+            for diagnostic in &diagnostics {
+                println!("  {diagnostic}");
+                if let Some(span) = diagnostic.span() {
+                    println!("{}", underline(dtd, span.start, span.end));
+                }
+                if let Some(witness) = diagnostic.witness() {
+                    println!(
+                        "    note: positions #{} and #{} both read '{}' after a \
+                         common prefix ({:?})",
+                        witness.first.index(),
+                        witness.second.index(),
+                        witness.symbol_name,
+                        witness.kind,
+                    );
+                }
+            }
+        }
+    }
+    println!();
+}
+
+fn report_ok(schema: &Schema) {
+    println!(
+        "deterministic: {} element declarations, {} interned names",
+        schema.len(),
+        schema.alphabet().len()
+    );
+    println!(
+        "  {:<12} {:<20} {:>3} {:>5} {:>10} {:>9}",
+        "element", "strategy", "k", "c_e", "star-free", "certified"
+    );
+    for sym in schema.elements() {
+        let name = schema.name(sym);
+        match schema.model(sym) {
+            Some(model) => {
+                let stats = model.stats();
+                println!(
+                    "  {:<12} {:<20} {:>3} {:>5} {:>10} {:>9}",
+                    name,
+                    format!("{:?}", model.strategy()),
+                    stats.max_occurrences,
+                    stats.plus_depth,
+                    stats.star_free,
+                    model.certificate().is_some(),
+                );
+            }
+            None => println!(
+                "  {:<12} {:<20}",
+                name,
+                format!("{:?}", schema.content_kind(sym))
+            ),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let corpus: Vec<String> = if args.is_empty() {
-        BUILTIN_CORPUS.iter().map(|s| s.to_string()).collect()
+    if args.is_empty() {
+        lint("the well-formed catalog DTD", GOOD_DTD);
+        lint("the broken document DTD", BAD_DTD);
     } else {
-        args
-    };
-
-    let mut deterministic = 0usize;
-    for input in &corpus {
-        match lint(input) {
-            Ok(report) => {
-                if report.deterministic {
-                    deterministic += 1;
-                }
-                println!("{report}");
-            }
-            Err(error) => println!("{input}\n  parse error: {error}\n"),
+        for (i, dtd) in args.iter().enumerate() {
+            lint(&format!("argument #{}", i + 1), dtd);
         }
     }
-    println!(
-        "{deterministic}/{} content models are deterministic",
-        corpus.len()
-    );
 }
-
-struct Report {
-    rendered: String,
-    deterministic: bool,
-    verdict: String,
-    stats: ExprStats,
-}
-
-impl std::fmt::Display for Report {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{}", self.rendered)?;
-        writeln!(f, "  {}", self.verdict)?;
-        writeln!(
-            f,
-            "  size {}, σ = {}, k = {}, alternation depth = {}, star-free: {}, counters: {}",
-            self.stats.size,
-            self.stats.distinct_symbols,
-            self.stats.max_occurrences,
-            self.stats.plus_depth,
-            self.stats.star_free,
-            self.stats.counting
-        )
-    }
-}
-
-fn lint(input: &str) -> Result<Report, redet::syntax::ParseError> {
-    let (regex, sigma) = parse(input)?;
-    let stats = ExprStats::of(&regex);
-    let verdict = if stats.counting {
-        check_counting_determinism(&regex).err()
-    } else {
-        let analysis = TreeAnalysis::build(&regex);
-        check_determinism(&analysis).err()
-    };
-    let (deterministic, verdict) = match verdict {
-        None => (
-            true,
-            "deterministic — usable as a DTD/XML Schema content model".to_string(),
-        ),
-        Some(witness) => {
-            let name = sigma.name(witness.symbol);
-            (
-                false,
-                format!(
-                    "NOT deterministic: the {name}-labeled positions #{} and #{} can follow a common \
-                     position ({:?}); a one-pass parser reading '{name}' would not know which branch to take",
-                    witness.first.index(),
-                    witness.second.index(),
-                    witness.kind,
-                ),
-            )
-        }
-    };
-    Ok(Report {
-        rendered: to_string(&regex, &sigma),
-        deterministic,
-        verdict,
-        stats,
-    })
-}
-
-/// A small corpus in the spirit of the families discussed in the paper's
-/// introduction and related-work section.
-const BUILTIN_CORPUS: &[&str] = &[
-    // Deterministic paper examples.
-    "(a b + b b? a)*",
-    "(c?((a b*)(a? c)))*(b a)",
-    "(c (b? a)) a",
-    // Non-deterministic paper examples.
-    "(a* b a + b b)*",
-    "a b* b",
-    "(c (b? a?)) a",
-    // DTD-style models.
-    "(title, author+, (year | date)?)",
-    "(chapter (section (para)* )* )? appendix",
-    "(name, (street | pobox), city, zip, country?)",
-    // Mixed content.
-    "(em + strong + code + a0 + a1 + a2)*",
-    // Counted XML-Schema-style models.
-    "(a b){2,2} a (b + d)",
-    "(a b){1,2} a",
-    "((a{2,3} + b){2}){2} b",
-    "(item{1,10}, total)",
-];

@@ -8,32 +8,68 @@
 //! Glushkov construction) and how to match words against deterministic
 //! expressions with only linear preprocessing.
 //!
-//! # Quick start
+//! # Quick start: schemas and streaming validation
+//!
+//! The production surface is schema-first: compile a whole DTD into one
+//! shared-alphabet [`Schema`] and validate documents event-by-event.
+//!
+//! ```
+//! use redet::SchemaBuilder;
+//!
+//! let schema = SchemaBuilder::new()
+//!     .parse_dtd(
+//!         "<!ELEMENT bibliography (book)*>
+//!          <!ELEMENT book (title, author+, year?)>
+//!          <!ELEMENT title (#PCDATA)>
+//!          <!ELEMENT author (#PCDATA)>",
+//!     )
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut validator = schema.validator();
+//! for event in ["bibliography", "book", "title", "/title", "author", "/author"] {
+//!     match event.strip_prefix('/') {
+//!         Some(_) => validator.end_element(),
+//!         None => validator.start_element(event),
+//!     }
+//! }
+//! validator.end_element(); // </book>
+//! validator.end_element(); // </bibliography>
+//! assert!(validator.finish().is_ok());
+//! ```
+//!
+//! # Single expressions
+//!
+//! One content model at a time, with whole-word matching and incremental
+//! sessions:
 //!
 //! ```
 //! use redet::DeterministicRegex;
 //!
-//! // A DTD-style content model.
 //! let model = DeterministicRegex::compile("(title, author+, (year | date)?)").unwrap();
 //! assert!(model.matches(&["title", "author", "author", "year"]));
 //! assert!(!model.matches(&["title", "year", "date"]));
 //!
-//! // Non-deterministic content models are rejected, with a witness.
-//! let err = DeterministicRegex::compile("(a* b a + b b)*").unwrap_err();
-//! println!("rejected: {err}");
+//! // Non-deterministic content models are rejected with a structured
+//! // diagnostic: code, source spans, conflict witness.
+//! let diag = DeterministicRegex::compile("(a* b a + b b)*").unwrap_err();
+//! assert_eq!(diag.code(), redet::Code::NotDeterministic);
+//! println!("rejected: {diag}");
 //! ```
 //!
 //! # Workspace layout
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`syntax`](redet_syntax) | alphabet, AST, parser, normalizer (restrictions R1–R3) |
-//! | [`tree`](redet_tree) | parse-tree arena, RMQ/LCA, `SupFirst`/`SupLast`, `checkIfFollow` (Thm 2.4) |
-//! | [`structures`](redet_structures) | van Emde Boas sets, lazy arrays, lowest colored ancestor |
-//! | [`automata`](redet_automata) | Glushkov construction, baseline determinism test, DFA/NFA matching |
-//! | [`core`](redet_core) | linear-time determinism test (Thm 3.5), counting extension (§3.3), the four matchers (Thms 4.2/4.3/4.10/4.12) |
+//! | [`syntax`] | alphabet, AST, parser (with source spans), normalizer (restrictions R1–R3) |
+//! | [`tree`] | parse-tree arena, RMQ/LCA, `SupFirst`/`SupLast`, `checkIfFollow` (Thm 2.4) |
+//! | [`structures`] | van Emde Boas sets, lazy arrays, lowest colored ancestor |
+//! | [`automata`] | Glushkov construction, baseline determinism test, DFA/NFA matching, the session API |
+//! | [`core`] | linear-time determinism test (Thm 3.5), counting extension (§3.3), the four matchers (Thms 4.2/4.3/4.10/4.12), diagnostics |
+//! | [`schema`] | `SchemaBuilder`/`Schema` (DTD fragments, shared pipeline) and the event-driven `DocumentValidator` |
 //!
-//! The most convenient entry point is [`DeterministicRegex`]; the individual
+//! The most convenient entry points are [`SchemaBuilder`] for whole schemas
+//! and [`DeterministicRegex`] for single expressions; the individual
 //! algorithms are available through the re-exported crates for benchmarking
 //! and fine-grained control.
 
@@ -42,16 +78,21 @@
 
 pub use redet_automata as automata;
 pub use redet_core as core;
+pub use redet_schema as schema;
 pub use redet_structures as structures;
 pub use redet_syntax as syntax;
 pub use redet_tree as tree;
 
-pub use redet_automata::{GlushkovAutomaton, GlushkovDfaMatcher, Matcher, NfaSimulationMatcher};
-pub use redet_core::{
-    check_counting_determinism, check_determinism, BatchScratch, ColoredAncestorMatcher,
-    CompiledAnalysis, DeterminismCertificate, DeterministicRegex, KOccurrenceMatcher,
-    MatchStrategy, NonDeterminism, PathDecompositionMatcher, Pipeline, PositionMatcher, RegexError,
-    StarFreeMatcher, TransitionSim,
+pub use redet_automata::{
+    GlushkovAutomaton, GlushkovDfaMatcher, Matcher, NfaSimulationMatcher, PosStepper,
+    RejectWitness, Session, Step,
 };
-pub use redet_syntax::{parse, Alphabet, ExprStats, Regex, Symbol};
+pub use redet_core::{
+    check_counting_determinism, check_determinism, BatchScratch, Code, ColoredAncestorMatcher,
+    CompiledAnalysis, ConflictWitness, DeterminismCertificate, DeterministicRegex, Diagnostic,
+    DocLocation, KOccurrenceMatcher, MatchScratch, MatchSession, MatchStrategy, NonDeterminism,
+    PathDecompositionMatcher, Pipeline, PositionMatcher, StarFreeMatcher, TransitionSim,
+};
+pub use redet_schema::{ContentKind, DocumentValidator, Schema, SchemaBuilder};
+pub use redet_syntax::{parse, Alphabet, ExprStats, Regex, Span, Symbol};
 pub use redet_tree::TreeAnalysis;

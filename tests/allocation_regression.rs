@@ -3,17 +3,20 @@
 //! Compile-once/match-many (experiment E10) promises that after warm-up the
 //! hot loops perform **no allocation**: the batch matcher runs on the
 //! reusable [`BatchScratch`] arenas, the single-word transition simulations
-//! carry their state in a `PosId`, and the counted-expression simulation
-//! reuses caller-owned cursor buffers. A counting global allocator enforces
-//! this — any `Vec` growth or hash-map insertion sneaking back into the hot
-//! paths fails the test.
+//! carry their state in a `PosId`, the counted-expression simulation
+//! reuses caller-owned cursor buffers, and the schema-level
+//! [`DocumentValidator`] recycles its frame stack and session scratch pool
+//! across documents. A counting global allocator enforces this — any `Vec`
+//! growth or hash-map insertion sneaking back into the hot paths fails the
+//! test.
 //!
 //! Everything runs inside one `#[test]` so no concurrent test thread can
 //! pollute the counter.
 
 use redet::core::matcher::starfree::BatchScratch;
 use redet::{
-    CompiledAnalysis, KOccurrenceMatcher, Matcher, PositionMatcher, StarFreeMatcher, Symbol,
+    CompiledAnalysis, DocumentValidator, KOccurrenceMatcher, Matcher, PositionMatcher,
+    SchemaBuilder, StarFreeMatcher, Symbol,
 };
 use redet_alloc_counter::{allocations_during, CountingAllocator};
 use redet_automata::{unroll_counting, NfaScratch, NfaSimulationMatcher};
@@ -21,6 +24,17 @@ use redet_workloads as workloads;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Replays a pre-interned event stream (`Some(sym)` = start, `None` = end)
+/// into the validator — the hash-free hot path.
+fn replay(validator: &mut DocumentValidator<'_>, events: &[Option<Symbol>]) {
+    for event in events {
+        match event {
+            Some(sym) => validator.start_element_symbol(*sym),
+            None => validator.end_element(),
+        }
+    }
+}
 
 #[test]
 fn steady_state_match_loops_do_not_allocate() {
@@ -53,7 +67,7 @@ fn steady_state_match_loops_do_not_allocate() {
         "batch star-free matching allocated in steady state"
     );
 
-    // --- Single-word transition simulation (k-occurrence). ---
+    // --- Single-word transition simulation (k-occurrence), session-fed. ---
     let kocc = PositionMatcher::new(KOccurrenceMatcher::from_compiled(&compiled));
     let word = workloads::sample_member_word(&w.regex, 200, 99);
     assert!(kocc.matches(&word));
@@ -75,5 +89,73 @@ fn steady_state_match_loops_do_not_allocate() {
     assert_eq!(
         allocations, 0,
         "NFA simulation allocated despite the reusable scratch"
+    );
+
+    // --- Event-driven document validation over a 20+-element schema. ---
+    let schema = SchemaBuilder::new()
+        .parse_dtd(workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+    assert!(schema.len() >= 20, "acceptance scale: ≥ 20 declarations");
+    let s = |name: &str| schema.lookup(name).expect(name);
+    let (book, front, body, back) = (s("book"), s("front"), s("body"), s("back"));
+    let (title, author, chapter, section) = (s("title"), s("author"), s("chapter"), s("section"));
+    let (para, index, entry, term, locator) =
+        (s("para"), s("index"), s("entry"), s("term"), s("locator"));
+
+    // A deep document: a chapter whose sections nest 120 levels deep
+    // (recursive `section` model), plus a counted element (`entry` uses
+    // `locator{1,4}`, validated by the NFA simulation via the scratch pool).
+    let mut events: Vec<Option<Symbol>> = Vec::new();
+    let open = |events: &mut Vec<Option<Symbol>>, sym: Symbol| events.push(Some(sym));
+    let leaf = |events: &mut Vec<Option<Symbol>>, sym: Symbol| {
+        events.push(Some(sym));
+        events.push(None);
+    };
+    open(&mut events, book);
+    open(&mut events, front);
+    leaf(&mut events, title);
+    leaf(&mut events, author);
+    events.push(None); // </front>
+    open(&mut events, body);
+    open(&mut events, chapter);
+    leaf(&mut events, title);
+    let depth = 120;
+    for _ in 0..depth {
+        open(&mut events, section);
+        leaf(&mut events, title);
+        leaf(&mut events, para);
+    }
+    for _ in 0..depth {
+        events.push(None); // </section>
+    }
+    events.push(None); // </chapter>
+    events.push(None); // </body>
+    open(&mut events, back);
+    open(&mut events, index);
+    open(&mut events, entry);
+    leaf(&mut events, term);
+    leaf(&mut events, locator);
+    leaf(&mut events, locator);
+    events.push(None); // </entry>
+    events.push(None); // </index>
+    events.push(None); // </back>
+    events.push(None); // </book>
+
+    let mut validator = schema.validator();
+    // The first document warms the frame stack and the scratch pool; the
+    // second confirms the warmed state; the third is measured.
+    replay(&mut validator, &events);
+    validator.finish().expect("the deep document is valid");
+    replay(&mut validator, &events);
+    validator.finish().expect("the deep document is valid");
+    let (allocations, ok) = allocations_during(|| {
+        replay(&mut validator, &events);
+        validator.finish().is_ok()
+    });
+    assert!(ok, "sanity: the measured document is valid");
+    assert_eq!(
+        allocations, 0,
+        "document validation allocated in steady state"
     );
 }

@@ -1,0 +1,262 @@
+//! Seeded property suite for the incremental session API: session-fed
+//! matching must equal whole-word matching must equal the Glushkov DFA
+//! baseline, for **every** strategy — including counted expressions and
+//! native `e+` models — and a `Rejected` step at event `i` must be final
+//! (no extension of the rejected prefix is ever accepted).
+
+use redet::{
+    DeterministicRegex, GlushkovDfaMatcher, MatchScratch, MatchStrategy, Matcher,
+    NfaSimulationMatcher, Session, Symbol,
+};
+use redet_workloads as workloads;
+use redet_workloads::rng::StdRng;
+
+const ALL_STRATEGIES: &[MatchStrategy] = &[
+    MatchStrategy::Auto,
+    MatchStrategy::StarFree,
+    MatchStrategy::KOccurrence,
+    MatchStrategy::PathDecomposition,
+    MatchStrategy::ColoredAncestor,
+    MatchStrategy::GlushkovDfa,
+    MatchStrategy::CountedSimulation,
+];
+
+/// A corpus exercising every structural feature: star-free, stars, native
+/// `e+` (DTD plus), and numeric counters.
+const CORPUS: &[&str] = &[
+    "a",
+    "(a + b) (c + d)? e?",
+    "(title, author, (year | date)?)",
+    "(a b + b (b?) a)*",
+    "(c?((a b*)(a? c)))*(b a)",
+    "(a (b + c (d + e)))*",
+    "(a0 + a1 + a2 + a3 + a4)*",
+    "x (a? b)* c",
+    // Native one-or-more.
+    "(a b)+",
+    "(title, author+, (year | date)?)",
+    "(a, b+, c)+, d",
+    "(x, (a b)+, y)+",
+    // Counted models (validated through the unrolled simulation).
+    "(a b){2,2} a (b + d)",
+    "(a b){2,4} c",
+    "(item{1,4}, total)",
+    "a{3} (b + c)",
+];
+
+/// Drives a session over `word`, returning the membership verdict and the
+/// event index of the first rejection, if any.
+fn session_verdict(model: &DeterministicRegex, word: &[Symbol]) -> (bool, Option<usize>) {
+    let mut session = model.start();
+    for &sym in word {
+        if !session.feed(sym).is_advanced() {
+            let witness = session
+                .rejection()
+                .expect("rejected sessions carry a witness");
+            return (false, Some(witness.event));
+        }
+    }
+    (session.accepts(), None)
+}
+
+/// The event at which the language oracle (set-of-positions simulation of
+/// the counting-unrolled expression) dies on `word`, if it does. A dead
+/// oracle at event `i` means *no* word of the language extends `word[..i]`.
+fn oracle_death(oracle: &NfaSimulationMatcher, word: &[Symbol]) -> Option<usize> {
+    let mut session = oracle.session();
+    for &sym in word {
+        if !session.feed(sym).is_advanced() {
+            return Some(session.rejection().unwrap().event);
+        }
+    }
+    None
+}
+
+/// The model's expression with counters unrolled (re-normalized, because
+/// unrolling can reintroduce (R2)/(R3) violations).
+fn unrolled_regex(model: &DeterministicRegex) -> redet::Regex {
+    redet::syntax::normalize(redet::automata::unroll_counting(model.regex()))
+        .expect("unrolled expressions normalize")
+}
+
+/// Builds the language oracle for a compiled model: the set-of-positions
+/// simulation of its (normalized, counting-unrolled) expression.
+fn oracle_for(model: &DeterministicRegex) -> NfaSimulationMatcher {
+    if model.stats().counting {
+        NfaSimulationMatcher::build(&unrolled_regex(model))
+    } else {
+        NfaSimulationMatcher::build(model.regex())
+    }
+}
+
+/// Sample words for a model: members of the language plus uniform noise.
+fn sample_words(model: &DeterministicRegex, seed: u64) -> Vec<Vec<Symbol>> {
+    let sampling_regex = if model.stats().counting {
+        unrolled_regex(model)
+    } else {
+        model.regex().clone()
+    };
+    let mut words = vec![Vec::new()];
+    for s in 0..8u64 {
+        words.push(workloads::sample_member_word(
+            &sampling_regex,
+            3 + (s as usize) * 4,
+            seed ^ (s * 7919),
+        ));
+        words.push(workloads::sample_random_word(
+            model.alphabet(),
+            (s as usize * 3) % 11,
+            seed.wrapping_add(s),
+        ));
+    }
+    words
+}
+
+/// Asserts the full equivalence bundle for one compiled model on one word:
+/// session == whole-word == scratch-reusing whole-word, and agreement with
+/// the reference verdict.
+fn assert_equivalent(
+    model: &DeterministicRegex,
+    oracle: &NfaSimulationMatcher,
+    word: &[Symbol],
+    expected: bool,
+    context: &str,
+) {
+    let (session_result, death) = session_verdict(model, word);
+    assert_eq!(session_result, expected, "session vs reference: {context}");
+    assert_eq!(
+        model.matches_symbols(word),
+        expected,
+        "whole-word vs reference: {context}"
+    );
+    let mut scratch = MatchScratch::new();
+    assert_eq!(
+        model.matches_symbols_with(word, &mut scratch),
+        expected,
+        "scratch-reusing vs reference: {context}"
+    );
+    // Early-reject: the session dies exactly when the language oracle does —
+    // i.e. at the earliest event after which no extension can be accepted.
+    assert_eq!(
+        death,
+        oracle_death(oracle, word),
+        "rejection event vs oracle: {context}"
+    );
+    if let Some(event) = death {
+        // Direct witness of finality: no sampled extension of the rejected
+        // prefix is accepted.
+        let prefix = &word[..event];
+        let symbols: Vec<Symbol> = model.alphabet().symbols().collect();
+        let mut extended = prefix.to_vec();
+        extended.push(word[event]);
+        for &extra in symbols.iter().take(3) {
+            extended.push(extra);
+            assert!(
+                !model.matches_symbols(&extended),
+                "extension of a rejected prefix accepted: {context}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_sessions_agree_across_all_strategies() {
+    for input in CORPUS {
+        let reference = DeterministicRegex::compile(input)
+            .unwrap_or_else(|e| panic!("{input} should compile: {e}"));
+        let oracle = oracle_for(&reference);
+        let words = sample_words(&reference, 0xDEADBEEF);
+        // Reference verdicts: the Glushkov DFA where applicable, otherwise
+        // (counted expressions) the language oracle.
+        let expected: Vec<bool> = match GlushkovDfaMatcher::from_tree(reference.analysis().tree()) {
+            Ok(dfa) if !reference.stats().counting => {
+                words.iter().map(|w| dfa.matches(w)).collect()
+            }
+            _ => words.iter().map(|w| oracle.matches(w)).collect(),
+        };
+        for &strategy in ALL_STRATEGIES {
+            let Ok(model) = reference.with_strategy(strategy) else {
+                continue; // strategy not applicable to this expression
+            };
+            for (word, &want) in words.iter().zip(&expected) {
+                assert_equivalent(
+                    &model,
+                    &oracle,
+                    word,
+                    want,
+                    &format!("{input} [{strategy:?}] {word:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_random_expressions_stream_like_they_match() {
+    let mut rng = StdRng::seed_from_u64(0x5E5510);
+    let mut checked = 0usize;
+    let mut case = 0u64;
+    while checked < 192 {
+        case += 1;
+        let positions = 1 + (rng.next_u64() as usize) % 12;
+        let sigma = 1 + (rng.next_u64() as usize) % 3;
+        let seed = rng.next_u64();
+        let workload = workloads::random_expression(positions, sigma, seed);
+        // Only deterministic expressions compile; that is the property's
+        // precondition.
+        let printed = redet::syntax::printer::to_string(&workload.regex, &workload.alphabet);
+        let Ok(reference) = DeterministicRegex::compile(&printed) else {
+            continue;
+        };
+        checked += 1;
+        let oracle = oracle_for(&reference);
+        let words = sample_words(&reference, seed);
+        let expected: Vec<bool> = words.iter().map(|w| oracle.matches(w)).collect();
+        for &strategy in ALL_STRATEGIES {
+            let Ok(model) = reference.with_strategy(strategy) else {
+                continue;
+            };
+            for (word, &want) in words.iter().zip(&expected) {
+                assert_equivalent(
+                    &model,
+                    &oracle,
+                    word,
+                    want,
+                    &format!("case {case} ({printed}) [{strategy:?}] {word:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schema_sized_dtd_streams_equivalently() {
+    // The acceptance-scale schema: a DTD with 20+ element declarations
+    // compiles into one Arc<Schema>, and for every element the streaming
+    // session verdicts equal whole-word matching on sampled child words.
+    let schema = redet::SchemaBuilder::new()
+        .parse_dtd(workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+    assert!(
+        schema.len() >= 20,
+        "schema has {} declarations",
+        schema.len()
+    );
+    for sym in schema.elements() {
+        let Some(model) = schema.model(sym) else {
+            continue;
+        };
+        let oracle = oracle_for(model);
+        for word in sample_words(model, 0xB00C ^ sym.index() as u64) {
+            let want = oracle.matches(&word);
+            assert_equivalent(
+                model,
+                &oracle,
+                &word,
+                want,
+                &format!("<{}> {word:?}", schema.name(sym)),
+            );
+        }
+    }
+}
