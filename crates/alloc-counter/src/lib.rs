@@ -19,32 +19,48 @@
 //! to [`System`] plus an atomic counter bump.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+std::thread_local! {
+    // Const-initialized and `Drop`-free, so no lazy initializer or TLS
+    // destructor runs inside the allocator; `try_with` covers the
+    // thread-teardown window where the slot is gone.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
 /// A `GlobalAlloc` that counts allocation events (alloc, alloc_zeroed,
-/// realloc) and otherwise behaves exactly like [`System`].
+/// realloc) — globally and per thread — and otherwise behaves exactly like
+/// [`System`].
 pub struct CountingAllocator;
 
 // SAFETY: every method delegates directly to the system allocator with the
 // caller's layout/pointer arguments; the only extra behaviour is a relaxed
-// atomic increment, which cannot violate any allocator invariant.
+// atomic increment plus a `Drop`-free const-initialized thread-local bump,
+// which cannot violate any allocator invariant.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: same contract as the caller's.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: same contract as the caller's.
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: same contract as the caller's.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -55,16 +71,34 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 }
 
-/// Number of allocation events since process start.
+/// Number of allocation events since process start, across all threads.
 pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Number of allocation events performed by the *calling thread* since it
+/// started.
+pub fn thread_allocation_count() -> u64 {
+    THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
 /// Runs `f` and returns how many allocation events it performed, together
 /// with its result. Only meaningful when [`CountingAllocator`] is installed
-/// as the global allocator and no other threads allocate concurrently.
+/// as the global allocator and no other threads allocate concurrently. For
+/// multi-threaded tests, use [`thread_allocations_during`] on each worker
+/// thread instead.
 pub fn allocations_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
     let before = allocation_count();
     let value = f();
     (allocation_count() - before, value)
+}
+
+/// Runs `f` and returns how many allocation events the **calling thread**
+/// performed during it, together with its result. Immune to concurrent
+/// allocation on other threads — this is what per-worker steady-state
+/// assertions in parallel tests should use.
+pub fn thread_allocations_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = thread_allocation_count();
+    let value = f();
+    (thread_allocation_count() - before, value)
 }

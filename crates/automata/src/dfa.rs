@@ -70,14 +70,17 @@ impl GlushkovDfaMatcher {
 }
 
 impl PosStepper for GlushkovDfaMatcher {
+    #[inline]
     fn begin(&self) -> PosId {
         PosId::from_index(0)
     }
 
+    #[inline]
     fn advance(&self, p: PosId, symbol: Symbol) -> Option<PosId> {
         self.transitions[p.index()].get(&symbol).copied()
     }
 
+    #[inline]
     fn can_end(&self, p: PosId) -> bool {
         self.accepting[p.index()]
     }

@@ -172,6 +172,7 @@ impl<'m, M: PosStepper + ?Sized> PosSession<'m, M> {
 impl<'m, M: PosStepper + ?Sized> Session for PosSession<'m, M> {
     type Scratch = ();
 
+    #[inline]
     fn feed(&mut self, symbol: Symbol) -> Step {
         if let Some(w) = self.rejected {
             return Step::Rejected(w);
@@ -193,6 +194,7 @@ impl<'m, M: PosStepper + ?Sized> Session for PosSession<'m, M> {
         }
     }
 
+    #[inline]
     fn accepts(&self) -> bool {
         self.rejected.is_none() && self.matcher.can_end(self.pos)
     }

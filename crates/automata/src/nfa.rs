@@ -58,6 +58,49 @@ impl NfaSimulationMatcher {
     pub fn automaton(&self) -> &GlushkovAutomaton {
         &self.automaton
     }
+
+    /// Resets `state` to the automaton's start configuration (the phantom
+    /// `#` position). Together with [`Self::step`] and
+    /// [`Self::state_accepts`] this is the *owned-state* stepping interface:
+    /// the caller keeps the position sets (e.g. in a validator frame) and
+    /// the matcher is looked up per step — no borrow ties the state to the
+    /// matcher, which is what an `Arc`-owning document validator needs.
+    pub fn reset(&self, state: &mut NfaScratch) {
+        state.current.clear();
+        state.next.clear();
+        state.current.push(self.automaton.begin());
+    }
+
+    /// Advances the owned position set by one symbol. Returns `false` when
+    /// no position survives — the word read so far (plus `symbol`) is not a
+    /// prefix of any member word, and the state is left unchanged so the
+    /// caller decides how to report it.
+    #[inline]
+    pub fn step(&self, state: &mut NfaScratch, symbol: Symbol) -> bool {
+        let automaton = &self.automaton;
+        state.next.clear();
+        for &p in &state.current {
+            for &q in automaton.follow(p) {
+                if automaton.symbol(q) == Some(symbol) {
+                    state.next.push(q);
+                }
+            }
+        }
+        state.next.sort_unstable();
+        state.next.dedup();
+        if state.next.is_empty() {
+            return false;
+        }
+        std::mem::swap(&mut state.current, &mut state.next);
+        true
+    }
+
+    /// Whether the owned position set contains an accepting position
+    /// (`$ ∈ Follow(p)` for some live `p`).
+    #[inline]
+    pub fn state_accepts(&self, state: &NfaScratch) -> bool {
+        state.current.iter().any(|&p| self.automaton.can_end(p))
+    }
 }
 
 /// An incremental session over the set-of-positions simulation. Owns its
@@ -78,18 +121,7 @@ impl Session for NfaSession<'_> {
         if let Some(w) = self.rejected {
             return Step::Rejected(w);
         }
-        let automaton = &self.matcher.automaton;
-        self.scratch.next.clear();
-        for &p in &self.scratch.current {
-            for &q in automaton.follow(p) {
-                if automaton.symbol(q) == Some(symbol) {
-                    self.scratch.next.push(q);
-                }
-            }
-        }
-        self.scratch.next.sort_unstable();
-        self.scratch.next.dedup();
-        if self.scratch.next.is_empty() {
+        if !self.matcher.step(&mut self.scratch, symbol) {
             let w = RejectWitness {
                 event: self.events,
                 symbol,
@@ -97,18 +129,12 @@ impl Session for NfaSession<'_> {
             self.rejected = Some(w);
             return Step::Rejected(w);
         }
-        std::mem::swap(&mut self.scratch.current, &mut self.scratch.next);
         self.events += 1;
         Step::Advanced
     }
 
     fn accepts(&self) -> bool {
-        self.rejected.is_none()
-            && self
-                .scratch
-                .current
-                .iter()
-                .any(|&p| self.matcher.automaton.can_end(p))
+        self.rejected.is_none() && self.matcher.state_accepts(&self.scratch)
     }
 
     fn events(&self) -> usize {
@@ -129,8 +155,7 @@ impl Matcher for NfaSimulationMatcher {
     type Session<'m> = NfaSession<'m>;
 
     fn start(&self, mut scratch: NfaScratch) -> NfaSession<'_> {
-        scratch.current.clear();
-        scratch.current.push(self.automaton.begin());
+        self.reset(&mut scratch);
         NfaSession {
             matcher: self,
             scratch,

@@ -222,13 +222,7 @@ fn bench_document_validation(h: &mut Harness) {
         h.bench("schema_validator", n, || {
             let mut valid = 0usize;
             for events in &documents {
-                for event in events {
-                    match event {
-                        Some(sym) => validator.start_element_symbol(*sym),
-                        None => validator.end_element(),
-                    }
-                }
-                if validator.finish().is_ok() {
+                if validator.validate_events(events).is_ok() {
                     valid += 1;
                 }
             }
@@ -243,7 +237,7 @@ fn bench_document_validation(h: &mut Harness) {
                 stack.clear();
                 for event in events {
                     match event {
-                        Some(sym) => {
+                        redet_bench::DocEvent::Open(sym) => {
                             if let Some((parent_sym, state, alive)) = stack.last_mut() {
                                 if *alive {
                                     if let Some(dfa) = &dfas[*parent_sym] {
@@ -260,7 +254,7 @@ fn bench_document_validation(h: &mut Harness) {
                             let start = dfas[sym.index()].as_ref().map(|dfa| dfa.begin());
                             stack.push((sym.index(), start, true));
                         }
-                        None => {
+                        redet_bench::DocEvent::Close => {
                             if let Some((sym, state, alive)) = stack.pop() {
                                 if alive {
                                     if let (Some(dfa), Some(p)) = (&dfas[sym], state) {
@@ -282,6 +276,60 @@ fn bench_document_validation(h: &mut Harness) {
     }
 }
 
+/// E12: sharded batch validation — N documents fanned across M worker
+/// validators sharing one `Arc<Schema>` (`ValidatorPool` over
+/// `std::thread::scope`), swept over the worker count, against the
+/// single-threaded validator loop on the same corpus (the `single_thread`
+/// reference series the regression gate ratios against).
+fn bench_batch_validation(h: &mut Harness) {
+    use redet_bench::book_document_events;
+    use redet_schema::{SchemaBuilder, ValidatorPool};
+
+    h.group("E12_batch_validation");
+    let schema = SchemaBuilder::new()
+        .parse_dtd(redet_workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+    // Scoped threads are spawned per batch (tens of microseconds each), so
+    // the corpus must be large enough for the sharded work to dominate —
+    // the regime the pool is for.
+    let (n_docs, chapters) = if h.is_fast() { (24, 2) } else { (256, 8) };
+    let documents: Vec<Vec<redet_bench::DocEvent>> = (0..n_docs)
+        .map(|i| book_document_events(&schema, chapters, 0xE12 ^ i as u64))
+        .collect();
+    let total_events: usize = documents.iter().map(Vec::len).sum();
+    h.throughput(total_events as u64);
+
+    let mut single = schema.validator();
+    // Sweep worker counts up to the hardware's parallelism — measuring
+    // 8 workers on a single-core container would only record scheduler
+    // noise. The regression gate's scaling cap applies whenever a
+    // multi-worker point was measured.
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_workers = if h.is_fast() { 2 } else { 8 };
+    for workers in [1usize, 2, 4, 8] {
+        if workers > max_workers || (workers > 1 && workers > parallelism) {
+            continue;
+        }
+        // The reference series, re-measured at each parameter so the gate
+        // can ratio `sharded_pool` against same-run hardware.
+        h.bench("single_thread", workers, || {
+            documents
+                .iter()
+                .filter(|d| single.validate_events(d).is_ok())
+                .count()
+        });
+        let mut pool = ValidatorPool::new(schema.clone(), workers);
+        pool.validate_batch(&documents); // warm the workers
+        h.bench("sharded_pool", workers, || {
+            pool.validate_batch(&documents)
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -291,5 +339,6 @@ fn main() {
     bench_star_free(&mut h);
     bench_compile_once_match_many(&mut h);
     bench_document_validation(&mut h);
+    bench_batch_validation(&mut h);
     h.finish("matching");
 }

@@ -3,31 +3,52 @@
 //! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
 //!
 //! Compares a fresh `BENCH_matching.json` against the committed baseline for
-//! the gated experiment groups (E4, E5, E7, E11) and exits non-zero when any
-//! algorithm regresses by more than 25%.
+//! the gated experiment groups (E4, E5, E7, E11, E12) and exits non-zero
+//! when any algorithm regresses by more than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
 //! gate works on **within-group ratios**: for every `(group, param)` pair it
-//! relates each algorithm series to the group's DFA baseline series measured
-//! in the same run (`kocc` vs `glushkov_dfa`, `path_decomposition` vs
-//! `glushkov_dfa`, `batch_single_traversal` vs `word_by_word_dfa`). A
-//! regression means the fresh ratio exceeds the committed ratio by more than
-//! the threshold — i.e. the algorithm got slower *relative to the same
-//! hardware's baseline*.
+//! relates each algorithm series to the group's reference series measured
+//! in the same run (`kocc` vs `glushkov_dfa`, `schema_validator` vs
+//! `dfa_per_element`, `sharded_pool` vs `single_thread`). A regression means
+//! the fresh ratio exceeds the committed ratio by more than the threshold —
+//! i.e. the algorithm got slower *relative to the same hardware's
+//! baseline*.
+//!
+//! Two groups additionally carry an **absolute** cap, independent of the
+//! committed file: the E11 validator must stay within [`E11_MAX_RATIO`]× of
+//! the raw DFA-per-element stack (the paper's promise is DFA-like speed
+//! with `O(|e|)` preprocessing), and the E12 sharded pool must beat the
+//! single-threaded loop at its widest sweep point (batch validation must
+//! actually scale).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Groups gated by CI and the substring identifying their reference series.
-const GATED_GROUPS: &[&str] = &[
-    "E4_k_occurrence_matching",
-    "E5_path_decomposition_matching",
-    "E7_star_free_multiword",
-    "E11_document_validation",
+/// Groups gated by CI, each with the substring identifying its in-group
+/// reference series.
+const GATED_GROUPS: &[(&str, &str)] = &[
+    ("E4_k_occurrence_matching", "dfa"),
+    ("E5_path_decomposition_matching", "dfa"),
+    ("E7_star_free_multiword", "dfa"),
+    ("E11_document_validation", "dfa"),
+    ("E12_batch_validation", "single_thread"),
 ];
 
 /// Allowed relative slowdown before the gate fails.
 const THRESHOLD: f64 = 1.25;
+
+/// Absolute cap on `schema_validator / dfa_per_element` (E11): the
+/// validator adds schema semantics (counted models, diagnostics, recycled
+/// frames) but must stay in the DFA's ballpark.
+const E11_MAX_RATIO: f64 = 2.0;
+
+/// The E12 `sharded_pool / single_thread` ratio at the largest measured
+/// worker count must clear this bar — more workers must actually help,
+/// with headroom below break-even so scheduler noise on a shared runner
+/// cannot flip the verdict (real scaling on the full corpus sits well
+/// under this).
+const E12_MAX_SCALED_RATIO: f64 = 0.85;
 
 #[derive(Clone, Debug)]
 struct Entry {
@@ -72,19 +93,30 @@ fn parse_report(path: &str) -> Vec<Entry> {
         .collect()
 }
 
+/// The reference-series substring of a gated group, if the group is gated.
+fn reference_marker(group: &str) -> Option<&'static str> {
+    GATED_GROUPS
+        .iter()
+        .find(|(g, _)| *g == group)
+        .map(|(_, marker)| *marker)
+}
+
 /// Within-group ratios `algorithm / reference` keyed by
-/// `(group, param, name)`; the reference series is the one whose name
-/// contains `dfa`.
+/// `(group, param, name)`; each group names its own reference series (see
+/// [`GATED_GROUPS`]).
 fn ratios(entries: &[Entry]) -> BTreeMap<(String, String, String), f64> {
     let mut reference: BTreeMap<(String, String), f64> = BTreeMap::new();
     for e in entries {
-        if GATED_GROUPS.contains(&e.group.as_str()) && e.name.contains("dfa") {
+        if reference_marker(&e.group).is_some_and(|m| e.name.contains(m)) {
             reference.insert((e.group.clone(), e.param.clone()), e.ns_per_iter);
         }
     }
     let mut out = BTreeMap::new();
     for e in entries {
-        if !GATED_GROUPS.contains(&e.group.as_str()) || e.name.contains("dfa") {
+        let Some(marker) = reference_marker(&e.group) else {
+            continue;
+        };
+        if e.name.contains(marker) {
             continue;
         }
         if let Some(&base) = reference.get(&(e.group.clone(), e.param.clone())) {
@@ -97,6 +129,41 @@ fn ratios(entries: &[Entry]) -> BTreeMap<(String, String, String), f64> {
         }
     }
     out
+}
+
+/// Absolute-cap checks on the fresh ratios (see the module docs): E11 must
+/// stay within [`E11_MAX_RATIO`]× of the raw DFA stack, and E12 must beat
+/// single-threaded validation at the largest worker count. Returns the
+/// number of violations.
+fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
+    let mut violations = 0usize;
+    for ((group, param, name), &ratio) in fresh {
+        if group == "E11_document_validation" && ratio > E11_MAX_RATIO {
+            eprintln!(
+                "E11 cap: {name} (param {param}) is {ratio:.2}x the DFA-per-element \
+                 baseline (cap {E11_MAX_RATIO}x)"
+            );
+            violations += 1;
+        }
+    }
+    // E12: the widest sweep point is the numerically largest param. The
+    // bench only sweeps past one worker when the machine has the
+    // parallelism, so a single-point sweep (single-core runner) leaves the
+    // scaling cap unexercised rather than failing vacuously.
+    let widest = fresh
+        .iter()
+        .filter(|((group, _, _), _)| group == "E12_batch_validation")
+        .max_by_key(|((_, param, _), _)| param.parse::<u64>().unwrap_or(0));
+    if let Some(((_, param, name), &ratio)) = widest {
+        if param.parse::<u64>().unwrap_or(0) >= 2 && ratio > E12_MAX_SCALED_RATIO {
+            eprintln!(
+                "E12 cap: {name} with {param} workers is {ratio:.2}x the single-threaded \
+                 loop — batch validation is not scaling"
+            );
+            violations += 1;
+        }
+    }
+    violations
 }
 
 fn main() -> ExitCode {
@@ -153,15 +220,22 @@ fn main() -> ExitCode {
         eprintln!("no comparable series between {baseline_path} and {fresh_path}");
         return ExitCode::from(2);
     }
-    if regressions > 0 {
-        eprintln!(
-            "{regressions} series regressed more than {:.0}% relative to the in-group DFA baseline",
-            (THRESHOLD - 1.0) * 100.0
-        );
+    let capped = absolute_caps(&fresh);
+    if regressions > 0 || capped > 0 {
+        if regressions > 0 {
+            eprintln!(
+                "{regressions} series regressed more than {:.0}% relative to the in-group \
+                 reference baseline",
+                (THRESHOLD - 1.0) * 100.0
+            );
+        }
+        if capped > 0 {
+            eprintln!("{capped} absolute cap(s) violated (E11 ratio / E12 scaling)");
+        }
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7/E11 regressions beyond {:.0}%",
+        "no E4/E5/E7/E11/E12 regressions beyond {:.0}%; absolute caps hold",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

@@ -84,10 +84,9 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
-/// One document event: `Some(sym)` opens an element, `None` closes the
-/// innermost open element — the pre-interned form the validation hot loop
-/// consumes.
-pub type DocEvent = Option<redet_syntax::Symbol>;
+/// One pre-interned document event, re-exported from `redet-schema` — the
+/// form the validation hot loop and the batch API consume.
+pub use redet_schema::DocEvent;
 
 /// Generates a random, **schema-valid** document against
 /// [`redet_workloads::BOOK_DTD`] as a pre-interned event stream: a book
@@ -129,10 +128,10 @@ pub fn book_document_events(
 
     let mut events: Vec<DocEvent> = Vec::new();
     fn open(events: &mut Vec<DocEvent>, sym: redet_syntax::Symbol) {
-        events.push(Some(sym));
+        events.push(DocEvent::Open(sym));
     }
     fn close(events: &mut Vec<DocEvent>) {
-        events.push(None);
+        events.push(DocEvent::Close);
     }
     fn leaf(events: &mut Vec<DocEvent>, sym: redet_syntax::Symbol) {
         open(events, sym);
@@ -323,13 +322,7 @@ mod tests {
         for seed in 0..5u64 {
             let events = book_document_events(&schema, 3, seed);
             assert!(events.len() > 50, "seed {seed}: document too small");
-            for event in &events {
-                match event {
-                    Some(sym) => validator.start_element_symbol(*sym),
-                    None => validator.end_element(),
-                }
-            }
-            if let Err(diags) = validator.finish() {
+            if let Err(diags) = validator.validate_events(&events) {
                 panic!("seed {seed}: generated document invalid: {diags:?}");
             }
         }

@@ -37,16 +37,16 @@
 use crate::diagnostics::{Code, Diagnostic};
 use crate::matcher::colored::ColoredAncestorMatcher;
 use crate::matcher::kocc::KOccurrenceMatcher;
-use crate::matcher::pathdecomp::PathDecompositionMatcher;
+use crate::matcher::pathdecomp::{PathDecompositionError, PathDecompositionMatcher};
 use crate::matcher::starfree::StarFreeMatcher;
 use crate::matcher::PositionMatcher;
 use crate::pipeline::CompiledAnalysis;
 use redet_automata::{
     GlushkovDfaMatcher, Matcher, NfaScratch, NfaSession, NfaSimulationMatcher, PosSession,
-    RejectWitness, Session, Step,
+    PosStepper, RejectWitness, Session, Step,
 };
 use redet_syntax::{Alphabet, ExprStats, Regex, Symbol};
-use redet_tree::TreeAnalysis;
+use redet_tree::{PosId, TreeAnalysis};
 use std::fmt;
 use std::sync::Arc;
 
@@ -325,6 +325,35 @@ impl DeterministicRegex {
         )
     }
 
+    /// Maps a path-decomposition construction failure to a diagnostic that
+    /// says *why* the strategy is out of scope instead of echoing a generic
+    /// preprocessing failure. Lemmas 4.5–4.9 are stated for the `∗`-only
+    /// grammar of Section 2, where every iterating node is nullable, so a
+    /// native `e+` (non-nullable iterator) must be named explicitly.
+    fn pathdecomp_not_applicable(
+        compiled: &CompiledAnalysis,
+        err: PathDecompositionError,
+    ) -> Diagnostic {
+        match err {
+            PathDecompositionError::CountingNotSupported if compiled.stats().has_plus => {
+                Self::not_applicable(
+                    "the path decomposition (Theorem 4.10) is proven for the `∗`-only \
+                     grammar, where every iterating node is nullable; this expression \
+                     contains the non-nullable iterator `e+` — use the k-occurrence or \
+                     colored-ancestor matcher (automatic selection routes `e+` models \
+                     there)",
+                )
+            }
+            PathDecompositionError::CountingNotSupported => Self::not_applicable(
+                "numeric occurrence indicators must be unrolled before path-decomposition \
+                 matching",
+            ),
+            PathDecompositionError::Collision { .. } => {
+                Self::not_applicable("path decomposition preprocessing failed")
+            }
+        }
+    }
+
     fn build_matcher(
         compiled: &Arc<CompiledAnalysis>,
         strategy: MatchStrategy,
@@ -339,11 +368,12 @@ impl DeterministicRegex {
             MatchStrategy::KOccurrence => MatcherImpl::KOccurrence(PositionMatcher::new(
                 KOccurrenceMatcher::from_compiled(compiled),
             )),
-            MatchStrategy::PathDecomposition => MatcherImpl::PathDecomposition(
-                PositionMatcher::new(PathDecompositionMatcher::from_compiled(compiled).map_err(
-                    |_| Self::not_applicable("path decomposition preprocessing failed"),
-                )?),
-            ),
+            MatchStrategy::PathDecomposition => {
+                MatcherImpl::PathDecomposition(PositionMatcher::new(
+                    PathDecompositionMatcher::from_compiled(compiled)
+                        .map_err(|err| Self::pathdecomp_not_applicable(compiled, err))?,
+                ))
+            }
             MatchStrategy::ColoredAncestor => MatcherImpl::ColoredAncestor(PositionMatcher::new(
                 ColoredAncestorMatcher::from_compiled(compiled).map_err(|_| {
                     Self::not_applicable(
@@ -405,6 +435,75 @@ impl DeterministicRegex {
     /// runs — regardless of the strategy requested at compile time.
     pub fn strategy(&self) -> MatchStrategy {
         self.strategy
+    }
+
+    /// The state of the position machine before any symbol has been read
+    /// (the phantom `#`), or `None` for counted expressions, whose per-word
+    /// state is a position *set* (see [`Self::counted_matcher`]).
+    ///
+    /// Together with [`Self::pos_advance`] and [`Self::pos_can_end`] this is
+    /// the **flat stepping interface**: the caller keeps the `PosId` and the
+    /// per-symbol step is a single enum dispatch straight into the
+    /// strategy's `find_next` — no session object, no scratch hand-off, no
+    /// sticky-rejection bookkeeping. It exists for hot loops that manage
+    /// many concurrent cursors themselves (the schema validator holds one
+    /// per open element); everyone else should use [`Self::start`].
+    #[inline]
+    #[must_use]
+    pub fn pos_begin(&self) -> Option<PosId> {
+        match &self.matcher {
+            MatcherImpl::StarFree(m) => Some(m.begin()),
+            MatcherImpl::KOccurrence(m) => Some(m.begin()),
+            MatcherImpl::PathDecomposition(m) => Some(m.begin()),
+            MatcherImpl::ColoredAncestor(m) => Some(m.begin()),
+            MatcherImpl::GlushkovDfa(m) => Some(m.begin()),
+            MatcherImpl::CountedNfa(_) => None,
+        }
+    }
+
+    /// The unique `symbol`-labeled position following `p`, or `None` if the
+    /// symbol cannot be read at this point (by determinism, no extension of
+    /// the word read so far is in the language). For counted expressions —
+    /// which have no single-position machine — this is always `None`; feed
+    /// the [`Self::counted_matcher`] instead.
+    #[inline]
+    pub fn pos_advance(&self, p: PosId, symbol: Symbol) -> Option<PosId> {
+        match &self.matcher {
+            MatcherImpl::StarFree(m) => m.advance(p, symbol),
+            MatcherImpl::KOccurrence(m) => m.advance(p, symbol),
+            MatcherImpl::PathDecomposition(m) => m.advance(p, symbol),
+            MatcherImpl::ColoredAncestor(m) => m.advance(p, symbol),
+            MatcherImpl::GlushkovDfa(m) => m.advance(p, symbol),
+            MatcherImpl::CountedNfa(_) => None,
+        }
+    }
+
+    /// Whether a word may end at position `p` (`$ ∈ Follow(p)`). `false`
+    /// for counted expressions (see [`Self::pos_advance`]).
+    #[inline]
+    pub fn pos_can_end(&self, p: PosId) -> bool {
+        match &self.matcher {
+            MatcherImpl::StarFree(m) => m.can_end(p),
+            MatcherImpl::KOccurrence(m) => m.can_end(p),
+            MatcherImpl::PathDecomposition(m) => m.can_end(p),
+            MatcherImpl::ColoredAncestor(m) => m.can_end(p),
+            MatcherImpl::GlushkovDfa(m) => m.can_end(p),
+            MatcherImpl::CountedNfa(_) => false,
+        }
+    }
+
+    /// The cached unrolled simulation backing a counted expression
+    /// ([`MatchStrategy::CountedSimulation`]), exposing the owned-state
+    /// stepping interface ([`NfaSimulationMatcher::reset`] /
+    /// [`NfaSimulationMatcher::step`]); `None` for counting-free
+    /// expressions, whose state is a single [`PosId`] (see
+    /// [`Self::pos_begin`]).
+    #[must_use]
+    pub fn counted_matcher(&self) -> Option<&NfaSimulationMatcher> {
+        match &self.matcher {
+            MatcherImpl::CountedNfa(m) => Some(m),
+            _ => None,
+        }
     }
 
     /// Opens an incremental matching session with a fresh scratch.
@@ -667,6 +766,53 @@ mod tests {
                 .code(),
             Code::StrategyNotApplicable
         );
+    }
+
+    #[test]
+    fn flat_stepping_interface_agrees_with_sessions() {
+        let model = DeterministicRegex::compile("(c?((a b*)(a? c)))*(b a)").unwrap();
+        let sigma = model.alphabet();
+        let word: Vec<Symbol> = ["c", "a", "c", "b", "a"]
+            .iter()
+            .map(|n| sigma.lookup(n).unwrap())
+            .collect();
+        let mut pos = model.pos_begin().expect("counting-free");
+        let mut session = model.start();
+        for &sym in &word {
+            assert_eq!(model.pos_can_end(pos), session.accepts());
+            pos = model.pos_advance(pos, sym).expect("member word");
+            assert!(session.feed(sym).is_advanced());
+        }
+        assert!(model.pos_can_end(pos));
+        assert!(session.accepts());
+        // A symbol with no continuation: the flat interface returns None
+        // where the session rejects.
+        let c = sigma.lookup("c").unwrap();
+        assert_eq!(model.pos_advance(pos, c), None);
+        assert!(!session.feed(c).is_advanced());
+        assert!(model.counted_matcher().is_none());
+
+        // Counted expressions have no position machine; the owned-state
+        // simulation is exposed instead.
+        let counted = DeterministicRegex::compile("(a b){2,3} c").unwrap();
+        assert!(counted.pos_begin().is_none());
+        let nfa = counted.counted_matcher().expect("counted simulation");
+        let sigma = counted.alphabet();
+        let (a, b, c) = (
+            sigma.lookup("a").unwrap(),
+            sigma.lookup("b").unwrap(),
+            sigma.lookup("c").unwrap(),
+        );
+        let mut state = NfaScratch::new();
+        nfa.reset(&mut state);
+        for sym in [a, b, a, b, c] {
+            assert!(nfa.step(&mut state, sym), "member word");
+        }
+        assert!(nfa.state_accepts(&state));
+        // One more `c` kills the state: step reports it and leaves the set
+        // untouched.
+        assert!(!nfa.step(&mut state, c));
+        assert!(nfa.state_accepts(&state), "state unchanged after rejection");
     }
 
     #[test]

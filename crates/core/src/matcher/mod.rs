@@ -75,14 +75,17 @@ impl<T: TransitionSim> PositionMatcher<T> {
 }
 
 impl<T: TransitionSim> PosStepper for PositionMatcher<T> {
+    #[inline]
     fn begin(&self) -> PosId {
         self.sim.analysis().tree().begin_pos()
     }
 
+    #[inline]
     fn advance(&self, p: PosId, symbol: Symbol) -> Option<PosId> {
         self.sim.find_next(p, symbol)
     }
 
+    #[inline]
     fn can_end(&self, p: PosId) -> bool {
         self.sim.analysis().can_end_at(p)
     }

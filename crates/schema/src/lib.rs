@@ -13,12 +13,16 @@
 //!   interned exactly once and all models agree on dense symbol ids;
 //! * [`Schema`] is the immutable compile-once artifact (`Send + Sync`,
 //!   hand it around in an [`Arc`]): per-element matchers with automatically
-//!   selected strategies and determinism certificates;
+//!   selected strategies, determinism certificates, and a flat per-symbol
+//!   dispatch table feeding the validation hot path;
 //! * [`DocumentValidator`] validates a nested document in one pass from
-//!   `start_element`/`end_element` events, holding a stack of live matcher
-//!   sessions — allocation-free in steady state thanks to a recycled
-//!   scratch pool, and hash-free when elements are pre-interned to
-//!   [`Symbol`]s via [`Schema::lookup`].
+//!   `start_element`/`end_element` events, holding a stack of plain-data
+//!   cursor frames — allocation-free in steady state, hash-free when
+//!   elements are pre-interned to [`Symbol`]s via [`Schema::lookup`], and
+//!   `Send` (it owns its schema `Arc`);
+//! * [`ValidatorPool`] / [`Schema::validate_batch`] shard a batch of
+//!   documents across warmed worker validators on scoped threads, with
+//!   results (and diagnostics) identical to single-threaded validation.
 //!
 //! Failures — at build time and at validation time — surface as structured
 //! [`Diagnostic`]s with stable codes, byte spans into the DTD source, and
@@ -52,13 +56,16 @@
 #![warn(missing_docs)]
 
 mod dtd;
+mod pool;
 mod validator;
 
-pub use validator::DocumentValidator;
+pub use pool::ValidatorPool;
+pub use validator::{DocEvent, DocumentValidator};
 
 use crate::dtd::{parse_dtd_fragment, ParsedContent};
 use redet_core::{Code, DeterministicRegex, Diagnostic, MatchStrategy, Pipeline};
 use redet_syntax::{Alphabet, Span, Symbol};
+use redet_tree::PosId;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -94,6 +101,28 @@ impl Content {
     }
 }
 
+/// One entry of the flat per-symbol dispatch table: everything
+/// `DocumentValidator::start_element_symbol` needs to know about a symbol —
+/// the content kind *and* the session starter — in a single indexed load,
+/// replacing the old `content_of` enum walk plus
+/// `Option<&DeterministicRegex>` chasing on every open event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Dispatch {
+    /// Declared with a position-machine content model; the payload is the
+    /// model's start position, so opening the element touches no model
+    /// state at all.
+    Pos(PosId),
+    /// Declared with a counted content model (`e{i,j}`), validated by the
+    /// owned-state set-of-positions simulation.
+    Counted,
+    /// `EMPTY` / `(#PCDATA)`: no element children allowed.
+    Empty,
+    /// `ANY`: children unconstrained.
+    Any,
+    /// Referenced but never declared: `EMPTY` semantics.
+    Undeclared,
+}
+
 /// An immutable compiled schema: every content model compiled through one
 /// shared pipeline, per-element strategies selected automatically,
 /// determinism certificates retained. `Send + Sync` — one `Arc<Schema>` can
@@ -117,6 +146,9 @@ pub struct Schema {
     alphabet: Alphabet,
     /// Dense per-symbol content table (index = `Symbol::index()`).
     content: Vec<Content>,
+    /// Flat per-symbol dispatch table (index = `Symbol::index()`) — the
+    /// validation hot path reads this instead of walking `content`.
+    dispatch: Vec<Dispatch>,
     /// Declared elements in declaration order.
     declared: Vec<Symbol>,
 }
@@ -163,6 +195,26 @@ impl Schema {
         self.content[sym.index()].kind()
     }
 
+    /// The flat dispatch entry of a symbol — the validation hot path.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not handed out by this schema's alphabet.
+    #[inline]
+    pub(crate) fn dispatch(&self, sym: Symbol) -> Dispatch {
+        self.dispatch[sym.index()]
+    }
+
+    /// The content model at a dense symbol index, or `None` when the symbol
+    /// is out of range or carries no model — the validator's safe release
+    /// path for its "model frames have a model" invariant.
+    #[inline]
+    pub(crate) fn model_at(&self, index: u32) -> Option<&DeterministicRegex> {
+        match self.content.get(index as usize) {
+            Some(Content::Model(m)) => Some(m),
+            _ => None,
+        }
+    }
+
     /// The compiled content model of `sym`, when it is declared with one.
     /// Exposes the per-element strategy ([`DeterministicRegex::strategy`]),
     /// certificate, statistics and incremental sessions.
@@ -176,16 +228,27 @@ impl Schema {
         }
     }
 
-    pub(crate) fn content_of(&self, sym: Symbol) -> &Content {
-        &self.content[sym.index()]
+    /// Opens an event-driven validator over this schema. The validator
+    /// owns a clone of the [`Arc`], so it can be moved across threads and
+    /// stored anywhere. Keep it around and validate many documents with it
+    /// — its recycled frame stack and scratch pool make steady-state
+    /// validation allocation-free.
+    #[must_use]
+    pub fn validator(self: &Arc<Self>) -> DocumentValidator {
+        DocumentValidator::new(Arc::clone(self))
     }
 
-    /// Opens an event-driven validator over this schema. Keep the validator
-    /// around and validate many documents with it — its scratch pool makes
-    /// steady-state validation allocation-free.
-    #[must_use]
-    pub fn validator(&self) -> DocumentValidator<'_> {
-        DocumentValidator::new(self)
+    /// Validates a batch of pre-interned documents, fanning them out over
+    /// `workers` threads (each with its own warmed validator). Results come
+    /// back in input order. This is the one-shot form of
+    /// [`ValidatorPool::validate_batch`] — for repeated batches build a
+    /// [`ValidatorPool`] once and reuse its warmed workers.
+    pub fn validate_batch<D: AsRef<[DocEvent]> + Sync>(
+        self: &Arc<Self>,
+        documents: &[D],
+        workers: usize,
+    ) -> Vec<Result<(), Vec<Diagnostic>>> {
+        ValidatorPool::new(Arc::clone(self), workers).validate_batch(documents)
     }
 }
 
@@ -340,9 +403,24 @@ impl SchemaBuilder {
             content[sym.index()] = c;
             declared.push(sym);
         }
+        // Precompute the flat dispatch table: kind + session starter in one
+        // load, so opening an element never walks the content enum.
+        let dispatch = content
+            .iter()
+            .map(|c| match c {
+                Content::Model(m) => match m.pos_begin() {
+                    Some(begin) => Dispatch::Pos(begin),
+                    None => Dispatch::Counted,
+                },
+                Content::Empty => Dispatch::Empty,
+                Content::Any => Dispatch::Any,
+                Content::Undeclared => Dispatch::Undeclared,
+            })
+            .collect();
         Ok(Arc::new(Schema {
             alphabet,
             content,
+            dispatch,
             declared,
         }))
     }

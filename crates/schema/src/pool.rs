@@ -1,0 +1,215 @@
+//! Sharded parallel validation: one schema, many worker validators.
+//!
+//! A compiled [`Schema`] is immutable and `Send + Sync`; validation state
+//! lives entirely in the per-thread [`DocumentValidator`]s. A
+//! [`ValidatorPool`] exploits that split: it keeps `M` warmed validators
+//! (each owning a clone of the schema's `Arc` plus its own frame stack and
+//! scratch pool) and fans a batch of `N` documents across them with
+//! [`std::thread::scope`] — contiguous shards, results in input order.
+//!
+//! The pool outlives its batches, so the per-worker warm-up cost (frame
+//! stack and counted-state buffers sized to the documents) is paid once:
+//! after the first batch each worker's validation loop performs **no
+//! allocation** for valid documents (enforced per-thread by the
+//! counting-allocator regression test). Spawning the scoped threads
+//! themselves costs `O(M)` per batch — amortize it with batches that are
+//! large relative to the worker count.
+
+use crate::validator::{DocEvent, DocumentValidator};
+use crate::Schema;
+use redet_core::Diagnostic;
+use std::sync::Arc;
+
+/// A fixed set of warmed worker validators over one shared [`Schema`]; see
+/// the module docs.
+///
+/// ```
+/// use redet_schema::{DocEvent, SchemaBuilder, ValidatorPool};
+///
+/// let schema = SchemaBuilder::new()
+///     .element("pair", "(left, right)")
+///     .element_empty("left")
+///     .element_empty("right")
+///     .build()
+///     .unwrap();
+/// let s = |name: &str| schema.lookup(name).unwrap();
+/// let doc = vec![
+///     DocEvent::Open(s("pair")),
+///     DocEvent::Open(s("left")),
+///     DocEvent::Close,
+///     DocEvent::Open(s("right")),
+///     DocEvent::Close,
+///     DocEvent::Close,
+/// ];
+/// let documents = vec![doc.clone(), doc[..2].to_vec(), doc];
+/// let mut pool = ValidatorPool::new(schema, 2);
+/// let results = pool.validate_batch(&documents);
+/// assert!(results[0].is_ok());
+/// assert!(results[1].is_err()); // truncated document
+/// assert!(results[2].is_ok());
+/// ```
+pub struct ValidatorPool {
+    workers: Vec<DocumentValidator>,
+}
+
+impl ValidatorPool {
+    /// Creates a pool of `workers` validators (at least one) over `schema`.
+    #[must_use]
+    pub fn new(schema: Arc<Schema>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        ValidatorPool {
+            workers: (0..workers)
+                .map(|_| DocumentValidator::new(Arc::clone(&schema)))
+                .collect(),
+        }
+    }
+
+    /// The shared schema the workers validate against.
+    pub fn schema(&self) -> &Schema {
+        self.workers[0].schema()
+    }
+
+    /// Number of worker validators.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Validates a batch of pre-interned documents, sharding them
+    /// contiguously across the workers. Results are returned in input
+    /// order; each entry is exactly what a single-threaded
+    /// [`DocumentValidator::validate_events`] call would produce for that
+    /// document (workers never share mutable state, so diagnostics are
+    /// deterministic).
+    pub fn validate_batch<D: AsRef<[DocEvent]> + Sync>(
+        &mut self,
+        documents: &[D],
+    ) -> Vec<Result<(), Vec<Diagnostic>>> {
+        let mut results: Vec<Result<(), Vec<Diagnostic>>> = Vec::with_capacity(documents.len());
+        results.resize_with(documents.len(), || Ok(()));
+        let shards = self.workers.len().min(documents.len());
+        if shards == 0 {
+            return results;
+        }
+        if shards == 1 {
+            // One shard: run inline on the calling thread — spawning a
+            // scoped thread would add per-batch cost for zero parallelism.
+            let worker = &mut self.workers[0];
+            for (doc, slot) in documents.iter().zip(&mut results) {
+                *slot = worker.validate_events(doc.as_ref());
+            }
+            return results;
+        }
+        let chunk = documents.len().div_ceil(shards);
+        std::thread::scope(|scope| {
+            let mut docs_rest = documents;
+            let mut results_rest = results.as_mut_slice();
+            for worker in self.workers.iter_mut().take(shards) {
+                let take = chunk.min(docs_rest.len());
+                if take == 0 {
+                    break;
+                }
+                let (docs, dr) = docs_rest.split_at(take);
+                let (out, rr) = results_rest.split_at_mut(take);
+                docs_rest = dr;
+                results_rest = rr;
+                scope.spawn(move || {
+                    for (doc, slot) in docs.iter().zip(out) {
+                        *slot = worker.validate_events(doc.as_ref());
+                    }
+                });
+            }
+        });
+        results
+    }
+}
+
+impl std::fmt::Debug for ValidatorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValidatorPool")
+            .field("workers", &self.workers.len())
+            .field("schema", self.schema())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemaBuilder;
+
+    fn schema() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .element("doc", "(section)*")
+            .element("section", "(para)*")
+            .element_empty("para")
+            .build()
+            .unwrap()
+    }
+
+    fn document(schema: &Schema, sections: usize, valid: bool) -> Vec<DocEvent> {
+        let doc = schema.lookup("doc").unwrap();
+        let section = schema.lookup("section").unwrap();
+        let para = schema.lookup("para").unwrap();
+        let mut events = vec![DocEvent::Open(doc)];
+        for _ in 0..sections {
+            events.push(DocEvent::Open(section));
+            events.push(DocEvent::Open(para));
+            events.push(DocEvent::Close);
+            events.push(DocEvent::Close);
+        }
+        if !valid {
+            events.push(DocEvent::Open(para)); // para under doc: rejected
+            events.push(DocEvent::Close);
+        }
+        events.push(DocEvent::Close);
+        events
+    }
+
+    #[test]
+    fn batches_preserve_input_order_and_verdicts() {
+        let schema = schema();
+        let documents: Vec<Vec<DocEvent>> = (0..23)
+            .map(|i| document(&schema, i % 5, i % 3 != 0))
+            .collect();
+        let mut pool = ValidatorPool::new(Arc::clone(&schema), 4);
+        assert_eq!(pool.workers(), 4);
+        let results = pool.validate_batch(&documents);
+        assert_eq!(results.len(), documents.len());
+        let mut single = schema.validator();
+        for (i, (doc, result)) in documents.iter().zip(&results).enumerate() {
+            let expected = single.validate_events(doc);
+            assert_eq!(expected.is_ok(), result.is_ok(), "document {i}");
+            assert_eq!(
+                format!("{expected:?}"),
+                format!("{result:?}"),
+                "document {i}: diagnostics differ"
+            );
+        }
+        // The pool is reusable (warmed workers).
+        let again = pool.validate_batch(&documents);
+        assert_eq!(format!("{results:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn degenerate_batches() {
+        let schema = schema();
+        let mut pool = ValidatorPool::new(Arc::clone(&schema), 8);
+        // Empty batch.
+        assert!(pool.validate_batch::<Vec<DocEvent>>(&[]).is_empty());
+        // Fewer documents than workers.
+        let documents = vec![document(&schema, 1, true)];
+        let results = pool.validate_batch(&documents);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_ok());
+        // Zero requested workers clamps to one.
+        assert_eq!(ValidatorPool::new(schema, 0).workers(), 1);
+    }
+
+    #[test]
+    fn schema_validate_batch_is_the_one_shot_form() {
+        let schema = schema();
+        let documents: Vec<Vec<DocEvent>> = (0..7).map(|i| document(&schema, i, true)).collect();
+        let results = schema.validate_batch(&documents, 3);
+        assert!(results.iter().all(Result::is_ok));
+    }
+}

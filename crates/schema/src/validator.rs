@@ -1,12 +1,15 @@
-//! Event-driven document validation: a stack of live matcher sessions.
+//! Event-driven document validation: a stack of plain-data cursor frames.
 //!
 //! [`DocumentValidator`] consumes a nested document as a stream of
 //! `start_element` / `end_element` events and validates every element's
 //! child sequence against its content model *as the children arrive* — one
-//! pass, no child lists materialized. Each open element holds a live
-//! [`redet_core::MatchSession`]; a `start_element` event feeds the child's
-//! symbol into the parent's session and pushes a fresh session for the
-//! child.
+//! pass, no child lists materialized. Each open element is one POD
+//! [`Frame`]: for position-machine content models the entire matcher state
+//! is the current `PosId`; counted models keep an owned set-of-positions
+//! state on a side stack. Which of the two an element needs — together
+//! with the model's start position — is precomputed in the schema's flat
+//! per-symbol dispatch table, so a `start_element` event is two indexed
+//! loads and a `Vec` push.
 //!
 //! Because content models are deterministic, a rejected feed is final: the
 //! validator reports one structured [`Diagnostic`] — with the element path
@@ -16,20 +19,46 @@
 //! # Steady-state allocation
 //!
 //! The validator recycles everything: the frame stack keeps its capacity,
-//! closed sessions return their scratch buffers to a pool, and diagnostics
+//! closed counted states return their buffers to a pool, and diagnostics
 //! are only materialized for invalid documents. After one document has
 //! warmed the pools, validating further documents of the same shape
 //! performs **no allocation** (enforced by the repository's
 //! counting-allocator regression test). Pre-intern element names once via
 //! [`Schema::lookup`] and use [`DocumentValidator::start_element_symbol`]
 //! and the hot loop never hashes strings either.
+//!
+//! # Threading
+//!
+//! The validator owns its schema (`Arc<Schema>`), so it is `Send`: open one
+//! per thread from a shared schema and validate concurrently — or let
+//! [`crate::ValidatorPool`] / [`Schema::validate_batch`] do the sharding.
 
-use crate::{Content, ContentKind, Schema};
-use redet_core::{Code, Diagnostic, DocLocation, MatchScratch, MatchSession};
+use crate::{ContentKind, Dispatch, Schema};
+use redet_automata::NfaScratch;
+use redet_core::{Code, Diagnostic, DocLocation};
 use redet_syntax::Symbol;
+use redet_tree::PosId;
+use std::sync::Arc;
+
+/// Sentinel symbol index for element names outside the schema's alphabet.
+const UNKNOWN: u32 = u32::MAX;
+
+/// One pre-interned document event, the unit [`ValidatorPool`] batches ship
+/// in (see [`DocumentValidator::validate_events`]).
+///
+/// [`ValidatorPool`]: crate::ValidatorPool
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DocEvent {
+    /// Opens an element with a pre-interned name (see [`Schema::lookup`]).
+    Open(Symbol),
+    /// Closes the innermost open element.
+    Close,
+}
 
 /// What a `start_element` event did to the parent's content check (computed
-/// under the mutable borrow of the parent frame, reported afterwards).
+/// under the mutable borrow of the parent frame, reported afterwards — the
+/// valid-document hot path returns [`ParentIssue::None`] and touches
+/// nothing else).
 enum ParentIssue {
     None,
     /// The parent is declared EMPTY (or undeclared) but got a child.
@@ -39,56 +68,80 @@ enum ParentIssue {
     /// The parent's content model rejected the child at the given child
     /// index.
     Rejected {
-        child_index: usize,
+        child_index: u32,
     },
 }
 
-struct Frame<'s> {
-    /// Symbol of the element; `None` when the name is unknown to the
-    /// schema's alphabet.
-    sym: Option<Symbol>,
-    /// The name, kept only for unknown elements (path rendering).
-    name: Option<String>,
-    /// The live session, for elements declared with a content model.
-    session: Option<MatchSession<'s>>,
-    kind: ContentKind,
+/// The matcher state of one open element. All variants are plain data —
+/// sessions, scratch hand-offs and per-frame heap state are gone from the
+/// hot path.
+#[derive(Clone, Copy, Debug)]
+enum FrameState {
+    /// A position-machine content model: the current position is the
+    /// entire state.
+    Pos(PosId),
+    /// A counted content model; the owned position set lives on the
+    /// validator's `counted` side stack (stack-aligned with the open
+    /// `Counted` frames).
+    Counted,
+    /// EMPTY or undeclared: no element children allowed.
+    Leaf,
+    /// ANY (or an element unknown to the schema): children unconstrained.
+    Any,
     /// A diagnostic was already recorded for this element's content —
     /// report once, then stay quiet.
-    reported: bool,
-    children: usize,
+    Dead,
+}
+
+/// One open element: its symbol (dense index, [`UNKNOWN`] for names outside
+/// the alphabet), how many children it has seen, and its matcher state.
+/// 16 bytes, `Copy` — pushing and popping frames is register work.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    sym: u32,
+    children: u32,
+    state: FrameState,
 }
 
 /// An event-driven validator over one [`Schema`]; see the module docs.
 ///
-/// The validator borrows the schema (clone the [`std::sync::Arc`] around
-/// [`Schema`] and open one validator per thread); it is reusable — after
+/// The validator owns a clone of the schema's [`Arc`] — it is `Send`,
+/// storable next to its schema, and reusable: after
 /// [`DocumentValidator::finish`] it is ready for the next document with its
 /// warmed-up buffers intact.
-pub struct DocumentValidator<'s> {
-    schema: &'s Schema,
-    frames: Vec<Frame<'s>>,
-    /// Scratch buffers recycled between sessions (one per open element).
-    pool: Vec<MatchScratch>,
+pub struct DocumentValidator {
+    schema: Arc<Schema>,
+    frames: Vec<Frame>,
+    /// Owned position sets of the open counted-model elements, in open
+    /// order (one per live `FrameState::Counted` frame).
+    counted: Vec<NfaScratch>,
+    /// Recycled position-set buffers.
+    pool: Vec<NfaScratch>,
+    /// Names of the open elements outside the alphabet, in open order —
+    /// only touched on (cold) diagnostic paths.
+    unknown: Vec<String>,
     diagnostics: Vec<Diagnostic>,
     events: usize,
 }
 
-impl<'s> DocumentValidator<'s> {
+impl DocumentValidator {
     /// Creates a validator over `schema` (see also [`Schema::validator`]).
     #[must_use]
-    pub fn new(schema: &'s Schema) -> Self {
+    pub fn new(schema: Arc<Schema>) -> Self {
         DocumentValidator {
             schema,
             frames: Vec::new(),
+            counted: Vec::new(),
             pool: Vec::new(),
+            unknown: Vec::new(),
             diagnostics: Vec::new(),
             events: 0,
         }
     }
 
     /// The schema this validator checks against.
-    pub fn schema(&self) -> &'s Schema {
-        self.schema
+    pub fn schema(&self) -> &Schema {
+        &self.schema
     }
 
     /// Number of currently open elements.
@@ -123,41 +176,52 @@ impl<'s> DocumentValidator<'s> {
                     .with_location(DocLocation { path, event }),
                 );
                 self.feed_parent(Err(name), event);
+                self.unknown.push(name.to_owned());
                 self.frames.push(Frame {
-                    sym: None,
-                    name: Some(name.to_owned()),
-                    session: None,
-                    kind: ContentKind::Any,
-                    reported: false,
+                    sym: UNKNOWN,
                     children: 0,
+                    state: FrameState::Any,
                 });
             }
         }
     }
 
-    /// Opens an element by pre-interned symbol — the hash-free hot path.
+    /// Opens an element by pre-interned symbol — the hash-free hot path:
+    /// feed the parent's cursor, one flat-table load for the child's
+    /// dispatch, one frame push.
     ///
     /// # Panics
     /// Panics if `sym` was not handed out by this schema's alphabet.
     pub fn start_element_symbol(&mut self, sym: Symbol) {
         let event = self.take_event();
         self.feed_parent(Ok(sym), event);
-        let (kind, session) = match self.schema.content_of(sym) {
-            Content::Model(model) => (
-                ContentKind::Model,
-                Some(model.start_with(self.pool.pop().unwrap_or_default())),
-            ),
-            Content::Empty => (ContentKind::Empty, None),
-            Content::Any => (ContentKind::Any, None),
-            Content::Undeclared => (ContentKind::Undeclared, None),
+        let state = match self.schema.dispatch(sym) {
+            Dispatch::Pos(begin) => FrameState::Pos(begin),
+            Dispatch::Empty | Dispatch::Undeclared => FrameState::Leaf,
+            Dispatch::Any => FrameState::Any,
+            Dispatch::Counted => {
+                let mut state = self.pool.pop().unwrap_or_default();
+                match self.counted_matcher(sym.index() as u32) {
+                    Some(m) => {
+                        m.reset(&mut state);
+                        self.counted.push(state);
+                        FrameState::Counted
+                    }
+                    None => {
+                        // Dispatch said Counted but the model disagrees —
+                        // a library bug, not the document's fault; skip
+                        // checking this element rather than panicking.
+                        debug_assert!(false, "Counted dispatch without a counted model");
+                        self.pool.push(state);
+                        FrameState::Any
+                    }
+                }
+            }
         };
         self.frames.push(Frame {
-            sym: Some(sym),
-            name: None,
-            session,
-            kind,
-            reported: false,
+            sym: sym.index() as u32,
             children: 0,
+            state,
         });
     }
 
@@ -178,26 +242,43 @@ impl<'s> DocumentValidator<'s> {
             );
             return;
         };
-        if let Some(session) = &frame.session {
-            if !frame.reported && !session.accepts() {
-                let name = self.frame_name(&frame).to_owned();
-                let path = self.path_with(Some(&name));
-                self.diagnostics.push(
-                    Diagnostic::new(
-                        Code::IncompleteElement,
-                        format!(
-                            "<{name}> was closed after {} child(ren) but its content \
-                             model requires more",
-                            frame.children
-                        ),
-                    )
-                    .with_location(DocLocation { path, event }),
-                );
-            }
+        let complete = match frame.state {
+            FrameState::Pos(pos) => self
+                .schema
+                .model_at(frame.sym)
+                .is_some_and(|m| m.pos_can_end(pos)),
+            FrameState::Counted => match self.counted.pop() {
+                Some(state) => {
+                    let ok = self
+                        .counted_matcher(frame.sym)
+                        .is_some_and(|m| m.state_accepts(&state));
+                    self.pool.push(state);
+                    ok
+                }
+                None => {
+                    debug_assert!(false, "Counted frames keep a state on the counted stack");
+                    true
+                }
+            },
+            FrameState::Leaf | FrameState::Any | FrameState::Dead => true,
+        };
+        if !complete {
+            let name = self.frame_name_owned(&frame);
+            let path = self.path_with(Some(&name));
+            self.diagnostics.push(
+                Diagnostic::new(
+                    Code::IncompleteElement,
+                    format!(
+                        "<{name}> was closed after {} child(ren) but its content \
+                         model requires more",
+                        frame.children
+                    ),
+                )
+                .with_location(DocLocation { path, event }),
+            );
         }
-        // Recycle the session's scratch for the next open element.
-        if let Some(session) = frame.session {
-            self.pool.push(session.into_scratch());
+        if frame.sym == UNKNOWN {
+            self.unknown.pop();
         }
     }
 
@@ -218,10 +299,11 @@ impl<'s> DocumentValidator<'s> {
                 )
                 .with_location(DocLocation { path, event }),
             );
-            while let Some(frame) = self.frames.pop() {
-                if let Some(session) = frame.session {
-                    self.pool.push(session.into_scratch());
-                }
+            self.frames.clear();
+            self.unknown.clear();
+            // Recycle the abandoned counted states for the next document.
+            while let Some(state) = self.counted.pop() {
+                self.pool.push(state);
             }
         }
         self.events = 0;
@@ -233,15 +315,36 @@ impl<'s> DocumentValidator<'s> {
         }
     }
 
+    /// Validates one whole document given as a pre-interned event stream:
+    /// replays every event and [`finish`](Self::finish)es. This is the loop
+    /// the [`crate::ValidatorPool`] workers run per document.
+    pub fn validate_events(&mut self, events: &[DocEvent]) -> Result<(), Vec<Diagnostic>> {
+        for &event in events {
+            match event {
+                DocEvent::Open(sym) => self.start_element_symbol(sym),
+                DocEvent::Close => self.end_element(),
+            }
+        }
+        self.finish()
+    }
+
     fn take_event(&mut self) -> usize {
         let event = self.events;
         self.events += 1;
         event
     }
 
-    /// Feeds the child's symbol into the innermost open session; `Err`
-    /// carries the name of a child unknown to the schema's alphabet (which
-    /// no content model over that alphabet can accept).
+    /// The counted simulation of the element at dense symbol index `sym`,
+    /// when its model is counted.
+    #[inline]
+    fn counted_matcher(&self, sym: u32) -> Option<&redet_automata::NfaSimulationMatcher> {
+        self.schema.model_at(sym).and_then(|m| m.counted_matcher())
+    }
+
+    /// Feeds the child's symbol into the innermost open element's cursor;
+    /// `Err` carries the name of a child unknown to the schema's alphabet
+    /// (which no content model over that alphabet can accept).
+    #[inline]
     fn feed_parent(&mut self, child: Result<Symbol, &str>, event: usize) {
         let issue = {
             let Some(parent) = self.frames.last_mut() else {
@@ -249,33 +352,65 @@ impl<'s> DocumentValidator<'s> {
             };
             let child_index = parent.children;
             parent.children += 1;
-            if parent.reported {
-                return;
-            }
-            match parent.kind {
-                ContentKind::Any => ParentIssue::None,
-                ContentKind::Empty | ContentKind::Undeclared => {
-                    parent.reported = true;
-                    ParentIssue::EmptyViolation {
-                        undeclared: parent.kind == ContentKind::Undeclared,
+            match parent.state {
+                FrameState::Any | FrameState::Dead => ParentIssue::None,
+                FrameState::Pos(pos) => {
+                    let next = match child {
+                        Ok(sym) => self
+                            .schema
+                            .model_at(parent.sym)
+                            .and_then(|m| m.pos_advance(pos, sym)),
+                        // A name outside the alphabet can never be matched.
+                        Err(_) => None,
+                    };
+                    match next {
+                        Some(q) => {
+                            parent.state = FrameState::Pos(q);
+                            ParentIssue::None
+                        }
+                        None => {
+                            parent.state = FrameState::Dead;
+                            ParentIssue::Rejected { child_index }
+                        }
                     }
                 }
-                ContentKind::Model => {
-                    let session = parent
-                        .session
-                        .as_mut()
-                        .expect("model frames hold a session");
-                    let rejected = match child {
-                        Ok(sym) => !session.feed(sym).is_advanced(),
-                        // A name outside the alphabet can never be matched.
-                        Err(_) => true,
+                FrameState::Counted => {
+                    let advanced = match child {
+                        Ok(sym) => match (
+                            self.schema
+                                .model_at(parent.sym)
+                                .and_then(|m| m.counted_matcher()),
+                            self.counted.last_mut(),
+                        ) {
+                            (Some(m), Some(state)) => m.step(state, sym),
+                            _ => {
+                                debug_assert!(
+                                    false,
+                                    "Counted frames keep a state on the counted stack"
+                                );
+                                false
+                            }
+                        },
+                        Err(_) => false,
                     };
-                    if rejected {
-                        parent.reported = true;
-                        ParentIssue::Rejected { child_index }
-                    } else {
+                    if advanced {
                         ParentIssue::None
+                    } else {
+                        parent.state = FrameState::Dead;
+                        // The element's check is over; recycle its state now.
+                        if let Some(state) = self.counted.pop() {
+                            self.pool.push(state);
+                        }
+                        ParentIssue::Rejected { child_index }
                     }
+                }
+                FrameState::Leaf => {
+                    parent.state = FrameState::Dead;
+                    let undeclared = self
+                        .schema
+                        .content_kind(Symbol::from_index(parent.sym as usize))
+                        == ContentKind::Undeclared;
+                    ParentIssue::EmptyViolation { undeclared }
                 }
             }
         };
@@ -317,19 +452,28 @@ impl<'s> DocumentValidator<'s> {
         }
     }
 
-    fn frame_name<'a>(&'a self, frame: &'a Frame<'s>) -> &'a str {
-        match (frame.sym, &frame.name) {
-            (Some(sym), _) => self.schema.name(sym),
-            (None, Some(name)) => name.as_str(),
-            (None, None) => "?",
+    /// The display name of a frame that is still on (or was just popped
+    /// off) the stack. Unknown-element names are resolved positionally
+    /// against the `unknown` side stack, so pass a frame only while its
+    /// unknown-name entry is still present.
+    fn frame_name_owned(&self, frame: &Frame) -> String {
+        if frame.sym == UNKNOWN {
+            self.unknown.last().cloned().unwrap_or_else(|| "?".into())
+        } else {
+            self.schema
+                .name(Symbol::from_index(frame.sym as usize))
+                .to_owned()
         }
     }
 
     fn last_frame_name(&self) -> &str {
-        self.frames
-            .last()
-            .map(|f| self.frame_name(f))
-            .unwrap_or("?")
+        match self.frames.last() {
+            Some(frame) if frame.sym != UNKNOWN => {
+                self.schema.name(Symbol::from_index(frame.sym as usize))
+            }
+            Some(_) => self.unknown.last().map(String::as_str).unwrap_or("?"),
+            None => "?",
+        }
     }
 
     fn child_name<'a>(&'a self, child: Result<Symbol, &'a str>) -> &'a str {
@@ -343,12 +487,18 @@ impl<'s> DocumentValidator<'s> {
     /// more segment. Only called on diagnostic paths — allocation here never
     /// touches the valid-document hot loop.
     fn path_with(&self, extra: Option<&str>) -> String {
+        let mut unknown = self.unknown.iter();
         let mut path = String::new();
         for frame in &self.frames {
+            let name = if frame.sym == UNKNOWN {
+                unknown.next().map(String::as_str).unwrap_or("?")
+            } else {
+                self.schema.name(Symbol::from_index(frame.sym as usize))
+            };
             if !path.is_empty() {
                 path.push('/');
             }
-            path.push_str(self.frame_name(frame));
+            path.push_str(name);
         }
         if let Some(extra) = extra {
             if !path.is_empty() {
@@ -360,7 +510,7 @@ impl<'s> DocumentValidator<'s> {
     }
 }
 
-impl std::fmt::Debug for DocumentValidator<'_> {
+impl std::fmt::Debug for DocumentValidator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DocumentValidator")
             .field("depth", &self.depth())
@@ -374,7 +524,6 @@ impl std::fmt::Debug for DocumentValidator<'_> {
 mod tests {
     use super::*;
     use crate::SchemaBuilder;
-    use std::sync::Arc;
 
     fn bibliography() -> Arc<Schema> {
         SchemaBuilder::new()
@@ -388,9 +537,24 @@ mod tests {
             .unwrap()
     }
 
-    fn leaf(v: &mut DocumentValidator<'_>, name: &str) {
+    fn leaf(v: &mut DocumentValidator, name: &str) {
         v.start_element(name);
         v.end_element();
+    }
+
+    #[test]
+    fn validators_are_send_and_movable() {
+        fn assert_send<T: Send>(_: &T) {}
+        let schema = bibliography();
+        let mut v = schema.validator();
+        assert_send(&v);
+        drop(schema); // The validator owns its schema.
+        let handle = std::thread::spawn(move || {
+            v.start_element("bibliography");
+            v.end_element();
+            v.finish().is_ok()
+        });
+        assert!(handle.join().unwrap());
     }
 
     #[test]
@@ -477,6 +641,15 @@ mod tests {
         assert!(codes.contains(&Code::UnknownElement), "{codes:?}");
         // The unknown child also breaks its parent's content model.
         assert!(codes.contains(&Code::UnexpectedChild), "{codes:?}");
+        // The unknown element's diagnostic path names it.
+        let unknown = err
+            .iter()
+            .find(|d| d.code() == Code::UnknownElement)
+            .unwrap();
+        assert_eq!(
+            unknown.location().unwrap().path,
+            "bibliography/book/mystery"
+        );
     }
 
     #[test]
@@ -519,6 +692,31 @@ mod tests {
     }
 
     #[test]
+    fn validate_events_replays_whole_documents() {
+        let schema = bibliography();
+        let s = |name: &str| schema.lookup(name).unwrap();
+        let doc = [
+            DocEvent::Open(s("bibliography")),
+            DocEvent::Open(s("book")),
+            DocEvent::Open(s("title")),
+            DocEvent::Close,
+            DocEvent::Open(s("author")),
+            DocEvent::Close,
+            DocEvent::Open(s("year")),
+            DocEvent::Close,
+            DocEvent::Close,
+            DocEvent::Close,
+        ];
+        let mut v = schema.validator();
+        assert!(v.validate_events(&doc).is_ok());
+        // Truncated stream: unbalanced.
+        let err = v.validate_events(&doc[..3]).unwrap_err();
+        assert_eq!(err[0].code(), Code::UnbalancedDocument);
+        // The validator is clean again afterwards.
+        assert!(v.validate_events(&doc).is_ok());
+    }
+
+    #[test]
     fn counted_models_validate_through_the_simulation() {
         let schema = SchemaBuilder::new()
             .element("order", "(item{2,3}, total)")
@@ -541,5 +739,42 @@ mod tests {
         v.end_element();
         let err = v.finish().unwrap_err();
         assert_eq!(err[0].code(), Code::UnexpectedChild);
+        // Too few items *and* nothing after them: incomplete, not rejected.
+        v.start_element("order");
+        leaf(&mut v, "item");
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::IncompleteElement);
+    }
+
+    #[test]
+    fn nested_counted_models_keep_their_states_apart() {
+        // `group` nests counted `order`s inside a counted `pair` — the side
+        // stack must track each open counted element independently.
+        let schema = SchemaBuilder::new()
+            .element("group", "(order{1,2})")
+            .element("order", "(item{2,3})")
+            .element_empty("item")
+            .build()
+            .unwrap();
+        let mut v = schema.validator();
+        v.start_element("group");
+        for items in [2usize, 3] {
+            v.start_element("order");
+            for _ in 0..items {
+                leaf(&mut v, "item");
+            }
+            v.end_element();
+        }
+        v.end_element();
+        assert!(v.finish().is_ok());
+        // The inner rejection doesn't corrupt the outer state.
+        v.start_element("group");
+        v.start_element("order");
+        leaf(&mut v, "item");
+        v.end_element(); // order incomplete
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::IncompleteElement);
     }
 }

@@ -8,6 +8,7 @@
 //! child lists. Run with `cargo run --example dtd_validation`.
 
 use redet::{DocumentValidator, Schema, SchemaBuilder};
+use std::sync::Arc;
 
 const DTD: &str = r#"
     <!-- A small bibliography schema. -->
@@ -37,7 +38,7 @@ fn leaf(tag: &'static str) -> Element {
 
 /// Streams the document tree into the validator as start/end events — the
 /// shape a SAX/StAX parser produces. The validator holds the stack.
-fn stream(validator: &mut DocumentValidator<'_>, element: &Element) {
+fn stream(validator: &mut DocumentValidator, element: &Element) {
     validator.start_element(element.tag);
     for child in &element.children {
         stream(validator, child);
@@ -45,7 +46,7 @@ fn stream(validator: &mut DocumentValidator<'_>, element: &Element) {
     validator.end_element();
 }
 
-fn validate(schema: &Schema, name: &str, document: &Element) {
+fn validate(schema: &Arc<Schema>, name: &str, document: &Element) {
     let mut validator = schema.validator();
     stream(&mut validator, document);
     match validator.finish() {

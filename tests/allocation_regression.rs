@@ -14,24 +14,25 @@
 //! pollute the counter.
 
 use redet::core::matcher::starfree::BatchScratch;
+use redet::schema::{DocEvent, ValidatorPool};
 use redet::{
     CompiledAnalysis, DocumentValidator, KOccurrenceMatcher, Matcher, PositionMatcher,
     SchemaBuilder, StarFreeMatcher, Symbol,
 };
-use redet_alloc_counter::{allocations_during, CountingAllocator};
+use redet_alloc_counter::{allocations_during, thread_allocations_during, CountingAllocator};
 use redet_automata::{unroll_counting, NfaScratch, NfaSimulationMatcher};
 use redet_workloads as workloads;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-/// Replays a pre-interned event stream (`Some(sym)` = start, `None` = end)
-/// into the validator — the hash-free hot path.
-fn replay(validator: &mut DocumentValidator<'_>, events: &[Option<Symbol>]) {
+/// Replays a pre-interned event stream into the validator — the hash-free
+/// hot path, without the `finish()` reset.
+fn replay(validator: &mut DocumentValidator, events: &[DocEvent]) {
     for event in events {
         match event {
-            Some(sym) => validator.start_element_symbol(*sym),
-            None => validator.end_element(),
+            DocEvent::Open(sym) => validator.start_element_symbol(*sym),
+            DocEvent::Close => validator.end_element(),
         }
     }
 }
@@ -106,17 +107,18 @@ fn steady_state_match_loops_do_not_allocate() {
     // A deep document: a chapter whose sections nest 120 levels deep
     // (recursive `section` model), plus a counted element (`entry` uses
     // `locator{1,4}`, validated by the NFA simulation via the scratch pool).
-    let mut events: Vec<Option<Symbol>> = Vec::new();
-    let open = |events: &mut Vec<Option<Symbol>>, sym: Symbol| events.push(Some(sym));
-    let leaf = |events: &mut Vec<Option<Symbol>>, sym: Symbol| {
-        events.push(Some(sym));
-        events.push(None);
+    let mut events: Vec<DocEvent> = Vec::new();
+    let open = |events: &mut Vec<DocEvent>, sym: Symbol| events.push(DocEvent::Open(sym));
+    let close = |events: &mut Vec<DocEvent>| events.push(DocEvent::Close);
+    let leaf = |events: &mut Vec<DocEvent>, sym: Symbol| {
+        events.push(DocEvent::Open(sym));
+        events.push(DocEvent::Close);
     };
     open(&mut events, book);
     open(&mut events, front);
     leaf(&mut events, title);
     leaf(&mut events, author);
-    events.push(None); // </front>
+    close(&mut events); // </front>
     open(&mut events, body);
     open(&mut events, chapter);
     leaf(&mut events, title);
@@ -127,20 +129,20 @@ fn steady_state_match_loops_do_not_allocate() {
         leaf(&mut events, para);
     }
     for _ in 0..depth {
-        events.push(None); // </section>
+        close(&mut events); // </section>
     }
-    events.push(None); // </chapter>
-    events.push(None); // </body>
+    close(&mut events); // </chapter>
+    close(&mut events); // </body>
     open(&mut events, back);
     open(&mut events, index);
     open(&mut events, entry);
     leaf(&mut events, term);
     leaf(&mut events, locator);
     leaf(&mut events, locator);
-    events.push(None); // </entry>
-    events.push(None); // </index>
-    events.push(None); // </back>
-    events.push(None); // </book>
+    close(&mut events); // </entry>
+    close(&mut events); // </index>
+    close(&mut events); // </back>
+    close(&mut events); // </book>
 
     let mut validator = schema.validator();
     // The first document warms the frame stack and the scratch pool; the
@@ -158,4 +160,38 @@ fn steady_state_match_loops_do_not_allocate() {
         allocations, 0,
         "document validation allocated in steady state"
     );
+
+    // --- Sharded batch validation: zero allocation per worker. ---
+    // The pool's workers run `validate_events` over their shard; after one
+    // warming batch each worker's loop must be allocation-free. Thread
+    // spawning itself allocates (per batch, O(workers)), so the steady
+    // state is asserted with the *per-thread* counter inside each worker —
+    // exactly the loop `ValidatorPool::validate_batch` runs.
+    let documents: Vec<Vec<DocEvent>> = (0..8).map(|_| events.clone()).collect();
+    let mut pool = ValidatorPool::new(schema.clone(), 4);
+    let warm = pool.validate_batch(&documents);
+    assert!(
+        warm.iter().all(Result::is_ok),
+        "sanity: documents are valid"
+    );
+    let shard = documents.len() / 4;
+    std::thread::scope(|scope| {
+        for chunk in documents.chunks(shard) {
+            let mut worker = schema.validator();
+            scope.spawn(move || {
+                // Two warming passes size the worker's frame stack and
+                // counted-state pool; the third is measured on this thread.
+                for _ in 0..2 {
+                    for doc in chunk {
+                        worker.validate_events(doc).expect("valid document");
+                    }
+                }
+                let (allocations, ok) = thread_allocations_during(|| {
+                    chunk.iter().all(|doc| worker.validate_events(doc).is_ok())
+                });
+                assert!(ok, "sanity: the measured shard is valid");
+                assert_eq!(allocations, 0, "batch worker allocated in steady state");
+            });
+        }
+    });
 }
