@@ -34,7 +34,13 @@ pub struct RejectWitness {
 }
 
 /// Outcome of feeding one symbol to a [`Session`].
+///
+/// Marked `#[non_exhaustive]`: later revisions may report finer-grained
+/// outcomes (e.g. advancing into a state that cannot accept any more) —
+/// match through [`Step::is_advanced`] / [`Step::witness`] or keep a
+/// wildcard arm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Step {
     /// The symbol was consumed; the prefix read so far is still viable.
     Advanced,
@@ -152,6 +158,17 @@ pub trait PosStepper {
     fn can_end(&self, p: PosId) -> bool;
 }
 
+/// The suspended state of a [`PosSession`]: the current position, the event
+/// counter, and the sticky rejection witness — 24 bytes of plain `Copy`
+/// data with no borrow of the matcher. Park it per connection and pick the
+/// cursor back up later with [`PosSession::resume`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PosState {
+    pos: PosId,
+    events: usize,
+    rejected: Option<RejectWitness>,
+}
+
 /// The generic session over a [`PosStepper`]: a current position, an event
 /// counter, and a sticky rejection witness. Needs no scratch.
 #[derive(Clone, Debug)]
@@ -166,6 +183,32 @@ impl<'m, M: PosStepper + ?Sized> PosSession<'m, M> {
     /// The current position of the cursor.
     pub fn position(&self) -> PosId {
         self.pos
+    }
+
+    /// Suspends the session into a plain-data [`PosState`], dropping the
+    /// borrow of the matcher. The state is only meaningful to the matcher
+    /// that produced it (positions index *its* marked expression).
+    #[must_use]
+    pub fn into_state(self) -> PosState {
+        PosState {
+            pos: self.pos,
+            events: self.events,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Resumes a session suspended by [`PosSession::into_state`]. Resuming
+    /// a state on a different matcher than the one that produced it is a
+    /// logic error: positions are indices into the producing matcher's
+    /// marked expression.
+    #[must_use]
+    pub fn resume(matcher: &'m M, state: PosState) -> Self {
+        PosSession {
+            matcher,
+            pos: state.pos,
+            events: state.events,
+            rejected: state.rejected,
+        }
     }
 }
 

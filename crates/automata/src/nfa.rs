@@ -103,6 +103,18 @@ impl NfaSimulationMatcher {
     }
 }
 
+/// The suspended state of an [`NfaSession`]: the owned position sets plus
+/// the event counter and sticky rejection witness, with no borrow of the
+/// matcher. Park it per connection and pick the cursor back up later with
+/// [`NfaSimulationMatcher::resume`] — the buffers travel with the state, so
+/// suspend/resume cycles allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct NfaState {
+    scratch: NfaScratch,
+    events: usize,
+    rejected: Option<RejectWitness>,
+}
+
 /// An incremental session over the set-of-positions simulation. Owns its
 /// [`NfaScratch`] buffers for the duration of the word; recover them with
 /// [`Session::into_scratch`].
@@ -112,6 +124,20 @@ pub struct NfaSession<'m> {
     scratch: NfaScratch,
     events: usize,
     rejected: Option<RejectWitness>,
+}
+
+impl NfaSession<'_> {
+    /// Suspends the session into an owned [`NfaState`], dropping the borrow
+    /// of the matcher. The state is only meaningful to the matcher that
+    /// produced it.
+    #[must_use]
+    pub fn into_state(self) -> NfaState {
+        NfaState {
+            scratch: self.scratch,
+            events: self.events,
+            rejected: self.rejected,
+        }
+    }
 }
 
 impl Session for NfaSession<'_> {
@@ -147,6 +173,22 @@ impl Session for NfaSession<'_> {
 
     fn into_scratch(self) -> NfaScratch {
         self.scratch
+    }
+}
+
+impl NfaSimulationMatcher {
+    /// Resumes a session suspended by [`NfaSession::into_state`]. Resuming
+    /// a state on a different matcher than the one that produced it is a
+    /// logic error: the position sets index the producing matcher's
+    /// automaton.
+    #[must_use]
+    pub fn resume(&self, state: NfaState) -> NfaSession<'_> {
+        NfaSession {
+            matcher: self,
+            scratch: state.scratch,
+            events: state.events,
+            rejected: state.rejected,
+        }
     }
 }
 

@@ -265,6 +265,7 @@ fn bench_document_validation(h: &mut Harness) {
                                 }
                             }
                         }
+                        _ => unreachable!("the generator emits only open/close events"),
                     }
                 }
                 if ok {
@@ -330,6 +331,105 @@ fn bench_batch_validation(h: &mut Harness) {
     }
 }
 
+/// E13: interleaved connection serving — N in-flight documents fed
+/// round-robin in 64-event chunks through one `ValidationService` (the
+/// regime a server with many connections sees: every chunk resumes a parked
+/// document), against the per-document validator loop over the same corpus
+/// (the `per_document` reference series the regression gate ratios against;
+/// the acceptance criterion caps interleaved serving at 1.5× per-document).
+/// A raw-byte series feeds the same corpus as serialized tag soup in 4 KiB
+/// chunks, measuring the streaming tokenizer's overhead on top.
+fn bench_interleaved_serving(h: &mut Harness) {
+    use redet_bench::book_document_events;
+    use redet_schema::{DocId, SchemaBuilder};
+
+    h.group("E13_interleaved_serving");
+    let schema = SchemaBuilder::new()
+        .parse_dtd(redet_workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+    let (n_docs, chapters) = if h.is_fast() { (16, 2) } else { (64, 4) };
+    let documents: Vec<Vec<redet_bench::DocEvent>> = (0..n_docs)
+        .map(|i| book_document_events(&schema, chapters, 0xE13 ^ i as u64))
+        .collect();
+    let total_events: usize = documents.iter().map(Vec::len).sum();
+    h.throughput(total_events as u64);
+
+    // The reference: one warmed validator, document after document.
+    let mut validator = schema.validator();
+    h.bench("per_document", n_docs, || {
+        documents
+            .iter()
+            .filter(|d| validator.validate_events(d).is_ok())
+            .count()
+    });
+
+    // All documents in flight at once, round-robin 64-event chunks.
+    let mut service = schema.service();
+    let mut handles: Vec<DocId> = Vec::with_capacity(documents.len());
+    let mut cursors: Vec<usize> = Vec::with_capacity(documents.len());
+    h.bench("service_interleaved", n_docs, || {
+        handles.clear();
+        handles.extend((0..documents.len()).map(|_| service.open()));
+        cursors.clear();
+        cursors.resize(documents.len(), 0);
+        let mut live = documents.len();
+        while live > 0 {
+            live = 0;
+            for (i, doc) in documents.iter().enumerate() {
+                let cursor = cursors[i];
+                if cursor >= doc.len() {
+                    continue;
+                }
+                let end = (cursor + 64).min(doc.len());
+                let _ = service.feed(handles[i], &doc[cursor..end]);
+                cursors[i] = end;
+                if end < doc.len() {
+                    live += 1;
+                }
+            }
+        }
+        handles
+            .drain(..)
+            .filter(|&h| service.finish(h).is_ok())
+            .count()
+    });
+
+    // The same corpus as raw bytes (tag soup), 4 KiB chunks round-robin:
+    // per-document throughput including the streaming tokenizer.
+    let streams: Vec<String> = documents
+        .iter()
+        .map(|events| redet_bench::events_to_xml(&schema, events))
+        .collect();
+    h.bench("service_bytes", n_docs, || {
+        handles.clear();
+        handles.extend((0..streams.len()).map(|_| service.open()));
+        cursors.clear();
+        cursors.resize(streams.len(), 0);
+        let mut live = streams.len();
+        while live > 0 {
+            live = 0;
+            for (i, xml) in streams.iter().enumerate() {
+                let bytes = xml.as_bytes();
+                let cursor = cursors[i];
+                if cursor >= bytes.len() {
+                    continue;
+                }
+                let end = (cursor + 4096).min(bytes.len());
+                let _ = service.feed_bytes(handles[i], &bytes[cursor..end]);
+                cursors[i] = end;
+                if end < bytes.len() {
+                    live += 1;
+                }
+            }
+        }
+        handles
+            .drain(..)
+            .filter(|&h| service.finish(h).is_ok())
+            .count()
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -340,5 +440,6 @@ fn main() {
     bench_compile_once_match_many(&mut h);
     bench_document_validation(&mut h);
     bench_batch_validation(&mut h);
+    bench_interleaved_serving(&mut h);
     h.finish("matching");
 }

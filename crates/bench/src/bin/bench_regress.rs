@@ -3,8 +3,8 @@
 //! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
 //!
 //! Compares a fresh `BENCH_matching.json` against the committed baseline for
-//! the gated experiment groups (E4, E5, E7, E11, E12) and exits non-zero
-//! when any algorithm regresses by more than 25%.
+//! the gated experiment groups (E4, E5, E7, E11, E12, E13) and exits
+//! non-zero when any algorithm regresses by more than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
 //! gate works on **within-group ratios**: for every `(group, param)` pair it
@@ -15,12 +15,14 @@
 //! i.e. the algorithm got slower *relative to the same hardware's
 //! baseline*.
 //!
-//! Two groups additionally carry an **absolute** cap, independent of the
+//! Three groups additionally carry an **absolute** cap, independent of the
 //! committed file: the E11 validator must stay within [`E11_MAX_RATIO`]× of
 //! the raw DFA-per-element stack (the paper's promise is DFA-like speed
-//! with `O(|e|)` preprocessing), and the E12 sharded pool must beat the
+//! with `O(|e|)` preprocessing), the E12 sharded pool must beat the
 //! single-threaded loop at its widest sweep point (batch validation must
-//! actually scale).
+//! actually scale), and E13 interleaved event serving must stay within
+//! [`E13_MAX_RATIO`]× of the per-document validator loop (parking and
+//! resuming documents per chunk must stay near-free).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -33,6 +35,7 @@ const GATED_GROUPS: &[(&str, &str)] = &[
     ("E7_star_free_multiword", "dfa"),
     ("E11_document_validation", "dfa"),
     ("E12_batch_validation", "single_thread"),
+    ("E13_interleaved_serving", "per_document"),
 ];
 
 /// Allowed relative slowdown before the gate fails.
@@ -42,6 +45,12 @@ const THRESHOLD: f64 = 1.25;
 /// validator adds schema semantics (counted models, diagnostics, recycled
 /// frames) but must stay in the DFA's ballpark.
 const E11_MAX_RATIO: f64 = 2.0;
+
+/// Absolute cap on `service_interleaved / per_document` (E13): feeding N
+/// interleaved documents in 64-event chunks through the connection service
+/// must stay within this factor of validating them one after another —
+/// the acceptance criterion of the connection-oriented redesign.
+const E13_MAX_RATIO: f64 = 1.5;
 
 /// The E12 `sharded_pool / single_thread` ratio at the largest measured
 /// worker count must clear this bar — more workers must actually help,
@@ -145,6 +154,18 @@ fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
             );
             violations += 1;
         }
+        // The byte-ingestion series pays the tokenizer on top and is gated
+        // relatively only; the cap pins the event-level serving overhead.
+        if group == "E13_interleaved_serving"
+            && name.contains("interleaved")
+            && ratio > E13_MAX_RATIO
+        {
+            eprintln!(
+                "E13 cap: {name} (param {param}) is {ratio:.2}x the per-document \
+                 validator loop (cap {E13_MAX_RATIO}x)"
+            );
+            violations += 1;
+        }
     }
     // E12: the widest sweep point is the numerically largest param. The
     // bench only sweeps past one worker when the machine has the
@@ -235,7 +256,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7/E11/E12 regressions beyond {:.0}%; absolute caps hold",
+        "no E4/E5/E7/E11/E12/E13 regressions beyond {:.0}%; absolute caps hold",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

@@ -88,6 +88,34 @@ pub fn row(cells: &[String]) -> String {
 /// form the validation hot loop and the batch API consume.
 pub use redet_schema::DocEvent;
 
+/// Serializes a pre-interned event stream back to plain tag soup
+/// (`<name>` / `</name>`), the inverse the byte-ingestion surfaces consume
+/// — the E13 bench and the allocation regression pipe it back through
+/// `ValidationService::feed_bytes`.
+pub fn events_to_xml(schema: &redet_schema::Schema, events: &[DocEvent]) -> String {
+    let mut out = String::new();
+    let mut stack: Vec<&str> = Vec::new();
+    for event in events {
+        match event {
+            DocEvent::Open(sym) => {
+                let name = schema.name(*sym);
+                out.push('<');
+                out.push_str(name);
+                out.push('>');
+                stack.push(name);
+            }
+            DocEvent::Close => {
+                let name = stack.pop().expect("balanced event stream");
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+            _ => unreachable!("the generators emit only open/close events"),
+        }
+    }
+    out
+}
+
 /// Generates a random, **schema-valid** document against
 /// [`redet_workloads::BOOK_DTD`] as a pre-interned event stream: a book
 /// with `chapters` chapters, randomly nested sections (depth ≤ 3), lists,

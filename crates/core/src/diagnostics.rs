@@ -32,6 +32,7 @@ use std::fmt;
 
 /// Stable machine-readable diagnostic codes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum Code {
     /// The textual syntax of a content model could not be parsed.
     Parse,
@@ -57,6 +58,9 @@ pub enum Code {
     ChildInEmptyElement,
     /// Mismatched start/end element events.
     UnbalancedDocument,
+    /// A raw byte stream contains markup the streaming tokenizer cannot
+    /// parse (stray `<`, unterminated tag or comment, non-UTF-8 name).
+    MalformedMarkup,
 }
 
 impl Code {
@@ -74,6 +78,7 @@ impl Code {
             Code::IncompleteElement => "E203",
             Code::ChildInEmptyElement => "E204",
             Code::UnbalancedDocument => "E205",
+            Code::MalformedMarkup => "E206",
         }
     }
 }

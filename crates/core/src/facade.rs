@@ -42,8 +42,8 @@ use crate::matcher::starfree::StarFreeMatcher;
 use crate::matcher::PositionMatcher;
 use crate::pipeline::CompiledAnalysis;
 use redet_automata::{
-    GlushkovDfaMatcher, Matcher, NfaScratch, NfaSession, NfaSimulationMatcher, PosSession,
-    PosStepper, RejectWitness, Session, Step,
+    GlushkovDfaMatcher, Matcher, NfaScratch, NfaSession, NfaSimulationMatcher, NfaState,
+    PosSession, PosState, PosStepper, RejectWitness, Session, Step,
 };
 use redet_syntax::{Alphabet, ExprStats, Regex, Symbol};
 use redet_tree::{PosId, TreeAnalysis};
@@ -102,6 +102,43 @@ impl MatchScratch {
     /// Creates an empty scratch (no allocations until first use).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// The suspended state of a [`MatchSession`]: plain owned data with no
+/// borrow of the expression, so a session can be parked per connection (in
+/// a slab, a map, across an `await` point…) and picked back up later with
+/// [`DeterministicRegex::resume`].
+///
+/// A state is only meaningful to the expression **and strategy** that
+/// produced it — positions index the producing matcher's marked expression.
+/// [`DeterministicRegex::resume`] checks the strategy and panics on a
+/// mismatch; resuming on a different expression that happens to share the
+/// strategy is an unchecked logic error.
+#[derive(Debug)]
+#[must_use = "a suspended session does nothing until resumed"]
+pub struct MatchState {
+    strategy: MatchStrategy,
+    imp: StateImpl,
+    /// The scratch that travelled with the session (position-cursor
+    /// strategies), preserved across suspend/resume cycles.
+    spare: Option<MatchScratch>,
+}
+
+#[derive(Debug)]
+enum StateImpl {
+    /// All five position-machine strategies share the `PosSession` cursor,
+    /// hence one state shape.
+    Pos(PosState),
+    /// The counted simulation's owned position sets.
+    Counted(NfaState),
+}
+
+impl MatchState {
+    /// The strategy of the expression this state was suspended from (and
+    /// the only strategy it can be resumed on).
+    pub fn strategy(&self) -> MatchStrategy {
+        self.strategy
     }
 }
 
@@ -182,6 +219,39 @@ impl MatchSession<'_> {
                 nfa: s.into_scratch(),
             },
             _ => self.spare.unwrap_or_default(),
+        }
+    }
+
+    /// Suspends the session into a plain-data [`MatchState`] with no borrow
+    /// of the expression, so it can be parked per connection and resumed
+    /// later with [`DeterministicRegex::resume`]. The scratch travels with
+    /// the state — a suspend/resume cycle allocates nothing.
+    pub fn into_state(self) -> MatchState {
+        let (strategy, imp) = match self.imp {
+            SessionImpl::StarFree(s) => (MatchStrategy::StarFree, StateImpl::Pos(s.into_state())),
+            SessionImpl::KOccurrence(s) => {
+                (MatchStrategy::KOccurrence, StateImpl::Pos(s.into_state()))
+            }
+            SessionImpl::PathDecomposition(s) => (
+                MatchStrategy::PathDecomposition,
+                StateImpl::Pos(s.into_state()),
+            ),
+            SessionImpl::ColoredAncestor(s) => (
+                MatchStrategy::ColoredAncestor,
+                StateImpl::Pos(s.into_state()),
+            ),
+            SessionImpl::GlushkovDfa(s) => {
+                (MatchStrategy::GlushkovDfa, StateImpl::Pos(s.into_state()))
+            }
+            SessionImpl::Counted(s) => (
+                MatchStrategy::CountedSimulation,
+                StateImpl::Counted(s.into_state()),
+            ),
+        };
+        MatchState {
+            strategy,
+            imp,
+            spare: self.spare,
         }
     }
 }
@@ -545,6 +615,54 @@ impl DeterministicRegex {
         }
     }
 
+    /// Resumes a session suspended by [`MatchSession::into_state`], picking
+    /// the cursor up exactly where it left off (position, event count,
+    /// sticky rejection).
+    ///
+    /// # Panics
+    /// Panics if `state` was suspended from an expression with a different
+    /// [`MatchStrategy`] — positions are indices into the producing
+    /// matcher's marked expression and do not translate. Resuming on a
+    /// *different expression* with the same strategy is an unchecked logic
+    /// error; only resume states on the `DeterministicRegex` that produced
+    /// them.
+    #[must_use]
+    pub fn resume(&self, state: MatchState) -> MatchSession<'_> {
+        assert_eq!(
+            state.strategy, self.strategy,
+            "MatchState suspended from a {:?} session cannot resume on a {:?} expression",
+            state.strategy, self.strategy
+        );
+        let spare = state.spare;
+        match (&self.matcher, state.imp) {
+            (MatcherImpl::StarFree(m), StateImpl::Pos(p)) => MatchSession {
+                imp: SessionImpl::StarFree(PosSession::resume(m, p)),
+                spare,
+            },
+            (MatcherImpl::KOccurrence(m), StateImpl::Pos(p)) => MatchSession {
+                imp: SessionImpl::KOccurrence(PosSession::resume(m, p)),
+                spare,
+            },
+            (MatcherImpl::PathDecomposition(m), StateImpl::Pos(p)) => MatchSession {
+                imp: SessionImpl::PathDecomposition(PosSession::resume(m, p)),
+                spare,
+            },
+            (MatcherImpl::ColoredAncestor(m), StateImpl::Pos(p)) => MatchSession {
+                imp: SessionImpl::ColoredAncestor(PosSession::resume(m, p)),
+                spare,
+            },
+            (MatcherImpl::GlushkovDfa(m), StateImpl::Pos(p)) => MatchSession {
+                imp: SessionImpl::GlushkovDfa(PosSession::resume(m, p)),
+                spare,
+            },
+            (MatcherImpl::CountedNfa(m), StateImpl::Counted(s)) => MatchSession {
+                imp: SessionImpl::Counted(m.as_ref().resume(s)),
+                spare,
+            },
+            _ => unreachable!("the strategy check pins the state shape"),
+        }
+    }
+
     /// Whether the word, given as element names, belongs to the content
     /// model. Unknown element names immediately reject.
     pub fn matches(&self, word: &[&str]) -> bool {
@@ -714,6 +832,50 @@ mod tests {
         let scratch = session.into_scratch();
         let again = model.start_with(scratch);
         assert!(!again.accepts());
+    }
+
+    #[test]
+    fn sessions_suspend_and_resume_without_a_borrow() {
+        // Every strategy kind: position cursors and the counted simulation.
+        let inputs = [
+            ("(c?((a b*)(a? c)))*(b a)", vec!["c", "a", "c", "b", "a"]),
+            ("(a b){2,3} c", vec!["a", "b", "a", "b", "c"]),
+        ];
+        for (input, word) in inputs {
+            let model = DeterministicRegex::compile(input).unwrap();
+            let sigma = model.alphabet();
+            let word: Vec<Symbol> = word.iter().map(|n| sigma.lookup(n).unwrap()).collect();
+            let (head, tail) = word.split_at(2);
+            let mut session = model.start();
+            for &sym in head {
+                assert!(session.feed(sym).is_advanced());
+            }
+            // Suspend: the state outlives the session and carries no borrow
+            // of `model` (it can be stored, sent, parked per connection).
+            let state = session.into_state();
+            assert_eq!(state.strategy(), model.strategy());
+            let mut session = model.resume(state);
+            assert_eq!(session.events(), head.len());
+            for &sym in tail {
+                assert!(session.feed(sym).is_advanced(), "{input}");
+            }
+            assert!(session.accepts(), "{input}");
+            // Rejection is preserved across suspend/resume too.
+            let dead = sigma.lookup("c").unwrap();
+            let w = session.feed(dead).witness().unwrap();
+            let resumed = model.resume(session.into_state());
+            assert_eq!(resumed.rejection(), Some(w));
+            assert!(!resumed.accepts());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume")]
+    fn resume_checks_the_strategy() {
+        let model = DeterministicRegex::compile("(c?((a b*)(a? c)))*(b a)").unwrap();
+        let state = model.start().into_state();
+        let other = model.with_strategy(MatchStrategy::ColoredAncestor).unwrap();
+        let _ = other.resume(state);
     }
 
     #[test]

@@ -20,9 +20,16 @@
 //!   cursor frames — allocation-free in steady state, hash-free when
 //!   elements are pre-interned to [`Symbol`]s via [`Schema::lookup`], and
 //!   `Send` (it owns its schema `Arc`);
+//! * [`ValidationService`] is the connection-oriented surface: `open()`
+//!   hands out resumable [`DocId`] handles, `feed`/`feed_bytes` advance any
+//!   number of interleaved in-flight documents by events *or raw bytes*
+//!   (chunk boundaries anywhere, even mid-tag) with fail-fast rejection,
+//!   `finish` checks end-of-document acceptance — all buffers recycled
+//!   through a slab;
 //! * [`ValidatorPool`] / [`Schema::validate_batch`] shard a batch of
-//!   documents across warmed worker validators on scoped threads, with
-//!   results (and diagnostics) identical to single-threaded validation.
+//!   documents across warmed worker services on scoped threads — a thin
+//!   client of [`ValidationService`], so batch and interleaved serving
+//!   share one code path.
 //!
 //! Failures — at build time and at validation time — surface as structured
 //! [`Diagnostic`]s with stable codes, byte spans into the DTD source, and
@@ -57,9 +64,12 @@
 
 mod dtd;
 mod pool;
+mod service;
+mod tokenizer;
 mod validator;
 
 pub use pool::ValidatorPool;
+pub use service::{DocId, FeedStatus, ValidationService};
 pub use validator::{DocEvent, DocumentValidator};
 
 use crate::dtd::{parse_dtd_fragment, ParsedContent};
@@ -238,16 +248,26 @@ impl Schema {
         DocumentValidator::new(Arc::clone(self))
     }
 
+    /// Opens a connection-oriented [`ValidationService`] over this schema:
+    /// many in-flight documents, fed by events or raw bytes in any
+    /// interleaving, with fail-fast rejection. See the service docs.
+    #[must_use]
+    pub fn service(self: &Arc<Self>) -> ValidationService {
+        ValidationService::new(Arc::clone(self))
+    }
+
     /// Validates a batch of pre-interned documents, fanning them out over
-    /// `workers` threads (each with its own warmed validator). Results come
-    /// back in input order. This is the one-shot form of
-    /// [`ValidatorPool::validate_batch`] — for repeated batches build a
-    /// [`ValidatorPool`] once and reuse its warmed workers.
+    /// `workers` threads (each with its own warmed [`ValidationService`]).
+    /// Results come back in input order; a failed document carries the
+    /// earliest diagnostic of its validation (the service is fail-fast).
+    /// This is the one-shot form of [`ValidatorPool::validate_batch`] — for
+    /// repeated batches build a [`ValidatorPool`] once and reuse its warmed
+    /// workers.
     pub fn validate_batch<D: AsRef<[DocEvent]> + Sync>(
         self: &Arc<Self>,
         documents: &[D],
         workers: usize,
-    ) -> Vec<Result<(), Vec<Diagnostic>>> {
+    ) -> Vec<Result<(), Diagnostic>> {
         ValidatorPool::new(Arc::clone(self), workers).validate_batch(documents)
     }
 }

@@ -1,26 +1,35 @@
-//! Sharded parallel validation: one schema, many worker validators.
+//! Sharded parallel validation: one schema, many worker services.
 //!
 //! A compiled [`Schema`] is immutable and `Send + Sync`; validation state
-//! lives entirely in the per-thread [`DocumentValidator`]s. A
-//! [`ValidatorPool`] exploits that split: it keeps `M` warmed validators
-//! (each owning a clone of the schema's `Arc` plus its own frame stack and
-//! scratch pool) and fans a batch of `N` documents across them with
-//! [`std::thread::scope`] — contiguous shards, results in input order.
+//! lives entirely in the per-thread [`ValidationService`]s. A
+//! [`ValidatorPool`] exploits that split: it keeps `M` warmed services
+//! (each owning a clone of the schema's `Arc` plus its own recycled
+//! validator buffers) and fans a batch of `N` documents across them with
+//! [`std::thread::scope`] — balanced contiguous shards, results in input
+//! order.
+//!
+//! The pool is a **thin client** of [`ValidationService`]: each worker runs
+//! [`ValidationService::validate_events`] (`open` → `feed` → `finish`) per
+//! document, so batch validation and interleaved connection serving share
+//! one code path — including the service's fail-fast contract (each failed
+//! document reports the earliest diagnostic of its validation).
 //!
 //! The pool outlives its batches, so the per-worker warm-up cost (frame
 //! stack and counted-state buffers sized to the documents) is paid once:
 //! after the first batch each worker's validation loop performs **no
 //! allocation** for valid documents (enforced per-thread by the
-//! counting-allocator regression test). Spawning the scoped threads
-//! themselves costs `O(M)` per batch — amortize it with batches that are
-//! large relative to the worker count.
+//! counting-allocator regression test). Exactly one scoped thread is
+//! spawned per *non-empty* shard — degenerate batches with fewer documents
+//! than workers never spawn idle threads, and a single-shard batch runs
+//! inline on the calling thread.
 
-use crate::validator::{DocEvent, DocumentValidator};
+use crate::service::ValidationService;
+use crate::validator::DocEvent;
 use crate::Schema;
 use redet_core::Diagnostic;
 use std::sync::Arc;
 
-/// A fixed set of warmed worker validators over one shared [`Schema`]; see
+/// A fixed set of warmed worker services over one shared [`Schema`]; see
 /// the module docs.
 ///
 /// ```
@@ -49,17 +58,17 @@ use std::sync::Arc;
 /// assert!(results[2].is_ok());
 /// ```
 pub struct ValidatorPool {
-    workers: Vec<DocumentValidator>,
+    workers: Vec<ValidationService>,
 }
 
 impl ValidatorPool {
-    /// Creates a pool of `workers` validators (at least one) over `schema`.
+    /// Creates a pool of `workers` services (at least one) over `schema`.
     #[must_use]
     pub fn new(schema: Arc<Schema>, workers: usize) -> Self {
         let workers = workers.max(1);
         ValidatorPool {
             workers: (0..workers)
-                .map(|_| DocumentValidator::new(Arc::clone(&schema)))
+                .map(|_| ValidationService::new(Arc::clone(&schema)))
                 .collect(),
         }
     }
@@ -69,22 +78,24 @@ impl ValidatorPool {
         self.workers[0].schema()
     }
 
-    /// Number of worker validators.
+    /// Number of worker services.
     pub fn workers(&self) -> usize {
         self.workers.len()
     }
 
     /// Validates a batch of pre-interned documents, sharding them
-    /// contiguously across the workers. Results are returned in input
-    /// order; each entry is exactly what a single-threaded
-    /// [`DocumentValidator::validate_events`] call would produce for that
+    /// contiguously across the workers — balanced shard sizes, exactly one
+    /// scoped thread per non-empty shard (fewer documents than workers
+    /// never spawn idle threads; one shard runs inline). Results are
+    /// returned in input order; each entry is exactly what a
+    /// [`ValidationService::validate_events`] call would produce for that
     /// document (workers never share mutable state, so diagnostics are
     /// deterministic).
     pub fn validate_batch<D: AsRef<[DocEvent]> + Sync>(
         &mut self,
         documents: &[D],
-    ) -> Vec<Result<(), Vec<Diagnostic>>> {
-        let mut results: Vec<Result<(), Vec<Diagnostic>>> = Vec::with_capacity(documents.len());
+    ) -> Vec<Result<(), Diagnostic>> {
+        let mut results: Vec<Result<(), Diagnostic>> = Vec::with_capacity(documents.len());
         results.resize_with(documents.len(), || Ok(()));
         let shards = self.workers.len().min(documents.len());
         if shards == 0 {
@@ -99,15 +110,15 @@ impl ValidatorPool {
             }
             return results;
         }
-        let chunk = documents.len().div_ceil(shards);
+        // Balanced contiguous shards: the first `extra` shards take one
+        // extra document, so no worker idles while another holds two more.
+        let base = documents.len() / shards;
+        let extra = documents.len() % shards;
         std::thread::scope(|scope| {
             let mut docs_rest = documents;
             let mut results_rest = results.as_mut_slice();
-            for worker in self.workers.iter_mut().take(shards) {
-                let take = chunk.min(docs_rest.len());
-                if take == 0 {
-                    break;
-                }
+            for (i, worker) in self.workers.iter_mut().take(shards).enumerate() {
+                let take = base + usize::from(i < extra);
                 let (docs, dr) = docs_rest.split_at(take);
                 let (out, rr) = results_rest.split_at_mut(take);
                 docs_rest = dr;
@@ -175,7 +186,7 @@ mod tests {
         assert_eq!(pool.workers(), 4);
         let results = pool.validate_batch(&documents);
         assert_eq!(results.len(), documents.len());
-        let mut single = schema.validator();
+        let mut single = schema.service();
         for (i, (doc, result)) in documents.iter().zip(&results).enumerate() {
             let expected = single.validate_events(doc);
             assert_eq!(expected.is_ok(), result.is_ok(), "document {i}");
@@ -196,11 +207,14 @@ mod tests {
         let mut pool = ValidatorPool::new(Arc::clone(&schema), 8);
         // Empty batch.
         assert!(pool.validate_batch::<Vec<DocEvent>>(&[]).is_empty());
-        // Fewer documents than workers.
-        let documents = vec![document(&schema, 1, true)];
-        let results = pool.validate_batch(&documents);
-        assert_eq!(results.len(), 1);
-        assert!(results[0].is_ok());
+        // Fewer documents than workers: every spawned shard is non-empty.
+        for n in 1..8 {
+            let documents: Vec<Vec<DocEvent>> =
+                (0..n).map(|i| document(&schema, i, true)).collect();
+            let results = pool.validate_batch(&documents);
+            assert_eq!(results.len(), n);
+            assert!(results.iter().all(Result::is_ok));
+        }
         // Zero requested workers clamps to one.
         assert_eq!(ValidatorPool::new(schema, 0).workers(), 1);
     }

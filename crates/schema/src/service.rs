@@ -1,0 +1,642 @@
+//! Connection-oriented validation: many in-flight documents, fed in any
+//! interleaving, over one shared [`Schema`].
+//!
+//! A real server does not see whole documents — it sees thousands of
+//! connections delivering chunks in arbitrary order. The per-event state of
+//! the streaming matchers is tiny (one `PosId` frame per open element), so
+//! keeping a document *suspended* between chunks is cheap; this module is
+//! the surface that exploits it:
+//!
+//! * [`ValidationService::open`] allocates a lightweight in-flight document
+//!   — a slab slot holding a recycled [`DocumentValidator`] (frame stack +
+//!   side stacks) and a byte [`Tokenizer`] — and returns a generation-checked
+//!   [`DocId`] handle;
+//! * [`ValidationService::feed`] advances any handle by any number of
+//!   pre-interned [`DocEvent`]s; [`ValidationService::feed_bytes`] accepts
+//!   raw bytes instead (tag soup, chunk boundaries anywhere — including
+//!   mid-tag) and tokenizes them on the fly;
+//! * feeding **fails fast**: at the first diagnostic the handle flips to
+//!   [`FeedStatus::Rejected`], retains that earliest diagnostic — byte-for-
+//!   byte the one a whole-document [`DocumentValidator`] run would report
+//!   first — and stops consuming work until it is finished or closed;
+//! * [`ValidationService::finish`] checks end-of-document acceptance and
+//!   recycles the slot's buffers; [`ValidationService::close`] abandons a
+//!   document without the end check.
+//!
+//! Everything is recycled through the slab and a spare list, so a warmed
+//! service opens, feeds and finishes documents with **zero steady-state
+//! allocation** on the valid path (enforced by the repository's
+//! counting-allocator regression test). [`crate::ValidatorPool`] batches
+//! are a thin client of this type — batch and interleaved serving share one
+//! code path.
+
+use crate::tokenizer::{Tag, Tokenizer};
+use crate::validator::{DocEvent, DocumentValidator};
+use crate::Schema;
+use redet_core::Diagnostic;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Process-wide counter handing every [`ValidationService`] a distinct
+/// identity, so a [`DocId`] can never resolve against the wrong service.
+static NEXT_SERVICE_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A handle to one in-flight document of a [`ValidationService`].
+///
+/// Handles are generation-checked: using a `DocId` after `finish`/`close`
+/// (or a handle from a different service) panics instead of silently
+/// touching a recycled slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[must_use = "an open document handle must eventually be finished or closed"]
+pub struct DocId {
+    /// The issuing service's identity (see [`NEXT_SERVICE_ID`]).
+    service: u32,
+    index: u32,
+    generation: u32,
+}
+
+/// What feeding a chunk did to an in-flight document.
+///
+/// Marked `#[non_exhaustive]`: later revisions may report finer-grained
+/// progress — keep a wildcard arm when matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FeedStatus {
+    /// Everything fed so far is valid, but elements are still open (or no
+    /// event has arrived yet) — the document needs more input.
+    NeedMore,
+    /// Everything fed so far is valid and every opened element has been
+    /// closed: [`ValidationService::finish`] would succeed right now.
+    Accepted,
+    /// The document is invalid. The earliest diagnostic is retained (see
+    /// [`ValidationService::diagnostic`]) until the handle is finished or
+    /// closed; further feeds are no-ops — a rejected handle consumes no
+    /// more matcher work.
+    Rejected,
+}
+
+/// One in-flight document: the validator state, the byte-level scanner, and
+/// the retained rejection. Recycled whole through the spare list.
+struct InFlight {
+    validator: DocumentValidator,
+    tokenizer: Tokenizer,
+    rejected: Option<Diagnostic>,
+}
+
+/// One slab slot. `generation` is bumped on every free, so stale [`DocId`]s
+/// are detected instead of resolving to a recycled document.
+struct Slot {
+    generation: u32,
+    doc: Option<InFlight>,
+}
+
+/// A connection-oriented validation front end over one [`Schema`]; see the
+/// module docs.
+///
+/// ```
+/// use redet_schema::{FeedStatus, SchemaBuilder};
+///
+/// let schema = SchemaBuilder::new()
+///     .element("pair", "(left, right)")
+///     .element_empty("left")
+///     .element_empty("right")
+///     .build()
+///     .unwrap();
+/// let mut service = redet_schema::ValidationService::new(schema);
+///
+/// // Two connections, interleaved, one fed as events, one as raw bytes.
+/// let a = service.open();
+/// let b = service.open();
+/// assert_eq!(service.feed_bytes(a, b"<pair><le"), FeedStatus::NeedMore);
+/// let pair = service.schema().lookup("pair").unwrap();
+/// let left = service.schema().lookup("left").unwrap();
+/// use redet_schema::DocEvent::{Close, Open};
+/// assert_eq!(service.feed(b, &[Open(pair), Open(left), Close]), FeedStatus::NeedMore);
+/// assert_eq!(service.feed_bytes(a, b"ft/><right/></pair>"), FeedStatus::Accepted);
+/// assert!(service.finish(a).is_ok());
+/// // `b` is missing <right>: the incompleteness is diagnosed at finish.
+/// assert_eq!(service.feed(b, &[Close]), FeedStatus::Rejected);
+/// assert!(service.finish(b).is_err());
+/// ```
+pub struct ValidationService {
+    /// This service's identity, stamped into every issued [`DocId`].
+    id: u32,
+    schema: Arc<Schema>,
+    slots: Vec<Slot>,
+    /// Indices of empty slots, reused LIFO (warm slots first).
+    free: Vec<u32>,
+    /// Warmed per-document state of closed handles, reused by `open`.
+    spare: Vec<InFlight>,
+}
+
+impl ValidationService {
+    /// Creates a service over `schema` with no in-flight documents.
+    #[must_use]
+    pub fn new(schema: Arc<Schema>) -> Self {
+        ValidationService {
+            id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// The shared schema every document is validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of currently open documents.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Opens a new in-flight document and returns its handle. Buffers of
+    /// previously closed documents are recycled, so a warmed service opens
+    /// without allocating.
+    pub fn open(&mut self) -> DocId {
+        let flight = self.spare.pop().unwrap_or_else(|| InFlight {
+            validator: DocumentValidator::new(Arc::clone(&self.schema)),
+            tokenizer: Tokenizer::default(),
+            rejected: None,
+        });
+        let index = match self.free.pop() {
+            Some(index) => index,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    doc: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[index as usize];
+        slot.doc = Some(flight);
+        DocId {
+            service: self.id,
+            index,
+            generation: slot.generation,
+        }
+    }
+
+    /// Advances a document by any number of pre-interned events. Feeding
+    /// stops at the first diagnostic: the handle flips to
+    /// [`FeedStatus::Rejected`], retains that diagnostic, and ignores the
+    /// rest of this chunk and all later feeds.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    #[must_use = "a rejected document should stop being fed"]
+    pub fn feed(&mut self, doc: DocId, events: &[DocEvent]) -> FeedStatus {
+        let flight = self.flight_mut(doc);
+        if flight.rejected.is_some() {
+            return FeedStatus::Rejected;
+        }
+        for &event in events {
+            match event {
+                DocEvent::Open(sym) => flight.validator.start_element_symbol(sym),
+                DocEvent::Close => flight.validator.end_element(),
+            }
+            if !flight.validator.is_clean() {
+                flight.rejected = flight.validator.take_first_diagnostic();
+                return FeedStatus::Rejected;
+            }
+        }
+        Self::progress(flight)
+    }
+
+    /// Advances a document by a chunk of raw bytes, tokenizing tag soup on
+    /// the fly. Chunk boundaries may fall anywhere — mid-name, mid-
+    /// attribute, mid-comment; the scanner state lives in the handle.
+    /// Element names are resolved against the schema per tag; text content,
+    /// comments, CDATA, PIs and doctypes are skipped. Fails fast exactly
+    /// like [`ValidationService::feed`], with unparsable markup reported as
+    /// a [`redet_core::Code::MalformedMarkup`] diagnostic.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    #[must_use = "a rejected document should stop being fed"]
+    pub fn feed_bytes(&mut self, doc: DocId, bytes: &[u8]) -> FeedStatus {
+        let flight = self.flight_mut(doc);
+        if flight.rejected.is_some() {
+            return FeedStatus::Rejected;
+        }
+        let validator = &mut flight.validator;
+        let clean = flight.tokenizer.feed(bytes, &mut |tag| {
+            match tag {
+                Tag::Open(name) => validator.start_element(name),
+                Tag::OpenClose(name) => {
+                    validator.start_element(name);
+                    if validator.is_clean() {
+                        validator.end_element();
+                    }
+                }
+                Tag::Close(name) => match validator.open_element_name() {
+                    // XML well-formedness: the end tag must name the
+                    // innermost open element. (Event-level feeding has no
+                    // names on close events, so only bytes pay this.)
+                    Some(open) if open != name => validator.report_markup(format!(
+                        "</{name}> does not match the innermost open element <{open}>"
+                    )),
+                    _ => validator.end_element(),
+                },
+                Tag::Error(message) => validator.report_markup(message.to_owned()),
+            }
+            validator.is_clean()
+        });
+        if !clean {
+            flight.rejected = validator.take_first_diagnostic();
+            return FeedStatus::Rejected;
+        }
+        Self::progress(flight)
+    }
+
+    /// The current status of a document, without feeding anything.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    pub fn status(&self, doc: DocId) -> FeedStatus {
+        let flight = self.flight(doc);
+        if flight.rejected.is_some() {
+            FeedStatus::Rejected
+        } else {
+            Self::progress(flight)
+        }
+    }
+
+    /// The retained diagnostic of a rejected document, if any.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    pub fn diagnostic(&self, doc: DocId) -> Option<&Diagnostic> {
+        self.flight(doc).rejected.as_ref()
+    }
+
+    /// Number of currently open elements of a document.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    pub fn depth(&self, doc: DocId) -> usize {
+        self.flight(doc).validator.depth()
+    }
+
+    /// Ends a document: checks end-of-document acceptance (every element
+    /// closed, no markup left open), releases the handle and recycles its
+    /// buffers. Returns the retained diagnostic for rejected documents —
+    /// byte-identical to the *first* diagnostic a whole-document
+    /// [`DocumentValidator`] run over the same events would report.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    #[must_use = "the validation verdict is the point of finish()"]
+    pub fn finish(&mut self, doc: DocId) -> Result<(), Diagnostic> {
+        let mut flight = self.take_flight(doc);
+        let result = match flight.rejected.take() {
+            Some(diagnostic) => {
+                // Reset the abandoned mid-document state for recycling.
+                let _ = flight.validator.finish();
+                Err(diagnostic)
+            }
+            None if !flight.tokenizer.is_idle() => {
+                flight
+                    .validator
+                    .report_markup("byte stream ended inside markup".to_owned());
+                let diagnostic = flight
+                    .validator
+                    .take_first_diagnostic()
+                    .expect("just recorded");
+                let _ = flight.validator.finish();
+                Err(diagnostic)
+            }
+            None => flight.validator.finish().map_err(|mut diagnostics| {
+                // Only end-of-document diagnostics can be pending here —
+                // anything earlier would have rejected the handle.
+                diagnostics.remove(0)
+            }),
+        };
+        flight.tokenizer.reset();
+        self.spare.push(flight);
+        result
+    }
+
+    /// Abandons a document without the end-of-document check, releasing the
+    /// handle and recycling its buffers.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already finished/closed or belongs to another
+    /// service.
+    pub fn close(&mut self, doc: DocId) {
+        let mut flight = self.take_flight(doc);
+        flight.rejected = None;
+        let _ = flight.validator.finish();
+        flight.tokenizer.reset();
+        self.spare.push(flight);
+    }
+
+    /// Validates one whole document given as a pre-interned event stream:
+    /// `open` + `feed` + `finish` in one call. This is the loop
+    /// [`crate::ValidatorPool`] workers run per document — batch validation
+    /// and interleaved serving share this single code path.
+    pub fn validate_events(&mut self, events: &[DocEvent]) -> Result<(), Diagnostic> {
+        let doc = self.open();
+        let _ = self.feed(doc, events);
+        self.finish(doc)
+    }
+
+    /// Validates one whole document given as raw bytes: `open` +
+    /// `feed_bytes` + `finish` in one call.
+    pub fn validate_bytes(&mut self, bytes: &[u8]) -> Result<(), Diagnostic> {
+        let doc = self.open();
+        let _ = self.feed_bytes(doc, bytes);
+        self.finish(doc)
+    }
+
+    /// The feed status of a live (non-rejected) document.
+    fn progress(flight: &InFlight) -> FeedStatus {
+        if flight.validator.depth() == 0
+            && flight.validator.events() > 0
+            && flight.tokenizer.is_idle()
+        {
+            FeedStatus::Accepted
+        } else {
+            FeedStatus::NeedMore
+        }
+    }
+
+    fn flight(&self, doc: DocId) -> &InFlight {
+        assert_eq!(
+            doc.service, self.id,
+            "DocId belongs to another ValidationService"
+        );
+        self.slots
+            .get(doc.index as usize)
+            .filter(|slot| slot.generation == doc.generation)
+            .and_then(|slot| slot.doc.as_ref())
+            .expect("DocId was already finished/closed or belongs to another service")
+    }
+
+    fn flight_mut(&mut self, doc: DocId) -> &mut InFlight {
+        assert_eq!(
+            doc.service, self.id,
+            "DocId belongs to another ValidationService"
+        );
+        self.slots
+            .get_mut(doc.index as usize)
+            .filter(|slot| slot.generation == doc.generation)
+            .and_then(|slot| slot.doc.as_mut())
+            .expect("DocId was already finished/closed or belongs to another service")
+    }
+
+    /// Removes a document from its slot, freeing the slot for reuse and
+    /// invalidating every copy of the handle.
+    fn take_flight(&mut self, doc: DocId) -> InFlight {
+        assert_eq!(
+            doc.service, self.id,
+            "DocId belongs to another ValidationService"
+        );
+        let slot = self
+            .slots
+            .get_mut(doc.index as usize)
+            .filter(|slot| slot.generation == doc.generation)
+            .expect("DocId was already finished/closed or belongs to another service");
+        let flight = slot
+            .doc
+            .take()
+            .expect("DocId was already finished/closed or belongs to another service");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(doc.index);
+        flight
+    }
+}
+
+impl std::fmt::Debug for ValidationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValidationService")
+            .field("schema", &self.schema)
+            .field("in_flight", &self.in_flight())
+            .field("spare", &self.spare.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemaBuilder;
+    use redet_core::Code;
+
+    fn bibliography() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .element("bibliography", "(book | article)*")
+            .element("book", "(title, author+, year)")
+            .element("article", "(title, author+, journal, year?)")
+            .element_empty("title")
+            .element_empty("author")
+            .element_empty("year")
+            .build()
+            .unwrap()
+    }
+
+    fn events(schema: &Schema, names: &[&str]) -> Vec<DocEvent> {
+        names
+            .iter()
+            .map(|name| match name.strip_prefix('/') {
+                Some(_) => DocEvent::Close,
+                None => DocEvent::Open(schema.lookup(name).unwrap()),
+            })
+            .collect()
+    }
+
+    const VALID: &[&str] = &[
+        "bibliography",
+        "book",
+        "title",
+        "/",
+        "author",
+        "/",
+        "year",
+        "/",
+        "/",
+        "/",
+    ];
+
+    #[test]
+    fn interleaved_documents_do_not_interfere() {
+        let schema = bibliography();
+        let doc = events(&schema, VALID);
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        // 8 concurrent handles, round-robin one event at a time.
+        let handles: Vec<DocId> = (0..8).map(|_| service.open()).collect();
+        assert_eq!(service.in_flight(), 8);
+        for i in 0..doc.len() {
+            for &h in &handles {
+                let status = service.feed(h, &doc[i..=i]);
+                if i + 1 == doc.len() {
+                    assert_eq!(status, FeedStatus::Accepted);
+                } else {
+                    assert_eq!(status, FeedStatus::NeedMore);
+                }
+            }
+        }
+        for h in handles {
+            assert!(service.finish(h).is_ok());
+        }
+        assert_eq!(service.in_flight(), 0);
+    }
+
+    #[test]
+    fn rejected_handles_fail_fast_and_retain_the_first_diagnostic() {
+        let schema = bibliography();
+        // `author` before `title` rejects <book> at event 2.
+        let bad = events(
+            &schema,
+            &[
+                "bibliography",
+                "book",
+                "author",
+                "/",
+                "title",
+                "/",
+                "year",
+                "/",
+                "/",
+                "/",
+            ],
+        );
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        let doc = service.open();
+        assert_eq!(service.feed(doc, &bad[..2]), FeedStatus::NeedMore);
+        assert_eq!(service.feed(doc, &bad[2..4]), FeedStatus::Rejected);
+        let retained = service.diagnostic(doc).unwrap().to_string();
+        // Further feeding is a no-op; the diagnostic does not change.
+        assert_eq!(service.feed(doc, &bad[4..]), FeedStatus::Rejected);
+        assert_eq!(service.diagnostic(doc).unwrap().to_string(), retained);
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.to_string(), retained);
+        // Byte-identical to the first whole-document diagnostic.
+        let mut whole = schema.validator();
+        let expected = whole.validate_events(&bad).unwrap_err();
+        assert_eq!(format!("{err:?}"), format!("{:?}", expected[0]));
+    }
+
+    #[test]
+    fn finish_diagnoses_incomplete_and_unbalanced_documents() {
+        let schema = bibliography();
+        let doc = events(&schema, VALID);
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        // Truncated: unbalanced at finish.
+        let h = service.open();
+        assert_eq!(service.feed(h, &doc[..3]), FeedStatus::NeedMore);
+        assert_eq!(
+            service.finish(h).unwrap_err().code(),
+            Code::UnbalancedDocument
+        );
+        // Recycled slot, fresh generation: the old handle is dead.
+        let h2 = service.open();
+        assert_eq!(service.feed(h2, &doc), FeedStatus::Accepted);
+        assert!(service.finish(h2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished/closed")]
+    fn stale_handles_panic() {
+        let schema = bibliography();
+        let mut service = ValidationService::new(schema);
+        let doc = service.open();
+        service.close(doc);
+        let _ = service.status(doc);
+    }
+
+    #[test]
+    fn byte_feeding_tolerates_any_split() {
+        let schema = bibliography();
+        let xml = "<?xml version=\"1.0\"?><bibliography><!-- two entries -->\
+                   <book><title/>text<author kind=\"primary\"/><year/></book>\
+                   </bibliography>";
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        for chunk in [1usize, 2, 3, 7, 16, xml.len()] {
+            let doc = service.open();
+            let mut status = FeedStatus::NeedMore;
+            for part in xml.as_bytes().chunks(chunk) {
+                status = service.feed_bytes(doc, part);
+            }
+            assert_eq!(status, FeedStatus::Accepted, "chunk size {chunk}");
+            assert!(service.finish(doc).is_ok(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn malformed_markup_is_a_diagnostic() {
+        let schema = bibliography();
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        let doc = service.open();
+        assert_eq!(
+            service.feed_bytes(doc, b"<bibliography><>"),
+            FeedStatus::Rejected
+        );
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.code(), Code::MalformedMarkup);
+        // A byte stream ending inside a tag is malformed too.
+        let doc = service.open();
+        assert_eq!(
+            service.feed_bytes(doc, b"<bibliography></bibliogr"),
+            FeedStatus::NeedMore
+        );
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.code(), Code::MalformedMarkup);
+    }
+
+    #[test]
+    fn mismatched_end_tags_are_rejected() {
+        let schema = bibliography();
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        let doc = service.open();
+        // </bibliography> closes <book>: well-formedness violation, caught
+        // whatever the chunking.
+        assert_eq!(
+            service.feed_bytes(doc, b"<bibliography><book></bibliography>"),
+            FeedStatus::Rejected
+        );
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.code(), Code::MalformedMarkup);
+        assert!(err.to_string().contains("</bibliography>"), "{err}");
+        // Properly nested documents are unaffected.
+        let doc = service.open();
+        assert_eq!(
+            service.feed_bytes(doc, b"<bibliography></bibliography>"),
+            FeedStatus::Accepted
+        );
+        assert!(service.finish(doc).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "another ValidationService")]
+    fn foreign_handles_panic() {
+        let schema = bibliography();
+        let mut first = ValidationService::new(Arc::clone(&schema));
+        let mut second = ValidationService::new(schema);
+        let doc = first.open();
+        let _ = second.open(); // same slot index and generation — still foreign
+        let _ = second.status(doc);
+    }
+
+    #[test]
+    fn unknown_elements_reject_byte_documents() {
+        let schema = bibliography();
+        let mut service = ValidationService::new(schema);
+        let doc = service.open();
+        assert_eq!(
+            service.feed_bytes(doc, b"<bibliography><pamphlet/>"),
+            FeedStatus::Rejected
+        );
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.code(), Code::UnknownElement);
+    }
+}

@@ -1,0 +1,499 @@
+//! A minimal streaming XML tokenizer: raw bytes in, tag events out.
+//!
+//! [`ValidationService::feed_bytes`] lets callers pipe socket buffers
+//! straight into validation; this module is the state machine behind it. It
+//! turns tag soup into open/close events and **tolerates chunk boundaries
+//! anywhere** — mid-name, mid-attribute, mid-comment — by keeping the whole
+//! scanner state (plus the bytes of a partial name) in the [`Tokenizer`]
+//! value between `feed` calls.
+//!
+//! The tokenizer is deliberately minimal, scoped to what element-structure
+//! validation needs:
+//!
+//! * start tags `<name …>` (attributes are skipped, with quote tracking so
+//!   `>` inside an attribute value does not end the tag), end tags
+//!   `</name>`, and self-closing tags `<name …/>`;
+//! * character data, comments (`<!-- … -->`), CDATA sections
+//!   (`<![CDATA[ … ]]>`), processing instructions (`<?…?>`) and doctype-ish
+//!   `<!…>` constructs (with `[…]` internal-subset nesting) are consumed
+//!   and ignored — content models constrain *element* children only, which
+//!   matches [`DocumentValidator`]'s event model;
+//! * anything unparsable (stray `<`, `<>`, `</>`, garbage after an end-tag
+//!   name, a non-UTF-8 element name) is reported as a [`Tag::Error`], which
+//!   the service converts into a [`Code::MalformedMarkup`] diagnostic.
+//!
+//! No byte is ever buffered except the current partial tag name, so a
+//! warmed tokenizer feeds without allocating.
+//!
+//! [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
+//! [`DocumentValidator`]: crate::DocumentValidator
+//! [`Code::MalformedMarkup`]: redet_core::Code::MalformedMarkup
+
+/// One tag-level event produced by the tokenizer.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Tag<'a> {
+    /// A start tag `<name …>`.
+    Open(&'a str),
+    /// A self-closing tag `<name …/>`: open and immediately close.
+    OpenClose(&'a str),
+    /// An end tag `</name>`. The service checks the name against the
+    /// innermost open element (the tokenizer itself does no matching).
+    Close(&'a str),
+    /// Markup the minimal grammar cannot parse.
+    Error(&'static str),
+}
+
+/// Which quote character an attribute value is currently inside.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Quote {
+    #[default]
+    None,
+    Single,
+    Double,
+}
+
+/// The scanner position. Everything is `Copy` plain data; together with the
+/// partial-name buffer it is the *entire* cross-chunk state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum State {
+    /// Character data between tags (ignored).
+    #[default]
+    Text,
+    /// Just after `<`.
+    Lt,
+    /// Accumulating a start-tag name into the buffer.
+    OpenName,
+    /// Accumulating an end-tag name into the buffer.
+    CloseName,
+    /// Inside a start tag after the name, skipping attributes. `slash` is
+    /// set when the previous meaningful byte was `/` (self-closing if `>`
+    /// follows).
+    Attrs { quote: Quote, slash: bool },
+    /// After `</name` — only whitespace may precede the `>`.
+    CloseEnd,
+    /// Just after `<!`, before the construct is identified.
+    Bang,
+    /// After `<!-`, expecting the second `-` of a comment opener.
+    BangDash,
+    /// Matching the `CDATA[` discriminator after `<![`, byte by byte.
+    CdataPrefix { matched: u8 },
+    /// Inside `<![CDATA[ … ]]>`; `brackets` counts trailing `]`s seen.
+    Cdata { brackets: u8 },
+    /// Inside `<!-- … -->`; `dashes` counts trailing `-`s seen.
+    Comment { dashes: u8 },
+    /// Inside a doctype-ish `<!…>` construct; `depth` tracks `[…]` nesting
+    /// (internal subsets contain `>`s of their own) and `quote` an open
+    /// system/public literal (which may legally contain `>`, `[`, `]`).
+    Doctype { depth: u8, quote: Quote },
+    /// Inside `<?…?>`; `qm` is set when the previous byte was `?`.
+    Pi { qm: bool },
+}
+
+/// Which tag the current byte completed; the name sits in the buffer.
+#[derive(Clone, Copy)]
+enum Finish {
+    Open,
+    OpenClose,
+    Close,
+}
+
+const CDATA_PREFIX: &[u8] = b"CDATA[";
+
+/// The streaming scanner; see the module docs. One per in-flight document —
+/// chunk boundaries may fall anywhere, so the state must persist between
+/// [`Tokenizer::feed`] calls.
+#[derive(Debug, Default)]
+pub(crate) struct Tokenizer {
+    state: State,
+    /// Bytes of the current (possibly chunk-split) tag name.
+    name: Vec<u8>,
+}
+
+impl Tokenizer {
+    /// Whether the scanner is between constructs — the end-of-document
+    /// well-formedness check (`finish` inside a tag is malformed markup).
+    pub(crate) fn is_idle(&self) -> bool {
+        self.state == State::Text
+    }
+
+    /// Resets the scanner for the next document, keeping the name buffer's
+    /// capacity.
+    pub(crate) fn reset(&mut self) {
+        self.state = State::Text;
+        self.name.clear();
+    }
+
+    /// Scans one chunk, invoking `sink` for every completed tag. The sink
+    /// returns `false` to stop the scan (the service does this when the
+    /// document is rejected); remaining bytes of the chunk are dropped and
+    /// `feed` returns `false`. Returns `true` when the whole chunk was
+    /// consumed.
+    pub(crate) fn feed(&mut self, bytes: &[u8], sink: &mut dyn FnMut(Tag<'_>) -> bool) -> bool {
+        for &b in bytes {
+            let mut emit: Option<Tag<'static>> = None;
+            // Set when the byte completes a tag whose name sits in the
+            // buffer (resolved to UTF-8 outside the match, so the borrow of
+            // `self.name` does not overlap `self.state`).
+            let mut finish: Option<Finish> = None;
+            self.state = match self.state {
+                State::Text => match b {
+                    b'<' => State::Lt,
+                    _ => State::Text,
+                },
+                State::Lt => match b {
+                    b'/' => {
+                        self.name.clear();
+                        State::CloseName
+                    }
+                    b'!' => State::Bang,
+                    b'?' => State::Pi { qm: false },
+                    b'>' => {
+                        emit = Some(Tag::Error("empty tag '<>'"));
+                        State::Text
+                    }
+                    _ if is_name_byte(b) => {
+                        self.name.clear();
+                        self.name.push(b);
+                        State::OpenName
+                    }
+                    _ => {
+                        emit = Some(Tag::Error("stray '<' is not followed by a tag name"));
+                        State::Text
+                    }
+                },
+                State::OpenName => match b {
+                    b'>' => {
+                        finish = Some(Finish::Open);
+                        State::Text
+                    }
+                    b'/' => State::Attrs {
+                        quote: Quote::None,
+                        slash: true,
+                    },
+                    _ if b.is_ascii_whitespace() => State::Attrs {
+                        quote: Quote::None,
+                        slash: false,
+                    },
+                    b'<' => {
+                        emit = Some(Tag::Error("'<' inside a tag"));
+                        State::Text
+                    }
+                    _ if is_name_byte(b) => {
+                        self.name.push(b);
+                        State::OpenName
+                    }
+                    _ => {
+                        emit = Some(Tag::Error("malformed start tag"));
+                        State::Text
+                    }
+                },
+                State::Attrs { quote, slash } => match (quote, b) {
+                    (Quote::Single, b'\'') | (Quote::Double, b'"') => State::Attrs {
+                        quote: Quote::None,
+                        slash: false,
+                    },
+                    (Quote::Single, _) | (Quote::Double, _) => State::Attrs { quote, slash },
+                    (Quote::None, b'>') => {
+                        finish = Some(if slash {
+                            Finish::OpenClose
+                        } else {
+                            Finish::Open
+                        });
+                        State::Text
+                    }
+                    (Quote::None, b'/') => State::Attrs {
+                        quote: Quote::None,
+                        slash: true,
+                    },
+                    (Quote::None, b'\'') => State::Attrs {
+                        quote: Quote::Single,
+                        slash: false,
+                    },
+                    (Quote::None, b'"') => State::Attrs {
+                        quote: Quote::Double,
+                        slash: false,
+                    },
+                    (Quote::None, b'<') => {
+                        emit = Some(Tag::Error("'<' inside a tag"));
+                        State::Text
+                    }
+                    (Quote::None, _) => State::Attrs {
+                        quote: Quote::None,
+                        slash: false,
+                    },
+                },
+                State::CloseName => match b {
+                    b'>' if self.name.is_empty() => {
+                        emit = Some(Tag::Error("end tag '</>' has no name"));
+                        State::Text
+                    }
+                    b'>' => {
+                        finish = Some(Finish::Close);
+                        State::Text
+                    }
+                    _ if b.is_ascii_whitespace() && self.name.is_empty() => {
+                        emit = Some(Tag::Error("end tag '</ ' has no name"));
+                        State::Text
+                    }
+                    _ if b.is_ascii_whitespace() => State::CloseEnd,
+                    _ if is_name_byte(b) => {
+                        self.name.push(b);
+                        State::CloseName
+                    }
+                    _ => {
+                        emit = Some(Tag::Error("malformed end tag"));
+                        State::Text
+                    }
+                },
+                State::CloseEnd => match b {
+                    b'>' => {
+                        finish = Some(Finish::Close);
+                        State::Text
+                    }
+                    _ if b.is_ascii_whitespace() => State::CloseEnd,
+                    _ => {
+                        emit = Some(Tag::Error("garbage after an end-tag name"));
+                        State::Text
+                    }
+                },
+                State::Bang => match b {
+                    b'-' => State::BangDash,
+                    b'[' => State::CdataPrefix { matched: 0 },
+                    b'>' => State::Text,
+                    _ => State::Doctype {
+                        depth: 0,
+                        quote: Quote::None,
+                    },
+                },
+                State::BangDash => match b {
+                    b'-' => State::Comment { dashes: 0 },
+                    b'>' => State::Text,
+                    _ => State::Doctype {
+                        depth: 0,
+                        quote: Quote::None,
+                    },
+                },
+                State::CdataPrefix { matched } => {
+                    if b == CDATA_PREFIX[matched as usize] {
+                        if matched as usize + 1 == CDATA_PREFIX.len() {
+                            State::Cdata { brackets: 0 }
+                        } else {
+                            State::CdataPrefix {
+                                matched: matched + 1,
+                            }
+                        }
+                    } else {
+                        // Not a CDATA section after all (`<![INCLUDE[` …):
+                        // treat it as a doctype-ish marked section. The `[`
+                        // already consumed opened one nesting level.
+                        let depth = match b {
+                            b']' => 0,
+                            b'[' => 2,
+                            _ => 1,
+                        };
+                        State::Doctype {
+                            depth,
+                            quote: match b {
+                                b'\'' => Quote::Single,
+                                b'"' => Quote::Double,
+                                _ => Quote::None,
+                            },
+                        }
+                    }
+                }
+                State::Cdata { brackets } => match b {
+                    b']' => State::Cdata {
+                        brackets: (brackets + 1).min(2),
+                    },
+                    b'>' if brackets >= 2 => State::Text,
+                    _ => State::Cdata { brackets: 0 },
+                },
+                State::Comment { dashes } => match b {
+                    b'-' => State::Comment {
+                        dashes: (dashes + 1).min(2),
+                    },
+                    b'>' if dashes >= 2 => State::Text,
+                    _ => State::Comment { dashes: 0 },
+                },
+                State::Doctype { depth, quote } => match (quote, b) {
+                    // Inside a system/public literal everything is inert
+                    // until the matching quote — literals legally contain
+                    // `>`, `[` and `]`.
+                    (Quote::Single, b'\'') | (Quote::Double, b'"') => State::Doctype {
+                        depth,
+                        quote: Quote::None,
+                    },
+                    (Quote::Single, _) | (Quote::Double, _) => State::Doctype { depth, quote },
+                    (Quote::None, b'\'') => State::Doctype {
+                        depth,
+                        quote: Quote::Single,
+                    },
+                    (Quote::None, b'"') => State::Doctype {
+                        depth,
+                        quote: Quote::Double,
+                    },
+                    (Quote::None, b'[') => State::Doctype {
+                        depth: depth.saturating_add(1),
+                        quote: Quote::None,
+                    },
+                    (Quote::None, b']') => State::Doctype {
+                        depth: depth.saturating_sub(1),
+                        quote: Quote::None,
+                    },
+                    (Quote::None, b'>') if depth == 0 => State::Text,
+                    (Quote::None, _) => State::Doctype {
+                        depth,
+                        quote: Quote::None,
+                    },
+                },
+                State::Pi { qm } => match b {
+                    b'?' => State::Pi { qm: true },
+                    b'>' if qm => State::Text,
+                    _ => State::Pi { qm: false },
+                },
+            };
+            if let Some(kind) = finish {
+                let keep_going = match std::str::from_utf8(&self.name) {
+                    Ok(name) => sink(match kind {
+                        Finish::Open => Tag::Open(name),
+                        Finish::OpenClose => Tag::OpenClose(name),
+                        Finish::Close => Tag::Close(name),
+                    }),
+                    Err(_) => sink(Tag::Error("element name is not valid UTF-8")),
+                };
+                self.name.clear();
+                if !keep_going {
+                    return false;
+                }
+            } else if let Some(tag) = emit {
+                self.name.clear();
+                if !sink(tag) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Bytes allowed in element names. Deliberately permissive (tag soup): any
+/// byte that cannot terminate or confuse a tag, including multi-byte UTF-8
+/// sequences, counts as a name byte; real name validation happens against
+/// the schema's alphabet.
+#[inline]
+fn is_name_byte(b: u8) -> bool {
+    !(b.is_ascii_whitespace()
+        || matches!(b, b'<' | b'>' | b'/' | b'!' | b'?' | b'=' | b'"' | b'\''))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects the tags of a byte stream, splitting it into chunks of
+    /// `chunk` bytes (0 = one chunk).
+    fn scan(input: &str, chunk: usize) -> Vec<String> {
+        let mut t = Tokenizer::default();
+        let mut out = Vec::new();
+        let mut push = |tag: Tag<'_>| {
+            out.push(match tag {
+                Tag::Open(n) => format!("<{n}>"),
+                Tag::OpenClose(n) => format!("<{n}/>"),
+                Tag::Close(n) => format!("</{n}>"),
+                Tag::Error(e) => format!("!{e}"),
+            });
+            true
+        };
+        if chunk == 0 {
+            assert!(t.feed(input.as_bytes(), &mut push));
+        } else {
+            for part in input.as_bytes().chunks(chunk) {
+                assert!(t.feed(part, &mut push));
+            }
+        }
+        assert!(t.is_idle(), "scanner left inside a construct");
+        out
+    }
+
+    #[test]
+    fn plain_tags_and_text() {
+        assert_eq!(scan("<a>text<b/>more</a>", 0), vec!["<a>", "<b/>", "</a>"]);
+    }
+
+    #[test]
+    fn attributes_with_tricky_quotes() {
+        assert_eq!(
+            scan(r#"<a href="x>y" title='a/b'><b checked/></a>"#, 0),
+            vec!["<a>", "<b/>", "</a>"]
+        );
+    }
+
+    #[test]
+    fn comments_cdata_pi_doctype_are_skipped() {
+        let input = "<?xml version=\"1.0\"?>\
+                     <!DOCTYPE doc [ <!ELEMENT doc (a)*> ]>\
+                     <doc><!-- a > b --><a/><![CDATA[ <not-a-tag> ]]></doc>";
+        assert_eq!(scan(input, 0), vec!["<doc>", "<a/>", "</doc>"]);
+    }
+
+    #[test]
+    fn doctype_literals_may_contain_markup_characters() {
+        // SystemLiteral legally contains '>' and '<'; quote tracking keeps
+        // the doctype from terminating early.
+        let input = "<!DOCTYPE doc SYSTEM \"x>y<z\" [ <!ENTITY e '>]'> ]><doc><a/></doc>";
+        assert_eq!(scan(input, 0), vec!["<doc>", "<a/>", "</doc>"]);
+        for chunk in 1..input.len() {
+            assert_eq!(
+                scan(input, chunk),
+                vec!["<doc>", "<a/>", "</doc>"],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_chunk_size_agrees() {
+        let input = "<?pi data?><doc attr=\"v>\"><!--c--><a x='1'/>t<b></b><![CDATA[]]]>]]></doc>";
+        let whole = scan(input, 0);
+        for chunk in 1..input.len() {
+            assert_eq!(scan(input, chunk), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn malformed_markup_is_reported() {
+        assert_eq!(scan("<>", 0), vec!["!empty tag '<>'"]);
+        assert_eq!(scan("</>", 0), vec!["!end tag '</>' has no name"]);
+        assert_eq!(scan("<a=b>", 0)[0], "!malformed start tag");
+        assert_eq!(
+            scan("< a>", 0)[0],
+            "!stray '<' is not followed by a tag name"
+        );
+        assert_eq!(scan("</a b>", 0)[0], "!garbage after an end-tag name");
+    }
+
+    #[test]
+    fn idle_only_between_constructs() {
+        let mut t = Tokenizer::default();
+        assert!(t.feed(b"<partial-na", &mut |_| true));
+        assert!(!t.is_idle());
+        assert!(t.feed(b"me>", &mut |tag| {
+            assert_eq!(tag, Tag::Open("partial-name"));
+            true
+        }));
+        assert!(t.is_idle());
+        t.reset();
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn sink_can_stop_the_scan() {
+        let mut t = Tokenizer::default();
+        let mut seen = 0;
+        assert!(!t.feed(b"<a><b><c>", &mut |_| {
+            seen += 1;
+            false
+        }));
+        assert_eq!(seen, 1);
+    }
+}

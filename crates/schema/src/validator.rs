@@ -43,11 +43,17 @@ use std::sync::Arc;
 /// Sentinel symbol index for element names outside the schema's alphabet.
 const UNKNOWN: u32 = u32::MAX;
 
-/// One pre-interned document event, the unit [`ValidatorPool`] batches ship
-/// in (see [`DocumentValidator::validate_events`]).
+/// One pre-interned document event, the unit [`ValidationService::feed`]
+/// and the [`ValidatorPool`] batches ship in (see
+/// [`DocumentValidator::validate_events`]).
+///
+/// Marked `#[non_exhaustive]`: later revisions will grow richer event kinds
+/// (text nodes, attributes) — keep a wildcard arm when matching.
 ///
 /// [`ValidatorPool`]: crate::ValidatorPool
+/// [`ValidationService::feed`]: crate::ValidationService::feed
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DocEvent {
     /// Opens an element with a pre-interned name (see [`Schema::lookup`]).
     Open(Symbol),
@@ -326,6 +332,55 @@ impl DocumentValidator {
             }
         }
         self.finish()
+    }
+
+    /// Whether no diagnostic has been recorded for the current document —
+    /// the per-event check the fail-fast [`crate::ValidationService`] makes.
+    #[inline]
+    pub(crate) fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Takes the *earliest* diagnostic recorded for the current document,
+    /// discarding any later ones. Because diagnostics are pushed in event
+    /// order, this is byte-identical to the first entry a whole-document
+    /// [`DocumentValidator::finish`] would report — the fail-fast contract
+    /// of [`crate::ValidationService`].
+    pub(crate) fn take_first_diagnostic(&mut self) -> Option<Diagnostic> {
+        let first = if self.diagnostics.is_empty() {
+            None
+        } else {
+            Some(self.diagnostics.remove(0))
+        };
+        self.diagnostics.clear();
+        first
+    }
+
+    /// The name of the innermost open element, if any — the byte front end
+    /// checks end-tag names against it (XML well-formedness; the event
+    /// surface has no names on close events, so only byte feeding pays the
+    /// comparison).
+    pub(crate) fn open_element_name(&self) -> Option<&str> {
+        self.frames.last().map(|frame| {
+            if frame.sym == UNKNOWN {
+                self.unknown.last().map(String::as_str).unwrap_or("?")
+            } else {
+                self.schema.name(Symbol::from_index(frame.sym as usize))
+            }
+        })
+    }
+
+    /// Records a malformed-markup diagnostic at the current document
+    /// position — the byte-level tokenizer's entry into the diagnostic
+    /// stream (the offending construct is not a document event, so the
+    /// event counter is not advanced).
+    pub(crate) fn report_markup(&mut self, message: String) {
+        let event = self.events;
+        let path = self.path_with(None);
+        self.diagnostics.push(
+            Diagnostic::new(Code::MalformedMarkup, message)
+                .with_location(DocLocation { path, event }),
+        );
     }
 
     fn take_event(&mut self) -> usize {

@@ -1,0 +1,110 @@
+//! Connection-oriented serving: many interleaved documents, raw bytes in.
+//!
+//! A server does not see whole documents — it sees connections delivering
+//! chunks in arbitrary order. This example drives a `ValidationService` the
+//! way a network loop would: several in-flight documents, advanced a few
+//! bytes (or events) at a time in round-robin, with fail-fast rejection;
+//! plus a suspended/resumed `MatchSession` for a single content model.
+//!
+//! Run with `cargo run --example connection_serving`.
+
+use redet::{DeterministicRegex, DocEvent, FeedStatus, SchemaBuilder};
+
+fn main() {
+    let schema = SchemaBuilder::new()
+        .parse_dtd(
+            "<!ELEMENT bibliography (book)*>
+             <!ELEMENT book (title, author+, year?)>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT author (#PCDATA)>
+             <!ELEMENT year (#PCDATA)>",
+        )
+        .build()
+        .expect("the DTD is deterministic");
+    let mut service = schema.service();
+
+    // Three "connections": two raw byte streams (one of them invalid — a
+    // year before the author) and one pre-interned event stream.
+    let good = "<bibliography><book><title/><author/><author/><year/></book></bibliography>";
+    let bad = "<bibliography><book><title/><year/><author/></book></bibliography>";
+    let s = |name: &str| schema.lookup(name).unwrap();
+    let events = [
+        DocEvent::Open(s("bibliography")),
+        DocEvent::Open(s("book")),
+        DocEvent::Open(s("title")),
+        DocEvent::Close,
+        DocEvent::Open(s("author")),
+        DocEvent::Close,
+        DocEvent::Close,
+        DocEvent::Close,
+    ];
+
+    let c1 = service.open();
+    let c2 = service.open();
+    let c3 = service.open();
+
+    // Round-robin: 7-byte chunks for the byte connections, two events at a
+    // time for the event connection — chunk boundaries land mid-tag and the
+    // tokenizer does not care.
+    let mut cursor1 = 0usize;
+    let mut cursor2 = 0usize;
+    let mut cursor3 = 0usize;
+    while cursor1 < good.len() || cursor2 < bad.len() || cursor3 < events.len() {
+        if cursor1 < good.len() {
+            let end = (cursor1 + 7).min(good.len());
+            let status = service.feed_bytes(c1, &good.as_bytes()[cursor1..end]);
+            println!(
+                "c1 <- {:24} {status:?}",
+                format!("{:?}", &good[cursor1..end])
+            );
+            cursor1 = end;
+        }
+        if cursor2 < bad.len() {
+            let end = (cursor2 + 7).min(bad.len());
+            let status = service.feed_bytes(c2, &bad.as_bytes()[cursor2..end]);
+            println!(
+                "c2 <- {:24} {status:?}",
+                format!("{:?}", &bad[cursor2..end])
+            );
+            if status == FeedStatus::Rejected {
+                // Fail fast: stop reading from this connection — the
+                // retained diagnostic names the earliest offending event.
+                println!("c2 rejected early: {}", service.diagnostic(c2).unwrap());
+                cursor2 = bad.len();
+            } else {
+                cursor2 = end;
+            }
+        }
+        if cursor3 < events.len() {
+            let end = (cursor3 + 2).min(events.len());
+            let status = service.feed(c3, &events[cursor3..end]);
+            println!(
+                "c3 <- {:24} {status:?}",
+                format!("{} events", end - cursor3)
+            );
+            cursor3 = end;
+        }
+    }
+
+    println!("\nfinish c1 (valid bytes):    {:?}", service.finish(c1));
+    println!(
+        "finish c2 (rejected early): {:?}",
+        service.finish(c2).err().map(|d| d.code())
+    );
+    println!("finish c3 (valid events):   {:?}", service.finish(c3));
+
+    // Single content models park the same way: suspend a MatchSession into
+    // a plain-data state (no borrow), resume it later.
+    let model = DeterministicRegex::compile("(title, author+, year?)").unwrap();
+    let title = model.alphabet().lookup("title").unwrap();
+    let author = model.alphabet().lookup("author").unwrap();
+    let mut session = model.start();
+    session.feed(title);
+    let parked = session.into_state(); // store per connection, no lifetime
+    let mut session = model.resume(parked);
+    session.feed(author);
+    println!(
+        "\nresumed session accepts after [title, author]: {}",
+        session.accepts()
+    );
+}

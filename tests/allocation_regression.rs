@@ -33,6 +33,7 @@ fn replay(validator: &mut DocumentValidator, events: &[DocEvent]) {
         match event {
             DocEvent::Open(sym) => validator.start_element_symbol(*sym),
             DocEvent::Close => validator.end_element(),
+            _ => unreachable!("the test emits only open/close events"),
         }
     }
 }
@@ -162,11 +163,12 @@ fn steady_state_match_loops_do_not_allocate() {
     );
 
     // --- Sharded batch validation: zero allocation per worker. ---
-    // The pool's workers run `validate_events` over their shard; after one
-    // warming batch each worker's loop must be allocation-free. Thread
-    // spawning itself allocates (per batch, O(workers)), so the steady
-    // state is asserted with the *per-thread* counter inside each worker —
-    // exactly the loop `ValidatorPool::validate_batch` runs.
+    // The pool's workers are `ValidationService`s running `validate_events`
+    // (open → feed → finish) over their shard; after one warming batch each
+    // worker's loop must be allocation-free. Thread spawning itself
+    // allocates (per batch, O(workers)), so the steady state is asserted
+    // with the *per-thread* counter inside each worker — exactly the loop
+    // `ValidatorPool::validate_batch` runs.
     let documents: Vec<Vec<DocEvent>> = (0..8).map(|_| events.clone()).collect();
     let mut pool = ValidatorPool::new(schema.clone(), 4);
     let warm = pool.validate_batch(&documents);
@@ -177,7 +179,7 @@ fn steady_state_match_loops_do_not_allocate() {
     let shard = documents.len() / 4;
     std::thread::scope(|scope| {
         for chunk in documents.chunks(shard) {
-            let mut worker = schema.validator();
+            let mut worker = schema.service();
             scope.spawn(move || {
                 // Two warming passes size the worker's frame stack and
                 // counted-state pool; the third is measured on this thread.
@@ -194,4 +196,42 @@ fn steady_state_match_loops_do_not_allocate() {
             });
         }
     });
+
+    // --- Connection-oriented service: zero allocation per feed. ---
+    // Interleaved chunked feeding across 8 resumable handles (event chunks
+    // and 7-byte raw chunks) recycles everything through the service's
+    // slab: after one warming round, open → feed* → finish allocates
+    // nothing for valid documents.
+    let mut service = schema.service();
+    // Serialize the deep document to tag soup for the byte path.
+    let xml = redet_bench::events_to_xml(&schema, &events);
+    let interleaved_round = |service: &mut redet::ValidationService| {
+        let handles: [redet::DocId; 8] = std::array::from_fn(|_| service.open());
+        for chunk_start in (0..events.len()).step_by(16) {
+            let chunk = &events[chunk_start..(chunk_start + 16).min(events.len())];
+            for &h in &handles {
+                let _ = service.feed(h, chunk);
+            }
+        }
+        let mut ok = true;
+        for h in handles {
+            ok &= service.finish(h).is_ok();
+        }
+        // One byte-fed document in 7-byte chunks rides along.
+        let doc = service.open();
+        for chunk in xml.as_bytes().chunks(7) {
+            let _ = service.feed_bytes(doc, chunk);
+        }
+        ok && service.finish(doc).is_ok()
+    };
+    // Two warming rounds size the slab, the spare validators and the
+    // tokenizer's name buffer; the third is measured.
+    assert!(interleaved_round(&mut service), "documents are valid");
+    assert!(interleaved_round(&mut service), "documents are valid");
+    let (allocations, ok) = allocations_during(|| interleaved_round(&mut service));
+    assert!(ok, "sanity: the measured round is valid");
+    assert_eq!(
+        allocations, 0,
+        "the validation service allocated in steady state"
+    );
 }

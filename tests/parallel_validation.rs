@@ -7,9 +7,12 @@
 //! * N threads validating a shuffled corpus against one shared
 //!   `Arc<Schema>` produce diagnostics byte-identical to the
 //!   single-threaded validator's, document by document;
-//! * [`ValidatorPool::validate_batch`] returns the same verdicts and
-//!   diagnostics in input order, for any worker count, and its warmed
-//!   workers stay deterministic across repeated batches.
+//! * [`ValidatorPool::validate_batch`] — a thin client of the fail-fast
+//!   `ValidationService` — returns the same verdicts in input order, for
+//!   any worker count, each failed document carrying a diagnostic
+//!   byte-identical to the *first* diagnostic the whole-document validator
+//!   reports, and its warmed workers stay deterministic across repeated
+//!   batches.
 //!
 //! The corpus mixes valid generated books with seeded corruptions (swapped
 //! children, truncations, misplaced and unknown elements) so both the
@@ -38,6 +41,15 @@ fn render(result: &Result<(), Vec<redet::Diagnostic>>) -> String {
             .map(|d| format!("[{:?}] {d}", d.code()))
             .collect::<Vec<_>>()
             .join("\n"),
+    }
+}
+
+/// Renders a fail-fast (service/pool) outcome the same way, so it can be
+/// compared against the *first* diagnostic of a whole-document run.
+fn render_first(result: &Result<(), redet::Diagnostic>) -> String {
+    match result {
+        Ok(()) => "ok".to_owned(),
+        Err(d) => format!("[{:?}] {d}", d.code()),
     }
 }
 
@@ -144,11 +156,26 @@ fn threads_produce_byte_identical_diagnostics() {
 fn pool_batches_equal_single_threaded_validation() {
     let schema = book_schema();
     let documents = corpus(&schema, 25);
+    // The pool is a thin client of the fail-fast service: each failed
+    // document carries the *first* diagnostic the whole-document validator
+    // would report, byte for byte.
     let mut reference = schema.validator();
     let expected: Vec<String> = documents
         .iter()
-        .map(|doc| render(&reference.validate_events(doc)))
+        .map(|doc| match reference.validate_events(doc) {
+            Ok(()) => "ok".to_owned(),
+            Err(diagnostics) => format!("[{:?}] {}", diagnostics[0].code(), diagnostics[0]),
+        })
         .collect();
+    // And the single-threaded service agrees with that contract already.
+    let mut service = schema.service();
+    for (index, doc) in documents.iter().enumerate() {
+        assert_eq!(
+            render_first(&service.validate_events(doc)),
+            expected[index],
+            "service vs whole-document validator, document {index}"
+        );
+    }
 
     for workers in [1usize, 2, 3, 8] {
         let mut pool = ValidatorPool::new(Arc::clone(&schema), workers);
@@ -158,7 +185,7 @@ fn pool_batches_equal_single_threaded_validation() {
             assert_eq!(results.len(), documents.len());
             for (index, result) in results.iter().enumerate() {
                 assert_eq!(
-                    &render(result),
+                    &render_first(result),
                     &expected[index],
                     "workers={workers} round={round} document {index}"
                 );
@@ -170,7 +197,7 @@ fn pool_batches_equal_single_threaded_validation() {
     let results = schema.validate_batch(&documents, 3);
     for (index, result) in results.iter().enumerate() {
         assert_eq!(
-            &render(result),
+            &render_first(result),
             &expected[index],
             "one-shot document {index}"
         );

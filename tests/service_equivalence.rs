@@ -1,0 +1,294 @@
+//! Equivalence suite for the connection-oriented `ValidationService`.
+//!
+//! The service contract: however a document's event stream (or byte
+//! stream) is chunked, and however many other in-flight documents its
+//! chunks interleave with, the verdict — and for invalid documents the
+//! retained diagnostic — is **byte-identical** to the *first* diagnostic a
+//! whole-document [`DocumentValidator`] run over the same events reports.
+//! These tests pin that contract:
+//!
+//! * every split point of a corpus document's event stream;
+//! * every split point of its serialized byte stream (tag soup with
+//!   attributes, comments, CDATA, PIs and text sprinkled in, so splits
+//!   land mid-tag, mid-comment, mid-name…);
+//! * random chunk interleavings across 64 concurrent handles, events and
+//!   bytes mixed;
+//! * rejected handles consume no further events (fail-fast).
+
+use redet::schema::FeedStatus;
+use redet::{DocEvent, DocumentValidator, Schema, SchemaBuilder};
+use redet_bench::book_document_events;
+use redet_workloads::rng::StdRng;
+use std::sync::Arc;
+
+fn book_schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .parse_dtd(redet_workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles")
+}
+
+/// The whole-document reference: run all events through one
+/// `DocumentValidator` and render the *first* diagnostic (the fail-fast
+/// service retains exactly that one).
+fn whole_document(validator: &mut DocumentValidator, events: &[DocEvent]) -> String {
+    match validator.validate_events(events) {
+        Ok(()) => "ok".to_owned(),
+        Err(diagnostics) => render(&diagnostics[0]),
+    }
+}
+
+fn render(diagnostic: &redet::Diagnostic) -> String {
+    format!("[{:?}] {diagnostic}", diagnostic.code())
+}
+
+fn render_result(result: &Result<(), redet::Diagnostic>) -> String {
+    match result {
+        Ok(()) => "ok".to_owned(),
+        Err(d) => render(d),
+    }
+}
+
+/// A corpus mixing valid books with seeded corruptions, so every diagnostic
+/// path crosses chunk boundaries too.
+fn corpus(schema: &Schema, documents: usize) -> Vec<Vec<DocEvent>> {
+    let mut rng = StdRng::seed_from_u64(0x5EAF00D);
+    (0..documents)
+        .map(|i| {
+            let mut events = book_document_events(schema, 1 + i % 2, i as u64);
+            match i % 5 {
+                0 => {} // valid
+                1 => {
+                    // Children out of order.
+                    let opens: Vec<usize> = (0..events.len() - 1)
+                        .filter(|&j| {
+                            matches!(events[j], DocEvent::Open(_))
+                                && matches!(events[j + 1], DocEvent::Open(_))
+                        })
+                        .collect();
+                    if let Some(&j) = opens.get(rng.gen_range(0..opens.len().max(1))) {
+                        events.swap(j, j + 1);
+                    }
+                }
+                2 => {
+                    // Truncated: unclosed elements at finish.
+                    let keep = rng.gen_range(events.len() / 2..events.len());
+                    events.truncate(keep);
+                }
+                3 => {
+                    // A close too many somewhere in the middle.
+                    let j = rng.gen_range(1..events.len());
+                    events.insert(j, DocEvent::Close);
+                }
+                _ => {
+                    // Misplaced child.
+                    let opens: Vec<usize> = (0..events.len())
+                        .filter(|&j| matches!(events[j], DocEvent::Open(_)))
+                        .collect();
+                    let j = opens[rng.gen_range(0..opens.len())];
+                    let replacement = schema
+                        .lookup(if i % 2 == 0 { "locator" } else { "chapter" })
+                        .unwrap();
+                    events[j] = DocEvent::Open(replacement);
+                }
+            }
+            events
+        })
+        .collect()
+}
+
+/// Serializes an event stream to tag soup: self-closing leaves, attributes
+/// with `>` and `/` inside quoted values, comments, CDATA sections, PIs and
+/// character data sprinkled deterministically between tags.
+fn to_xml(schema: &Schema, events: &[DocEvent], seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("<?xml version=\"1.0\"?>");
+    let mut open_names: Vec<&str> = Vec::new();
+    let mut i = 0usize;
+    while i < events.len() {
+        match events[i] {
+            DocEvent::Open(sym) => {
+                let name = schema.name(sym);
+                if matches!(events.get(i + 1), Some(DocEvent::Close)) && rng.gen_bool(0.4) {
+                    // A self-closing leaf, sometimes with attribute noise.
+                    match rng.gen_range(0..3u32) {
+                        0 => out.push_str(&format!("<{name}/>")),
+                        1 => out.push_str(&format!("<{name} id=\"n{i}\" note='a>b'/>")),
+                        _ => out.push_str(&format!("<{name}  />")),
+                    }
+                    i += 2;
+                } else {
+                    if rng.gen_bool(0.25) {
+                        out.push_str(&format!("<{name} kind=\"k>{i}\">"));
+                    } else {
+                        out.push_str(&format!("<{name}>"));
+                    }
+                    open_names.push(name);
+                    i += 1;
+                }
+            }
+            DocEvent::Close => {
+                // Unbalanced corpus documents may close with nothing open;
+                // the tokenizer does not match names, so any name works —
+                // the validator owns the balance diagnostic.
+                let name = open_names.pop().unwrap_or("phantom");
+                out.push_str(&format!("</{name}>"));
+                i += 1;
+            }
+            _ => unreachable!("the corpus holds only open/close events"),
+        }
+        match rng.gen_range(0..16u32) {
+            0 => out.push_str("some text & entities"),
+            1 => out.push_str("<!-- a comment > with -- noise -->"),
+            2 => out.push_str("<![CDATA[ <fake-tag> ]] ]]>"),
+            3 => out.push_str("<?pi keep going?>"),
+            4 => out.push('\n'),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn every_event_split_matches_whole_document_validation() {
+    let schema = book_schema();
+    let documents = corpus(&schema, 10);
+    let mut reference = schema.validator();
+    let mut service = schema.service();
+    for (i, events) in documents.iter().enumerate() {
+        let expected = whole_document(&mut reference, events);
+        for split in 0..=events.len() {
+            let doc = service.open();
+            let _ = service.feed(doc, &events[..split]);
+            let _ = service.feed(doc, &events[split..]);
+            let got = render_result(&service.finish(doc));
+            assert_eq!(got, expected, "document {i}, split at event {split}");
+        }
+    }
+}
+
+#[test]
+fn every_byte_split_matches_whole_document_validation() {
+    let schema = book_schema();
+    let documents = corpus(&schema, 6);
+    let mut reference = schema.validator();
+    let mut service = schema.service();
+    for (i, events) in documents.iter().enumerate() {
+        let expected = whole_document(&mut reference, events);
+        let xml = to_xml(&schema, events, 0xB17E ^ i as u64);
+        // Whole-stream first, then every two-chunk split of the bytes —
+        // splits land mid-name, mid-attribute, mid-comment, mid-CDATA.
+        let doc = service.open();
+        let _ = service.feed_bytes(doc, xml.as_bytes());
+        assert_eq!(
+            render_result(&service.finish(doc)),
+            expected,
+            "document {i}, unsplit bytes"
+        );
+        for split in 0..xml.len() {
+            let doc = service.open();
+            let _ = service.feed_bytes(doc, &xml.as_bytes()[..split]);
+            let _ = service.feed_bytes(doc, &xml.as_bytes()[split..]);
+            let got = render_result(&service.finish(doc));
+            assert_eq!(got, expected, "document {i}, split at byte {split}");
+        }
+    }
+}
+
+#[test]
+fn random_interleavings_across_64_handles() {
+    let schema = book_schema();
+    let documents = corpus(&schema, 64);
+    let mut reference = schema.validator();
+    let expected: Vec<String> = documents
+        .iter()
+        .map(|events| whole_document(&mut reference, events))
+        .collect();
+    assert!(
+        expected.iter().any(|r| r == "ok") && expected.iter().any(|r| r != "ok"),
+        "sanity: the corpus mixes valid and invalid documents"
+    );
+
+    let mut service = schema.service();
+    for round in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0x1B7E ^ (round * 0x9E37));
+        // Every document is either an event stream or a byte stream this
+        // round; chunks of random size are fed in random handle order.
+        let streams: Vec<Option<String>> = documents
+            .iter()
+            .enumerate()
+            .map(|(i, events)| {
+                (i as u64 % 2 == round % 2).then(|| to_xml(&schema, events, round ^ i as u64))
+            })
+            .collect();
+        let handles: Vec<redet::DocId> = (0..documents.len()).map(|_| service.open()).collect();
+        let mut cursors = vec![0usize; documents.len()];
+        let mut live: Vec<usize> = (0..documents.len()).collect();
+        while !live.is_empty() {
+            let pick = rng.gen_range(0..live.len());
+            let index = live[pick];
+            let chunk = 1 + rng.gen_range(0..64usize);
+            let status = match &streams[index] {
+                Some(xml) => {
+                    let bytes = xml.as_bytes();
+                    let end = (cursors[index] + chunk).min(bytes.len());
+                    let status = service.feed_bytes(handles[index], &bytes[cursors[index]..end]);
+                    cursors[index] = end;
+                    if end == bytes.len() {
+                        live.swap_remove(pick);
+                    }
+                    status
+                }
+                None => {
+                    let events = &documents[index];
+                    let end = (cursors[index] + chunk).min(events.len());
+                    let status = service.feed(handles[index], &events[cursors[index]..end]);
+                    cursors[index] = end;
+                    if end == events.len() {
+                        live.swap_remove(pick);
+                    }
+                    status
+                }
+            };
+            if expected[index] == "ok" {
+                assert_ne!(
+                    status,
+                    FeedStatus::Rejected,
+                    "round {round}: valid document {index} rejected mid-stream"
+                );
+            }
+        }
+        for (index, handle) in handles.into_iter().enumerate() {
+            let got = render_result(&service.finish(handle));
+            assert_eq!(got, expected[index], "round {round}, document {index}");
+        }
+    }
+}
+
+#[test]
+fn rejected_handles_consume_no_further_work() {
+    let schema = book_schema();
+    let mut service = schema.service();
+    let chapter = schema.lookup("chapter").unwrap();
+    let locator = schema.lookup("locator").unwrap();
+    let doc = service.open();
+    // <chapter> must start with <title>; <locator> rejects immediately.
+    assert_eq!(
+        service.feed(doc, &[DocEvent::Open(chapter), DocEvent::Open(locator)]),
+        FeedStatus::Rejected
+    );
+    let retained = render(service.diagnostic(doc).expect("rejected"));
+    let depth = service.depth(doc);
+    // Feeding a rejected handle is a no-op: no frames move, the retained
+    // diagnostic never changes, and the status stays Rejected.
+    for _ in 0..8 {
+        assert_eq!(
+            service.feed(doc, &[DocEvent::Open(chapter), DocEvent::Close]),
+            FeedStatus::Rejected
+        );
+        assert_eq!(service.feed_bytes(doc, b"<chapter/>"), FeedStatus::Rejected);
+    }
+    assert_eq!(service.depth(doc), depth);
+    assert_eq!(render(service.diagnostic(doc).expect("rejected")), retained);
+    assert_eq!(render_result(&service.finish(doc)), retained);
+}
