@@ -430,6 +430,72 @@ fn bench_interleaved_serving(h: &mut Harness) {
     });
 }
 
+/// E14: raw tokenizer throughput — the bulk SWAR scanner (`feed`) against
+/// the byte-at-a-time scalar oracle (`feed_scalar`) over the three input
+/// shapes that stress different skip classes: text-heavy (long character
+/// data, the `memchr('<')` fast path), tag-dense (short names back to back,
+/// the serving-corpus regime where per-tag dispatch dominates), and
+/// comment/CDATA-heavy (the `-`/`]` skip loops). Throughput is bytes/s;
+/// the regression gate ratios `bulk` against the `scalar` reference so the
+/// bulk scanner can never quietly regress toward byte-at-a-time speed.
+fn bench_tokenizer_throughput(h: &mut Harness) {
+    use redet_schema::{Tag, Tokenizer};
+
+    h.group("E14_tokenizer_throughput");
+    let target = if h.is_fast() { 8 << 10 } else { 64 << 10 };
+    let mut inputs: Vec<(&str, Vec<u8>)> = Vec::new();
+    // Text-heavy: long character-data runs between sparse tags.
+    let mut doc = b"<doc>".to_vec();
+    while doc.len() < target {
+        doc.extend_from_slice(b"<p>");
+        for _ in 0..40 {
+            doc.extend_from_slice(b"lorem ipsum dolor sit amet consectetur ");
+        }
+        doc.extend_from_slice(b"</p>");
+    }
+    doc.extend_from_slice(b"</doc>");
+    inputs.push(("text", doc));
+    // Tag-dense: markup only, the shape `events_to_xml` serves in E13.
+    let mut doc = b"<doc>".to_vec();
+    while doc.len() < target {
+        doc.extend_from_slice(b"<chapter><title/><para attr='v'/></chapter>");
+    }
+    doc.extend_from_slice(b"</doc>");
+    inputs.push(("tags", doc));
+    // Comment/CDATA-heavy: the '-' and ']' skip loops plus fake closers.
+    let mut doc = b"<doc>".to_vec();
+    while doc.len() < target {
+        doc.extend_from_slice(b"<!-- a comment - with -- dashes and > -->");
+        doc.extend_from_slice(b"<![CDATA[ raw <bytes> ] ]] and more ]]><a/>");
+    }
+    doc.extend_from_slice(b"</doc>");
+    inputs.push(("comments", doc));
+
+    for (shape, doc) in &inputs {
+        h.throughput(doc.len() as u64);
+        let mut tokenizer = Tokenizer::default();
+        h.bench("bulk", shape, || {
+            let mut tags = 0usize;
+            tokenizer.feed(doc, &mut |tag| {
+                tags += matches!(tag, Tag::Open(_) | Tag::OpenClose(_)) as usize;
+                true
+            });
+            tokenizer.reset();
+            tags
+        });
+        let mut tokenizer = Tokenizer::default();
+        h.bench("scalar", shape, || {
+            let mut tags = 0usize;
+            tokenizer.feed_scalar(doc, &mut |tag| {
+                tags += matches!(tag, Tag::Open(_) | Tag::OpenClose(_)) as usize;
+                true
+            });
+            tokenizer.reset();
+            tags
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -441,5 +507,6 @@ fn main() {
     bench_document_validation(&mut h);
     bench_batch_validation(&mut h);
     bench_interleaved_serving(&mut h);
+    bench_tokenizer_throughput(&mut h);
     h.finish("matching");
 }

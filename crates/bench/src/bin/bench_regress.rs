@@ -3,7 +3,7 @@
 //! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
 //!
 //! Compares a fresh `BENCH_matching.json` against the committed baseline for
-//! the gated experiment groups (E4, E5, E7, E11, E12, E13) and exits
+//! the gated experiment groups (E4, E5, E7, E11, E12, E13, E14) and exits
 //! non-zero when any algorithm regresses by more than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
@@ -15,14 +15,18 @@
 //! i.e. the algorithm got slower *relative to the same hardware's
 //! baseline*.
 //!
-//! Three groups additionally carry an **absolute** cap, independent of the
+//! Some groups additionally carry an **absolute** cap, independent of the
 //! committed file: the E11 validator must stay within [`E11_MAX_RATIO`]× of
 //! the raw DFA-per-element stack (the paper's promise is DFA-like speed
 //! with `O(|e|)` preprocessing), the E12 sharded pool must beat the
 //! single-threaded loop at its widest sweep point (batch validation must
-//! actually scale), and E13 interleaved event serving must stay within
+//! actually scale), E13 interleaved event serving must stay within
 //! [`E13_MAX_RATIO`]× of the per-document validator loop (parking and
-//! resuming documents per chunk must stay near-free).
+//! resuming documents per chunk must stay near-free), and E13 raw-byte
+//! ingestion must stay within [`E13_BYTES_MAX_RATIO`]× of event-level
+//! serving (the bulk-scanning tokenizer keeps bytes first-class). E14
+//! ratio-gates the bulk tokenizer against its byte-at-a-time scalar oracle
+//! so the SWAR scanner cannot quietly regress toward scalar speed.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -36,6 +40,7 @@ const GATED_GROUPS: &[(&str, &str)] = &[
     ("E11_document_validation", "dfa"),
     ("E12_batch_validation", "single_thread"),
     ("E13_interleaved_serving", "per_document"),
+    ("E14_tokenizer_throughput", "scalar"),
 ];
 
 /// Allowed relative slowdown before the gate fails.
@@ -51,6 +56,12 @@ const E11_MAX_RATIO: f64 = 2.0;
 /// must stay within this factor of validating them one after another —
 /// the acceptance criterion of the connection-oriented redesign.
 const E13_MAX_RATIO: f64 = 1.5;
+
+/// Absolute cap on `service_bytes / service_interleaved` (E13): feeding the
+/// same corpus as raw tag soup must stay within this factor of feeding it
+/// as pre-parsed events — the bulk-scanning tokenizer's acceptance
+/// criterion (it was ~3.4× with the byte-at-a-time scanner).
+const E13_BYTES_MAX_RATIO: f64 = 1.6;
 
 /// The E12 `sharded_pool / single_thread` ratio at the largest measured
 /// worker count must clear this bar — more workers must actually help,
@@ -141,9 +152,10 @@ fn ratios(entries: &[Entry]) -> BTreeMap<(String, String, String), f64> {
 }
 
 /// Absolute-cap checks on the fresh ratios (see the module docs): E11 must
-/// stay within [`E11_MAX_RATIO`]× of the raw DFA stack, and E12 must beat
-/// single-threaded validation at the largest worker count. Returns the
-/// number of violations.
+/// stay within [`E11_MAX_RATIO`]× of the raw DFA stack, E12 must beat
+/// single-threaded validation at the largest worker count, and the E13
+/// serving caps pin event-level overhead ([`E13_MAX_RATIO`]) and raw-byte
+/// ingestion ([`E13_BYTES_MAX_RATIO`]). Returns the number of violations.
 fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
     let mut violations = 0usize;
     for ((group, param, name), &ratio) in fresh {
@@ -154,8 +166,6 @@ fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
             );
             violations += 1;
         }
-        // The byte-ingestion series pays the tokenizer on top and is gated
-        // relatively only; the cap pins the event-level serving overhead.
         if group == "E13_interleaved_serving"
             && name.contains("interleaved")
             && ratio > E13_MAX_RATIO
@@ -165,6 +175,25 @@ fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
                  validator loop (cap {E13_MAX_RATIO}x)"
             );
             violations += 1;
+        }
+        // The byte-ingestion series pays the tokenizer on top; relate it to
+        // the event-level series measured in the same run (both ratios share
+        // the per-document reference, so their quotient cancels it out).
+        if group == "E13_interleaved_serving" && name.contains("bytes") {
+            if let Some(&interleaved) = fresh.get(&(
+                group.clone(),
+                param.clone(),
+                "service_interleaved".to_owned(),
+            )) {
+                let relative = ratio / interleaved;
+                if relative > E13_BYTES_MAX_RATIO {
+                    eprintln!(
+                        "E13 bytes cap: {name} (param {param}) is {relative:.2}x the \
+                         event-level interleaved series (cap {E13_BYTES_MAX_RATIO}x)"
+                    );
+                    violations += 1;
+                }
+            }
         }
     }
     // E12: the widest sweep point is the numerically largest param. The
@@ -251,12 +280,12 @@ fn main() -> ExitCode {
             );
         }
         if capped > 0 {
-            eprintln!("{capped} absolute cap(s) violated (E11 ratio / E12 scaling)");
+            eprintln!("{capped} absolute cap(s) violated (E11 ratio / E12 scaling / E13 bytes)");
         }
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7/E11/E12/E13 regressions beyond {:.0}%; absolute caps hold",
+        "no E4/E5/E7/E11/E12/E13/E14 regressions beyond {:.0}%; absolute caps hold",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

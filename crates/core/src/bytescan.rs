@@ -1,0 +1,207 @@
+//! Dependency-free bulk byte search: `memchr`-style SWAR scans over `u64`
+//! words.
+//!
+//! The streaming tokenizer in `redet-schema` spends almost all of its time
+//! in "skip until an interesting byte" states — character data runs to the
+//! next `<`, comments to the next `-`, attribute lists to the next quote or
+//! `>`. A byte-at-a-time `match` loop pays the full state dispatch on every
+//! boring byte; these helpers instead test **eight bytes per iteration**
+//! with the classic SWAR zero-byte trick (no `unsafe`, no SIMD intrinsics,
+//! no external crate — the workspace builds offline), falling back to a
+//! scalar tail for the last `< 8` bytes.
+//!
+//! The trick: for a word `x`, `(x - 0x0101…) & !x & 0x8080…` sets the high
+//! bit of every zero byte. Bits *above* the first zero byte may be set
+//! spuriously (the subtraction borrows through a zero byte), but the
+//! **lowest** marker bit is always the first genuine zero — and on a
+//! little-endian word layout `trailing_zeros / 8` is exactly its byte
+//! index. XORing the word with a splatted needle turns "find the needle"
+//! into "find the zero byte"; multi-needle variants OR the marker masks, and
+//! the min-over-ORs argument carries over because spurious markers only ever
+//! sit above a genuine match of the same needle.
+
+/// Every byte set to `b`. Public with [`zero_byte_markers`] so callers
+/// that already hold a loaded word (e.g. a tokenizer fast path that wants
+/// both the match position *and* the matched byte without a re-load) can
+/// apply the same trick directly.
+#[inline]
+pub const fn splat(b: u8) -> u64 {
+    (b as u64) * 0x0101_0101_0101_0101
+}
+
+/// High bit of every byte of `x` that is zero; bits above the first zero
+/// byte may be spurious (see the module docs) — only the lowest marker is
+/// meaningful.
+#[inline]
+pub const fn zero_byte_markers(x: u64) -> u64 {
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// Reads the little-endian word at `hay[at..at + 8]`.
+#[inline]
+fn word(hay: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(hay[at..at + 8].try_into().expect("8-byte window"))
+}
+
+/// Index of the first occurrence of `n1` in `hay`, scanning eight bytes per
+/// step.
+#[inline]
+pub fn memchr(n1: u8, hay: &[u8]) -> Option<usize> {
+    let s1 = splat(n1);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let m = zero_byte_markers(word(hay, i) ^ s1);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == n1).map(|p| i + p)
+}
+
+/// Index of the first occurrence of `n1` or `n2` in `hay`.
+#[inline]
+pub fn memchr2(n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+    let (s1, s2) = (splat(n1), splat(n2));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = word(hay, i);
+        let m = zero_byte_markers(w ^ s1) | zero_byte_markers(w ^ s2);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&b| b == n1 || b == n2)
+        .map(|p| i + p)
+}
+
+/// Index of the first occurrence of `n1`, `n2` or `n3` in `hay`.
+#[inline]
+pub fn memchr3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+    let (s1, s2, s3) = (splat(n1), splat(n2), splat(n3));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = word(hay, i);
+        let m = zero_byte_markers(w ^ s1) | zero_byte_markers(w ^ s2) | zero_byte_markers(w ^ s3);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3)
+        .map(|p| i + p)
+}
+
+/// Index of the first byte `b` with `b & mask == 0`, scanning eight bytes
+/// per step.
+///
+/// With `mask = 0xC0` this finds the first byte `< 0x40` — the byte-class
+/// scan behind tag-name runs in the `redet-schema` tokenizer, where every
+/// possible name *terminator* is ASCII below `0x40` and every byte at or
+/// above it (letters, multi-byte UTF-8) is unconditionally a name byte.
+#[inline]
+pub fn memchr_mask_zero(mask: u8, hay: &[u8]) -> Option<usize> {
+    let m = splat(mask);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let z = zero_byte_markers(word(hay, i) & m);
+        if z != 0 {
+            return Some(i + (z.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b & mask == 0).map(|p| i + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The obviously-correct scalar reference.
+    fn oracle(targets: &[u8], hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|b| targets.contains(b))
+    }
+
+    #[test]
+    fn finds_at_every_offset_and_length() {
+        // Sweep window starts and lengths so the word loop, the tail, and
+        // the word/tail boundary are all hit with the match at every lane.
+        let mut hay = [b'x'; 41];
+        for pos in 0..hay.len() {
+            hay[pos] = b'<';
+            for start in 0..=pos {
+                assert_eq!(memchr(b'<', &hay[start..]), Some(pos - start));
+                assert_eq!(memchr2(b'!', b'<', &hay[start..]), Some(pos - start));
+                assert_eq!(memchr3(b'!', b'?', b'<', &hay[start..]), Some(pos - start));
+            }
+            hay[pos] = b'x';
+        }
+        assert_eq!(memchr(b'<', &hay), None);
+        assert_eq!(memchr2(b'<', b'>', &hay), None);
+        assert_eq!(memchr3(b'<', b'>', b'"', &hay), None);
+        assert_eq!(memchr(b'x', &[]), None);
+    }
+
+    #[test]
+    fn all_byte_values_match_the_oracle() {
+        // Pseudo-random haystacks over the full byte range, including 0x00
+        // and 0x80+ (the values the SWAR borrow/mask tricks get wrong when
+        // misapplied).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 31, 64, 100] {
+            let hay: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            for targets in [[0x00u8, 0x80, 0xFF], [b'<', 0x00, b'>'], [1, 2, 3]] {
+                let [a, b, c] = targets;
+                assert_eq!(memchr(a, &hay), oracle(&[a], &hay), "len {len}");
+                assert_eq!(memchr2(a, b, &hay), oracle(&[a, b], &hay), "len {len}");
+                assert_eq!(
+                    memchr3(a, b, c, &hay),
+                    oracle(&[a, b, c], &hay),
+                    "len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_zero_matches_the_oracle() {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for len in [0usize, 1, 7, 8, 9, 16, 31, 64, 100] {
+            let hay: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            for mask in [0xC0u8, 0x80, 0x01, 0xFF] {
+                assert_eq!(
+                    memchr_mask_zero(mask, &hay),
+                    hay.iter().position(|&b| b & mask == 0),
+                    "len {len} mask {mask:#x}"
+                );
+            }
+        }
+        // The tokenizer's case: 0xC0 finds the first byte below 0x40.
+        assert_eq!(
+            memchr_mask_zero(0xC0, b"titleTITLE\xC3\xA9name>rest"),
+            Some(16)
+        );
+        assert_eq!(memchr_mask_zero(0xC0, b"abc"), None);
+    }
+
+    #[test]
+    fn duplicate_needles_are_allowed() {
+        assert_eq!(memchr2(b'a', b'a', b"xxa"), Some(2));
+        assert_eq!(memchr3(b'a', b'a', b'a', b"xxxxxxxxxa"), Some(9));
+    }
+}

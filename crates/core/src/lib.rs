@@ -18,7 +18,10 @@
 //!   analyze → certify) producing the shared [`CompiledAnalysis`] artifact
 //!   every matcher is constructed from;
 //! * [`DeterministicRegex`] — a thin facade over the pipeline that picks a
-//!   matching strategy and validates words.
+//!   matching strategy and validates words;
+//! * [`bytescan`] — dependency-free `memchr`-style SWAR byte search, the
+//!   bulk-skip primitive behind the streaming byte tokenizer in
+//!   `redet-schema`.
 //!
 //! The Glushkov-automaton baselines these algorithms are measured against
 //! live in `redet-automata`; the shared parse-tree machinery (LCA,
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytescan;
 pub mod counting;
 pub mod determinism;
 pub mod diagnostics;

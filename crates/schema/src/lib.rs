@@ -26,6 +26,10 @@
 //!   (chunk boundaries anywhere, even mid-tag) with fail-fast rejection,
 //!   `finish` checks end-of-document acceptance — all buffers recycled
 //!   through a slab;
+//! * [`tokenizer`] — the bulk-scanning byte scanner behind `feed_bytes`:
+//!   SWAR delimiter search ([`redet_core::bytescan`]) consumes whole
+//!   character-data/comment/attribute runs per step and borrows tag names
+//!   straight out of the input chunk;
 //! * [`ValidatorPool`] / [`Schema::validate_batch`] shard a batch of
 //!   documents across warmed worker services on scoped threads — a thin
 //!   client of [`ValidationService`], so batch and interleaved serving
@@ -65,11 +69,12 @@
 mod dtd;
 mod pool;
 mod service;
-mod tokenizer;
+pub mod tokenizer;
 mod validator;
 
 pub use pool::ValidatorPool;
 pub use service::{DocId, FeedStatus, ValidationService};
+pub use tokenizer::{Tag, Tokenizer};
 pub use validator::{DocEvent, DocumentValidator};
 
 use crate::dtd::{parse_dtd_fragment, ParsedContent};
@@ -133,6 +138,143 @@ pub(crate) enum Dispatch {
     Undeclared,
 }
 
+/// Flat open-addressed element-name index with an FNV-1a hash, built once
+/// at schema compile time. [`Schema::lookup`] probes this instead of the
+/// alphabet's `HashMap`: name→symbol resolution is the per-open-tag cost of
+/// the raw-byte ingestion path ([`ValidationService::feed_bytes`] resolves
+/// every start tag by name), and FNV over a short name plus a linear probe
+/// is several times cheaper than a SipHash `HashMap` hit.
+/// One [`NameIndex`] slot: the name's confirmation key (see
+/// [`NameIndex::key`]) next to its packed symbol word, so a probe touches
+/// a single cache line.
+#[derive(Clone, Copy, Debug, Default)]
+struct NameSlot {
+    /// The name key word; meaningful only when `sym != 0`.
+    key: u64,
+    /// `(capped length << SYM_BITS) | (symbol index + 1)`, 0 = empty.
+    /// Together with `key`, equality *is* name equality for names of at
+    /// most eight bytes, so the common probe never touches the name's
+    /// bytes again.
+    sym: u32,
+}
+
+#[derive(Debug)]
+struct NameIndex {
+    /// Power-of-two open-addressed table.
+    slots: Vec<NameSlot>,
+    mask: usize,
+}
+
+impl NameIndex {
+    /// Slot-word bits holding the symbol index; the capped name length
+    /// occupies the rest.
+    const SYM_BITS: u32 = 24;
+    const SYM_MASK: u32 = (1 << Self::SYM_BITS) - 1;
+
+    fn build(alphabet: &Alphabet) -> Self {
+        assert!(
+            (alphabet.len() as u32) < Self::SYM_MASK,
+            "alphabet too large for the packed name index"
+        );
+        let capacity = (alphabet.len() * 2).next_power_of_two().max(8);
+        let mut index = NameIndex {
+            slots: vec![NameSlot::default(); capacity],
+            mask: capacity - 1,
+        };
+        for sym in alphabet.symbols() {
+            let name = alphabet.name(sym).as_bytes();
+            let (w, len) = Self::key(name);
+            let mut slot = Self::hash(w, name) & index.mask;
+            while index.slots[slot].sym != 0 {
+                slot = (slot + 1) & index.mask;
+            }
+            index.slots[slot] = NameSlot {
+                key: w,
+                sym: (len << Self::SYM_BITS) | (sym.index() as u32 + 1),
+            };
+        }
+        index
+    }
+
+    /// The confirmation key of a name: its first eight bytes as a
+    /// little-endian word (shorter names zero-padded) plus its capped
+    /// byte length. For names within one word the pair uniquely
+    /// identifies the name; longer names still need one final byte
+    /// compare.
+    ///
+    /// Sub-word names are assembled from two *overlapping* fixed-width
+    /// loads (head and tail of the name) — the overlapped bytes are the
+    /// same bytes in both loads, so ORing the shifted halves reconstructs
+    /// the exact zero-padded value with no variable-length copy and no
+    /// per-byte shift chain.
+    #[inline]
+    fn key(name: &[u8]) -> (u64, u32) {
+        let len = name.len();
+        let w = if len >= 8 {
+            u64::from_le_bytes(name[..8].try_into().expect("8-byte head"))
+        } else if len >= 4 {
+            let lo = u32::from_le_bytes(name[..4].try_into().expect("4-byte head")) as u64;
+            let hi = u32::from_le_bytes(name[len - 4..].try_into().expect("4-byte tail")) as u64;
+            lo | (hi << (8 * (len - 4)))
+        } else if len >= 2 {
+            let lo = u16::from_le_bytes(name[..2].try_into().expect("2-byte head")) as u64;
+            let hi = u16::from_le_bytes(name[len - 2..].try_into().expect("2-byte tail")) as u64;
+            lo | (hi << (8 * (len - 2)))
+        } else if len == 1 {
+            name[0] as u64
+        } else {
+            0
+        };
+        (w, len.min(255) as u32)
+    }
+
+    /// Multiplicative hash over little-endian words of the name — one mix
+    /// per eight bytes instead of FNV's per-byte multiply chain. `w` is
+    /// the name's precomputed [`NameIndex::key`] word, so a name within
+    /// one word (the typical case) hashes with a single multiply and no
+    /// further loads. Only self-consistency matters: the table is built
+    /// and probed with the same function in the same process.
+    #[inline]
+    fn hash(w: u64, name: &[u8]) -> usize {
+        const K: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut h = (name.len() as u64 ^ 0xCBF2_9CE4_8422_2325 ^ w).wrapping_mul(K);
+        if name.len() > 8 {
+            let mut chunks = name[8..].chunks_exact(8);
+            for chunk in &mut chunks {
+                let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                h = (h ^ w).wrapping_mul(K);
+            }
+            let (t, _) = Self::key(chunks.remainder());
+            h = (h ^ t).wrapping_mul(K);
+        }
+        (h ^ (h >> 32)) as usize
+    }
+
+    /// Probes for `name` (raw bytes); `alphabet` holds the dense name
+    /// table used to confirm candidates longer than a key word. Byte-keyed
+    /// so the raw-byte ingestion path can resolve tag names without a
+    /// UTF-8 round trip — a hit proves the bytes valid UTF-8, since they
+    /// equal a schema name's.
+    #[inline]
+    fn lookup(&self, alphabet: &Alphabet, name: &[u8]) -> Option<Symbol> {
+        let (w, len) = Self::key(name);
+        let mut slot = Self::hash(w, name) & self.mask;
+        loop {
+            let stored = self.slots[slot];
+            if stored.sym == 0 {
+                return None;
+            }
+            if stored.key == w && stored.sym >> Self::SYM_BITS == len {
+                let sym = Symbol::from_index((stored.sym & Self::SYM_MASK) as usize - 1);
+                if name.len() <= 8 || alphabet.name(sym).as_bytes() == name {
+                    return Some(sym);
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
 /// An immutable compiled schema: every content model compiled through one
 /// shared pipeline, per-element strategies selected automatically,
 /// determinism certificates retained. `Send + Sync` — one `Arc<Schema>` can
@@ -159,6 +301,13 @@ pub struct Schema {
     /// Flat per-symbol dispatch table (index = `Symbol::index()`) — the
     /// validation hot path reads this instead of walking `content`.
     dispatch: Vec<Dispatch>,
+    /// Flat FNV name index — the name→symbol hot path behind
+    /// [`Schema::lookup`].
+    names: NameIndex,
+    /// Dense per-symbol name key (index = `Symbol::index()`) — the
+    /// end-tag name check of the raw-byte ingestion path compares keys
+    /// instead of name bytes.
+    name_keys: Vec<(u64, u32)>,
     /// Declared elements in declaration order.
     declared: Vec<Symbol>,
 }
@@ -167,9 +316,32 @@ impl Schema {
     /// Looks up an element name, returning its pre-interned symbol. Do this
     /// once per distinct tag name and feed the symbols to
     /// [`DocumentValidator::start_element_symbol`] — the validation hot
-    /// loop then never hashes strings.
+    /// loop then never hashes strings. The lookup itself runs on a flat
+    /// FNV-probed table (a few ns), since the raw-byte ingestion path
+    /// resolves every start tag through it.
+    #[inline]
     pub fn lookup(&self, name: &str) -> Option<Symbol> {
-        self.alphabet.lookup(name)
+        self.names.lookup(&self.alphabet, name.as_bytes())
+    }
+
+    /// [`Schema::lookup`] keyed by raw name bytes, as handed out by the
+    /// streaming tokenizer. A hit implies the bytes are valid UTF-8 (they
+    /// compared equal to an interned name), which is how the raw-byte
+    /// ingestion path skips per-tag UTF-8 validation: only unknown names
+    /// fall back to [`std::str::from_utf8`].
+    #[inline]
+    pub fn lookup_bytes(&self, name: &[u8]) -> Option<Symbol> {
+        self.names.lookup(&self.alphabet, name)
+    }
+
+    /// Whether `name` (raw bytes) is exactly `sym`'s name — the end-tag
+    /// well-formedness check of the raw-byte ingestion path. Key equality
+    /// settles names within one word (the typical case) with two integer
+    /// compares; only longer names re-touch the bytes.
+    #[inline]
+    pub(crate) fn name_matches(&self, sym: Symbol, name: &[u8]) -> bool {
+        self.name_keys[sym.index()] == NameIndex::key(name)
+            && (name.len() <= 8 || self.alphabet.name(sym).as_bytes() == name)
     }
 
     /// The name of a symbol of this schema's alphabet.
@@ -437,10 +609,17 @@ impl SchemaBuilder {
                 Content::Undeclared => Dispatch::Undeclared,
             })
             .collect();
+        let names = NameIndex::build(&alphabet);
+        let name_keys = alphabet
+            .symbols()
+            .map(|sym| NameIndex::key(alphabet.name(sym).as_bytes()))
+            .collect();
         Ok(Arc::new(Schema {
             alphabet,
             content,
             dispatch,
+            names,
+            name_keys,
             declared,
         }))
     }

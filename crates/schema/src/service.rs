@@ -227,22 +227,17 @@ impl ValidationService {
         let validator = &mut flight.validator;
         let clean = flight.tokenizer.feed(bytes, &mut |tag| {
             match tag {
-                Tag::Open(name) => validator.start_element(name),
+                Tag::Open(name) => validator.start_element_bytes(name),
                 Tag::OpenClose(name) => {
-                    validator.start_element(name);
+                    validator.start_element_bytes(name);
                     if validator.is_clean() {
                         validator.end_element();
                     }
                 }
-                Tag::Close(name) => match validator.open_element_name() {
-                    // XML well-formedness: the end tag must name the
-                    // innermost open element. (Event-level feeding has no
-                    // names on close events, so only bytes pay this.)
-                    Some(open) if open != name => validator.report_markup(format!(
-                        "</{name}> does not match the innermost open element <{open}>"
-                    )),
-                    _ => validator.end_element(),
-                },
+                // XML well-formedness: the end tag must name the innermost
+                // open element. (Event-level feeding has no names on close
+                // events, so only bytes pay this.)
+                Tag::Close(name) => validator.close_element_bytes(name),
                 Tag::Error(message) => validator.report_markup(message.to_owned()),
             }
             validator.is_clean()

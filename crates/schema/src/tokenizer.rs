@@ -1,4 +1,4 @@
-//! A minimal streaming XML tokenizer: raw bytes in, tag events out.
+//! A bulk-scanning streaming XML tokenizer: raw bytes in, tag events out.
 //!
 //! [`ValidationService::feed_bytes`] lets callers pipe socket buffers
 //! straight into validation; this module is the state machine behind it. It
@@ -6,6 +6,33 @@
 //! anywhere** — mid-name, mid-attribute, mid-comment — by keeping the whole
 //! scanner state (plus the bytes of a partial name) in the [`Tokenizer`]
 //! value between `feed` calls.
+//!
+//! # Bulk scanning
+//!
+//! Every scanner state is either a *skip class* — "consume bytes until one
+//! of a few interesting delimiters" — or a short discriminator (`<!-`,
+//! `CDATA[`) handled byte by byte. [`Tokenizer::feed`] therefore does not
+//! run a per-byte `match`: each skip-class state consumes its whole run
+//! with one [`redet_core::bytescan`] SWAR search (eight bytes per step)
+//! and only the delimiter byte itself pays the state dispatch:
+//!
+//! * character data skips to the next `<`;
+//! * comments skip to the next `-`, CDATA sections to the next `]`,
+//!   processing instructions to the next `?`;
+//! * attribute lists skip to the next `>`/quote (with `<` screened as an
+//!   error), quoted values and doctype literals to their closing quote,
+//!   doctype internal subsets to the next quote/bracket/`>`;
+//! * tag names run to the next non-name byte and are **borrowed straight
+//!   out of the chunk** — the `name` buffer is written only when a tag
+//!   actually straddles a chunk boundary, so a warmed tokenizer feeding
+//!   whole documents never copies a name at all.
+//!
+//! The per-byte scalar scanner is retained as [`Tokenizer::feed_scalar`] —
+//! the reference oracle the equivalence suite and the E14 benchmark compare
+//! the bulk scanner against. Both scanners cap the partial-name buffer at
+//! [`Tokenizer::MAX_NAME_LEN`] bytes: a hostile stream consisting of one
+//! never-ending tag name produces a bounded buffer and a
+//! [`Code::MalformedMarkup`] diagnostic instead of unbounded growth.
 //!
 //! The tokenizer is deliberately minimal, scoped to what element-structure
 //! validation needs:
@@ -19,26 +46,40 @@
 //!   and ignored — content models constrain *element* children only, which
 //!   matches [`DocumentValidator`]'s event model;
 //! * anything unparsable (stray `<`, `<>`, `</>`, garbage after an end-tag
-//!   name, a non-UTF-8 element name) is reported as a [`Tag::Error`], which
-//!   the service converts into a [`Code::MalformedMarkup`] diagnostic.
+//!   name, an over-long element name) is reported as a [`Tag::Error`],
+//!   which the service converts into a [`Code::MalformedMarkup`]
+//!   diagnostic. Tag names themselves are handed to the sink as **raw
+//!   bytes** — see [`Tag`] for why UTF-8 validation is deliberately the
+//!   consumer's job.
 //!
-//! No byte is ever buffered except the current partial tag name, so a
-//! warmed tokenizer feeds without allocating.
+//! No byte is ever buffered except a chunk-straddling partial tag name, so
+//! a warmed tokenizer feeds without allocating.
 //!
 //! [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
 //! [`DocumentValidator`]: crate::DocumentValidator
 //! [`Code::MalformedMarkup`]: redet_core::Code::MalformedMarkup
 
+use redet_core::bytescan::{memchr, memchr2, memchr3, memchr_mask_zero, splat, zero_byte_markers};
+
 /// One tag-level event produced by the tokenizer.
+///
+/// Names are the **raw bytes** of the stream, not `&str`: the tokenizer
+/// never UTF-8-validates a name, so the hot path pays no per-tag
+/// `from_utf8` walk. A consumer resolving names against a schema gets
+/// UTF-8 for free on a hit (schema names are strings — byte equality
+/// implies validity) and only needs to validate on the unknown-name cold
+/// path, which is exactly what [`ValidationService::feed_bytes`] does.
+///
+/// [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) enum Tag<'a> {
+pub enum Tag<'a> {
     /// A start tag `<name …>`.
-    Open(&'a str),
+    Open(&'a [u8]),
     /// A self-closing tag `<name …/>`: open and immediately close.
-    OpenClose(&'a str),
+    OpenClose(&'a [u8]),
     /// An end tag `</name>`. The service checks the name against the
     /// innermost open element (the tokenizer itself does no matching).
-    Close(&'a str),
+    Close(&'a [u8]),
     /// Markup the minimal grammar cannot parse.
     Error(&'static str),
 }
@@ -56,18 +97,18 @@ enum Quote {
 /// partial-name buffer it is the *entire* cross-chunk state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum State {
-    /// Character data between tags (ignored).
+    /// Character data between tags (ignored). Skip class: `<`.
     #[default]
     Text,
     /// Just after `<`.
     Lt,
-    /// Accumulating a start-tag name into the buffer.
+    /// Inside a start-tag name. Skip class: any non-name byte.
     OpenName,
-    /// Accumulating an end-tag name into the buffer.
+    /// Inside an end-tag name. Skip class: any non-name byte.
     CloseName,
     /// Inside a start tag after the name, skipping attributes. `slash` is
     /// set when the previous meaningful byte was `/` (self-closing if `>`
-    /// follows).
+    /// follows). Skip class: `>`, quotes (with `<` screened as an error).
     Attrs { quote: Quote, slash: bool },
     /// After `</name` — only whitespace may precede the `>`.
     CloseEnd,
@@ -78,18 +119,24 @@ enum State {
     /// Matching the `CDATA[` discriminator after `<![`, byte by byte.
     CdataPrefix { matched: u8 },
     /// Inside `<![CDATA[ … ]]>`; `brackets` counts trailing `]`s seen.
+    /// Skip class (at `brackets == 0`): `]`.
     Cdata { brackets: u8 },
-    /// Inside `<!-- … -->`; `dashes` counts trailing `-`s seen.
+    /// Inside `<!-- … -->`; `dashes` counts trailing `-`s seen. Skip class
+    /// (at `dashes == 0`): `-`.
     Comment { dashes: u8 },
     /// Inside a doctype-ish `<!…>` construct; `depth` tracks `[…]` nesting
     /// (internal subsets contain `>`s of their own) and `quote` an open
     /// system/public literal (which may legally contain `>`, `[`, `]`).
+    /// Skip class: quotes, brackets and `>` (just the closing quote inside
+    /// a literal).
     Doctype { depth: u8, quote: Quote },
-    /// Inside `<?…?>`; `qm` is set when the previous byte was `?`.
+    /// Inside `<?…?>`; `qm` is set when the previous byte was `?`. Skip
+    /// class (at `!qm`): `?`.
     Pi { qm: bool },
 }
 
-/// Which tag the current byte completed; the name sits in the buffer.
+/// Which tag the current byte completed; the name sits in the buffer and/or
+/// the current chunk.
 #[derive(Clone, Copy)]
 enum Finish {
     Open,
@@ -99,26 +146,135 @@ enum Finish {
 
 const CDATA_PREFIX: &[u8] = b"CDATA[";
 
+/// The [`Tag::Error`] text for a name longer than
+/// [`Tokenizer::MAX_NAME_LEN`].
+const NAME_TOO_LONG: &str = "element name exceeds the 4 KiB limit";
+
+/// Bytes allowed in element names, precomputed so the name run loop is one
+/// indexed load per byte. Deliberately permissive (tag soup): any byte that
+/// cannot terminate or confuse a tag, including multi-byte UTF-8 sequences,
+/// counts as a name byte; real name validation happens against the schema's
+/// alphabet.
+static NAME_BYTE: [bool; 256] = {
+    let mut table = [false; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        table[b] = !((b as u8).is_ascii_whitespace()
+            || matches!(
+                b as u8,
+                b'<' | b'>' | b'/' | b'!' | b'?' | b'=' | b'"' | b'\''
+            ));
+        b += 1;
+    }
+    table
+};
+
+#[inline]
+fn is_name_byte(b: u8) -> bool {
+    NAME_BYTE[b as usize]
+}
+
+/// Scans a name run from `i` to its terminating non-name byte, returning
+/// the terminator's index and value — `(bytes.len(), _)` when the chunk
+/// ends first. Every possible terminator is ASCII below `0x40` and every
+/// byte at or above it (letters, multi-byte UTF-8) is unconditionally a
+/// name byte, so the scan masks with `0xC0` and only low bytes (digits,
+/// `-`, `:`, the real terminators, …) consult the exact table.
+///
+/// The first arm settles the typical case — the rest of the name plus its
+/// terminator inside one word — with a single load, keeping the terminator
+/// in a register instead of re-loading it; the loop handles chunk tails,
+/// low name bytes and names longer than a word.
+#[inline]
+fn scan_name_tail(bytes: &[u8], mut i: usize) -> (usize, u8) {
+    if i + 8 <= bytes.len() {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
+        let z = zero_byte_markers(w & splat(0xC0));
+        if z != 0 {
+            let k = (z.trailing_zeros() / 8) as usize;
+            let t = (w >> (8 * k)) as u8;
+            if !is_name_byte(t) {
+                return (i + k, t);
+            }
+        }
+    }
+    let len = bytes.len();
+    let mut t = 0u8;
+    while i < len {
+        match memchr_mask_zero(0xC0, &bytes[i..]) {
+            Some(k) => {
+                i += k;
+                t = bytes[i];
+                if is_name_byte(t) {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            None => i = len,
+        }
+    }
+    (i, t)
+}
+
+/// The earlier of two optional scan hits.
+#[inline]
+fn min_hit(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// The streaming scanner; see the module docs. One per in-flight document —
 /// chunk boundaries may fall anywhere, so the state must persist between
 /// [`Tokenizer::feed`] calls.
+///
+/// ```
+/// use redet_schema::tokenizer::{Tag, Tokenizer};
+///
+/// let mut tags = Vec::new();
+/// let mut tokenizer = Tokenizer::default();
+/// // Chunk boundaries may fall anywhere — even mid-name.
+/// for chunk in [&b"<doc><!-- hi --><it"[..], &b"em/></doc>"[..]] {
+///     tokenizer.feed(chunk, &mut |tag| {
+///         tags.push(match tag {
+///             Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
+///             Tag::OpenClose(n) => format!("<{}/>", String::from_utf8_lossy(n)),
+///             Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
+///             Tag::Error(e) => format!("!{e}"),
+///         });
+///         true
+///     });
+/// }
+/// assert_eq!(tags, ["<doc>", "<item/>", "</doc>"]);
+/// assert!(tokenizer.is_idle());
+/// ```
 #[derive(Debug, Default)]
-pub(crate) struct Tokenizer {
+pub struct Tokenizer {
     state: State,
-    /// Bytes of the current (possibly chunk-split) tag name.
+    /// Bytes of the current tag name when it straddles a chunk boundary
+    /// (names completed inside one chunk are borrowed, not copied).
     name: Vec<u8>,
 }
 
 impl Tokenizer {
+    /// Upper bound on a tag name's length in bytes. A longer "name" (a
+    /// hostile unterminated-tag stream) is reported as a [`Tag::Error`] and
+    /// the rest of the run is treated as character data, so the partial-name
+    /// buffer a malicious connection can pin stays bounded.
+    pub const MAX_NAME_LEN: usize = 4096;
+
     /// Whether the scanner is between constructs — the end-of-document
     /// well-formedness check (`finish` inside a tag is malformed markup).
-    pub(crate) fn is_idle(&self) -> bool {
+    pub fn is_idle(&self) -> bool {
         self.state == State::Text
     }
 
     /// Resets the scanner for the next document, keeping the name buffer's
     /// capacity.
-    pub(crate) fn reset(&mut self) {
+    pub fn reset(&mut self) {
         self.state = State::Text;
         self.name.clear();
     }
@@ -128,7 +284,683 @@ impl Tokenizer {
     /// document is rejected); remaining bytes of the chunk are dropped and
     /// `feed` returns `false`. Returns `true` when the whole chunk was
     /// consumed.
-    pub(crate) fn feed(&mut self, bytes: &[u8], sink: &mut dyn FnMut(Tag<'_>) -> bool) -> bool {
+    ///
+    /// Tag names are borrowed out of `bytes` whenever the whole tag name
+    /// lies inside this chunk; only chunk-straddling names are copied into
+    /// the tokenizer's buffer. See the module docs for the bulk-scanning
+    /// skip classes.
+    pub fn feed(&mut self, bytes: &[u8], sink: &mut impl FnMut(Tag<'_>) -> bool) -> bool {
+        let len = bytes.len();
+        let mut i = 0usize;
+        // Name bytes of the current tag found in *this* chunk and not yet
+        // copied out: the pending name is `self.name ++ bytes[span.0..span.1]`.
+        // Flushed into the buffer if the chunk ends before the tag does.
+        let mut span = (0usize, 0usize);
+        'chunk: while i < len {
+            match self.state {
+                State::Text => {
+                    // Hot path: parse whole tags inline, looping locally
+                    // for as long as the scanner stays between tags.
+                    // Bouncing through the outer state dispatch between
+                    // `<`, the name and the `>` costs a hard-to-predict
+                    // indirect branch per step on tag-dense input; the
+                    // fused path keeps the state implicit in straight-line
+                    // code, re-enters the outer dispatch only for rare
+                    // constructs, and writes `self.state` only when a tag
+                    // is cut off by the chunk boundary.
+                    while i < len {
+                        if bytes[i] != b'<' {
+                            match memchr(b'<', &bytes[i..]) {
+                                Some(k) => i += k,
+                                None => {
+                                    i = len;
+                                    break;
+                                }
+                            }
+                        }
+                        i += 1; // consume the '<'
+                        if i == len {
+                            self.state = State::Lt;
+                            break 'chunk;
+                        }
+                        let b = bytes[i];
+                        if is_name_byte(b) {
+                            // `<name…` — a start tag: scan the name and
+                            // dispatch on the terminator byte the scan
+                            // already holds. The buffer is necessarily
+                            // empty in `Text` (every emit clears it), so
+                            // there is nothing to reset.
+                            debug_assert!(self.name.is_empty());
+                            let start = i;
+                            let (end, t) = scan_name_tail(bytes, i + 1);
+                            i = end;
+                            if i - start > Self::MAX_NAME_LEN {
+                                if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink)
+                                {
+                                    return false;
+                                }
+                                continue;
+                            }
+                            if i == len {
+                                // The tag straddles the chunk: bank the name.
+                                self.name.extend_from_slice(&bytes[start..i]);
+                                self.state = State::OpenName;
+                                break 'chunk;
+                            }
+                            i += 1; // consume the terminator
+                            match t {
+                                b'>' => {
+                                    if !Self::emit_direct(&bytes[start..i - 1], Finish::Open, sink)
+                                    {
+                                        return false;
+                                    }
+                                }
+                                b'/' => {
+                                    span = (start, i - 1);
+                                    self.state = State::Attrs {
+                                        quote: Quote::None,
+                                        slash: true,
+                                    };
+                                    break;
+                                }
+                                _ if t.is_ascii_whitespace() => {
+                                    span = (start, i - 1);
+                                    self.state = State::Attrs {
+                                        quote: Quote::None,
+                                        slash: false,
+                                    };
+                                    break;
+                                }
+                                b'<' => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "'<' inside a tag",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                                _ => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "malformed start tag",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                            }
+                        } else if b == b'/' {
+                            // `</name…` — an end tag.
+                            debug_assert!(self.name.is_empty());
+                            i += 1;
+                            if i == len {
+                                self.state = State::CloseName;
+                                break 'chunk;
+                            }
+                            let start = i;
+                            let (end, t) = scan_name_tail(bytes, i);
+                            i = end;
+                            if i - start > Self::MAX_NAME_LEN {
+                                if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink)
+                                {
+                                    return false;
+                                }
+                                continue;
+                            }
+                            if i == len {
+                                self.name.extend_from_slice(&bytes[start..i]);
+                                self.state = State::CloseName;
+                                break 'chunk;
+                            }
+                            i += 1; // consume the terminator
+                            match t {
+                                b'>' if i - 1 == start => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "end tag '</>' has no name",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                                b'>' => {
+                                    if !Self::emit_direct(&bytes[start..i - 1], Finish::Close, sink)
+                                    {
+                                        return false;
+                                    }
+                                }
+                                _ if t.is_ascii_whitespace() && i - 1 == start => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "end tag '</ ' has no name",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                                _ if t.is_ascii_whitespace() => {
+                                    span = (start, i - 1);
+                                    self.state = State::CloseEnd;
+                                    break;
+                                }
+                                _ => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "malformed end tag",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                            }
+                        } else {
+                            i += 1;
+                            match b {
+                                b'!' => {
+                                    self.state = State::Bang;
+                                    break;
+                                }
+                                b'?' => {
+                                    self.state = State::Pi { qm: false };
+                                    break;
+                                }
+                                b'>' => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "empty tag '<>'",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                                _ => {
+                                    if !Self::emit_error(
+                                        &mut self.name,
+                                        &mut span,
+                                        "stray '<' is not followed by a tag name",
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                State::Lt => {
+                    let b = bytes[i];
+                    i += 1;
+                    match b {
+                        b'/' => {
+                            self.name.clear();
+                            self.state = State::CloseName;
+                        }
+                        b'!' => self.state = State::Bang,
+                        b'?' => self.state = State::Pi { qm: false },
+                        b'>' => {
+                            self.state = State::Text;
+                            if !Self::emit_error(&mut self.name, &mut span, "empty tag '<>'", sink)
+                            {
+                                return false;
+                            }
+                        }
+                        _ if is_name_byte(b) => {
+                            self.name.clear();
+                            span = (i - 1, i);
+                            self.state = State::OpenName;
+                        }
+                        _ => {
+                            self.state = State::Text;
+                            if !Self::emit_error(
+                                &mut self.name,
+                                &mut span,
+                                "stray '<' is not followed by a tag name",
+                                sink,
+                            ) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                State::OpenName | State::CloseName => {
+                    let closing = self.state == State::CloseName;
+                    let start = i;
+                    let (end, b) = scan_name_tail(bytes, i);
+                    i = end;
+                    if span.1 == span.0 {
+                        span = (start, i);
+                    } else {
+                        debug_assert_eq!(span.1, start, "name runs are contiguous in a chunk");
+                        span.1 = i;
+                    }
+                    if self.name.len() + (span.1 - span.0) > Self::MAX_NAME_LEN {
+                        self.state = State::Text;
+                        if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink) {
+                            return false;
+                        }
+                        continue;
+                    }
+                    if i == len {
+                        break; // chunk ended mid-name; the span is flushed below
+                    }
+                    let empty = self.name.is_empty() && span.1 == span.0;
+                    i += 1; // consume the terminator
+                    let error = if closing {
+                        match b {
+                            b'>' if empty => Some("end tag '</>' has no name"),
+                            b'>' => {
+                                self.state = State::Text;
+                                if !Self::emit_finish(
+                                    &mut self.name,
+                                    bytes,
+                                    &mut span,
+                                    Finish::Close,
+                                    sink,
+                                ) {
+                                    return false;
+                                }
+                                None
+                            }
+                            _ if b.is_ascii_whitespace() && empty => {
+                                Some("end tag '</ ' has no name")
+                            }
+                            _ if b.is_ascii_whitespace() => {
+                                self.state = State::CloseEnd;
+                                None
+                            }
+                            _ => Some("malformed end tag"),
+                        }
+                    } else {
+                        match b {
+                            b'>' => {
+                                self.state = State::Text;
+                                if !Self::emit_finish(
+                                    &mut self.name,
+                                    bytes,
+                                    &mut span,
+                                    Finish::Open,
+                                    sink,
+                                ) {
+                                    return false;
+                                }
+                                None
+                            }
+                            b'/' => {
+                                self.state = State::Attrs {
+                                    quote: Quote::None,
+                                    slash: true,
+                                };
+                                None
+                            }
+                            _ if b.is_ascii_whitespace() => {
+                                self.state = State::Attrs {
+                                    quote: Quote::None,
+                                    slash: false,
+                                };
+                                None
+                            }
+                            b'<' => Some("'<' inside a tag"),
+                            _ => Some("malformed start tag"),
+                        }
+                    };
+                    if let Some(message) = error {
+                        self.state = State::Text;
+                        if !Self::emit_error(&mut self.name, &mut span, message, sink) {
+                            return false;
+                        }
+                    }
+                }
+                State::Attrs {
+                    quote: Quote::None,
+                    slash,
+                } => {
+                    let rest = &bytes[i..];
+                    let stop = memchr3(b'>', b'\'', b'"', rest);
+                    let limit = stop.unwrap_or(rest.len());
+                    if let Some(k) = memchr(b'<', &rest[..limit]) {
+                        i += k + 1;
+                        self.state = State::Text;
+                        if !Self::emit_error(&mut self.name, &mut span, "'<' inside a tag", sink) {
+                            return false;
+                        }
+                        continue;
+                    }
+                    match stop {
+                        Some(k) => {
+                            // `/` only matters directly before the `>`: every
+                            // other skipped byte resets the slash flag anyway.
+                            let slash_now = if k == 0 { slash } else { rest[k - 1] == b'/' };
+                            let b = rest[k];
+                            i += k + 1;
+                            match b {
+                                b'>' => {
+                                    self.state = State::Text;
+                                    let kind = if slash_now {
+                                        Finish::OpenClose
+                                    } else {
+                                        Finish::Open
+                                    };
+                                    if !Self::emit_finish(
+                                        &mut self.name,
+                                        bytes,
+                                        &mut span,
+                                        kind,
+                                        sink,
+                                    ) {
+                                        return false;
+                                    }
+                                }
+                                b'\'' => {
+                                    self.state = State::Attrs {
+                                        quote: Quote::Single,
+                                        slash: false,
+                                    };
+                                }
+                                _ => {
+                                    self.state = State::Attrs {
+                                        quote: Quote::Double,
+                                        slash: false,
+                                    };
+                                }
+                            }
+                        }
+                        None => {
+                            self.state = State::Attrs {
+                                quote: Quote::None,
+                                slash: rest.last() == Some(&b'/'),
+                            };
+                            i = len;
+                        }
+                    }
+                }
+                State::Attrs { quote, .. } => {
+                    let needle = if quote == Quote::Single { b'\'' } else { b'"' };
+                    match memchr(needle, &bytes[i..]) {
+                        Some(k) => {
+                            i += k + 1;
+                            self.state = State::Attrs {
+                                quote: Quote::None,
+                                slash: false,
+                            };
+                        }
+                        None => i = len,
+                    }
+                }
+                State::CloseEnd => {
+                    while i < len && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    let b = bytes[i];
+                    i += 1;
+                    if b == b'>' {
+                        self.state = State::Text;
+                        if !Self::emit_finish(&mut self.name, bytes, &mut span, Finish::Close, sink)
+                        {
+                            return false;
+                        }
+                    } else {
+                        self.state = State::Text;
+                        if !Self::emit_error(
+                            &mut self.name,
+                            &mut span,
+                            "garbage after an end-tag name",
+                            sink,
+                        ) {
+                            return false;
+                        }
+                    }
+                }
+                State::Bang => {
+                    let b = bytes[i];
+                    i += 1;
+                    self.state = match b {
+                        b'-' => State::BangDash,
+                        b'[' => State::CdataPrefix { matched: 0 },
+                        b'>' => State::Text,
+                        _ => State::Doctype {
+                            depth: 0,
+                            quote: Quote::None,
+                        },
+                    };
+                }
+                State::BangDash => {
+                    let b = bytes[i];
+                    i += 1;
+                    self.state = match b {
+                        b'-' => State::Comment { dashes: 0 },
+                        b'>' => State::Text,
+                        _ => State::Doctype {
+                            depth: 0,
+                            quote: Quote::None,
+                        },
+                    };
+                }
+                State::CdataPrefix { matched } => {
+                    let b = bytes[i];
+                    i += 1;
+                    self.state = if b == CDATA_PREFIX[matched as usize] {
+                        if matched as usize + 1 == CDATA_PREFIX.len() {
+                            State::Cdata { brackets: 0 }
+                        } else {
+                            State::CdataPrefix {
+                                matched: matched + 1,
+                            }
+                        }
+                    } else {
+                        // Not a CDATA section after all (`<![INCLUDE[` …):
+                        // treat it as a doctype-ish marked section. The `[`
+                        // already consumed opened one nesting level.
+                        let depth = match b {
+                            b']' => 0,
+                            b'[' => 2,
+                            _ => 1,
+                        };
+                        State::Doctype {
+                            depth,
+                            quote: match b {
+                                b'\'' => Quote::Single,
+                                b'"' => Quote::Double,
+                                _ => Quote::None,
+                            },
+                        }
+                    };
+                }
+                State::Cdata { brackets: 0 } => match memchr(b']', &bytes[i..]) {
+                    Some(k) => {
+                        i += k + 1;
+                        self.state = State::Cdata { brackets: 1 };
+                    }
+                    None => i = len,
+                },
+                State::Cdata { brackets } => {
+                    let b = bytes[i];
+                    i += 1;
+                    self.state = match b {
+                        b']' => State::Cdata {
+                            brackets: (brackets + 1).min(2),
+                        },
+                        b'>' if brackets >= 2 => State::Text,
+                        _ => State::Cdata { brackets: 0 },
+                    };
+                }
+                State::Comment { dashes: 0 } => match memchr(b'-', &bytes[i..]) {
+                    Some(k) => {
+                        i += k + 1;
+                        self.state = State::Comment { dashes: 1 };
+                    }
+                    None => i = len,
+                },
+                State::Comment { dashes } => {
+                    let b = bytes[i];
+                    i += 1;
+                    self.state = match b {
+                        b'-' => State::Comment {
+                            dashes: (dashes + 1).min(2),
+                        },
+                        b'>' if dashes >= 2 => State::Text,
+                        _ => State::Comment { dashes: 0 },
+                    };
+                }
+                State::Doctype {
+                    depth,
+                    quote: Quote::None,
+                } => {
+                    let rest = &bytes[i..];
+                    match min_hit(memchr3(b'\'', b'"', b'>', rest), memchr2(b'[', b']', rest)) {
+                        Some(k) => {
+                            let b = rest[k];
+                            i += k + 1;
+                            self.state = match b {
+                                b'\'' => State::Doctype {
+                                    depth,
+                                    quote: Quote::Single,
+                                },
+                                b'"' => State::Doctype {
+                                    depth,
+                                    quote: Quote::Double,
+                                },
+                                b'[' => State::Doctype {
+                                    depth: depth.saturating_add(1),
+                                    quote: Quote::None,
+                                },
+                                b']' => State::Doctype {
+                                    depth: depth.saturating_sub(1),
+                                    quote: Quote::None,
+                                },
+                                _ if depth == 0 => State::Text,
+                                _ => State::Doctype {
+                                    depth,
+                                    quote: Quote::None,
+                                },
+                            };
+                        }
+                        None => i = len,
+                    }
+                }
+                State::Doctype { depth, quote } => {
+                    // Inside a system/public literal everything is inert
+                    // until the matching quote — literals legally contain
+                    // `>`, `[` and `]`.
+                    let needle = if quote == Quote::Single { b'\'' } else { b'"' };
+                    match memchr(needle, &bytes[i..]) {
+                        Some(k) => {
+                            i += k + 1;
+                            self.state = State::Doctype {
+                                depth,
+                                quote: Quote::None,
+                            };
+                        }
+                        None => i = len,
+                    }
+                }
+                State::Pi { qm: false } => match memchr(b'?', &bytes[i..]) {
+                    Some(k) => {
+                        i += k + 1;
+                        self.state = State::Pi { qm: true };
+                    }
+                    None => i = len,
+                },
+                State::Pi { .. } => {
+                    let b = bytes[i];
+                    i += 1;
+                    self.state = match b {
+                        b'?' => State::Pi { qm: true },
+                        b'>' => State::Text,
+                        _ => State::Pi { qm: false },
+                    };
+                }
+            }
+        }
+        // The chunk ended with a tag still open: bank the borrowed name
+        // bytes so the next chunk can continue them. The cap check above
+        // ran before any `break`, so the buffer stays bounded.
+        if span.1 > span.0 {
+            self.name.extend_from_slice(&bytes[span.0..span.1]);
+        }
+        true
+    }
+
+    /// Resolves the pending name — buffered bytes plus the borrowed span —
+    /// and emits the finished tag. Single-chunk names are borrowed straight
+    /// out of `bytes`; only straddling names touch the buffer. Outlined:
+    /// every call site inlines the sink (the whole validation path), and
+    /// only resumption states reach this — keeping one copy keeps the hot
+    /// fused path's code small.
+    #[inline(never)]
+    fn emit_finish(
+        name: &mut Vec<u8>,
+        bytes: &[u8],
+        span: &mut (usize, usize),
+        kind: Finish,
+        sink: &mut impl FnMut(Tag<'_>) -> bool,
+    ) -> bool {
+        let borrowed = &bytes[span.0..span.1];
+        let name_bytes: &[u8] = if name.is_empty() {
+            borrowed
+        } else {
+            name.extend_from_slice(borrowed);
+            name.as_slice()
+        };
+        let keep_going = sink(match kind {
+            Finish::Open => Tag::Open(name_bytes),
+            Finish::OpenClose => Tag::OpenClose(name_bytes),
+            Finish::Close => Tag::Close(name_bytes),
+        });
+        name.clear();
+        *span = (0, 0);
+        keep_going
+    }
+
+    /// Emits a tag whose name lies entirely inside the current chunk — the
+    /// fused fast path's borrow-only emission (the name buffer is known
+    /// empty and the span untouched, so there is nothing to reset).
+    #[inline]
+    fn emit_direct(
+        name_bytes: &[u8],
+        kind: Finish,
+        sink: &mut impl FnMut(Tag<'_>) -> bool,
+    ) -> bool {
+        sink(match kind {
+            Finish::Open => Tag::Open(name_bytes),
+            Finish::OpenClose => Tag::OpenClose(name_bytes),
+            Finish::Close => Tag::Close(name_bytes),
+        })
+    }
+
+    /// Emits a [`Tag::Error`], discarding any pending name. Malformed
+    /// markup is never the hot path, and each of the many call sites would
+    /// inline the sink — outline them all into this one cold copy.
+    #[cold]
+    #[inline(never)]
+    fn emit_error(
+        name: &mut Vec<u8>,
+        span: &mut (usize, usize),
+        message: &'static str,
+        sink: &mut impl FnMut(Tag<'_>) -> bool,
+    ) -> bool {
+        name.clear();
+        *span = (0, 0);
+        sink(Tag::Error(message))
+    }
+
+    /// The original byte-at-a-time scanner, kept verbatim (plus the shared
+    /// name cap) as the reference oracle: `tests/tokenizer_equivalence.rs`
+    /// property-checks [`Tokenizer::feed`] against it over random documents
+    /// and every chunk split, and the E14 benchmark reports the bulk
+    /// scanner's speedup relative to it. Semantics are identical; only the
+    /// scanning strategy differs.
+    #[doc(hidden)]
+    pub fn feed_scalar(&mut self, bytes: &[u8], sink: &mut impl FnMut(Tag<'_>) -> bool) -> bool {
         for &b in bytes {
             let mut emit: Option<Tag<'static>> = None;
             // Set when the byte completes a tag whose name sits in the
@@ -179,8 +1011,13 @@ impl Tokenizer {
                         State::Text
                     }
                     _ if is_name_byte(b) => {
-                        self.name.push(b);
-                        State::OpenName
+                        if self.name.len() >= Self::MAX_NAME_LEN {
+                            emit = Some(Tag::Error(NAME_TOO_LONG));
+                            State::Text
+                        } else {
+                            self.name.push(b);
+                            State::OpenName
+                        }
                     }
                     _ => {
                         emit = Some(Tag::Error("malformed start tag"));
@@ -237,8 +1074,13 @@ impl Tokenizer {
                     }
                     _ if b.is_ascii_whitespace() => State::CloseEnd,
                     _ if is_name_byte(b) => {
-                        self.name.push(b);
-                        State::CloseName
+                        if self.name.len() >= Self::MAX_NAME_LEN {
+                            emit = Some(Tag::Error(NAME_TOO_LONG));
+                            State::Text
+                        } else {
+                            self.name.push(b);
+                            State::CloseName
+                        }
                     }
                     _ => {
                         emit = Some(Tag::Error("malformed end tag"));
@@ -283,9 +1125,6 @@ impl Tokenizer {
                             }
                         }
                     } else {
-                        // Not a CDATA section after all (`<![INCLUDE[` …):
-                        // treat it as a doctype-ish marked section. The `[`
-                        // already consumed opened one nesting level.
                         let depth = match b {
                             b']' => 0,
                             b'[' => 2,
@@ -316,9 +1155,6 @@ impl Tokenizer {
                     _ => State::Comment { dashes: 0 },
                 },
                 State::Doctype { depth, quote } => match (quote, b) {
-                    // Inside a system/public literal everything is inert
-                    // until the matching quote — literals legally contain
-                    // `>`, `[` and `]`.
                     (Quote::Single, b'\'') | (Quote::Double, b'"') => State::Doctype {
                         depth,
                         quote: Quote::None,
@@ -353,14 +1189,11 @@ impl Tokenizer {
                 },
             };
             if let Some(kind) = finish {
-                let keep_going = match std::str::from_utf8(&self.name) {
-                    Ok(name) => sink(match kind {
-                        Finish::Open => Tag::Open(name),
-                        Finish::OpenClose => Tag::OpenClose(name),
-                        Finish::Close => Tag::Close(name),
-                    }),
-                    Err(_) => sink(Tag::Error("element name is not valid UTF-8")),
-                };
+                let keep_going = sink(match kind {
+                    Finish::Open => Tag::Open(&self.name),
+                    Finish::OpenClose => Tag::OpenClose(&self.name),
+                    Finish::Close => Tag::Close(&self.name),
+                });
                 self.name.clear();
                 if !keep_going {
                     return false;
@@ -376,43 +1209,49 @@ impl Tokenizer {
     }
 }
 
-/// Bytes allowed in element names. Deliberately permissive (tag soup): any
-/// byte that cannot terminate or confuse a tag, including multi-byte UTF-8
-/// sequences, counts as a name byte; real name validation happens against
-/// the schema's alphabet.
-#[inline]
-fn is_name_byte(b: u8) -> bool {
-    !(b.is_ascii_whitespace()
-        || matches!(b, b'<' | b'>' | b'/' | b'!' | b'?' | b'=' | b'"' | b'\''))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// Collects the tags of a byte stream, splitting it into chunks of
-    /// `chunk` bytes (0 = one chunk).
-    fn scan(input: &str, chunk: usize) -> Vec<String> {
+    /// `chunk` bytes (0 = one chunk); `scalar` selects the oracle scanner.
+    fn scan_with(input: &[u8], chunk: usize, scalar: bool) -> Vec<String> {
         let mut t = Tokenizer::default();
         let mut out = Vec::new();
         let mut push = |tag: Tag<'_>| {
             out.push(match tag {
-                Tag::Open(n) => format!("<{n}>"),
-                Tag::OpenClose(n) => format!("<{n}/>"),
-                Tag::Close(n) => format!("</{n}>"),
+                Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
+                Tag::OpenClose(n) => format!("<{}/>", String::from_utf8_lossy(n)),
+                Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
                 Tag::Error(e) => format!("!{e}"),
             });
             true
         };
-        if chunk == 0 {
-            assert!(t.feed(input.as_bytes(), &mut push));
+        let parts: Vec<&[u8]> = if chunk == 0 {
+            vec![input]
         } else {
-            for part in input.as_bytes().chunks(chunk) {
+            input.chunks(chunk).collect()
+        };
+        for part in parts {
+            if scalar {
+                assert!(t.feed_scalar(part, &mut push));
+            } else {
                 assert!(t.feed(part, &mut push));
             }
         }
-        assert!(t.is_idle(), "scanner left inside a construct");
         out
+    }
+
+    /// Scans with the bulk scanner, asserting the scalar oracle agrees at
+    /// the same chunking and that the scanner ends between constructs.
+    fn scan(input: &str, chunk: usize) -> Vec<String> {
+        let bulk = scan_with(input.as_bytes(), chunk, false);
+        let scalar = scan_with(input.as_bytes(), chunk, true);
+        assert_eq!(bulk, scalar, "bulk and scalar scanners disagree");
+        let mut t = Tokenizer::default();
+        assert!(t.feed(input.as_bytes(), &mut |_| true));
+        assert!(t.is_idle(), "scanner left inside a construct");
+        bulk
     }
 
     #[test]
@@ -478,7 +1317,7 @@ mod tests {
         assert!(t.feed(b"<partial-na", &mut |_| true));
         assert!(!t.is_idle());
         assert!(t.feed(b"me>", &mut |tag| {
-            assert_eq!(tag, Tag::Open("partial-name"));
+            assert_eq!(tag, Tag::Open(b"partial-name"));
             true
         }));
         assert!(t.is_idle());
@@ -495,5 +1334,54 @@ mod tests {
             false
         }));
         assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn single_chunk_names_are_borrowed_not_buffered() {
+        let mut t = Tokenizer::default();
+        assert!(t.feed(b"<alpha><beta attr='v'/></alpha>", &mut |_| true));
+        // Completed-in-chunk names never touch the buffer.
+        assert_eq!(t.name.capacity(), 0);
+        // A straddling name does, and the flush covers exactly the name.
+        assert!(t.feed(b"<gam", &mut |_| true));
+        assert_eq!(t.name, b"gam");
+    }
+
+    #[test]
+    fn over_long_names_are_capped_with_a_bounded_buffer() {
+        let hostile = vec![b'a'; 10 * Tokenizer::MAX_NAME_LEN];
+        for chunk in [0usize, 1, 7, 4096, 10_000] {
+            let mut input = b"<x><".to_vec();
+            input.extend_from_slice(&hostile);
+            input.extend_from_slice(b" y='z'><x/>");
+            let got = scan_with(&input, chunk, false);
+            assert_eq!(got, scan_with(&input, chunk, true), "chunk {chunk}");
+            // The one real tag, one error for the hostile name, and the
+            // trailing `<x/>` recovered as markup again.
+            assert_eq!(
+                got,
+                vec![
+                    "<x>".to_owned(),
+                    format!("!{NAME_TOO_LONG}"),
+                    "<x/>".to_owned()
+                ],
+                "chunk {chunk}"
+            );
+        }
+        // The buffer a hostile stream can pin stays bounded by the cap, not
+        // the stream length.
+        let mut t = Tokenizer::default();
+        assert!(t.feed(b"<", &mut |_| true));
+        for chunk in hostile.chunks(977) {
+            assert!(t.feed(chunk, &mut |tag| {
+                assert_eq!(tag, Tag::Error(NAME_TOO_LONG));
+                true
+            }));
+        }
+        assert!(
+            t.name.capacity() <= 2 * Tokenizer::MAX_NAME_LEN,
+            "name buffer grew past the cap: {}",
+            t.name.capacity()
+        );
     }
 }

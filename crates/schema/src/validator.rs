@@ -171,25 +171,90 @@ impl DocumentValidator {
     pub fn start_element(&mut self, name: &str) {
         match self.schema.lookup(name) {
             Some(sym) => self.start_element_symbol(sym),
-            None => {
-                let event = self.take_event();
-                let path = self.path_with(Some(name));
-                self.diagnostics.push(
-                    Diagnostic::new(
-                        Code::UnknownElement,
-                        format!("element '{name}' is not part of the schema"),
-                    )
-                    .with_location(DocLocation { path, event }),
-                );
-                self.feed_parent(Err(name), event);
-                self.unknown.push(name.to_owned());
-                self.frames.push(Frame {
-                    sym: UNKNOWN,
-                    children: 0,
-                    state: FrameState::Any,
-                });
-            }
+            None => self.start_element_unknown(name),
         }
+    }
+
+    /// Opens an element by the raw name bytes a [`crate::Tokenizer`] hands
+    /// out — the per-tag path of [`ValidationService::feed_bytes`]. A
+    /// schema hit resolves the symbol with no UTF-8 round trip (byte
+    /// equality with an interned name proves validity); only unknown names
+    /// pay [`std::str::from_utf8`], and non-UTF-8 names are reported as
+    /// [`Code::MalformedMarkup`].
+    ///
+    /// [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
+    #[inline]
+    pub fn start_element_bytes(&mut self, name: &[u8]) {
+        match self.schema.lookup_bytes(name) {
+            Some(sym) => self.start_element_symbol(sym),
+            None => match std::str::from_utf8(name) {
+                Ok(name) => self.start_element_unknown(name),
+                Err(_) => self.report_markup("element name is not valid UTF-8".to_owned()),
+            },
+        }
+    }
+
+    /// Closes the innermost open element after checking the end tag's raw
+    /// name against it (XML well-formedness) — the per-close-tag path of
+    /// [`ValidationService::feed_bytes`]. The check compares name *keys*
+    /// (first word + length), not bytes, so a matching close costs two
+    /// integer compares on top of [`DocumentValidator::end_element`]; the
+    /// mismatch arm — where a non-UTF-8 name first matters, since it can
+    /// never equal an interned name — is cold.
+    ///
+    /// [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
+    #[inline]
+    pub fn close_element_bytes(&mut self, name: &[u8]) {
+        let matches = match self.frames.last() {
+            Some(frame) if frame.sym != UNKNOWN => self
+                .schema
+                .name_matches(Symbol::from_index(frame.sym as usize), name),
+            Some(_) => self
+                .unknown
+                .last()
+                .is_some_and(|open| open.as_bytes() == name),
+            // Let end_element report the unbalanced close.
+            None => true,
+        };
+        if matches {
+            self.end_element();
+        } else {
+            self.close_element_mismatch(name);
+        }
+    }
+
+    /// The cold mismatch arm of [`DocumentValidator::close_element_bytes`].
+    #[cold]
+    fn close_element_mismatch(&mut self, name: &[u8]) {
+        let open = self.open_element_name().unwrap_or("?").to_owned();
+        match std::str::from_utf8(name) {
+            Ok(name) => self.report_markup(format!(
+                "</{name}> does not match the innermost open element <{open}>"
+            )),
+            Err(_) => self.report_markup("element name is not valid UTF-8".to_owned()),
+        }
+    }
+
+    /// The shared unknown-element cold path: diagnose, then open a
+    /// match-anything frame so validation can continue structurally.
+    #[cold]
+    fn start_element_unknown(&mut self, name: &str) {
+        let event = self.take_event();
+        let path = self.path_with(Some(name));
+        self.diagnostics.push(
+            Diagnostic::new(
+                Code::UnknownElement,
+                format!("element '{name}' is not part of the schema"),
+            )
+            .with_location(DocLocation { path, event }),
+        );
+        self.feed_parent(Err(name), event);
+        self.unknown.push(name.to_owned());
+        self.frames.push(Frame {
+            sym: UNKNOWN,
+            children: 0,
+            state: FrameState::Any,
+        });
     }
 
     /// Opens an element by pre-interned symbol — the hash-free hot path:

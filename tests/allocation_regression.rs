@@ -234,4 +234,26 @@ fn steady_state_match_loops_do_not_allocate() {
         allocations, 0,
         "the validation service allocated in steady state"
     );
+
+    // --- Borrow-from-chunk fast path: single-chunk byte documents. ---
+    // When a whole document arrives in one chunk, the bulk tokenizer
+    // borrows every tag name straight out of the chunk and never writes
+    // its name buffer — so feeding warmed handles whole documents stays
+    // allocation-free end to end.
+    let single_chunk_round = |service: &mut redet::ValidationService| {
+        let handles: [redet::DocId; 4] = std::array::from_fn(|_| service.open());
+        let mut ok = true;
+        for h in handles {
+            let _ = service.feed_bytes(h, xml.as_bytes());
+            ok &= service.finish(h).is_ok();
+        }
+        ok
+    };
+    assert!(single_chunk_round(&mut service), "documents are valid");
+    let (allocations, ok) = allocations_during(|| single_chunk_round(&mut service));
+    assert!(ok, "sanity: the measured round is valid");
+    assert_eq!(
+        allocations, 0,
+        "single-chunk byte feeding allocated despite the borrow-from-chunk name path"
+    );
 }

@@ -1,0 +1,243 @@
+//! Cross-oracle property tests for the bulk-scanning tokenizer.
+//!
+//! The tokenizer ships two scanners with identical semantics: the bulk
+//! SWAR scanner (`Tokenizer::feed`, the production path) and the original
+//! byte-at-a-time scanner (`Tokenizer::feed_scalar`, kept as the reference
+//! oracle). This suite generates seeded random tag soup — well-formed tags,
+//! attributes with hostile quoting, comments, CDATA sections, processing
+//! instructions, doctypes with literals and internal subsets, malformed
+//! markup, non-UTF-8 bytes, and names around the length cap — and checks
+//! that bulk == scalar == whole-input scan, **tag for tag**, under *every*
+//! chunk split of every document. Chunk boundaries are the hard part of the
+//! bulk scanner (the borrow-from-chunk fast path must fall back to the name
+//! buffer exactly when a tag straddles a boundary), so the sweep is
+//! exhaustive rather than sampled.
+
+use redet::schema::tokenizer::{Tag, Tokenizer};
+use redet::SchemaBuilder;
+use redet_core::Code;
+
+/// A tiny deterministic RNG (splitmix-style) so failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        items[self.below(items.len())]
+    }
+}
+
+/// Appends one random document fragment: anything the tokenizer's grammar
+/// knows about, including constructs it must *reject* identically.
+fn push_fragment(doc: &mut Vec<u8>, rng: &mut Rng) {
+    const NAMES: &[&str] = &["a", "doc", "item-x", "ns:tag", "日本語", "_u"];
+    const TEXT: &[&str] = &["", "text", " >>] ?-- ", "a & b", "\n\t "];
+    match rng.below(16) {
+        0 | 1 => {
+            // Start tag, possibly with attributes and tricky quotes.
+            doc.push(b'<');
+            doc.extend_from_slice(rng.pick(NAMES).as_bytes());
+            for _ in 0..rng.below(3) {
+                let quote = if rng.below(2) == 0 { b'\'' } else { b'"' };
+                const VALUES: &[&[u8]] = &[b"v", b">", b"/>", b"<", b"'\""];
+                doc.extend_from_slice(b" attr=");
+                doc.push(quote);
+                doc.extend_from_slice(rng.pick(VALUES));
+                doc.push(quote);
+            }
+            if rng.below(3) == 0 {
+                doc.push(b'/');
+            }
+            doc.push(b'>');
+        }
+        2 | 3 => {
+            // End tag, sometimes with trailing whitespace.
+            doc.extend_from_slice(b"</");
+            doc.extend_from_slice(rng.pick(NAMES).as_bytes());
+            if rng.below(3) == 0 {
+                doc.push(b' ');
+            }
+            doc.push(b'>');
+        }
+        4 | 5 => doc.extend_from_slice(rng.pick(TEXT).as_bytes()),
+        6 => {
+            // Comment with embedded dashes and '>'s.
+            const BODIES: &[&[u8]] = &[b" c ", b"-", b"--", b"->", b">", b"- >"];
+            doc.extend_from_slice(b"<!--");
+            doc.extend_from_slice(rng.pick(BODIES));
+            doc.extend_from_slice(b"-->");
+        }
+        7 => {
+            // CDATA with embedded ']'s and fake terminators.
+            const BODIES: &[&[u8]] = &[b"<tag>", b"]", b"]]", b"] ]>", b">"];
+            doc.extend_from_slice(b"<![CDATA[");
+            doc.extend_from_slice(rng.pick(BODIES));
+            doc.extend_from_slice(b"]]>");
+        }
+        8 => {
+            // Processing instruction with embedded '?'s.
+            const BODIES: &[&[u8]] = &[b"data", b"?", b"? >", b">"];
+            doc.extend_from_slice(b"<?pi ");
+            doc.extend_from_slice(rng.pick(BODIES));
+            doc.extend_from_slice(b"?>");
+        }
+        9 => {
+            // Doctype-ish constructs: literals may contain '>' and
+            // brackets; internal subsets nest.
+            const DOCTYPES: &[&[u8]] = &[
+                b"<!DOCTYPE d>",
+                b"<!DOCTYPE d SYSTEM 'x>y[z]'>",
+                b"<!DOCTYPE d [ <!ENTITY e \">]\"> ]>",
+                b"<![INCLUDE[ <x> ]]>",
+                b"<!>",
+            ];
+            doc.extend_from_slice(rng.pick(DOCTYPES));
+        }
+        10 => {
+            // Malformed markup the scanners must reject identically.
+            const BROKEN: &[&[u8]] = &[
+                b"<>", b"</>", b"</ >", b"< x>", b"<a=b>", b"</a b>", b"<a <b>", b"<a x <",
+            ];
+            doc.extend_from_slice(rng.pick(BROKEN));
+        }
+        11 => {
+            // Hostile bytes: non-UTF-8 names, NULs, high bytes.
+            const HOSTILE: &[&[u8]] = &[b"<\xFF\xFE>", b"<a\x80b>", b"\x00\x80\xFF", b"</\xC3(>"];
+            doc.extend_from_slice(rng.pick(HOSTILE));
+        }
+        12 => {
+            // Names around the cap boundary (exercised cheaply here; the
+            // dedicated cap test covers the far side).
+            let len = [1, 2, 63, 64, 65][rng.below(5)];
+            doc.push(b'<');
+            doc.extend(std::iter::repeat(b'n').take(len));
+            doc.push(b'>');
+        }
+        _ => {
+            // Nested well-formed runs keep some structure in the soup.
+            doc.extend_from_slice(b"<r><s/></r>");
+        }
+    }
+}
+
+/// Owned rendering of a tag event, so streams can be compared across feeds.
+fn render(tag: Tag<'_>) -> String {
+    match tag {
+        Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
+        Tag::OpenClose(n) => format!("<{}/>", String::from_utf8_lossy(n)),
+        Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
+        Tag::Error(e) => format!("!{e}"),
+    }
+}
+
+/// Scans `doc` split into `chunk`-byte pieces (0 = whole input) with the
+/// chosen scanner, returning the rendered tag stream and final idleness.
+fn scan(doc: &[u8], chunk: usize, scalar: bool) -> (Vec<String>, bool) {
+    let mut tokenizer = Tokenizer::default();
+    let mut tags = Vec::new();
+    let mut sink = |tag: Tag<'_>| {
+        tags.push(render(tag));
+        true
+    };
+    let pieces: Vec<&[u8]> = if chunk == 0 {
+        vec![doc]
+    } else {
+        doc.chunks(chunk).collect()
+    };
+    for piece in pieces {
+        let consumed = if scalar {
+            tokenizer.feed_scalar(piece, &mut sink)
+        } else {
+            tokenizer.feed(piece, &mut sink)
+        };
+        assert!(consumed, "a never-stopping sink consumes every chunk");
+    }
+    (tags, tokenizer.is_idle())
+}
+
+#[test]
+fn bulk_equals_scalar_over_random_documents_and_all_chunk_splits() {
+    let mut rng = Rng(0xDEC0DE);
+    for round in 0..48 {
+        let mut doc = Vec::new();
+        for _ in 0..(4 + rng.below(24)) {
+            push_fragment(&mut doc, &mut rng);
+        }
+        let whole = scan(&doc, 0, false);
+        assert_eq!(
+            whole,
+            scan(&doc, 0, true),
+            "round {round}: whole-input scan disagrees on {:?}",
+            String::from_utf8_lossy(&doc)
+        );
+        for chunk in 1..=doc.len() {
+            let bulk = scan(&doc, chunk, false);
+            assert_eq!(
+                bulk,
+                whole,
+                "round {round} chunk {chunk}: bulk chunked != whole on {:?}",
+                String::from_utf8_lossy(&doc)
+            );
+            assert_eq!(
+                bulk,
+                scan(&doc, chunk, true),
+                "round {round} chunk {chunk}: bulk != scalar on {:?}",
+                String::from_utf8_lossy(&doc)
+            );
+        }
+    }
+}
+
+#[test]
+fn over_long_names_match_the_oracle_at_every_split() {
+    // A name crossing MAX_NAME_LEN: both scanners must emit the same error
+    // at the same point in the tag stream and recover identically.
+    let mut doc = b"<ok/><".to_vec();
+    doc.extend(std::iter::repeat_n(b'x', Tokenizer::MAX_NAME_LEN + 3));
+    doc.extend_from_slice(b"><ok/>");
+    let whole = scan(&doc, 0, false);
+    assert_eq!(whole, scan(&doc, 0, true));
+    assert_eq!(whole.0.len(), 3, "open, error, open: {:?}", whole.0);
+    assert!(whole.0[1].starts_with('!'), "{:?}", whole.0);
+    // Sampled splits (the full sweep over a 4 KiB document is quadratic);
+    // primes make the boundaries land everywhere across the cap.
+    for chunk in [1, 7, 97, 1021, 4093, Tokenizer::MAX_NAME_LEN] {
+        assert_eq!(scan(&doc, chunk, false), whole, "chunk {chunk}");
+        assert_eq!(scan(&doc, chunk, true), whole, "chunk {chunk}");
+    }
+}
+
+#[test]
+fn service_reports_over_long_names_as_malformed_markup() {
+    let schema = SchemaBuilder::new()
+        .element("doc", "(item)*")
+        .element_empty("item")
+        .build()
+        .expect("schema compiles");
+    let mut service = schema.service();
+    let doc = service.open();
+    let mut bytes = b"<doc><".to_vec();
+    bytes.extend(std::iter::repeat_n(b'a', 2 * Tokenizer::MAX_NAME_LEN));
+    bytes.extend_from_slice(b"></doc>");
+    for chunk in bytes.chunks(997) {
+        let _ = service.feed_bytes(doc, chunk);
+    }
+    let diagnostic = service.finish(doc).expect_err("hostile name is rejected");
+    assert_eq!(diagnostic.code(), Code::MalformedMarkup);
+    assert!(
+        diagnostic.message().contains("exceeds"),
+        "{}",
+        diagnostic.message()
+    );
+}
