@@ -496,6 +496,130 @@ fn bench_tokenizer_throughput(h: &mut Harness) {
     }
 }
 
+/// E15: overload serving — what resource governance costs. `feed_unlimited`
+/// is the reference: the E13-style interleaved corpus through an ungoverned
+/// service. `feed_governed` runs identical traffic with every per-document
+/// cap configured (none firing) and the admission cap exactly at the fleet
+/// size — the handle-capacity edge — so the gate pins the limit bookkeeping
+/// at near-zero overhead. `rejected_feed` measures the fail-fast early-out:
+/// the whole chunk schedule aimed at an already-rejected handle.
+/// `tick_sweep_1k` opens 1k idle handles (128 in fast mode) and measures
+/// one full sweep plus the tombstone drain. All series share the
+/// corpus-size param so the regression gate ratios each of them against
+/// `feed_unlimited`.
+fn bench_overload_serving(h: &mut Harness) {
+    use redet_bench::book_document_events;
+    use redet_schema::{DocEvent, DocId, FeedStatus, SchemaBuilder, ServiceLimits};
+
+    h.group("E15_overload_serving");
+    let schema = SchemaBuilder::new()
+        .parse_dtd(redet_workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+    let (n_docs, chapters, idle) = if h.is_fast() {
+        (16, 2, 128usize)
+    } else {
+        (64, 4, 1024usize)
+    };
+    let documents: Vec<Vec<DocEvent>> = (0..n_docs)
+        .map(|i| book_document_events(&schema, chapters, 0xE15 ^ i as u64))
+        .collect();
+    let total_events: usize = documents.iter().map(Vec::len).sum();
+    h.throughput(total_events as u64);
+
+    /// One interleaved round: all documents in flight, 64-event chunks
+    /// round-robin — the E13 serving loop, reused for both limit configs.
+    fn round(
+        service: &mut redet_schema::ValidationService,
+        documents: &[Vec<DocEvent>],
+        handles: &mut Vec<DocId>,
+        cursors: &mut Vec<usize>,
+    ) -> usize {
+        handles.clear();
+        handles.extend((0..documents.len()).map(|_| service.open()));
+        cursors.clear();
+        cursors.resize(documents.len(), 0);
+        let mut live = documents.len();
+        while live > 0 {
+            live = 0;
+            for (i, doc) in documents.iter().enumerate() {
+                let cursor = cursors[i];
+                if cursor >= doc.len() {
+                    continue;
+                }
+                let end = (cursor + 64).min(doc.len());
+                let _ = service.feed(handles[i], &doc[cursor..end]);
+                cursors[i] = end;
+                if end < doc.len() {
+                    live += 1;
+                }
+            }
+        }
+        handles
+            .drain(..)
+            .filter(|&h| service.finish(h).is_ok())
+            .count()
+    }
+
+    let mut handles: Vec<DocId> = Vec::with_capacity(n_docs);
+    let mut cursors: Vec<usize> = Vec::with_capacity(n_docs);
+
+    let mut service = schema.service();
+    h.bench("feed_unlimited", n_docs, || {
+        round(&mut service, &documents, &mut handles, &mut cursors)
+    });
+
+    // Every per-document cap set (sized so nothing fires) and admission
+    // capped at exactly the fleet size: every open runs at the edge.
+    let mut governed = schema.service_with_limits(
+        ServiceLimits::default()
+            .with_max_depth(256)
+            .with_max_bytes(1 << 30)
+            .with_max_events(1 << 24)
+            .with_max_name_len(64)
+            .with_max_in_flight(n_docs as u32)
+            .with_idle_budget(1 << 40),
+    );
+    h.bench("feed_governed", n_docs, || {
+        round(&mut governed, &documents, &mut handles, &mut cursors)
+    });
+
+    // The fail-fast early-out: a rejected handle swallowing the whole
+    // chunk schedule without touching a matcher.
+    let rejected = governed.open();
+    let bad = [
+        DocEvent::Open(schema.lookup("book").unwrap()),
+        DocEvent::Open(schema.lookup("back").unwrap()),
+    ];
+    assert_eq!(governed.feed(rejected, &bad), FeedStatus::Rejected);
+    h.bench("rejected_feed", n_docs, || {
+        let mut chunks = 0usize;
+        for doc in &documents {
+            for chunk in doc.chunks(64) {
+                chunks += usize::from(governed.feed(rejected, chunk) == FeedStatus::Rejected);
+            }
+        }
+        chunks
+    });
+    governed.close(rejected);
+
+    // One sweep over `idle` idle handles plus the tombstone drain. The
+    // param stays the corpus size so the gate ratios this series too; the
+    // sweep width is fixed by `idle` (the series name carries it).
+    let mut sweeper = schema.service_with_limits(ServiceLimits::default().with_idle_budget(0));
+    let mut clock = 0u64;
+    h.bench("tick_sweep_1k", n_docs, || {
+        handles.clear();
+        handles.extend((0..idle).map(|_| sweeper.open()));
+        clock += 1;
+        let swept = sweeper.tick(clock);
+        for handle in handles.drain(..) {
+            sweeper.close(handle);
+        }
+        swept
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -508,5 +632,6 @@ fn main() {
     bench_batch_validation(&mut h);
     bench_interleaved_serving(&mut h);
     bench_tokenizer_throughput(&mut h);
+    bench_overload_serving(&mut h);
     h.finish("matching");
 }

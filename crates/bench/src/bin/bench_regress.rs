@@ -3,7 +3,8 @@
 //! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
 //!
 //! Compares a fresh `BENCH_matching.json` against the committed baseline for
-//! the gated experiment groups (E4, E5, E7, E11, E12, E13, E14) and exits
+//! the gated experiment groups (E4, E5, E7, E11, E12, E13, E14, E15) and
+//! exits
 //! non-zero when any algorithm regresses by more than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
@@ -26,7 +27,11 @@
 //! ingestion must stay within [`E13_BYTES_MAX_RATIO`]× of event-level
 //! serving (the bulk-scanning tokenizer keeps bytes first-class). E14
 //! ratio-gates the bulk tokenizer against its byte-at-a-time scalar oracle
-//! so the SWAR scanner cannot quietly regress toward scalar speed.
+//! so the SWAR scanner cannot quietly regress toward scalar speed. E15
+//! ratio-gates the resource-governance series against ungoverned serving,
+//! with an absolute cap ([`E15_GOVERNED_MAX_RATIO`]) pinning the limit
+//! bookkeeping (depth/byte/event accounting plus admission checks at the
+//! handle-capacity edge) to near-zero overhead.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -41,6 +46,7 @@ const GATED_GROUPS: &[(&str, &str)] = &[
     ("E12_batch_validation", "single_thread"),
     ("E13_interleaved_serving", "per_document"),
     ("E14_tokenizer_throughput", "scalar"),
+    ("E15_overload_serving", "feed_unlimited"),
 ];
 
 /// Allowed relative slowdown before the gate fails.
@@ -69,6 +75,12 @@ const E13_BYTES_MAX_RATIO: f64 = 1.6;
 /// cannot flip the verdict (real scaling on the full corpus sits well
 /// under this).
 const E12_MAX_SCALED_RATIO: f64 = 0.85;
+
+/// Absolute cap on `feed_governed / feed_unlimited` (E15): running the
+/// identical interleaved corpus with every `ServiceLimits` cap configured
+/// (none firing) and admission at the handle-capacity edge must cost at
+/// most this factor — resource governance is bookkeeping, not work.
+const E15_GOVERNED_MAX_RATIO: f64 = 1.3;
 
 #[derive(Clone, Debug)]
 struct Entry {
@@ -163,6 +175,16 @@ fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
             eprintln!(
                 "E11 cap: {name} (param {param}) is {ratio:.2}x the DFA-per-element \
                  baseline (cap {E11_MAX_RATIO}x)"
+            );
+            violations += 1;
+        }
+        if group == "E15_overload_serving"
+            && name.contains("governed")
+            && ratio > E15_GOVERNED_MAX_RATIO
+        {
+            eprintln!(
+                "E15 cap: {name} (param {param}) is {ratio:.2}x ungoverned serving \
+                 (cap {E15_GOVERNED_MAX_RATIO}x) — limit bookkeeping is not near-free"
             );
             violations += 1;
         }
@@ -280,12 +302,15 @@ fn main() -> ExitCode {
             );
         }
         if capped > 0 {
-            eprintln!("{capped} absolute cap(s) violated (E11 ratio / E12 scaling / E13 bytes)");
+            eprintln!(
+                "{capped} absolute cap(s) violated (E11 ratio / E12 scaling / E13 bytes / \
+                 E15 governance)"
+            );
         }
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7/E11/E12/E13/E14 regressions beyond {:.0}%; absolute caps hold",
+        "no E4/E5/E7/E11/E12/E13/E14/E15 regressions beyond {:.0}%; absolute caps hold",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

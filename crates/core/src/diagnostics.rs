@@ -4,7 +4,8 @@
 //! Every failure in the workspace is reported as a [`Diagnostic`] carrying
 //!
 //! * a stable error [`Code`] (`E0xx` — compilation, `E1xx` — schema
-//!   building, `E2xx` — document validation),
+//!   building, `E2xx` — document validation, `E3xx` — resource governance
+//!   in connection-oriented serving),
 //! * a human-readable message,
 //! * an optional byte [`Span`] into the source content model (or DTD),
 //! * for determinism failures, the [`ConflictWitness`] the certifier
@@ -61,6 +62,30 @@ pub enum Code {
     /// A raw byte stream contains markup the streaming tokenizer cannot
     /// parse (stray `<`, unterminated tag or comment, non-UTF-8 name).
     MalformedMarkup,
+    /// A document opened elements deeper than the configured depth limit
+    /// (`ServiceLimits::max_depth` in `redet-schema`).
+    DepthLimitExceeded,
+    /// A document was fed more raw bytes than the configured byte budget
+    /// (`ServiceLimits::max_bytes`).
+    ByteLimitExceeded,
+    /// A document produced more events than the configured event budget
+    /// (`ServiceLimits::max_events`).
+    EventLimitExceeded,
+    /// A tag name in a raw byte stream exceeded the configured name-length
+    /// cap (`ServiceLimits::max_name_len`).
+    NameLimitExceeded,
+    /// The service refused to admit a new document: the configured
+    /// in-flight handle cap (`ServiceLimits::max_in_flight`) is reached.
+    ServiceOverloaded,
+    /// An in-flight document sat idle past the configured idle budget and
+    /// was swept by `ValidationService::tick`.
+    IdleTimeout,
+    /// An operation used a document handle that was already finished,
+    /// closed, or swept and recycled (a stale `DocId`).
+    StaleHandle,
+    /// Validating a document panicked; the worker was replaced and the
+    /// document is reported as poisoned instead of taking down its batch.
+    PoisonedDocument,
 }
 
 impl Code {
@@ -79,7 +104,32 @@ impl Code {
             Code::ChildInEmptyElement => "E204",
             Code::UnbalancedDocument => "E205",
             Code::MalformedMarkup => "E206",
+            Code::DepthLimitExceeded => "E301",
+            Code::ByteLimitExceeded => "E302",
+            Code::EventLimitExceeded => "E303",
+            Code::NameLimitExceeded => "E304",
+            Code::ServiceOverloaded => "E305",
+            Code::IdleTimeout => "E306",
+            Code::StaleHandle => "E307",
+            Code::PoisonedDocument => "E308",
         }
+    }
+
+    /// Whether this code belongs to the `E3xx` resource-governance family:
+    /// the document (or the operation on its handle) was refused by a
+    /// configured serving limit rather than by the schema.
+    pub const fn is_resource_exhausted(self) -> bool {
+        matches!(
+            self,
+            Code::DepthLimitExceeded
+                | Code::ByteLimitExceeded
+                | Code::EventLimitExceeded
+                | Code::NameLimitExceeded
+                | Code::ServiceOverloaded
+                | Code::IdleTimeout
+                | Code::StaleHandle
+                | Code::PoisonedDocument
+        )
     }
 }
 
@@ -282,6 +332,20 @@ mod tests {
         let rendered = d.to_string();
         assert!(rendered.contains("error[E001]"), "{rendered}");
         assert!(rendered.contains("4..5"), "{rendered}");
+    }
+
+    #[test]
+    fn resource_codes_are_stable_and_classified() {
+        assert_eq!(Code::DepthLimitExceeded.as_str(), "E301");
+        assert_eq!(Code::ByteLimitExceeded.as_str(), "E302");
+        assert_eq!(Code::EventLimitExceeded.as_str(), "E303");
+        assert_eq!(Code::NameLimitExceeded.as_str(), "E304");
+        assert_eq!(Code::ServiceOverloaded.as_str(), "E305");
+        assert_eq!(Code::IdleTimeout.as_str(), "E306");
+        assert_eq!(Code::StaleHandle.as_str(), "E307");
+        assert_eq!(Code::PoisonedDocument.as_str(), "E308");
+        assert!(Code::IdleTimeout.is_resource_exhausted());
+        assert!(!Code::UnexpectedChild.is_resource_exhausted());
     }
 
     #[test]

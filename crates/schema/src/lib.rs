@@ -73,7 +73,7 @@ pub mod tokenizer;
 mod validator;
 
 pub use pool::ValidatorPool;
-pub use service::{DocId, FeedStatus, ValidationService};
+pub use service::{DocId, FeedStatus, ServiceLimits, ValidationService};
 pub use tokenizer::{Tag, Tokenizer};
 pub use validator::{DocEvent, DocumentValidator};
 
@@ -426,6 +426,15 @@ impl Schema {
     #[must_use]
     pub fn service(self: &Arc<Self>) -> ValidationService {
         ValidationService::new(Arc::clone(self))
+    }
+
+    /// Opens a [`ValidationService`] governed by `limits`: per-document
+    /// depth/byte/event/name caps, service-wide admission control, and an
+    /// idle budget for [`ValidationService::tick`] sweeps. See
+    /// [`ServiceLimits`].
+    #[must_use]
+    pub fn service_with_limits(self: &Arc<Self>, limits: ServiceLimits) -> ValidationService {
+        ValidationService::with_limits(Arc::clone(self), limits)
     }
 
     /// Validates a batch of pre-interned documents, fanning them out over

@@ -12,7 +12,17 @@
 //! [`ValidationService::validate_events`] (`open` → `feed` → `finish`) per
 //! document, so batch validation and interleaved connection serving share
 //! one code path — including the service's fail-fast contract (each failed
-//! document reports the earliest diagnostic of its validation).
+//! document reports the earliest diagnostic of its validation) and its
+//! [`ServiceLimits`] resource governance (see
+//! [`ValidatorPool::with_limits`]).
+//!
+//! Workers are also **poison-tolerant**: each per-document validation runs
+//! under [`std::panic::catch_unwind`], so a document that panics the
+//! validator (a bug, or a hostile input hitting one) degrades to a
+//! [`redet_core::Code::PoisonedDocument`] diagnostic for *that document
+//! only*. The panicked worker's state is discarded and a fresh service is
+//! warmed in its place; the batch keeps its input-order result contract
+//! and every other document is unaffected.
 //!
 //! The pool outlives its batches, so the per-worker warm-up cost (frame
 //! stack and counted-state buffers sized to the documents) is paid once:
@@ -23,10 +33,12 @@
 //! than workers never spawn idle threads, and a single-shard batch runs
 //! inline on the calling thread.
 
-use crate::service::ValidationService;
+use crate::service::{ServiceLimits, ValidationService};
 use crate::validator::DocEvent;
 use crate::Schema;
-use redet_core::Diagnostic;
+use redet_core::{Code, Diagnostic};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// A fixed set of warmed worker services over one shared [`Schema`]; see
@@ -58,24 +70,46 @@ use std::sync::Arc;
 /// assert!(results[2].is_ok());
 /// ```
 pub struct ValidatorPool {
+    /// Kept for warming replacement workers after a poisoned document.
+    schema: Arc<Schema>,
+    limits: ServiceLimits,
     workers: Vec<ValidationService>,
 }
 
 impl ValidatorPool {
-    /// Creates a pool of `workers` services (at least one) over `schema`.
+    /// Creates a pool of `workers` ungoverned services (at least one) over
+    /// `schema`.
     #[must_use]
     pub fn new(schema: Arc<Schema>, workers: usize) -> Self {
+        Self::with_limits(schema, workers, ServiceLimits::default())
+    }
+
+    /// Creates a pool whose workers are governed by `limits` — every
+    /// per-document cap (depth, bytes, events, name length) applies to
+    /// each batched document exactly as it would to an interleaved-serving
+    /// handle, producing the same `E3xx` diagnostics. (The in-flight cap
+    /// and idle budget are connection-serving concerns; batch workers hold
+    /// one handle at a time and never idle mid-document.)
+    #[must_use]
+    pub fn with_limits(schema: Arc<Schema>, workers: usize, limits: ServiceLimits) -> Self {
         let workers = workers.max(1);
         ValidatorPool {
             workers: (0..workers)
-                .map(|_| ValidationService::new(Arc::clone(&schema)))
+                .map(|_| ValidationService::with_limits(Arc::clone(&schema), limits))
                 .collect(),
+            schema,
+            limits,
         }
     }
 
     /// The shared schema the workers validate against.
     pub fn schema(&self) -> &Schema {
-        self.workers[0].schema()
+        &self.schema
+    }
+
+    /// The resource-governance configuration each worker enforces.
+    pub fn limits(&self) -> ServiceLimits {
+        self.limits
     }
 
     /// Number of worker services.
@@ -90,7 +124,9 @@ impl ValidatorPool {
     /// returned in input order; each entry is exactly what a
     /// [`ValidationService::validate_events`] call would produce for that
     /// document (workers never share mutable state, so diagnostics are
-    /// deterministic).
+    /// deterministic). A document that *panics* the validator yields a
+    /// [`redet_core::Code::PoisonedDocument`] error in its slot — the
+    /// worker is replaced and the rest of the batch is unaffected.
     pub fn validate_batch<D: AsRef<[DocEvent]> + Sync>(
         &mut self,
         documents: &[D],
@@ -101,12 +137,14 @@ impl ValidatorPool {
         if shards == 0 {
             return results;
         }
+        let schema = &self.schema;
+        let limits = self.limits;
         if shards == 1 {
             // One shard: run inline on the calling thread — spawning a
             // scoped thread would add per-batch cost for zero parallelism.
             let worker = &mut self.workers[0];
             for (doc, slot) in documents.iter().zip(&mut results) {
-                *slot = worker.validate_events(doc.as_ref());
+                *slot = Self::validate_isolated(worker, schema, limits, doc.as_ref());
             }
             return results;
         }
@@ -125,12 +163,50 @@ impl ValidatorPool {
                 results_rest = rr;
                 scope.spawn(move || {
                     for (doc, slot) in docs.iter().zip(out) {
-                        *slot = worker.validate_events(doc.as_ref());
+                        *slot = Self::validate_isolated(worker, schema, limits, doc.as_ref());
                     }
                 });
             }
         });
         results
+    }
+
+    /// Runs one document under `catch_unwind`. On a panic the worker's
+    /// state is suspect (an open handle, a half-pushed frame), so the
+    /// whole service is discarded and a fresh one warmed in its place —
+    /// which is also why `AssertUnwindSafe` is sound here: the only state
+    /// the closure can leave broken is thrown away on the panic path.
+    fn validate_isolated(
+        worker: &mut ValidationService,
+        schema: &Arc<Schema>,
+        limits: ServiceLimits,
+        events: &[DocEvent],
+    ) -> Result<(), Diagnostic> {
+        match catch_unwind(AssertUnwindSafe(|| worker.validate_events(events))) {
+            Ok(verdict) => verdict,
+            Err(payload) => {
+                *worker = ValidationService::with_limits(Arc::clone(schema), limits);
+                Err(Self::poisoned(payload.as_ref()))
+            }
+        }
+    }
+
+    /// The per-document diagnostic for a panicking validation, carrying
+    /// the panic message when it is a string (the overwhelmingly common
+    /// payload shape).
+    fn poisoned(payload: &(dyn Any + Send)) -> Diagnostic {
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        Diagnostic::new(
+            Code::PoisonedDocument,
+            match message {
+                Some(message) => format!("document validation panicked: {message}"),
+                None => "document validation panicked".to_owned(),
+            },
+        )
     }
 }
 
@@ -138,6 +214,7 @@ impl std::fmt::Debug for ValidatorPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ValidatorPool")
             .field("workers", &self.workers.len())
+            .field("limits", &self.limits)
             .field("schema", self.schema())
             .finish()
     }
@@ -147,6 +224,7 @@ impl std::fmt::Debug for ValidatorPool {
 mod tests {
     use super::*;
     use crate::SchemaBuilder;
+    use redet_syntax::Symbol;
 
     fn schema() -> Arc<Schema> {
         SchemaBuilder::new()
@@ -225,5 +303,63 @@ mod tests {
         let documents: Vec<Vec<DocEvent>> = (0..7).map(|i| document(&schema, i, true)).collect();
         let results = schema.validate_batch(&documents, 3);
         assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn limits_thread_through_batches() {
+        let schema = schema();
+        let limits = ServiceLimits::default().with_max_depth(2);
+        let mut pool = ValidatorPool::with_limits(Arc::clone(&schema), 2, limits);
+        assert_eq!(pool.limits().max_depth(), Some(2));
+        // depth 3 (doc > section > para) trips the cap; depth ≤ 2 passes.
+        let shallow = vec![
+            DocEvent::Open(schema.lookup("doc").unwrap()),
+            DocEvent::Open(schema.lookup("section").unwrap()),
+            DocEvent::Close,
+            DocEvent::Close,
+        ];
+        let deep = document(&schema, 1, true);
+        let results = pool.validate_batch(&[shallow, deep]);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err().code(),
+            Code::DepthLimitExceeded
+        );
+    }
+
+    /// A document whose symbol was never handed out by the schema's
+    /// alphabet: feeding it violates `start_element_symbol`'s contract and
+    /// panics the validator — deterministic poison for isolation tests.
+    fn poison() -> Vec<DocEvent> {
+        vec![DocEvent::Open(Symbol::from_index(9999))]
+    }
+
+    #[test]
+    fn poisoned_documents_degrade_per_document() {
+        let schema = schema();
+        // Keep the panic backtraces out of the test output.
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut pool = ValidatorPool::new(Arc::clone(&schema), 3);
+        let mut documents: Vec<Vec<DocEvent>> =
+            (0..12).map(|i| document(&schema, i % 4, true)).collect();
+        documents[2] = poison();
+        documents[7] = poison();
+        let results = pool.validate_batch(&documents);
+        std::panic::set_hook(prior);
+        assert_eq!(results.len(), 12);
+        for (i, result) in results.iter().enumerate() {
+            if i == 2 || i == 7 {
+                let err = result.as_ref().unwrap_err();
+                assert_eq!(err.code(), Code::PoisonedDocument, "document {i}");
+            } else {
+                assert!(result.is_ok(), "document {i}: {result:?}");
+            }
+        }
+        // The pool healed: the replaced workers serve the next batch.
+        documents[2] = document(&schema, 1, true);
+        documents[7] = document(&schema, 2, true);
+        let healed = pool.validate_batch(&documents);
+        assert!(healed.iter().all(Result::is_ok));
     }
 }

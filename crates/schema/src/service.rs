@@ -1,5 +1,5 @@
 //! Connection-oriented validation: many in-flight documents, fed in any
-//! interleaving, over one shared [`Schema`].
+//! interleaving, over one shared [`Schema`] — with resource governance.
 //!
 //! A real server does not see whole documents — it sees thousands of
 //! connections delivering chunks in arbitrary order. The per-event state of
@@ -10,7 +10,9 @@
 //! * [`ValidationService::open`] allocates a lightweight in-flight document
 //!   — a slab slot holding a recycled [`DocumentValidator`] (frame stack +
 //!   side stacks) and a byte [`Tokenizer`] — and returns a generation-checked
-//!   [`DocId`] handle;
+//!   [`DocId`] handle; [`ValidationService::try_open`] is the
+//!   backpressure-aware form that refuses admission past the configured
+//!   in-flight cap instead of panicking;
 //! * [`ValidationService::feed`] advances any handle by any number of
 //!   pre-interned [`DocEvent`]s; [`ValidationService::feed_bytes`] accepts
 //!   raw bytes instead (tag soup, chunk boundaries anywhere — including
@@ -21,19 +23,46 @@
 //!   first — and stops consuming work until it is finished or closed;
 //! * [`ValidationService::finish`] checks end-of-document acceptance and
 //!   recycles the slot's buffers; [`ValidationService::close`] abandons a
-//!   document without the end check.
+//!   document without the end check (and is idempotent: closing an
+//!   already-released handle is a no-op).
+//!
+//! # Resource governance
+//!
+//! The service trusts nobody. A [`ServiceLimits`] config caps what any one
+//! document — or the whole caller population — can cost:
+//!
+//! * **per-document**: element depth (checked at the validator's frame
+//!   push, so the frame stack itself stays bounded), total events, total
+//!   raw bytes, and tag-name length (the tokenizer's 4 KiB default cap,
+//!   lowered per config);
+//! * **service-wide**: a maximum number of in-flight handles, enforced at
+//!   admission ([`ValidationService::try_open`]);
+//! * **time**: a logical idle budget — the front end calls
+//!   [`ValidationService::tick`] from any timer source, and handles idle
+//!   past the budget are swept to `Rejected` with an idle-timeout
+//!   diagnostic while their buffers are recycled immediately.
+//!
+//! Every violation is a stable `E3xx` diagnostic (see [`redet_core::Code`])
+//! recorded at a deterministic event index, so a limit rejection is
+//! **byte-identical under every event/byte chunking** — the same contract
+//! all schema rejections already honor. Stale handles (used after
+//! `finish`/`close`, or after their slot was recycled) no longer panic:
+//! feeding one reports [`FeedStatus::Stale`] and finishing one returns a
+//! [`redet_core::Code::StaleHandle`] diagnostic. Only cross-service handle
+//! mixups — a programming error, not a traffic pattern — still panic.
 //!
 //! Everything is recycled through the slab and a spare list, so a warmed
 //! service opens, feeds and finishes documents with **zero steady-state
-//! allocation** on the valid path (enforced by the repository's
-//! counting-allocator regression test). [`crate::ValidatorPool`] batches
-//! are a thin client of this type — batch and interleaved serving share one
-//! code path.
+//! allocation** on the valid path — and its limit checks, no-op `tick`
+//! sweeps and rejected-handle feeds are allocation-free too (enforced by
+//! the repository's counting-allocator regression test).
+//! [`crate::ValidatorPool`] batches are a thin client of this type — batch
+//! and interleaved serving share one code path.
 
-use crate::tokenizer::{Tag, Tokenizer};
+use crate::tokenizer::{Tag, Tokenizer, NAME_TOO_LONG};
 use crate::validator::{DocEvent, DocumentValidator};
 use crate::Schema;
-use redet_core::Diagnostic;
+use redet_core::{Code, Diagnostic};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -43,9 +72,12 @@ static NEXT_SERVICE_ID: AtomicU32 = AtomicU32::new(0);
 
 /// A handle to one in-flight document of a [`ValidationService`].
 ///
-/// Handles are generation-checked: using a `DocId` after `finish`/`close`
-/// (or a handle from a different service) panics instead of silently
-/// touching a recycled slot.
+/// Handles are generation-checked: a `DocId` used after `finish`/`close`
+/// (or after an idle sweep recycled its slot) is detected as **stale**
+/// instead of silently touching a recycled slot — feeding it reports
+/// [`FeedStatus::Stale`], finishing it returns a
+/// [`redet_core::Code::StaleHandle`] diagnostic, closing it is a no-op.
+/// Only a handle from a *different* service panics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[must_use = "an open document handle must eventually be finished or closed"]
 pub struct DocId {
@@ -73,21 +105,178 @@ pub enum FeedStatus {
     /// closed; further feeds are no-ops — a rejected handle consumes no
     /// more matcher work.
     Rejected,
+    /// The handle is stale: its document was already finished or closed
+    /// (or its slot swept and recycled). Nothing was fed. Use
+    /// [`ValidationService::finish`] on a stale handle to obtain the
+    /// [`redet_core::Code::StaleHandle`] diagnostic as an error value.
+    Stale,
 }
 
-/// One in-flight document: the validator state, the byte-level scanner, and
-/// the retained rejection. Recycled whole through the spare list.
+/// Resource-governance configuration of a [`ValidationService`] (also
+/// threaded through [`crate::ValidatorPool`] batches). The default is
+/// **ungoverned** — every cap unset — so existing single-tenant uses pay
+/// nothing; a front end serving untrusted traffic configures the caps it
+/// needs:
+///
+/// ```
+/// use redet_schema::{FeedStatus, SchemaBuilder, ServiceLimits};
+///
+/// let schema = SchemaBuilder::new()
+///     .element("list", "(item)*")
+///     .element("item", "(item)?")
+///     .build()
+///     .unwrap();
+/// let limits = ServiceLimits::default()
+///     .with_max_depth(4)
+///     .with_max_bytes(1 << 16)
+///     .with_max_in_flight(2);
+/// let mut service = redet_schema::ValidationService::with_limits(schema, limits);
+///
+/// // Admission control: the third concurrent handle is refused.
+/// let a = service.try_open().unwrap();
+/// let b = service.try_open().unwrap();
+/// let refused = service.try_open().unwrap_err();
+/// assert_eq!(refused.code(), redet_core::Code::ServiceOverloaded);
+///
+/// // Depth governance: nesting past the cap is a stable E301 rejection.
+/// assert_eq!(
+///     service.feed_bytes(a, b"<list><item><item><item><item>"),
+///     FeedStatus::Rejected
+/// );
+/// assert_eq!(
+///     service.finish(a).unwrap_err().code(),
+///     redet_core::Code::DepthLimitExceeded
+/// );
+/// service.close(b);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceLimits {
+    max_depth: Option<u32>,
+    max_bytes: Option<u64>,
+    max_events: Option<u64>,
+    max_name_len: Option<u32>,
+    max_in_flight: Option<u32>,
+    idle_budget: Option<u64>,
+}
+
+impl ServiceLimits {
+    /// Caps how deep elements may nest in any one document. The violation
+    /// is a [`Code::DepthLimitExceeded`] (`E301`) rejection, and the
+    /// validator's frame stack never grows past the cap.
+    pub fn with_max_depth(mut self, depth: u32) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Caps how many raw bytes any one document may be fed through
+    /// [`ValidationService::feed_bytes`]. The first byte past the budget is
+    /// a [`Code::ByteLimitExceeded`] (`E302`) rejection — at the same point
+    /// whatever the chunk boundaries.
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps how many document events (element opens + closes) any one
+    /// document may produce, whether fed as events or as bytes. The first
+    /// event past the budget is a [`Code::EventLimitExceeded`] (`E303`)
+    /// rejection.
+    pub fn with_max_events(mut self, events: u64) -> Self {
+        self.max_events = Some(events);
+        self
+    }
+
+    /// Caps a tag name's length in bytes for raw-byte feeding, lowering
+    /// the tokenizer's built-in [`Tokenizer::MAX_NAME_LEN`] default. A
+    /// longer name is a [`Code::NameLimitExceeded`] (`E304`) rejection.
+    /// Clamped to at least one byte.
+    pub fn with_max_name_len(mut self, len: u32) -> Self {
+        self.max_name_len = Some(len.max(1));
+        self
+    }
+
+    /// Caps how many handles may be in flight at once. Admission past the
+    /// cap is refused by [`ValidationService::try_open`] with a
+    /// [`Code::ServiceOverloaded`] (`E305`) diagnostic. Swept handles
+    /// count until they are finished or closed.
+    pub fn with_max_in_flight(mut self, handles: u32) -> Self {
+        self.max_in_flight = Some(handles);
+        self
+    }
+
+    /// Enables idle sweeping: a handle whose last activity is more than
+    /// `ticks` logical ticks in the past when [`ValidationService::tick`]
+    /// runs is swept to `Rejected` with a [`Code::IdleTimeout`] (`E306`)
+    /// diagnostic and its buffers are recycled.
+    pub fn with_idle_budget(mut self, ticks: u64) -> Self {
+        self.idle_budget = Some(ticks);
+        self
+    }
+
+    /// The configured depth cap, if any.
+    pub fn max_depth(&self) -> Option<u32> {
+        self.max_depth
+    }
+
+    /// The configured raw-byte budget, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// The configured event budget, if any.
+    pub fn max_events(&self) -> Option<u64> {
+        self.max_events
+    }
+
+    /// The configured tag-name length cap, if any.
+    pub fn max_name_len(&self) -> Option<u32> {
+        self.max_name_len
+    }
+
+    /// The configured in-flight handle cap, if any.
+    pub fn max_in_flight(&self) -> Option<u32> {
+        self.max_in_flight
+    }
+
+    /// The configured idle budget in logical ticks, if any.
+    pub fn idle_budget(&self) -> Option<u64> {
+        self.idle_budget
+    }
+}
+
+/// One in-flight document: the validator state, the byte-level scanner,
+/// the retained rejection, and its resource-accounting counters. Recycled
+/// whole through the spare list.
 struct InFlight {
     validator: DocumentValidator,
     tokenizer: Tokenizer,
     rejected: Option<Diagnostic>,
+    /// Raw bytes consumed so far, charged against `ServiceLimits::max_bytes`.
+    bytes_fed: u64,
+    /// The service's logical clock value at the last open/feed — the idle
+    /// sweep compares it against `ValidationService::tick`'s `now`.
+    last_activity: u64,
+}
+
+/// The state a generation-valid slot holds for its document.
+// Slots are sized for `Live` regardless (the slab keeps in-flight state
+// inline so `feed` pays no pointer chase); the small `Swept` variant only
+// occupies one transiently, between the sweep and the caller's close.
+#[allow(clippy::large_enum_variant)]
+enum DocState {
+    /// A live in-flight document.
+    Live(InFlight),
+    /// Swept by the idle governor: the buffers were recycled immediately,
+    /// only the cause is retained until the caller finishes or closes the
+    /// handle (so `diagnostic`/`finish` still explain the rejection).
+    Swept(Diagnostic),
 }
 
 /// One slab slot. `generation` is bumped on every free, so stale [`DocId`]s
 /// are detected instead of resolving to a recycled document.
 struct Slot {
     generation: u32,
-    doc: Option<InFlight>,
+    doc: Option<DocState>,
 }
 
 /// A connection-oriented validation front end over one [`Schema`]; see the
@@ -122,6 +311,11 @@ pub struct ValidationService {
     /// This service's identity, stamped into every issued [`DocId`].
     id: u32,
     schema: Arc<Schema>,
+    limits: ServiceLimits,
+    /// The logical clock: the largest `now` any [`ValidationService::tick`]
+    /// call has reported. Feeds stamp it into their handle's
+    /// `last_activity`.
+    now: u64,
     slots: Vec<Slot>,
     /// Indices of empty slots, reused LIFO (warm slots first).
     free: Vec<u32>,
@@ -130,12 +324,22 @@ pub struct ValidationService {
 }
 
 impl ValidationService {
-    /// Creates a service over `schema` with no in-flight documents.
+    /// Creates an ungoverned service over `schema` with no in-flight
+    /// documents (every [`ServiceLimits`] cap unset).
     #[must_use]
     pub fn new(schema: Arc<Schema>) -> Self {
+        Self::with_limits(schema, ServiceLimits::default())
+    }
+
+    /// Creates a service over `schema` governed by `limits`; see
+    /// [`ServiceLimits`] for what each cap enforces.
+    #[must_use]
+    pub fn with_limits(schema: Arc<Schema>, limits: ServiceLimits) -> Self {
         ValidationService {
             id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
             schema,
+            limits,
+            now: 0,
             slots: Vec::new(),
             free: Vec::new(),
             spare: Vec::new(),
@@ -147,20 +351,72 @@ impl ValidationService {
         &self.schema
     }
 
-    /// Number of currently open documents.
+    /// The resource-governance configuration this service enforces.
+    pub fn limits(&self) -> ServiceLimits {
+        self.limits
+    }
+
+    /// Number of currently open documents — live handles plus swept
+    /// tombstones whose cause has not been collected yet. Slab hygiene is
+    /// observable here: every `open` is balanced by exactly one
+    /// `finish`/`close`, after which this returns to its prior value.
     pub fn in_flight(&self) -> usize {
         self.slots.len() - self.free.len()
+    }
+
+    /// Total slab slots ever allocated (in-flight documents plus free
+    /// slots) — a leak audit hook: churning open/finish/close cycles must
+    /// not grow this past the high-water mark of concurrently open handles.
+    pub fn slab_size(&self) -> usize {
+        self.slots.len()
     }
 
     /// Opens a new in-flight document and returns its handle. Buffers of
     /// previously closed documents are recycled, so a warmed service opens
     /// without allocating.
+    ///
+    /// # Panics
+    /// Panics if the service is at its configured in-flight cap — callers
+    /// that configure [`ServiceLimits::with_max_in_flight`] should use
+    /// [`ValidationService::try_open`] and handle the backpressure signal.
     pub fn open(&mut self) -> DocId {
-        let flight = self.spare.pop().unwrap_or_else(|| InFlight {
+        self.try_open()
+            .unwrap_or_else(|refusal| panic!("{refusal} (use try_open to handle backpressure)"))
+    }
+
+    /// Opens a new in-flight document, refusing admission with a
+    /// [`Code::ServiceOverloaded`] diagnostic when the configured
+    /// in-flight cap is reached — the service-wide backpressure signal a
+    /// front end sheds load on.
+    pub fn try_open(&mut self) -> Result<DocId, Diagnostic> {
+        if let Some(max) = self.limits.max_in_flight {
+            if self.in_flight() >= max as usize {
+                return Err(Diagnostic::new(
+                    Code::ServiceOverloaded,
+                    format!("service is at its in-flight handle cap of {max}"),
+                ));
+            }
+        }
+        let mut flight = self.spare.pop().unwrap_or_else(|| InFlight {
             validator: DocumentValidator::new(Arc::clone(&self.schema)),
             tokenizer: Tokenizer::default(),
             rejected: None,
+            bytes_fed: 0,
+            last_activity: 0,
         });
+        flight.validator.set_limits(
+            self.limits.max_depth.map_or(usize::MAX, |d| d as usize),
+            self.limits
+                .max_events
+                .map_or(usize::MAX, |e| usize::try_from(e).unwrap_or(usize::MAX)),
+        );
+        flight.tokenizer.set_name_limit(
+            self.limits
+                .max_name_len
+                .map_or(Tokenizer::MAX_NAME_LEN, |n| n as usize),
+        );
+        flight.bytes_fed = 0;
+        flight.last_activity = self.now;
         let index = match self.free.pop() {
             Some(index) => index,
             None => {
@@ -172,25 +428,32 @@ impl ValidationService {
             }
         };
         let slot = &mut self.slots[index as usize];
-        slot.doc = Some(flight);
-        DocId {
+        slot.doc = Some(DocState::Live(flight));
+        Ok(DocId {
             service: self.id,
             index,
             generation: slot.generation,
-        }
+        })
     }
 
     /// Advances a document by any number of pre-interned events. Feeding
     /// stops at the first diagnostic: the handle flips to
     /// [`FeedStatus::Rejected`], retains that diagnostic, and ignores the
-    /// rest of this chunk and all later feeds.
+    /// rest of this chunk and all later feeds. Feeding a stale handle does
+    /// nothing and reports [`FeedStatus::Stale`].
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     #[must_use = "a rejected document should stop being fed"]
     pub fn feed(&mut self, doc: DocId, events: &[DocEvent]) -> FeedStatus {
-        let flight = self.flight_mut(doc);
+        self.check_service(doc);
+        let now = self.now;
+        let flight = match self.doc_state_mut(doc) {
+            None => return FeedStatus::Stale,
+            Some(DocState::Swept(_)) => return FeedStatus::Rejected,
+            Some(DocState::Live(flight)) => flight,
+        };
+        flight.last_activity = now;
         if flight.rejected.is_some() {
             return FeedStatus::Rejected;
         }
@@ -213,19 +476,43 @@ impl ValidationService {
     /// Element names are resolved against the schema per tag; text content,
     /// comments, CDATA, PIs and doctypes are skipped. Fails fast exactly
     /// like [`ValidationService::feed`], with unparsable markup reported as
-    /// a [`redet_core::Code::MalformedMarkup`] diagnostic.
+    /// a [`redet_core::Code::MalformedMarkup`] diagnostic. When a byte
+    /// budget is configured, bytes past it are never scanned: the chunk is
+    /// truncated at the budget and the violation fires at the same point
+    /// under every chunking. Feeding a stale handle does nothing and
+    /// reports [`FeedStatus::Stale`].
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     #[must_use = "a rejected document should stop being fed"]
     pub fn feed_bytes(&mut self, doc: DocId, bytes: &[u8]) -> FeedStatus {
-        let flight = self.flight_mut(doc);
+        self.check_service(doc);
+        let now = self.now;
+        let max_bytes = self.limits.max_bytes;
+        let flight = match self.doc_state_mut(doc) {
+            None => return FeedStatus::Stale,
+            Some(DocState::Swept(_)) => return FeedStatus::Rejected,
+            Some(DocState::Live(flight)) => flight,
+        };
+        flight.last_activity = now;
         if flight.rejected.is_some() {
             return FeedStatus::Rejected;
         }
+        // Truncate the chunk at the byte budget, so the violation point —
+        // and therefore the diagnostic — is chunking-independent.
+        let (head, overflow) = match max_bytes {
+            Some(max) => {
+                let remaining = max.saturating_sub(flight.bytes_fed);
+                if bytes.len() as u64 > remaining {
+                    (&bytes[..remaining as usize], true)
+                } else {
+                    (bytes, false)
+                }
+            }
+            None => (bytes, false),
+        };
         let validator = &mut flight.validator;
-        let clean = flight.tokenizer.feed(bytes, &mut |tag| {
+        let clean = flight.tokenizer.feed(head, &mut |tag| {
             match tag {
                 Tag::Open(name) => validator.start_element_bytes(name),
                 Tag::OpenClose(name) => {
@@ -238,61 +525,153 @@ impl ValidationService {
                 // open element. (Event-level feeding has no names on close
                 // events, so only bytes pay this.)
                 Tag::Close(name) => validator.close_element_bytes(name),
+                // The tokenizer's name cap is a resource limit, not a
+                // grammar error: report it under the E3xx family.
+                Tag::Error(message) if message == NAME_TOO_LONG => {
+                    validator.report_limit(Code::NameLimitExceeded, message.to_owned());
+                }
                 Tag::Error(message) => validator.report_markup(message.to_owned()),
             }
             validator.is_clean()
         });
+        flight.bytes_fed += head.len() as u64;
         if !clean {
-            flight.rejected = validator.take_first_diagnostic();
+            flight.rejected = flight.validator.take_first_diagnostic();
+            return FeedStatus::Rejected;
+        }
+        if overflow {
+            flight.validator.report_limit(
+                Code::ByteLimitExceeded,
+                format!(
+                    "document exceeded the byte budget of {} byte(s)",
+                    max_bytes.unwrap_or(u64::MAX)
+                ),
+            );
+            flight.rejected = flight.validator.take_first_diagnostic();
             return FeedStatus::Rejected;
         }
         Self::progress(flight)
     }
 
-    /// The current status of a document, without feeding anything.
+    /// Advances the service's logical clock to `now` and sweeps every live
+    /// handle whose last activity is more than the configured idle budget
+    /// in the past: the handle flips to `Rejected` with a
+    /// [`Code::IdleTimeout`] diagnostic (an earlier rejection, if any, is
+    /// kept — the earliest-diagnostic contract), and its validator/
+    /// tokenizer buffers are recycled immediately. Returns the number of
+    /// handles swept. Without a configured idle budget this only advances
+    /// the clock.
+    ///
+    /// The clock is dependency-free: drive it from any timer source — a
+    /// poll-loop iteration counter, seconds since start, an epoll timeout
+    /// generation. Clocks never run backwards (`now` below a previous
+    /// `tick` is ignored).
+    pub fn tick(&mut self, now: u64) -> usize {
+        if now > self.now {
+            self.now = now;
+        }
+        let Some(budget) = self.limits.idle_budget else {
+            return 0;
+        };
+        let now = self.now;
+        let mut swept = 0usize;
+        for slot in &mut self.slots {
+            let idle = matches!(
+                slot.doc.as_ref(),
+                Some(DocState::Live(flight)) if now.saturating_sub(flight.last_activity) > budget
+            );
+            if !idle {
+                continue;
+            }
+            let Some(DocState::Live(mut flight)) = slot.doc.take() else {
+                continue;
+            };
+            let diagnostic = match flight.rejected.take() {
+                // An already-rejected handle keeps its earlier cause.
+                Some(diagnostic) => diagnostic,
+                None => {
+                    flight.validator.report_limit(
+                        Code::IdleTimeout,
+                        format!("document sat idle past the idle budget of {budget} tick(s)"),
+                    );
+                    flight
+                        .validator
+                        .take_first_diagnostic()
+                        .expect("just recorded")
+                }
+            };
+            let _ = flight.validator.finish();
+            flight.tokenizer.reset();
+            slot.doc = Some(DocState::Swept(diagnostic));
+            self.spare.push(flight);
+            swept += 1;
+        }
+        swept
+    }
+
+    /// The current status of a document, without feeding anything. Stale
+    /// handles report [`FeedStatus::Stale`]; swept handles report
+    /// [`FeedStatus::Rejected`].
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     pub fn status(&self, doc: DocId) -> FeedStatus {
-        let flight = self.flight(doc);
-        if flight.rejected.is_some() {
-            FeedStatus::Rejected
-        } else {
-            Self::progress(flight)
+        self.check_service(doc);
+        match self.doc_state(doc) {
+            None => FeedStatus::Stale,
+            Some(DocState::Swept(_)) => FeedStatus::Rejected,
+            Some(DocState::Live(flight)) if flight.rejected.is_some() => FeedStatus::Rejected,
+            Some(DocState::Live(flight)) => Self::progress(flight),
         }
     }
 
-    /// The retained diagnostic of a rejected document, if any.
+    /// The retained diagnostic of a rejected (or swept) document, if any.
+    /// Stale handles have no retained state and return `None`.
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     pub fn diagnostic(&self, doc: DocId) -> Option<&Diagnostic> {
-        self.flight(doc).rejected.as_ref()
+        self.check_service(doc);
+        match self.doc_state(doc)? {
+            DocState::Live(flight) => flight.rejected.as_ref(),
+            DocState::Swept(diagnostic) => Some(diagnostic),
+        }
     }
 
-    /// Number of currently open elements of a document.
+    /// Number of currently open elements of a document (0 for stale and
+    /// swept handles).
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     pub fn depth(&self, doc: DocId) -> usize {
-        self.flight(doc).validator.depth()
+        self.check_service(doc);
+        match self.doc_state(doc) {
+            Some(DocState::Live(flight)) => flight.validator.depth(),
+            _ => 0,
+        }
     }
 
     /// Ends a document: checks end-of-document acceptance (every element
     /// closed, no markup left open), releases the handle and recycles its
     /// buffers. Returns the retained diagnostic for rejected documents —
     /// byte-identical to the *first* diagnostic a whole-document
-    /// [`DocumentValidator`] run over the same events would report.
+    /// [`DocumentValidator`] run over the same events would report — the
+    /// idle-timeout diagnostic for swept documents, and a
+    /// [`Code::StaleHandle`] diagnostic for stale handles (which hold no
+    /// document to release).
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     #[must_use = "the validation verdict is the point of finish()"]
     pub fn finish(&mut self, doc: DocId) -> Result<(), Diagnostic> {
-        let mut flight = self.take_flight(doc);
+        self.check_service(doc);
+        let Some(state) = self.take_doc_state(doc) else {
+            return Err(Self::stale_diagnostic());
+        };
+        let mut flight = match state {
+            DocState::Swept(diagnostic) => return Err(diagnostic),
+            DocState::Live(flight) => flight,
+        };
         let result = match flight.rejected.take() {
             Some(diagnostic) => {
                 // Reset the abandoned mid-document state for recycling.
@@ -322,33 +701,41 @@ impl ValidationService {
     }
 
     /// Abandons a document without the end-of-document check, releasing the
-    /// handle and recycling its buffers.
+    /// handle and recycling its buffers. Idempotent: closing a stale handle
+    /// (including a double close) is a no-op.
     ///
     /// # Panics
-    /// Panics if `doc` was already finished/closed or belongs to another
-    /// service.
+    /// Panics if `doc` belongs to another service.
     pub fn close(&mut self, doc: DocId) {
-        let mut flight = self.take_flight(doc);
-        flight.rejected = None;
-        let _ = flight.validator.finish();
-        flight.tokenizer.reset();
-        self.spare.push(flight);
+        self.check_service(doc);
+        match self.take_doc_state(doc) {
+            None | Some(DocState::Swept(_)) => {}
+            Some(DocState::Live(mut flight)) => {
+                flight.rejected = None;
+                let _ = flight.validator.finish();
+                flight.tokenizer.reset();
+                self.spare.push(flight);
+            }
+        }
     }
 
     /// Validates one whole document given as a pre-interned event stream:
-    /// `open` + `feed` + `finish` in one call. This is the loop
-    /// [`crate::ValidatorPool`] workers run per document — batch validation
-    /// and interleaved serving share this single code path.
+    /// `open` + `feed` + `finish` in one call (admission-checked — at the
+    /// in-flight cap the [`Code::ServiceOverloaded`] refusal is the
+    /// verdict). This is the loop [`crate::ValidatorPool`] workers run per
+    /// document — batch validation and interleaved serving share one code
+    /// path.
     pub fn validate_events(&mut self, events: &[DocEvent]) -> Result<(), Diagnostic> {
-        let doc = self.open();
+        let doc = self.try_open()?;
         let _ = self.feed(doc, events);
         self.finish(doc)
     }
 
     /// Validates one whole document given as raw bytes: `open` +
-    /// `feed_bytes` + `finish` in one call.
+    /// `feed_bytes` + `finish` in one call (admission-checked like
+    /// [`ValidationService::validate_events`]).
     pub fn validate_bytes(&mut self, bytes: &[u8]) -> Result<(), Diagnostic> {
-        let doc = self.open();
+        let doc = self.try_open()?;
         let _ = self.feed_bytes(doc, bytes);
         self.finish(doc)
     }
@@ -365,49 +752,51 @@ impl ValidationService {
         }
     }
 
-    fn flight(&self, doc: DocId) -> &InFlight {
+    /// The diagnostic handed out for operations on stale handles.
+    fn stale_diagnostic() -> Diagnostic {
+        Diagnostic::new(
+            Code::StaleHandle,
+            "document handle is stale: already finished, closed, or swept and recycled",
+        )
+    }
+
+    /// Mixing handles *across services* is a programming error (the slab
+    /// indices would alias), not a traffic pattern — it panics rather than
+    /// reporting a stale handle.
+    fn check_service(&self, doc: DocId) {
         assert_eq!(
             doc.service, self.id,
             "DocId belongs to another ValidationService"
         );
+    }
+
+    /// The generation-checked state of a handle (`None` when stale).
+    fn doc_state(&self, doc: DocId) -> Option<&DocState> {
         self.slots
             .get(doc.index as usize)
             .filter(|slot| slot.generation == doc.generation)
             .and_then(|slot| slot.doc.as_ref())
-            .expect("DocId was already finished/closed or belongs to another service")
     }
 
-    fn flight_mut(&mut self, doc: DocId) -> &mut InFlight {
-        assert_eq!(
-            doc.service, self.id,
-            "DocId belongs to another ValidationService"
-        );
+    /// Mutable [`ValidationService::doc_state`].
+    fn doc_state_mut(&mut self, doc: DocId) -> Option<&mut DocState> {
         self.slots
             .get_mut(doc.index as usize)
             .filter(|slot| slot.generation == doc.generation)
             .and_then(|slot| slot.doc.as_mut())
-            .expect("DocId was already finished/closed or belongs to another service")
     }
 
     /// Removes a document from its slot, freeing the slot for reuse and
-    /// invalidating every copy of the handle.
-    fn take_flight(&mut self, doc: DocId) -> InFlight {
-        assert_eq!(
-            doc.service, self.id,
-            "DocId belongs to another ValidationService"
-        );
+    /// invalidating every copy of the handle. `None` when stale.
+    fn take_doc_state(&mut self, doc: DocId) -> Option<DocState> {
         let slot = self
             .slots
             .get_mut(doc.index as usize)
-            .filter(|slot| slot.generation == doc.generation)
-            .expect("DocId was already finished/closed or belongs to another service");
-        let flight = slot
-            .doc
-            .take()
-            .expect("DocId was already finished/closed or belongs to another service");
+            .filter(|slot| slot.generation == doc.generation)?;
+        let state = slot.doc.take()?;
         slot.generation = slot.generation.wrapping_add(1);
         self.free.push(doc.index);
-        flight
+        Some(state)
     }
 }
 
@@ -415,6 +804,8 @@ impl std::fmt::Debug for ValidationService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ValidationService")
             .field("schema", &self.schema)
+            .field("limits", &self.limits)
+            .field("now", &self.now)
             .field("in_flight", &self.in_flight())
             .field("spare", &self.spare.len())
             .finish()
@@ -425,7 +816,6 @@ impl std::fmt::Debug for ValidationService {
 mod tests {
     use super::*;
     use crate::SchemaBuilder;
-    use redet_core::Code;
 
     fn bibliography() -> Arc<Schema> {
         SchemaBuilder::new()
@@ -540,13 +930,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already finished/closed")]
-    fn stale_handles_panic() {
+    fn stale_handles_are_reported_not_panicked() {
         let schema = bibliography();
-        let mut service = ValidationService::new(schema);
-        let doc = service.open();
-        service.close(doc);
-        let _ = service.status(doc);
+        let doc = events(&schema, VALID);
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        let h = service.open();
+        service.close(h);
+        // Every operation on the stale handle is graceful and distinct.
+        assert_eq!(service.status(h), FeedStatus::Stale);
+        assert_eq!(service.feed(h, &doc), FeedStatus::Stale);
+        assert_eq!(service.feed_bytes(h, b"<bibliography/>"), FeedStatus::Stale);
+        assert!(service.diagnostic(h).is_none());
+        assert_eq!(service.depth(h), 0);
+        let err = service.finish(h).unwrap_err();
+        assert_eq!(err.code(), Code::StaleHandle);
+        // Double close is a no-op — and the slab did not leak.
+        service.close(h);
+        service.close(h);
+        assert_eq!(service.in_flight(), 0);
+        // The recycled slot's new handle is unaffected by the stale one.
+        let h2 = service.open();
+        assert_eq!(service.feed(h, &doc), FeedStatus::Stale);
+        assert_eq!(service.feed(h2, &doc), FeedStatus::Accepted);
+        assert!(service.finish(h2).is_ok());
     }
 
     #[test]
@@ -633,5 +1039,163 @@ mod tests {
         );
         let err = service.finish(doc).unwrap_err();
         assert_eq!(err.code(), Code::UnknownElement);
+    }
+
+    #[test]
+    fn admission_is_refused_at_the_in_flight_cap() {
+        let schema = bibliography();
+        let limits = ServiceLimits::default().with_max_in_flight(2);
+        let mut service = ValidationService::with_limits(schema, limits);
+        assert_eq!(service.limits().max_in_flight(), Some(2));
+        let a = service.try_open().unwrap();
+        let b = service.try_open().unwrap();
+        let refused = service.try_open().unwrap_err();
+        assert_eq!(refused.code(), Code::ServiceOverloaded);
+        assert!(refused.to_string().contains("cap of 2"), "{refused}");
+        // Releasing one handle re-admits.
+        service.close(a);
+        let c = service.try_open().unwrap();
+        service.close(b);
+        service.close(c);
+        // validate_events under a zero cap degrades to the refusal verdict.
+        let mut zero = ValidationService::with_limits(
+            bibliography(),
+            ServiceLimits::default().with_max_in_flight(0),
+        );
+        let err = zero.validate_events(&[]).unwrap_err();
+        assert_eq!(err.code(), Code::ServiceOverloaded);
+    }
+
+    #[test]
+    fn depth_limit_fires_at_the_frame_push() {
+        let schema = SchemaBuilder::new()
+            .element("item", "(item)?")
+            .build()
+            .unwrap();
+        let limits = ServiceLimits::default().with_max_depth(3);
+        let mut service = ValidationService::with_limits(Arc::clone(&schema), limits);
+        let item = schema.lookup("item").unwrap();
+        let doc = service.open();
+        let deep: Vec<DocEvent> = (0..4).map(|_| DocEvent::Open(item)).collect();
+        assert_eq!(service.feed(doc, &deep), FeedStatus::Rejected);
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.code(), Code::DepthLimitExceeded);
+        assert_eq!(err.location().unwrap().event, 3);
+        // Exactly at the cap is fine.
+        let doc = service.open();
+        let ok: Vec<DocEvent> = (0..3)
+            .map(|_| DocEvent::Open(item))
+            .chain((0..3).map(|_| DocEvent::Close))
+            .collect();
+        assert_eq!(service.feed(doc, &ok), FeedStatus::Accepted);
+        assert!(service.finish(doc).is_ok());
+    }
+
+    #[test]
+    fn event_budget_fires_on_the_first_event_past_it() {
+        let schema = bibliography();
+        let doc_events = events(&schema, VALID); // 10 events
+        let limits = ServiceLimits::default().with_max_events(10);
+        let mut service = ValidationService::with_limits(Arc::clone(&schema), limits);
+        // Exactly the budget: accepted.
+        let h = service.open();
+        assert_eq!(service.feed(h, &doc_events), FeedStatus::Accepted);
+        assert!(service.finish(h).is_ok());
+        // A budget one short: the 10th event (index 9) trips E303.
+        let mut tight = ValidationService::with_limits(
+            Arc::clone(&schema),
+            ServiceLimits::default().with_max_events(9),
+        );
+        let h = tight.open();
+        assert_eq!(tight.feed(h, &doc_events), FeedStatus::Rejected);
+        let err = tight.finish(h).unwrap_err();
+        assert_eq!(err.code(), Code::EventLimitExceeded);
+        assert_eq!(err.location().unwrap().event, 9);
+        // The budget also governs byte feeding (events come from tags).
+        let h = tight.open();
+        assert_eq!(
+            tight.feed_bytes(
+                h,
+                b"<bibliography><book><title/><author/><year/></book></bibliography>"
+            ),
+            FeedStatus::Rejected
+        );
+        let err = tight.finish(h).unwrap_err();
+        assert_eq!(err.code(), Code::EventLimitExceeded);
+    }
+
+    #[test]
+    fn byte_budget_truncates_at_the_same_point_under_any_chunking() {
+        let schema = bibliography();
+        let xml = b"<bibliography><book><title/><author/><year/></book></bibliography>";
+        let limits = ServiceLimits::default().with_max_bytes(20);
+        let mut service = ValidationService::with_limits(Arc::clone(&schema), limits);
+        let mut renders = Vec::new();
+        for chunk in [1usize, 3, 7, xml.len()] {
+            let doc = service.open();
+            let mut status = FeedStatus::NeedMore;
+            for part in xml.chunks(chunk) {
+                status = service.feed_bytes(doc, part);
+                if status == FeedStatus::Rejected {
+                    break;
+                }
+            }
+            assert_eq!(status, FeedStatus::Rejected, "chunk size {chunk}");
+            let err = service.finish(doc).unwrap_err();
+            assert_eq!(err.code(), Code::ByteLimitExceeded);
+            renders.push(format!("{err:?}"));
+        }
+        assert!(renders.windows(2).all(|w| w[0] == w[1]), "{renders:?}");
+    }
+
+    #[test]
+    fn name_cap_is_an_e304_rejection() {
+        let schema = bibliography();
+        let limits = ServiceLimits::default().with_max_name_len(8);
+        let mut service = ValidationService::with_limits(schema, limits);
+        let doc = service.open();
+        assert_eq!(
+            service.feed_bytes(doc, b"<bibliography>"),
+            FeedStatus::Rejected
+        );
+        let err = service.finish(doc).unwrap_err();
+        assert_eq!(err.code(), Code::NameLimitExceeded);
+    }
+
+    #[test]
+    fn tick_sweeps_idle_handles_and_recycles_their_buffers() {
+        let schema = bibliography();
+        let doc_events = events(&schema, VALID);
+        let limits = ServiceLimits::default().with_idle_budget(5);
+        let mut service = ValidationService::with_limits(Arc::clone(&schema), limits);
+        let idle = service.open();
+        let busy = service.open();
+        assert_eq!(service.feed(idle, &doc_events[..1]), FeedStatus::NeedMore);
+        // Within the budget nothing is swept.
+        assert_eq!(service.tick(5), 0);
+        assert_eq!(service.feed(busy, &doc_events[..1]), FeedStatus::NeedMore);
+        // Past the budget only the idle handle goes.
+        assert_eq!(service.tick(6), 1);
+        assert_eq!(service.status(idle), FeedStatus::Rejected);
+        assert_eq!(service.status(busy), FeedStatus::NeedMore);
+        assert_eq!(service.diagnostic(idle).unwrap().code(), Code::IdleTimeout);
+        // Feeding the swept handle is refused without work.
+        assert_eq!(service.feed(idle, &doc_events[1..]), FeedStatus::Rejected);
+        let err = service.finish(idle).unwrap_err();
+        assert_eq!(err.code(), Code::IdleTimeout);
+        // The busy handle was stamped by its feeds and is unaffected.
+        assert_eq!(service.feed(busy, &doc_events[1..]), FeedStatus::Accepted);
+        assert!(service.finish(busy).is_ok());
+        assert_eq!(service.in_flight(), 0);
+        // The clock never runs backwards.
+        assert_eq!(service.tick(3), 0);
+        // An already-rejected idle handle keeps its earlier diagnostic.
+        let h = service.open();
+        let bad = events(&schema, &["bibliography", "year"]);
+        assert_eq!(service.feed(h, &bad), FeedStatus::Rejected);
+        let retained = service.diagnostic(h).unwrap().to_string();
+        assert_eq!(service.tick(100), 1);
+        assert_eq!(service.diagnostic(h).unwrap().to_string(), retained);
+        service.close(h);
     }
 }

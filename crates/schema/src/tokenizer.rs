@@ -29,10 +29,12 @@
 //!
 //! The per-byte scalar scanner is retained as [`Tokenizer::feed_scalar`] —
 //! the reference oracle the equivalence suite and the E14 benchmark compare
-//! the bulk scanner against. Both scanners cap the partial-name buffer at
-//! [`Tokenizer::MAX_NAME_LEN`] bytes: a hostile stream consisting of one
-//! never-ending tag name produces a bounded buffer and a
-//! [`Code::MalformedMarkup`] diagnostic instead of unbounded growth.
+//! the bulk scanner against. Both scanners cap the partial-name buffer —
+//! [`Tokenizer::MAX_NAME_LEN`] bytes by default, configurable down via
+//! [`Tokenizer::set_name_limit`] (the `ServiceLimits` hook): a hostile
+//! stream consisting of one never-ending tag name produces a bounded
+//! buffer and a `Code::NameLimitExceeded` diagnostic instead of
+//! unbounded growth.
 //!
 //! The tokenizer is deliberately minimal, scoped to what element-structure
 //! validation needs:
@@ -146,9 +148,11 @@ enum Finish {
 
 const CDATA_PREFIX: &[u8] = b"CDATA[";
 
-/// The [`Tag::Error`] text for a name longer than
-/// [`Tokenizer::MAX_NAME_LEN`].
-const NAME_TOO_LONG: &str = "element name exceeds the 4 KiB limit";
+/// The [`Tag::Error`] text for a name longer than the tokenizer's
+/// name-length cap ([`Tokenizer::MAX_NAME_LEN`] unless lowered via
+/// [`Tokenizer::set_name_limit`]). The service layer recognizes this
+/// message and reports it under the `E3xx` resource-governance family.
+pub(crate) const NAME_TOO_LONG: &str = "element name exceeds the name-length cap";
 
 /// Bytes allowed in element names, precomputed so the name run loop is one
 /// indexed load per byte. Deliberately permissive (tag soup): any byte that
@@ -251,20 +255,45 @@ fn min_hit(a: Option<usize>, b: Option<usize>) -> Option<usize> {
 /// assert_eq!(tags, ["<doc>", "<item/>", "</doc>"]);
 /// assert!(tokenizer.is_idle());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Tokenizer {
     state: State,
     /// Bytes of the current tag name when it straddles a chunk boundary
     /// (names completed inside one chunk are borrowed, not copied).
     name: Vec<u8>,
+    /// The active name-length cap (defaults to [`Tokenizer::MAX_NAME_LEN`]).
+    name_limit: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            state: State::Text,
+            name: Vec::new(),
+            name_limit: Self::MAX_NAME_LEN,
+        }
+    }
 }
 
 impl Tokenizer {
-    /// Upper bound on a tag name's length in bytes. A longer "name" (a
-    /// hostile unterminated-tag stream) is reported as a [`Tag::Error`] and
-    /// the rest of the run is treated as character data, so the partial-name
-    /// buffer a malicious connection can pin stays bounded.
+    /// Default upper bound on a tag name's length in bytes. A longer "name"
+    /// (a hostile unterminated-tag stream) is reported as a [`Tag::Error`]
+    /// and the rest of the run is treated as character data, so the
+    /// partial-name buffer a malicious connection can pin stays bounded.
     pub const MAX_NAME_LEN: usize = 4096;
+
+    /// Lowers (or raises) the name-length cap. The cap is clamped to at
+    /// least one byte so single-character names always scan; the emission
+    /// point — the `(cap + 1)`-th name byte — is identical in the bulk and
+    /// scalar scanners under every chunking.
+    pub fn set_name_limit(&mut self, limit: usize) {
+        self.name_limit = limit.max(1);
+    }
+
+    /// The active name-length cap in bytes.
+    pub fn name_limit(&self) -> usize {
+        self.name_limit
+    }
 
     /// Whether the scanner is between constructs — the end-of-document
     /// well-formedness check (`finish` inside a tag is malformed markup).
@@ -334,7 +363,7 @@ impl Tokenizer {
                             let start = i;
                             let (end, t) = scan_name_tail(bytes, i + 1);
                             i = end;
-                            if i - start > Self::MAX_NAME_LEN {
+                            if i - start > self.name_limit {
                                 if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink)
                                 {
                                     return false;
@@ -403,7 +432,7 @@ impl Tokenizer {
                             let start = i;
                             let (end, t) = scan_name_tail(bytes, i);
                             i = end;
-                            if i - start > Self::MAX_NAME_LEN {
+                            if i - start > self.name_limit {
                                 if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink)
                                 {
                                     return false;
@@ -540,7 +569,7 @@ impl Tokenizer {
                         debug_assert_eq!(span.1, start, "name runs are contiguous in a chunk");
                         span.1 = i;
                     }
-                    if self.name.len() + (span.1 - span.0) > Self::MAX_NAME_LEN {
+                    if self.name.len() + (span.1 - span.0) > self.name_limit {
                         self.state = State::Text;
                         if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink) {
                             return false;
@@ -1011,7 +1040,7 @@ impl Tokenizer {
                         State::Text
                     }
                     _ if is_name_byte(b) => {
-                        if self.name.len() >= Self::MAX_NAME_LEN {
+                        if self.name.len() >= self.name_limit {
                             emit = Some(Tag::Error(NAME_TOO_LONG));
                             State::Text
                         } else {
@@ -1074,7 +1103,7 @@ impl Tokenizer {
                     }
                     _ if b.is_ascii_whitespace() => State::CloseEnd,
                     _ if is_name_byte(b) => {
-                        if self.name.len() >= Self::MAX_NAME_LEN {
+                        if self.name.len() >= self.name_limit {
                             emit = Some(Tag::Error(NAME_TOO_LONG));
                             State::Text
                         } else {

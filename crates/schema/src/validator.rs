@@ -128,6 +128,19 @@ pub struct DocumentValidator {
     unknown: Vec<String>,
     diagnostics: Vec<Diagnostic>,
     events: usize,
+    /// Depth cap (`usize::MAX` = ungoverned); set by the service layer from
+    /// its `ServiceLimits`. Opens past the cap are swallowed — counted in
+    /// `depth_overflow`, never pushed — so a hostile deep document cannot
+    /// grow the frame stack past the cap.
+    max_depth: usize,
+    /// Event budget (`usize::MAX` = ungoverned).
+    max_events: usize,
+    /// Number of open events swallowed past `max_depth`; matching closes
+    /// drain this counter before frames pop again.
+    depth_overflow: usize,
+    /// Whether the event-budget diagnostic was already recorded for the
+    /// current document (report once, stay quiet).
+    event_limit_reported: bool,
 }
 
 impl DocumentValidator {
@@ -142,7 +155,20 @@ impl DocumentValidator {
             unknown: Vec::new(),
             diagnostics: Vec::new(),
             events: 0,
+            max_depth: usize::MAX,
+            max_events: usize::MAX,
+            depth_overflow: 0,
+            event_limit_reported: false,
         }
+    }
+
+    /// Installs per-document resource caps (the service layer threads its
+    /// `ServiceLimits` through here). `usize::MAX` means ungoverned. Limit
+    /// violations are recorded as `E3xx` diagnostics at a deterministic
+    /// event index, so they are byte-identical under every chunking.
+    pub(crate) fn set_limits(&mut self, max_depth: usize, max_events: usize) {
+        self.max_depth = max_depth;
+        self.max_events = max_events;
     }
 
     /// The schema this validator checks against.
@@ -240,6 +266,10 @@ impl DocumentValidator {
     #[cold]
     fn start_element_unknown(&mut self, name: &str) {
         let event = self.take_event();
+        if self.depth_overflow > 0 || self.frames.len() >= self.max_depth {
+            self.overflow_open(Err(name), event);
+            return;
+        }
         let path = self.path_with(Some(name));
         self.diagnostics.push(
             Diagnostic::new(
@@ -265,6 +295,10 @@ impl DocumentValidator {
     /// Panics if `sym` was not handed out by this schema's alphabet.
     pub fn start_element_symbol(&mut self, sym: Symbol) {
         let event = self.take_event();
+        if self.depth_overflow > 0 || self.frames.len() >= self.max_depth {
+            self.overflow_open(Ok(sym), event);
+            return;
+        }
         self.feed_parent(Ok(sym), event);
         let state = match self.schema.dispatch(sym) {
             Dispatch::Pos(begin) => FrameState::Pos(begin),
@@ -296,9 +330,38 @@ impl DocumentValidator {
         });
     }
 
+    /// The depth-governor's open path: swallow the over-deep open (the
+    /// frame stack must stay bounded by the cap), diagnose the first one.
+    #[cold]
+    fn overflow_open(&mut self, child: Result<Symbol, &str>, event: usize) {
+        if self.depth_overflow == 0 {
+            let name = self.child_name(child).to_owned();
+            let path = self.path_with(Some(&name));
+            self.diagnostics.push(
+                Diagnostic::new(
+                    Code::DepthLimitExceeded,
+                    format!(
+                        "<{name}> would nest {} level(s) deep, past the depth \
+                         limit of {}",
+                        self.frames.len() + 1,
+                        self.max_depth
+                    ),
+                )
+                .with_location(DocLocation { path, event }),
+            );
+        }
+        self.depth_overflow += 1;
+    }
+
     /// Closes the innermost open element, checking that its content may end
     /// here.
     pub fn end_element(&mut self) {
+        if self.depth_overflow > 0 {
+            // Closing an open the depth governor swallowed: just rebalance.
+            let _ = self.take_event();
+            self.depth_overflow -= 1;
+            return;
+        }
         let event = self.take_event();
         let Some(frame) = self.frames.pop() else {
             self.diagnostics.push(
@@ -357,7 +420,7 @@ impl DocumentValidator {
     /// for the next document (keeping its warmed-up buffers), and returns
     /// the collected diagnostics, if any.
     pub fn finish(&mut self) -> Result<(), Vec<Diagnostic>> {
-        if !self.frames.is_empty() {
+        if !self.frames.is_empty() || self.depth_overflow > 0 {
             let event = self.events;
             let path = self.path_with(None);
             self.diagnostics.push(
@@ -365,7 +428,7 @@ impl DocumentValidator {
                     Code::UnbalancedDocument,
                     format!(
                         "document ended with {} unclosed element(s)",
-                        self.frames.len()
+                        self.frames.len() + self.depth_overflow
                     ),
                 )
                 .with_location(DocLocation { path, event }),
@@ -377,6 +440,8 @@ impl DocumentValidator {
                 self.pool.push(state);
             }
         }
+        self.depth_overflow = 0;
+        self.event_limit_reported = false;
         self.events = 0;
         let diagnostics = std::mem::take(&mut self.diagnostics);
         if diagnostics.is_empty() {
@@ -440,15 +505,37 @@ impl DocumentValidator {
     /// stream (the offending construct is not a document event, so the
     /// event counter is not advanced).
     pub(crate) fn report_markup(&mut self, message: String) {
+        self.report_limit(Code::MalformedMarkup, message);
+    }
+
+    /// Records a diagnostic of any code at the current document position —
+    /// the service layer's entry for `E3xx` resource-governance violations
+    /// that are not tied to a single event (byte budgets, name caps, idle
+    /// sweeps). The event counter is not advanced, so the location is the
+    /// deterministic "between events" point whatever the chunking.
+    pub(crate) fn report_limit(&mut self, code: Code, message: String) {
         let event = self.events;
         let path = self.path_with(None);
-        self.diagnostics.push(
-            Diagnostic::new(Code::MalformedMarkup, message)
-                .with_location(DocLocation { path, event }),
-        );
+        self.diagnostics
+            .push(Diagnostic::new(code, message).with_location(DocLocation { path, event }));
     }
 
     fn take_event(&mut self) -> usize {
+        if self.events >= self.max_events && !self.event_limit_reported {
+            self.event_limit_reported = true;
+            let event = self.events;
+            let path = self.path_with(None);
+            self.diagnostics.push(
+                Diagnostic::new(
+                    Code::EventLimitExceeded,
+                    format!(
+                        "document exceeded the event budget of {} event(s)",
+                        self.max_events
+                    ),
+                )
+                .with_location(DocLocation { path, event }),
+            );
+        }
         let event = self.events;
         self.events += 1;
         event

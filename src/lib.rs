@@ -66,7 +66,7 @@
 //! | [`structures`] | van Emde Boas sets, lazy arrays, lowest colored ancestor |
 //! | [`automata`] | Glushkov construction, baseline determinism test, DFA/NFA matching, the session API |
 //! | [`core`] | linear-time determinism test (Thm 3.5), counting extension (§3.3), the four matchers (Thms 4.2/4.3/4.10/4.12), diagnostics |
-//! | [`schema`] | `SchemaBuilder`/`Schema` (DTD fragments, shared pipeline), the event-driven `DocumentValidator`, the connection-oriented `ValidationService` (resumable handles, raw-byte ingestion), and the `ValidatorPool` batch sharding |
+//! | [`schema`] | `SchemaBuilder`/`Schema` (DTD fragments, shared pipeline), the event-driven `DocumentValidator`, the connection-oriented `ValidationService` (resumable handles, raw-byte ingestion, `ServiceLimits` resource governance), and the `ValidatorPool` batch sharding with panic isolation |
 //!
 //! The most convenient entry points are [`SchemaBuilder`] for whole schemas
 //! and [`DeterministicRegex`] for single expressions; the individual
@@ -96,7 +96,7 @@ pub use redet_core::{
 };
 pub use redet_schema::{
     ContentKind, DocEvent, DocId, DocumentValidator, FeedStatus, Schema, SchemaBuilder,
-    ValidationService, ValidatorPool,
+    ServiceLimits, ValidationService, ValidatorPool,
 };
 pub use redet_syntax::{parse, Alphabet, ExprStats, Regex, Span, Symbol};
 pub use redet_tree::TreeAnalysis;

@@ -14,7 +14,7 @@
 //! pollute the counter.
 
 use redet::core::matcher::starfree::BatchScratch;
-use redet::schema::{DocEvent, ValidatorPool};
+use redet::schema::{DocEvent, FeedStatus, ServiceLimits, ValidatorPool};
 use redet::{
     CompiledAnalysis, DocumentValidator, KOccurrenceMatcher, Matcher, PositionMatcher,
     SchemaBuilder, StarFreeMatcher, Symbol,
@@ -256,4 +256,77 @@ fn steady_state_match_loops_do_not_allocate() {
         allocations, 0,
         "single-chunk byte feeding allocated despite the borrow-from-chunk name path"
     );
+
+    // --- Resource governance: the checks themselves are free. ---
+    // A fully governed service (every cap configured, sized so the valid
+    // traffic passes) must stay allocation-free in steady state: the limit
+    // bookkeeping on every feed, admission checks on every open, `tick`
+    // sweeps that find nothing to sweep, and feeds against an
+    // already-rejected handle (the fail-fast early-out) all run on the hot
+    // path. Only a *violation* may allocate — it builds a diagnostic once,
+    // on the cold path.
+    let limits = ServiceLimits::default()
+        .with_max_depth(256)
+        .with_max_bytes(1 << 30)
+        .with_max_events(1 << 24)
+        .with_max_name_len(32)
+        .with_max_in_flight(16)
+        .with_idle_budget(1 << 20);
+    let mut governed = schema.service_with_limits(limits);
+    let governed_round = |service: &mut redet::ValidationService, now: u64| {
+        let handles: [redet::DocId; 8] =
+            std::array::from_fn(|_| service.try_open().expect("under the admission cap"));
+        for chunk_start in (0..events.len()).step_by(16) {
+            let chunk = &events[chunk_start..(chunk_start + 16).min(events.len())];
+            for &h in &handles {
+                let _ = service.feed(h, chunk);
+            }
+            // A mid-round sweep that finds nothing idle must cost nothing.
+            service.tick(now);
+        }
+        let mut ok = true;
+        for h in handles {
+            ok &= service.finish(h).is_ok();
+        }
+        let doc = service.open();
+        for chunk in xml.as_bytes().chunks(7) {
+            let _ = service.feed_bytes(doc, chunk);
+        }
+        ok && service.finish(doc).is_ok()
+    };
+    assert!(governed_round(&mut governed, 1), "documents are valid");
+    assert!(governed_round(&mut governed, 2), "documents are valid");
+    let (allocations, ok) = allocations_during(|| governed_round(&mut governed, 3));
+    assert!(ok, "sanity: the measured governed round is valid");
+    assert_eq!(
+        allocations, 0,
+        "limit checks / no-op tick sweeps allocated in steady state"
+    );
+
+    // Rejected- and stale-handle feeds: building the rejection allocates
+    // its diagnostic (cold path, outside the measurement); every feed
+    // against it afterwards is a hot-path early-out and must be free.
+    let rejected = governed.open();
+    let bad = [DocEvent::Open(book), DocEvent::Open(back)]; // back before front
+    assert_eq!(governed.feed(rejected, &bad), FeedStatus::Rejected);
+    let stale = governed.open();
+    governed.close(stale);
+    let (allocations, _) = allocations_during(|| {
+        for _ in 0..64 {
+            assert_eq!(governed.feed(rejected, &events), FeedStatus::Rejected);
+            assert_eq!(
+                governed.feed_bytes(rejected, xml.as_bytes()),
+                FeedStatus::Rejected
+            );
+            assert_eq!(governed.status(rejected), FeedStatus::Rejected);
+            assert_eq!(governed.feed(stale, &events), FeedStatus::Stale);
+            assert_eq!(governed.status(stale), FeedStatus::Stale);
+        }
+        governed.depth(rejected)
+    });
+    assert_eq!(
+        allocations, 0,
+        "rejected/stale-handle feeds allocated in steady state"
+    );
+    governed.close(rejected);
 }

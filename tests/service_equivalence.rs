@@ -15,8 +15,8 @@
 //!   bytes mixed;
 //! * rejected handles consume no further events (fail-fast).
 
-use redet::schema::FeedStatus;
-use redet::{DocEvent, DocumentValidator, Schema, SchemaBuilder};
+use redet::schema::{FeedStatus, ServiceLimits};
+use redet::{Code, DocEvent, DocumentValidator, Schema, SchemaBuilder};
 use redet_bench::book_document_events;
 use redet_workloads::rng::StdRng;
 use std::sync::Arc;
@@ -262,6 +262,91 @@ fn random_interleavings_across_64_handles() {
             let got = render_result(&service.finish(handle));
             assert_eq!(got, expected[index], "round {round}, document {index}");
         }
+    }
+}
+
+#[test]
+fn limit_rejections_are_chunking_invariant() {
+    // Resource-limit rejections honor the same contract as schema
+    // rejections: however the stream is chunked — and, where both
+    // transports can trip the limit, whether it arrives as events or as
+    // bytes — the retained `E3xx` diagnostic is byte-identical.
+    let schema = book_schema();
+    let events = redet_bench::book_document_events(&schema, 2, 42);
+    let xml = to_xml(&schema, &events, 0xFACE);
+    let half_events = (events.len() / 2) as u64;
+
+    // (label, limits, expected code, trippable by event feeding?)
+    let configs: [(&str, ServiceLimits, Code, bool); 4] = [
+        (
+            "depth",
+            ServiceLimits::default().with_max_depth(4),
+            Code::DepthLimitExceeded,
+            true,
+        ),
+        (
+            "events",
+            ServiceLimits::default().with_max_events(half_events),
+            Code::EventLimitExceeded,
+            true,
+        ),
+        (
+            "bytes",
+            ServiceLimits::default().with_max_bytes(xml.len() as u64 / 2),
+            Code::ByteLimitExceeded,
+            false,
+        ),
+        (
+            "name",
+            ServiceLimits::default().with_max_name_len(6),
+            Code::NameLimitExceeded,
+            false,
+        ),
+    ];
+    for (label, limits, code, event_trippable) in configs {
+        let mut service = schema.service_with_limits(limits);
+        let mut renders: Vec<String> = Vec::new();
+        // Every two-chunk byte split, plus the unsplit stream.
+        for split in 0..=xml.len() {
+            let doc = service.open();
+            let _ = service.feed_bytes(doc, &xml.as_bytes()[..split]);
+            let _ = service.feed_bytes(doc, &xml.as_bytes()[split..]);
+            let err = service.finish(doc).expect_err(label);
+            assert_eq!(err.code(), code, "{label}, split at byte {split}");
+            renders.push(render(&err));
+        }
+        // Depth and event budgets see the same event stream either way:
+        // every two-chunk event split must render identically too.
+        if event_trippable {
+            for split in 0..=events.len() {
+                let doc = service.open();
+                let _ = service.feed(doc, &events[..split]);
+                let _ = service.feed(doc, &events[split..]);
+                let err = service.finish(doc).expect_err(label);
+                assert_eq!(err.code(), code, "{label}, split at event {split}");
+                renders.push(render(&err));
+            }
+        }
+        // Many-chunk randomized splits join the pool as well.
+        let mut rng = StdRng::seed_from_u64(0x11117);
+        for round in 0..8 {
+            let doc = service.open();
+            let mut cursor = 0;
+            while cursor < xml.len() {
+                let end = (cursor + 1 + rng.gen_range(0..13usize)).min(xml.len());
+                let _ = service.feed_bytes(doc, &xml.as_bytes()[cursor..end]);
+                cursor = end;
+            }
+            let err = service.finish(doc).expect_err(label);
+            renders.push(render(&err));
+            let _ = round;
+        }
+        assert!(
+            renders.windows(2).all(|w| w[0] == w[1]),
+            "{label}: diagnostics diverge across chunkings:\n  {}\n  {}",
+            renders.first().unwrap(),
+            renders.iter().find(|r| *r != &renders[0]).unwrap()
+        );
     }
 }
 

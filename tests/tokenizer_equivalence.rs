@@ -219,7 +219,7 @@ fn over_long_names_match_the_oracle_at_every_split() {
 }
 
 #[test]
-fn service_reports_over_long_names_as_malformed_markup() {
+fn service_reports_over_long_names_as_a_limit_rejection() {
     let schema = SchemaBuilder::new()
         .element("doc", "(item)*")
         .element_empty("item")
@@ -234,7 +234,7 @@ fn service_reports_over_long_names_as_malformed_markup() {
         let _ = service.feed_bytes(doc, chunk);
     }
     let diagnostic = service.finish(doc).expect_err("hostile name is rejected");
-    assert_eq!(diagnostic.code(), Code::MalformedMarkup);
+    assert_eq!(diagnostic.code(), Code::NameLimitExceeded);
     assert!(
         diagnostic.message().contains("exceeds"),
         "{}",
