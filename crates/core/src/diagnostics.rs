@@ -47,6 +47,11 @@ pub enum Code {
     DuplicateElement,
     /// A DTD fragment contains a malformed `<!ELEMENT …>` declaration.
     MalformedDtd,
+    /// A request named a schema id the serving router does not host
+    /// (`SchemaRouter` in `redet-server`).
+    UnknownSchema,
+    /// Two schemas with the same id were registered with a serving router.
+    DuplicateSchema,
     /// A document uses an element name the schema does not know at all.
     UnknownElement,
     /// A child element cannot appear at this point of its parent's content
@@ -86,6 +91,11 @@ pub enum Code {
     /// Validating a document panicked; the worker was replaced and the
     /// document is reported as poisoned instead of taking down its batch.
     PoisonedDocument,
+    /// A network peer violated the line-oriented wire protocol (bad or
+    /// oversized header, input ending mid-header, a disabled command).
+    /// Unlike the rest of the `E3xx` family this is protocol misuse, not a
+    /// resource limit, so it is not `is_resource_exhausted`.
+    ProtocolError,
 }
 
 impl Code {
@@ -98,6 +108,8 @@ impl Code {
             Code::StrategyNotApplicable => "E004",
             Code::DuplicateElement => "E101",
             Code::MalformedDtd => "E102",
+            Code::UnknownSchema => "E103",
+            Code::DuplicateSchema => "E104",
             Code::UnknownElement => "E201",
             Code::UnexpectedChild => "E202",
             Code::IncompleteElement => "E203",
@@ -112,6 +124,7 @@ impl Code {
             Code::IdleTimeout => "E306",
             Code::StaleHandle => "E307",
             Code::PoisonedDocument => "E308",
+            Code::ProtocolError => "E309",
         }
     }
 
@@ -344,8 +357,12 @@ mod tests {
         assert_eq!(Code::IdleTimeout.as_str(), "E306");
         assert_eq!(Code::StaleHandle.as_str(), "E307");
         assert_eq!(Code::PoisonedDocument.as_str(), "E308");
+        assert_eq!(Code::UnknownSchema.as_str(), "E103");
+        assert_eq!(Code::DuplicateSchema.as_str(), "E104");
+        assert_eq!(Code::ProtocolError.as_str(), "E309");
         assert!(Code::IdleTimeout.is_resource_exhausted());
         assert!(!Code::UnexpectedChild.is_resource_exhausted());
+        assert!(!Code::ProtocolError.is_resource_exhausted());
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! The `redet` binary. All behavior lives in [`redet_server::cli`]; this
+//! file only owns the process boundary (argument collection, exit code).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(redet_server::cli::run(&args));
+}

@@ -1,0 +1,636 @@
+//! The dependency-free TCP front end: non-blocking `std::net` sockets
+//! behind a small readiness poll loop.
+//!
+//! # Wire protocol
+//!
+//! The protocol is line-oriented and deliberately `netcat`-friendly. A
+//! connection carries a sequence of requests; each request is one header
+//! line followed by the document bytes, and each gets exactly one response
+//! line (the stable rendering of [`crate::wire`]):
+//!
+//! ```text
+//! "V " schema-id " " byte-len "\n" body     framed: exactly byte-len bytes
+//! "V " schema-id "\n" body…                 unframed: the rest of the stream
+//! "Q\n"                                     graceful shutdown (when enabled)
+//! ```
+//!
+//! Framed requests pipeline: a client may send many back to back (even
+//! across schemas — each opens its own handle on the right service) and
+//! read the responses in order. An unframed request is the last one on its
+//! connection: the server answers as soon as the document balances (or
+//! rejects), or — for a **half-closed** connection — when the peer shuts
+//! down its write side and the remaining input ends, whichever comes
+//! first. Blank lines between requests are ignored.
+//!
+//! Body bytes stream straight into [`ValidationService::feed_bytes`]
+//! exactly as the poll loop receives them, so chunk boundaries fall
+//! wherever the network put them — the service contract makes the verdict
+//! chunking-invariant, and every verdict (including the `E3xx` refusals:
+//! overload at admission, idle sweeps, per-document limits) is
+//! **byte-identical** to what an in-process `open`/`feed_bytes`/`finish`
+//! sequence reports.
+//!
+//! # The poll loop
+//!
+//! One thread, no `epoll`, no runtime: the listener and every connection
+//! socket are non-blocking; each iteration accepts ready connections,
+//! advances a wall-clock logical tick into [`SchemaRouter::tick`] (the
+//! idle sweeper), pumps every connection (flush pending output, read
+//! available input, run the request state machine), answers connections
+//! whose document was idle-swept, and reaps finished ones. When an
+//! iteration makes no progress the loop sleeps for
+//! [`ServerConfig::idle_wait`] — the dependency-free stand-in for a
+//! readiness syscall, bounding idle CPU at a few wakeups per millisecond
+//! while keeping worst-case added latency at one `idle_wait`.
+//!
+//! # Shutdown
+//!
+//! [`ShutdownHandle::shutdown`] (or a `Q` request, when enabled) puts the
+//! loop into **drain**: no new connections are accepted, in-flight
+//! requests continue to completion, and after
+//! [`ServerConfig::drain_deadline`] any straggler's document handle is
+//! closed and the loop exits with its [`ServerReport`].
+
+use crate::router::SchemaRouter;
+use crate::wire;
+use redet_core::{Code, Diagnostic};
+use redet_schema::{DocId, FeedStatus};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// Referenced only by intra-doc links in the module docs.
+#[allow(unused_imports)]
+use redet_schema::{ServiceLimits, ValidationService};
+
+/// Tuning knobs of a [`Server`]; the default is sensible for both
+/// production-ish serving and tests (tests shrink `tick_interval` to make
+/// idle sweeps fast).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// How much wall-clock time one logical tick of the services' idle
+    /// clock represents; [`ServiceLimits::with_idle_budget`] budgets are
+    /// multiples of this. Default: 1 second.
+    pub tick_interval: Duration,
+    /// How long the poll loop sleeps when an iteration made no progress.
+    /// Default: 1 ms.
+    pub idle_wait: Duration,
+    /// How long a draining server waits for in-flight connections before
+    /// closing their handles and exiting. Default: 5 seconds.
+    pub drain_deadline: Duration,
+    /// Whether the `Q` wire request triggers a graceful shutdown. Default:
+    /// `true` (disable for servers exposed beyond a trusted network).
+    pub allow_shutdown_command: bool,
+    /// Longest accepted header line in bytes; longer ones are a
+    /// [`Code::ProtocolError`] refusal. Default: 4096.
+    pub max_header_len: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tick_interval: Duration::from_secs(1),
+            idle_wait: Duration::from_millis(1),
+            drain_deadline: Duration::from_secs(5),
+            allow_shutdown_command: true,
+            max_header_len: 4096,
+        }
+    }
+}
+
+/// A cloneable handle that asks a running [`Server`] to drain and exit.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown: the server stops accepting, drains
+    /// in-flight connections, and [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a [`Server`] did over its lifetime, returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Document verdicts written to the wire.
+    pub documents: u64,
+    /// … of which `ok`.
+    pub accepted: u64,
+    /// … of which `err` (schema rejections and `E3xx` refusals alike).
+    pub rejected: u64,
+    /// Handles swept by the idle governor.
+    pub swept: u64,
+    /// Header lines refused with [`Code::ProtocolError`].
+    pub protocol_errors: u64,
+}
+
+/// The TCP front end over a [`SchemaRouter`]; see the module docs.
+pub struct Server {
+    listener: TcpListener,
+    router: SchemaRouter,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and wraps
+    /// `router` behind it. The socket listens immediately; requests are
+    /// only served once [`Server::run`] starts polling.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: SchemaRouter,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            router,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address — the way to learn the actual port after binding
+    /// port 0.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that shuts this server down from another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.stop))
+    }
+
+    /// The schema registry this server routes to.
+    pub fn router(&self) -> &SchemaRouter {
+        &self.router
+    }
+
+    /// Runs the poll loop until shutdown, then drains and returns the
+    /// lifetime report; see the module docs for the loop's phases.
+    pub fn run(mut self) -> io::Result<ServerReport> {
+        self.listener.set_nonblocking(true)?;
+        let started = Instant::now();
+        let tick_ms = u64::try_from(self.config.tick_interval.as_millis())
+            .unwrap_or(1000)
+            .max(1);
+        let mut last_tick = 0u64;
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut report = ServerReport::default();
+        let mut drain_started: Option<Instant> = None;
+        let mut scratch = vec![0u8; 16 * 1024];
+
+        loop {
+            let mut progress = false;
+            let draining = self.stop.load(Ordering::Relaxed);
+            if draining && drain_started.is_none() {
+                drain_started = Some(Instant::now());
+            }
+
+            // Phase 1: accept every connection that is ready right now.
+            if !draining {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_ok() {
+                                let _ = stream.set_nodelay(true);
+                                conns.push(Conn::new(stream));
+                                report.connections += 1;
+                                progress = true;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            // Phase 2: advance the wall-clock timer source into the
+            // services' logical idle clock.
+            let now_tick =
+                u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX) / tick_ms;
+            if now_tick > last_tick {
+                last_tick = now_tick;
+                let swept = self.router.tick(now_tick);
+                if swept > 0 {
+                    report.swept += swept as u64;
+                    progress = true;
+                }
+            }
+
+            // Phase 3: pump I/O and the request state machine per
+            // connection, then surface idle sweeps on the wire.
+            for conn in &mut conns {
+                progress |= conn.pump(
+                    &mut self.router,
+                    &self.config,
+                    &self.stop,
+                    &mut report,
+                    &mut scratch,
+                );
+                progress |= conn.respond_if_swept(&mut self.router, &mut report);
+            }
+
+            // Phase 4: reap connections that finished or died, releasing
+            // any document handle they still hold.
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].finished() {
+                    conns.swap_remove(i).abort(&mut self.router);
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            if draining {
+                let expired =
+                    drain_started.is_some_and(|t| t.elapsed() >= self.config.drain_deadline);
+                if conns.is_empty() || expired {
+                    for conn in conns.drain(..) {
+                        conn.abort(&mut self.router);
+                    }
+                    return Ok(report);
+                }
+            }
+
+            if !progress {
+                std::thread::sleep(self.config.idle_wait);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("router", &self.router)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Where a connection is in its request sequence.
+enum ConnState {
+    /// Accumulating a header line.
+    Header,
+    /// Streaming body bytes into an open document. `remaining` is the
+    /// framed byte count still expected (`None` for unframed requests).
+    Body { doc: DocId, remaining: Option<u64> },
+    /// Consuming and dropping the framed body of a refused request, so the
+    /// refusal does not desynchronize the requests pipelined behind it.
+    Discard { remaining: u64 },
+}
+
+/// One client connection of the poll loop.
+struct Conn {
+    stream: TcpStream,
+    /// Received, not-yet-processed bytes.
+    inbuf: Vec<u8>,
+    /// Rendered, not-yet-written response bytes.
+    outbuf: Vec<u8>,
+    state: ConnState,
+    /// The peer half-closed (or closed) its write side.
+    eof: bool,
+    /// No further requests will be served; close once `outbuf` flushes.
+    done: bool,
+    /// The socket errored; drop immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            state: ConnState::Header,
+            eof: false,
+            done: false,
+            dead: false,
+        }
+    }
+
+    /// Whether the connection can be reaped.
+    fn finished(&self) -> bool {
+        self.dead || (self.done && self.outbuf.is_empty())
+    }
+
+    /// Releases the document handle a reaped connection still holds.
+    fn abort(self, router: &mut SchemaRouter) {
+        if let ConnState::Body { doc, .. } = self.state {
+            router.close(doc);
+        }
+    }
+
+    /// One poll-loop visit: flush, read, process, flush.
+    fn pump(
+        &mut self,
+        router: &mut SchemaRouter,
+        config: &ServerConfig,
+        stop: &AtomicBool,
+        report: &mut ServerReport,
+        scratch: &mut [u8],
+    ) -> bool {
+        let mut progress = self.flush();
+        if self.dead || self.done {
+            return progress;
+        }
+        if !self.eof {
+            // Bounded reads per visit so one firehose connection cannot
+            // starve the rest of the loop.
+            for _ in 0..4 {
+                match self.stream.read(scratch) {
+                    Ok(0) => {
+                        self.eof = true;
+                        progress = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend_from_slice(&scratch[..n]);
+                        progress = true;
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.dead = true;
+                        return progress;
+                    }
+                }
+            }
+        }
+        progress |= self.process(router, config, stop, report);
+        progress |= self.flush();
+        progress
+    }
+
+    /// Writes as much pending output as the socket accepts.
+    fn flush(&mut self) -> bool {
+        let mut progress = false;
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Runs the request state machine over whatever `inbuf` holds.
+    fn process(
+        &mut self,
+        router: &mut SchemaRouter,
+        config: &ServerConfig,
+        stop: &AtomicBool,
+        report: &mut ServerReport,
+    ) -> bool {
+        let mut progress = false;
+        loop {
+            if self.done || self.dead {
+                return progress;
+            }
+            match self.state {
+                ConnState::Header => {
+                    // Tolerate blank separator lines (`\n`, `\r\n`).
+                    let blank = self
+                        .inbuf
+                        .iter()
+                        .take_while(|&&b| b == b'\n' || b == b'\r')
+                        .count();
+                    if blank > 0 {
+                        self.inbuf.drain(..blank);
+                        progress = true;
+                    }
+                    let Some(pos) = self.inbuf.iter().position(|&b| b == b'\n') else {
+                        if self.inbuf.len() > config.max_header_len {
+                            self.refuse(report, "header line exceeds the length cap");
+                            progress = true;
+                        } else if self.eof {
+                            if self.inbuf.is_empty() {
+                                self.done = true;
+                            } else {
+                                self.refuse(report, "input ended inside a header line");
+                            }
+                            progress = true;
+                        }
+                        return progress;
+                    };
+                    let line: Vec<u8> = self.inbuf.drain(..=pos).collect();
+                    progress = true;
+                    let line = &line[..line.len() - 1];
+                    let line = line.strip_suffix(b"\r").unwrap_or(line);
+                    let Ok(text) = std::str::from_utf8(line) else {
+                        self.refuse(report, "header line is not UTF-8");
+                        continue;
+                    };
+                    self.handle_header(text, router, config, stop, report);
+                }
+                ConnState::Body { doc, remaining } => {
+                    if remaining == Some(0) {
+                        self.respond_verdict(&router.finish(doc), report);
+                        self.state = ConnState::Header;
+                        progress = true;
+                        continue;
+                    }
+                    if self.inbuf.is_empty() {
+                        if self.eof {
+                            // Half-closed (unframed) or truncated (framed)
+                            // input: the verdict is whatever finishing the
+                            // partial document reports.
+                            self.respond_verdict(&router.finish(doc), report);
+                            self.state = ConnState::Header;
+                            self.done = true;
+                            progress = true;
+                        }
+                        return progress;
+                    }
+                    let take = remaining
+                        .map_or(self.inbuf.len(), |r| {
+                            usize::try_from(r).unwrap_or(usize::MAX)
+                        })
+                        .min(self.inbuf.len());
+                    let status = router.feed_bytes(doc, &self.inbuf[..take]);
+                    self.inbuf.drain(..take);
+                    progress = true;
+                    match remaining {
+                        Some(r) => {
+                            let left = r - take as u64;
+                            self.state = ConnState::Body {
+                                doc,
+                                remaining: Some(left),
+                            };
+                            // left == 0 responds at the top of the loop.
+                        }
+                        None => {
+                            if matches!(status, FeedStatus::Accepted | FeedStatus::Rejected) {
+                                // Unframed requests answer as soon as the
+                                // verdict is known and end the connection.
+                                self.respond_verdict(&router.finish(doc), report);
+                                self.state = ConnState::Header;
+                                self.done = true;
+                            }
+                        }
+                    }
+                }
+                ConnState::Discard { remaining } => {
+                    if self.inbuf.is_empty() {
+                        if self.eof {
+                            self.done = true;
+                            progress = true;
+                        }
+                        return progress;
+                    }
+                    let take = usize::try_from(remaining)
+                        .unwrap_or(usize::MAX)
+                        .min(self.inbuf.len());
+                    self.inbuf.drain(..take);
+                    progress = true;
+                    let left = remaining - take as u64;
+                    self.state = if left == 0 {
+                        ConnState::Header
+                    } else {
+                        ConnState::Discard { remaining: left }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Parses and acts on one header line.
+    fn handle_header(
+        &mut self,
+        text: &str,
+        router: &mut SchemaRouter,
+        config: &ServerConfig,
+        stop: &AtomicBool,
+        report: &mut ServerReport,
+    ) {
+        let mut parts = text.split_ascii_whitespace();
+        match parts.next() {
+            Some("V") => {
+                let Some(schema) = parts.next() else {
+                    self.refuse(report, "V needs a schema id");
+                    return;
+                };
+                let remaining = match parts.next() {
+                    Some(len) => match len.parse::<u64>() {
+                        Ok(n) => Some(n),
+                        Err(_) => {
+                            self.refuse(report, "unparsable body length");
+                            return;
+                        }
+                    },
+                    None => None,
+                };
+                if parts.next().is_some() {
+                    self.refuse(report, "trailing tokens after the header");
+                    return;
+                }
+                match router.open(schema) {
+                    Ok(doc) => self.state = ConnState::Body { doc, remaining },
+                    Err(refusal) => {
+                        // E103 / E305: the refusal is the verdict. A framed
+                        // body is still consumed so pipelined requests
+                        // behind it stay in sync; an unframed body cannot
+                        // be delimited, so the connection ends.
+                        self.respond(&wire::render_diagnostic(&refusal), report);
+                        report.documents += 1;
+                        report.rejected += 1;
+                        match remaining {
+                            Some(n) if n > 0 => self.state = ConnState::Discard { remaining: n },
+                            Some(_) => {}
+                            None => self.done = true,
+                        }
+                    }
+                }
+            }
+            Some("Q") => {
+                if config.allow_shutdown_command {
+                    self.respond("ok", report);
+                    stop.store(true, Ordering::Relaxed);
+                } else {
+                    self.refuse(report, "the shutdown command is disabled");
+                }
+                self.done = true;
+            }
+            _ => self.refuse(report, "unrecognized header"),
+        }
+    }
+
+    /// Answers a connection whose in-flight document the idle governor
+    /// swept: the peer went quiet, so the E306 verdict is pushed without
+    /// waiting for more input, and the connection ends.
+    fn respond_if_swept(&mut self, router: &mut SchemaRouter, report: &mut ServerReport) -> bool {
+        if self.done || self.dead {
+            return false;
+        }
+        let ConnState::Body { doc, .. } = self.state else {
+            return false;
+        };
+        if !router.is_swept(doc) {
+            return false;
+        }
+        self.respond_verdict(&router.finish(doc), report);
+        self.state = ConnState::Header;
+        self.done = true;
+        let _ = self.flush();
+        true
+    }
+
+    /// Queues one response line.
+    fn respond(&mut self, line: &str, _report: &mut ServerReport) {
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    /// Queues a document verdict and counts it.
+    fn respond_verdict(&mut self, verdict: &Result<(), Diagnostic>, report: &mut ServerReport) {
+        report.documents += 1;
+        match verdict {
+            Ok(()) => report.accepted += 1,
+            Err(_) => report.rejected += 1,
+        }
+        let line = wire::render_verdict(verdict);
+        self.respond(&line, report);
+    }
+
+    /// Refuses a malformed request with a [`Code::ProtocolError`] line and
+    /// ends the connection (the framing is lost, so nothing behind the bad
+    /// header can be trusted).
+    fn refuse(&mut self, report: &mut ServerReport, message: &str) {
+        report.protocol_errors += 1;
+        let line = wire::render_diagnostic(&Diagnostic::new(Code::ProtocolError, message));
+        self.respond(&line, report);
+        self.inbuf.clear();
+        self.done = true;
+    }
+}

@@ -1,0 +1,89 @@
+//! The stable single-line wire/CLI rendering of validation verdicts.
+//!
+//! Server responses and `redet` CLI output share one rendering so they can
+//! never drift apart — and the rendering itself is **pinned** by
+//! `tests/wire_pinning.rs`, so it never drifts across releases either.
+//! The grammar:
+//!
+//! ```text
+//! verdict := "ok"
+//!          | "err " code " " span " " message
+//! code    := "E" digit digit digit                  (see redet_core::Code)
+//! span    := start ".." end | "-"                   (byte span, when known)
+//! message := the diagnostic message, one line
+//! ```
+//!
+//! The message is the [`Diagnostic`]'s own text with the document location
+//! (` at /path (event N)`) appended when present, and with `\n`/`\r`
+//! escaped to the two-character sequences `\\n`/`\\r` — a verdict is
+//! always exactly one line, whatever a diagnostic message contains.
+//! Responses on the wire are this line plus a trailing `\n`.
+
+use redet_core::Diagnostic;
+
+/// Renders a validation verdict as the stable single-line form (without
+/// the trailing newline).
+#[must_use]
+pub fn render_verdict(verdict: &Result<(), Diagnostic>) -> String {
+    match verdict {
+        Ok(()) => "ok".to_owned(),
+        Err(diagnostic) => render_diagnostic(diagnostic),
+    }
+}
+
+/// Renders a diagnostic as the stable single-line `err …` form: code, byte
+/// span (`-` when absent), and the one-line escaped message with the
+/// document location appended.
+#[must_use]
+pub fn render_diagnostic(diagnostic: &Diagnostic) -> String {
+    let mut out = String::with_capacity(diagnostic.message().len() + 32);
+    out.push_str("err ");
+    out.push_str(diagnostic.code().as_str());
+    out.push(' ');
+    match diagnostic.span() {
+        Some(span) => {
+            out.push_str(&span.start.to_string());
+            out.push_str("..");
+            out.push_str(&span.end.to_string());
+        }
+        None => out.push('-'),
+    }
+    out.push(' ');
+    escape_into(&mut out, diagnostic.message());
+    if let Some(location) = diagnostic.location() {
+        escape_into(
+            &mut out,
+            &format!(" at /{} (event {})", location.path, location.event),
+        );
+    }
+    out
+}
+
+/// Appends `text` to `out` with newlines and carriage returns escaped, so
+/// the rendering stays a single line.
+fn escape_into(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redet_core::Code;
+
+    #[test]
+    fn ok_is_ok() {
+        assert_eq!(render_verdict(&Ok(())), "ok");
+    }
+
+    #[test]
+    fn messages_stay_on_one_line() {
+        let d = Diagnostic::new(Code::MalformedMarkup, "line one\nline two\r");
+        assert_eq!(render_diagnostic(&d), "err E206 - line one\\nline two\\r");
+    }
+}

@@ -1,0 +1,96 @@
+//! Pins the stable single-line wire/CLI rendering of verdicts.
+//!
+//! Every assertion here compares against an **exact string literal**. The
+//! rendering is shared by server responses and CLI output and is part of
+//! the crate's compatibility surface: a client may parse these lines, so
+//! any change to them must be deliberate and show up as an edit to this
+//! file. The diagnostics themselves come from real API calls (the schema
+//! compiler, the governed service), not hand-built structs, so the pins
+//! also lock the end-to-end message text a user actually sees.
+
+use redet_core::{Code, Diagnostic};
+use redet_schema::{FeedStatus, SchemaBuilder, ServiceLimits};
+use redet_server::wire::{render_diagnostic, render_verdict};
+
+#[test]
+fn ok_renders_as_ok() {
+    assert_eq!(render_verdict(&Ok(())), "ok");
+}
+
+#[test]
+fn parse_error_carries_its_byte_span() {
+    let diagnostics = SchemaBuilder::new()
+        .element("a", "(b,)")
+        .build()
+        .unwrap_err();
+    let line = render_diagnostic(&diagnostics[0]);
+    assert_eq!(diagnostics[0].code(), Code::Parse);
+    assert!(
+        line.starts_with("err E001 "),
+        "expected an E001 line, got: {line}"
+    );
+    // The span is a concrete byte range, not the `-` placeholder.
+    let span = line.split(' ').nth(2).unwrap();
+    assert!(span.contains(".."), "expected start..end span, got: {line}");
+}
+
+#[test]
+fn validation_error_appends_the_document_location() {
+    let schema = SchemaBuilder::new()
+        .element("bibliography", "(book)+")
+        .element("book", "(author+, title)")
+        .element_empty("author")
+        .element_empty("title")
+        .build()
+        .unwrap();
+    let mut service = schema.service();
+    let doc = service.try_open().unwrap();
+    assert_eq!(
+        service.feed_bytes(doc, b"<bibliography><book><title/>"),
+        FeedStatus::Rejected
+    );
+    let line = render_verdict(&service.finish(doc));
+    assert_eq!(
+        line,
+        "err E202 - <title> cannot appear as child #0 of <book>: the content \
+         model has no continuation for it here at /bibliography/book (event 2)"
+    );
+}
+
+#[test]
+fn overload_refusal_is_pinned() {
+    let schema = SchemaBuilder::new().element_empty("leaf").build().unwrap();
+    let mut service = schema.service_with_limits(ServiceLimits::default().with_max_in_flight(2));
+    let _a = service.try_open().unwrap();
+    let _b = service.try_open().unwrap();
+    let refusal = service.try_open().unwrap_err();
+    assert_eq!(
+        render_diagnostic(&refusal),
+        "err E305 - service is at its in-flight handle cap of 2"
+    );
+}
+
+#[test]
+fn idle_sweep_refusal_is_pinned() {
+    let schema = SchemaBuilder::new()
+        .element("root", "(leaf)*")
+        .element_empty("leaf")
+        .build()
+        .unwrap();
+    let mut service = schema.service_with_limits(ServiceLimits::default().with_idle_budget(1));
+    let doc = service.try_open().unwrap();
+    assert_eq!(service.feed_bytes(doc, b"<root>"), FeedStatus::NeedMore);
+    assert_eq!(service.tick(100), 1);
+    let line = render_verdict(&service.finish(doc));
+    assert_eq!(
+        line,
+        "err E306 - document sat idle past the idle budget of 1 tick(s) \
+         at /root (event 1)"
+    );
+}
+
+#[test]
+fn messages_never_break_the_line() {
+    let d = Diagnostic::new(Code::MalformedMarkup, "first\nsecond\rthird");
+    assert_eq!(render_diagnostic(&d), "err E206 - first\\nsecond\\rthird");
+}

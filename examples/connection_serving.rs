@@ -1,17 +1,31 @@
-//! Connection-oriented serving: many interleaved documents, raw bytes in.
+//! Connection-oriented serving — now over a real socket.
 //!
-//! A server does not see whole documents — it sees connections delivering
-//! chunks in arbitrary order. This example drives a `ValidationService` the
-//! way a network loop would: several in-flight documents, advanced a few
-//! bytes (or events) at a time in round-robin, with fail-fast rejection;
-//! plus a suspended/resumed `MatchSession` for a single content model.
+//! Earlier revisions of this example drove a `ValidationService` by hand
+//! to imitate a network loop. The workspace now ships that loop for real:
+//! `redet-server`'s [`Server`] is a dependency-free TCP front end over a
+//! [`SchemaRouter`], and this example exercises it the way `redet serve`
+//! does — bind an ephemeral port, run the poll loop on a thread, and talk
+//! to it with plain `TcpStream`s:
+//!
+//! - a **pipelined** client: three framed requests across two schemas in
+//!   one write, three verdict lines back;
+//! - a **trickling** client: one byte per write, because chunk boundaries
+//!   are the network's business and never change a verdict;
+//! - a **half-closed** client: an unframed request whose end-of-document
+//!   is the TCP half-close itself;
+//! - the `Q` request for a graceful drain, and the server's final report.
 //!
 //! Run with `cargo run --example connection_serving`.
 
-use redet::{DeterministicRegex, DocEvent, FeedStatus, SchemaBuilder};
+use redet::{SchemaBuilder, ServiceLimits};
+use redet_server::{SchemaRouter, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
 
 fn main() {
-    let schema = SchemaBuilder::new()
+    // Two document types behind one socket: each schema gets its own
+    // governed ValidationService, routed by the id in the request header.
+    let bibliography = SchemaBuilder::new()
         .parse_dtd(
             "<!ELEMENT bibliography (book)*>
              <!ELEMENT book (title, author+, year?)>
@@ -21,90 +35,85 @@ fn main() {
         )
         .build()
         .expect("the DTD is deterministic");
-    let mut service = schema.service();
+    let catalog = SchemaBuilder::new()
+        .parse_dtd(
+            "<!ELEMENT catalog (product)*>
+             <!ELEMENT product (name, price)>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT price (#PCDATA)>",
+        )
+        .build()
+        .expect("the DTD is deterministic");
 
-    // Three "connections": two raw byte streams (one of them invalid — a
-    // year before the author) and one pre-interned event stream.
-    let good = "<bibliography><book><title/><author/><author/><year/></book></bibliography>";
-    let bad = "<bibliography><book><title/><year/><author/></book></bibliography>";
-    let s = |name: &str| schema.lookup(name).unwrap();
-    let events = [
-        DocEvent::Open(s("bibliography")),
-        DocEvent::Open(s("book")),
-        DocEvent::Open(s("title")),
-        DocEvent::Close,
-        DocEvent::Open(s("author")),
-        DocEvent::Close,
-        DocEvent::Close,
-        DocEvent::Close,
-    ];
+    let mut router = SchemaRouter::new();
+    let limits = ServiceLimits::default()
+        .with_max_depth(16)
+        .with_max_in_flight(8);
+    router.register("bib", bibliography, limits).unwrap();
+    router.register("cat", catalog, limits).unwrap();
 
-    let c1 = service.open();
-    let c2 = service.open();
-    let c3 = service.open();
+    let server =
+        Server::bind("127.0.0.1:0", router, ServerConfig::default()).expect("loopback bind");
+    let addr = server.local_addr().unwrap();
+    let serving = std::thread::spawn(move || server.run().expect("poll loop"));
+    println!("serving two schemas on {addr}\n");
 
-    // Round-robin: 7-byte chunks for the byte connections, two events at a
-    // time for the event connection — chunk boundaries land mid-tag and the
-    // tokenizer does not care.
-    let mut cursor1 = 0usize;
-    let mut cursor2 = 0usize;
-    let mut cursor3 = 0usize;
-    while cursor1 < good.len() || cursor2 < bad.len() || cursor3 < events.len() {
-        if cursor1 < good.len() {
-            let end = (cursor1 + 7).min(good.len());
-            let status = service.feed_bytes(c1, &good.as_bytes()[cursor1..end]);
-            println!(
-                "c1 <- {:24} {status:?}",
-                format!("{:?}", &good[cursor1..end])
-            );
-            cursor1 = end;
-        }
-        if cursor2 < bad.len() {
-            let end = (cursor2 + 7).min(bad.len());
-            let status = service.feed_bytes(c2, &bad.as_bytes()[cursor2..end]);
-            println!(
-                "c2 <- {:24} {status:?}",
-                format!("{:?}", &bad[cursor2..end])
-            );
-            if status == FeedStatus::Rejected {
-                // Fail fast: stop reading from this connection — the
-                // retained diagnostic names the earliest offending event.
-                println!("c2 rejected early: {}", service.diagnostic(c2).unwrap());
-                cursor2 = bad.len();
-            } else {
-                cursor2 = end;
-            }
-        }
-        if cursor3 < events.len() {
-            let end = (cursor3 + 2).min(events.len());
-            let status = service.feed(c3, &events[cursor3..end]);
-            println!(
-                "c3 <- {:24} {status:?}",
-                format!("{} events", end - cursor3)
-            );
-            cursor3 = end;
-        }
+    let good_bib = "<bibliography><book><title/><author/><author/><year/></book></bibliography>";
+    let bad_bib = "<bibliography><book><title/><year/><author/></book></bibliography>";
+    let good_cat = "<catalog><product><name/><price/></product></catalog>";
+
+    // Client 1: three framed requests, two schemas, one write() — the
+    // responses come back in order, and the invalid document's diagnostic
+    // is byte-identical to what the in-process service reports.
+    let mut batch = Vec::new();
+    for (id, doc) in [("bib", good_bib), ("cat", good_cat), ("bib", bad_bib)] {
+        batch.extend_from_slice(format!("V {id} {}\n", doc.len()).as_bytes());
+        batch.extend_from_slice(doc.as_bytes());
+    }
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&batch).unwrap();
+    let mut reader = BufReader::new(stream);
+    println!("pipelined client (3 framed requests, 1 write):");
+    for label in ["bib/good", "cat/good", "bib/bad "] {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        print!("  {label} -> {line}");
     }
 
-    println!("\nfinish c1 (valid bytes):    {:?}", service.finish(c1));
-    println!(
-        "finish c2 (rejected early): {:?}",
-        service.finish(c2).err().map(|d| d.code())
-    );
-    println!("finish c3 (valid events):   {:?}", service.finish(c3));
+    // Client 2: the same bad document, one byte per write. The verdict
+    // cannot tell the difference.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let request = format!("V bib {}\n{bad_bib}", bad_bib.len());
+    for byte in request.as_bytes() {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+    }
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    print!("\ntrickling client (1 byte per write):\n  bib/bad  -> {line}");
 
-    // Single content models park the same way: suspend a MatchSession into
-    // a plain-data state (no borrow), resume it later.
-    let model = DeterministicRegex::compile("(title, author+, year?)").unwrap();
-    let title = model.alphabet().lookup("title").unwrap();
-    let author = model.alphabet().lookup("author").unwrap();
-    let mut session = model.start();
-    session.feed(title);
-    let parked = session.into_state(); // store per connection, no lifetime
-    let mut session = model.resume(parked);
-    session.feed(author);
+    // Client 3: an unframed request — no length up front. Half-closing the
+    // write side tells the server the document is over; cutting a document
+    // off mid-stream is itself a diagnostic.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"V cat\n").unwrap();
+    stream.write_all(&good_cat.as_bytes()[..25]).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .unwrap();
+    print!("\nhalf-closed client (unframed, cut off mid-document):\n  cat/cut  -> {response}");
+
+    // The Q request drains the server; run() returns its lifetime report.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"Q\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    print!("\ngraceful shutdown:\n  Q        -> {line}");
+
+    let report = serving.join().unwrap();
     println!(
-        "\nresumed session accepts after [title, author]: {}",
-        session.accepts()
+        "\nserver report: {} connections, {} documents ({} ok, {} err)",
+        report.connections, report.documents, report.accepted, report.rejected
     );
 }
