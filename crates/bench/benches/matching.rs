@@ -477,7 +477,7 @@ fn bench_tokenizer_throughput(h: &mut Harness) {
         h.bench("bulk", shape, || {
             let mut tags = 0usize;
             tokenizer.feed(doc, &mut |tag| {
-                tags += matches!(tag, Tag::Open(_) | Tag::OpenClose(_)) as usize;
+                tags += matches!(tag, Tag::Open(_)) as usize;
                 true
             });
             tokenizer.reset();
@@ -487,7 +487,7 @@ fn bench_tokenizer_throughput(h: &mut Harness) {
         h.bench("scalar", shape, || {
             let mut tags = 0usize;
             tokenizer.feed_scalar(doc, &mut |tag| {
-                tags += matches!(tag, Tag::Open(_) | Tag::OpenClose(_)) as usize;
+                tags += matches!(tag, Tag::Open(_)) as usize;
                 true
             });
             tokenizer.reset();
@@ -620,6 +620,167 @@ fn bench_overload_serving(h: &mut Harness) {
     });
 }
 
+/// E16: full markup coverage — the attribute/text/entity surface end to
+/// end. The corpus is the E13 serving corpus enriched with declared
+/// attributes and character data (`book_markup_events`): `per_document` is
+/// the warmed-validator reference over the event stream, `service_events`
+/// serves the same streams interleaved, `service_bytes` feeds the
+/// serialized tag soup (attribute-dense start tags, text runs) through the
+/// streaming tokenizer, and `service_bytes_entities` the same documents
+/// with every attribute value and text run carrying entity references —
+/// the decode path. The regression gate ratios every series against
+/// `per_document`.
+fn bench_markup_coverage(h: &mut Harness) {
+    use redet_bench::{book_markup_events, events_to_xml};
+    use redet_schema::{DocId, SchemaBuilder};
+
+    h.group("E16_markup_coverage");
+    let schema = SchemaBuilder::new()
+        .parse_dtd(redet_workloads::BOOK_DTD)
+        .build()
+        .expect("BOOK_DTD compiles");
+    let (n_docs, chapters) = if h.is_fast() { (16, 2) } else { (64, 4) };
+    let documents: Vec<Vec<redet_bench::DocEvent>> = (0..n_docs)
+        .map(|i| book_markup_events(&schema, chapters, 0xE16 ^ i as u64))
+        .collect();
+    let total_events: usize = documents.iter().map(Vec::len).sum();
+    h.throughput(total_events as u64);
+
+    let mut validator = schema.validator();
+    h.bench("per_document", n_docs, || {
+        documents
+            .iter()
+            .filter(|d| validator.validate_events(d).is_ok())
+            .count()
+    });
+
+    /// The E13 interleaved byte-serving loop: 4 KiB chunks round-robin.
+    fn byte_round(
+        service: &mut redet_schema::ValidationService,
+        streams: &[String],
+        handles: &mut Vec<DocId>,
+        cursors: &mut Vec<usize>,
+    ) -> usize {
+        handles.clear();
+        handles.extend((0..streams.len()).map(|_| service.open()));
+        cursors.clear();
+        cursors.resize(streams.len(), 0);
+        let mut live = streams.len();
+        while live > 0 {
+            live = 0;
+            for (i, xml) in streams.iter().enumerate() {
+                let bytes = xml.as_bytes();
+                let cursor = cursors[i];
+                if cursor >= bytes.len() {
+                    continue;
+                }
+                let end = (cursor + 4096).min(bytes.len());
+                let _ = service.feed_bytes(handles[i], &bytes[cursor..end]);
+                cursors[i] = end;
+                if end < bytes.len() {
+                    live += 1;
+                }
+            }
+        }
+        handles
+            .drain(..)
+            .filter(|&h| service.finish(h).is_ok())
+            .count()
+    }
+
+    let mut service = schema.service();
+    let mut handles: Vec<DocId> = Vec::with_capacity(n_docs);
+    let mut cursors: Vec<usize> = Vec::with_capacity(n_docs);
+    h.bench("service_events", n_docs, || {
+        handles.clear();
+        handles.extend((0..documents.len()).map(|_| service.open()));
+        cursors.clear();
+        cursors.resize(documents.len(), 0);
+        let mut live = documents.len();
+        while live > 0 {
+            live = 0;
+            for (i, doc) in documents.iter().enumerate() {
+                let cursor = cursors[i];
+                if cursor >= doc.len() {
+                    continue;
+                }
+                let end = (cursor + 64).min(doc.len());
+                let _ = service.feed(handles[i], &doc[cursor..end]);
+                cursors[i] = end;
+                if end < doc.len() {
+                    live += 1;
+                }
+            }
+        }
+        handles
+            .drain(..)
+            .filter(|&h| service.finish(h).is_ok())
+            .count()
+    });
+
+    let streams: Vec<String> = documents
+        .iter()
+        .map(|events| events_to_xml(&schema, events))
+        .collect();
+    h.bench("service_bytes", n_docs, || {
+        byte_round(&mut service, &streams, &mut handles, &mut cursors)
+    });
+
+    // The same documents with entity references in every attribute value
+    // and text run: the reference-decode path at serving density.
+    let entity_streams: Vec<String> = documents
+        .iter()
+        .map(|events| {
+            let mut out = String::new();
+            let mut stack: Vec<&str> = Vec::new();
+            let mut pending = false;
+            for event in events {
+                match event {
+                    redet_bench::DocEvent::Open(sym) => {
+                        if pending {
+                            out.push('>');
+                        }
+                        let name = schema.name(*sym);
+                        out.push('<');
+                        out.push_str(name);
+                        stack.push(name);
+                        pending = true;
+                    }
+                    redet_bench::DocEvent::Attr(sym) => {
+                        let name = schema.name(*sym);
+                        out.push(' ');
+                        out.push_str(name);
+                        out.push_str("=\"a&amp;b &#x2013; &lt;c&gt;\"");
+                    }
+                    redet_bench::DocEvent::Text => {
+                        if pending {
+                            out.push('>');
+                            pending = false;
+                        }
+                        out.push_str("G &amp; S &#x2013; &quot;vol.&quot; &#49; &apos;x&apos;");
+                    }
+                    redet_bench::DocEvent::Close => {
+                        let name = stack.pop().expect("balanced stream");
+                        if pending {
+                            out.push_str("/>");
+                            pending = false;
+                        } else {
+                            out.push_str("</");
+                            out.push_str(name);
+                            out.push('>');
+                        }
+                    }
+                    _ => unreachable!("the generator emits only the four event kinds"),
+                }
+            }
+            out
+        })
+        .collect();
+    h.bench("service_bytes_entities", n_docs, || {
+        byte_round(&mut service, &entity_streams, &mut handles, &mut cursors)
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -633,5 +794,6 @@ fn main() {
     bench_interleaved_serving(&mut h);
     bench_tokenizer_throughput(&mut h);
     bench_overload_serving(&mut h);
+    bench_markup_coverage(&mut h);
     h.finish("matching");
 }

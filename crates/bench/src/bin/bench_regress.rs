@@ -2,10 +2,9 @@
 //!
 //! Usage: `bench_regress <committed-baseline.json> <fresh-run.json>`
 //!
-//! Compares a fresh `BENCH_matching.json` against the committed baseline for
-//! the gated experiment groups (E4, E5, E7, E11, E12, E13, E14, E15) and
-//! exits
-//! non-zero when any algorithm regresses by more than 25%.
+//! Compares a fresh `BENCH_matching.json` against the committed baseline
+//! for the gated experiment groups (E4, E5, E7, E11, E12, E13, E14, E15,
+//! E16) and exits non-zero when any algorithm regresses by more than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
 //! gate works on **within-group ratios**: for every `(group, param)` pair it
@@ -31,7 +30,10 @@
 //! ratio-gates the resource-governance series against ungoverned serving,
 //! with an absolute cap ([`E15_GOVERNED_MAX_RATIO`]) pinning the limit
 //! bookkeeping (depth/byte/event accounting plus admission checks at the
-//! handle-capacity edge) to near-zero overhead.
+//! handle-capacity edge) to near-zero overhead. E16 ratio-gates the
+//! full-markup serving series (attribute/text events, attribute-dense tag
+//! soup, and the entity-decode byte shape) against the per-document
+//! validator reference over the same enriched corpus.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -47,6 +49,7 @@ const GATED_GROUPS: &[(&str, &str)] = &[
     ("E13_interleaved_serving", "per_document"),
     ("E14_tokenizer_throughput", "scalar"),
     ("E15_overload_serving", "feed_unlimited"),
+    ("E16_markup_coverage", "per_document"),
 ];
 
 /// Allowed relative slowdown before the gate fails.
@@ -310,7 +313,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7/E11/E12/E13/E14/E15 regressions beyond {:.0}%; absolute caps hold",
+        "no E4/E5/E7/E11/E12/E13/E14/E15/E16 regressions beyond {:.0}%; absolute caps hold",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

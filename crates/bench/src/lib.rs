@@ -88,30 +88,71 @@ pub fn row(cells: &[String]) -> String {
 /// form the validation hot loop and the batch API consume.
 pub use redet_schema::DocEvent;
 
-/// Serializes a pre-interned event stream back to plain tag soup
-/// (`<name>` / `</name>`), the inverse the byte-ingestion surfaces consume
-/// — the E13 bench and the allocation regression pipe it back through
+/// The fixed character-data run [`events_to_xml`] writes for every
+/// [`DocEvent::Text`] — entity-free, so the byte path tokenizes it into
+/// exactly one text event and verdicts stay transport-independent.
+pub const TEXT_RUN: &str = "The quick brown fox jumps over the lazy dog.";
+
+/// Serializes a pre-interned event stream back to plain tag soup, the
+/// inverse the byte-ingestion surfaces consume — the E13/E16 benches and
+/// the allocation regression pipe it back through
 /// `ValidationService::feed_bytes`.
+///
+/// Full markup round-trips: `Attr` events render as ` name="name"` inside
+/// the pending start tag, `Text` events as [`TEXT_RUN`], and an open tag
+/// whose next structural event is its close collapses to the self-closing
+/// `<name …/>` form. The serialization is deterministic, and feeding it
+/// back yields the verdict of the original event stream.
 pub fn events_to_xml(schema: &redet_schema::Schema, events: &[DocEvent]) -> String {
     let mut out = String::new();
     let mut stack: Vec<&str> = Vec::new();
+    // An open tag is held unterminated until the first non-attribute event
+    // decides between `>` and the self-closing `/>`.
+    let mut pending = false;
     for event in events {
         match event {
             DocEvent::Open(sym) => {
+                if pending {
+                    out.push('>');
+                }
                 let name = schema.name(*sym);
                 out.push('<');
                 out.push_str(name);
-                out.push('>');
                 stack.push(name);
+                pending = true;
+            }
+            DocEvent::Attr(sym) => {
+                assert!(pending, "attribute events follow their open event");
+                let name = schema.name(*sym);
+                out.push(' ');
+                out.push_str(name);
+                out.push_str("=\"");
+                out.push_str(name);
+                out.push('"');
+            }
+            DocEvent::Text => {
+                if pending {
+                    out.push('>');
+                    pending = false;
+                }
+                out.push_str(TEXT_RUN);
             }
             DocEvent::Close => {
                 let name = stack.pop().expect("balanced event stream");
-                out.push_str("</");
-                out.push_str(name);
-                out.push('>');
+                if pending {
+                    out.push_str("/>");
+                    pending = false;
+                } else {
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
             }
-            _ => unreachable!("the generators emit only open/close events"),
+            _ => unreachable!("the generators emit only the four event kinds"),
         }
+    }
+    if pending {
+        out.push('>'); // truncated stream ends inside a start tag
     }
     out
 }
@@ -311,6 +352,65 @@ pub fn book_document_events(
     events
 }
 
+/// Enriches an element-only [`book_document_events`] stream with the full
+/// markup surface: declared attributes (all `#IMPLIED` in
+/// [`redet_workloads::BOOK_DTD`]) after a fraction of the open events, and
+/// character data inside the `(#PCDATA)` leaves. The result stays
+/// schema-valid; it drives the E16 full-markup benchmark, the service
+/// equivalence corpus, and the allocation regression.
+pub fn book_markup_events(
+    schema: &redet_schema::Schema,
+    chapters: usize,
+    seed: u64,
+) -> Vec<DocEvent> {
+    use redet_workloads::rng::StdRng;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77);
+    let base = book_document_events(schema, chapters, seed);
+    let s = |name: &str| schema.lookup(name).expect("BOOK_DTD name");
+    // (element, its declared attributes) — mirrors the `<!ATTLIST …>` block
+    // of `BOOK_DTD`; attribute names live in the same interned alphabet as
+    // element names.
+    let declared: [(redet_syntax::Symbol, Vec<redet_syntax::Symbol>); 6] = [
+        (s("book"), vec![s("lang"), s("edition")]),
+        (s("chapter"), vec![s("id")]),
+        (s("section"), vec![s("id")]),
+        (s("figure"), vec![s("src"), s("width")]),
+        (s("para"), vec![s("role")]),
+        (s("locator"), vec![s("page")]),
+    ];
+    let text_leaves = [
+        s("title"),
+        s("subtitle"),
+        s("author"),
+        s("date"),
+        s("para"),
+        s("caption"),
+    ];
+    let mut events = Vec::with_capacity(base.len() * 2);
+    for (i, event) in base.iter().enumerate() {
+        events.push(*event);
+        if let DocEvent::Open(sym) = event {
+            if let Some((_, attrs)) = declared.iter().find(|(elem, _)| elem == sym) {
+                for attr in attrs {
+                    if rng.gen_bool(0.6) {
+                        events.push(DocEvent::Attr(*attr));
+                    }
+                }
+            }
+            // One text event per `(#PCDATA)` leaf: the byte path coalesces
+            // a contiguous character-data run into a single event, so the
+            // generator never emits two in a row.
+            if text_leaves.contains(sym)
+                && matches!(base.get(i + 1), Some(DocEvent::Close))
+                && rng.gen_bool(0.8)
+            {
+                events.push(DocEvent::Text);
+            }
+        }
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +453,34 @@ mod tests {
             if let Err(diags) = validator.validate_events(&events) {
                 panic!("seed {seed}: generated document invalid: {diags:?}");
             }
+        }
+    }
+
+    #[test]
+    fn markup_documents_are_valid_and_round_trip_through_bytes() {
+        let schema = redet_schema::SchemaBuilder::new()
+            .parse_dtd(redet_workloads::BOOK_DTD)
+            .build()
+            .expect("BOOK_DTD compiles");
+        let mut validator = schema.validator();
+        let mut service = schema.service();
+        for seed in 0..5u64 {
+            let events = book_markup_events(&schema, 2, seed);
+            assert!(
+                events.iter().any(|e| matches!(e, DocEvent::Attr(_)))
+                    && events.iter().any(|e| matches!(e, DocEvent::Text)),
+                "seed {seed}: markup stream carries attributes and text"
+            );
+            if let Err(diags) = validator.validate_events(&events) {
+                panic!("seed {seed}: markup document invalid: {diags:?}");
+            }
+            // The serialized form validates over the byte path too.
+            let xml = events_to_xml(&schema, &events);
+            assert!(xml.contains(" lang=\"lang\"") || xml.contains(" id=\"id\""));
+            assert!(xml.contains(TEXT_RUN));
+            let doc = service.open();
+            let _ = service.feed_bytes(doc, xml.as_bytes());
+            assert!(service.finish(doc).is_ok(), "seed {seed}: bytes invalid");
         }
     }
 

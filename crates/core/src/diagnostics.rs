@@ -67,6 +67,21 @@ pub enum Code {
     /// A raw byte stream contains markup the streaming tokenizer cannot
     /// parse (stray `<`, unterminated tag or comment, non-UTF-8 name).
     MalformedMarkup,
+    /// An entity reference is neither one of the five predefined entities
+    /// (`&amp; &lt; &gt; &quot; &apos;`) nor a well-formed character
+    /// reference (`&#65;`, `&#x1F600;`).
+    UnknownEntity,
+    /// A start tag carries an attribute its element does not declare in any
+    /// `<!ATTLIST …>`.
+    UndeclaredAttribute,
+    /// A start tag carries the same attribute twice.
+    DuplicateAttribute,
+    /// A start tag omits an attribute its element declares `#REQUIRED`.
+    MissingRequiredAttribute,
+    /// Character data appears inside an element whose content model does
+    /// not allow text (neither mixed `(#PCDATA|…)` nor `ANY`), or outside
+    /// the document element entirely.
+    StrayText,
     /// A document opened elements deeper than the configured depth limit
     /// (`ServiceLimits::max_depth` in `redet-schema`).
     DepthLimitExceeded,
@@ -96,6 +111,9 @@ pub enum Code {
     /// Unlike the rest of the `E3xx` family this is protocol misuse, not a
     /// resource limit, so it is not `is_resource_exhausted`.
     ProtocolError,
+    /// An attribute value in a raw byte stream exceeded the tokenizer's
+    /// value-length cap.
+    ValueLimitExceeded,
 }
 
 impl Code {
@@ -116,6 +134,11 @@ impl Code {
             Code::ChildInEmptyElement => "E204",
             Code::UnbalancedDocument => "E205",
             Code::MalformedMarkup => "E206",
+            Code::UnknownEntity => "E207",
+            Code::UndeclaredAttribute => "E208",
+            Code::DuplicateAttribute => "E209",
+            Code::MissingRequiredAttribute => "E210",
+            Code::StrayText => "E211",
             Code::DepthLimitExceeded => "E301",
             Code::ByteLimitExceeded => "E302",
             Code::EventLimitExceeded => "E303",
@@ -125,6 +148,7 @@ impl Code {
             Code::StaleHandle => "E307",
             Code::PoisonedDocument => "E308",
             Code::ProtocolError => "E309",
+            Code::ValueLimitExceeded => "E310",
         }
     }
 
@@ -142,6 +166,7 @@ impl Code {
                 | Code::IdleTimeout
                 | Code::StaleHandle
                 | Code::PoisonedDocument
+                | Code::ValueLimitExceeded
         )
     }
 }
@@ -341,6 +366,11 @@ mod tests {
     fn codes_are_stable_and_displayed() {
         assert_eq!(Code::NotDeterministic.as_str(), "E003");
         assert_eq!(Code::UnexpectedChild.as_str(), "E202");
+        assert_eq!(Code::UnknownEntity.as_str(), "E207");
+        assert_eq!(Code::UndeclaredAttribute.as_str(), "E208");
+        assert_eq!(Code::DuplicateAttribute.as_str(), "E209");
+        assert_eq!(Code::MissingRequiredAttribute.as_str(), "E210");
+        assert_eq!(Code::StrayText.as_str(), "E211");
         let d = Diagnostic::new(Code::Parse, "unexpected ')'").with_span(Span::new(4, 5));
         let rendered = d.to_string();
         assert!(rendered.contains("error[E001]"), "{rendered}");
@@ -360,9 +390,13 @@ mod tests {
         assert_eq!(Code::UnknownSchema.as_str(), "E103");
         assert_eq!(Code::DuplicateSchema.as_str(), "E104");
         assert_eq!(Code::ProtocolError.as_str(), "E309");
+        assert_eq!(Code::ValueLimitExceeded.as_str(), "E310");
         assert!(Code::IdleTimeout.is_resource_exhausted());
+        assert!(Code::ValueLimitExceeded.is_resource_exhausted());
         assert!(!Code::UnexpectedChild.is_resource_exhausted());
         assert!(!Code::ProtocolError.is_resource_exhausted());
+        assert!(!Code::UnknownEntity.is_resource_exhausted());
+        assert!(!Code::StrayText.is_resource_exhausted());
     }
 
     #[test]

@@ -1,21 +1,32 @@
-//! A parser for DTD fragments: `<!ELEMENT name (model)>` declarations.
+//! A parser for DTD fragments: `<!ELEMENT …>` and `<!ATTLIST …>`
+//! declarations.
 //!
 //! This is deliberately a *fragment* parser, not an XML processor: it
-//! recognizes element declarations (the part of a DTD the paper's
-//! algorithms are about), skips comments and unrelated declarations
-//! (`<!ATTLIST`, `<!ENTITY`, processing instructions), and reports
+//! recognizes element and attribute-list declarations (the parts of a DTD
+//! the validator enforces), skips comments and unrelated declarations
+//! (`<!ENTITY`, `<!NOTATION`, processing instructions), and reports
 //! malformed declarations as structured diagnostics with byte spans into
 //! the fragment.
 //!
 //! Content specifications:
 //!
-//! * `EMPTY` and `(#PCDATA)` — no element children allowed;
-//! * `ANY` — any sequence of children;
+//! * `EMPTY` and `(#PCDATA)` — no element children allowed (`(#PCDATA)`
+//!   allows text, `EMPTY` does not);
+//! * `ANY` — any sequence of children, text allowed;
 //! * mixed content `(#PCDATA | a | b)*` — rewritten to the element-only
-//!   model `(a | b)*`;
+//!   model `(a | b)*`, flagged as allowing text;
 //! * everything else — a content model in the expression syntax of
 //!   `redet-syntax` (which covers the DTD operators `,`, `|`, `?`, `*`,
 //!   `+` and, beyond DTDs, XML-Schema-style `{i,j}` counters).
+//!
+//! Attribute lists — `<!ATTLIST elem name type default …>` — accept the
+//! full declared syntax (`CDATA`, tokenized types, `NOTATION`/enumerated
+//! groups; `#REQUIRED`/`#IMPLIED`/`#FIXED "v"`/plain defaults) but compile
+//! down to what the event model can check: which attribute names an element
+//! declares, and which of them are `#REQUIRED`. Types and default values
+//! are syntax-checked and dropped — document events carry attribute
+//! *presence*, and value constraints beyond well-formedness are out of
+//! scope for the paper's incremental model.
 
 use redet_core::{Code, Diagnostic};
 use redet_syntax::Span;
@@ -33,13 +44,42 @@ pub(crate) struct ParsedDecl {
 #[derive(Clone, Debug)]
 pub(crate) enum ParsedContent {
     /// A content model, with the byte offset of its source in the fragment
-    /// (so model diagnostics can be rebased into the fragment).
+    /// (so model diagnostics can be rebased into the fragment). `mixed` is
+    /// set when the model was rewritten from `(#PCDATA | …)*` — character
+    /// data is allowed between the children.
     Model {
         source: String,
         offset: usize,
+        mixed: bool,
     },
-    Empty,
+    /// No element children. `text` distinguishes `(#PCDATA)` (character
+    /// data allowed) from a true `EMPTY` element (nothing allowed).
+    Empty { text: bool },
+    /// Any children in any order; character data allowed.
     Any,
+}
+
+/// One parsed `<!ATTLIST …>` declaration: which element it extends and the
+/// attributes it declares.
+#[derive(Clone, Debug)]
+pub(crate) struct ParsedAttlist {
+    /// The element the attribute list belongs to.
+    pub element: String,
+    /// Byte span of the element name in the fragment.
+    pub element_span: Span,
+    /// The declared attributes, in declaration order.
+    pub attrs: Vec<ParsedAttr>,
+}
+
+/// One attribute of an `<!ATTLIST …>` declaration.
+#[derive(Clone, Debug)]
+pub(crate) struct ParsedAttr {
+    /// The attribute's name.
+    pub name: String,
+    /// Byte span of the attribute name in the fragment.
+    pub name_span: Span,
+    /// Whether the attribute was declared `#REQUIRED`.
+    pub required: bool,
 }
 
 fn is_name_char(c: char) -> bool {
@@ -65,41 +105,77 @@ fn mask_comments(source: &str) -> String {
     String::from_utf8(masked).expect("masking replaces whole ASCII bytes")
 }
 
-/// Parses every `<!ELEMENT …>` declaration of `source`, collecting
-/// malformed ones as diagnostics instead of aborting.
-pub(crate) fn parse_dtd_fragment(source: &str) -> (Vec<ParsedDecl>, Vec<Diagnostic>) {
+/// Finds the `>` closing the declaration that starts at `from`, skipping
+/// `>`s inside quoted literals (attribute defaults and entity values may
+/// legally contain them).
+fn find_decl_end(masked: &str, from: usize) -> Option<usize> {
+    let mut quote: Option<char> = None;
+    for (o, c) in masked[from..].char_indices() {
+        match quote {
+            Some(q) if c == q => quote = None,
+            Some(_) => {}
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '>' => return Some(from + o),
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
+/// Parses every `<!ELEMENT …>` and `<!ATTLIST …>` declaration of `source`,
+/// collecting malformed ones as diagnostics instead of aborting.
+pub(crate) fn parse_dtd_fragment(
+    source: &str,
+) -> (Vec<ParsedDecl>, Vec<ParsedAttlist>, Vec<Diagnostic>) {
     let masked = mask_comments(source);
     let mut decls = Vec::new();
+    let mut attlists = Vec::new();
     let mut diagnostics = Vec::new();
     let mut i = 0;
     while let Some(lt) = masked[i..].find('<').map(|o| i + o) {
         let rest = &masked[lt..];
-        if !rest.starts_with("<!ELEMENT") {
-            // Skip other markup (<?…?>, <!ATTLIST …>, stray text) up to the
-            // next '>', or to the end when none remains.
-            i = match masked[lt + 1..].find('>') {
-                Some(o) => lt + 1 + o + 1,
+        let keyword = if rest.starts_with("<!ELEMENT") {
+            Some("<!ELEMENT")
+        } else if rest.starts_with("<!ATTLIST") {
+            Some("<!ATTLIST")
+        } else {
+            None
+        };
+        let Some(keyword) = keyword else {
+            // Skip other markup (<?…?>, <!ENTITY …>, stray text) up to the
+            // next quote-respecting '>', or to the end when none remains.
+            i = match find_decl_end(&masked, lt + 1) {
+                Some(gt) => gt + 1,
                 None => masked.len(),
             };
             continue;
-        }
-        let Some(gt) = masked[lt..].find('>').map(|o| lt + o) else {
+        };
+        let Some(gt) = find_decl_end(&masked, lt + keyword.len()) else {
             diagnostics.push(
                 Diagnostic::new(
                     Code::MalformedDtd,
-                    "unterminated <!ELEMENT declaration: missing '>'",
+                    format!("unterminated {keyword} declaration: missing '>'"),
                 )
                 .with_span(Span::new(lt, masked.len())),
             );
             break;
         };
-        match parse_element_decl(source, lt + "<!ELEMENT".len(), gt) {
-            Ok(decl) => decls.push(decl),
-            Err(diag) => diagnostics.push(diag),
+        if keyword == "<!ELEMENT" {
+            match parse_element_decl(source, lt + keyword.len(), gt) {
+                Ok(decl) => decls.push(decl),
+                Err(diag) => diagnostics.push(diag),
+            }
+        } else {
+            match parse_attlist_decl(source, lt + keyword.len(), gt) {
+                Ok(attlist) => attlists.push(attlist),
+                Err(diag) => diagnostics.push(diag),
+            }
         }
         i = gt + 1;
     }
-    (decls, diagnostics)
+    (decls, attlists, diagnostics)
 }
 
 /// Parses the body of one declaration, `source[start..end]` being the text
@@ -133,7 +209,7 @@ fn parse_element_decl(source: &str, start: usize, end: usize) -> Result<ParsedDe
     let spec_span = Span::new(spec_start, spec_start + spec.len());
 
     let content = if spec == "EMPTY" {
-        ParsedContent::Empty
+        ParsedContent::Empty { text: false }
     } else if spec == "ANY" {
         ParsedContent::Any
     } else if spec.contains("#PCDATA") {
@@ -142,6 +218,7 @@ fn parse_element_decl(source: &str, start: usize, end: usize) -> Result<ParsedDe
         ParsedContent::Model {
             source: spec.to_owned(),
             offset: spec_start,
+            mixed: false,
         }
     } else {
         return Err(Diagnostic::new(
@@ -210,7 +287,7 @@ fn mixed_content_model(
     }
     if names.is_empty() {
         // (#PCDATA) or (#PCDATA)*: text only, no element children.
-        return Ok(ParsedContent::Empty);
+        return Ok(ParsedContent::Empty { text: true });
     }
     if !starred {
         // XML requires the `*` as soon as element names participate.
@@ -219,7 +296,182 @@ fn mixed_content_model(
     Ok(ParsedContent::Model {
         source: format!("({})*", names.join(" | ")),
         offset: spec_span.start,
+        mixed: true,
     })
+}
+
+/// Parses the body of one `<!ATTLIST …>` declaration, `source[start..end]`
+/// being the text between `<!ATTLIST` and the closing `>`.
+fn parse_attlist_decl(source: &str, start: usize, end: usize) -> Result<ParsedAttlist, Diagnostic> {
+    let mut cur = Cursor {
+        source,
+        pos: start,
+        end,
+    };
+    cur.skip_ws();
+    let Some((element, element_span)) = cur.take_name() else {
+        return Err(Diagnostic::new(
+            Code::MalformedDtd,
+            "<!ATTLIST declaration has no element name",
+        )
+        .with_span(Span::new(start, end)));
+    };
+    let element = element.to_owned();
+    let mut attrs = Vec::new();
+    loop {
+        cur.skip_ws();
+        if cur.at_end() {
+            break;
+        }
+        let Some((name, name_span)) = cur.take_name() else {
+            return Err(cur.malformed(&element, "expected an attribute name"));
+        };
+        let name = name.to_owned();
+        cur.skip_ws();
+        // The attribute type: CDATA, a tokenized type, NOTATION (…), or an
+        // enumerated (…) group. Checked for shape, then dropped — events
+        // carry attribute presence, not typed values.
+        if cur.peek() == Some('(') {
+            cur.take_group(&element)?;
+        } else {
+            let Some((ty, ty_span)) = cur.take_name() else {
+                return Err(cur.malformed(&element, "expected an attribute type"));
+            };
+            match ty {
+                "CDATA" | "ID" | "IDREF" | "IDREFS" | "ENTITY" | "ENTITIES" | "NMTOKEN"
+                | "NMTOKENS" => {}
+                "NOTATION" => {
+                    cur.skip_ws();
+                    cur.take_group(&element)?;
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        Code::MalformedDtd,
+                        format!(
+                            "attribute '{name}' of <!ATTLIST {element}> has unknown type \
+                             '{other}'"
+                        ),
+                    )
+                    .with_span(ty_span));
+                }
+            }
+        }
+        cur.skip_ws();
+        // The default declaration decides everything the validator
+        // enforces: #REQUIRED attributes must appear on every start tag.
+        let required = if cur.take_literal("#REQUIRED") {
+            true
+        } else if cur.take_literal("#IMPLIED") {
+            false
+        } else if cur.take_literal("#FIXED") {
+            cur.skip_ws();
+            cur.take_quoted(&element)?;
+            false
+        } else if matches!(cur.peek(), Some('\'' | '"')) {
+            cur.take_quoted(&element)?;
+            false
+        } else {
+            return Err(cur.malformed(
+                &element,
+                "expected #REQUIRED, #IMPLIED, #FIXED or a quoted default value",
+            ));
+        };
+        attrs.push(ParsedAttr {
+            name,
+            name_span,
+            required,
+        });
+    }
+    Ok(ParsedAttlist {
+        element,
+        element_span,
+        attrs,
+    })
+}
+
+/// A tiny character cursor over one declaration body.
+struct Cursor<'a> {
+    source: &'a str,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn rest(&self) -> &'a str {
+        &self.source[self.pos..self.end]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.end
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.end - trimmed.len();
+    }
+
+    /// Takes a run of name characters, returning it with its span.
+    fn take_name(&mut self) -> Option<(&'a str, Span)> {
+        let rest = self.rest();
+        let len = rest.find(|c: char| !is_name_char(c)).unwrap_or(rest.len());
+        if len == 0 {
+            return None;
+        }
+        let span = Span::new(self.pos, self.pos + len);
+        self.pos += len;
+        Some((&rest[..len], span))
+    }
+
+    /// Consumes `literal` if the cursor is exactly at it.
+    fn take_literal(&mut self, literal: &str) -> bool {
+        if self.rest().starts_with(literal) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a parenthesized `(a | b | …)` group.
+    fn take_group(&mut self, element: &str) -> Result<(), Diagnostic> {
+        if self.peek() != Some('(') {
+            return Err(self.malformed(element, "expected a parenthesized group"));
+        }
+        match self.rest().find(')') {
+            Some(close) => {
+                self.pos += close + 1;
+                Ok(())
+            }
+            None => Err(self.malformed(element, "unterminated '(' group")),
+        }
+    }
+
+    /// Consumes a quoted default value.
+    fn take_quoted(&mut self, element: &str) -> Result<(), Diagnostic> {
+        let Some(quote @ ('\'' | '"')) = self.peek() else {
+            return Err(self.malformed(element, "expected a quoted default value"));
+        };
+        let body = &self.rest()[1..];
+        match body.find(quote) {
+            Some(close) => {
+                self.pos += 1 + close + 1;
+                Ok(())
+            }
+            None => Err(self.malformed(element, "unterminated default value literal")),
+        }
+    }
+
+    fn malformed(&self, element: &str, what: &str) -> Diagnostic {
+        Diagnostic::new(
+            Code::MalformedDtd,
+            format!("malformed <!ATTLIST {element}>: {what}"),
+        )
+        .with_span(Span::new(self.pos, self.end))
+    }
 }
 
 #[cfg(test)]
@@ -233,47 +485,105 @@ mod tests {
             <!-- the bibliography schema <!ELEMENT fake (a)> -->
             <!ELEMENT bibliography (book | article)*>
             <!ATTLIST book isbn CDATA #IMPLIED>
+            <!ENTITY press "O'Reilly > Associates">
             <!ELEMENT book (title, author+, year?)>
             <!ELEMENT title (#PCDATA)>
             <!ELEMENT note ANY>
             <!ELEMENT para (#PCDATA | em | code)*>
         "#;
-        let (decls, diags) = parse_dtd_fragment(dtd);
+        let (decls, attlists, diags) = parse_dtd_fragment(dtd);
         assert!(diags.is_empty(), "{diags:?}");
         let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
         assert_eq!(names, ["bibliography", "book", "title", "note", "para"]);
-        assert!(matches!(decls[2].content, ParsedContent::Empty));
+        assert!(matches!(
+            decls[2].content,
+            ParsedContent::Empty { text: true }
+        ));
         assert!(matches!(decls[3].content, ParsedContent::Any));
         match &decls[4].content {
-            ParsedContent::Model { source, .. } => assert_eq!(source, "(em | code)*"),
+            ParsedContent::Model { source, mixed, .. } => {
+                assert_eq!(source, "(em | code)*");
+                assert!(mixed);
+            }
             other => panic!("mixed content not rewritten: {other:?}"),
         }
+        // Element-only models are not mixed.
+        assert!(matches!(
+            decls[1].content,
+            ParsedContent::Model { mixed: false, .. }
+        ));
+        // The attribute list was parsed, not skipped.
+        assert_eq!(attlists.len(), 1);
+        assert_eq!(attlists[0].element, "book");
+        assert_eq!(attlists[0].attrs.len(), 1);
+        assert_eq!(attlists[0].attrs[0].name, "isbn");
+        assert!(!attlists[0].attrs[0].required);
         // Name spans point into the fragment.
         let span = decls[1].name_span;
         assert_eq!(&dtd[span.start..span.end], "book");
+        let span = attlists[0].attrs[0].name_span;
+        assert_eq!(&dtd[span.start..span.end], "isbn");
+    }
+
+    #[test]
+    fn attlist_types_and_defaults_are_accepted() {
+        let dtd = r#"
+            <!ATTLIST book
+                isbn    ID              #REQUIRED
+                lang    (en | de | fr)  "en"
+                rel     NMTOKENS        #IMPLIED
+                class   NOTATION (a|b)  #IMPLIED
+                note    CDATA           #FIXED "x > y">
+            <!ATTLIST book extra CDATA #IMPLIED>
+        "#;
+        let (_, attlists, diags) = parse_dtd_fragment(dtd);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(attlists.len(), 2, "one ParsedAttlist per declaration");
+        let names: Vec<&str> = attlists[0].attrs.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, ["isbn", "lang", "rel", "class", "note"]);
+        let required: Vec<bool> = attlists[0].attrs.iter().map(|a| a.required).collect();
+        assert_eq!(required, [true, false, false, false, false]);
+        assert_eq!(attlists[1].attrs[0].name, "extra");
+    }
+
+    #[test]
+    fn malformed_attlists_are_diagnosed() {
+        for (dtd, what) in [
+            ("<!ATTLIST >", "no element name"),
+            ("<!ATTLIST book isbn>", "expected an attribute type"),
+            ("<!ATTLIST book isbn BOGUS #IMPLIED>", "unknown type"),
+            ("<!ATTLIST book isbn CDATA>", "expected #REQUIRED"),
+            ("<!ATTLIST book isbn CDATA #FIXED>", "quoted default"),
+        ] {
+            let (_, attlists, diags) = parse_dtd_fragment(dtd);
+            assert!(attlists.is_empty(), "{dtd}");
+            assert_eq!(diags.len(), 1, "{dtd}");
+            assert_eq!(diags[0].code(), Code::MalformedDtd, "{dtd}");
+            assert!(diags[0].message().contains(what), "{dtd}: {}", diags[0]);
+        }
     }
 
     #[test]
     fn pcdata_only_forms_are_empty_content() {
         for spec in ["(#PCDATA)", "(#PCDATA)*", "( #PCDATA )", "( #PCDATA )*"] {
             let dtd = format!("<!ELEMENT title {spec}>");
-            let (decls, diags) = parse_dtd_fragment(&dtd);
+            let (decls, _, diags) = parse_dtd_fragment(&dtd);
             assert!(diags.is_empty(), "{spec}: {diags:?}");
             assert!(
-                matches!(decls[0].content, ParsedContent::Empty),
+                matches!(decls[0].content, ParsedContent::Empty { text: true }),
                 "{spec}: {:?}",
                 decls[0].content
             );
         }
         // Element names without the closing `*` are malformed per XML.
-        let (_, diags) = parse_dtd_fragment("<!ELEMENT para (#PCDATA | em)>");
+        let (_, _, diags) = parse_dtd_fragment("<!ELEMENT para (#PCDATA | em)>");
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code(), Code::MalformedDtd);
     }
 
     #[test]
     fn malformed_declarations_are_diagnosed_with_spans() {
-        let (decls, diags) = parse_dtd_fragment("<!ELEMENT broken GARBAGE>\n<!ELEMENT ok (a)>");
+        let (decls, _, diags) = parse_dtd_fragment("<!ELEMENT broken GARBAGE>\n<!ELEMENT ok (a)>");
         assert_eq!(decls.len(), 1);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code(), Code::MalformedDtd);
@@ -286,7 +596,7 @@ mod tests {
 
     #[test]
     fn unterminated_declaration_is_diagnosed() {
-        let (_, diags) = parse_dtd_fragment("<!ELEMENT a (b, c)");
+        let (_, _, diags) = parse_dtd_fragment("<!ELEMENT a (b, c)");
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code(), Code::MalformedDtd);
     }
@@ -294,9 +604,9 @@ mod tests {
     #[test]
     fn model_offsets_point_into_the_fragment() {
         let dtd = "<!ELEMENT book (title, author+)>";
-        let (decls, _) = parse_dtd_fragment(dtd);
+        let (decls, _, _) = parse_dtd_fragment(dtd);
         match &decls[0].content {
-            ParsedContent::Model { source, offset } => {
+            ParsedContent::Model { source, offset, .. } => {
                 assert_eq!(source, "(title, author+)");
                 assert_eq!(&dtd[*offset..*offset + source.len()], source.as_str());
             }

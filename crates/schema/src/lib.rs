@@ -6,11 +6,14 @@
 //! element-name alphabet, matched event-by-event as documents arrive. This
 //! crate is that production surface:
 //!
-//! * [`SchemaBuilder`] collects element declarations — programmatically or
-//!   from a DTD fragment (`<!ELEMENT name (model)>` lines) — and compiles
-//!   every content model through **one** shared
-//!   [`redet_core::Pipeline`]/[`Alphabet`], so every element name is
-//!   interned exactly once and all models agree on dense symbol ids;
+//! * [`SchemaBuilder`] collects element and attribute declarations —
+//!   programmatically or from a DTD fragment (`<!ELEMENT …>` and
+//!   `<!ATTLIST …>` lines) — and compiles every content model through
+//!   **one** shared [`redet_core::Pipeline`]/[`Alphabet`], so every
+//!   element *and attribute* name is interned exactly once and all models
+//!   agree on dense symbol ids; per-element flat attribute tables record
+//!   which attributes are declared and which are `#REQUIRED`, and mixed
+//!   content (`#PCDATA`/`ANY`) records where character data is allowed;
 //! * [`Schema`] is the immutable compile-once artifact (`Send + Sync`,
 //!   hand it around in an [`Arc`]): per-element matchers with automatically
 //!   selected strategies, determinism certificates, and a flat per-symbol
@@ -136,6 +139,19 @@ pub(crate) enum Dispatch {
     Any,
     /// Referenced but never declared: `EMPTY` semantics.
     Undeclared,
+}
+
+/// One declared attribute of an element in the schema-wide flat attribute
+/// table: the attribute name's dense symbol index and whether a start tag
+/// must carry it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AttrDecl {
+    /// Dense symbol index of the attribute's name (attribute names share
+    /// the element-name alphabet, so `feed_bytes` resolves them through
+    /// the same packed-key [`NameIndex`]).
+    pub sym: u32,
+    /// Whether the attribute was declared `#REQUIRED`.
+    pub required: bool,
 }
 
 /// Flat open-addressed element-name index with an FNV-1a hash, built once
@@ -310,6 +326,19 @@ pub struct Schema {
     name_keys: Vec<(u64, u32)>,
     /// Declared elements in declaration order.
     declared: Vec<Symbol>,
+    /// Every element's declared attributes, concatenated in declaration
+    /// order; `attr_ranges` slices it per element.
+    attrs: Vec<AttrDecl>,
+    /// Per-symbol `(start, len)` range into `attrs`
+    /// (index = `Symbol::index()`).
+    attr_ranges: Vec<(u32, u32)>,
+    /// Per-symbol bitmask of the `#REQUIRED` entries of the element's
+    /// attribute range (bit `i` = `i`-th declared attribute; ranges are
+    /// capped at 64 entries at build time).
+    required_masks: Vec<u64>,
+    /// Per-symbol "character data allowed" flag: `ANY`, `(#PCDATA)` and
+    /// mixed `(#PCDATA | …)*` content.
+    text_ok: Vec<bool>,
 }
 
 impl Schema {
@@ -397,6 +426,41 @@ impl Schema {
         }
     }
 
+    /// The declared attributes of the element at dense symbol index
+    /// `index`, plus the global offset of that range in the flat table
+    /// (the validator's epoch-stamped duplicate scratch indexes globally).
+    /// Empty for out-of-range indices (the unknown-element sentinel).
+    #[inline]
+    pub(crate) fn attrs_of(&self, index: u32) -> (&[AttrDecl], u32) {
+        match self.attr_ranges.get(index as usize) {
+            Some(&(start, len)) => (&self.attrs[start as usize..(start + len) as usize], start),
+            None => (&[], 0),
+        }
+    }
+
+    /// Bitmask of the `#REQUIRED` attributes of the element at dense
+    /// symbol index `index`; zero for out-of-range indices.
+    #[inline]
+    pub(crate) fn required_mask(&self, index: u32) -> u64 {
+        self.required_masks
+            .get(index as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether character data is allowed inside the element at dense
+    /// symbol index `index` (`ANY`, `(#PCDATA)`, or mixed content).
+    #[inline]
+    pub(crate) fn text_allowed(&self, index: u32) -> bool {
+        self.text_ok.get(index as usize).copied().unwrap_or(false)
+    }
+
+    /// Total number of attribute declarations across all elements — the
+    /// size of the validator's per-document attribute scratch.
+    pub(crate) fn attr_decl_count(&self) -> usize {
+        self.attrs.len()
+    }
+
     /// The compiled content model of `sym`, when it is declared with one.
     /// Exposes the per-element strategy ([`DeterministicRegex::strategy`]),
     /// certificate, statistics and incremental sessions.
@@ -468,6 +532,24 @@ struct Decl {
     content: ParsedContent,
 }
 
+/// One attribute-list declaration accumulated by the builder, from
+/// [`SchemaBuilder::attribute`] or a DTD `<!ATTLIST …>`.
+struct AttlistDecl {
+    element: String,
+    element_span: Option<Span>,
+    attrs: Vec<AttrSource>,
+}
+
+struct AttrSource {
+    name: String,
+    name_span: Option<Span>,
+    required: bool,
+}
+
+/// At most this many declared attributes per element: the validator tracks
+/// missing `#REQUIRED` attributes in one 64-bit mask per open start tag.
+const MAX_ATTRS_PER_ELEMENT: usize = 64;
+
 /// Collects element declarations and compiles them into an immutable
 /// [`Schema`].
 ///
@@ -480,6 +562,7 @@ struct Decl {
 #[derive(Default)]
 pub struct SchemaBuilder {
     decls: Vec<Decl>,
+    attlists: Vec<AttlistDecl>,
     pending: Vec<Diagnostic>,
 }
 
@@ -500,18 +583,68 @@ impl SchemaBuilder {
             content: ParsedContent::Model {
                 source: model.to_owned(),
                 offset: 0,
+                mixed: false,
             },
         });
         self
     }
 
-    /// Declares an element with `EMPTY` content (no element children).
+    /// Declares an element with *mixed* content: the children must match
+    /// `model`, and character data is allowed between them (the
+    /// programmatic form of a DTD `(#PCDATA | a | b)*` declaration).
+    #[must_use]
+    pub fn element_mixed(mut self, name: &str, model: &str) -> Self {
+        self.decls.push(Decl {
+            name: name.to_owned(),
+            name_span: None,
+            content: ParsedContent::Model {
+                source: model.to_owned(),
+                offset: 0,
+                mixed: true,
+            },
+        });
+        self
+    }
+
+    /// Declares an element with `EMPTY` content (no element children, no
+    /// character data).
     #[must_use]
     pub fn element_empty(mut self, name: &str) -> Self {
         self.decls.push(Decl {
             name: name.to_owned(),
             name_span: None,
-            content: ParsedContent::Empty,
+            content: ParsedContent::Empty { text: false },
+        });
+        self
+    }
+
+    /// Declares an element with `(#PCDATA)` content: character data only,
+    /// no element children.
+    #[must_use]
+    pub fn element_text(mut self, name: &str) -> Self {
+        self.decls.push(Decl {
+            name: name.to_owned(),
+            name_span: None,
+            content: ParsedContent::Empty { text: true },
+        });
+        self
+    }
+
+    /// Declares one attribute of `element`; `required` marks it
+    /// `#REQUIRED` (the programmatic form of `<!ATTLIST element name CDATA
+    /// #REQUIRED>`). Attributes accumulate across calls like repeated
+    /// `<!ATTLIST>` declarations do, and the first declaration of a name
+    /// wins, per XML.
+    #[must_use]
+    pub fn attribute(mut self, element: &str, name: &str, required: bool) -> Self {
+        self.attlists.push(AttlistDecl {
+            element: element.to_owned(),
+            element_span: None,
+            attrs: vec![AttrSource {
+                name: name.to_owned(),
+                name_span: None,
+                required,
+            }],
         });
         self
     }
@@ -527,16 +660,32 @@ impl SchemaBuilder {
         self
     }
 
-    /// Adds every `<!ELEMENT …>` declaration of a DTD fragment. Malformed
-    /// declarations are recorded and reported by [`SchemaBuilder::build`].
+    /// Adds every `<!ELEMENT …>` and `<!ATTLIST …>` declaration of a DTD
+    /// fragment. Malformed declarations are recorded and reported by
+    /// [`SchemaBuilder::build`].
     #[must_use]
     pub fn parse_dtd(mut self, source: &str) -> Self {
-        let (decls, diagnostics) = parse_dtd_fragment(source);
+        let (decls, attlists, diagnostics) = parse_dtd_fragment(source);
         self.pending.extend(diagnostics);
         self.decls.extend(decls.into_iter().map(|d| Decl {
             name: d.name,
             name_span: Some(d.name_span),
             content: d.content,
+        }));
+        self.attlists.extend(attlists.into_iter().map(|a| {
+            AttlistDecl {
+                element: a.element,
+                element_span: Some(a.element_span),
+                attrs: a
+                    .attrs
+                    .into_iter()
+                    .map(|attr| AttrSource {
+                        name: attr.name,
+                        name_span: Some(attr.name_span),
+                        required: attr.required,
+                    })
+                    .collect(),
+            }
         }));
         self
     }
@@ -555,6 +704,7 @@ impl SchemaBuilder {
         }
 
         let mut compiled: Vec<(Symbol, Content)> = Vec::with_capacity(self.decls.len());
+        let mut text_decls: Vec<(Symbol, bool)> = Vec::with_capacity(self.decls.len());
         let mut seen: HashSet<Symbol> = HashSet::with_capacity(self.decls.len());
         for decl in &self.decls {
             let sym = pipeline.intern(&decl.name);
@@ -569,10 +719,19 @@ impl SchemaBuilder {
                 diagnostics.push(diag);
                 continue;
             }
+            text_decls.push((
+                sym,
+                matches!(
+                    &decl.content,
+                    ParsedContent::Any
+                        | ParsedContent::Empty { text: true }
+                        | ParsedContent::Model { mixed: true, .. }
+                ),
+            ));
             let content = match &decl.content {
-                ParsedContent::Empty => Content::Empty,
+                ParsedContent::Empty { .. } => Content::Empty,
                 ParsedContent::Any => Content::Any,
-                ParsedContent::Model { source, offset } => {
+                ParsedContent::Model { source, offset, .. } => {
                     match pipeline
                         .compile(source)
                         .and_then(|artifact| {
@@ -593,6 +752,45 @@ impl SchemaBuilder {
             compiled.push((sym, content));
         }
 
+        // Merge the attribute lists per element (several <!ATTLIST>s for
+        // one element accumulate; the first declaration of an attribute
+        // name wins, per XML) and intern every attribute name into the
+        // shared alphabet so `feed_bytes` resolves them through the same
+        // packed-key index as element names.
+        let mut merged: Vec<(Symbol, Vec<(Symbol, bool)>)> = Vec::new();
+        for attlist in &self.attlists {
+            let elem = pipeline.intern(&attlist.element);
+            let list = match merged.iter_mut().find(|(sym, _)| *sym == elem) {
+                Some((_, list)) => list,
+                None => {
+                    merged.push((elem, Vec::new()));
+                    &mut merged.last_mut().expect("just pushed").1
+                }
+            };
+            for attr in &attlist.attrs {
+                let sym = pipeline.intern(&attr.name);
+                if list.iter().any(|(s, _)| *s == sym) {
+                    continue; // first declaration wins
+                }
+                if list.len() == MAX_ATTRS_PER_ELEMENT {
+                    let mut diag = Diagnostic::new(
+                        Code::MalformedDtd,
+                        format!(
+                            "element '{}' declares more than {MAX_ATTRS_PER_ELEMENT} \
+                             attributes (the per-element limit)",
+                            attlist.element
+                        ),
+                    );
+                    if let Some(span) = attr.name_span.or(attlist.element_span) {
+                        diag = diag.with_span(span);
+                    }
+                    diagnostics.push(diag);
+                    break;
+                }
+                list.push((sym, attr.required));
+            }
+        }
+
         if !diagnostics.is_empty() {
             return Err(diagnostics);
         }
@@ -603,6 +801,29 @@ impl SchemaBuilder {
         for (sym, c) in compiled {
             content[sym.index()] = c;
             declared.push(sym);
+        }
+        let mut text_ok = vec![false; alphabet.len()];
+        for (sym, text) in text_decls {
+            text_ok[sym.index()] = text;
+        }
+        let mut attrs = Vec::new();
+        let mut attr_ranges = vec![(0u32, 0u32); alphabet.len()];
+        let mut required_masks = vec![0u64; alphabet.len()];
+        for (elem, list) in merged {
+            let start = attrs.len() as u32;
+            for (sym, required) in &list {
+                attrs.push(AttrDecl {
+                    sym: sym.index() as u32,
+                    required: *required,
+                });
+            }
+            let mask = attrs[start as usize..]
+                .iter()
+                .enumerate()
+                .filter(|(_, decl)| decl.required)
+                .fold(0u64, |mask, (i, _)| mask | (1 << i));
+            attr_ranges[elem.index()] = (start, list.len() as u32);
+            required_masks[elem.index()] = mask;
         }
         // Precompute the flat dispatch table: kind + session starter in one
         // load, so opening an element never walks the content enum.
@@ -630,6 +851,10 @@ impl SchemaBuilder {
             names,
             name_keys,
             declared,
+            attrs,
+            attr_ranges,
+            required_masks,
+            text_ok,
         }))
     }
 }
@@ -741,6 +966,69 @@ mod tests {
             nondet.message()
         );
         assert!(nondet.witness().is_some());
+    }
+
+    #[test]
+    fn attribute_tables_are_compiled_per_element() {
+        let schema = SchemaBuilder::new()
+            .parse_dtd(
+                "<!ELEMENT book (title)>
+                 <!ELEMENT title (#PCDATA)>
+                 <!ATTLIST book isbn CDATA #REQUIRED lang (en|de) \"en\">
+                 <!ATTLIST book isbn CDATA #IMPLIED edition CDATA #IMPLIED>",
+            )
+            .build()
+            .unwrap();
+        let book = schema.lookup("book").unwrap();
+        let (attrs, _) = schema.attrs_of(book.index() as u32);
+        let names: Vec<&str> = attrs
+            .iter()
+            .map(|a| schema.name(Symbol::from_index(a.sym as usize)))
+            .collect();
+        assert_eq!(names, ["isbn", "lang", "edition"]);
+        // Repeated declarations merge; the first binding of a name wins,
+        // so isbn stays #REQUIRED.
+        assert_eq!(schema.required_mask(book.index() as u32), 0b001);
+        assert_eq!(schema.attr_decl_count(), 3);
+        // Attribute names resolve through the shared byte-keyed index.
+        assert!(schema.lookup_bytes(b"isbn").is_some());
+        // Text rules: title allows character data, book does not.
+        let title = schema.lookup("title").unwrap();
+        assert!(schema.text_allowed(title.index() as u32));
+        assert!(!schema.text_allowed(book.index() as u32));
+        // Out-of-range (unknown-element sentinel) is attribute-free.
+        assert_eq!(schema.attrs_of(u32::MAX).0.len(), 0);
+        assert!(!schema.text_allowed(u32::MAX));
+    }
+
+    #[test]
+    fn mixed_and_any_content_allow_text() {
+        let schema = SchemaBuilder::new()
+            .element_mixed("para", "(em | code)*")
+            .element_any("note")
+            .element_empty("hr")
+            .element_text("title")
+            .build()
+            .unwrap();
+        let idx = |name: &str| schema.lookup(name).unwrap().index() as u32;
+        assert!(schema.text_allowed(idx("para")));
+        assert!(schema.text_allowed(idx("note")));
+        assert!(schema.text_allowed(idx("title")));
+        assert!(!schema.text_allowed(idx("hr")));
+        // Undeclared-but-referenced names reject text.
+        assert!(!schema.text_allowed(idx("em")));
+    }
+
+    #[test]
+    fn attribute_cap_is_enforced() {
+        let mut builder = SchemaBuilder::new().element_empty("e");
+        for i in 0..=MAX_ATTRS_PER_ELEMENT {
+            builder = builder.attribute("e", &format!("a{i}"), false);
+        }
+        let err = builder.build().unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].code(), Code::MalformedDtd);
+        assert!(err[0].message().contains("more than 64"), "{}", err[0]);
     }
 
     #[test]

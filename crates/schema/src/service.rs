@@ -59,7 +59,9 @@
 //! [`crate::ValidatorPool`] batches are a thin client of this type — batch
 //! and interleaved serving share one code path.
 
-use crate::tokenizer::{Tag, Tokenizer, NAME_TOO_LONG};
+use crate::tokenizer::{
+    is_entity_error, Tag, Tokenizer, ATTR_TOO_LONG, NAME_TOO_LONG, VALUE_TOO_LONG,
+};
 use crate::validator::{DocEvent, DocumentValidator};
 use crate::Schema;
 use redet_core::{Code, Diagnostic};
@@ -504,6 +506,8 @@ impl ValidationService {
             match event {
                 DocEvent::Open(sym) => flight.validator.start_element_symbol(sym),
                 DocEvent::Close => flight.validator.end_element(),
+                DocEvent::Attr(sym) => flight.validator.attribute(sym),
+                DocEvent::Text => flight.validator.text(),
             }
             if !flight.validator.is_clean() {
                 flight.rejected = flight.validator.take_first_diagnostic();
@@ -513,13 +517,17 @@ impl ValidationService {
         Self::progress(flight)
     }
 
-    /// Advances a document by a chunk of raw bytes, tokenizing tag soup on
-    /// the fly. Chunk boundaries may fall anywhere — mid-name, mid-
-    /// attribute, mid-comment; the scanner state lives in the handle.
-    /// Element names are resolved against the schema per tag; text content,
-    /// comments, CDATA, PIs and doctypes are skipped. Fails fast exactly
-    /// like [`ValidationService::feed`], with unparsable markup reported as
-    /// a [`redet_core::Code::MalformedMarkup`] diagnostic. When a byte
+    /// Advances a document by a chunk of raw bytes, tokenizing full markup
+    /// on the fly. Chunk boundaries may fall anywhere — mid-name, mid-
+    /// attribute-value, mid-text, mid-comment; the scanner state lives in
+    /// the handle. Element and attribute names are resolved against the
+    /// schema per tag, attribute values and character data (with the
+    /// predefined entity and character references decoded) are checked
+    /// against the schema's `<!ATTLIST>` tables and mixed-content rules;
+    /// comments, PIs and doctypes are skipped. Fails fast exactly like
+    /// [`ValidationService::feed`], with unparsable markup reported as a
+    /// [`redet_core::Code::MalformedMarkup`] diagnostic and unknown entity
+    /// references as [`redet_core::Code::UnknownEntity`]. When a byte
     /// budget is configured, bytes past it are never scanned: the chunk is
     /// truncated at the budget and the violation fires at the same point
     /// under every chunking. Feeding a stale handle does nothing and
@@ -558,20 +566,25 @@ impl ValidationService {
         let clean = flight.tokenizer.feed(head, &mut |tag| {
             match tag {
                 Tag::Open(name) => validator.start_element_bytes(name),
-                Tag::OpenClose(name) => {
-                    validator.start_element_bytes(name);
-                    if validator.is_clean() {
-                        validator.end_element();
-                    }
-                }
+                Tag::Attr { name, .. } => validator.attribute_bytes(name),
+                Tag::SelfClose => validator.end_element(),
                 // XML well-formedness: the end tag must name the innermost
                 // open element. (Event-level feeding has no names on close
                 // events, so only bytes pay this.)
                 Tag::Close(name) => validator.close_element_bytes(name),
-                // The tokenizer's name cap is a resource limit, not a
-                // grammar error: report it under the E3xx family.
-                Tag::Error(message) if message == NAME_TOO_LONG => {
+                Tag::Text(segment) => validator.text_segment(segment),
+                // The tokenizer's length caps are resource limits, not
+                // grammar errors: report them under the E3xx family.
+                Tag::Error(message) if message == NAME_TOO_LONG || message == ATTR_TOO_LONG => {
                     validator.report_limit(Code::NameLimitExceeded, message.to_owned());
+                }
+                Tag::Error(message) if message == VALUE_TOO_LONG => {
+                    validator.report_limit(Code::ValueLimitExceeded, message.to_owned());
+                }
+                // Unknown/invalid entity references are markup-level `E2xx`
+                // diagnostics with their own code.
+                Tag::Error(message) if is_entity_error(message) => {
+                    validator.report_limit(Code::UnknownEntity, message.to_owned());
                 }
                 Tag::Error(message) => validator.report_markup(message.to_owned()),
             }
@@ -880,9 +893,10 @@ mod tests {
             .element("bibliography", "(book | article)*")
             .element("book", "(title, author+, year)")
             .element("article", "(title, author+, journal, year?)")
-            .element_empty("title")
+            .element_text("title")
             .element_empty("author")
             .element_empty("year")
+            .attribute("author", "kind", false)
             .build()
             .unwrap()
     }
@@ -1016,8 +1030,9 @@ mod tests {
     #[test]
     fn byte_feeding_tolerates_any_split() {
         let schema = bibliography();
-        let xml = "<?xml version=\"1.0\"?><bibliography><!-- two entries -->\
-                   <book><title/>text<author kind=\"primary\"/><year/></book>\
+        let xml = "<?xml version=\"1.0\"?><bibliography><!-- one entry -->\
+                   <book><title>G &amp; S</title>\
+                   <author kind=\"primary\"/><year/></book>\
                    </bibliography>";
         let mut service = ValidationService::new(Arc::clone(&schema));
         for chunk in [1usize, 2, 3, 7, 16, xml.len()] {
@@ -1028,6 +1043,52 @@ mod tests {
             }
             assert_eq!(status, FeedStatus::Accepted, "chunk size {chunk}");
             assert!(service.finish(doc).is_ok(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn markup_diagnostics_are_chunking_invariant() {
+        let schema = bibliography();
+        let mut service = ValidationService::new(Arc::clone(&schema));
+        let cases = [
+            // Duplicate declared attribute.
+            (
+                "<bibliography><book><title>t</title>\
+                 <author kind=\"x\" kind=\"y\"/><year/></book></bibliography>",
+                Code::DuplicateAttribute,
+            ),
+            // Undeclared attribute on a declared element.
+            (
+                "<bibliography><book><title lang=\"en\">t</title>\
+                 <author/><year/></book></bibliography>",
+                Code::UndeclaredAttribute,
+            ),
+            // Character data where the content model is element-only.
+            ("<bibliography>stray</bibliography>", Code::StrayText),
+            // An entity reference outside the predefined five.
+            (
+                "<bibliography><book><title>&nope;</title>\
+                 <author/><year/></book></bibliography>",
+                Code::UnknownEntity,
+            ),
+        ];
+        for (xml, code) in cases {
+            let mut first: Option<String> = None;
+            for chunk in [1usize, 2, 3, 7, xml.len()] {
+                let doc = service.open();
+                for part in xml.as_bytes().chunks(chunk) {
+                    let _ = service.feed_bytes(doc, part);
+                }
+                let err = service.finish(doc).unwrap_err();
+                assert_eq!(err.code(), code, "{xml} (chunk size {chunk})");
+                let render = format!("{err:?}");
+                match &first {
+                    None => first = Some(render),
+                    Some(expected) => {
+                        assert_eq!(&render, expected, "{xml} (chunk size {chunk})");
+                    }
+                }
+            }
         }
     }
 

@@ -1,92 +1,126 @@
-//! A bulk-scanning streaming XML tokenizer: raw bytes in, tag events out.
+//! A bulk-scanning streaming XML tokenizer: raw bytes in, markup events out.
 //!
 //! [`ValidationService::feed_bytes`] lets callers pipe socket buffers
 //! straight into validation; this module is the state machine behind it. It
-//! turns tag soup into open/close events and **tolerates chunk boundaries
-//! anywhere** — mid-name, mid-attribute, mid-comment — by keeping the whole
-//! scanner state (plus the bytes of a partial name) in the [`Tokenizer`]
-//! value between `feed` calls.
+//! turns tag soup into open/attribute/text/close events and **tolerates
+//! chunk boundaries anywhere** — mid-name, mid-value, mid-entity,
+//! mid-comment — by keeping the whole scanner state (plus the bytes of any
+//! partial name/value) in the [`Tokenizer`] value between `feed` calls.
 //!
 //! # Bulk scanning
 //!
 //! Every scanner state is either a *skip class* — "consume bytes until one
 //! of a few interesting delimiters" — or a short discriminator (`<!-`,
-//! `CDATA[`) handled byte by byte. [`Tokenizer::feed`] therefore does not
-//! run a per-byte `match`: each skip-class state consumes its whole run
-//! with one [`redet_core::bytescan`] SWAR search (eight bytes per step)
-//! and only the delimiter byte itself pays the state dispatch:
+//! `CDATA[`, an entity reference) handled byte by byte. [`Tokenizer::feed`]
+//! therefore does not run a per-byte `match`: each skip-class state consumes
+//! its whole run with one [`redet_core::bytescan`] SWAR search (eight bytes
+//! per step) and only the delimiter byte itself pays the state dispatch:
 //!
-//! * character data skips to the next `<`;
-//! * comments skip to the next `-`, CDATA sections to the next `]`,
-//!   processing instructions to the next `?`;
-//! * attribute lists skip to the next `>`/quote (with `<` screened as an
-//!   error), quoted values and doctype literals to their closing quote,
-//!   doctype internal subsets to the next quote/bracket/`>`;
-//! * tag names run to the next non-name byte and are **borrowed straight
-//!   out of the chunk** — the `name` buffer is written only when a tag
+//! * character data runs to the next `<` or `&` and is emitted as
+//!   [`Tag::Text`] segments, **borrowed straight out of the chunk** unless
+//!   an entity had to be decoded into the text buffer;
+//! * attribute values run to their closing quote (or `&`/`<`) and are
+//!   likewise borrowed when no entity intervenes;
+//! * comments skip to the next `-`, CDATA sections scan to the next `]`
+//!   (their content is text), processing instructions to the next `?`,
+//!   doctype internals to the next quote/bracket/`>`;
+//! * tag and attribute names run to the next non-name byte and are borrowed
+//!   out of the chunk — the buffers are written only when a construct
 //!   actually straddles a chunk boundary, so a warmed tokenizer feeding
-//!   whole documents never copies a name at all.
+//!   whole documents never copies at all.
 //!
 //! The per-byte scalar scanner is retained as [`Tokenizer::feed_scalar`] —
 //! the reference oracle the equivalence suite and the E14 benchmark compare
-//! the bulk scanner against. Both scanners cap the partial-name buffer —
-//! [`Tokenizer::MAX_NAME_LEN`] bytes by default, configurable down via
-//! [`Tokenizer::set_name_limit`] (the `ServiceLimits` hook): a hostile
-//! stream consisting of one never-ending tag name produces a bounded
-//! buffer and a `Code::NameLimitExceeded` diagnostic instead of
-//! unbounded growth.
+//! the bulk scanner against. Both scanners bound every buffer: names by
+//! [`Tokenizer::MAX_NAME_LEN`] (configurable via
+//! [`Tokenizer::set_name_limit`], the `ServiceLimits` hook), attribute
+//! values by [`Tokenizer::MAX_VALUE_LEN`], entity references by a few
+//! bytes, and pending text is flushed as a [`Tag::Text`] segment at every
+//! chunk edge instead of accumulating — a hostile stream can never pin an
+//! unbounded buffer.
 //!
-//! The tokenizer is deliberately minimal, scoped to what element-structure
-//! validation needs:
+//! # What the grammar accepts
 //!
-//! * start tags `<name …>` (attributes are skipped, with quote tracking so
-//!   `>` inside an attribute value does not end the tag), end tags
-//!   `</name>`, and self-closing tags `<name …/>`;
-//! * character data, comments (`<!-- … -->`), CDATA sections
-//!   (`<![CDATA[ … ]]>`), processing instructions (`<?…?>`) and doctype-ish
-//!   `<!…>` constructs (with `[…]` internal-subset nesting) are consumed
-//!   and ignored — content models constrain *element* children only, which
-//!   matches [`DocumentValidator`]'s event model;
-//! * anything unparsable (stray `<`, `<>`, `</>`, garbage after an end-tag
-//!   name, an over-long element name) is reported as a [`Tag::Error`],
-//!   which the service converts into a [`Code::MalformedMarkup`]
-//!   diagnostic. Tag names themselves are handed to the sink as **raw
-//!   bytes** — see [`Tag`] for why UTF-8 validation is deliberately the
-//!   consumer's job.
+//! * start tags `<name a='v' b="w" flag>` emit [`Tag::Open`] at the end of
+//!   the name, one [`Tag::Attr`] per attribute (valueless attributes carry
+//!   an empty value), and — for `<name …/>` — a final [`Tag::SelfClose`];
+//! * end tags `</name>` emit [`Tag::Close`];
+//! * character data and CDATA content emit [`Tag::Text`] segments; a
+//!   logical run may arrive as several segments (around entities, CDATA
+//!   edges and chunk edges) but segments are never reordered, so
+//!   concatenation is chunking-invariant;
+//! * the five predefined entities (`&amp; &lt; &gt; &quot; &apos;`) and
+//!   character references (`&#65;`, `&#x1F600;`) are decoded in text and in
+//!   attribute values; unknown entities, malformed character references and
+//!   unterminated references are [`Tag::Error`]s the service maps to
+//!   `Code::UnknownEntity`;
+//! * comments (`<!-- … -->`), processing instructions (`<?…?>`) and
+//!   doctype-ish `<!…>` constructs (with `[…]` internal-subset nesting and
+//!   quoted literals) are consumed and ignored;
+//! * anything unparsable (stray `<`, `<>`, `</>`, an unquoted or
+//!   `<`-containing attribute value, garbage between `/` and `>`, an
+//!   over-long name or value) is reported as a [`Tag::Error`]. Names and
+//!   values are handed to the sink as **raw bytes** — see [`Tag`] for why
+//!   UTF-8 validation is deliberately the consumer's job.
 //!
-//! No byte is ever buffered except a chunk-straddling partial tag name, so
-//! a warmed tokenizer feeds without allocating.
+//! Compared to the attribute-*skipping* grammar this tokenizer grew out of,
+//! three soups are now rejected instead of silently accepted: unquoted
+//! attribute values (`<a x=1>`), whitespace between `/` and `>` in a
+//! self-closing tag (`<a / >`), and a raw `<` inside a quoted value. Each
+//! is malformed XML, and each would otherwise make attribute events
+//! ambiguous.
+//!
+//! No byte is ever buffered except a chunk-straddling partial name/value
+//! and entity-decoded content, so a warmed tokenizer feeds without
+//! allocating.
 //!
 //! [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
-//! [`DocumentValidator`]: crate::DocumentValidator
 //! [`Code::MalformedMarkup`]: redet_core::Code::MalformedMarkup
 
 use redet_core::bytescan::{memchr, memchr2, memchr3, memchr_mask_zero, splat, zero_byte_markers};
 
-/// One tag-level event produced by the tokenizer.
+/// One markup event produced by the tokenizer.
 ///
-/// Names are the **raw bytes** of the stream, not `&str`: the tokenizer
-/// never UTF-8-validates a name, so the hot path pays no per-tag
-/// `from_utf8` walk. A consumer resolving names against a schema gets
-/// UTF-8 for free on a hit (schema names are strings — byte equality
+/// Names, values and text are the **raw bytes** of the stream, not `&str`:
+/// the tokenizer never UTF-8-validates them, so the hot path pays no
+/// per-event `from_utf8` walk. A consumer resolving names against a schema
+/// gets UTF-8 for free on a hit (schema names are strings — byte equality
 /// implies validity) and only needs to validate on the unknown-name cold
 /// path, which is exactly what [`ValidationService::feed_bytes`] does.
 ///
 /// [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
 #[derive(Debug, PartialEq, Eq)]
 pub enum Tag<'a> {
-    /// A start tag `<name …>`.
+    /// A start tag's name: `<name`. Emitted as soon as the name ends;
+    /// the tag's attributes (if any) follow as [`Tag::Attr`] events.
     Open(&'a [u8]),
-    /// A self-closing tag `<name …/>`: open and immediately close.
-    OpenClose(&'a [u8]),
+    /// One attribute of the most recent [`Tag::Open`]. The value has its
+    /// entity references decoded; a valueless attribute (`<input checked>`)
+    /// carries an empty value.
+    Attr {
+        /// The attribute's name bytes.
+        name: &'a [u8],
+        /// The attribute's decoded value bytes.
+        value: &'a [u8],
+    },
+    /// The `/>` ending a self-closing tag: close the element opened by the
+    /// most recent [`Tag::Open`]. Nameless — the name was already emitted,
+    /// and the innermost open element is the only one `/>` can close.
+    SelfClose,
     /// An end tag `</name>`. The service checks the name against the
     /// innermost open element (the tokenizer itself does no matching).
     Close(&'a [u8]),
-    /// Markup the minimal grammar cannot parse.
+    /// A segment of character data (including CDATA content), with entity
+    /// references decoded. A logical text run may be split into several
+    /// segments — around entities, CDATA boundaries and chunk boundaries —
+    /// but never reordered: concatenating consecutive segments yields the
+    /// same bytes under every chunking.
+    Text(&'a [u8]),
+    /// Markup the grammar cannot parse.
     Error(&'static str),
 }
 
-/// Which quote character an attribute value is currently inside.
+/// Which quote character delimits the current literal.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum Quote {
     #[default]
@@ -96,22 +130,44 @@ enum Quote {
 }
 
 /// The scanner position. Everything is `Copy` plain data; together with the
-/// partial-name buffer it is the *entire* cross-chunk state.
+/// partial name/value/text/entity buffers it is the *entire* cross-chunk
+/// state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum State {
-    /// Character data between tags (ignored). Skip class: `<`.
+    /// Character data between tags. Skip class: `<`, `&`.
     #[default]
     Text,
+    /// Inside `&…;` in character data; the reference's content accumulates
+    /// in the entity buffer, byte by byte (references are a few bytes).
+    Entity,
     /// Just after `<`.
     Lt,
     /// Inside a start-tag name. Skip class: any non-name byte.
     OpenName,
     /// Inside an end-tag name. Skip class: any non-name byte.
     CloseName,
-    /// Inside a start tag after the name, skipping attributes. `slash` is
-    /// set when the previous meaningful byte was `/` (self-closing if `>`
-    /// follows). Skip class: `>`, quotes (with `<` screened as an error).
-    Attrs { quote: Quote, slash: bool },
+    /// Inside a start tag, between attributes (whitespace run).
+    AttrSpace,
+    /// Inside an attribute name. Skip class: any non-name byte.
+    AttrName,
+    /// After a complete attribute name plus whitespace: `=` starts a value,
+    /// a name byte means the previous attribute was valueless.
+    AttrEq,
+    /// After `=`, before the opening quote.
+    AttrValueStart,
+    /// Inside a quoted attribute value. Skip class: the closing quote, `&`,
+    /// `<` (`quote` is never `None` here).
+    AttrValue {
+        /// The delimiter that closes this value.
+        quote: Quote,
+    },
+    /// Inside `&…;` in an attribute value; decodes into the value buffer.
+    AttrEntity {
+        /// The delimiter of the enclosing value.
+        quote: Quote,
+    },
+    /// After the `/` of a self-closing tag: only `>` may follow.
+    SelfCloseEnd,
     /// After `</name` — only whitespace may precede the `>`.
     CloseEnd,
     /// Just after `<!`, before the construct is identified.
@@ -119,46 +175,87 @@ enum State {
     /// After `<!-`, expecting the second `-` of a comment opener.
     BangDash,
     /// Matching the `CDATA[` discriminator after `<![`, byte by byte.
-    CdataPrefix { matched: u8 },
-    /// Inside `<![CDATA[ … ]]>`; `brackets` counts trailing `]`s seen.
-    /// Skip class (at `brackets == 0`): `]`.
-    Cdata { brackets: u8 },
+    CdataPrefix {
+        /// How many prefix bytes have matched.
+        matched: u8,
+    },
+    /// Inside `<![CDATA[ … ]]>`; `brackets` counts trailing `]`s seen
+    /// (pending — they are content unless `]]>` completes). Skip class
+    /// (at `brackets == 0`): `]`.
+    Cdata {
+        /// Trailing `]`s not yet known to be content or terminator.
+        brackets: u8,
+    },
     /// Inside `<!-- … -->`; `dashes` counts trailing `-`s seen. Skip class
     /// (at `dashes == 0`): `-`.
-    Comment { dashes: u8 },
+    Comment {
+        /// Trailing `-`s seen.
+        dashes: u8,
+    },
     /// Inside a doctype-ish `<!…>` construct; `depth` tracks `[…]` nesting
     /// (internal subsets contain `>`s of their own) and `quote` an open
     /// system/public literal (which may legally contain `>`, `[`, `]`).
     /// Skip class: quotes, brackets and `>` (just the closing quote inside
     /// a literal).
-    Doctype { depth: u8, quote: Quote },
+    Doctype {
+        /// `[…]` nesting depth.
+        depth: u8,
+        /// The literal delimiter currently open, if any.
+        quote: Quote,
+    },
     /// Inside `<?…?>`; `qm` is set when the previous byte was `?`. Skip
     /// class (at `!qm`): `?`.
-    Pi { qm: bool },
+    Pi {
+        /// Whether the previous byte was `?`.
+        qm: bool,
+    },
 }
 
-/// Which tag the current byte completed; the name sits in the buffer and/or
-/// the current chunk.
+/// Which named tag the current byte completed; the name sits in the buffer
+/// and/or the current chunk.
 #[derive(Clone, Copy)]
 enum Finish {
     Open,
-    OpenClose,
     Close,
 }
 
 const CDATA_PREFIX: &[u8] = b"CDATA[";
 
-/// The [`Tag::Error`] text for a name longer than the tokenizer's
+/// The [`Tag::Error`] text for an element name longer than the tokenizer's
 /// name-length cap ([`Tokenizer::MAX_NAME_LEN`] unless lowered via
 /// [`Tokenizer::set_name_limit`]). The service layer recognizes this
 /// message and reports it under the `E3xx` resource-governance family.
 pub(crate) const NAME_TOO_LONG: &str = "element name exceeds the name-length cap";
 
-/// Bytes allowed in element names, precomputed so the name run loop is one
-/// indexed load per byte. Deliberately permissive (tag soup): any byte that
-/// cannot terminate or confuse a tag, including multi-byte UTF-8 sequences,
-/// counts as a name byte; real name validation happens against the schema's
-/// alphabet.
+/// The [`Tag::Error`] text for an attribute name past the same cap.
+pub(crate) const ATTR_TOO_LONG: &str = "attribute name exceeds the name-length cap";
+
+/// The [`Tag::Error`] text for an attribute value past
+/// [`Tokenizer::MAX_VALUE_LEN`].
+pub(crate) const VALUE_TOO_LONG: &str = "attribute value exceeds the value-length cap";
+
+/// The [`Tag::Error`] text for an entity reference that is neither a
+/// predefined entity nor a character reference.
+pub(crate) const UNKNOWN_ENTITY: &str = "unknown entity reference";
+
+/// The [`Tag::Error`] text for a character reference that does not denote
+/// a Unicode scalar value.
+pub(crate) const BAD_CHAR_REF: &str = "invalid character reference";
+
+/// The [`Tag::Error`] text for an `&` whose reference never reaches `;`.
+pub(crate) const ENTITY_UNTERMINATED: &str = "entity reference is missing ';'";
+
+/// Whether a [`Tag::Error`] message is one of the entity-reference errors
+/// (the service maps these to `Code::UnknownEntity`).
+pub(crate) fn is_entity_error(message: &str) -> bool {
+    message == UNKNOWN_ENTITY || message == BAD_CHAR_REF || message == ENTITY_UNTERMINATED
+}
+
+/// Bytes allowed in element and attribute names, precomputed so the name
+/// run loop is one indexed load per byte. Deliberately permissive (tag
+/// soup): any byte that cannot terminate or confuse a tag, including
+/// multi-byte UTF-8 sequences, counts as a name byte; real name validation
+/// happens against the schema's alphabet.
 static NAME_BYTE: [bool; 256] = {
     let mut table = [false; 256];
     let mut b = 0usize;
@@ -231,6 +328,53 @@ fn min_hit(a: Option<usize>, b: Option<usize>) -> Option<usize> {
     }
 }
 
+/// Decodes one entity reference's content (the bytes between `&` and `;`)
+/// into `out`: the five predefined entities plus decimal/hex character
+/// references. On failure nothing is written.
+fn decode_entity(ent: &[u8], out: &mut Vec<u8>) -> Result<(), &'static str> {
+    match ent {
+        b"amp" => out.push(b'&'),
+        b"lt" => out.push(b'<'),
+        b"gt" => out.push(b'>'),
+        b"quot" => out.push(b'"'),
+        b"apos" => out.push(b'\''),
+        [b'#', digits @ ..] => {
+            let (radix, digits) = match digits {
+                [b'x' | b'X', hex @ ..] => (16, hex),
+                dec => (10, dec),
+            };
+            if digits.is_empty() {
+                return Err(BAD_CHAR_REF);
+            }
+            let mut code: u32 = 0;
+            for &d in digits {
+                let v = (d as char).to_digit(radix).ok_or(BAD_CHAR_REF)?;
+                code = code
+                    .checked_mul(radix)
+                    .and_then(|c| c.checked_add(v))
+                    .ok_or(BAD_CHAR_REF)?;
+            }
+            let c = char::from_u32(code).ok_or(BAD_CHAR_REF)?;
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+        _ => return Err(UNKNOWN_ENTITY),
+    }
+    Ok(())
+}
+
+/// Byte ranges of the current chunk not yet copied into the tokenizer's
+/// buffers: the pending name is `tokenizer.name ++ bytes[name.0..name.1]`,
+/// and likewise for the attribute value and the current text segment.
+/// Flushed into the buffers (name, value) or emitted (text) if the chunk
+/// ends before the construct does.
+#[derive(Default)]
+struct Spans {
+    name: (usize, usize),
+    value: (usize, usize),
+    text: (usize, usize),
+}
+
 /// The streaming scanner; see the module docs. One per in-flight document —
 /// chunk boundaries may fall anywhere, so the state must persist between
 /// [`Tokenizer::feed`] calls.
@@ -238,29 +382,47 @@ fn min_hit(a: Option<usize>, b: Option<usize>) -> Option<usize> {
 /// ```
 /// use redet_schema::tokenizer::{Tag, Tokenizer};
 ///
-/// let mut tags = Vec::new();
+/// let mut events = Vec::new();
 /// let mut tokenizer = Tokenizer::default();
-/// // Chunk boundaries may fall anywhere — even mid-name.
-/// for chunk in [&b"<doc><!-- hi --><it"[..], &b"em/></doc>"[..]] {
+/// // Chunk boundaries may fall anywhere — even mid-name or mid-value.
+/// for chunk in [&b"<doc id='m&amp;m'><it"[..], &b"em/>ok</doc>"[..]] {
 ///     tokenizer.feed(chunk, &mut |tag| {
-///         tags.push(match tag {
+///         events.push(match tag {
 ///             Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
-///             Tag::OpenClose(n) => format!("<{}/>", String::from_utf8_lossy(n)),
+///             Tag::Attr { name, value } => format!(
+///                 "{}={}",
+///                 String::from_utf8_lossy(name),
+///                 String::from_utf8_lossy(value)
+///             ),
+///             Tag::SelfClose => "/>".to_owned(),
 ///             Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
+///             Tag::Text(t) => format!("'{}'", String::from_utf8_lossy(t)),
 ///             Tag::Error(e) => format!("!{e}"),
 ///         });
 ///         true
 ///     });
 /// }
-/// assert_eq!(tags, ["<doc>", "<item/>", "</doc>"]);
+/// assert_eq!(
+///     events,
+///     ["<doc>", "id=m&m", "<item>", "/>", "'ok'", "</doc>"]
+/// );
 /// assert!(tokenizer.is_idle());
 /// ```
 #[derive(Debug)]
 pub struct Tokenizer {
     state: State,
-    /// Bytes of the current tag name when it straddles a chunk boundary
-    /// (names completed inside one chunk are borrowed, not copied).
+    /// Bytes of the current element/attribute name when it straddles a
+    /// chunk boundary (names completed inside one chunk are borrowed).
     name: Vec<u8>,
+    /// Bytes of the current attribute value when it straddles a chunk
+    /// boundary or an entity was decoded into it.
+    value: Vec<u8>,
+    /// Decoded/copied character data: entity expansions and CDATA content.
+    /// Flushed as a [`Tag::Text`] segment at every chunk edge, so it never
+    /// accumulates across feeds.
+    text: Vec<u8>,
+    /// The content of the entity reference currently being read.
+    ent: Vec<u8>,
     /// The active name-length cap (defaults to [`Tokenizer::MAX_NAME_LEN`]).
     name_limit: usize,
 }
@@ -270,17 +432,30 @@ impl Default for Tokenizer {
         Tokenizer {
             state: State::Text,
             name: Vec::new(),
+            value: Vec::new(),
+            text: Vec::new(),
+            ent: Vec::new(),
             name_limit: Self::MAX_NAME_LEN,
         }
     }
 }
 
 impl Tokenizer {
-    /// Default upper bound on a tag name's length in bytes. A longer "name"
-    /// (a hostile unterminated-tag stream) is reported as a [`Tag::Error`]
-    /// and the rest of the run is treated as character data, so the
-    /// partial-name buffer a malicious connection can pin stays bounded.
+    /// Default upper bound on an element or attribute name's length in
+    /// bytes. A longer "name" (a hostile unterminated-tag stream) is
+    /// reported as a [`Tag::Error`] and the rest of the run is treated as
+    /// character data, so the partial-name buffer a malicious connection
+    /// can pin stays bounded.
     pub const MAX_NAME_LEN: usize = 4096;
+
+    /// Upper bound on an attribute value's length in bytes; a longer value
+    /// is reported as a [`Tag::Error`] the service maps to
+    /// `Code::ValueLimitExceeded`.
+    pub const MAX_VALUE_LEN: usize = 65536;
+
+    /// Upper bound on an entity reference's content — longer than any
+    /// predefined entity or valid character reference (`#x10FFFF`).
+    const MAX_ENTITY_LEN: usize = 10;
 
     /// Lowers (or raises) the name-length cap. The cap is clamped to at
     /// least one byte so single-character names always scan; the emission
@@ -296,35 +471,39 @@ impl Tokenizer {
     }
 
     /// Whether the scanner is between constructs — the end-of-document
-    /// well-formedness check (`finish` inside a tag is malformed markup).
+    /// well-formedness check (`finish` inside a tag, a CDATA section or an
+    /// entity reference is malformed markup).
     pub fn is_idle(&self) -> bool {
         self.state == State::Text
     }
 
-    /// Resets the scanner for the next document, keeping the name buffer's
+    /// Resets the scanner for the next document, keeping the buffers'
     /// capacity.
     pub fn reset(&mut self) {
         self.state = State::Text;
         self.name.clear();
+        self.value.clear();
+        self.text.clear();
+        self.ent.clear();
     }
 
-    /// Scans one chunk, invoking `sink` for every completed tag. The sink
+    /// Scans one chunk, invoking `sink` for every completed event. The sink
     /// returns `false` to stop the scan (the service does this when the
     /// document is rejected); remaining bytes of the chunk are dropped and
     /// `feed` returns `false`. Returns `true` when the whole chunk was
     /// consumed.
     ///
-    /// Tag names are borrowed out of `bytes` whenever the whole tag name
-    /// lies inside this chunk; only chunk-straddling names are copied into
-    /// the tokenizer's buffer. See the module docs for the bulk-scanning
+    /// Names, values and text are borrowed out of `bytes` whenever the
+    /// whole construct lies inside this chunk; only chunk-straddling
+    /// constructs and decoded entities touch the tokenizer's buffers. Any
+    /// text pending at the end of the chunk is flushed as a final
+    /// [`Tag::Text`] segment (segment boundaries depend on chunking; their
+    /// concatenation does not). See the module docs for the bulk-scanning
     /// skip classes.
     pub fn feed(&mut self, bytes: &[u8], sink: &mut impl FnMut(Tag<'_>) -> bool) -> bool {
         let len = bytes.len();
         let mut i = 0usize;
-        // Name bytes of the current tag found in *this* chunk and not yet
-        // copied out: the pending name is `self.name ++ bytes[span.0..span.1]`.
-        // Flushed into the buffer if the chunk ends before the tag does.
-        let mut span = (0usize, 0usize);
+        let mut sp = Spans::default();
         'chunk: while i < len {
             match self.state {
                 State::Text => {
@@ -335,17 +514,46 @@ impl Tokenizer {
                     // indirect branch per step on tag-dense input; the
                     // fused path keeps the state implicit in straight-line
                     // code, re-enters the outer dispatch only for rare
-                    // constructs, and writes `self.state` only when a tag
-                    // is cut off by the chunk boundary.
+                    // constructs, and writes `self.state` only when a
+                    // construct is cut off by the chunk boundary.
                     while i < len {
-                        if bytes[i] != b'<' {
-                            match memchr(b'<', &bytes[i..]) {
-                                Some(k) => i += k,
-                                None => {
-                                    i = len;
-                                    break;
+                        let b = bytes[i];
+                        if b != b'<' {
+                            if b == b'&' {
+                                // Bank the text so far; the entity decodes
+                                // into the text buffer after it.
+                                if sp.text.1 > sp.text.0 {
+                                    self.text.extend_from_slice(&bytes[sp.text.0..sp.text.1]);
+                                    sp.text = (0, 0);
                                 }
+                                i += 1;
+                                self.ent.clear();
+                                self.state = State::Entity;
+                                continue 'chunk;
                             }
+                            // A text run: scan to the next delimiter and
+                            // extend the borrowed segment.
+                            let start = i;
+                            match memchr2(b'<', b'&', &bytes[i..]) {
+                                Some(k) => i += k,
+                                None => i = len,
+                            }
+                            debug_assert!(sp.text.1 == sp.text.0 || sp.text.1 == start);
+                            if sp.text.1 == sp.text.0 {
+                                sp.text = (start, i);
+                            } else {
+                                sp.text.1 = i;
+                            }
+                            if i == len {
+                                break 'chunk; // flushed at the chunk edge below
+                            }
+                            continue; // re-dispatch on the delimiter
+                        }
+                        // `<`: flush pending text, then parse the tag.
+                        if (sp.text.1 > sp.text.0 || !self.text.is_empty())
+                            && !self.flush_text(bytes, &mut sp, sink)
+                        {
+                            return false;
                         }
                         i += 1; // consume the '<'
                         if i == len {
@@ -362,14 +570,17 @@ impl Tokenizer {
                             debug_assert!(self.name.is_empty());
                             let start = i;
                             let (end, t) = scan_name_tail(bytes, i + 1);
-                            i = end;
-                            if i - start > self.name_limit {
-                                if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink)
-                                {
+                            if end - start > self.name_limit {
+                                // Consume exactly the (cap + 1)-th name
+                                // byte — the scalar scanner's error point —
+                                // so the text that follows is identical.
+                                i = start + self.name_limit + 1;
+                                if !self.emit_error(&mut sp, NAME_TOO_LONG, sink) {
                                     return false;
                                 }
                                 continue;
                             }
+                            i = end;
                             if i == len {
                                 // The tag straddles the chunk: bank the name.
                                 self.name.extend_from_slice(&bytes[start..i]);
@@ -385,38 +596,36 @@ impl Tokenizer {
                                     }
                                 }
                                 b'/' => {
-                                    span = (start, i - 1);
-                                    self.state = State::Attrs {
-                                        quote: Quote::None,
-                                        slash: true,
-                                    };
-                                    break;
+                                    if !Self::emit_direct(&bytes[start..i - 1], Finish::Open, sink)
+                                    {
+                                        return false;
+                                    }
+                                    // Common case: `/>` completes inline.
+                                    if i < len && bytes[i] == b'>' {
+                                        i += 1;
+                                        if !sink(Tag::SelfClose) {
+                                            return false;
+                                        }
+                                    } else {
+                                        self.state = State::SelfCloseEnd;
+                                        break;
+                                    }
                                 }
                                 _ if t.is_ascii_whitespace() => {
-                                    span = (start, i - 1);
-                                    self.state = State::Attrs {
-                                        quote: Quote::None,
-                                        slash: false,
-                                    };
+                                    if !Self::emit_direct(&bytes[start..i - 1], Finish::Open, sink)
+                                    {
+                                        return false;
+                                    }
+                                    self.state = State::AttrSpace;
                                     break;
                                 }
                                 b'<' => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
-                                        "'<' inside a tag",
-                                        sink,
-                                    ) {
+                                    if !self.emit_error(&mut sp, "'<' inside a tag", sink) {
                                         return false;
                                     }
                                 }
                                 _ => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
-                                        "malformed start tag",
-                                        sink,
-                                    ) {
+                                    if !self.emit_error(&mut sp, "malformed start tag", sink) {
                                         return false;
                                     }
                                 }
@@ -431,14 +640,14 @@ impl Tokenizer {
                             }
                             let start = i;
                             let (end, t) = scan_name_tail(bytes, i);
-                            i = end;
-                            if i - start > self.name_limit {
-                                if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink)
-                                {
+                            if end - start > self.name_limit {
+                                i = start + self.name_limit + 1;
+                                if !self.emit_error(&mut sp, NAME_TOO_LONG, sink) {
                                     return false;
                                 }
                                 continue;
                             }
+                            i = end;
                             if i == len {
                                 self.name.extend_from_slice(&bytes[start..i]);
                                 self.state = State::CloseName;
@@ -447,12 +656,8 @@ impl Tokenizer {
                             i += 1; // consume the terminator
                             match t {
                                 b'>' if i - 1 == start => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
-                                        "end tag '</>' has no name",
-                                        sink,
-                                    ) {
+                                    if !self.emit_error(&mut sp, "end tag '</>' has no name", sink)
+                                    {
                                         return false;
                                     }
                                 }
@@ -463,27 +668,18 @@ impl Tokenizer {
                                     }
                                 }
                                 _ if t.is_ascii_whitespace() && i - 1 == start => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
-                                        "end tag '</ ' has no name",
-                                        sink,
-                                    ) {
+                                    if !self.emit_error(&mut sp, "end tag '</ ' has no name", sink)
+                                    {
                                         return false;
                                     }
                                 }
                                 _ if t.is_ascii_whitespace() => {
-                                    span = (start, i - 1);
+                                    sp.name = (start, i - 1);
                                     self.state = State::CloseEnd;
                                     break;
                                 }
                                 _ => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
-                                        "malformed end tag",
-                                        sink,
-                                    ) {
+                                    if !self.emit_error(&mut sp, "malformed end tag", sink) {
                                         return false;
                                     }
                                 }
@@ -500,19 +696,13 @@ impl Tokenizer {
                                     break;
                                 }
                                 b'>' => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
-                                        "empty tag '<>'",
-                                        sink,
-                                    ) {
+                                    if !self.emit_error(&mut sp, "empty tag '<>'", sink) {
                                         return false;
                                     }
                                 }
                                 _ => {
-                                    if !Self::emit_error(
-                                        &mut self.name,
-                                        &mut span,
+                                    if !self.emit_error(
+                                        &mut sp,
                                         "stray '<' is not followed by a tag name",
                                         sink,
                                     ) {
@@ -520,6 +710,30 @@ impl Tokenizer {
                                     }
                                 }
                             }
+                        }
+                    }
+                }
+                State::Entity | State::AttrEntity { .. } => {
+                    // Entity references are a handful of bytes; scan them
+                    // byte by byte in both scanners so error positions
+                    // trivially agree.
+                    let in_text = self.state == State::Entity;
+                    let b = bytes[i];
+                    i += 1;
+                    if let Err(message) = self.entity_byte(b) {
+                        // A bad reference aborts an open text run: flush the
+                        // text that preceded it first — a chunk boundary
+                        // before the '&' would have flushed it already, and
+                        // event streams must not depend on where chunks
+                        // fall.
+                        if in_text
+                            && (sp.text.1 > sp.text.0 || !self.text.is_empty())
+                            && !self.flush_text(bytes, &mut sp, sink)
+                        {
+                            return false;
+                        }
+                        if !self.emit_error(&mut sp, message, sink) {
+                            return false;
                         }
                     }
                 }
@@ -534,22 +748,18 @@ impl Tokenizer {
                         b'!' => self.state = State::Bang,
                         b'?' => self.state = State::Pi { qm: false },
                         b'>' => {
-                            self.state = State::Text;
-                            if !Self::emit_error(&mut self.name, &mut span, "empty tag '<>'", sink)
-                            {
+                            if !self.emit_error(&mut sp, "empty tag '<>'", sink) {
                                 return false;
                             }
                         }
                         _ if is_name_byte(b) => {
                             self.name.clear();
-                            span = (i - 1, i);
+                            sp.name = (i - 1, i);
                             self.state = State::OpenName;
                         }
                         _ => {
-                            self.state = State::Text;
-                            if !Self::emit_error(
-                                &mut self.name,
-                                &mut span,
+                            if !self.emit_error(
+                                &mut sp,
                                 "stray '<' is not followed by a tag name",
                                 sink,
                             ) {
@@ -562,37 +772,32 @@ impl Tokenizer {
                     let closing = self.state == State::CloseName;
                     let start = i;
                     let (end, b) = scan_name_tail(bytes, i);
-                    i = end;
-                    if span.1 == span.0 {
-                        span = (start, i);
-                    } else {
-                        debug_assert_eq!(span.1, start, "name runs are contiguous in a chunk");
-                        span.1 = i;
-                    }
-                    if self.name.len() + (span.1 - span.0) > self.name_limit {
-                        self.state = State::Text;
-                        if !Self::emit_error(&mut self.name, &mut span, NAME_TOO_LONG, sink) {
+                    let buffered = self.name.len() + (sp.name.1 - sp.name.0);
+                    if buffered + (end - start) > self.name_limit {
+                        i = start + (self.name_limit - buffered) + 1;
+                        if !self.emit_error(&mut sp, NAME_TOO_LONG, sink) {
                             return false;
                         }
                         continue;
                     }
+                    i = end;
+                    if sp.name.1 == sp.name.0 {
+                        sp.name = (start, i);
+                    } else {
+                        debug_assert_eq!(sp.name.1, start, "name runs are contiguous in a chunk");
+                        sp.name.1 = i;
+                    }
                     if i == len {
                         break; // chunk ended mid-name; the span is flushed below
                     }
-                    let empty = self.name.is_empty() && span.1 == span.0;
+                    let empty = self.name.is_empty() && sp.name.1 == sp.name.0;
                     i += 1; // consume the terminator
                     let error = if closing {
                         match b {
                             b'>' if empty => Some("end tag '</>' has no name"),
                             b'>' => {
                                 self.state = State::Text;
-                                if !Self::emit_finish(
-                                    &mut self.name,
-                                    bytes,
-                                    &mut span,
-                                    Finish::Close,
-                                    sink,
-                                ) {
+                                if !self.emit_name(bytes, &mut sp, Finish::Close, sink) {
                                     return false;
                                 }
                                 None
@@ -610,29 +815,23 @@ impl Tokenizer {
                         match b {
                             b'>' => {
                                 self.state = State::Text;
-                                if !Self::emit_finish(
-                                    &mut self.name,
-                                    bytes,
-                                    &mut span,
-                                    Finish::Open,
-                                    sink,
-                                ) {
+                                if !self.emit_name(bytes, &mut sp, Finish::Open, sink) {
                                     return false;
                                 }
                                 None
                             }
                             b'/' => {
-                                self.state = State::Attrs {
-                                    quote: Quote::None,
-                                    slash: true,
-                                };
+                                self.state = State::SelfCloseEnd;
+                                if !self.emit_name(bytes, &mut sp, Finish::Open, sink) {
+                                    return false;
+                                }
                                 None
                             }
                             _ if b.is_ascii_whitespace() => {
-                                self.state = State::Attrs {
-                                    quote: Quote::None,
-                                    slash: false,
-                                };
+                                self.state = State::AttrSpace;
+                                if !self.emit_name(bytes, &mut sp, Finish::Open, sink) {
+                                    return false;
+                                }
                                 None
                             }
                             b'<' => Some("'<' inside a tag"),
@@ -640,86 +839,236 @@ impl Tokenizer {
                         }
                     };
                     if let Some(message) = error {
-                        self.state = State::Text;
-                        if !Self::emit_error(&mut self.name, &mut span, message, sink) {
+                        if !self.emit_error(&mut sp, message, sink) {
                             return false;
                         }
                     }
                 }
-                State::Attrs {
-                    quote: Quote::None,
-                    slash,
-                } => {
-                    let rest = &bytes[i..];
-                    let stop = memchr3(b'>', b'\'', b'"', rest);
-                    let limit = stop.unwrap_or(rest.len());
-                    if let Some(k) = memchr(b'<', &rest[..limit]) {
-                        i += k + 1;
-                        self.state = State::Text;
-                        if !Self::emit_error(&mut self.name, &mut span, "'<' inside a tag", sink) {
+                State::AttrSpace => {
+                    while i < len && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    let b = bytes[i];
+                    if is_name_byte(b) {
+                        // The attribute name starts here; its own arm scans it.
+                        self.state = State::AttrName;
+                    } else {
+                        i += 1;
+                        match b {
+                            b'>' => self.state = State::Text,
+                            b'/' => {
+                                if i < len && bytes[i] == b'>' {
+                                    i += 1;
+                                    self.state = State::Text;
+                                    if !sink(Tag::SelfClose) {
+                                        return false;
+                                    }
+                                } else {
+                                    self.state = State::SelfCloseEnd;
+                                }
+                            }
+                            b'<' => {
+                                if !self.emit_error(&mut sp, "'<' inside a tag", sink) {
+                                    return false;
+                                }
+                            }
+                            _ => {
+                                if !self.emit_error(&mut sp, "malformed start tag", sink) {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+                State::AttrName => {
+                    let start = i;
+                    let (end, b) = scan_name_tail(bytes, i);
+                    let buffered = self.name.len() + (sp.name.1 - sp.name.0);
+                    if buffered + (end - start) > self.name_limit {
+                        i = start + (self.name_limit - buffered) + 1;
+                        if !self.emit_error(&mut sp, ATTR_TOO_LONG, sink) {
                             return false;
                         }
                         continue;
                     }
-                    match stop {
-                        Some(k) => {
-                            // `/` only matters directly before the `>`: every
-                            // other skipped byte resets the slash flag anyway.
-                            let slash_now = if k == 0 { slash } else { rest[k - 1] == b'/' };
-                            let b = rest[k];
-                            i += k + 1;
-                            match b {
-                                b'>' => {
-                                    self.state = State::Text;
-                                    let kind = if slash_now {
-                                        Finish::OpenClose
-                                    } else {
-                                        Finish::Open
-                                    };
-                                    if !Self::emit_finish(
-                                        &mut self.name,
-                                        bytes,
-                                        &mut span,
-                                        kind,
-                                        sink,
-                                    ) {
-                                        return false;
-                                    }
-                                }
-                                b'\'' => {
-                                    self.state = State::Attrs {
-                                        quote: Quote::Single,
-                                        slash: false,
-                                    };
-                                }
-                                _ => {
-                                    self.state = State::Attrs {
-                                        quote: Quote::Double,
-                                        slash: false,
-                                    };
-                                }
+                    i = end;
+                    if sp.name.1 == sp.name.0 {
+                        sp.name = (start, i);
+                    } else {
+                        debug_assert_eq!(sp.name.1, start, "name runs are contiguous in a chunk");
+                        sp.name.1 = i;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    i += 1; // consume the terminator
+                    match b {
+                        b'=' => self.state = State::AttrValueStart,
+                        _ if b.is_ascii_whitespace() => self.state = State::AttrEq,
+                        b'>' => {
+                            self.state = State::Text;
+                            if !self.emit_attr(bytes, &mut sp, sink) {
+                                return false;
                             }
                         }
-                        None => {
-                            self.state = State::Attrs {
-                                quote: Quote::None,
-                                slash: rest.last() == Some(&b'/'),
-                            };
-                            i = len;
+                        b'/' => {
+                            self.state = State::SelfCloseEnd;
+                            if !self.emit_attr(bytes, &mut sp, sink) {
+                                return false;
+                            }
+                        }
+                        b'<' => {
+                            if !self.emit_error(&mut sp, "'<' inside a tag", sink) {
+                                return false;
+                            }
+                        }
+                        _ => {
+                            if !self.emit_error(&mut sp, "malformed start tag", sink) {
+                                return false;
+                            }
                         }
                     }
                 }
-                State::Attrs { quote, .. } => {
-                    let needle = if quote == Quote::Single { b'\'' } else { b'"' };
-                    match memchr(needle, &bytes[i..]) {
-                        Some(k) => {
-                            i += k + 1;
-                            self.state = State::Attrs {
-                                quote: Quote::None,
-                                slash: false,
-                            };
+                State::AttrEq => {
+                    while i < len && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    let b = bytes[i];
+                    if is_name_byte(b) {
+                        // The previous attribute was valueless; this byte
+                        // starts the next attribute's name.
+                        self.state = State::AttrName;
+                        if !self.emit_attr(bytes, &mut sp, sink) {
+                            return false;
                         }
-                        None => i = len,
+                    } else {
+                        i += 1;
+                        match b {
+                            b'=' => self.state = State::AttrValueStart,
+                            b'>' => {
+                                self.state = State::Text;
+                                if !self.emit_attr(bytes, &mut sp, sink) {
+                                    return false;
+                                }
+                            }
+                            b'/' => {
+                                self.state = State::SelfCloseEnd;
+                                if !self.emit_attr(bytes, &mut sp, sink) {
+                                    return false;
+                                }
+                            }
+                            b'<' => {
+                                if !self.emit_error(&mut sp, "'<' inside a tag", sink) {
+                                    return false;
+                                }
+                            }
+                            _ => {
+                                if !self.emit_error(&mut sp, "malformed start tag", sink) {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+                State::AttrValueStart => {
+                    while i < len && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    let b = bytes[i];
+                    i += 1;
+                    match b {
+                        b'\'' => {
+                            self.state = State::AttrValue {
+                                quote: Quote::Single,
+                            }
+                        }
+                        b'"' => {
+                            self.state = State::AttrValue {
+                                quote: Quote::Double,
+                            }
+                        }
+                        b'<' => {
+                            if !self.emit_error(&mut sp, "'<' inside a tag", sink) {
+                                return false;
+                            }
+                        }
+                        _ => {
+                            if !self.emit_error(&mut sp, "attribute value must be quoted", sink) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                State::AttrValue { quote } => {
+                    let needle = if quote == Quote::Single { b'\'' } else { b'"' };
+                    let rest = &bytes[i..];
+                    let stop = memchr3(needle, b'&', b'<', rest);
+                    let run = stop.unwrap_or(rest.len());
+                    let buffered = self.value.len() + (sp.value.1 - sp.value.0);
+                    if buffered + run > Self::MAX_VALUE_LEN {
+                        i += (Self::MAX_VALUE_LEN - buffered) + 1;
+                        if !self.emit_error(&mut sp, VALUE_TOO_LONG, sink) {
+                            return false;
+                        }
+                        continue;
+                    }
+                    let start = i;
+                    i += run;
+                    if sp.value.1 == sp.value.0 {
+                        sp.value = (start, i);
+                    } else {
+                        debug_assert_eq!(sp.value.1, start, "value runs are contiguous in a chunk");
+                        sp.value.1 = i;
+                    }
+                    if stop.is_none() {
+                        break; // chunk ended mid-value; spans flushed below
+                    }
+                    let b = bytes[i];
+                    i += 1;
+                    match b {
+                        b'&' => {
+                            // Bank the value so far; the entity decodes
+                            // into the value buffer after it.
+                            if sp.value.1 > sp.value.0 {
+                                self.value.extend_from_slice(&bytes[sp.value.0..sp.value.1]);
+                                sp.value = (0, 0);
+                            }
+                            self.ent.clear();
+                            self.state = State::AttrEntity { quote };
+                        }
+                        b'<' => {
+                            if !self.emit_error(&mut sp, "'<' inside an attribute value", sink) {
+                                return false;
+                            }
+                        }
+                        _ => {
+                            // The closing quote.
+                            self.state = State::AttrSpace;
+                            if !self.emit_attr(bytes, &mut sp, sink) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                State::SelfCloseEnd => {
+                    let b = bytes[i];
+                    i += 1;
+                    if b == b'>' {
+                        self.state = State::Text;
+                        if !sink(Tag::SelfClose) {
+                            return false;
+                        }
+                    } else if !self.emit_error(&mut sp, "expected '>' after '/' in a tag", sink) {
+                        return false;
                     }
                 }
                 State::CloseEnd => {
@@ -733,20 +1082,11 @@ impl Tokenizer {
                     i += 1;
                     if b == b'>' {
                         self.state = State::Text;
-                        if !Self::emit_finish(&mut self.name, bytes, &mut span, Finish::Close, sink)
-                        {
+                        if !self.emit_name(bytes, &mut sp, Finish::Close, sink) {
                             return false;
                         }
-                    } else {
-                        self.state = State::Text;
-                        if !Self::emit_error(
-                            &mut self.name,
-                            &mut span,
-                            "garbage after an end-tag name",
-                            sink,
-                        ) {
-                            return false;
-                        }
+                    } else if !self.emit_error(&mut sp, "garbage after an end-tag name", sink) {
+                        return false;
                     }
                 }
                 State::Bang => {
@@ -806,21 +1146,32 @@ impl Tokenizer {
                 }
                 State::Cdata { brackets: 0 } => match memchr(b']', &bytes[i..]) {
                     Some(k) => {
+                        self.text.extend_from_slice(&bytes[i..i + k]);
                         i += k + 1;
                         self.state = State::Cdata { brackets: 1 };
                     }
-                    None => i = len,
+                    None => {
+                        self.text.extend_from_slice(&bytes[i..]);
+                        i = len;
+                    }
                 },
                 State::Cdata { brackets } => {
                     let b = bytes[i];
                     i += 1;
-                    self.state = match b {
-                        b']' => State::Cdata {
-                            brackets: (brackets + 1).min(2),
-                        },
-                        b'>' if brackets >= 2 => State::Text,
-                        _ => State::Cdata { brackets: 0 },
-                    };
+                    match b {
+                        // At two pending `]`s the oldest is known content.
+                        b']' if brackets >= 2 => self.text.push(b']'),
+                        b']' => self.state = State::Cdata { brackets: 2 },
+                        b'>' if brackets >= 2 => self.state = State::Text,
+                        _ => {
+                            // The pending `]`s were content after all.
+                            for _ in 0..brackets {
+                                self.text.push(b']');
+                            }
+                            self.text.push(b);
+                            self.state = State::Cdata { brackets: 0 };
+                        }
+                    }
                 }
                 State::Comment { dashes: 0 } => match memchr(b'-', &bytes[i..]) {
                     Some(k) => {
@@ -910,49 +1261,149 @@ impl Tokenizer {
                 }
             }
         }
-        // The chunk ended with a tag still open: bank the borrowed name
-        // bytes so the next chunk can continue them. The cap check above
-        // ran before any `break`, so the buffer stays bounded.
-        if span.1 > span.0 {
-            self.name.extend_from_slice(&bytes[span.0..span.1]);
+        // The chunk ended with a construct still open: bank the borrowed
+        // name/value bytes so the next chunk can continue them (the cap
+        // checks above ran before any `break`, so the buffers stay
+        // bounded), and flush any pending text — character data is emitted
+        // at chunk edges, never banked across them.
+        if sp.name.1 > sp.name.0 {
+            self.name.extend_from_slice(&bytes[sp.name.0..sp.name.1]);
+        }
+        if sp.value.1 > sp.value.0 {
+            self.value.extend_from_slice(&bytes[sp.value.0..sp.value.1]);
+        }
+        if (sp.text.1 > sp.text.0 || !self.text.is_empty())
+            && !self.flush_text(bytes, &mut sp, sink)
+        {
+            return false;
         }
         true
     }
 
+    /// Advances an entity reference (text or attribute value) by one byte;
+    /// shared verbatim between the bulk and scalar scanners so error
+    /// positions trivially agree. `Err` carries the [`Tag::Error`] text.
+    fn entity_byte(&mut self, b: u8) -> Result<(), &'static str> {
+        if b == b';' {
+            let back = self.state;
+            match back {
+                State::AttrEntity { .. } => decode_entity(&self.ent, &mut self.value)?,
+                _ => decode_entity(&self.ent, &mut self.text)?,
+            }
+            self.ent.clear();
+            self.state = match back {
+                State::AttrEntity { quote } => State::AttrValue { quote },
+                _ => State::Text,
+            };
+            Ok(())
+        } else if b.is_ascii_alphanumeric() || b == b'#' {
+            if self.ent.len() >= Self::MAX_ENTITY_LEN {
+                Err(UNKNOWN_ENTITY)
+            } else {
+                self.ent.push(b);
+                Ok(())
+            }
+        } else {
+            Err(ENTITY_UNTERMINATED)
+        }
+    }
+
     /// Resolves the pending name — buffered bytes plus the borrowed span —
-    /// and emits the finished tag. Single-chunk names are borrowed straight
-    /// out of `bytes`; only straddling names touch the buffer. Outlined:
-    /// every call site inlines the sink (the whole validation path), and
-    /// only resumption states reach this — keeping one copy keeps the hot
-    /// fused path's code small.
+    /// and emits the finished open/close tag. Single-chunk names are
+    /// borrowed straight out of `bytes`; only straddling names touch the
+    /// buffer. Outlined: every call site inlines the sink (the whole
+    /// validation path), and only resumption states reach this — keeping
+    /// one copy keeps the hot fused path's code small.
     #[inline(never)]
-    fn emit_finish(
-        name: &mut Vec<u8>,
+    fn emit_name(
+        &mut self,
         bytes: &[u8],
-        span: &mut (usize, usize),
+        sp: &mut Spans,
         kind: Finish,
         sink: &mut impl FnMut(Tag<'_>) -> bool,
     ) -> bool {
-        let borrowed = &bytes[span.0..span.1];
-        let name_bytes: &[u8] = if name.is_empty() {
+        let borrowed = &bytes[sp.name.0..sp.name.1];
+        let name_bytes: &[u8] = if self.name.is_empty() {
             borrowed
         } else {
-            name.extend_from_slice(borrowed);
-            name.as_slice()
+            self.name.extend_from_slice(borrowed);
+            self.name.as_slice()
         };
         let keep_going = sink(match kind {
             Finish::Open => Tag::Open(name_bytes),
-            Finish::OpenClose => Tag::OpenClose(name_bytes),
             Finish::Close => Tag::Close(name_bytes),
         });
-        name.clear();
-        *span = (0, 0);
+        self.name.clear();
+        sp.name = (0, 0);
+        keep_going
+    }
+
+    /// Resolves the pending attribute — name and value, buffered and/or
+    /// borrowed — and emits it. Values with no decoded entity and no chunk
+    /// straddle are borrowed straight out of `bytes`.
+    #[inline(never)]
+    fn emit_attr(
+        &mut self,
+        bytes: &[u8],
+        sp: &mut Spans,
+        sink: &mut impl FnMut(Tag<'_>) -> bool,
+    ) -> bool {
+        let name_borrowed = &bytes[sp.name.0..sp.name.1];
+        let value_borrowed = &bytes[sp.value.0..sp.value.1];
+        let name_buffered = !self.name.is_empty();
+        let value_buffered = !self.value.is_empty();
+        if name_buffered {
+            self.name.extend_from_slice(name_borrowed);
+        }
+        if value_buffered {
+            self.value.extend_from_slice(value_borrowed);
+        }
+        let keep_going = sink(Tag::Attr {
+            name: if name_buffered {
+                &self.name
+            } else {
+                name_borrowed
+            },
+            value: if value_buffered {
+                &self.value
+            } else {
+                value_borrowed
+            },
+        });
+        self.name.clear();
+        self.value.clear();
+        sp.name = (0, 0);
+        sp.value = (0, 0);
+        keep_going
+    }
+
+    /// Emits the pending text — decoded buffer plus the borrowed segment —
+    /// as one [`Tag::Text`] segment; a no-op when both are empty.
+    #[inline(never)]
+    fn flush_text(
+        &mut self,
+        bytes: &[u8],
+        sp: &mut Spans,
+        sink: &mut impl FnMut(Tag<'_>) -> bool,
+    ) -> bool {
+        let borrowed = &bytes[sp.text.0..sp.text.1];
+        sp.text = (0, 0);
+        let keep_going = if self.text.is_empty() {
+            if borrowed.is_empty() {
+                return true;
+            }
+            sink(Tag::Text(borrowed))
+        } else {
+            self.text.extend_from_slice(borrowed);
+            sink(Tag::Text(&self.text))
+        };
+        self.text.clear();
         keep_going
     }
 
     /// Emits a tag whose name lies entirely inside the current chunk — the
     /// fused fast path's borrow-only emission (the name buffer is known
-    /// empty and the span untouched, so there is nothing to reset).
+    /// empty and the spans untouched, so there is nothing to reset).
     #[inline]
     fn emit_direct(
         name_bytes: &[u8],
@@ -961,277 +1412,479 @@ impl Tokenizer {
     ) -> bool {
         sink(match kind {
             Finish::Open => Tag::Open(name_bytes),
-            Finish::OpenClose => Tag::OpenClose(name_bytes),
             Finish::Close => Tag::Close(name_bytes),
         })
     }
 
-    /// Emits a [`Tag::Error`], discarding any pending name. Malformed
-    /// markup is never the hot path, and each of the many call sites would
-    /// inline the sink — outline them all into this one cold copy.
+    /// Emits a [`Tag::Error`], discarding every pending construct and
+    /// resuming at character data. Malformed markup is never the hot path,
+    /// and each of the many call sites would inline the sink — outline
+    /// them all into this one cold copy.
     #[cold]
     #[inline(never)]
     fn emit_error(
-        name: &mut Vec<u8>,
-        span: &mut (usize, usize),
+        &mut self,
+        sp: &mut Spans,
         message: &'static str,
         sink: &mut impl FnMut(Tag<'_>) -> bool,
     ) -> bool {
-        name.clear();
-        *span = (0, 0);
+        self.name.clear();
+        self.value.clear();
+        self.text.clear();
+        self.ent.clear();
+        *sp = Spans::default();
+        self.state = State::Text;
         sink(Tag::Error(message))
     }
 
-    /// The original byte-at-a-time scanner, kept verbatim (plus the shared
-    /// name cap) as the reference oracle: `tests/tokenizer_equivalence.rs`
-    /// property-checks [`Tokenizer::feed`] against it over random documents
-    /// and every chunk split, and the E14 benchmark reports the bulk
-    /// scanner's speedup relative to it. Semantics are identical; only the
-    /// scanning strategy differs.
+    /// The byte-at-a-time scanner, kept as the reference oracle:
+    /// `tests/tokenizer_equivalence.rs` property-checks [`Tokenizer::feed`]
+    /// against it over random documents and every chunk split, and the E14
+    /// benchmark reports the bulk scanner's speedup relative to it.
+    /// Semantics are identical; only the scanning strategy differs.
     #[doc(hidden)]
     pub fn feed_scalar(&mut self, bytes: &[u8], sink: &mut impl FnMut(Tag<'_>) -> bool) -> bool {
+        /// What the current byte completed, applied after the state step so
+        /// the borrows of the buffers never overlap the state update.
+        enum Emit {
+            None,
+            Name(Finish),
+            Attr,
+            /// Emit the pending attribute, then start the next attribute's
+            /// name with this byte (a valueless attribute ran into the next
+            /// name with no `=`).
+            AttrThenName(u8),
+            Text,
+            SelfClose,
+            Error(&'static str),
+            /// Flush the aborted text run, then report the error (a bad
+            /// entity reference mid-text).
+            TextThenError(&'static str),
+        }
         for &b in bytes {
-            let mut emit: Option<Tag<'static>> = None;
-            // Set when the byte completes a tag whose name sits in the
-            // buffer (resolved to UTF-8 outside the match, so the borrow of
-            // `self.name` does not overlap `self.state`).
-            let mut finish: Option<Finish> = None;
-            self.state = match self.state {
-                State::Text => match b {
-                    b'<' => State::Lt,
-                    _ => State::Text,
-                },
-                State::Lt => match b {
-                    b'/' => {
-                        self.name.clear();
-                        State::CloseName
-                    }
-                    b'!' => State::Bang,
-                    b'?' => State::Pi { qm: false },
-                    b'>' => {
-                        emit = Some(Tag::Error("empty tag '<>'"));
-                        State::Text
-                    }
-                    _ if is_name_byte(b) => {
-                        self.name.clear();
-                        self.name.push(b);
-                        State::OpenName
-                    }
-                    _ => {
-                        emit = Some(Tag::Error("stray '<' is not followed by a tag name"));
-                        State::Text
-                    }
-                },
-                State::OpenName => match b {
-                    b'>' => {
-                        finish = Some(Finish::Open);
-                        State::Text
-                    }
-                    b'/' => State::Attrs {
-                        quote: Quote::None,
-                        slash: true,
-                    },
-                    _ if b.is_ascii_whitespace() => State::Attrs {
-                        quote: Quote::None,
-                        slash: false,
-                    },
-                    b'<' => {
-                        emit = Some(Tag::Error("'<' inside a tag"));
-                        State::Text
-                    }
-                    _ if is_name_byte(b) => {
-                        if self.name.len() >= self.name_limit {
-                            emit = Some(Tag::Error(NAME_TOO_LONG));
-                            State::Text
+            let mut emit = Emit::None;
+            match self.state {
+                State::Entity | State::AttrEntity { .. } => {
+                    let in_text = self.state == State::Entity;
+                    if let Err(message) = self.entity_byte(b) {
+                        // Flush the text run the bad reference aborted —
+                        // same order as the bulk scanner.
+                        emit = if in_text && !self.text.is_empty() {
+                            Emit::TextThenError(message)
                         } else {
-                            self.name.push(b);
-                            State::OpenName
-                        }
+                            Emit::Error(message)
+                        };
+                        self.state = State::Text;
                     }
-                    _ => {
-                        emit = Some(Tag::Error("malformed start tag"));
-                        State::Text
-                    }
-                },
-                State::Attrs { quote, slash } => match (quote, b) {
-                    (Quote::Single, b'\'') | (Quote::Double, b'"') => State::Attrs {
-                        quote: Quote::None,
-                        slash: false,
-                    },
-                    (Quote::Single, _) | (Quote::Double, _) => State::Attrs { quote, slash },
-                    (Quote::None, b'>') => {
-                        finish = Some(if slash {
-                            Finish::OpenClose
-                        } else {
-                            Finish::Open
-                        });
-                        State::Text
-                    }
-                    (Quote::None, b'/') => State::Attrs {
-                        quote: Quote::None,
-                        slash: true,
-                    },
-                    (Quote::None, b'\'') => State::Attrs {
-                        quote: Quote::Single,
-                        slash: false,
-                    },
-                    (Quote::None, b'"') => State::Attrs {
-                        quote: Quote::Double,
-                        slash: false,
-                    },
-                    (Quote::None, b'<') => {
-                        emit = Some(Tag::Error("'<' inside a tag"));
-                        State::Text
-                    }
-                    (Quote::None, _) => State::Attrs {
-                        quote: Quote::None,
-                        slash: false,
-                    },
-                },
-                State::CloseName => match b {
-                    b'>' if self.name.is_empty() => {
-                        emit = Some(Tag::Error("end tag '</>' has no name"));
-                        State::Text
-                    }
-                    b'>' => {
-                        finish = Some(Finish::Close);
-                        State::Text
-                    }
-                    _ if b.is_ascii_whitespace() && self.name.is_empty() => {
-                        emit = Some(Tag::Error("end tag '</ ' has no name"));
-                        State::Text
-                    }
-                    _ if b.is_ascii_whitespace() => State::CloseEnd,
-                    _ if is_name_byte(b) => {
-                        if self.name.len() >= self.name_limit {
-                            emit = Some(Tag::Error(NAME_TOO_LONG));
-                            State::Text
-                        } else {
-                            self.name.push(b);
-                            State::CloseName
-                        }
-                    }
-                    _ => {
-                        emit = Some(Tag::Error("malformed end tag"));
-                        State::Text
-                    }
-                },
-                State::CloseEnd => match b {
-                    b'>' => {
-                        finish = Some(Finish::Close);
-                        State::Text
-                    }
-                    _ if b.is_ascii_whitespace() => State::CloseEnd,
-                    _ => {
-                        emit = Some(Tag::Error("garbage after an end-tag name"));
-                        State::Text
-                    }
-                },
-                State::Bang => match b {
-                    b'-' => State::BangDash,
-                    b'[' => State::CdataPrefix { matched: 0 },
-                    b'>' => State::Text,
-                    _ => State::Doctype {
-                        depth: 0,
-                        quote: Quote::None,
-                    },
-                },
-                State::BangDash => match b {
-                    b'-' => State::Comment { dashes: 0 },
-                    b'>' => State::Text,
-                    _ => State::Doctype {
-                        depth: 0,
-                        quote: Quote::None,
-                    },
-                },
-                State::CdataPrefix { matched } => {
-                    if b == CDATA_PREFIX[matched as usize] {
-                        if matched as usize + 1 == CDATA_PREFIX.len() {
-                            State::Cdata { brackets: 0 }
-                        } else {
-                            State::CdataPrefix {
-                                matched: matched + 1,
+                }
+                _ => {
+                    self.state = match self.state {
+                        State::Entity | State::AttrEntity { .. } => unreachable!("handled above"),
+                        State::Text => match b {
+                            b'<' => {
+                                if !self.text.is_empty() {
+                                    emit = Emit::Text;
+                                }
+                                State::Lt
+                            }
+                            b'&' => {
+                                self.ent.clear();
+                                State::Entity
+                            }
+                            _ => {
+                                self.text.push(b);
+                                State::Text
+                            }
+                        },
+                        State::Lt => match b {
+                            b'/' => {
+                                self.name.clear();
+                                State::CloseName
+                            }
+                            b'!' => State::Bang,
+                            b'?' => State::Pi { qm: false },
+                            b'>' => {
+                                emit = Emit::Error("empty tag '<>'");
+                                State::Text
+                            }
+                            _ if is_name_byte(b) => {
+                                self.name.clear();
+                                self.name.push(b);
+                                State::OpenName
+                            }
+                            _ => {
+                                emit = Emit::Error("stray '<' is not followed by a tag name");
+                                State::Text
+                            }
+                        },
+                        State::OpenName => match b {
+                            b'>' => {
+                                emit = Emit::Name(Finish::Open);
+                                State::Text
+                            }
+                            b'/' => {
+                                emit = Emit::Name(Finish::Open);
+                                State::SelfCloseEnd
+                            }
+                            _ if b.is_ascii_whitespace() => {
+                                emit = Emit::Name(Finish::Open);
+                                State::AttrSpace
+                            }
+                            b'<' => {
+                                emit = Emit::Error("'<' inside a tag");
+                                State::Text
+                            }
+                            _ if is_name_byte(b) => {
+                                if self.name.len() >= self.name_limit {
+                                    emit = Emit::Error(NAME_TOO_LONG);
+                                    State::Text
+                                } else {
+                                    self.name.push(b);
+                                    State::OpenName
+                                }
+                            }
+                            _ => {
+                                emit = Emit::Error("malformed start tag");
+                                State::Text
+                            }
+                        },
+                        State::AttrSpace => match b {
+                            _ if b.is_ascii_whitespace() => State::AttrSpace,
+                            b'>' => State::Text,
+                            b'/' => State::SelfCloseEnd,
+                            b'<' => {
+                                emit = Emit::Error("'<' inside a tag");
+                                State::Text
+                            }
+                            _ if is_name_byte(b) => {
+                                self.name.push(b);
+                                State::AttrName
+                            }
+                            _ => {
+                                emit = Emit::Error("malformed start tag");
+                                State::Text
+                            }
+                        },
+                        State::AttrName => match b {
+                            b'=' => State::AttrValueStart,
+                            _ if b.is_ascii_whitespace() => State::AttrEq,
+                            b'>' => {
+                                emit = Emit::Attr;
+                                State::Text
+                            }
+                            b'/' => {
+                                emit = Emit::Attr;
+                                State::SelfCloseEnd
+                            }
+                            b'<' => {
+                                emit = Emit::Error("'<' inside a tag");
+                                State::Text
+                            }
+                            _ if is_name_byte(b) => {
+                                if self.name.len() >= self.name_limit {
+                                    emit = Emit::Error(ATTR_TOO_LONG);
+                                    State::Text
+                                } else {
+                                    self.name.push(b);
+                                    State::AttrName
+                                }
+                            }
+                            _ => {
+                                emit = Emit::Error("malformed start tag");
+                                State::Text
+                            }
+                        },
+                        State::AttrEq => match b {
+                            _ if b.is_ascii_whitespace() => State::AttrEq,
+                            b'=' => State::AttrValueStart,
+                            b'>' => {
+                                emit = Emit::Attr;
+                                State::Text
+                            }
+                            b'/' => {
+                                emit = Emit::Attr;
+                                State::SelfCloseEnd
+                            }
+                            b'<' => {
+                                emit = Emit::Error("'<' inside a tag");
+                                State::Text
+                            }
+                            _ if is_name_byte(b) => {
+                                emit = Emit::AttrThenName(b);
+                                State::AttrName
+                            }
+                            _ => {
+                                emit = Emit::Error("malformed start tag");
+                                State::Text
+                            }
+                        },
+                        State::AttrValueStart => match b {
+                            _ if b.is_ascii_whitespace() => State::AttrValueStart,
+                            b'\'' => State::AttrValue {
+                                quote: Quote::Single,
+                            },
+                            b'"' => State::AttrValue {
+                                quote: Quote::Double,
+                            },
+                            b'<' => {
+                                emit = Emit::Error("'<' inside a tag");
+                                State::Text
+                            }
+                            _ => {
+                                emit = Emit::Error("attribute value must be quoted");
+                                State::Text
+                            }
+                        },
+                        State::AttrValue { quote } => match (quote, b) {
+                            (Quote::Single, b'\'') | (Quote::Double, b'"') => {
+                                emit = Emit::Attr;
+                                State::AttrSpace
+                            }
+                            (_, b'&') => {
+                                self.ent.clear();
+                                State::AttrEntity { quote }
+                            }
+                            (_, b'<') => {
+                                emit = Emit::Error("'<' inside an attribute value");
+                                State::Text
+                            }
+                            _ => {
+                                if self.value.len() >= Self::MAX_VALUE_LEN {
+                                    emit = Emit::Error(VALUE_TOO_LONG);
+                                    State::Text
+                                } else {
+                                    self.value.push(b);
+                                    State::AttrValue { quote }
+                                }
+                            }
+                        },
+                        State::SelfCloseEnd => match b {
+                            b'>' => {
+                                emit = Emit::SelfClose;
+                                State::Text
+                            }
+                            _ => {
+                                emit = Emit::Error("expected '>' after '/' in a tag");
+                                State::Text
+                            }
+                        },
+                        State::CloseName => match b {
+                            b'>' if self.name.is_empty() => {
+                                emit = Emit::Error("end tag '</>' has no name");
+                                State::Text
+                            }
+                            b'>' => {
+                                emit = Emit::Name(Finish::Close);
+                                State::Text
+                            }
+                            _ if b.is_ascii_whitespace() && self.name.is_empty() => {
+                                emit = Emit::Error("end tag '</ ' has no name");
+                                State::Text
+                            }
+                            _ if b.is_ascii_whitespace() => State::CloseEnd,
+                            _ if is_name_byte(b) => {
+                                if self.name.len() >= self.name_limit {
+                                    emit = Emit::Error(NAME_TOO_LONG);
+                                    State::Text
+                                } else {
+                                    self.name.push(b);
+                                    State::CloseName
+                                }
+                            }
+                            _ => {
+                                emit = Emit::Error("malformed end tag");
+                                State::Text
+                            }
+                        },
+                        State::CloseEnd => match b {
+                            b'>' => {
+                                emit = Emit::Name(Finish::Close);
+                                State::Text
+                            }
+                            _ if b.is_ascii_whitespace() => State::CloseEnd,
+                            _ => {
+                                emit = Emit::Error("garbage after an end-tag name");
+                                State::Text
+                            }
+                        },
+                        State::Bang => match b {
+                            b'-' => State::BangDash,
+                            b'[' => State::CdataPrefix { matched: 0 },
+                            b'>' => State::Text,
+                            _ => State::Doctype {
+                                depth: 0,
+                                quote: Quote::None,
+                            },
+                        },
+                        State::BangDash => match b {
+                            b'-' => State::Comment { dashes: 0 },
+                            b'>' => State::Text,
+                            _ => State::Doctype {
+                                depth: 0,
+                                quote: Quote::None,
+                            },
+                        },
+                        State::CdataPrefix { matched } => {
+                            if b == CDATA_PREFIX[matched as usize] {
+                                if matched as usize + 1 == CDATA_PREFIX.len() {
+                                    State::Cdata { brackets: 0 }
+                                } else {
+                                    State::CdataPrefix {
+                                        matched: matched + 1,
+                                    }
+                                }
+                            } else {
+                                let depth = match b {
+                                    b']' => 0,
+                                    b'[' => 2,
+                                    _ => 1,
+                                };
+                                State::Doctype {
+                                    depth,
+                                    quote: match b {
+                                        b'\'' => Quote::Single,
+                                        b'"' => Quote::Double,
+                                        _ => Quote::None,
+                                    },
+                                }
                             }
                         }
-                    } else {
-                        let depth = match b {
-                            b']' => 0,
-                            b'[' => 2,
-                            _ => 1,
-                        };
-                        State::Doctype {
-                            depth,
-                            quote: match b {
-                                b'\'' => Quote::Single,
-                                b'"' => Quote::Double,
-                                _ => Quote::None,
+                        State::Cdata { brackets } => match b {
+                            b']' if brackets >= 2 => {
+                                self.text.push(b']');
+                                State::Cdata { brackets: 2 }
+                            }
+                            b']' => State::Cdata {
+                                brackets: brackets + 1,
                             },
-                        }
+                            b'>' if brackets >= 2 => State::Text,
+                            _ => {
+                                for _ in 0..brackets {
+                                    self.text.push(b']');
+                                }
+                                self.text.push(b);
+                                State::Cdata { brackets: 0 }
+                            }
+                        },
+                        State::Comment { dashes } => match b {
+                            b'-' => State::Comment {
+                                dashes: (dashes + 1).min(2),
+                            },
+                            b'>' if dashes >= 2 => State::Text,
+                            _ => State::Comment { dashes: 0 },
+                        },
+                        State::Doctype { depth, quote } => match (quote, b) {
+                            (Quote::Single, b'\'') | (Quote::Double, b'"') => State::Doctype {
+                                depth,
+                                quote: Quote::None,
+                            },
+                            (Quote::Single, _) | (Quote::Double, _) => {
+                                State::Doctype { depth, quote }
+                            }
+                            (Quote::None, b'\'') => State::Doctype {
+                                depth,
+                                quote: Quote::Single,
+                            },
+                            (Quote::None, b'"') => State::Doctype {
+                                depth,
+                                quote: Quote::Double,
+                            },
+                            (Quote::None, b'[') => State::Doctype {
+                                depth: depth.saturating_add(1),
+                                quote: Quote::None,
+                            },
+                            (Quote::None, b']') => State::Doctype {
+                                depth: depth.saturating_sub(1),
+                                quote: Quote::None,
+                            },
+                            (Quote::None, b'>') if depth == 0 => State::Text,
+                            (Quote::None, _) => State::Doctype {
+                                depth,
+                                quote: Quote::None,
+                            },
+                        },
+                        State::Pi { qm } => match b {
+                            b'?' => State::Pi { qm: true },
+                            b'>' if qm => State::Text,
+                            _ => State::Pi { qm: false },
+                        },
+                    };
+                }
+            }
+            match emit {
+                Emit::None => {}
+                Emit::Name(kind) => {
+                    let keep_going = sink(match kind {
+                        Finish::Open => Tag::Open(&self.name),
+                        Finish::Close => Tag::Close(&self.name),
+                    });
+                    self.name.clear();
+                    if !keep_going {
+                        return false;
                     }
                 }
-                State::Cdata { brackets } => match b {
-                    b']' => State::Cdata {
-                        brackets: (brackets + 1).min(2),
-                    },
-                    b'>' if brackets >= 2 => State::Text,
-                    _ => State::Cdata { brackets: 0 },
-                },
-                State::Comment { dashes } => match b {
-                    b'-' => State::Comment {
-                        dashes: (dashes + 1).min(2),
-                    },
-                    b'>' if dashes >= 2 => State::Text,
-                    _ => State::Comment { dashes: 0 },
-                },
-                State::Doctype { depth, quote } => match (quote, b) {
-                    (Quote::Single, b'\'') | (Quote::Double, b'"') => State::Doctype {
-                        depth,
-                        quote: Quote::None,
-                    },
-                    (Quote::Single, _) | (Quote::Double, _) => State::Doctype { depth, quote },
-                    (Quote::None, b'\'') => State::Doctype {
-                        depth,
-                        quote: Quote::Single,
-                    },
-                    (Quote::None, b'"') => State::Doctype {
-                        depth,
-                        quote: Quote::Double,
-                    },
-                    (Quote::None, b'[') => State::Doctype {
-                        depth: depth.saturating_add(1),
-                        quote: Quote::None,
-                    },
-                    (Quote::None, b']') => State::Doctype {
-                        depth: depth.saturating_sub(1),
-                        quote: Quote::None,
-                    },
-                    (Quote::None, b'>') if depth == 0 => State::Text,
-                    (Quote::None, _) => State::Doctype {
-                        depth,
-                        quote: Quote::None,
-                    },
-                },
-                State::Pi { qm } => match b {
-                    b'?' => State::Pi { qm: true },
-                    b'>' if qm => State::Text,
-                    _ => State::Pi { qm: false },
-                },
-            };
-            if let Some(kind) = finish {
-                let keep_going = sink(match kind {
-                    Finish::Open => Tag::Open(&self.name),
-                    Finish::OpenClose => Tag::OpenClose(&self.name),
-                    Finish::Close => Tag::Close(&self.name),
-                });
-                self.name.clear();
-                if !keep_going {
-                    return false;
+                Emit::Attr => {
+                    let keep_going = sink(Tag::Attr {
+                        name: &self.name,
+                        value: &self.value,
+                    });
+                    self.name.clear();
+                    self.value.clear();
+                    if !keep_going {
+                        return false;
+                    }
                 }
-            } else if let Some(tag) = emit {
-                self.name.clear();
-                if !sink(tag) {
-                    return false;
+                Emit::AttrThenName(next) => {
+                    let keep_going = sink(Tag::Attr {
+                        name: &self.name,
+                        value: &self.value,
+                    });
+                    self.name.clear();
+                    self.value.clear();
+                    if !keep_going {
+                        return false;
+                    }
+                    self.name.push(next);
                 }
+                Emit::Text => {
+                    let keep_going = sink(Tag::Text(&self.text));
+                    self.text.clear();
+                    if !keep_going {
+                        return false;
+                    }
+                }
+                Emit::SelfClose => {
+                    if !sink(Tag::SelfClose) {
+                        return false;
+                    }
+                }
+                Emit::Error(message) => {
+                    self.name.clear();
+                    self.value.clear();
+                    self.text.clear();
+                    self.ent.clear();
+                    if !sink(Tag::Error(message)) {
+                        return false;
+                    }
+                }
+                Emit::TextThenError(message) => {
+                    let keep_going = sink(Tag::Text(&self.text));
+                    self.name.clear();
+                    self.value.clear();
+                    self.text.clear();
+                    self.ent.clear();
+                    if !keep_going || !sink(Tag::Error(message)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Flush pending text at the chunk edge, mirroring the bulk scanner.
+        if !self.text.is_empty() {
+            let keep_going = sink(Tag::Text(&self.text));
+            self.text.clear();
+            if !keep_going {
+                return false;
             }
         }
         true
@@ -1242,18 +1895,30 @@ impl Tokenizer {
 mod tests {
     use super::*;
 
-    /// Collects the tags of a byte stream, splitting it into chunks of
+    /// Renders one event compactly: `<n>`, ` n='v'`, `/>`, `</n>`, `'t'`,
+    /// `!err`.
+    fn render(tag: &Tag<'_>) -> String {
+        match tag {
+            Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
+            Tag::Attr { name, value } => format!(
+                " {}='{}'",
+                String::from_utf8_lossy(name),
+                String::from_utf8_lossy(value)
+            ),
+            Tag::SelfClose => "/>".to_owned(),
+            Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
+            Tag::Text(t) => format!("'{}'", String::from_utf8_lossy(t)),
+            Tag::Error(e) => format!("!{e}"),
+        }
+    }
+
+    /// Collects the events of a byte stream, splitting it into chunks of
     /// `chunk` bytes (0 = one chunk); `scalar` selects the oracle scanner.
     fn scan_with(input: &[u8], chunk: usize, scalar: bool) -> Vec<String> {
         let mut t = Tokenizer::default();
         let mut out = Vec::new();
         let mut push = |tag: Tag<'_>| {
-            out.push(match tag {
-                Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
-                Tag::OpenClose(n) => format!("<{}/>", String::from_utf8_lossy(n)),
-                Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
-                Tag::Error(e) => format!("!{e}"),
-            });
+            out.push(render(&tag));
             true
         };
         let parts: Vec<&[u8]> = if chunk == 0 {
@@ -1271,8 +1936,29 @@ mod tests {
         out
     }
 
+    /// Merges consecutive `Text` renderings — segment boundaries move with
+    /// the chunking, their concatenation does not.
+    fn normalize(events: Vec<String>) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for e in events {
+            if e.starts_with('\'') && e.ends_with('\'') && e.len() >= 2 {
+                if let Some(last) = out.last_mut() {
+                    if last.starts_with('\'') && last.ends_with('\'') {
+                        let inner = &e[1..e.len() - 1];
+                        last.truncate(last.len() - 1);
+                        last.push_str(inner);
+                        last.push('\'');
+                        continue;
+                    }
+                }
+            }
+            out.push(e);
+        }
+        out
+    }
+
     /// Scans with the bulk scanner, asserting the scalar oracle agrees at
-    /// the same chunking and that the scanner ends between constructs.
+    /// the same chunking and that a whole-document scan ends idle.
     fn scan(input: &str, chunk: usize) -> Vec<String> {
         let bulk = scan_with(input.as_bytes(), chunk, false);
         let scalar = scan_with(input.as_bytes(), chunk, true);
@@ -1283,25 +1969,115 @@ mod tests {
         bulk
     }
 
-    #[test]
-    fn plain_tags_and_text() {
-        assert_eq!(scan("<a>text<b/>more</a>", 0), vec!["<a>", "<b/>", "</a>"]);
+    /// Asserts the normalized event stream is `want` for the whole document
+    /// and at every chunk size.
+    fn scan_all_splits(input: &str, want: &[&str]) {
+        assert_eq!(normalize(scan(input, 0)), want, "whole: {input}");
+        for chunk in 1..input.len() {
+            assert_eq!(
+                normalize(scan(input, chunk)),
+                want,
+                "chunk {chunk}: {input}"
+            );
+        }
     }
 
     #[test]
-    fn attributes_with_tricky_quotes() {
+    fn plain_tags_and_text() {
         assert_eq!(
-            scan(r#"<a href="x>y" title='a/b'><b checked/></a>"#, 0),
-            vec!["<a>", "<b/>", "</a>"]
+            scan("<a>text<b/>more</a>", 0),
+            vec!["<a>", "'text'", "<b>", "/>", "'more'", "</a>"]
         );
     }
 
     #[test]
-    fn comments_cdata_pi_doctype_are_skipped() {
+    fn slash_inside_quoted_value_is_not_self_closing() {
+        // A '/' inside a quoted attribute value must never mark the tag
+        // self-closing: only a '/' directly before the closing '>' and
+        // outside any quote does. Pinned across every chunk split so the
+        // property stays provable through tokenizer refactors.
+        scan_all_splits(
+            r#"<a x='a/b'><c/></a>"#,
+            &["<a>", " x='a/b'", "<c>", "/>", "</a>"],
+        );
+        scan_all_splits(r#"<a x="/"></a>"#, &["<a>", " x='/'", "</a>"]);
+        scan_all_splits(r#"<a t='a/b'/>"#, &["<a>", " t='a/b'", "/>"]);
+        scan_all_splits(
+            r#"<a x='/' y="/"></a>"#,
+            &["<a>", " x='/'", " y='/'", "</a>"],
+        );
+    }
+
+    #[test]
+    fn attributes_with_tricky_quotes() {
+        scan_all_splits(
+            r#"<a href="x>y" title='a"b'><b checked/></a>"#,
+            &[
+                "<a>",
+                " href='x>y'",
+                " title='a\"b'",
+                "<b>",
+                " checked=''",
+                "/>",
+                "</a>",
+            ],
+        );
+    }
+
+    #[test]
+    fn valueless_attributes_and_spacing() {
+        scan_all_splits(
+            "<a one two = 'v' three>x</a>",
+            &["<a>", " one=''", " two='v'", " three=''", "'x'", "</a>"],
+        );
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_values() {
+        scan_all_splits(
+            "<a>x &amp; y &#65;&#x42;</a>",
+            &["<a>", "'x & y AB'", "</a>"],
+        );
+        scan_all_splits(
+            r#"<a q='&quot;&apos;' lt="&lt;&gt;"/>"#,
+            &["<a>", " q='\"''", " lt='<>'", "/>"],
+        );
+    }
+
+    #[test]
+    fn entity_errors_are_reported() {
+        assert_eq!(scan("<a>&nope;</a>", 0)[1], format!("!{UNKNOWN_ENTITY}"));
+        assert_eq!(scan("<a>&#xD800;</a>", 0)[1], format!("!{BAD_CHAR_REF}"));
+        assert_eq!(scan("<a>&# ;</a>", 0)[1], format!("!{ENTITY_UNTERMINATED}"));
+        assert_eq!(scan("<a>&;</a>", 0)[1], format!("!{UNKNOWN_ENTITY}"));
+        assert_eq!(
+            scan("<a x='&aVeryLongEntityName;'/>", 0)[1],
+            format!("!{UNKNOWN_ENTITY}")
+        );
+        // Bulk and scalar agree at every split even through the error.
+        let input = "<a>pre&bogus;post</a>";
+        for chunk in 1..input.len() {
+            scan(input, chunk);
+        }
+    }
+
+    #[test]
+    fn comments_cdata_pi_doctype() {
         let input = "<?xml version=\"1.0\"?>\
                      <!DOCTYPE doc [ <!ELEMENT doc (a)*> ]>\
                      <doc><!-- a > b --><a/><![CDATA[ <not-a-tag> ]]></doc>";
-        assert_eq!(scan(input, 0), vec!["<doc>", "<a/>", "</doc>"]);
+        assert_eq!(
+            normalize(scan(input, 0)),
+            vec!["<doc>", "<a>", "/>", "' <not-a-tag> '", "</doc>"]
+        );
+    }
+
+    #[test]
+    fn cdata_bracket_runs_are_content() {
+        scan_all_splits(
+            "<doc><![CDATA[a]]b]]]>z]]></doc>",
+            &["<doc>", "'a]]b]z]]>'", "</doc>"],
+        );
     }
 
     #[test]
@@ -1309,22 +2085,16 @@ mod tests {
         // SystemLiteral legally contains '>' and '<'; quote tracking keeps
         // the doctype from terminating early.
         let input = "<!DOCTYPE doc SYSTEM \"x>y<z\" [ <!ENTITY e '>]'> ]><doc><a/></doc>";
-        assert_eq!(scan(input, 0), vec!["<doc>", "<a/>", "</doc>"]);
-        for chunk in 1..input.len() {
-            assert_eq!(
-                scan(input, chunk),
-                vec!["<doc>", "<a/>", "</doc>"],
-                "chunk size {chunk}"
-            );
-        }
+        scan_all_splits(input, &["<doc>", "<a>", "/>", "</doc>"]);
     }
 
     #[test]
     fn every_chunk_size_agrees() {
-        let input = "<?pi data?><doc attr=\"v>\"><!--c--><a x='1'/>t<b></b><![CDATA[]]]>]]></doc>";
-        let whole = scan(input, 0);
+        let input = "<?pi data?><doc attr=\"v>\"><!--c--><a x='1'/>t&amp;u<b></b>\
+                     <![CDATA[]]]>]]></doc>";
+        let whole = normalize(scan(input, 0));
         for chunk in 1..input.len() {
-            assert_eq!(scan(input, chunk), whole, "chunk size {chunk}");
+            assert_eq!(normalize(scan(input, chunk)), whole, "chunk size {chunk}");
         }
     }
 
@@ -1338,6 +2108,11 @@ mod tests {
             "!stray '<' is not followed by a tag name"
         );
         assert_eq!(scan("</a b>", 0)[0], "!garbage after an end-tag name");
+        // Stricter than the attribute-skipping grammar: these are real XML
+        // errors that would make attribute events ambiguous.
+        assert_eq!(scan("<a x=1>", 0)[1], "!attribute value must be quoted");
+        assert_eq!(scan("<a / >", 0)[1], "!expected '>' after '/' in a tag");
+        assert_eq!(scan("<a x='<'>", 0)[1], "!'<' inside an attribute value");
     }
 
     #[test]
@@ -1366,11 +2141,13 @@ mod tests {
     }
 
     #[test]
-    fn single_chunk_names_are_borrowed_not_buffered() {
+    fn single_chunk_events_are_borrowed_not_buffered() {
         let mut t = Tokenizer::default();
-        assert!(t.feed(b"<alpha><beta attr='v'/></alpha>", &mut |_| true));
-        // Completed-in-chunk names never touch the buffer.
+        assert!(t.feed(b"<alpha><beta attr='v'/>text</alpha>", &mut |_| true));
+        // Completed-in-chunk names, values and text never touch the buffers.
         assert_eq!(t.name.capacity(), 0);
+        assert_eq!(t.value.capacity(), 0);
+        assert_eq!(t.text.capacity(), 0);
         // A straddling name does, and the flush covers exactly the name.
         assert!(t.feed(b"<gam", &mut |_| true));
         assert_eq!(t.name, b"gam");
@@ -1379,38 +2156,79 @@ mod tests {
     #[test]
     fn over_long_names_are_capped_with_a_bounded_buffer() {
         let hostile = vec![b'a'; 10 * Tokenizer::MAX_NAME_LEN];
-        for chunk in [0usize, 1, 7, 4096, 10_000] {
-            let mut input = b"<x><".to_vec();
-            input.extend_from_slice(&hostile);
-            input.extend_from_slice(b" y='z'><x/>");
-            let got = scan_with(&input, chunk, false);
-            assert_eq!(got, scan_with(&input, chunk, true), "chunk {chunk}");
-            // The one real tag, one error for the hostile name, and the
-            // trailing `<x/>` recovered as markup again.
-            assert_eq!(
-                got,
-                vec![
-                    "<x>".to_owned(),
-                    format!("!{NAME_TOO_LONG}"),
-                    "<x/>".to_owned()
-                ],
-                "chunk {chunk}"
-            );
+        let mut input = b"<x><".to_vec();
+        input.extend_from_slice(&hostile);
+        input.extend_from_slice(b" y='z'><x/>");
+        let whole = normalize(scan_with(&input, 0, false));
+        assert_eq!(whole[0], "<x>");
+        assert_eq!(whole[1], format!("!{NAME_TOO_LONG}"));
+        // After the error the rest of the hostile run is plain text up to
+        // the next '<'.
+        assert!(whole[2].starts_with("'aaa"), "got {:?}", &whole[2]);
+        assert_eq!(&whole[3..], ["<x>", "/>"]);
+        for chunk in [1usize, 7, 4096, 10_000] {
+            let bulk = scan_with(&input, chunk, false);
+            assert_eq!(bulk, scan_with(&input, chunk, true), "chunk {chunk}");
+            assert_eq!(normalize(bulk), whole, "chunk {chunk}");
         }
         // The buffer a hostile stream can pin stays bounded by the cap, not
         // the stream length.
         let mut t = Tokenizer::default();
         assert!(t.feed(b"<", &mut |_| true));
         for chunk in hostile.chunks(977) {
-            assert!(t.feed(chunk, &mut |tag| {
-                assert_eq!(tag, Tag::Error(NAME_TOO_LONG));
-                true
-            }));
+            assert!(t.feed(chunk, &mut |_| true));
         }
         assert!(
             t.name.capacity() <= 2 * Tokenizer::MAX_NAME_LEN,
             "name buffer grew past the cap: {}",
             t.name.capacity()
         );
+    }
+
+    #[test]
+    fn over_long_attribute_names_and_values_are_capped() {
+        let long_name = "b".repeat(Tokenizer::MAX_NAME_LEN + 8);
+        let input = format!("<a {long_name}='v'/>");
+        let got = scan(&input, 0);
+        assert_eq!(got[1], format!("!{ATTR_TOO_LONG}"));
+        let long_value = "v".repeat(Tokenizer::MAX_VALUE_LEN + 8);
+        let input = format!("<a x='{long_value}'/>");
+        for chunk in [0usize, 1, 4096] {
+            let bulk = scan_with(input.as_bytes(), chunk, false);
+            assert_eq!(
+                bulk,
+                scan_with(input.as_bytes(), chunk, true),
+                "chunk {chunk}"
+            );
+            assert_eq!(bulk[1], format!("!{VALUE_TOO_LONG}"), "chunk {chunk}");
+        }
+        // The pinned value buffer stays bounded by the cap.
+        let mut t = Tokenizer::default();
+        assert!(t.feed(b"<a x='", &mut |_| true));
+        for chunk in long_value.as_bytes().chunks(977) {
+            assert!(t.feed(chunk, &mut |_| true));
+        }
+        assert!(
+            t.value.capacity() <= 2 * Tokenizer::MAX_VALUE_LEN,
+            "value buffer grew past the cap: {}",
+            t.value.capacity()
+        );
+    }
+
+    #[test]
+    fn text_is_flushed_at_chunk_edges_never_banked() {
+        let mut t = Tokenizer::default();
+        let mut segments = Vec::new();
+        for chunk in [&b"<a>hel"[..], &b"lo</a>"[..]] {
+            assert!(t.feed(chunk, &mut |tag| {
+                if let Tag::Text(s) = tag {
+                    segments.push(String::from_utf8_lossy(s).into_owned());
+                }
+                true
+            }));
+            // Nothing pending between feeds: the segment was emitted.
+            assert_eq!(t.text.capacity(), 0);
+        }
+        assert_eq!(segments, ["hel", "lo"]);
     }
 }

@@ -11,6 +11,16 @@
 //! per-symbol dispatch table, so a `start_element` event is two indexed
 //! loads and a `Vec` push.
 //!
+//! Markup beyond element shape is checked the same way:
+//! [`DocumentValidator::attribute`] resolves each attribute against the
+//! open start tag's flat `<!ATTLIST>` table (undeclared / duplicate /
+//! missing-`#REQUIRED` diagnostics, the last via a 64-bit mask closed by
+//! the next structural event), and [`DocumentValidator::text`] checks each
+//! run of character data against the enclosing element's mixed-content
+//! flag (`#PCDATA` / `ANY`). Neither grows the 16-byte [`Frame`]: the
+//! attribute scratch is validator-level, and text feeds no content-model
+//! transition.
+//!
 //! Because content models are deterministic, a rejected feed is final: the
 //! validator reports one structured [`Diagnostic`] — with the element path
 //! and event index — at the *earliest* offending event, then stays quiet
@@ -47,8 +57,9 @@ const UNKNOWN: u32 = u32::MAX;
 /// and the [`ValidatorPool`] batches ship in (see
 /// [`DocumentValidator::validate_events`]).
 ///
-/// Marked `#[non_exhaustive]`: later revisions will grow richer event kinds
-/// (text nodes, attributes) — keep a wildcard arm when matching.
+/// Marked `#[non_exhaustive]`: later revisions may grow richer event kinds
+/// (processing instructions, typed attribute values) — keep a wildcard arm
+/// when matching.
 ///
 /// [`ValidatorPool`]: crate::ValidatorPool
 /// [`ValidationService::feed`]: crate::ValidationService::feed
@@ -59,6 +70,17 @@ pub enum DocEvent {
     Open(Symbol),
     /// Closes the innermost open element.
     Close,
+    /// Names one attribute of the element most recently opened. Attribute
+    /// events follow their `Open` and precede the element's first child,
+    /// text run, or `Close` — exactly where attributes sit in a start tag.
+    /// Attribute names share the element-name alphabet (see
+    /// [`Schema::lookup`]).
+    Attr(Symbol),
+    /// One run of non-whitespace character data inside the innermost open
+    /// element. The event is payload-free: validation only needs to know
+    /// *that* character data occurred, and whether the enclosing element's
+    /// content model allows it (`#PCDATA` / `ANY`).
+    Text,
 }
 
 /// What a `start_element` event did to the parent's content check (computed
@@ -141,12 +163,39 @@ pub struct DocumentValidator {
     /// Whether the event-budget diagnostic was already recorded for the
     /// current document (report once, stay quiet).
     event_limit_reported: bool,
+    /// Whether a start tag's attribute list is still open — set by the
+    /// `start_element` family, cleared by the next structural event (which
+    /// is when `#REQUIRED` attributes are known to be missing).
+    pending_active: bool,
+    /// Dense symbol index of the element whose attribute list is open
+    /// ([`UNKNOWN`] for elements that are structurally unchecked — unknown
+    /// names and depth-overflow opens take attributes without checks).
+    pending_sym: u32,
+    /// Event index of the pending element's open event — missing-required
+    /// diagnostics anchor here, so their location is chunking-invariant.
+    pending_event: usize,
+    /// Still-unseen `#REQUIRED` attributes of the pending element (bit `i` =
+    /// `i`-th declaration in the element's attribute table).
+    required_missing: u64,
+    /// Epoch stamps for duplicate detection, one slot per attribute
+    /// declaration in the schema ([`Schema::attr_decl_count`]) — sized once
+    /// at construction, never cleared: a slot counts as "seen" only when its
+    /// stamp equals the current epoch.
+    seen: Vec<u64>,
+    /// Bumped on every known-element open; stamps `seen`.
+    epoch: u64,
+    /// Byte-front-end state: whether the current logical text run has
+    /// already been counted as a [`DocEvent::Text`]-equivalent event (text
+    /// segments split by chunk boundaries or comments must not count
+    /// twice). Reset by every structural event.
+    in_text: bool,
 }
 
 impl DocumentValidator {
     /// Creates a validator over `schema` (see also [`Schema::validator`]).
     #[must_use]
     pub fn new(schema: Arc<Schema>) -> Self {
+        let seen = vec![0; schema.attr_decl_count()];
         DocumentValidator {
             schema,
             frames: Vec::new(),
@@ -159,6 +208,13 @@ impl DocumentValidator {
             max_events: usize::MAX,
             depth_overflow: 0,
             event_limit_reported: false,
+            pending_active: false,
+            pending_sym: UNKNOWN,
+            pending_event: 0,
+            required_missing: 0,
+            seen,
+            epoch: 0,
+            in_text: false,
         }
     }
 
@@ -261,10 +317,278 @@ impl DocumentValidator {
         }
     }
 
+    /// Checks one attribute of the element most recently opened, by
+    /// pre-interned name symbol (attribute names share the element-name
+    /// alphabet — see [`Schema::lookup`]). Undeclared and duplicate
+    /// attributes are diagnosed immediately; missing `#REQUIRED` attributes
+    /// are diagnosed by the next structural event, anchored at the open
+    /// event. Attributes of unknown (or depth-swallowed) elements are
+    /// accepted unchecked, mirroring their `ANY` content semantics.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not handed out by this schema's alphabet.
+    pub fn attribute(&mut self, sym: Symbol) {
+        let event = self.take_event();
+        if !self.pending_active {
+            self.attribute_misplaced(event);
+            return;
+        }
+        if self.pending_sym == UNKNOWN {
+            return;
+        }
+        self.check_attribute(sym, event);
+    }
+
+    /// Checks one attribute by the raw name bytes a [`crate::Tokenizer`]
+    /// hands out — the per-attribute path of
+    /// [`ValidationService::feed_bytes`]. A schema hit resolves the symbol
+    /// with no UTF-8 round trip; names outside the alphabet are undeclared
+    /// by construction.
+    ///
+    /// [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
+    #[inline]
+    pub fn attribute_bytes(&mut self, name: &[u8]) {
+        let event = self.take_event();
+        if !self.pending_active {
+            self.attribute_misplaced(event);
+            return;
+        }
+        if self.pending_sym == UNKNOWN {
+            return;
+        }
+        match self.schema.lookup_bytes(name) {
+            Some(sym) => self.check_attribute(sym, event),
+            None => match std::str::from_utf8(name) {
+                Ok(name) => self.attribute_undeclared(name.to_owned(), event),
+                Err(_) => self.report_markup("attribute name is not valid UTF-8".to_owned()),
+            },
+        }
+    }
+
+    /// The shared declared-attribute check: resolve the name against the
+    /// pending element's flat attribute table, stamp the duplicate epoch,
+    /// clear the required bit.
+    fn check_attribute(&mut self, sym: Symbol, event: usize) {
+        let needle = sym.index() as u32;
+        let (found, start) = {
+            let (decls, start) = self.schema.attrs_of(self.pending_sym);
+            (decls.iter().position(|d| d.sym == needle), start)
+        };
+        match found {
+            Some(i) => {
+                let slot = start as usize + i;
+                if self.seen[slot] == self.epoch {
+                    let name = self.schema.name(sym).to_owned();
+                    self.attribute_issue(
+                        Code::DuplicateAttribute,
+                        format!("attribute '{name}' appears more than once"),
+                        event,
+                    );
+                } else {
+                    self.seen[slot] = self.epoch;
+                    self.required_missing &= !(1u64 << i);
+                }
+            }
+            None => {
+                let name = self.schema.name(sym).to_owned();
+                self.attribute_undeclared(name, event);
+            }
+        }
+    }
+
+    /// The cold undeclared-attribute arm shared by the symbol and byte
+    /// surfaces (so both report byte-identical diagnostics).
+    #[cold]
+    fn attribute_undeclared(&mut self, name: String, event: usize) {
+        self.attribute_issue(
+            Code::UndeclaredAttribute,
+            format!("attribute '{name}' is not declared"),
+            event,
+        );
+    }
+
+    /// Reports an attribute diagnostic against the pending element.
+    #[cold]
+    fn attribute_issue(&mut self, code: Code, what: String, event: usize) {
+        let elem = self
+            .schema
+            .name(Symbol::from_index(self.pending_sym as usize))
+            .to_owned();
+        let path = self.path_with(None);
+        self.diagnostics.push(
+            Diagnostic::new(code, format!("{what} on element '{elem}'"))
+                .with_location(DocLocation { path, event }),
+        );
+    }
+
+    /// An attribute event with no open attribute list (no structural event
+    /// may separate an `Open` from its attributes).
+    #[cold]
+    fn attribute_misplaced(&mut self, event: usize) {
+        let path = self.path_with(None);
+        self.diagnostics.push(
+            Diagnostic::new(
+                Code::MalformedMarkup,
+                "attribute appears outside of a start tag",
+            )
+            .with_location(DocLocation { path, event }),
+        );
+    }
+
+    /// Consumes one run of non-whitespace character data inside the
+    /// innermost open element — the event-surface twin of
+    /// [`DocumentValidator::text_segment`]. Text is *stray* (E211) unless
+    /// the enclosing element allows it: `#PCDATA` in its content model,
+    /// `ANY`, or an element the schema does not constrain.
+    pub fn text(&mut self) {
+        self.finalize_attrs();
+        let event = self.take_event();
+        self.check_text(event);
+    }
+
+    /// Consumes one decoded text segment from a [`crate::Tokenizer`] — the
+    /// per-text path of [`ValidationService::feed_bytes`]. Segments are
+    /// coalesced into *logical runs*: whitespace-only segments outside a run
+    /// are ignored, the first non-whitespace segment counts as one
+    /// [`DocEvent::Text`]-equivalent event, and further segments of the same
+    /// run (split by chunk boundaries, comments, or CDATA sections) are
+    /// free — so event counts and verdicts are chunking-invariant and
+    /// byte-identical to the event surface.
+    ///
+    /// [`ValidationService::feed_bytes`]: crate::ValidationService::feed_bytes
+    #[inline]
+    pub fn text_segment(&mut self, bytes: &[u8]) {
+        if self.in_text {
+            return;
+        }
+        if bytes
+            .iter()
+            .all(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            return;
+        }
+        self.in_text = true;
+        self.finalize_attrs();
+        let event = self.take_event();
+        self.check_text(event);
+    }
+
+    /// The shared stray-text check behind [`DocumentValidator::text`] and
+    /// [`DocumentValidator::text_segment`].
+    fn check_text(&mut self, event: usize) {
+        if self.depth_overflow > 0 {
+            // Inside a depth-swallowed subtree: structurally unchecked.
+            return;
+        }
+        let stray = match self.frames.last_mut() {
+            None => {
+                self.diagnostics.push(
+                    Diagnostic::new(
+                        Code::StrayText,
+                        "character data appears outside the document element",
+                    )
+                    .with_location(DocLocation {
+                        path: String::new(),
+                        event,
+                    }),
+                );
+                return;
+            }
+            Some(frame) => match frame.state {
+                FrameState::Any | FrameState::Dead => false,
+                FrameState::Pos(_) | FrameState::Leaf => {
+                    if self.schema.text_allowed(frame.sym) {
+                        false
+                    } else {
+                        frame.state = FrameState::Dead;
+                        true
+                    }
+                }
+                FrameState::Counted => {
+                    if self.schema.text_allowed(frame.sym) {
+                        false
+                    } else {
+                        frame.state = FrameState::Dead;
+                        // The element's check is over; recycle its state.
+                        if let Some(state) = self.counted.pop() {
+                            self.pool.push(state);
+                        }
+                        true
+                    }
+                }
+            },
+        };
+        if stray {
+            let name = self.last_frame_name().to_owned();
+            let path = self.path_with(None);
+            self.diagnostics.push(
+                Diagnostic::new(
+                    Code::StrayText,
+                    format!("element '{name}' does not allow character data"),
+                )
+                .with_location(DocLocation { path, event }),
+            );
+        }
+    }
+
+    /// Every structural event funnels through here first: close the pending
+    /// attribute list (reporting missing `#REQUIRED` attributes at the open
+    /// event) and end the current text run.
+    #[inline]
+    fn begin_structural(&mut self) {
+        self.in_text = false;
+        self.finalize_attrs();
+    }
+
+    /// Closes the pending attribute list, diagnosing the first still-missing
+    /// `#REQUIRED` attribute (anchored at the open event, so the location is
+    /// identical whatever ends the start tag — a child, text, a close, or
+    /// the end of the document).
+    #[inline]
+    fn finalize_attrs(&mut self) {
+        if !self.pending_active {
+            return;
+        }
+        self.pending_active = false;
+        if self.required_missing != 0 {
+            self.missing_required();
+        }
+    }
+
+    /// The cold missing-`#REQUIRED` arm of `finalize_attrs`.
+    #[cold]
+    fn missing_required(&mut self) {
+        let i = self.required_missing.trailing_zeros() as usize;
+        self.required_missing = 0;
+        let (name, elem) = {
+            let (decls, _) = self.schema.attrs_of(self.pending_sym);
+            let name = decls
+                .get(i)
+                .map(|d| self.schema.name(Symbol::from_index(d.sym as usize)))
+                .unwrap_or("?")
+                .to_owned();
+            let elem = self
+                .schema
+                .name(Symbol::from_index(self.pending_sym as usize))
+                .to_owned();
+            (name, elem)
+        };
+        let path = self.path_with(None);
+        let event = self.pending_event;
+        self.diagnostics.push(
+            Diagnostic::new(
+                Code::MissingRequiredAttribute,
+                format!("element '{elem}' is missing the required attribute '{name}'"),
+            )
+            .with_location(DocLocation { path, event }),
+        );
+    }
+
     /// The shared unknown-element cold path: diagnose, then open a
     /// match-anything frame so validation can continue structurally.
     #[cold]
     fn start_element_unknown(&mut self, name: &str) {
+        self.begin_structural();
         let event = self.take_event();
         if self.depth_overflow > 0 || self.frames.len() >= self.max_depth {
             self.overflow_open(Err(name), event);
@@ -285,6 +609,11 @@ impl DocumentValidator {
             children: 0,
             state: FrameState::Any,
         });
+        // Unknown elements carry attributes but get no attribute checks.
+        self.pending_active = true;
+        self.pending_sym = UNKNOWN;
+        self.pending_event = event;
+        self.required_missing = 0;
     }
 
     /// Opens an element by pre-interned symbol — the hash-free hot path:
@@ -294,6 +623,7 @@ impl DocumentValidator {
     /// # Panics
     /// Panics if `sym` was not handed out by this schema's alphabet.
     pub fn start_element_symbol(&mut self, sym: Symbol) {
+        self.begin_structural();
         let event = self.take_event();
         if self.depth_overflow > 0 || self.frames.len() >= self.max_depth {
             self.overflow_open(Ok(sym), event);
@@ -328,6 +658,13 @@ impl DocumentValidator {
             children: 0,
             state,
         });
+        // Open the element's attribute list: fresh duplicate epoch, all its
+        // #REQUIRED attributes still missing.
+        self.pending_active = true;
+        self.pending_sym = sym.index() as u32;
+        self.pending_event = event;
+        self.required_missing = self.schema.required_mask(sym.index() as u32);
+        self.epoch += 1;
     }
 
     /// The depth-governor's open path: swallow the over-deep open (the
@@ -351,11 +688,18 @@ impl DocumentValidator {
             );
         }
         self.depth_overflow += 1;
+        // Swallowed opens still take attribute events — unchecked, like
+        // unknown elements.
+        self.pending_active = true;
+        self.pending_sym = UNKNOWN;
+        self.pending_event = event;
+        self.required_missing = 0;
     }
 
     /// Closes the innermost open element, checking that its content may end
     /// here.
     pub fn end_element(&mut self) {
+        self.begin_structural();
         if self.depth_overflow > 0 {
             // Closing an open the depth governor swallowed: just rebalance.
             let _ = self.take_event();
@@ -420,6 +764,7 @@ impl DocumentValidator {
     /// for the next document (keeping its warmed-up buffers), and returns
     /// the collected diagnostics, if any.
     pub fn finish(&mut self) -> Result<(), Vec<Diagnostic>> {
+        self.begin_structural();
         if !self.frames.is_empty() || self.depth_overflow > 0 {
             let event = self.events;
             let path = self.path_with(None);
@@ -459,6 +804,8 @@ impl DocumentValidator {
             match event {
                 DocEvent::Open(sym) => self.start_element_symbol(sym),
                 DocEvent::Close => self.end_element(),
+                DocEvent::Attr(sym) => self.attribute(sym),
+                DocEvent::Text => self.text(),
             }
         }
         self.finish()
@@ -983,5 +1330,169 @@ mod tests {
         v.end_element();
         let err = v.finish().unwrap_err();
         assert_eq!(err[0].code(), Code::IncompleteElement);
+    }
+
+    /// `book` takes a required `isbn` and an optional `lang`; `title` is a
+    /// `(#PCDATA)` leaf.
+    fn attributed() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .element("book", "(title)")
+            .element_text("title")
+            .attribute("book", "isbn", true)
+            .attribute("book", "lang", false)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn required_attributes_are_enforced_at_the_open_event() {
+        let schema = attributed();
+        let s = |n: &str| schema.lookup(n).unwrap();
+        let mut v = schema.validator();
+        v.start_element_symbol(s("book"));
+        v.attribute(s("isbn"));
+        v.start_element_symbol(s("title"));
+        v.end_element();
+        v.end_element();
+        assert!(v.finish().is_ok());
+        // The optional attribute alone does not satisfy the required one.
+        v.start_element_symbol(s("book"));
+        v.attribute(s("lang"));
+        v.start_element_symbol(s("title"));
+        v.end_element();
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::MissingRequiredAttribute);
+        assert!(err[0].message().contains("'isbn'"), "{}", err[0]);
+        let loc = err[0].location().unwrap();
+        // Anchored at <book>'s open event, not wherever the tag ended.
+        assert_eq!(loc.event, 0);
+        assert_eq!(loc.path, "book");
+    }
+
+    #[test]
+    fn undeclared_and_duplicate_attributes_are_diagnosed() {
+        let schema = attributed();
+        let s = |n: &str| schema.lookup(n).unwrap();
+        let mut v = schema.validator();
+        v.start_element_symbol(s("book"));
+        v.attribute(s("isbn"));
+        v.attribute(s("isbn"));
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::DuplicateAttribute);
+        assert_eq!(err[0].location().unwrap().event, 2);
+        // An alphabet name that is not in the element's table (the byte
+        // surface reports the identical diagnostic).
+        v.start_element_symbol(s("book"));
+        v.attribute(s("title"));
+        let by_symbol = v.finish().unwrap_err();
+        v.start_element_bytes(b"book");
+        v.attribute_bytes(b"title");
+        let by_bytes = v.finish().unwrap_err();
+        assert_eq!(by_symbol[0].code(), Code::UndeclaredAttribute);
+        assert_eq!(by_symbol[0].to_string(), by_bytes[0].to_string());
+        // A name outside the alphabet is undeclared by construction.
+        v.start_element_bytes(b"book");
+        v.attribute_bytes(b"publisher");
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::UndeclaredAttribute);
+        assert!(err[0].message().contains("'publisher'"), "{}", err[0]);
+    }
+
+    #[test]
+    fn attributes_outside_a_start_tag_are_malformed() {
+        let schema = attributed();
+        let s = |n: &str| schema.lookup(n).unwrap();
+        let mut v = schema.validator();
+        v.start_element_symbol(s("title"));
+        v.text();
+        v.attribute(s("lang"));
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::MalformedMarkup);
+        assert!(
+            err[0].message().contains("outside of a start tag"),
+            "{}",
+            err[0]
+        );
+    }
+
+    #[test]
+    fn attributes_on_unknown_elements_are_unchecked() {
+        let schema = attributed();
+        let mut v = schema.validator();
+        v.start_element("mystery");
+        v.attribute_bytes(b"anything");
+        v.attribute_bytes(b"anything");
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err.len(), 1, "{err:?}");
+        assert_eq!(err[0].code(), Code::UnknownElement);
+    }
+
+    #[test]
+    fn text_placement_follows_mixed_content() {
+        let schema = attributed();
+        let s = |n: &str| schema.lookup(n).unwrap();
+        let mut v = schema.validator();
+        // (#PCDATA) allows text; an element-only model does not.
+        v.start_element_symbol(s("book"));
+        v.attribute(s("isbn"));
+        v.start_element_symbol(s("title"));
+        v.text();
+        v.end_element();
+        v.end_element();
+        assert!(v.finish().is_ok());
+        v.start_element_symbol(s("book"));
+        v.attribute(s("isbn"));
+        v.text();
+        v.start_element_symbol(s("title"));
+        v.end_element();
+        v.end_element();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::StrayText);
+        assert_eq!(err[0].location().unwrap().path, "book");
+        // Text before the document element is stray too.
+        v.text();
+        let err = v.finish().unwrap_err();
+        assert_eq!(err[0].code(), Code::StrayText);
+        assert!(err[0].message().contains("outside"), "{}", err[0]);
+    }
+
+    #[test]
+    fn text_segments_coalesce_into_one_event() {
+        let schema = attributed();
+        let mut v = schema.validator();
+        v.start_element_bytes(b"book");
+        v.attribute_bytes(b"isbn");
+        v.start_element_bytes(b"title");
+        v.text_segment(b"  \n");
+        v.text_segment(b"hello");
+        v.text_segment(b" world");
+        v.close_element_bytes(b"title");
+        v.close_element_bytes(b"book");
+        // open, attr, open, one text run, close, close — whitespace outside
+        // a run and continuation segments are free.
+        assert_eq!(v.events(), 6);
+        assert!(v.finish().is_ok());
+    }
+
+    #[test]
+    fn validate_events_covers_attributes_and_text() {
+        let schema = attributed();
+        let s = |n: &str| schema.lookup(n).unwrap();
+        let doc = [
+            DocEvent::Open(s("book")),
+            DocEvent::Attr(s("isbn")),
+            DocEvent::Open(s("title")),
+            DocEvent::Text,
+            DocEvent::Close,
+            DocEvent::Close,
+        ];
+        let mut v = schema.validator();
+        assert!(v.validate_events(&doc).is_ok());
+        // Dropping the attribute flips the verdict.
+        let err = v.validate_events(&doc[..1]).unwrap_err();
+        let codes: Vec<Code> = err.iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&Code::MissingRequiredAttribute), "{codes:?}");
     }
 }

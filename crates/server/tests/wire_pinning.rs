@@ -90,6 +90,51 @@ fn idle_sweep_refusal_is_pinned() {
 }
 
 #[test]
+fn markup_diagnostics_are_pinned() {
+    // The full-markup diagnostic family (attributes, character data,
+    // entity references) renders through the same single-line grammar —
+    // these lines reach clients byte-identically over the wire and from
+    // the CLI, whichever transport fed the document.
+    let dtd = "<!ELEMENT note (title, body?)>\
+               <!ELEMENT title (#PCDATA)>\
+               <!ELEMENT body EMPTY>\
+               <!ATTLIST note id CDATA #REQUIRED lang CDATA #IMPLIED>";
+    let schema = SchemaBuilder::new().parse_dtd(dtd).build().unwrap();
+    let mut service = schema.service();
+    let cases: [(&[u8], &str); 5] = [
+        (
+            b"<note lang='x'>",
+            "err E210 - element 'note' is missing the required attribute 'id' \
+             at /note (event 0)",
+        ),
+        (
+            b"<note id='1' kind='x'>",
+            "err E208 - attribute 'kind' is not declared on element 'note' \
+             at /note (event 2)",
+        ),
+        (
+            b"<note id='1' id='2'>",
+            "err E209 - attribute 'id' appears more than once on element \
+             'note' at /note (event 2)",
+        ),
+        (
+            b"<note id='1'><title>t</title><body>text",
+            "err E211 - element 'body' does not allow character data \
+             at /note/body (event 6)",
+        ),
+        (
+            b"<note id='1'><title>a &bogus; b",
+            "err E207 - unknown entity reference at /note/title (event 4)",
+        ),
+    ];
+    for (bytes, expected) in cases {
+        let doc = service.try_open().unwrap();
+        let _ = service.feed_bytes(doc, bytes);
+        assert_eq!(render_verdict(&service.finish(doc)), expected);
+    }
+}
+
+#[test]
 fn messages_never_break_the_line() {
     let d = Diagnostic::new(Code::MalformedMarkup, "first\nsecond\rthird");
     assert_eq!(render_diagnostic(&d), "err E206 - first\\nsecond\\rthird");

@@ -36,7 +36,9 @@ use redet_tree::PosId;
 /// regression test. It mixes every content shape the engine supports:
 /// star-free sequences, DTD `+`/`*` models, a recursive element
 /// (`section` within `section`), an XML-Schema-style counter, `ANY`, and
-/// `(#PCDATA)`/`EMPTY` leaves.
+/// `(#PCDATA)`/`EMPTY` leaves, plus `<!ATTLIST …>` declarations (all
+/// `#IMPLIED`, so element-only documents remain valid) for the full-markup
+/// benchmark (E16) and the attribute/text equivalence suites.
 pub const BOOK_DTD: &str = r#"
     <!ELEMENT book (front, body, back?)>
     <!ELEMENT front (title, subtitle?, author+, date?)>
@@ -60,6 +62,12 @@ pub const BOOK_DTD: &str = r#"
     <!ELEMENT para (#PCDATA | em | code)*>
     <!ELEMENT caption (#PCDATA)>
     <!ELEMENT row (cell+)>
+    <!ATTLIST book lang CDATA #IMPLIED edition CDATA #IMPLIED>
+    <!ATTLIST chapter id ID #IMPLIED>
+    <!ATTLIST section id ID #IMPLIED>
+    <!ATTLIST figure src CDATA #IMPLIED width CDATA #IMPLIED>
+    <!ATTLIST para role CDATA #IMPLIED>
+    <!ATTLIST locator page CDATA #IMPLIED>
 "#;
 
 /// A generated workload: an expression together with its alphabet.

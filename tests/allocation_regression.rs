@@ -257,6 +257,56 @@ fn steady_state_match_loops_do_not_allocate() {
         "single-chunk byte feeding allocated despite the borrow-from-chunk name path"
     );
 
+    // --- Full markup: attribute- and text-heavy documents stay free. ---
+    // Attribute checking runs on the epoch-stamped duplicate scratch sized
+    // at construction, character data coalesces without buffering, and the
+    // tokenizer's attribute/value/text buffers are recycled across
+    // documents — so a warmed service validates full markup (entity
+    // references included, split mid-reference by 5-byte chunks) without
+    // allocating on any surface.
+    let markup_events = redet_bench::book_markup_events(&schema, 3, 7);
+    let markup_xml = redet_bench::events_to_xml(&schema, &markup_events);
+    assert!(
+        markup_events.iter().any(|e| matches!(e, DocEvent::Attr(_)))
+            && markup_events.iter().any(|e| matches!(e, DocEvent::Text)),
+        "sanity: the markup document carries attributes and character data"
+    );
+    let entity_xml = "<book lang=\"a&amp;b\" edition='&#50;'><front>\
+         <title>G &amp; S &#x2013; vol. &#49;</title><author>A &lt; B</author>\
+         </front><body><chapter><title>t</title><section><title>s</title>\
+         <para>p &gt; q</para></section></chapter></body></book>";
+    let markup_round = |service: &mut redet::ValidationService| {
+        // The event surface in chunks…
+        let doc = service.open();
+        for chunk in markup_events.chunks(16) {
+            let _ = service.feed(doc, chunk);
+        }
+        let mut ok = service.finish(doc).is_ok();
+        // …the byte surface chunked and in one borrow-from-chunk pass…
+        let doc = service.open();
+        for chunk in markup_xml.as_bytes().chunks(7) {
+            let _ = service.feed_bytes(doc, chunk);
+        }
+        ok &= service.finish(doc).is_ok();
+        let doc = service.open();
+        let _ = service.feed_bytes(doc, markup_xml.as_bytes());
+        ok &= service.finish(doc).is_ok();
+        // …and an entity-dense document split mid-reference.
+        let doc = service.open();
+        for chunk in entity_xml.as_bytes().chunks(5) {
+            let _ = service.feed_bytes(doc, chunk);
+        }
+        ok && service.finish(doc).is_ok()
+    };
+    assert!(markup_round(&mut service), "markup documents are valid");
+    assert!(markup_round(&mut service), "markup documents are valid");
+    let (allocations, ok) = allocations_during(|| markup_round(&mut service));
+    assert!(ok, "sanity: the measured markup round is valid");
+    assert_eq!(
+        allocations, 0,
+        "attribute/text validation allocated in steady state"
+    );
+
     // --- Resource governance: the checks themselves are free. ---
     // A fully governed service (every cap configured, sized so the valid
     // traffic passes) must stay allocation-free in steady state: the limit

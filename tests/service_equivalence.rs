@@ -7,17 +7,19 @@
 //! whole-document [`DocumentValidator`] run over the same events reports.
 //! These tests pin that contract:
 //!
-//! * every split point of a corpus document's event stream;
+//! * every split point of a corpus document's event stream — attribute
+//!   and character-data events included;
 //! * every split point of its serialized byte stream (tag soup with
-//!   attributes, comments, CDATA, PIs and text sprinkled in, so splits
-//!   land mid-tag, mid-comment, mid-name…);
+//!   attributes, entity references, comments, CDATA, PIs and text
+//!   sprinkled in, so splits land mid-tag, mid-comment, mid-name,
+//!   mid-entity…);
 //! * random chunk interleavings across 64 concurrent handles, events and
 //!   bytes mixed;
 //! * rejected handles consume no further events (fail-fast).
 
 use redet::schema::{FeedStatus, ServiceLimits};
 use redet::{Code, DocEvent, DocumentValidator, Schema, SchemaBuilder};
-use redet_bench::book_document_events;
+use redet_bench::book_markup_events;
 use redet_workloads::rng::StdRng;
 use std::sync::Arc;
 
@@ -49,14 +51,22 @@ fn render_result(result: &Result<(), redet::Diagnostic>) -> String {
     }
 }
 
-/// A corpus mixing valid books with seeded corruptions, so every diagnostic
-/// path crosses chunk boundaries too.
+/// A corpus mixing valid full-markup books (attributes and character data
+/// included) with seeded corruptions, so every diagnostic path — structural
+/// *and* attribute/text — crosses chunk boundaries too.
 fn corpus(schema: &Schema, documents: usize) -> Vec<Vec<DocEvent>> {
     let mut rng = StdRng::seed_from_u64(0x5EAF00D);
+    let open_of = |events: &[DocEvent], name: &str| {
+        let sym = schema.lookup(name).unwrap();
+        events
+            .iter()
+            .position(|e| matches!(e, DocEvent::Open(s) if *s == sym))
+            .expect("every book carries this element")
+    };
     (0..documents)
         .map(|i| {
-            let mut events = book_document_events(schema, 1 + i % 2, i as u64);
-            match i % 5 {
+            let mut events = book_markup_events(schema, 1 + i % 2, i as u64);
+            match i % 8 {
                 0 => {} // valid
                 1 => {
                     // Children out of order.
@@ -76,11 +86,17 @@ fn corpus(schema: &Schema, documents: usize) -> Vec<Vec<DocEvent>> {
                     events.truncate(keep);
                 }
                 3 => {
-                    // A close too many somewhere in the middle.
-                    let j = rng.gen_range(1..events.len());
+                    // A close too many somewhere in the middle — but never
+                    // directly before an attribute event: an attribute
+                    // after a close is expressible on the event surface but
+                    // has no byte serialization.
+                    let spots: Vec<usize> = (1..events.len())
+                        .filter(|&j| !matches!(events[j], DocEvent::Attr(_)))
+                        .collect();
+                    let j = spots[rng.gen_range(0..spots.len())];
                     events.insert(j, DocEvent::Close);
                 }
-                _ => {
+                4 => {
                     // Misplaced child.
                     let opens: Vec<usize> = (0..events.len())
                         .filter(|&j| matches!(events[j], DocEvent::Open(_)))
@@ -91,40 +107,74 @@ fn corpus(schema: &Schema, documents: usize) -> Vec<Vec<DocEvent>> {
                         .unwrap();
                     events[j] = DocEvent::Open(replacement);
                 }
+                5 => {
+                    // The same attribute twice on one start tag.
+                    if let Some(j) = events.iter().position(|e| matches!(e, DocEvent::Attr(_))) {
+                        let dup = events[j];
+                        events.insert(j, dup);
+                    }
+                }
+                6 => {
+                    // Stray character data inside an element-only model.
+                    let j = open_of(&events, "front");
+                    events.insert(j + 1, DocEvent::Text);
+                }
+                _ => {
+                    // An attribute declared on a different element: `page`
+                    // belongs to `locator`, not `chapter`.
+                    let j = open_of(&events, "chapter");
+                    let page = schema.lookup("page").unwrap();
+                    events.insert(j + 1, DocEvent::Attr(page));
+                }
             }
             events
         })
         .collect()
 }
 
-/// Serializes an event stream to tag soup: self-closing leaves, attributes
-/// with `>` and `/` inside quoted values, comments, CDATA sections, PIs and
-/// character data sprinkled deterministically between tags.
+/// Serializes an event stream to tag soup: self-closing leaves, attribute
+/// values with `>`, `/` and entity references inside the quotes, character
+/// data as plain text, entity-laden text or CDATA, plus comments, PIs and
+/// whitespace-only noise sprinkled deterministically between tags. Every
+/// construct either maps to exactly the events of the stream or to none at
+/// all, so the byte path's verdict matches the event path's.
 fn to_xml(schema: &Schema, events: &[DocEvent], seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = String::from("<?xml version=\"1.0\"?>");
     let mut open_names: Vec<&str> = Vec::new();
-    let mut i = 0usize;
-    while i < events.len() {
-        match events[i] {
+    // An open tag stays unterminated while its attribute events arrive.
+    let mut pending = false;
+    for event in events {
+        match *event {
             DocEvent::Open(sym) => {
+                if pending {
+                    out.push('>');
+                }
                 let name = schema.name(sym);
-                if matches!(events.get(i + 1), Some(DocEvent::Close)) && rng.gen_bool(0.4) {
-                    // A self-closing leaf, sometimes with attribute noise.
-                    match rng.gen_range(0..3u32) {
-                        0 => out.push_str(&format!("<{name}/>")),
-                        1 => out.push_str(&format!("<{name} id=\"n{i}\" note='a>b'/>")),
-                        _ => out.push_str(&format!("<{name}  />")),
-                    }
-                    i += 2;
-                } else {
-                    if rng.gen_bool(0.25) {
-                        out.push_str(&format!("<{name} kind=\"k>{i}\">"));
-                    } else {
-                        out.push_str(&format!("<{name}>"));
-                    }
-                    open_names.push(name);
-                    i += 1;
+                out.push('<');
+                out.push_str(name);
+                open_names.push(name);
+                pending = true;
+            }
+            DocEvent::Attr(sym) => {
+                assert!(pending, "corpus attributes always follow an open event");
+                let name = schema.name(sym);
+                match rng.gen_range(0..4u32) {
+                    0 => out.push_str(&format!(" {name}=\"v-{name}\"")),
+                    1 => out.push_str(&format!(" {name}='a&amp;b'")),
+                    2 => out.push_str(&format!(" {name} = \"x/y>z\"")),
+                    _ => out.push_str(&format!(" {name}=\"&#x2013;\"")),
+                }
+            }
+            DocEvent::Text => {
+                if pending {
+                    out.push('>');
+                    pending = false;
+                }
+                match rng.gen_range(0..3u32) {
+                    0 => out.push_str("plain character data"),
+                    1 => out.push_str("G &amp; S &#x2013; vol. 1"),
+                    _ => out.push_str("<![CDATA[raw <markup> & bytes]]>"),
                 }
             }
             DocEvent::Close => {
@@ -132,19 +182,32 @@ fn to_xml(schema: &Schema, events: &[DocEvent], seed: u64) -> String {
                 // the tokenizer does not match names, so any name works —
                 // the validator owns the balance diagnostic.
                 let name = open_names.pop().unwrap_or("phantom");
-                out.push_str(&format!("</{name}>"));
-                i += 1;
+                if pending {
+                    pending = false;
+                    if rng.gen_bool(0.5) {
+                        out.push_str("/>");
+                    } else {
+                        out.push_str(&format!("></{name}>"));
+                    }
+                } else {
+                    out.push_str(&format!("</{name}>"));
+                }
             }
-            _ => unreachable!("the corpus holds only open/close events"),
+            _ => unreachable!("the corpus holds only the four event kinds"),
         }
-        match rng.gen_range(0..16u32) {
-            0 => out.push_str("some text & entities"),
-            1 => out.push_str("<!-- a comment > with -- noise -->"),
-            2 => out.push_str("<![CDATA[ <fake-tag> ]] ]]>"),
-            3 => out.push_str("<?pi keep going?>"),
-            4 => out.push('\n'),
-            _ => {}
+        // Eventless noise — only outside a pending start tag.
+        if !pending {
+            match rng.gen_range(0..16u32) {
+                0 => out.push_str("<!-- a comment > with -- noise -->"),
+                1 => out.push_str("<![CDATA[ \n ]]>"),
+                2 => out.push_str("<?pi keep going?>"),
+                3 => out.push('\n'),
+                _ => {}
+            }
         }
+    }
+    if pending {
+        out.push('>'); // truncated corpus stream ends inside a start tag
     }
     out
 }
@@ -170,7 +233,8 @@ fn every_event_split_matches_whole_document_validation() {
 #[test]
 fn every_byte_split_matches_whole_document_validation() {
     let schema = book_schema();
-    let documents = corpus(&schema, 6);
+    // Eight documents cover each corruption mode (and a valid book) once.
+    let documents = corpus(&schema, 8);
     let mut reference = schema.validator();
     let mut service = schema.service();
     for (i, events) in documents.iter().enumerate() {

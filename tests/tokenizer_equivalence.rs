@@ -4,14 +4,17 @@
 //! SWAR scanner (`Tokenizer::feed`, the production path) and the original
 //! byte-at-a-time scanner (`Tokenizer::feed_scalar`, kept as the reference
 //! oracle). This suite generates seeded random tag soup — well-formed tags,
-//! attributes with hostile quoting, comments, CDATA sections, processing
+//! attributes with hostile quoting, text runs, entity and character
+//! references (valid and bogus), comments, CDATA sections, processing
 //! instructions, doctypes with literals and internal subsets, malformed
 //! markup, non-UTF-8 bytes, and names around the length cap — and checks
-//! that bulk == scalar == whole-input scan, **tag for tag**, under *every*
-//! chunk split of every document. Chunk boundaries are the hard part of the
-//! bulk scanner (the borrow-from-chunk fast path must fall back to the name
-//! buffer exactly when a tag straddles a boundary), so the sweep is
-//! exhaustive rather than sampled.
+//! that bulk == scalar, **token for token**, under *every* chunk split of
+//! every document, and that every chunking agrees with the whole-input scan
+//! once consecutive text segments are concatenated (segment boundaries move
+//! with the chunking; their concatenation must not). Chunk boundaries are
+//! the hard part of the bulk scanner (the borrow-from-chunk fast path must
+//! fall back to the side buffers exactly when a construct straddles a
+//! boundary), so the sweep is exhaustive rather than sampled.
 
 use redet::schema::tokenizer::{Tag, Tokenizer};
 use redet::SchemaBuilder;
@@ -43,14 +46,14 @@ impl Rng {
 fn push_fragment(doc: &mut Vec<u8>, rng: &mut Rng) {
     const NAMES: &[&str] = &["a", "doc", "item-x", "ns:tag", "日本語", "_u"];
     const TEXT: &[&str] = &["", "text", " >>] ?-- ", "a & b", "\n\t "];
-    match rng.below(16) {
+    match rng.below(18) {
         0 | 1 => {
             // Start tag, possibly with attributes and tricky quotes.
             doc.push(b'<');
             doc.extend_from_slice(rng.pick(NAMES).as_bytes());
             for _ in 0..rng.below(3) {
                 let quote = if rng.below(2) == 0 { b'\'' } else { b'"' };
-                const VALUES: &[&[u8]] = &[b"v", b">", b"/>", b"<", b"'\""];
+                const VALUES: &[&[u8]] = &[b"v", b">", b"/>", b"<", b"'\"", b"&amp;v", b"&x;"];
                 doc.extend_from_slice(b" attr=");
                 doc.push(quote);
                 doc.extend_from_slice(rng.pick(VALUES));
@@ -124,9 +127,44 @@ fn push_fragment(doc: &mut Vec<u8>, rng: &mut Rng) {
             doc.extend(std::iter::repeat(b'n').take(len));
             doc.push(b'>');
         }
+        13 => {
+            // Entity and character references: the five predefined ones,
+            // numeric forms, and bogus ones both scanners must reject at
+            // the same byte.
+            const REFS: &[&[u8]] = &[
+                b"&amp;",
+                b"&lt;",
+                b"&gt;",
+                b"&quot;",
+                b"&apos;",
+                b"&#65;",
+                b"&#x2013;",
+                b"&bogus;",
+                b"&#xZZ;",
+                b"&#1114112;",
+                b"& ",
+                b"&unterminated",
+            ];
+            doc.extend_from_slice(b"pre");
+            doc.extend_from_slice(rng.pick(REFS));
+            doc.extend_from_slice(b"post");
+        }
+        14 => {
+            // Attribute spacing forms: valueless attributes, whitespace
+            // around '=', and the unquoted-value rejection.
+            const TAGS: &[&[u8]] = &[
+                b"<a checked>",
+                b"<a checked disabled/>",
+                b"<a x = 'v'>",
+                b"<a x\n=\n\"v\" y>",
+                b"<a x=v>",
+                b"<a / >",
+            ];
+            doc.extend_from_slice(rng.pick(TAGS));
+        }
         _ => {
             // Nested well-formed runs keep some structure in the soup.
-            doc.extend_from_slice(b"<r><s/></r>");
+            doc.extend_from_slice(b"<r>t<s a='1'/>u</r>");
         }
     }
 }
@@ -135,10 +173,37 @@ fn push_fragment(doc: &mut Vec<u8>, rng: &mut Rng) {
 fn render(tag: Tag<'_>) -> String {
     match tag {
         Tag::Open(n) => format!("<{}>", String::from_utf8_lossy(n)),
-        Tag::OpenClose(n) => format!("<{}/>", String::from_utf8_lossy(n)),
+        Tag::Attr { name, value } => format!(
+            " {}='{}'",
+            String::from_utf8_lossy(name),
+            String::from_utf8_lossy(value)
+        ),
+        Tag::SelfClose => "/>".to_owned(),
         Tag::Close(n) => format!("</{}>", String::from_utf8_lossy(n)),
+        Tag::Text(t) => format!("'{}'", String::from_utf8_lossy(t)),
         Tag::Error(e) => format!("!{e}"),
     }
+}
+
+/// Merges consecutive `Text` renderings: segment boundaries move with the
+/// chunking, their concatenation does not.
+fn normalize(events: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for e in events {
+        if e.starts_with('\'') && e.ends_with('\'') && e.len() >= 2 {
+            if let Some(last) = out.last_mut() {
+                if last.starts_with('\'') && last.ends_with('\'') {
+                    let inner = &e[1..e.len() - 1];
+                    last.truncate(last.len() - 1);
+                    last.push_str(inner);
+                    last.push('\'');
+                    continue;
+                }
+            }
+        }
+        out.push(e.clone());
+    }
+    out
 }
 
 /// Scans `doc` split into `chunk`-byte pieces (0 = whole input) with the
@@ -181,21 +246,55 @@ fn bulk_equals_scalar_over_random_documents_and_all_chunk_splits() {
             "round {round}: whole-input scan disagrees on {:?}",
             String::from_utf8_lossy(&doc)
         );
+        let whole_norm = (normalize(&whole.0), whole.1);
         for chunk in 1..=doc.len() {
             let bulk = scan(&doc, chunk, false);
-            assert_eq!(
-                bulk,
-                whole,
-                "round {round} chunk {chunk}: bulk chunked != whole on {:?}",
-                String::from_utf8_lossy(&doc)
-            );
+            // Bulk == scalar is exact, segment for segment, at the same
+            // chunking.
             assert_eq!(
                 bulk,
                 scan(&doc, chunk, true),
                 "round {round} chunk {chunk}: bulk != scalar on {:?}",
                 String::from_utf8_lossy(&doc)
             );
+            // Across chunkings only text segmentation may move.
+            assert_eq!(
+                (normalize(&bulk.0), bulk.1),
+                whole_norm,
+                "round {round} chunk {chunk}: bulk chunked != whole on {:?}",
+                String::from_utf8_lossy(&doc)
+            );
         }
+    }
+}
+
+#[test]
+fn full_markup_documents_survive_every_split() {
+    // One handcrafted document touching every event kind: attributes with
+    // entities in values, coalesced text with predefined and character
+    // references, CDATA content, self-closing tags.
+    let doc = "<doc lang='en' checked><title>G &amp; S &#x2013; vol. 1</title>\
+               <note to=\"a&lt;b\"/><![CDATA[raw <markup> here]]>tail</doc>";
+    let want = [
+        "<doc>",
+        " lang='en'",
+        " checked=''",
+        "<title>",
+        "'G & S \u{2013} vol. 1'",
+        "</title>",
+        "<note>",
+        " to='a<b'",
+        "/>",
+        "'raw <markup> heretail'",
+        "</doc>",
+    ];
+    let whole = scan(doc.as_bytes(), 0, false);
+    assert!(whole.1, "scanner should end idle");
+    assert_eq!(normalize(&whole.0), want);
+    for chunk in 1..doc.len() {
+        let bulk = scan(doc.as_bytes(), chunk, false);
+        assert_eq!(bulk, scan(doc.as_bytes(), chunk, true), "chunk {chunk}");
+        assert_eq!(normalize(&bulk.0), want, "chunk {chunk}");
     }
 }
 
@@ -208,13 +307,18 @@ fn over_long_names_match_the_oracle_at_every_split() {
     doc.extend_from_slice(b"><ok/>");
     let whole = scan(&doc, 0, false);
     assert_eq!(whole, scan(&doc, 0, true));
-    assert_eq!(whole.0.len(), 3, "open, error, open: {:?}", whole.0);
-    assert!(whole.0[1].starts_with('!'), "{:?}", whole.0);
+    // <ok> /> !error 'xx>' <ok> /> — the bytes past the error point are
+    // visible text, identical in both scanners.
+    assert_eq!(whole.0.len(), 6, "{:?}", whole.0);
+    assert!(whole.0[2].starts_with('!'), "{:?}", whole.0);
+    assert_eq!(whole.0[3], "'xx>'", "{:?}", whole.0);
+    let whole_norm = (normalize(&whole.0), whole.1);
     // Sampled splits (the full sweep over a 4 KiB document is quadratic);
     // primes make the boundaries land everywhere across the cap.
     for chunk in [1, 7, 97, 1021, 4093, Tokenizer::MAX_NAME_LEN] {
-        assert_eq!(scan(&doc, chunk, false), whole, "chunk {chunk}");
-        assert_eq!(scan(&doc, chunk, true), whole, "chunk {chunk}");
+        let bulk = scan(&doc, chunk, false);
+        assert_eq!(bulk, scan(&doc, chunk, true), "chunk {chunk}");
+        assert_eq!((normalize(&bulk.0), bulk.1), whole_norm, "chunk {chunk}");
     }
 }
 
