@@ -781,6 +781,108 @@ fn bench_markup_coverage(h: &mut Harness) {
     });
 }
 
+/// E17: the schema registry — cache-hit opens vs direct validator
+/// construction (gated), corpus compilation cold vs cache-hot, and
+/// hot-swap latency under in-flight load (both measured, ungated: their
+/// cost is pipeline- and lock-bound, not comparable across machines as a
+/// ratio to validation work).
+fn bench_schema_registry(h: &mut Harness) {
+    use redet_schema::registry::{Registry, SharedSchema};
+    use redet_schema::{Schema, SchemaBuilder};
+    use std::sync::Arc;
+
+    h.group("E17_schema_registry");
+    let (distinct, total, inflight) = if h.is_fast() {
+        (8, 48, 16)
+    } else {
+        (32, 256, 64)
+    };
+    let sources = redet_workloads::schema_corpus(distinct, total, 0xE17);
+
+    // Registry-mediated opens vs direct validator construction over the
+    // same per-source artifact sequence. `open_handle` is the serving
+    // path after a publish — `SharedSchema::load` (read lock + `Arc`
+    // clone) then `validator()` — and must be noise next to building the
+    // validator from an already-held `Arc`. `open_rehash` re-presents the
+    // DTD text on every open (normalize + hash + map probe, all cache
+    // hits): measured at its own param because its cost is `O(|text|)` by
+    // design, not comparable as a same-param ratio. `open_direct` is the
+    // group's gate reference.
+    let mut registry = Registry::new();
+    let artifacts: Vec<Arc<Schema>> = sources
+        .iter()
+        .map(|s| registry.compile(s).expect("corpus schemas compile"))
+        .collect();
+    let handles: Vec<Arc<SharedSchema>> = artifacts
+        .iter()
+        .map(|schema| Arc::new(SharedSchema::new(Arc::clone(schema))))
+        .collect();
+    h.throughput(total as u64);
+    h.bench("open_direct", total, || {
+        artifacts
+            .iter()
+            .map(|schema| schema.validator().schema().len())
+            .sum::<usize>()
+    });
+    h.bench("open_handle", total, || {
+        handles
+            .iter()
+            .map(|handle| handle.load().validator().schema().len())
+            .sum::<usize>()
+    });
+
+    // Corpus compilation, cold (fresh registry, every distinct text runs
+    // the pipeline) vs cache-hot (all hits), plus the per-open rehash —
+    // all at a different param than the open series so the gate never
+    // ratios `O(|text|)` hashing or pipeline time against opens.
+    h.throughput(distinct as u64);
+    h.bench("open_rehash", distinct, || {
+        sources
+            .iter()
+            .take(distinct)
+            .map(|s| registry.compile(s).unwrap().validator().schema().len())
+            .sum::<usize>()
+    });
+    h.bench("compile_cold", distinct, || {
+        let mut fresh = Registry::new();
+        fresh.compile_corpus(&sources, 1);
+        fresh.stats().compiled
+    });
+    h.bench("compile_cached", distinct, || {
+        registry.compile_corpus(&sources, 1);
+        registry.stats().compiled
+    });
+
+    // Hot-swap latency with `inflight` half-fed documents open: one
+    // `SharedSchema::publish` plus the service rebinding (spare-list
+    // flush) per iteration. In-flight handles are untouched by design.
+    let v1: Arc<Schema> = SchemaBuilder::new()
+        .parse_dtd(
+            "<!ELEMENT doc (title, author)><!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>",
+        )
+        .build()
+        .expect("v1 compiles");
+    let v2: Arc<Schema> = SchemaBuilder::new()
+        .parse_dtd("<!ELEMENT doc (title, author, year)><!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT year (#PCDATA)>")
+        .build()
+        .expect("v2 compiles");
+    let shared = SharedSchema::new(Arc::clone(&v1));
+    let mut service = v1.service();
+    for _ in 0..inflight {
+        let doc = service.open();
+        let _ = service.feed_bytes(doc, b"<doc><title/>");
+    }
+    let mut flip = false;
+    h.throughput(1);
+    h.bench("swap_inflight", inflight, || {
+        flip = !flip;
+        let next = if flip { &v2 } else { &v1 };
+        shared.publish(Arc::clone(next));
+        service.swap_schema(shared.load());
+        shared.epoch()
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_check_if_follow(&mut h);
@@ -795,5 +897,6 @@ fn main() {
     bench_tokenizer_throughput(&mut h);
     bench_overload_serving(&mut h);
     bench_markup_coverage(&mut h);
+    bench_schema_registry(&mut h);
     h.finish("matching");
 }

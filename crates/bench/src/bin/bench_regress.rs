@@ -4,7 +4,8 @@
 //!
 //! Compares a fresh `BENCH_matching.json` against the committed baseline
 //! for the gated experiment groups (E4, E5, E7, E11, E12, E13, E14, E15,
-//! E16) and exits non-zero when any algorithm regresses by more than 25%.
+//! E16, E17) and exits non-zero when any algorithm regresses by more
+//! than 25%.
 //!
 //! Absolute nanosecond numbers are not comparable across machines, so the
 //! gate works on **within-group ratios**: for every `(group, param)` pair it
@@ -33,7 +34,12 @@
 //! handle-capacity edge) to near-zero overhead. E16 ratio-gates the
 //! full-markup serving series (attribute/text events, attribute-dense tag
 //! soup, and the entity-decode byte shape) against the per-document
-//! validator reference over the same enriched corpus.
+//! validator reference over the same enriched corpus. E17 ratio-gates
+//! registry-handle opens (`SharedSchema` load + validator) against
+//! direct validator construction, with an absolute cap
+//! ([`E17_HANDLE_OPEN_MAX_RATIO`]) bounding the read-lock + `Arc` clone
+//! per open to tens of nanoseconds; its rehash, compile, and swap series
+//! are measured but not gated (they live at their own params).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -50,6 +56,7 @@ const GATED_GROUPS: &[(&str, &str)] = &[
     ("E14_tokenizer_throughput", "scalar"),
     ("E15_overload_serving", "feed_unlimited"),
     ("E16_markup_coverage", "per_document"),
+    ("E17_schema_registry", "open_direct"),
 ];
 
 /// Allowed relative slowdown before the gate fails.
@@ -84,6 +91,16 @@ const E12_MAX_SCALED_RATIO: f64 = 0.85;
 /// (none firing) and admission at the handle-capacity edge must cost at
 /// most this factor — resource governance is bookkeeping, not work.
 const E15_GOVERNED_MAX_RATIO: f64 = 1.3;
+
+/// Absolute cap on `open_handle / open_direct` (E17): obtaining a
+/// validator through a published `SharedSchema` handle (read lock +
+/// `Arc` clone) must stay within this factor of constructing one from an
+/// already-held `Arc<Schema>`. The reference is a ~30 ns construction on
+/// the tiny corpus schemas, so the cap bounds the hot-swap indirection to
+/// a few tens of nanoseconds — it fires if the handle ever regresses to
+/// heavier synchronization (contended locks, extra allocation), while the
+/// committed-ratio gate catches smaller drift.
+const E17_HANDLE_OPEN_MAX_RATIO: f64 = 2.5;
 
 #[derive(Clone, Debug)]
 struct Entry {
@@ -178,6 +195,17 @@ fn absolute_caps(fresh: &BTreeMap<(String, String, String), f64>) -> usize {
             eprintln!(
                 "E11 cap: {name} (param {param}) is {ratio:.2}x the DFA-per-element \
                  baseline (cap {E11_MAX_RATIO}x)"
+            );
+            violations += 1;
+        }
+        if group == "E17_schema_registry"
+            && name.contains("open_handle")
+            && ratio > E17_HANDLE_OPEN_MAX_RATIO
+        {
+            eprintln!(
+                "E17 cap: {name} (param {param}) is {ratio:.2}x a direct validator \
+                 construction (cap {E17_HANDLE_OPEN_MAX_RATIO}x) — the hot-swap handle \
+                 open path is not near-free"
             );
             violations += 1;
         }
@@ -307,13 +335,13 @@ fn main() -> ExitCode {
         if capped > 0 {
             eprintln!(
                 "{capped} absolute cap(s) violated (E11 ratio / E12 scaling / E13 bytes / \
-                 E15 governance)"
+                 E15 governance / E17 cached opens)"
             );
         }
         return ExitCode::FAILURE;
     }
     println!(
-        "no E4/E5/E7/E11/E12/E13/E14/E15/E16 regressions beyond {:.0}%; absolute caps hold",
+        "no E4/E5/E7/E11/E12/E13/E14/E15/E16/E17 regressions beyond {:.0}%; absolute caps hold",
         (THRESHOLD - 1.0) * 100.0
     );
     ExitCode::SUCCESS

@@ -27,6 +27,12 @@
 //! are syntax-checked and dropped — document events carry attribute
 //! *presence*, and value constraints beyond well-formedness are out of
 //! scope for the paper's incremental model.
+//!
+//! Duplicates are resolved at build time, not here: the fragment parser
+//! passes every declaration through, and `SchemaBuilder::build` rejects a
+//! second `<!ELEMENT>` for the same name (`Code::DuplicateElement`) while
+//! merging repeated `<!ATTLIST>`s with first-declaration-wins semantics
+//! per attribute name (see the `parse_dtd` rustdoc).
 
 use redet_core::{Code, Diagnostic};
 use redet_syntax::Span;

@@ -71,11 +71,13 @@
 
 mod dtd;
 mod pool;
+pub mod registry;
 mod service;
 pub mod tokenizer;
 mod validator;
 
 pub use pool::ValidatorPool;
+pub use registry::{content_hash, Provenance, Registry, RegistryStats, SharedSchema};
 pub use service::{DocId, FeedStatus, ServiceLimits, ValidationService};
 pub use tokenizer::{Tag, Tokenizer};
 pub use validator::{DocEvent, DocumentValidator};
@@ -663,6 +665,24 @@ impl SchemaBuilder {
     /// Adds every `<!ELEMENT …>` and `<!ATTLIST …>` declaration of a DTD
     /// fragment. Malformed declarations are recorded and reported by
     /// [`SchemaBuilder::build`].
+    ///
+    /// # Duplicate declarations
+    ///
+    /// Repetition is **not** silently first-wins across the board — the
+    /// two declaration kinds pin different contracts (also exercised by
+    /// the duplicate-declaration tests and documented in DESIGN.md):
+    ///
+    /// * a repeated `<!ELEMENT>` for the same element name — within one
+    ///   fragment, across `parse_dtd` calls, or mixed with the
+    ///   programmatic `element*` builders — is a
+    ///   [`Code::DuplicateElement`] **build error**: two content models
+    ///   for one element is a schema bug, not a preference;
+    /// * a repeated *attribute name* for the same element — within one
+    ///   `<!ATTLIST>`, across several, or across fragments — follows the
+    ///   XML specification: the **first declaration wins** and later ones
+    ///   are ignored (including their `#REQUIRED` flag). Multiple
+    ///   `<!ATTLIST>` lines for one element merge; only attribute *names*
+    ///   deduplicate.
     #[must_use]
     pub fn parse_dtd(mut self, source: &str) -> Self {
         let (decls, attlists, diagnostics) = parse_dtd_fragment(source);
@@ -999,6 +1019,41 @@ mod tests {
         // Out-of-range (unknown-element sentinel) is attribute-free.
         assert_eq!(schema.attrs_of(u32::MAX).0.len(), 0);
         assert!(!schema.text_allowed(u32::MAX));
+    }
+
+    #[test]
+    fn duplicate_declarations_pin_their_contract() {
+        // A repeated <!ELEMENT> for one name is a build error — even when
+        // the second declaration arrives through a separate parse_dtd
+        // call, and even when both content models are identical.
+        let err = SchemaBuilder::new()
+            .parse_dtd("<!ELEMENT doc (title)>\n<!ELEMENT title (#PCDATA)>")
+            .parse_dtd("<!ELEMENT doc (title)>")
+            .build()
+            .unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].code(), Code::DuplicateElement);
+        assert!(err[0].message().contains("doc"), "{}", err[0]);
+
+        // A repeated *attribute name* is not an error: the first
+        // declaration wins — across fragments too — so `id` stays
+        // #REQUIRED and the later #IMPLIED redeclaration is ignored.
+        let schema = SchemaBuilder::new()
+            .parse_dtd(
+                "<!ELEMENT doc (#PCDATA)>
+                 <!ATTLIST doc id CDATA #REQUIRED>",
+            )
+            .parse_dtd("<!ATTLIST doc id CDATA #IMPLIED lang CDATA #IMPLIED>")
+            .build()
+            .unwrap();
+        let doc = schema.lookup("doc").unwrap();
+        let (attrs, _) = schema.attrs_of(doc.index() as u32);
+        let names: Vec<&str> = attrs
+            .iter()
+            .map(|a| schema.name(Symbol::from_index(a.sym as usize)))
+            .collect();
+        assert_eq!(names, ["id", "lang"]);
+        assert_eq!(schema.required_mask(doc.index() as u32), 0b01);
     }
 
     #[test]

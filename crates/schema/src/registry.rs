@@ -1,0 +1,528 @@
+//! Multi-tenant schema registry: content-hashed compile cache, concurrent
+//! corpus compilation, and atomic hot-swap.
+//!
+//! A validation *service* assumes one compiled [`Schema`]; a validation
+//! *fleet* sees thousands of schemas arriving, repeating, and changing
+//! while documents are in flight. This module is the layer between
+//! compilation and serving that makes that cheap:
+//!
+//! * **Content-hashed cache** — [`Registry::compile`] keys compiled
+//!   artifacts by a 128-bit hash of the *whitespace-normalized* DTD text
+//!   ([`content_hash`]), so byte-identical schema text — across tenants,
+//!   reconnects, and repeated `redet serve --schema` flags — compiles
+//!   exactly once and shares one `Arc<Schema>`. Hit/miss/compile counters
+//!   ([`Registry::stats`]) make the dedup auditable.
+//! * **Concurrent corpus compilation** — [`Registry::compile_corpus`] fans
+//!   a batch of DTD sources across `std::thread::scope` workers (the same
+//!   sharding pattern as [`crate::ValidatorPool`]), deduplicating by hash
+//!   *before* any thread spawns, and returns input-order results. This is
+//!   the multi-threaded entry point into [`crate::SchemaBuilder`] — the
+//!   builder and its [`redet_core::Pipeline`] are owned per worker, and
+//!   the produced [`Schema`]s are `Send + Sync`.
+//! * **Atomic hot-swap** — [`SharedSchema`] is a per-schema-id epoch
+//!   handle: [`SharedSchema::publish`] atomically replaces the current
+//!   `Arc<Schema>` and bumps the epoch, [`SharedSchema::load`] binds a
+//!   caller to whatever is current. Handles already validating keep their
+//!   own `Arc` clone until they finish, so the old artifact drops exactly
+//!   when its last in-flight document closes. Built on
+//!   `RwLock<Arc<Schema>>`: the workspace forbids `unsafe`, which rules
+//!   out a homemade ArcSwap, and the write lock is held only for a
+//!   pointer-sized store — readers clone an `Arc` under a read lock, a
+//!   few nanoseconds, never across validation work.
+//!
+//! ```
+//! use redet_schema::registry::Registry;
+//!
+//! let mut registry = Registry::new();
+//! let a = registry.compile("<!ELEMENT note (#PCDATA)>").unwrap();
+//! let b = registry.compile("<!ELEMENT  note  (#PCDATA)>  ").unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&a, &b)); // normalized text, one artifact
+//! assert_eq!(registry.stats().compiled, 1);
+//! assert_eq!(registry.stats().hits, 1);
+//! ```
+
+use crate::{Schema, SchemaBuilder};
+use redet_core::Diagnostic;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Content hash of DTD source text: 128-bit FNV-1a over the
+/// whitespace-normalized bytes.
+///
+/// Normalization folds every run of ASCII whitespace (space, tab, CR, LF,
+/// form feed) to a single space and ignores leading/trailing whitespace,
+/// so reformatting a DTD — reflowing declarations, converting line
+/// endings, trailing newlines — does not change its identity. Anything
+/// inside the text that survives normalization (names, models, attribute
+/// defaults) does. The hash is dependency-free and streaming: no
+/// intermediate normalized string is allocated.
+#[must_use]
+pub fn content_hash(source: &str) -> u128 {
+    let mut hash = FNV_OFFSET;
+    let mut pending_space = false;
+    let mut started = false;
+    for &byte in source.as_bytes() {
+        if byte.is_ascii_whitespace() {
+            pending_space = started;
+            continue;
+        }
+        if pending_space {
+            hash = (hash ^ u128::from(b' ')).wrapping_mul(FNV_PRIME);
+            pending_space = false;
+        }
+        started = true;
+        hash = (hash ^ u128::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Where a [`Registry::compile_traced`] artifact came from: a cache hit or
+/// a fresh pipeline compilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// The normalized source hashed to an already-compiled artifact.
+    Cached,
+    /// The source was compiled through a fresh [`SchemaBuilder`] pipeline.
+    Compiled,
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Provenance::Cached => "cached",
+            Provenance::Compiled => "compiled",
+        })
+    }
+}
+
+/// Cache-audit counters of a [`Registry`]; see [`Registry::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Compile requests served from the content-hash cache (including
+    /// batch-mates of a source compiled earlier in the same
+    /// [`Registry::compile_corpus`] call).
+    pub hits: u64,
+    /// Compile requests that could not be served from the cache — each
+    /// distinct new text counts once per request that forced or awaited
+    /// its compilation's first run (failures count every time: rejected
+    /// sources are never cached).
+    pub misses: u64,
+    /// Pipeline compilations actually performed (successes and failures).
+    /// For a corpus of 256 sources with 32 distinct texts on a fresh
+    /// registry this is exactly 32.
+    pub compiled: u64,
+    /// Distinct artifacts currently cached.
+    pub cached: usize,
+}
+
+/// A per-schema-id hot-swap handle: the atomically publishable "current
+/// schema" slot of the registry.
+///
+/// Cheap to share (`Arc<SharedSchema>`): front ends hold one handle per
+/// schema id and [`SharedSchema::load`] the current artifact when opening
+/// a document. [`SharedSchema::publish`] replaces the artifact atomically
+/// and bumps the [`SharedSchema::epoch`] — loads that raced before the
+/// publish keep their (old) `Arc` and finish on it; loads after bind the
+/// new one. The old artifact is freed by `Arc` reference counting the
+/// moment its last holder drops — the registry never has to track
+/// in-flight documents.
+#[derive(Debug)]
+pub struct SharedSchema {
+    current: RwLock<Arc<Schema>>,
+    epoch: AtomicU64,
+}
+
+impl SharedSchema {
+    /// Wraps `schema` as the handle's first published artifact (epoch 0).
+    #[must_use]
+    pub fn new(schema: Arc<Schema>) -> Self {
+        SharedSchema {
+            current: RwLock::new(schema),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently published artifact. The returned `Arc` is the
+    /// caller's to keep: a publish after this load does not affect it.
+    #[must_use]
+    pub fn load(&self) -> Arc<Schema> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically replaces the published artifact and returns the new
+    /// epoch. Loads strictly ordered after this call observe `schema`;
+    /// earlier loads keep the artifact they bound.
+    pub fn publish(&self, schema: Arc<Schema>) -> u64 {
+        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        *slot = schema;
+        // Bumped while the write lock is held, so epoch observations under
+        // a subsequent load() are never behind the artifact they saw.
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// How many times [`SharedSchema::publish`] has replaced the artifact
+    /// (0 for a freshly created handle).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// The multi-tenant schema registry: a content-hashed compile cache plus
+/// named hot-swap slots.
+///
+/// Compilation goes through [`Registry::compile`] (or the batched,
+/// multi-threaded [`Registry::compile_corpus`]): identical normalized DTD
+/// text compiles once and every caller shares the same `Arc<Schema>`.
+/// Serving goes through named slots: [`Registry::publish`] compiles (or
+/// cache-hits) a source and installs it under a schema id's
+/// [`SharedSchema`] handle, which front ends watch for hot-swaps.
+///
+/// The registry itself is single-writer (`&mut self` for compilation and
+/// publishing) — concurrency lives in `compile_corpus`'s scoped workers
+/// and in the `SharedSchema` handles, which are freely shared across
+/// threads.
+#[derive(Debug, Default)]
+pub struct Registry {
+    cache: HashMap<u128, Arc<Schema>>,
+    slots: Vec<(String, Arc<SharedSchema>)>,
+    hits: u64,
+    misses: u64,
+    compiled: u64,
+}
+
+impl Registry {
+    /// Creates an empty registry: no cached artifacts, no published ids.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Compiles DTD source text, serving byte-identical (after whitespace
+    /// normalization) text from the cache. On failure the *first* build
+    /// diagnostic is returned — run [`SchemaBuilder`] directly for the
+    /// full list — and nothing is cached: rejected text recompiles on
+    /// every request.
+    pub fn compile(&mut self, source: &str) -> Result<Arc<Schema>, Diagnostic> {
+        self.compile_traced(source).map(|(schema, _)| schema)
+    }
+
+    /// [`Registry::compile`] plus the artifact's [`Provenance`] — whether
+    /// this request hit the cache or performed a pipeline compilation.
+    pub fn compile_traced(
+        &mut self,
+        source: &str,
+    ) -> Result<(Arc<Schema>, Provenance), Diagnostic> {
+        let hash = content_hash(source);
+        if let Some(schema) = self.cache.get(&hash) {
+            self.hits += 1;
+            return Ok((Arc::clone(schema), Provenance::Cached));
+        }
+        self.misses += 1;
+        self.compiled += 1;
+        let schema = Self::build_one(source)?;
+        self.cache.insert(hash, Arc::clone(&schema));
+        Ok((schema, Provenance::Compiled))
+    }
+
+    /// Compiles a batch of DTD sources across up to `workers` scoped
+    /// threads, returning one result per source in input order.
+    ///
+    /// Sources are hashed and deduplicated — against the cache *and*
+    /// within the batch — before any thread spawns, so a corpus of 256
+    /// sources with 32 distinct texts performs exactly 32 pipeline
+    /// compilations, however the duplicates are ordered. Every occurrence
+    /// of the same text receives the same `Arc<Schema>` (or, for text
+    /// that fails to build, a clone of the same first diagnostic —
+    /// failures compile once per batch but are never cached across
+    /// calls). Each worker owns its own [`SchemaBuilder`] pipeline;
+    /// `workers` is clamped to the number of pending distinct sources,
+    /// and a single-shard batch compiles inline on the caller's thread.
+    pub fn compile_corpus<S: AsRef<str> + Sync>(
+        &mut self,
+        sources: &[S],
+        workers: usize,
+    ) -> Vec<Result<Arc<Schema>, Diagnostic>> {
+        let hashes: Vec<u128> = sources
+            .iter()
+            .map(|source| content_hash(source.as_ref()))
+            .collect();
+        let cached_at_entry: Vec<bool> = hashes
+            .iter()
+            .map(|hash| self.cache.contains_key(hash))
+            .collect();
+        // Dedup before spawning: one job per distinct uncached text.
+        let mut pending: Vec<(u128, &str)> = Vec::new();
+        for (index, &hash) in hashes.iter().enumerate() {
+            if !cached_at_entry[index] && !pending.iter().any(|&(seen, _)| seen == hash) {
+                pending.push((hash, sources[index].as_ref()));
+            }
+        }
+
+        let mut outcomes: Vec<Option<Result<Arc<Schema>, Diagnostic>>> = Vec::new();
+        outcomes.resize_with(pending.len(), || None);
+        let shards = workers.max(1).min(pending.len().max(1));
+        if shards <= 1 {
+            for ((_, source), slot) in pending.iter().zip(&mut outcomes) {
+                *slot = Some(Self::build_one(source));
+            }
+        } else {
+            // Balanced contiguous shards, same split as ValidatorPool.
+            let base = pending.len() / shards;
+            let extra = pending.len() % shards;
+            std::thread::scope(|scope| {
+                let mut job_rest = pending.as_slice();
+                let mut out_rest = outcomes.as_mut_slice();
+                for shard in 0..shards {
+                    let take = base + usize::from(shard < extra);
+                    let (jobs, jobs_tail) = job_rest.split_at(take);
+                    let (outs, outs_tail) = out_rest.split_at_mut(take);
+                    job_rest = jobs_tail;
+                    out_rest = outs_tail;
+                    scope.spawn(move || {
+                        for ((_, source), slot) in jobs.iter().zip(outs) {
+                            *slot = Some(Self::build_one(source));
+                        }
+                    });
+                }
+            });
+        }
+
+        self.compiled += pending.len() as u64;
+        let mut failures: Vec<(u128, Diagnostic)> = Vec::new();
+        for ((hash, _), outcome) in pending.iter().zip(outcomes) {
+            match outcome.expect("every shard fills its assigned slots") {
+                Ok(schema) => {
+                    self.cache.insert(*hash, schema);
+                }
+                Err(diagnostic) => failures.push((*hash, diagnostic)),
+            }
+        }
+
+        let mut counted_first: Vec<u128> = Vec::new();
+        hashes
+            .iter()
+            .zip(cached_at_entry)
+            .map(|(&hash, was_cached)| {
+                if let Some(schema) = self.cache.get(&hash) {
+                    // First occurrence of a batch-compiled text is the
+                    // miss; its batch-mates hit the just-filled cache.
+                    if was_cached || counted_first.contains(&hash) {
+                        self.hits += 1;
+                    } else {
+                        self.misses += 1;
+                        counted_first.push(hash);
+                    }
+                    Ok(Arc::clone(schema))
+                } else {
+                    self.misses += 1;
+                    let diagnostic = failures
+                        .iter()
+                        .find(|(failed, _)| *failed == hash)
+                        .map(|(_, diagnostic)| diagnostic.clone())
+                        .expect("uncached batch source must have a recorded failure");
+                    Err(diagnostic)
+                }
+            })
+            .collect()
+    }
+
+    /// Compiles `source` and installs it as schema id `id`'s current
+    /// artifact — creating the id's [`SharedSchema`] handle on first
+    /// publish, atomically hot-swapping (epoch bump) on re-publish.
+    /// Returns the published artifact; on a build failure nothing is
+    /// swapped and the id keeps its previous artifact.
+    pub fn publish(&mut self, id: &str, source: &str) -> Result<Arc<Schema>, Diagnostic> {
+        let schema = self.compile(source)?;
+        match self.slots.iter().find(|(slot_id, _)| slot_id == id) {
+            Some((_, shared)) => {
+                shared.publish(Arc::clone(&schema));
+            }
+            None => {
+                self.slots.push((
+                    id.to_owned(),
+                    Arc::new(SharedSchema::new(Arc::clone(&schema))),
+                ));
+            }
+        }
+        Ok(schema)
+    }
+
+    /// The hot-swap handle of a published schema id, if any. Clone the
+    /// `Arc` out to watch the id from other threads.
+    #[must_use]
+    pub fn handle(&self, id: &str) -> Option<&Arc<SharedSchema>> {
+        self.slots
+            .iter()
+            .find(|(slot_id, _)| slot_id == id)
+            .map(|(_, shared)| shared)
+    }
+
+    /// Published schema ids, in first-publish order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.slots.iter().map(|(id, _)| id.as_str())
+    }
+
+    /// Cache-audit counters: cumulative hits/misses/compilations plus the
+    /// current number of cached artifacts.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits,
+            misses: self.misses,
+            compiled: self.compiled,
+            cached: self.cache.len(),
+        }
+    }
+
+    fn build_one(source: &str) -> Result<Arc<Schema>, Diagnostic> {
+        SchemaBuilder::new()
+            .parse_dtd(source)
+            .build()
+            .map_err(|mut diagnostics| diagnostics.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note_dtd(extra: &str) -> String {
+        format!("<!ELEMENT note (line{extra})*> <!ELEMENT line (#PCDATA)>")
+    }
+
+    #[test]
+    fn hash_normalizes_whitespace() {
+        let canonical = content_hash("<!ELEMENT a (b)> <!ELEMENT b EMPTY>");
+        assert_eq!(
+            content_hash("  <!ELEMENT a\t(b)>\r\n<!ELEMENT b EMPTY>\n"),
+            canonical
+        );
+        assert_ne!(
+            content_hash("<!ELEMENT a (b)> <!ELEMENT c EMPTY>"),
+            canonical
+        );
+        // Whitespace folding must not merge adjacent tokens.
+        assert_ne!(content_hash("a b"), content_hash("ab"));
+    }
+
+    #[test]
+    fn identical_text_compiles_once() {
+        let mut registry = Registry::new();
+        let first = registry.compile(&note_dtd("")).unwrap();
+        let second = registry.compile(&format!("  {}\n", note_dtd(""))).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.compiled, stats.cached),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let mut registry = Registry::new();
+        let bad = "<!ELEMENT a (b | b)>"; // not deterministic
+        assert!(registry.compile(bad).is_err());
+        assert!(registry.compile(bad).is_err());
+        let stats = registry.stats();
+        assert_eq!((stats.misses, stats.compiled, stats.cached), (2, 2, 0));
+    }
+
+    #[test]
+    fn corpus_dedups_before_compiling() {
+        let mut registry = Registry::new();
+        let sources: Vec<String> = (0..64).map(|i| note_dtd(&format!("{}", i % 8))).collect();
+        let results = registry.compile_corpus(&sources, 4);
+        assert_eq!(results.len(), 64);
+        for (i, result) in results.iter().enumerate() {
+            let schema = result.as_ref().unwrap();
+            assert!(Arc::ptr_eq(schema, results[i % 8].as_ref().unwrap()));
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.compiled, 8);
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.hits, 56);
+        assert_eq!(stats.cached, 8);
+    }
+
+    #[test]
+    fn corpus_reports_per_source_failures() {
+        let mut registry = Registry::new();
+        let good = note_dtd("");
+        let bad = "<!ELEMENT a (b | b)>".to_owned();
+        let sources = [good.clone(), bad.clone(), good.clone(), bad.clone()];
+        let results = registry.compile_corpus(&sources, 2);
+        assert!(results[0].is_ok() && results[2].is_ok());
+        let first = results[1].as_ref().unwrap_err();
+        let second = results[3].as_ref().unwrap_err();
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        let stats = registry.stats();
+        // The failing text compiled once in the batch but is not cached.
+        assert_eq!((stats.compiled, stats.cached), (2, 1));
+        assert_eq!((stats.hits, stats.misses), (1, 3));
+    }
+
+    #[test]
+    fn publish_creates_then_hot_swaps() {
+        let mut registry = Registry::new();
+        let v1 = registry.publish("notes", &note_dtd("")).unwrap();
+        let handle = Arc::clone(registry.handle("notes").unwrap());
+        assert_eq!(handle.epoch(), 0);
+        assert!(Arc::ptr_eq(&handle.load(), &v1));
+
+        let v2 = registry.publish("notes", &note_dtd("2")).unwrap();
+        assert_eq!(handle.epoch(), 1);
+        assert!(Arc::ptr_eq(&handle.load(), &v2));
+        assert!(!Arc::ptr_eq(&v1, &v2));
+        assert_eq!(registry.ids().collect::<Vec<_>>(), ["notes"]);
+
+        // A failed publish keeps the previous artifact and epoch.
+        assert!(registry
+            .publish("notes", "<!ELEMENT note (line | line)>")
+            .is_err());
+        assert_eq!(handle.epoch(), 1);
+        assert!(Arc::ptr_eq(&handle.load(), &v2));
+    }
+
+    #[test]
+    fn registry_and_handles_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+        assert_send_sync::<SharedSchema>();
+        assert_send_sync::<RegistryStats>();
+    }
+
+    #[test]
+    fn shared_schema_loads_race_free_across_threads() {
+        let mut registry = Registry::new();
+        registry.publish("doc", &note_dtd("")).unwrap();
+        let handle = Arc::clone(registry.handle("doc").unwrap());
+        let variants: Vec<Arc<Schema>> = (0..4)
+            .map(|i| registry.compile(&note_dtd(&format!("{i}"))).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let handle = &handle;
+                let variants = &variants;
+                scope.spawn(move || {
+                    for round in 0..200 {
+                        let schema = handle.load();
+                        // Every load observes some fully published artifact.
+                        assert!(schema.lookup("note").is_some());
+                        if round % 5 == worker {
+                            handle.publish(Arc::clone(&variants[round % variants.len()]));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(handle.epoch() >= 1);
+    }
+}

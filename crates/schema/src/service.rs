@@ -380,6 +380,46 @@ impl ValidationService {
         &self.schema
     }
 
+    /// Atomically replaces the schema bound by *future* opens — the
+    /// service-level half of a registry hot-swap (see
+    /// `redet_schema::registry`).
+    ///
+    /// Semantics:
+    ///
+    /// * documents already in flight keep validating against the
+    ///   [`Arc<Schema>`] they opened under (each handle's validator owns
+    ///   its own clone of the `Arc`), so a swap never changes a verdict
+    ///   mid-document;
+    /// * every subsequent [`ValidationService::try_open`] binds the new
+    ///   schema;
+    /// * the old artifact is dropped once the last in-flight handle over
+    ///   it is finished or closed (and the spare list below is cleared).
+    ///
+    /// Recycled validator buffers are schema-bound, so the spare list is
+    /// discarded on swap and handles finishing under the old schema are
+    /// not recycled — the first opens after a swap re-allocate, then the
+    /// service warms up again. Swapping in the `Arc` already bound is a
+    /// no-op.
+    pub fn swap_schema(&mut self, schema: Arc<Schema>) {
+        if Arc::ptr_eq(&self.schema, &schema) {
+            return;
+        }
+        self.schema = schema;
+        // Spare validators still hold the superseded artifact; recycling
+        // one into a new document would validate against the old schema.
+        self.spare.clear();
+    }
+
+    /// Returns a document's buffers to the spare list — unless its
+    /// validator is bound to a superseded schema (the document outlived a
+    /// [`ValidationService::swap_schema`]), in which case the buffers are
+    /// dropped and the old artifact can finally be released.
+    fn recycle(&mut self, flight: InFlight) {
+        if std::ptr::eq(flight.validator.schema(), Arc::as_ptr(&self.schema)) {
+            self.spare.push(flight);
+        }
+    }
+
     /// The resource-governance configuration this service enforces.
     pub fn limits(&self) -> ServiceLimits {
         self.limits
@@ -631,6 +671,10 @@ impl ValidationService {
         };
         let now = self.now;
         let mut swept = 0usize;
+        // `self.spare` is pushed to while `self.slots` is mutably iterated
+        // (disjoint fields), so the recycle() schema check is inlined here
+        // against a raw pointer captured up front.
+        let current_schema: *const Schema = Arc::as_ptr(&self.schema);
         for slot in &mut self.slots {
             let idle = matches!(
                 slot.doc.as_ref(),
@@ -659,7 +703,9 @@ impl ValidationService {
             let _ = flight.validator.finish();
             flight.tokenizer.reset();
             slot.doc = Some(DocState::Swept(diagnostic));
-            self.spare.push(flight);
+            if std::ptr::eq(flight.validator.schema(), current_schema) {
+                self.spare.push(flight);
+            }
             swept += 1;
         }
         swept
@@ -765,7 +811,7 @@ impl ValidationService {
             }),
         };
         flight.tokenizer.reset();
-        self.spare.push(flight);
+        self.recycle(flight);
         result
     }
 
@@ -783,7 +829,7 @@ impl ValidationService {
                 flight.rejected = None;
                 let _ = flight.validator.finish();
                 flight.tokenizer.reset();
-                self.spare.push(flight);
+                self.recycle(flight);
             }
         }
     }

@@ -7,6 +7,7 @@
 //! redet serve --addr A --schema id=path…   the TCP front end
 //! redet bench [--workers N]…               throughput measurement
 //! redet request --addr A --schema id <doc> one framed wire round-trip
+//! redet publish --addr A --schema id <dtd> hot-swap a schema (P)
 //! redet shutdown --addr A                  graceful remote shutdown (Q)
 //! ```
 //!
@@ -19,6 +20,7 @@
 use crate::router::SchemaRouter;
 use crate::server::{Server, ServerConfig};
 use crate::wire;
+use redet_schema::registry::{Provenance, Registry};
 use redet_schema::{Schema, SchemaBuilder, ServiceLimits, ValidatorPool};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -41,10 +43,13 @@ USAGE:
     redet serve --addr <host:port> --schema <id>=<schema.dtd> [--schema ...]
                 [--max-in-flight N] [--max-depth N] [--max-bytes N]
                 [--max-events N] [--max-name-len N] [--idle-timeout TICKS]
-                [--tick-ms MS] [--no-shutdown-command]
+                [--tick-ms MS] [--no-shutdown-command] [--no-publish-command]
         Serve the wire protocol: 'V <id> <len>\\n<body>' (framed, pipelines)
         or 'V <id>\\n<body>' (unframed, one per connection); one response
-        line per request; 'Q' drains and exits unless disabled. Prints
+        line per request; 'P <id> <len>\\n<dtd>' hot-swaps a schema and 'Q'
+        drains and exits, unless disabled. Schemas load through the
+        content-hashed registry cache (startup prints compiled/cached
+        provenance per id; identical DTD text compiles once). Prints
         'listening on <addr>' once the socket is bound.
 
     redet bench [--workers N] [--docs N] [--chapters N] [--seed N]
@@ -53,6 +58,10 @@ USAGE:
 
     redet request --addr <host:port> --schema <id> <doc.xml>
         Send one framed request to a running server and print the response.
+
+    redet publish --addr <host:port> --schema <id> <schema.dtd>
+        Hot-swap the schema served under <id>: in-flight documents finish
+        against the old schema, later requests validate against the new.
 
     redet shutdown --addr <host:port>
         Ask a running server to drain and exit.
@@ -72,6 +81,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
+        Some("publish") => cmd_publish(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
@@ -106,6 +116,29 @@ fn load_schema(path: &str) -> Result<Arc<Schema>, i32> {
                 if let Some(span) = diagnostic.span() {
                     eprintln!("{}", underline(&source, span.start, span.end));
                 }
+            }
+            Err(2)
+        }
+    }
+}
+
+/// Compiles a DTD file through the registry's content-hash cache, so
+/// byte-identical schema text across `--schema` flags compiles once.
+/// Returns the artifact plus its cached/compiled provenance; failures
+/// print the first build diagnostic caret-underlined.
+fn load_schema_cached(
+    registry: &mut Registry,
+    path: &str,
+) -> Result<(Arc<Schema>, Provenance), i32> {
+    let bytes = read_file(path)?;
+    let source = String::from_utf8_lossy(&bytes).into_owned();
+    match registry.compile_traced(&source) {
+        Ok(pair) => Ok(pair),
+        Err(diagnostic) => {
+            eprintln!("redet: {path} is not a usable schema:");
+            eprintln!("  {}", wire::render_diagnostic(&diagnostic));
+            if let Some(span) = diagnostic.span() {
+                eprintln!("{}", underline(&source, span.start, span.end));
             }
             Err(2)
         }
@@ -282,6 +315,10 @@ fn cmd_serve(args: &[String]) -> i32 {
                 config.allow_shutdown_command = false;
                 Ok(())
             }
+            "--no-publish-command" => {
+                config.allow_publish_command = false;
+                Ok(())
+            }
             other => {
                 eprintln!("redet serve: unknown flag '{other}'");
                 Err(2)
@@ -299,25 +336,29 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("redet serve: at least one --schema <id>=<path.dtd> is required");
         return 2;
     }
+    let mut registry = Registry::new();
     let mut router = SchemaRouter::new();
     for (id, path) in &schemas {
-        let schema = match load_schema(path) {
-            Ok(s) => s,
+        let (schema, provenance) = match load_schema_cached(&mut registry, path) {
+            Ok(pair) => pair,
             Err(code) => return code,
         };
         if let Err(d) = router.register(id.clone(), schema, limits) {
             eprintln!("redet serve: {}", wire::render_diagnostic(&d));
             return 2;
         }
-        println!("schema '{id}' loaded from {path}");
+        println!("schema '{id}' {provenance} from {path}");
     }
-    let server = match Server::bind(addr.as_str(), router, config) {
+    let mut server = match Server::bind(addr.as_str(), router, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("redet serve: cannot bind {addr}: {e}");
             return 2;
         }
     };
+    // Hand the warmed cache to the server so `P` requests re-publishing
+    // known text hit it.
+    server.set_registry(registry);
     match server.local_addr() {
         Ok(bound) => println!("listening on {bound}"),
         Err(_) => println!("listening on {addr}"),
@@ -327,12 +368,13 @@ fn cmd_serve(args: &[String]) -> i32 {
         Ok(report) => {
             println!(
                 "served {} connections, {} documents ({} ok, {} err), \
-                 {} idle-swept, {} protocol errors",
+                 {} idle-swept, {} published, {} protocol errors",
                 report.connections,
                 report.documents,
                 report.accepted,
                 report.rejected,
                 report.swept,
+                report.published,
                 report.protocol_errors,
             );
             0
@@ -501,6 +543,49 @@ fn cmd_request(args: &[String]) -> i32 {
         Err(code) => return code,
     };
     let mut request = format!("V {schema} {}\n", body.len()).into_bytes();
+    request.extend_from_slice(&body);
+    match round_trip(&addr, &request) {
+        Ok(line) => {
+            println!("{line}");
+            i32::from(line != "ok")
+        }
+        Err(code) => code,
+    }
+}
+
+/// `redet publish`: one framed `P` round-trip — compile-and-hot-swap a
+/// schema on a running server without dropping its in-flight documents.
+fn cmd_publish(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut schema: Option<String> = None;
+    let mut dtd: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result = match arg.as_str() {
+            "--addr" => take_value(arg, &mut iter).map(|v| addr = Some(v.clone())),
+            "--schema" => take_value(arg, &mut iter).map(|v| schema = Some(v.clone())),
+            other if dtd.is_none() && !other.starts_with('-') => {
+                dtd = Some(other.to_owned());
+                Ok(())
+            }
+            other => {
+                eprintln!("redet publish: unknown flag '{other}'");
+                Err(2)
+            }
+        };
+        if let Err(code) = result {
+            return code;
+        }
+    }
+    let (Some(addr), Some(schema), Some(dtd)) = (addr, schema, dtd) else {
+        eprintln!("usage: redet publish --addr <host:port> --schema <id> <schema.dtd>");
+        return 2;
+    };
+    let body = match read_file(&dtd) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    let mut request = format!("P {schema} {}\n", body.len()).into_bytes();
     request.extend_from_slice(&body);
     match round_trip(&addr, &request) {
         Ok(line) => {

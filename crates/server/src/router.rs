@@ -74,6 +74,33 @@ impl SchemaRouter {
         Ok(tag)
     }
 
+    /// Hot-swaps the schema registered under `id`: documents already in
+    /// flight keep validating against the artifact they opened under, new
+    /// opens bind `schema`, and the old artifact drops when its last
+    /// in-flight handle finishes (see
+    /// [`ValidationService::swap_schema`]). Returns the entry's routing
+    /// tag; unknown ids refuse with [`Code::UnknownSchema`] — a publish
+    /// never creates a new wire id, so a fleet's id set stays a startup
+    /// decision.
+    pub fn publish(&mut self, id: &str, schema: Arc<Schema>) -> Result<u16, Diagnostic> {
+        match self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .find(|(_, entry)| entry.id == id)
+        {
+            Some((tag, entry)) => {
+                entry.service.swap_schema(Arc::clone(&schema));
+                entry.schema = schema;
+                Ok(tag as u16)
+            }
+            None => Err(Diagnostic::new(
+                Code::UnknownSchema,
+                format!("no schema registered under id '{id}'"),
+            )),
+        }
+    }
+
     /// Number of registered schemas.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -302,6 +329,43 @@ mod tests {
             wire::render_diagnostic(&unknown),
             "err E103 - no schema registered under id 'nope'"
         );
+    }
+
+    #[test]
+    fn publish_swaps_in_flight_safe() {
+        let mut router = SchemaRouter::new();
+        router
+            .register("doc", pair_schema(), ServiceLimits::default())
+            .unwrap();
+
+        // Open under v1 (pair), feed half of a pair document.
+        let old = router.open("doc").unwrap();
+        assert_eq!(
+            router.feed_bytes(old, b"<pair><left/>"),
+            FeedStatus::NeedMore
+        );
+
+        // Hot-swap v2 (list) mid-flight; the tag is stable.
+        assert_eq!(router.publish("doc", list_schema()).unwrap(), 0);
+        assert!(Arc::ptr_eq(
+            router.schema("doc").unwrap(),
+            router.schema("doc").unwrap()
+        ));
+
+        // The in-flight document still validates as a pair…
+        assert_eq!(
+            router.feed_bytes(old, b"<right/></pair>"),
+            FeedStatus::Accepted
+        );
+        assert!(router.finish(old).is_ok());
+
+        // …while a post-publish open rejects it under the list schema.
+        let new = router.open("doc").unwrap();
+        let _ = router.feed_bytes(new, b"<pair><left/><right/></pair>");
+        assert_eq!(router.finish(new).unwrap_err().code(), Code::UnknownElement);
+
+        let unknown = router.publish("nope", pair_schema()).unwrap_err();
+        assert_eq!(unknown.code(), Code::UnknownSchema);
     }
 
     #[test]

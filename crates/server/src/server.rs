@@ -11,6 +11,7 @@
 //! ```text
 //! "V " schema-id " " byte-len "\n" body     framed: exactly byte-len bytes
 //! "V " schema-id "\n" body…                 unframed: the rest of the stream
+//! "P " schema-id " " byte-len "\n" dtd      hot-swap publish (when enabled)
 //! "Q\n"                                     graceful shutdown (when enabled)
 //! ```
 //!
@@ -21,6 +22,16 @@
 //! rejects), or — for a **half-closed** connection — when the peer shuts
 //! down its write side and the remaining input ends, whichever comes
 //! first. Blank lines between requests are ignored.
+//!
+//! A `P` request carries DTD source text (always framed — a schema needs a
+//! definite end) and atomically hot-swaps the schema registered under its
+//! id: documents already in flight finish against the artifact they opened
+//! under, requests after the `ok` response validate against the new one
+//! (see [`SchemaRouter::publish`]). The body compiles through the server's
+//! [`redet_schema::registry::Registry`], so re-publishing previously seen
+//! text is a cache hit. Compile failures answer with the build diagnostic
+//! and leave the previous schema serving; unknown ids answer `E103` —
+//! publishing never creates a new wire id.
 //!
 //! Body bytes stream straight into [`ValidationService::feed_bytes`]
 //! exactly as the poll loop receives them, so chunk boundaries fall
@@ -54,6 +65,7 @@
 use crate::router::SchemaRouter;
 use crate::wire;
 use redet_core::{Code, Diagnostic};
+use redet_schema::registry::Registry;
 use redet_schema::{DocId, FeedStatus};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -83,9 +95,15 @@ pub struct ServerConfig {
     /// Whether the `Q` wire request triggers a graceful shutdown. Default:
     /// `true` (disable for servers exposed beyond a trusted network).
     pub allow_shutdown_command: bool,
+    /// Whether the `P` wire request may hot-swap schemas. Default: `true`
+    /// (disable for servers exposed beyond a trusted network).
+    pub allow_publish_command: bool,
     /// Longest accepted header line in bytes; longer ones are a
     /// [`Code::ProtocolError`] refusal. Default: 4096.
     pub max_header_len: usize,
+    /// Longest accepted `P` (publish) body in bytes; longer ones are a
+    /// [`Code::ProtocolError`] refusal. Default: 1 MiB.
+    pub max_publish_len: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,7 +113,9 @@ impl Default for ServerConfig {
             idle_wait: Duration::from_millis(1),
             drain_deadline: Duration::from_secs(5),
             allow_shutdown_command: true,
+            allow_publish_command: true,
             max_header_len: 4096,
+            max_publish_len: 1 << 20,
         }
     }
 }
@@ -131,6 +151,8 @@ pub struct ServerReport {
     pub rejected: u64,
     /// Handles swept by the idle governor.
     pub swept: u64,
+    /// Schemas hot-swapped by successful `P` requests.
+    pub published: u64,
     /// Header lines refused with [`Code::ProtocolError`].
     pub protocol_errors: u64,
 }
@@ -139,6 +161,10 @@ pub struct ServerReport {
 pub struct Server {
     listener: TcpListener,
     router: SchemaRouter,
+    /// Compiles `P` (publish) bodies; seeding it via
+    /// [`Server::set_registry`] with the registry that compiled the
+    /// startup schemas makes re-published known text a cache hit.
+    registry: Registry,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
 }
@@ -156,9 +182,22 @@ impl Server {
         Ok(Server {
             listener,
             router,
+            registry: Registry::new(),
             config,
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Replaces the compile registry `P` (publish) requests go through —
+    /// pass the registry that compiled the startup schemas so its
+    /// content-hash cache carries over into serving.
+    pub fn set_registry(&mut self, registry: Registry) {
+        self.registry = registry;
+    }
+
+    /// The compile registry `P` (publish) requests go through.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The bound address — the way to learn the actual port after binding
@@ -236,6 +275,7 @@ impl Server {
             for conn in &mut conns {
                 progress |= conn.pump(
                     &mut self.router,
+                    &mut self.registry,
                     &self.config,
                     &self.stop,
                     &mut report,
@@ -294,6 +334,16 @@ enum ConnState {
     /// Consuming and dropping the framed body of a refused request, so the
     /// refusal does not desynchronize the requests pipelined behind it.
     Discard { remaining: u64 },
+    /// Accumulating the framed DTD body of a `P` (publish) request.
+    /// `remaining` counts the bytes still expected into `body`.
+    Publish {
+        /// The schema id being hot-swapped.
+        id: String,
+        /// Framed bytes still expected.
+        remaining: u64,
+        /// The DTD source text received so far.
+        body: Vec<u8>,
+    },
 }
 
 /// One client connection of the poll loop.
@@ -341,6 +391,7 @@ impl Conn {
     fn pump(
         &mut self,
         router: &mut SchemaRouter,
+        registry: &mut Registry,
         config: &ServerConfig,
         stop: &AtomicBool,
         report: &mut ServerReport,
@@ -376,7 +427,7 @@ impl Conn {
                 }
             }
         }
-        progress |= self.process(router, config, stop, report);
+        progress |= self.process(router, registry, config, stop, report);
         progress |= self.flush();
         progress
     }
@@ -409,6 +460,7 @@ impl Conn {
     fn process(
         &mut self,
         router: &mut SchemaRouter,
+        registry: &mut Registry,
         config: &ServerConfig,
         stop: &AtomicBool,
         report: &mut ServerReport,
@@ -521,6 +573,54 @@ impl Conn {
                         ConnState::Discard { remaining: left }
                     };
                 }
+                ConnState::Publish { remaining, .. } if remaining > 0 => {
+                    if self.inbuf.is_empty() {
+                        if self.eof {
+                            self.refuse(report, "input ended inside a publish body");
+                            progress = true;
+                        }
+                        return progress;
+                    }
+                    let take = usize::try_from(remaining)
+                        .unwrap_or(usize::MAX)
+                        .min(self.inbuf.len());
+                    let ConnState::Publish {
+                        remaining, body, ..
+                    } = &mut self.state
+                    else {
+                        unreachable!("matched Publish above");
+                    };
+                    body.extend_from_slice(&self.inbuf[..take]);
+                    *remaining -= take as u64;
+                    self.inbuf.drain(..take);
+                    progress = true;
+                }
+                ConnState::Publish { .. } => {
+                    // Body complete: compile (cache-aware) and hot-swap.
+                    let state = std::mem::replace(&mut self.state, ConnState::Header);
+                    let ConnState::Publish { id, body, .. } = state else {
+                        unreachable!("matched Publish above");
+                    };
+                    let outcome = match std::str::from_utf8(&body) {
+                        Ok(source) => registry
+                            .compile(source)
+                            .and_then(|schema| router.publish(&id, schema).map(|_| ())),
+                        Err(_) => Err(Diagnostic::new(
+                            Code::ProtocolError,
+                            "publish body is not UTF-8",
+                        )),
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            report.published += 1;
+                            self.respond("ok", report);
+                        }
+                        Err(refusal) => {
+                            self.respond(&wire::render_diagnostic(&refusal), report);
+                        }
+                    }
+                    progress = true;
+                }
             }
         }
     }
@@ -572,6 +672,55 @@ impl Conn {
                         }
                     }
                 }
+            }
+            Some("P") => {
+                if !config.allow_publish_command {
+                    self.refuse(report, "the publish command is disabled");
+                    return;
+                }
+                let Some(id) = parts.next() else {
+                    self.refuse(report, "P needs a schema id");
+                    return;
+                };
+                let Some(len) = parts.next() else {
+                    self.refuse(report, "P needs a framed body length");
+                    return;
+                };
+                let Ok(remaining) = len.parse::<u64>() else {
+                    self.refuse(report, "unparsable body length");
+                    return;
+                };
+                if parts.next().is_some() {
+                    self.refuse(report, "trailing tokens after the header");
+                    return;
+                }
+                if remaining > config.max_publish_len as u64 {
+                    self.refuse(report, "publish body exceeds the length cap");
+                    return;
+                }
+                if router.schema(id).is_none() {
+                    // E103: the refusal is the verdict — a publish never
+                    // creates a new wire id. The framed body is still
+                    // consumed so pipelined requests stay in sync.
+                    let refusal = Diagnostic::new(
+                        Code::UnknownSchema,
+                        format!("no schema registered under id '{id}'"),
+                    );
+                    self.respond(&wire::render_diagnostic(&refusal), report);
+                    if remaining > 0 {
+                        self.state = ConnState::Discard { remaining };
+                    }
+                    return;
+                }
+                self.state = ConnState::Publish {
+                    id: id.to_owned(),
+                    remaining,
+                    body: Vec::with_capacity(
+                        usize::try_from(remaining)
+                            .unwrap_or(0)
+                            .min(config.max_publish_len),
+                    ),
+                };
             }
             Some("Q") => {
                 if config.allow_shutdown_command {

@@ -70,6 +70,57 @@ pub const BOOK_DTD: &str = r#"
     <!ATTLIST locator page CDATA #IMPLIED>
 "#;
 
+/// A synthetic many-schema corpus: `total` DTD source texts drawn from
+/// `distinct` structurally distinct schemas, in a seeded shuffled order —
+/// the multi-tenant workload behind the schema-registry benchmarks (E17)
+/// and the compile-cache dedup tests.
+///
+/// Variant `i` declares a root `rec{i}` over a short chain of
+/// `f{i}_{j}` text fields — the first required, later ones decorated `?`
+/// or `*` at random, so [`schema_corpus_document`]`(i)` (root plus first
+/// field) is valid under every variant. Every variant is a small,
+/// deterministic, *textually unique* DTD. Duplicates are exact repeats of
+/// a variant's text: a content-hashing registry must compile exactly
+/// `distinct` of the returned sources, however they are ordered.
+pub fn schema_corpus(distinct: usize, total: usize, seed: u64) -> Vec<String> {
+    assert!(distinct > 0, "need at least one distinct schema");
+    assert!(
+        total >= distinct,
+        "total must cover every distinct schema at least once"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let variants: Vec<String> = (0..distinct)
+        .map(|i| {
+            let fields = rng.gen_range(2..6usize);
+            let mut dtd = format!("<!ELEMENT rec{i} (f{i}_0");
+            for j in 1..fields {
+                let suffix = ["?", "*"][rng.gen_range(0..2usize)];
+                dtd.push_str(&format!(", f{i}_{j}{suffix}"));
+            }
+            dtd.push_str(")>");
+            for j in 0..fields {
+                dtd.push_str(&format!("\n<!ELEMENT f{i}_{j} (#PCDATA)>"));
+            }
+            dtd
+        })
+        .collect();
+    let mut sources: Vec<String> = (0..total).map(|k| variants[k % distinct].clone()).collect();
+    // Seeded Fisher–Yates so repeats interleave unpredictably but
+    // reproducibly.
+    for k in (1..sources.len()).rev() {
+        let j = usize::try_from(rng.next_u64() % (k as u64 + 1)).expect("index fits");
+        sources.swap(k, j);
+    }
+    sources
+}
+
+/// A minimal document valid under variant `i` of [`schema_corpus`] — the
+/// root plus its one always-required first field.
+#[must_use]
+pub fn schema_corpus_document(variant: usize) -> String {
+    format!("<rec{variant}><f{variant}_0/></rec{variant}>")
+}
+
 /// A generated workload: an expression together with its alphabet.
 #[derive(Clone, Debug)]
 pub struct Workload {

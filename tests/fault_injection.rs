@@ -40,6 +40,24 @@ fn book_schema() -> Arc<Schema> {
         .expect("BOOK_DTD compiles")
 }
 
+/// A hot-swap variant of the book schema: identical declarations plus one
+/// appended `<!ATTLIST>` line. The declaration order (and thus the symbol
+/// interning order) is untouched and the added attribute name is already
+/// interned, so symbols looked up against v1 stay valid — and verdicts
+/// identical — under v2. That keeps swap chaos deterministic: a publish
+/// may land between any two operations without changing any transcript
+/// outcome, exactly like a registry re-publish of a compatible revision.
+fn book_schema_v2() -> Arc<Schema> {
+    let source = format!(
+        "{}\n<!ATTLIST title role CDATA #IMPLIED>",
+        redet_workloads::BOOK_DTD
+    );
+    SchemaBuilder::new()
+        .parse_dtd(&source)
+        .build()
+        .expect("BOOK_DTD v2 compiles")
+}
+
 /// Every cap configured, sized so ordinary corpus documents pass but the
 /// generator can steer onto each boundary.
 fn governed() -> ServiceLimits {
@@ -147,6 +165,7 @@ fn record(transcript: &mut String, op: &str, status: FeedStatus) {
 fn run_scenario(
     service: &mut ValidationService,
     schema: &Schema,
+    variants: &[Arc<Schema>],
     seed: u64,
     clock: &mut u64,
     transcript: &mut String,
@@ -158,7 +177,7 @@ fn run_scenario(
     let mut live: Vec<(DocId, Vec<DocEvent>, usize)> = Vec::new();
     let mut graveyard: Vec<DocId> = Vec::new();
     for _ in 0..rng.gen_range(12..40usize) {
-        match rng.gen_range(0..10u32) {
+        match rng.gen_range(0..11u32) {
             // Admission — sometimes a whole burst, straight into refusal
             // at the cap (the backpressure edge a front end sheds load on).
             0 | 1 => {
@@ -273,6 +292,16 @@ fn run_scenario(
                     }
                 });
             }
+            // Registry publish: hot-swap the service's schema mid-feed.
+            // The variants are behaviorally identical revisions, so no
+            // transcript outcome moves — but the spare list is flushed and
+            // handles finishing under a superseded Arc are dropped instead
+            // of recycled, the exact hygiene a swap must get right.
+            8 => {
+                let pick = rng.gen_range(0..variants.len());
+                service.swap_schema(Arc::clone(&variants[pick]));
+                let _ = write!(transcript, "swap{pick};");
+            }
             // Necromancy: operate on stale handles. Every op must be
             // graceful and must not disturb live handles.
             _ => {
@@ -315,6 +344,7 @@ fn run_scenario(
 /// returns the transcript.
 fn run_suite(master_seed: u64) -> String {
     let schema = book_schema();
+    let variants = [Arc::clone(&schema), book_schema_v2()];
     let mut service = ValidationService::with_limits(Arc::clone(&schema), governed());
     let mut master = StdRng::seed_from_u64(master_seed);
     let mut clock = 0u64;
@@ -323,6 +353,7 @@ fn run_suite(master_seed: u64) -> String {
         run_scenario(
             &mut service,
             &schema,
+            &variants,
             master.next_u64(),
             &mut clock,
             &mut transcript,
@@ -340,7 +371,15 @@ fn run_suite(master_seed: u64) -> String {
 fn chaos_scenarios_never_panic_and_never_leak() {
     let transcript = run_suite(MASTER_SEED);
     // Sanity: the chaos actually exercised every interesting path.
-    for marker in ["refused;", "tick+", "stale;", "fin:ok;", "bytes:Rejected"] {
+    for marker in [
+        "refused;",
+        "tick+",
+        "stale;",
+        "fin:ok;",
+        "bytes:Rejected",
+        "swap0;",
+        "swap1;",
+    ] {
         assert!(
             transcript.contains(marker),
             "chaos never hit {marker:?} — the generator lost coverage"
@@ -408,6 +447,76 @@ fn slab_churn_returns_to_baseline() {
         baseline,
         "10k churn iterations grew the slab past its high-water baseline"
     );
+}
+
+#[test]
+fn publish_storms_never_panic_and_never_leak() {
+    // Swap-mid-feed, swap-then-sweep, and a publish storm to one id: the
+    // registry hazards distilled. In-flight documents must finish on the
+    // Arc they opened under, recycled buffers must never cross a swap, and
+    // the slab must return to baseline.
+    let v1 = book_schema();
+    let v2 = book_schema_v2();
+    let mut service = ValidationService::with_limits(Arc::clone(&v1), governed());
+    let valid = book_document_events(&v1, 1, 99);
+    let cap = governed().max_in_flight().unwrap() as usize;
+
+    // Swap mid-feed: half the cap opens under v1, v2 lands mid-document,
+    // every document still finishes validly.
+    let mut clock = 0u64;
+    for round in 0..50u64 {
+        let docs: Vec<DocId> = (0..cap / 2).map(|_| service.try_open().unwrap()).collect();
+        let cut = valid.len() / 2;
+        for &doc in &docs {
+            assert_eq!(service.feed(doc, &valid[..cut]), FeedStatus::NeedMore);
+        }
+        let swap_to = if round % 2 == 0 { &v2 } else { &v1 };
+        service.swap_schema(Arc::clone(swap_to));
+        for &doc in &docs {
+            assert_eq!(service.feed(doc, &valid[cut..]), FeedStatus::Accepted);
+            assert!(service.finish(doc).is_ok());
+        }
+        assert_eq!(service.in_flight(), 0, "round {round} leaked");
+        assert!(service.slab_size() <= cap);
+    }
+
+    // Swap-then-sweep: idle handles opened under one schema are swept
+    // after a swap — the tick path drops (not recycles) their buffers.
+    for round in 0..20u64 {
+        let doc = service.try_open().unwrap();
+        assert_eq!(service.feed(doc, &valid[..3]), FeedStatus::NeedMore);
+        service.swap_schema(Arc::clone(if round % 2 == 0 { &v1 } else { &v2 }));
+        clock += governed().idle_budget().unwrap() + 1;
+        assert_eq!(service.tick(clock), 1);
+        assert_eq!(
+            service.finish(doc).unwrap_err().code(),
+            Code::IdleTimeout,
+            "round {round}"
+        );
+        assert_eq!(service.in_flight(), 0);
+    }
+
+    // Publish storm: a thousand back-to-back swaps with handles open.
+    let docs: Vec<DocId> = (0..cap / 2).map(|_| service.try_open().unwrap()).collect();
+    for i in 0..1000u64 {
+        service.swap_schema(Arc::clone(if i % 2 == 0 { &v2 } else { &v1 }));
+    }
+    for &doc in &docs {
+        assert_eq!(service.feed(doc, &valid), FeedStatus::Accepted);
+        assert!(service.finish(doc).is_ok());
+    }
+    assert_eq!(service.in_flight(), 0, "storm leaked slab slots");
+    assert!(service.slab_size() <= cap, "storm grew the slab");
+
+    // The service still serves: a full open/feed/finish cycle post-storm.
+    let doc = service.try_open().unwrap();
+    assert_eq!(service.feed(doc, &valid), FeedStatus::Accepted);
+    assert!(service.finish(doc).is_ok());
+
+    // Nothing in the service still pins the superseded artifact.
+    drop(service);
+    assert_eq!(Arc::strong_count(&v1), 1);
+    assert_eq!(Arc::strong_count(&v2), 1);
 }
 
 #[test]

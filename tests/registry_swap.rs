@@ -1,0 +1,268 @@
+//! Hot-swap semantics of the schema registry, end to end.
+//!
+//! The contract under test (ISSUE 10's acceptance criteria):
+//!
+//! * a document opened against schema v1 **finishes validly** after v2 is
+//!   published mid-flight — in-flight handles complete on the pre-publish
+//!   `Arc<Schema>`;
+//! * a post-publish open **rejects the same document under v2**, with a
+//!   diagnostic byte-identical across event and byte feeds;
+//! * the old artifact is dropped only after its last handle closes;
+//! * the verdicts stay byte-identical to in-process validation over the
+//!   TCP wire, across a live `P` (publish) request;
+//! * the content-hashed compile cache performs exactly `distinct` pipeline
+//!   compilations for a corpus of repeated schema texts.
+
+use redet_core::Code;
+use redet_schema::registry::Registry;
+use redet_schema::{DocEvent, Schema, SchemaBuilder, ServiceLimits};
+use redet_server::{wire, SchemaRouter, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// v1: a record is `(title, author)`.
+const V1_DTD: &str = "<!ELEMENT doc (title, author)>\n\
+                      <!ELEMENT title (#PCDATA)>\n\
+                      <!ELEMENT author (#PCDATA)>";
+
+/// v2 tightens the model: a record now also requires a `year`.
+const V2_DTD: &str = "<!ELEMENT doc (title, author, year)>\n\
+                      <!ELEMENT title (#PCDATA)>\n\
+                      <!ELEMENT author (#PCDATA)>\n\
+                      <!ELEMENT year (#PCDATA)>";
+
+/// Valid under v1, invalid under v2 (missing the required `year`).
+const V1_DOC: &[u8] = b"<doc><title/><author/></doc>";
+
+fn build(dtd: &str) -> Arc<Schema> {
+    SchemaBuilder::new().parse_dtd(dtd).build().unwrap()
+}
+
+/// The v1 document as pre-interned events of `schema`.
+fn v1_doc_events(schema: &Schema) -> Vec<DocEvent> {
+    let sym = |name: &str| schema.lookup(name).unwrap();
+    vec![
+        DocEvent::Open(sym("doc")),
+        DocEvent::Open(sym("title")),
+        DocEvent::Close,
+        DocEvent::Open(sym("author")),
+        DocEvent::Close,
+        DocEvent::Close,
+    ]
+}
+
+#[test]
+fn in_flight_document_finishes_on_pre_publish_schema() {
+    let mut registry = Registry::new();
+    let v1 = registry.publish("doc", V1_DTD).unwrap();
+    let handle = Arc::clone(registry.handle("doc").unwrap());
+
+    let mut service = handle.load().service();
+    let in_flight = service.try_open().unwrap();
+    // Half the document arrives…
+    let _ = service.feed_bytes(in_flight, b"<doc><title/>");
+
+    // …then v2 is published mid-flight.
+    let v2 = registry.publish("doc", V2_DTD).unwrap();
+    assert_eq!(handle.epoch(), 1);
+    service.swap_schema(handle.load());
+
+    // The in-flight document still completes validly against v1.
+    let _ = service.feed_bytes(in_flight, b"<author/></doc>");
+    assert!(service.finish(in_flight).is_ok());
+
+    // A post-publish open binds v2 and rejects the same bytes.
+    let reopened = service.try_open().unwrap();
+    let _ = service.feed_bytes(reopened, V1_DOC);
+    let rejection = service.finish(reopened).unwrap_err();
+    assert_eq!(rejection.code(), Code::IncompleteElement);
+
+    // The event feed (interned against v2) reports the byte-identical
+    // diagnostic at the same event index.
+    let mut validator = v2.validator();
+    let event_rejection = validator
+        .validate_events(&v1_doc_events(&v2))
+        .unwrap_err()
+        .remove(0);
+    assert_eq!(format!("{rejection:?}"), format!("{event_rejection:?}"));
+    drop(v1);
+}
+
+#[test]
+fn old_artifact_drops_with_its_last_handle() {
+    let mut registry = Registry::new();
+    let v1 = registry.publish("doc", V1_DTD).unwrap();
+    let handle = Arc::clone(registry.handle("doc").unwrap());
+
+    let mut service = handle.load().service();
+    let in_flight = service.try_open().unwrap();
+    let _ = service.feed_bytes(in_flight, b"<doc>");
+
+    registry.publish("doc", V2_DTD).unwrap();
+    service.swap_schema(handle.load());
+
+    // Holders of v1 while the swapped service still validates the
+    // in-flight doc: this test's `v1` binding plus the document's own
+    // validator clone (the registry cache holds one more).
+    let held_while_in_flight = Arc::strong_count(&v1);
+    let _ = service.feed_bytes(in_flight, b"<title/><author/></doc>");
+    assert!(service.finish(in_flight).is_ok());
+
+    // Finishing released the validator's clone — nothing in the service
+    // (spare list included) still references v1.
+    assert_eq!(Arc::strong_count(&v1), held_while_in_flight - 1);
+
+    // New opens allocate against v2 only.
+    let reopened = service.try_open().unwrap();
+    let count_after_reopen = Arc::strong_count(&v1);
+    assert_eq!(count_after_reopen, held_while_in_flight - 1);
+    service.close(reopened);
+}
+
+#[test]
+fn swap_verdicts_are_byte_identical_over_tcp() {
+    // A real server with v1 registered, its registry seeded the way the
+    // CLI seeds it.
+    let mut registry = Registry::new();
+    let v1 = registry.publish("doc", V1_DTD).unwrap();
+    let mut router = SchemaRouter::new();
+    router
+        .register("doc", Arc::clone(&v1), ServiceLimits::default())
+        .unwrap();
+    let mut server = Server::bind("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+    server.set_registry(registry);
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+    };
+    let read_line = |reader: &mut BufReader<TcpStream>| {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.ends_with('\n'), "truncated response: {line:?}");
+        line.pop();
+        line
+    };
+
+    // Connection A opens a framed v1 document and stalls halfway through.
+    let mut stalled = connect();
+    stalled
+        .write_all(format!("V doc {}\n<doc><title/>", V1_DOC.len()).as_bytes())
+        .unwrap();
+    stalled.flush().unwrap();
+
+    // Connection B publishes v2 and waits for the ok — after this line the
+    // swap has happened inside the poll loop.
+    let mut publisher = connect();
+    let mut request = format!("P doc {}\n", V2_DTD.len()).into_bytes();
+    request.extend_from_slice(V2_DTD.as_bytes());
+    publisher.write_all(&request).unwrap();
+    let mut publisher = BufReader::new(publisher);
+    assert_eq!(read_line(&mut publisher), "ok");
+
+    // Connection A finishes its body: the verdict is v1's — `ok`.
+    stalled.write_all(b"<author/></doc>").unwrap();
+    let mut stalled = BufReader::new(stalled);
+    assert_eq!(read_line(&mut stalled), "ok");
+
+    // A fresh request now validates under v2 and its rejection line is
+    // byte-identical to in-process validation against v2.
+    let v2 = build(V2_DTD);
+    let expected = {
+        let mut reference = SchemaRouter::new();
+        reference
+            .register("doc", v2, ServiceLimits::default())
+            .unwrap();
+        wire::render_verdict(&reference.validate_bytes("doc", V1_DOC))
+    };
+    assert!(expected.starts_with("err "), "v2 must reject: {expected}");
+    let mut fresh = connect();
+    let mut request = format!("V doc {}\n", V1_DOC.len()).into_bytes();
+    request.extend_from_slice(V1_DOC);
+    fresh.write_all(&request).unwrap();
+    let mut fresh = BufReader::new(fresh);
+    assert_eq!(read_line(&mut fresh), expected);
+
+    // Unknown ids refuse with E103; the id set is a startup decision.
+    let mut unknown = connect();
+    unknown.write_all(b"P nope 5\n<!-->").unwrap();
+    unknown.write_all(b"x").unwrap();
+    let mut unknown = BufReader::new(unknown);
+    assert!(read_line(&mut unknown).starts_with("err E103 "));
+
+    shutdown.shutdown();
+    let report = server_thread.join().unwrap();
+    assert_eq!(report.published, 1);
+    assert_eq!(report.documents, 2); // publish responses are not verdicts
+    assert_eq!(report.accepted, 1); // the stalled v1 document
+    assert_eq!(report.rejected, 1); // the post-publish v2 rejection
+}
+
+#[test]
+fn corpus_of_256_sources_compiles_exactly_32_times() {
+    let sources = redet_workloads::schema_corpus(32, 256, 0x5EED);
+    assert_eq!(sources.len(), 256);
+
+    let mut registry = Registry::new();
+    let results = registry.compile_corpus(&sources, 8);
+    assert_eq!(results.len(), 256);
+    for (source, result) in sources.iter().zip(&results) {
+        let schema = result.as_ref().expect("corpus schemas compile");
+        // Identical text shares one artifact.
+        let again = registry.compile(source).unwrap();
+        assert!(Arc::ptr_eq(schema, &again));
+    }
+
+    let stats = registry.stats();
+    assert_eq!(
+        stats.compiled, 32,
+        "one pipeline compilation per distinct text"
+    );
+    assert_eq!(stats.misses, 32);
+    assert_eq!(stats.cached, 32);
+    // 224 corpus hits + the 256 re-compiles above.
+    assert_eq!(stats.hits, 224 + 256);
+
+    // Every variant's minimal document validates under its schema.
+    for (variant, source) in sources.iter().enumerate().take(8) {
+        let schema = registry.compile(source).unwrap();
+        let root = schema
+            .elements()
+            .map(|sym| schema.name(sym).to_owned())
+            .find(|name| name.starts_with("rec"))
+            .unwrap();
+        let variant_id: usize = root["rec".len()..].parse().unwrap();
+        let doc = redet_workloads::schema_corpus_document(variant_id);
+        let mut service = schema.service();
+        assert!(
+            service.validate_bytes(doc.as_bytes()).is_ok(),
+            "variant {variant} rejects its own minimal document"
+        );
+    }
+}
+
+#[test]
+fn concurrent_corpus_compilation_is_deterministic() {
+    let sources = redet_workloads::schema_corpus(16, 64, 42);
+    let single = Registry::new().compile_corpus(&sources, 1);
+    let sharded = Registry::new().compile_corpus(&sources, 8);
+    for (a, b) in single.iter().zip(&sharded) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        // Same declarations, same interning order, same dispatch — the
+        // artifacts are behaviorally identical whatever the worker count.
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.elements().map(|s| a.name(s)).collect::<Vec<_>>(),
+            b.elements().map(|s| b.name(s)).collect::<Vec<_>>()
+        );
+    }
+}
